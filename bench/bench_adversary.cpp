@@ -1,0 +1,59 @@
+// Experiment "Thm. 3 check": the adaptive lower-bound adversary played
+// against every policy in the roster, across the duration parameter x.
+// Expected shape: each policy's extracted ratio is at least
+// min{(x+1)/x, (2x+1)/(x+1)}, and the guarantee peaks at the golden ratio
+// when x = (1+sqrt(5))/2.
+//
+// Flags: --eps <double> (default 1e-3), --tau <double> (default 1e-4).
+#include <iostream>
+
+#include "analysis/adversary.hpp"
+#include "analysis/ratios.hpp"
+#include "online/policy_factory.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdbp;
+  Flags flags(argc, argv);
+  double eps = flags.getDouble("eps", 1e-3);
+  double tau = flags.getDouble("tau", 1e-4);
+
+  std::cout << "=== Theorem 3 adversary: lower bound (1+sqrt(5))/2 = "
+            << ratios::onlineLowerBound() << " ===\n";
+  std::cout << "(co-located? -> adversary plays case B; otherwise case A)\n\n";
+
+  std::vector<double> xs = {1.2, 1.4, ratios::adversaryOptimalX(), 1.8, 2.2};
+  Table table({"policy", "x", "co-located", "ratio", "guarantee min{...}"});
+  // The roster needs duration parameters; the gadget has durations in
+  // [1, x], so Delta = 1 and mu = x.
+  for (double x : xs) {
+    for (const PolicyPtr& policy : fullRoster(1.0, x)) {
+      AdversaryOutcome outcome = runTheorem3Adversary(*policy, x, eps, tau);
+      table.addRow({policy->name(), Table::num(x, 4),
+                    outcome.coLocated ? "yes" : "no",
+                    Table::num(outcome.ratio, 4),
+                    Table::num(outcome.guarantee, 4)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nWorst extracted ratio at x = phi should approach phi as "
+               "eps, tau -> 0.\n";
+
+  // The bound is deterministic-only: a randomized first decision beats it.
+  std::cout << "\n=== Randomized play (co-locate with probability p, "
+               "x = phi) ===\n";
+  Table randomized({"p", "adversary value max{E[A], E[B]}"});
+  double phi = ratios::adversaryOptimalX();
+  for (double p : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    randomized.addRow(
+        {Table::num(p, 2), Table::num(ratios::randomizedAdversaryValue(phi, p), 4)});
+  }
+  randomized.print(std::cout);
+  std::cout << "best randomized value: "
+            << Table::num(ratios::randomizedAdversaryBest(phi), 4)
+            << "  < deterministic lower bound "
+            << Table::num(ratios::onlineLowerBound(), 4) << '\n';
+  return 0;
+}

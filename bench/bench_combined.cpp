@@ -1,0 +1,82 @@
+// Experiment E5 (the paper's future-work §5.4/§6): the combined
+// classification strategy (duration classes, then departure windows inside
+// each class) against the two single strategies across mu.
+//
+// Expected shape: combined tracks the better single strategy on both sides
+// of the mu = 4 crossover, at the cost of more categories (more open bins
+// on sparse loads).
+//
+// Flags: --items <int> (default 2500), --seeds <int> (default 5).
+#include <iostream>
+
+#include "analysis/empirical.hpp"
+#include "online/any_fit.hpp"
+#include "online/classify_departure.hpp"
+#include "online/classify_duration.hpp"
+#include "online/combined.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdbp;
+  Flags flags(argc, argv);
+  std::size_t items = static_cast<std::size_t>(flags.getInt("items", 2500));
+  std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 5));
+
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t s = 0; s < numSeeds; ++s) seeds.push_back(91 + s);
+
+  std::cout << "=== E5: combined classification vs single strategies ===\n";
+  Table table({"mu", "FirstFit", "CDT-FF", "CD-FF", "Combined-FF"});
+  std::vector<double> mus = {2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0};
+  std::vector<double> sFF, sCdt, sCd, sComb;
+  for (double mu : mus) {
+    WorkloadSpec spec;
+    spec.numItems = items;
+    spec.mu = mu;
+    spec.durations = DurationDist::kBimodal;  // stresses classification
+    Instance probe = generateWorkload(spec, seeds[0]);
+    double delta = probe.minDuration();
+    double realizedMu = probe.durationRatio();
+
+    auto sweep = [&](std::function<PolicyPtr()> make) {
+      return sweepPolicy(
+                 seeds,
+                 [&](std::uint64_t seed) { return generateWorkload(spec, seed); },
+                 make)
+          .ratios.mean();
+    };
+    double ff = sweep([] { return std::make_unique<FirstFitPolicy>(); });
+    double cdt = sweep([&]() -> PolicyPtr {
+      return std::make_unique<ClassifyByDepartureFF>(
+          ClassifyByDepartureFF::withKnownDurations(delta, realizedMu));
+    });
+    double cd = sweep([&]() -> PolicyPtr {
+      return std::make_unique<ClassifyByDurationFF>(
+          ClassifyByDurationFF::withKnownDurations(delta, realizedMu));
+    });
+    double comb = sweep([&]() -> PolicyPtr {
+      return std::make_unique<CombinedClassifyFF>(
+          CombinedClassifyFF::withKnownDurations(delta, realizedMu));
+    });
+    table.addRow({Table::num(mu, 0), Table::num(ff, 3), Table::num(cdt, 3),
+                  Table::num(cd, 3), Table::num(comb, 3)});
+    sFF.push_back(ff);
+    sCdt.push_back(cdt);
+    sCd.push_back(cd);
+    sComb.push_back(comb);
+  }
+  table.print(std::cout);
+
+  AsciiChart chart(72, 16);
+  chart.setLogX(true);
+  chart.addSeries("FirstFit", mus, sFF);
+  chart.addSeries("CDT-FF", mus, sCdt);
+  chart.addSeries("CD-FF", mus, sCd);
+  chart.addSeries("Combined-FF", mus, sComb);
+  std::cout << '\n';
+  chart.print(std::cout);
+  return 0;
+}

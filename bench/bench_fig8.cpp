@@ -1,0 +1,60 @@
+// Experiment "Fig. 8" (paper §5.4): best-achievable competitive ratios of
+// classify-by-departure-time FF (2*sqrt(mu)+3) and classify-by-duration FF
+// (min_n mu^(1/n)+n+3) against the original First Fit (mu+4), as functions
+// of the duration ratio mu, with the Theorem 3 lower bound for reference.
+//
+// Flags: --mu-max <double> (default 100), --points <int> (default 100),
+//        --csv (emit CSV instead of the aligned table).
+#include <iostream>
+
+#include "analysis/figure8.hpp"
+#include "analysis/ratios.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdbp;
+  Flags flags(argc, argv);
+  double muMax = flags.getDouble("mu-max", 100.0);
+  std::size_t points = static_cast<std::size_t>(flags.getInt("points", 100));
+
+  std::vector<double> grid = figure8MuGrid(muMax, points);
+  std::vector<Figure8Row> rows = figure8Series(grid);
+
+  std::cout << "=== Figure 8: competitive ratios vs mu (durations known) ===\n";
+  Table table({"mu", "FirstFit(mu+4)", "CDT-FF(2sqrt(mu)+3)",
+               "CD-FF(min_n)", "opt n", "lower bound"});
+  // Print a readable subset of the grid in the table; the chart uses all.
+  std::size_t stride = std::max<std::size_t>(1, rows.size() / 20);
+  for (std::size_t i = 0; i < rows.size(); i += stride) {
+    const Figure8Row& row = rows[i];
+    table.addRow({Table::num(row.mu, 1), Table::num(row.firstFit, 3),
+                  Table::num(row.cdtBest, 3), Table::num(row.cdBest, 3),
+                  std::to_string(row.cdBestN), Table::num(row.lowerBound, 4)});
+  }
+  if (flags.has("csv")) {
+    table.printCsv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  std::vector<double> mu, ff, cdt, cd;
+  for (const Figure8Row& row : rows) {
+    mu.push_back(row.mu);
+    ff.push_back(row.firstFit);
+    cdt.push_back(row.cdtBest);
+    cd.push_back(row.cdBest);
+  }
+  AsciiChart chart(72, 22);
+  chart.addSeries("FirstFit mu+4", mu, ff);
+  chart.addSeries("CDT-FF 2sqrt(mu)+3", mu, cdt);
+  chart.addSeries("CD-FF min_n mu^(1/n)+n+3", mu, cd);
+  std::cout << '\n';
+  chart.print(std::cout);
+
+  std::cout << "\nCrossover of the two classification strategies: mu = "
+            << ratios::classificationCrossoverMu()
+            << "  (paper: CDT wins below mu=4, CD wins above)\n";
+  return 0;
+}

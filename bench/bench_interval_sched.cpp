@@ -1,0 +1,69 @@
+// Experiment IS: the bounded-parallelism special case (related work that
+// the paper generalizes and improves, §2 and §5.3). Compares Flammini's
+// longest-first greedy (offline) and Shalom's BucketFirstFit (online)
+// empirically, and prints the bound improvement the paper proves:
+// BucketFirstFit's (2a+2)*ceil(log_a mu) versus our a + ceil(log_a mu) + 4.
+//
+// Flags: --jobs <int> (default 2000), --g <int> (default 5),
+//        --seeds <int> (default 5).
+#include <iostream>
+
+#include "analysis/ratios.hpp"
+#include "core/lower_bounds.hpp"
+#include "interval_sched/interval_sched.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdbp;
+  Flags flags(argc, argv);
+  std::size_t jobs = static_cast<std::size_t>(flags.getInt("jobs", 2000));
+  std::size_t g = static_cast<std::size_t>(flags.getInt("g", 5));
+  std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 5));
+
+  std::cout << "=== IS1: interval scheduling with machine capacity g = " << g
+            << " (" << jobs << " jobs x " << numSeeds << " seeds) ===\n";
+  Table empirical({"mu", "greedy (offline) /LB3", "BucketFF a=2 /LB3",
+                   "BucketFF a=4 /LB3"});
+  for (double mu : {4.0, 16.0, 64.0}) {
+    SummaryStats greedyStats, bucket2Stats, bucket4Stats;
+    for (std::size_t s = 0; s < numSeeds; ++s) {
+      Rng rng(400 + s);
+      std::vector<IntervalJob> jobList;
+      Time t = 0;
+      for (ItemId i = 0; i < jobs; ++i) {
+        t += rng.exponential(0.25);
+        jobList.push_back({i, {t, t + rng.uniform(1.0, mu)}});
+      }
+      IntervalSchedInstance inst(std::move(jobList), g);
+      IntervalScheduleResult greedy = greedyLongestFirst(inst);
+      double lb3 = lowerBounds(*greedy.dbpInstance).ceilIntegral;
+      greedyStats.add(greedy.totalBusyTime / lb3);
+      bucket2Stats.add(bucketFirstFit(inst, 2.0).totalBusyTime / lb3);
+      bucket4Stats.add(bucketFirstFit(inst, 4.0).totalBusyTime / lb3);
+    }
+    empirical.addRow({Table::num(mu, 0), Table::num(greedyStats.mean(), 3),
+                      Table::num(bucket2Stats.mean(), 3),
+                      Table::num(bucket4Stats.mean(), 3)});
+  }
+  empirical.print(std::cout);
+
+  std::cout << "\n=== IS2: proven bounds — Shalom et al. vs this paper "
+               "(Theorem 5 applied at unit demands) ===\n";
+  Table bounds({"mu", "alpha", "BucketFF bound (2a+2)ceil(log)",
+                "paper bound a+ceil(log)+4"});
+  for (double mu : {4.0, 16.0, 64.0, 256.0, 1024.0}) {
+    for (double alpha : {2.0, 4.0}) {
+      bounds.addRow({Table::num(mu, 0), Table::num(alpha, 0),
+                     Table::num(ratios::bucketFirstFitBound(alpha, mu), 1),
+                     Table::num(ratios::cdRatio(alpha, mu), 1)});
+    }
+  }
+  bounds.print(std::cout);
+  std::cout << "\nSame algorithm, new analysis: the paper's bound is "
+               "asymptotically lower (and the analysis also covers arbitrary "
+               "item sizes).\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Performance benchmarks (google-benchmark): packing throughput of the
+// online policies and the offline algorithms, plus the core data
+// structures, across instance sizes.
+#include <benchmark/benchmark.h>
+
+#include "core/lower_bounds.hpp"
+#include "core/step_function.hpp"
+#include "offline/ddff.hpp"
+#include "offline/dual_coloring.hpp"
+#include "online/any_fit.hpp"
+#include "online/classify_departure.hpp"
+#include "online/classify_duration.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+Instance makeInstance(std::size_t n, double mu = 16.0, std::uint64_t seed = 1) {
+  WorkloadSpec spec;
+  spec.numItems = n;
+  spec.mu = mu;
+  return generateWorkload(spec, seed);
+}
+
+void BM_FirstFitOnline(benchmark::State& state) {
+  Instance inst = makeInstance(static_cast<std::size_t>(state.range(0)));
+  FirstFitPolicy policy;
+  for (auto _ : state) {
+    SimResult r = simulateOnline(inst, policy);
+    benchmark::DoNotOptimize(r.totalUsage);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FirstFitOnline)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_BestFitOnline(benchmark::State& state) {
+  Instance inst = makeInstance(static_cast<std::size_t>(state.range(0)));
+  BestFitPolicy policy;
+  for (auto _ : state) {
+    SimResult r = simulateOnline(inst, policy);
+    benchmark::DoNotOptimize(r.totalUsage);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BestFitOnline)->Arg(1000)->Arg(4000);
+
+void BM_CdtFFOnline(benchmark::State& state) {
+  Instance inst = makeInstance(static_cast<std::size_t>(state.range(0)));
+  ClassifyByDepartureFF policy = ClassifyByDepartureFF::withKnownDurations(
+      inst.minDuration(), inst.durationRatio());
+  for (auto _ : state) {
+    SimResult r = simulateOnline(inst, policy);
+    benchmark::DoNotOptimize(r.totalUsage);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CdtFFOnline)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_CdFFOnline(benchmark::State& state) {
+  Instance inst = makeInstance(static_cast<std::size_t>(state.range(0)));
+  ClassifyByDurationFF policy = ClassifyByDurationFF::withKnownDurations(
+      inst.minDuration(), inst.durationRatio());
+  for (auto _ : state) {
+    SimResult r = simulateOnline(inst, policy);
+    benchmark::DoNotOptimize(r.totalUsage);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CdFFOnline)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_Ddff(benchmark::State& state) {
+  Instance inst = makeInstance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Packing p = durationDescendingFirstFit(inst);
+    benchmark::DoNotOptimize(p.totalUsage());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Ddff)->Arg(500)->Arg(2000);
+
+void BM_DualColoring(benchmark::State& state) {
+  Instance inst = makeInstance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    DualColoringResult r = dualColoring(inst);
+    benchmark::DoNotOptimize(r.packing.totalUsage());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DualColoring)->Arg(200)->Arg(500);
+
+void BM_LowerBounds(benchmark::State& state) {
+  Instance inst = makeInstance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    LowerBounds lb = lowerBounds(inst);
+    benchmark::DoNotOptimize(lb.ceilIntegral);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LowerBounds)->Arg(1000)->Arg(10000);
+
+void BM_StepFunctionRangeAdd(benchmark::State& state) {
+  Instance inst = makeInstance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    StepFunction f;
+    for (const Item& r : inst.items()) f.add(r.interval, r.size);
+    benchmark::DoNotOptimize(f.maxValue());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StepFunctionRangeAdd)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace cdbp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Paper walkthrough: reproduces the paper's inline worked examples with
+// the actual library, printing each alongside the claim it illustrates.
+//
+//   1. §3.1 Figure 1 — span of an item list (union measure, not extent).
+//   2. §3.2 Propositions 1-3 — the three lower bounds and their ordering.
+//   3. §5.1 Figure 5 / Theorem 3 — the two adversary cases at x = phi.
+//   4. §5.3 footnote 2 — classify-by-duration categories for alpha = 2,
+//      durations in [1.5, 4.5].
+//   5. §5.4 Figure 8 anchors and the mu = 4 crossover.
+#include <iostream>
+
+#include "analysis/adversary.hpp"
+#include "analysis/ratios.hpp"
+#include "core/brute_force.hpp"
+#include "core/lower_bounds.hpp"
+#include "online/any_fit.hpp"
+#include "online/classify_duration.hpp"
+#include "workload/adversarial.hpp"
+
+int main() {
+  using namespace cdbp;
+  std::cout << "================ cdbp paper walkthrough ================\n\n";
+
+  // --- 1. Span (Figure 1) ---
+  Instance spanDemo = InstanceBuilder()
+                          .add(0.5, 0, 4)
+                          .add(0.5, 2, 6)
+                          .add(0.5, 10, 12)
+                          .build();
+  std::cout << "1. Span (Figure 1): items cover [0,6) and [10,12)\n"
+            << "   span = " << spanDemo.span()
+            << " (union measure; the extent 12 would be wrong)\n\n";
+
+  // --- 2. Lower bounds (Propositions 1-3) ---
+  InstanceBuilder dense;
+  for (int i = 0; i < 11; ++i) dense.add(0.1, 0, 10);
+  Instance lbDemo = dense.build();
+  LowerBounds lb = lowerBounds(lbDemo);
+  std::cout << "2. Lower bounds on 11 items of size 0.1 over [0,10):\n"
+            << "   Prop 1 (demand)        = " << lb.demand << '\n'
+            << "   Prop 2 (span)          = " << lb.span << '\n'
+            << "   Prop 3 (ceil integral) = " << lb.ceilIntegral
+            << "  <- tightest: S(t) = 1.1 needs 2 bins throughout\n\n";
+
+  // --- 3. Theorem 3 adversary at x = phi ---
+  double phi = ratios::adversaryOptimalX();
+  FirstFitPolicy ff;
+  AdversaryOutcome ffOutcome = runTheorem3Adversary(ff, phi, 1e-3, 1e-6);
+  std::cout << "3. Theorem 3 adversary at x = phi = " << phi << ":\n"
+            << "   First Fit co-locates the two (1/2-eps) items -> case B\n"
+            << "   extracted ratio = " << ffOutcome.ratio
+            << " (lower bound " << ratios::onlineLowerBound() << ")\n";
+  auto caseA = theorem3CaseA(phi, 1e-3);
+  auto optA = bruteForceOptimal(caseA);
+  std::cout << "   case A optimum (both items together): " << optA->usage
+            << " = x\n\n";
+
+  // --- 4. Footnote 2 categories ---
+  ClassifyByDurationFF cd(1.0, 2.0);
+  std::cout << "4. Footnote 2 (alpha = 2, durations 1.5 .. 4.5):\n";
+  for (double d : {1.5, 2.0, 3.0, 4.0, 4.5}) {
+    std::cout << "   duration " << d << " -> category [" << (1 << cd.categoryOf(d))
+              << ", " << (1 << (cd.categoryOf(d) + 1)) << ")\n";
+  }
+  std::cout << "   three non-empty categories: [1,2), [2,4), [4,8)  "
+            << "(ceil(log2 3) + 1 = 3)\n\n";
+
+  // --- 5. Figure 8 anchors ---
+  std::cout << "5. Figure 8 anchors (durations known):\n";
+  for (double mu : {1.0, 4.0, 16.0, 100.0}) {
+    std::cout << "   mu = " << mu << ": FF " << ratios::firstFitUpperBound(mu)
+              << ", CDT-FF " << ratios::cdtBestRatio(mu) << ", CD-FF "
+              << ratios::cdBestRatio(mu) << " (n* = "
+              << ratios::optimalDurationCategories(mu) << ")\n";
+  }
+  std::cout << "   crossover of the two strategies: mu = "
+            << ratios::classificationCrossoverMu()
+            << " (paper: CDT wins below 4, CD above)\n";
+  return 0;
+}

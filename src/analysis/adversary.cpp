@@ -1,0 +1,36 @@
+#include "analysis/adversary.hpp"
+
+#include "analysis/ratios.hpp"
+#include "sim/simulator.hpp"
+#include "workload/adversarial.hpp"
+
+namespace cdbp {
+
+AdversaryOutcome runTheorem3Adversary(OnlinePolicy& policy, double x, double eps,
+                                      double tau) {
+  AdversaryOutcome outcome;
+  outcome.guarantee = ratios::adversaryGuarantee(x);
+
+  Instance caseA = theorem3CaseA(x, eps);
+  SimResult first = simulateOnline(caseA, policy);
+  outcome.coLocated =
+      first.packing.binOf(0) == first.packing.binOf(1);
+
+  if (!outcome.coLocated) {
+    // The adversary stops: case A is the final input.
+    outcome.algorithmUsage = first.totalUsage;
+    outcome.optimalUsage = x;  // both items in one bin
+  } else {
+    // The adversary springs case B. A deterministic policy repeats its
+    // case A decisions on the shared prefix, so re-running on case B is
+    // the adaptive game.
+    Instance caseB = theorem3CaseB(x, eps, tau);
+    SimResult second = simulateOnline(caseB, policy);
+    outcome.algorithmUsage = second.totalUsage;
+    outcome.optimalUsage = x + 1 + 2 * tau;  // pair 1&3 and 2&4
+  }
+  outcome.ratio = outcome.algorithmUsage / outcome.optimalUsage;
+  return outcome;
+}
+
+}  // namespace cdbp

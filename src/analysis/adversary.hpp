@@ -1,0 +1,27 @@
+// The Theorem 3 adaptive adversary, executable against any online policy.
+//
+// The adversary presents two items of size 1/2 - eps at time 0 (durations x
+// and 1). If the algorithm co-locates them, the adversary continues with
+// two items of size 1/2 + eps (case B); otherwise it stops (case A). The
+// worst of the two case ratios is at least min{(x+1)/x, (2x+1)/(x+1)},
+// which at x = (1+sqrt(5))/2 equals the golden ratio.
+#pragma once
+
+#include "online/policy.hpp"
+
+namespace cdbp {
+
+struct AdversaryOutcome {
+  bool coLocated = false;   ///< whether the policy packed items 1,2 together
+  double algorithmUsage = 0;  ///< usage on the case the adversary selected
+  double optimalUsage = 0;    ///< optimum on that case
+  double ratio = 0;           ///< algorithmUsage / optimalUsage
+  double guarantee = 0;       ///< min{(x+1)/x, (2x+1)/(x+1)} for this x
+};
+
+/// Plays the adversary against `policy`. `x` is the duration of the long
+/// items, `eps` the size offset, `tau` the case-B arrival instant.
+AdversaryOutcome runTheorem3Adversary(OnlinePolicy& policy, double x,
+                                      double eps = 1e-3, double tau = 1e-3);
+
+}  // namespace cdbp

@@ -1,0 +1,141 @@
+#include "analysis/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/epsilon.hpp"
+#include "core/lower_bounds.hpp"
+
+namespace cdbp {
+
+namespace {
+constexpr double kAuditSlack = 1e-6;
+
+AuditCheck makeCheck(std::string name, double lhs, double rhs) {
+  AuditCheck check;
+  check.name = std::move(name);
+  check.lhs = lhs;
+  check.rhs = rhs;
+  check.holds = lhs <= rhs + kAuditSlack;
+  return check;
+}
+}  // namespace
+
+std::string AuditCheck::describe() const {
+  std::ostringstream os;
+  os << (holds ? "[ok]  " : "[FAIL] ") << name << ": " << lhs
+     << (holds ? " <= " : " > ") << rhs;
+  return os.str();
+}
+
+bool AuditReport::allHold() const {
+  for (const AuditCheck& check : checks) {
+    if (!check.holds) return false;
+  }
+  return true;
+}
+
+std::string AuditReport::describe() const {
+  std::ostringstream os;
+  for (const AuditCheck& check : checks) os << check.describe() << '\n';
+  return os.str();
+}
+
+AuditReport auditFeasibility(const Instance& instance, const Packing& packing) {
+  AuditReport report;
+  auto error = packing.validate();
+  AuditCheck feasible;
+  feasible.name = error.has_value() ? "packing validates (" + *error + ")"
+                                    : "packing validates";
+  feasible.holds = !error.has_value();
+  report.checks.push_back(feasible);
+
+  double usage = packing.totalUsage();
+  double lb3 = lowerBounds(instance).ceilIntegral;
+  report.checks.push_back(makeCheck("LB3 <= usage", lb3, usage));
+  double trivial = 0;
+  for (const Item& r : instance.items()) trivial += r.duration();
+  report.checks.push_back(makeCheck("usage <= sum of durations", usage, trivial));
+  return report;
+}
+
+AuditReport auditDdff(const Instance& instance, const Packing& packing) {
+  AuditReport report = auditFeasibility(instance, packing);
+  double usage = packing.totalUsage();
+  report.checks.push_back(makeCheck("Thm 1: usage <= 4 d(R) + span(R)", usage,
+                                    4.0 * instance.demand() + instance.span()));
+  return report;
+}
+
+AuditReport auditDualColoring(const Instance& instance,
+                              const DualColoringResult& result) {
+  AuditReport report = auditFeasibility(instance, result.packing);
+
+  // Open bins at every elementary segment probe.
+  double worstExcess = 0;
+  for (Time t : instance.eventTimes()) {
+    Time probe = t + 1e-7;
+    double s = instance.totalSizeAt(probe);
+    if (s <= kSizeEps) continue;
+    double nearest = std::round(s);
+    if (std::fabs(s - nearest) <= kSizeEps) s = nearest;
+    double cap = 4.0 * std::ceil(s - 1e-12);
+    double open = static_cast<double>(result.packing.openBinsAt(probe));
+    worstExcess = std::max(worstExcess, open - cap);
+  }
+  report.checks.push_back(
+      makeCheck("Thm 2: open bins <= 4 ceil(S(t)) everywhere", worstExcess, 0));
+  report.checks.push_back(makeCheck("Thm 2: usage <= 4 LB3",
+                                    result.packing.totalUsage(),
+                                    4.0 * lowerBounds(instance).ceilIntegral));
+
+  if (result.chart) {
+    const DemandChart& chart = *result.chart;
+    report.checks.push_back(
+        makeCheck("Lemma 2: colored area == chart area",
+                  std::fabs(chart.coloredArea() - chart.chartArea()),
+                  1e-6 * std::max(1.0, chart.chartArea())));
+    AuditCheck inChart;
+    inChart.name = "Lemma 3: placements inside the chart";
+    inChart.holds = chart.allPlacementsInsideChart();
+    report.checks.push_back(inChart);
+    report.checks.push_back(
+        makeCheck("Lemma 4: all small items placed",
+                  static_cast<double>(chart.items().size()),
+                  static_cast<double>(chart.placements().size())));
+    report.checks.push_back(makeCheck(
+        "Lemma 5: max placement overlap <= 2",
+        static_cast<double>(chart.maxPlacementOverlap()), 2));
+  }
+  return report;
+}
+
+AuditReport auditClassifyByDeparture(const Instance& instance,
+                                     const Packing& packing, Time rho) {
+  AuditReport report = auditFeasibility(instance, packing);
+  double delta = instance.minDuration();
+  double mu = instance.durationRatio();
+  double bound = (rho / delta + 2.0) * instance.demand() +
+                 (mu * delta + rho) / rho * instance.span();
+  report.checks.push_back(makeCheck(
+      "Thm 4 (ineq. 9): usage <= (rho/D+2) d + (mu D+rho)/rho span",
+      packing.totalUsage(), bound));
+  return report;
+}
+
+AuditReport auditClassifyByDuration(const Instance& instance,
+                                    const Packing& packing, double alpha) {
+  AuditReport report = auditFeasibility(instance, packing);
+  double mu = instance.durationRatio();
+  double categories =
+      std::max(1.0, std::ceil(std::log(mu) / std::log(alpha) - 1e-12) + 1.0);
+  double bound =
+      (alpha + 3.0) * instance.demand() + categories * instance.span();
+  report.checks.push_back(makeCheck(
+      "Thm 5 (ineq. 10): usage <= (a+3) d + (ceil(log_a mu)+1) span",
+      packing.totalUsage(), bound));
+  return report;
+}
+
+}  // namespace cdbp

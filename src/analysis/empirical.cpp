@@ -1,0 +1,57 @@
+#include "analysis/empirical.hpp"
+
+#include <mutex>
+
+#include "core/lower_bounds.hpp"
+#include "sim/simulator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cdbp {
+
+EmpiricalResult evaluatePolicy(const Instance& instance, OnlinePolicy& policy) {
+  SimResult sim = simulateOnline(instance, policy);
+  EmpiricalResult result;
+  result.algorithm = policy.name();
+  result.usage = sim.totalUsage;
+  result.lb3 = lowerBounds(instance).ceilIntegral;
+  result.ratio = result.lb3 > 0 ? result.usage / result.lb3 : 1.0;
+  result.binsOpened = sim.binsOpened;
+  result.maxOpenBins = sim.maxOpenBins;
+  return result;
+}
+
+EmpiricalResult evaluateOffline(
+    const Instance& instance, const std::string& name,
+    const std::function<Packing(const Instance&)>& algorithm) {
+  Packing packing = algorithm(instance);
+  EmpiricalResult result;
+  result.algorithm = name;
+  result.usage = packing.totalUsage();
+  result.lb3 = lowerBounds(instance).ceilIntegral;
+  result.ratio = result.lb3 > 0 ? result.usage / result.lb3 : 1.0;
+  result.binsOpened = packing.numBins();
+  result.maxOpenBins = packing.maxConcurrentBins();
+  return result;
+}
+
+RatioSummary sweepPolicy(
+    const std::vector<std::uint64_t>& seeds,
+    const std::function<Instance(std::uint64_t)>& makeInstance,
+    const std::function<PolicyPtr()>& makePolicy) {
+  RatioSummary summary;
+  std::vector<double> ratios(seeds.size(), 0.0);
+  {
+    ThreadPool pool;
+    parallelFor(pool, seeds.size(), [&](std::size_t i) {
+      Instance instance = makeInstance(seeds[i]);
+      PolicyPtr policy = makePolicy();
+      ratios[i] = evaluatePolicy(instance, *policy).ratio;
+    });
+  }
+  PolicyPtr probe = makePolicy();
+  summary.algorithm = probe->name();
+  for (double r : ratios) summary.ratios.add(r);
+  return summary;
+}
+
+}  // namespace cdbp

@@ -1,0 +1,52 @@
+// Empirical performance evaluation: run policies/offline algorithms on
+// instances and report usage normalized by the Proposition 3 lower bound.
+//
+// usage / LB3 overestimates the true ratio to OPT_total (LB3 <= OPT_total),
+// so these figures are conservative: an algorithm whose empirical ratio is
+// close to 1 is provably near-optimal on that workload.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/packing.hpp"
+#include "online/policy.hpp"
+#include "util/stats.hpp"
+
+namespace cdbp {
+
+struct EmpiricalResult {
+  std::string algorithm;
+  double usage = 0;
+  double lb3 = 0;         ///< Proposition 3 lower bound
+  double ratio = 0;       ///< usage / lb3
+  std::size_t binsOpened = 0;
+  std::size_t maxOpenBins = 0;
+};
+
+/// Runs one online policy over one instance.
+EmpiricalResult evaluatePolicy(const Instance& instance, OnlinePolicy& policy);
+
+/// Evaluates an offline algorithm (given as a packing function) the same
+/// way, so offline and online results are directly comparable.
+EmpiricalResult evaluateOffline(
+    const Instance& instance, const std::string& name,
+    const std::function<Packing(const Instance&)>& algorithm);
+
+/// Aggregated ratio of one algorithm across seeds.
+struct RatioSummary {
+  std::string algorithm;
+  SummaryStats ratios;
+};
+
+/// Runs `makePolicy()` over `seeds.size()` instances drawn by
+/// `makeInstance(seed)`, in parallel, and aggregates the ratios. Each task
+/// builds its own policy instance, so policies need not be thread-safe.
+RatioSummary sweepPolicy(
+    const std::vector<std::uint64_t>& seeds,
+    const std::function<Instance(std::uint64_t)>& makeInstance,
+    const std::function<PolicyPtr()>& makePolicy);
+
+}  // namespace cdbp

@@ -1,0 +1,34 @@
+#include "analysis/figure8.hpp"
+
+#include "analysis/ratios.hpp"
+
+namespace cdbp {
+
+std::vector<Figure8Row> figure8Series(const std::vector<double>& muGrid) {
+  std::vector<Figure8Row> rows;
+  rows.reserve(muGrid.size());
+  for (double mu : muGrid) {
+    Figure8Row row;
+    row.mu = mu;
+    row.firstFit = ratios::firstFitUpperBound(mu);
+    row.cdtBest = ratios::cdtBestRatio(mu);
+    row.cdBestN = ratios::optimalDurationCategories(mu);
+    row.cdBest = ratios::cdRatioForCategories(mu, row.cdBestN);
+    row.lowerBound = ratios::onlineLowerBound();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<double> figure8MuGrid(double muMax, std::size_t points) {
+  std::vector<double> grid;
+  grid.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    double mu = 1.0 + (muMax - 1.0) * static_cast<double>(i) /
+                          static_cast<double>(points - 1);
+    grid.push_back(mu);
+  }
+  return grid;
+}
+
+}  // namespace cdbp

@@ -1,0 +1,24 @@
+// Figure 8 (paper §5.4): best-achievable competitive ratios of the two
+// classification strategies vs the original First Fit, as functions of mu.
+#pragma once
+
+#include <vector>
+
+namespace cdbp {
+
+struct Figure8Row {
+  double mu = 0;
+  double firstFit = 0;          ///< mu + 4 (non-clairvoyant First Fit)
+  double cdtBest = 0;           ///< 2*sqrt(mu) + 3 (Theorem 4, durations known)
+  double cdBest = 0;            ///< min_n mu^(1/n) + n + 3 (Theorem 5)
+  std::size_t cdBestN = 0;      ///< the optimal category count attaining cdBest
+  double lowerBound = 0;        ///< (1+sqrt(5))/2 (Theorem 3)
+};
+
+/// Evaluates the Figure 8 curves on the given mu grid.
+std::vector<Figure8Row> figure8Series(const std::vector<double>& muGrid);
+
+/// The paper's x-axis: mu from 1 to `muMax` on a uniform grid of `points`.
+std::vector<double> figure8MuGrid(double muMax = 100.0, std::size_t points = 100);
+
+}  // namespace cdbp

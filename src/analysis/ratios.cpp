@@ -1,0 +1,138 @@
+#include "analysis/ratios.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cdbp::ratios {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+double onlineLowerBound() { return (1.0 + std::sqrt(5.0)) / 2.0; }
+
+double adversaryOptimalX() { return (1.0 + std::sqrt(5.0)) / 2.0; }
+
+double adversaryGuarantee(double x) {
+  if (!(x > 1)) throw std::invalid_argument("adversaryGuarantee: need x > 1");
+  return std::min((x + 1.0) / x, (2.0 * x + 1.0) / (x + 1.0));
+}
+
+double firstFitUpperBound(double mu) { return mu + 4.0; }
+
+double anyFitLowerBound(double mu) { return mu + 1.0; }
+
+double nextFitUpperBound(double mu) { return 2.0 * mu + 1.0; }
+
+double hybridFirstFitUpperBound(double mu) { return mu + 5.0; }
+
+double cdtRatio(double rho, double minDuration, double mu) {
+  if (!(rho > 0) || !(minDuration > 0) || !(mu >= 1)) {
+    throw std::invalid_argument("cdtRatio: need rho, Delta > 0 and mu >= 1");
+  }
+  return rho / minDuration + mu * minDuration / rho + 3.0;
+}
+
+double cdtBestRatio(double mu) {
+  if (!(mu >= 1)) throw std::invalid_argument("cdtBestRatio: need mu >= 1");
+  return 2.0 * std::sqrt(mu) + 3.0;
+}
+
+double cdRatio(double alpha, double mu) {
+  if (!(alpha > 1) || !(mu >= 1)) {
+    throw std::invalid_argument("cdRatio: need alpha > 1 and mu >= 1");
+  }
+  double categories = std::ceil(std::log(mu) / std::log(alpha) - kEps);
+  categories = std::max(categories, 0.0);
+  return alpha + categories + 4.0;
+}
+
+double cdRatioForCategories(double mu, std::size_t n) {
+  if (!(mu >= 1) || n == 0) {
+    throw std::invalid_argument("cdRatioForCategories: need mu >= 1 and n >= 1");
+  }
+  return std::pow(mu, 1.0 / static_cast<double>(n)) + static_cast<double>(n) + 3.0;
+}
+
+std::size_t optimalDurationCategories(double mu) {
+  if (!(mu >= 1)) {
+    throw std::invalid_argument("optimalDurationCategories: need mu >= 1");
+  }
+  // mu^(1/n) decreases toward 1 while n grows linearly, so the objective is
+  // unimodal-ish and the optimum is O(log mu); scanning a generous window
+  // is exact and cheap.
+  std::size_t bestN = 1;
+  double bestValue = std::numeric_limits<double>::infinity();
+  std::size_t limit = static_cast<std::size_t>(std::log2(std::max(mu, 2.0))) + 8;
+  for (std::size_t n = 1; n <= limit; ++n) {
+    double value = cdRatioForCategories(mu, n);
+    if (value < bestValue - kEps) {
+      bestValue = value;
+      bestN = n;
+    }
+  }
+  return bestN;
+}
+
+double cdBestRatio(double mu) {
+  return cdRatioForCategories(mu, optimalDurationCategories(mu));
+}
+
+double bucketFirstFitBound(double alpha, double mu) {
+  if (!(alpha > 1) || !(mu > 1)) {
+    throw std::invalid_argument("bucketFirstFitBound: need alpha > 1, mu > 1");
+  }
+  return (2.0 * alpha + 2.0) * std::ceil(std::log(mu) / std::log(alpha) - kEps);
+}
+
+double classificationCrossoverMu(double lo, double hi) {
+  // cdtBestRatio - cdBestRatio is negative for small mu (CDT wins) and
+  // positive for large mu (CD wins); bisect the sign change. cdBestRatio is
+  // piecewise smooth, so bisection on the difference is robust.
+  auto diff = [](double mu) { return cdtBestRatio(mu) - cdBestRatio(mu); };
+  if (diff(lo) > 0 || diff(hi) < 0) {
+    throw std::invalid_argument(
+        "classificationCrossoverMu: no sign change in [lo, hi]");
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    (diff(mid) <= 0 ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double randomizedAdversaryValue(double x, double p, double tau) {
+  if (!(x > 1) || p < 0 || p > 1 || tau < 0) {
+    throw std::invalid_argument("randomizedAdversaryValue: invalid parameters");
+  }
+  // Case A (adversary stops after the first two items): co-location costs
+  // x, separation costs x + 1; the optimum is x.
+  double caseA = (p * x + (1 - p) * (x + 1)) / x;
+  // Case B (two 1/2+eps items follow at tau): a co-located pair blocks
+  // both late items (cost 2x + 1); a separated pair absorbs them at the
+  // optimum x + 1 + 2 tau.
+  double optB = x + 1 + 2 * tau;
+  double caseB = (p * (2 * x + 1) + (1 - p) * optB) / optB;
+  return std::max(caseA, caseB);
+}
+
+double randomizedAdversaryBest(double x, double tau) {
+  // caseA decreases in p, caseB increases: the max is minimized where they
+  // cross; ternary search is robust to the kink.
+  double lo = 0, hi = 1;
+  for (int iter = 0; iter < 200; ++iter) {
+    double m1 = lo + (hi - lo) / 3;
+    double m2 = hi - (hi - lo) / 3;
+    if (randomizedAdversaryValue(x, m1, tau) <
+        randomizedAdversaryValue(x, m2, tau)) {
+      hi = m2;
+    } else {
+      lo = m1;
+    }
+  }
+  return randomizedAdversaryValue(x, 0.5 * (lo + hi), tau);
+}
+
+}  // namespace cdbp::ratios

@@ -1,0 +1,74 @@
+// Closed-form competitive/approximation ratio formulas from the paper and
+// the prior work it compares against (§5, Theorems 3-5, and §5.4).
+#pragma once
+
+#include <cstddef>
+
+namespace cdbp::ratios {
+
+/// Theorem 3: lower bound (1+sqrt(5))/2 on the competitive ratio of every
+/// deterministic online algorithm for Clairvoyant MinUsageTime DBP.
+double onlineLowerBound();
+
+/// The adversary's duration parameter x that attains the Theorem 3 bound
+/// (x = golden ratio; min{(x+1)/x, (2x+1)/(x+1)} is maximized there).
+double adversaryOptimalX();
+
+/// min{(x+1)/x, (2x+1)/(x+1)} — the guaranteed ratio the Theorem 3
+/// adversary extracts from any deterministic algorithm at parameter x.
+double adversaryGuarantee(double x);
+
+/// Tang et al. 2016: First Fit upper bound mu + 4 (non-clairvoyant; the
+/// curve labeled "original First Fit" in Figure 8).
+double firstFitUpperBound(double mu);
+
+/// Li et al.: any Any Fit algorithm is at least (mu + 1)-competitive.
+double anyFitLowerBound(double mu);
+
+/// Kamali & Lopez-Ortiz: Next Fit upper bound 2*mu + 1.
+double nextFitUpperBound(double mu);
+
+/// Li et al.: Hybrid First Fit upper bound mu + 5 (mu known).
+double hybridFirstFitUpperBound(double mu);
+
+/// Theorem 4 (general form): classify-by-departure-time First Fit ratio
+/// rho/Delta + mu*Delta/rho + 3.
+double cdtRatio(double rho, double minDuration, double mu);
+
+/// Theorem 4 (durations known, rho = sqrt(mu)*Delta): 2*sqrt(mu) + 3.
+double cdtBestRatio(double mu);
+
+/// Theorem 5 (general form): classify-by-duration First Fit ratio
+/// alpha + ceil(log_alpha(mu)) + 4 for alpha > 1.
+double cdRatio(double alpha, double mu);
+
+/// Theorem 5 (durations known): mu^(1/n) + n + 3 for n duration categories.
+double cdRatioForCategories(double mu, std::size_t n);
+
+/// argmin_n>=1 of cdRatioForCategories(mu, n).
+std::size_t optimalDurationCategories(double mu);
+
+/// Theorem 5 (durations known): min_n mu^(1/n) + n + 3.
+double cdBestRatio(double mu);
+
+/// Shalom et al.: BucketFirstFit bound (2*alpha+2)*ceil(log_alpha(mu)) for
+/// online interval scheduling — the result §5.3 improves on.
+double bucketFirstFitBound(double alpha, double mu);
+
+/// The mu value where the two classification strategies' best-achievable
+/// curves cross (the paper reports the crossover at mu = 4: CDT wins below,
+/// CD wins above). Found by bisection on cdtBestRatio - cdBestRatio.
+double classificationCrossoverMu(double lo = 1.0, double hi = 64.0);
+
+/// The Theorem 3 game played against a *randomized* first decision: the
+/// algorithm co-locates the first two items with probability p. Returns the
+/// oblivious adversary's value max{E[ratio | case A], E[ratio | case B]}.
+/// Theorem 3's (1+sqrt(5))/2 bound applies only to deterministic
+/// algorithms; minimizing this over p dips below it.
+double randomizedAdversaryValue(double x, double p, double tau = 0);
+
+/// min over p in [0,1] of randomizedAdversaryValue(x, p, tau), by ternary
+/// search (the value is the max of two linear functions of p).
+double randomizedAdversaryBest(double x, double tau = 0);
+
+}  // namespace cdbp::ratios

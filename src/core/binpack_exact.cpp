@@ -1,0 +1,113 @@
+#include "core/binpack_exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/epsilon.hpp"
+
+namespace cdbp {
+
+std::size_t firstFitDecreasingBinCount(std::vector<Size> sizes) {
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  std::vector<Size> levels;
+  for (Size s : sizes) {
+    bool placed = false;
+    for (Size& level : levels) {
+      if (fitsCapacity(level, s)) {
+        level += s;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) levels.push_back(s);
+  }
+  return levels.size();
+}
+
+std::size_t fractionalBinLowerBound(const std::vector<Size>& sizes) {
+  double total = 0;
+  for (Size s : sizes) total += s;
+  if (total <= kSizeEps) return 0;
+  double nearest = std::round(total);
+  if (std::fabs(total - nearest) <= kSizeEps) total = nearest;
+  return static_cast<std::size_t>(std::ceil(total - kSizeEps));
+}
+
+namespace {
+
+struct BranchAndBound {
+  std::vector<Size> sizes;  // descending
+  std::vector<Size> levels;
+  std::size_t best;
+  std::size_t nodes = 0;
+  std::size_t maxNodes;
+  bool exact = true;
+
+  void search(std::size_t index, double remaining) {
+    if (maxNodes != 0 && nodes >= maxNodes) {
+      exact = false;
+      return;
+    }
+    ++nodes;
+    if (levels.size() >= best) return;
+    if (index == sizes.size()) {
+      best = levels.size();
+      return;
+    }
+    // Fractional bound: open bins cannot shrink, and the remaining volume
+    // needs at least ceil(remaining - free space in open bins) extra bins.
+    double freeSpace = 0;
+    for (Size level : levels) freeSpace += kBinCapacity - level;
+    double overflow = remaining - freeSpace;
+    if (overflow > kSizeEps) {
+      std::size_t extra = static_cast<std::size_t>(std::ceil(overflow - kSizeEps));
+      if (levels.size() + extra >= best) return;
+    }
+
+    Size s = sizes[index];
+    // Try existing bins; skip bins with identical levels (symmetric).
+    for (std::size_t b = 0; b < levels.size(); ++b) {
+      bool duplicate = false;
+      for (std::size_t a = 0; a < b; ++a) {
+        if (approxEq(levels[a], levels[b])) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      if (fitsCapacity(levels[b], s)) {
+        levels[b] += s;
+        search(index + 1, remaining - s);
+        levels[b] -= s;
+      }
+    }
+    // One canonical "new bin" branch.
+    if (levels.size() + 1 < best) {
+      levels.push_back(s);
+      search(index + 1, remaining - s);
+      levels.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+std::size_t minBinCount(std::vector<Size> sizes, std::size_t maxNodes, bool* exact) {
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  std::size_t upper = firstFitDecreasingBinCount(sizes);
+  std::size_t lower = fractionalBinLowerBound(sizes);
+  if (exact) *exact = true;
+  if (upper == lower || sizes.empty()) return upper;
+
+  BranchAndBound bb;
+  bb.sizes = std::move(sizes);
+  bb.best = upper;
+  bb.maxNodes = maxNodes;
+  double total = 0;
+  for (Size s : bb.sizes) total += s;
+  bb.search(0, total);
+  if (exact) *exact = bb.exact;
+  return bb.best;
+}
+
+}  // namespace cdbp

@@ -1,0 +1,32 @@
+// Exact and heuristic solvers for classical (static) bin packing.
+//
+// Used to evaluate OPT(R, t) — the minimum number of unit bins into which
+// the items active at time t can be repacked — which defines the offline
+// adversary OPT_total (paper §3.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace cdbp {
+
+/// Number of bins used by First Fit Decreasing on `sizes`.
+std::size_t firstFitDecreasingBinCount(std::vector<Size> sizes);
+
+/// ceil(sum of sizes) — the fractional lower bound on the bin count.
+std::size_t fractionalBinLowerBound(const std::vector<Size>& sizes);
+
+/// Minimum number of unit-capacity bins that hold all `sizes`.
+///
+/// Branch-and-bound with descending-size ordering, symmetry breaking (at
+/// most one "open a new bin" branch per node) and the fractional lower
+/// bound for pruning. Exact for any input, but exponential in the worst
+/// case; `maxNodes` caps the search (0 = unlimited). If the cap is hit the
+/// best feasible solution found so far (an upper bound) is returned and
+/// `*exact` is set to false when provided.
+std::size_t minBinCount(std::vector<Size> sizes, std::size_t maxNodes = 0,
+                        bool* exact = nullptr);
+
+}  // namespace cdbp

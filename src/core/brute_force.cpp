@@ -1,0 +1,71 @@
+#include "core/brute_force.hpp"
+
+#include <vector>
+
+#include "core/bin_timeline.hpp"
+
+namespace cdbp {
+
+namespace {
+
+struct Search {
+  const Instance* instance = nullptr;
+  std::vector<BinTimeline> bins;
+  std::vector<BinId> assignment;
+  std::vector<BinId> bestAssignment;
+  Time bestUsage = kTimeInfinity;
+  std::size_t explored = 0;
+
+  Time currentUsage() const {
+    Time total = 0;
+    for (const BinTimeline& bin : bins) total += bin.usage();
+    return total;
+  }
+
+  void run(std::size_t index) {
+    ++explored;
+    // Spans only grow as items are added, so the current usage is a valid
+    // lower bound on any completion of this partial assignment.
+    if (currentUsage() >= bestUsage) return;
+    if (index == instance->size()) {
+      bestUsage = currentUsage();
+      bestAssignment = assignment;
+      return;
+    }
+    const Item& r = instance->items()[index];
+    // Canonical enumeration: try each existing bin, then exactly one new
+    // bin. Bins are identified by creation order, which makes every set
+    // partition appear exactly once.
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      if (!bins[b].fits(r)) continue;
+      BinTimeline saved = bins[b];
+      bins[b].add(r);
+      assignment[index] = static_cast<BinId>(b);
+      run(index + 1);
+      bins[b] = std::move(saved);
+    }
+    bins.emplace_back();
+    bins.back().add(r);
+    assignment[index] = static_cast<BinId>(bins.size() - 1);
+    run(index + 1);
+    bins.pop_back();
+    assignment[index] = kUnassigned;
+  }
+};
+
+}  // namespace
+
+std::optional<BruteForceResult> bruteForceOptimal(const Instance& instance,
+                                                  std::size_t maxItems) {
+  if (instance.size() > maxItems) return std::nullopt;
+  Search search;
+  search.instance = &instance;
+  search.assignment.assign(instance.size(), kUnassigned);
+  search.run(0);
+
+  BruteForceResult result{Packing(instance, search.bestAssignment),
+                          search.bestUsage, search.explored};
+  return result;
+}
+
+}  // namespace cdbp

@@ -1,0 +1,30 @@
+// Exhaustive optimum for MinUsageTime DBP on tiny instances.
+//
+// Unlike OPT_total (the repacking adversary), this searches over actual
+// packings — every feasible assignment of items to bins with no migration —
+// and returns the one with minimum total usage time. Exponential (restricted
+// Bell-number growth); intended for instances of at most ~10 items, where it
+// anchors the approximation-ratio tests.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/instance.hpp"
+#include "core/packing.hpp"
+
+namespace cdbp {
+
+struct BruteForceResult {
+  Packing packing;     ///< an optimal packing
+  Time usage = 0;      ///< its total usage time
+  std::size_t explored = 0;  ///< search nodes visited
+};
+
+/// Finds an optimal packing by canonical set-partition enumeration with
+/// feasibility and cost pruning. Returns std::nullopt when the instance has
+/// more than `maxItems` items (guard against accidental exponential blowup).
+std::optional<BruteForceResult> bruteForceOptimal(const Instance& instance,
+                                                  std::size_t maxItems = 12);
+
+}  // namespace cdbp

@@ -1,0 +1,41 @@
+// Centralized floating-point tolerances.
+//
+// All geometric decisions in cdbp (capacity checks, demand-chart coloring,
+// stripe classification in Dual Coloring) compare sums and differences of
+// item sizes and times. Using one shared absolute tolerance keeps those
+// decisions mutually consistent: a packing accepted by an algorithm is also
+// accepted by the validator, and vice versa.
+#pragma once
+
+#include <cmath>
+
+#include "core/types.hpp"
+
+namespace cdbp {
+
+/// Absolute tolerance for size/level comparisons. Item sizes are O(1) and an
+/// instance touches each level with at most a few thousand additions, so 1e-9
+/// leaves ~6 decimal digits of headroom above double rounding error.
+inline constexpr double kSizeEps = 1e-9;
+
+/// Absolute tolerance for time comparisons (event coincidence).
+inline constexpr double kTimeEps = 1e-9;
+
+/// a <= b up to tolerance.
+inline bool leq(double a, double b, double eps = kSizeEps) { return a <= b + eps; }
+
+/// a < b by more than the tolerance.
+inline bool lt(double a, double b, double eps = kSizeEps) { return a < b - eps; }
+
+/// |a - b| within tolerance.
+inline bool approxEq(double a, double b, double eps = kSizeEps) {
+  return std::fabs(a - b) <= eps;
+}
+
+/// True when adding `size` to a bin currently at `level` stays within the
+/// unit capacity (up to tolerance).
+inline bool fitsCapacity(Size level, Size size) {
+  return leq(level + size, kBinCapacity);
+}
+
+}  // namespace cdbp

@@ -1,0 +1,44 @@
+// Item: the unit of work to pack (a job in the scheduling interpretation).
+#pragma once
+
+#include <ostream>
+
+#include "core/interval.hpp"
+#include "core/types.hpp"
+
+namespace cdbp {
+
+/// An item r with size s(r) and active interval I(r) = [arrival, departure).
+///
+/// Items are immutable once constructed; identity is carried by `id`, which
+/// is the item's index in its owning Instance.
+struct Item {
+  ItemId id = 0;
+  Size size = 0;
+  Interval interval;
+
+  Item() = default;
+  Item(ItemId id_, Size size_, Time arrival, Time departure)
+      : id(id_), size(size_), interval(arrival, departure) {}
+
+  Time arrival() const { return interval.lo; }
+  Time departure() const { return interval.hi; }
+
+  /// Item duration l(I(r)).
+  Time duration() const { return interval.length(); }
+
+  /// Time-space demand s(r) * l(I(r)) (paper §3.1).
+  double demand() const { return size * interval.length(); }
+
+  /// Whether the item is active at time t (arrival inclusive, departure
+  /// exclusive).
+  bool activeAt(Time t) const { return interval.contains(t); }
+
+  friend bool operator==(const Item&, const Item&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Item& r) {
+  return os << "Item{#" << r.id << " s=" << r.size << " I=" << r.interval << "}";
+}
+
+}  // namespace cdbp

@@ -1,0 +1,28 @@
+#include "core/lower_bounds.hpp"
+
+#include <algorithm>
+
+#include "core/epsilon.hpp"
+
+namespace cdbp {
+
+StepFunction totalSizeProfile(const Instance& instance) {
+  StepFunction profile;
+  for (const Item& r : instance.items()) profile.add(r.interval, r.size);
+  return profile;
+}
+
+double LowerBounds::best() const {
+  return std::max({demand, span, ceilIntegral});
+}
+
+LowerBounds lowerBounds(const Instance& instance) {
+  LowerBounds lb;
+  lb.demand = instance.demand();
+  StepFunction profile = totalSizeProfile(instance);
+  lb.span = profile.supportMeasure(kSizeEps);
+  lb.ceilIntegral = profile.ceilIntegral(kSizeEps);
+  return lb;
+}
+
+}  // namespace cdbp

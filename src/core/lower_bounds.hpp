@@ -1,0 +1,28 @@
+// The three lower bounds on OPT_total from paper §3.2.
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/step_function.hpp"
+
+namespace cdbp {
+
+/// The aggregate active-size curve S(t) of the whole instance.
+StepFunction totalSizeProfile(const Instance& instance);
+
+struct LowerBounds {
+  /// Proposition 1: total time-space demand d(R).
+  double demand = 0;
+  /// Proposition 2: span(R).
+  double span = 0;
+  /// Proposition 3: integral of ceil(S(t)) over the span. Tightest.
+  double ceilIntegral = 0;
+
+  /// The best (largest) of the three — by Proposition 3's dominance this is
+  /// always `ceilIntegral`, but we take the max defensively.
+  double best() const;
+};
+
+/// Computes all three bounds with a single event sweep.
+LowerBounds lowerBounds(const Instance& instance);
+
+}  // namespace cdbp

@@ -1,0 +1,38 @@
+#include "core/opt_total.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/binpack_exact.hpp"
+
+namespace cdbp {
+
+OptTotalResult optTotal(const Instance& instance, std::size_t maxNodesPerSegment) {
+  OptTotalResult result;
+  std::vector<Time> events = instance.eventTimes();
+  // Sweep elementary segments [events[i], events[i+1]); the active set is
+  // constant on each.
+  for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+    Time lo = events[i];
+    Time hi = events[i + 1];
+    std::vector<Size> active;
+    for (const Item& r : instance.items()) {
+      if (r.activeAt(lo)) active.push_back(r.size);
+    }
+    if (active.empty()) continue;
+    bool exact = true;
+    std::size_t bins = minBinCount(active, maxNodesPerSegment, &exact);
+    Time len = hi - lo;
+    result.upper += static_cast<double>(bins) * len;
+    if (exact) {
+      result.lower += static_cast<double>(bins) * len;
+    } else {
+      result.lower +=
+          static_cast<double>(fractionalBinLowerBound(active)) * len;
+      result.exact = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace cdbp

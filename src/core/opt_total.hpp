@@ -1,0 +1,31 @@
+// OPT_total: the usage time of the offline adversary that may repack all
+// active items at any instant (paper §3.2).
+//
+//   OPT_total(R) = integral over the span of OPT(R, t) dt
+//
+// where OPT(R, t) is the minimum bin count for the items active at time t.
+// Computing OPT(R, t) exactly is itself NP-hard, so the evaluator returns an
+// interval [lower, upper]: exact when every event segment was solved to
+// optimality within the node budget, otherwise bracketed by the fractional
+// bound and First Fit Decreasing.
+#pragma once
+
+#include "core/instance.hpp"
+
+namespace cdbp {
+
+struct OptTotalResult {
+  double lower = 0;   ///< certified lower bound on OPT_total
+  double upper = 0;   ///< certified upper bound on OPT_total
+  bool exact = true;  ///< lower == upper (every segment solved exactly)
+
+  double value() const { return upper; }
+};
+
+/// Sweeps the event segments of `instance` and sums segment-length-weighted
+/// optimal bin counts. `maxNodesPerSegment` caps the branch-and-bound effort
+/// spent on each segment (0 = unlimited).
+OptTotalResult optTotal(const Instance& instance,
+                        std::size_t maxNodesPerSegment = 2'000'000);
+
+}  // namespace cdbp

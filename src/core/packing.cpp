@@ -1,0 +1,81 @@
+#include "core/packing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/epsilon.hpp"
+
+namespace cdbp {
+
+Packing::Packing(const Instance& instance, std::vector<BinId> binOf)
+    : instance_(&instance), binOf_(std::move(binOf)) {
+  if (binOf_.size() != instance.size()) {
+    throw std::invalid_argument("Packing: assignment size (" +
+                                std::to_string(binOf_.size()) +
+                                ") does not match instance size (" +
+                                std::to_string(instance.size()) + ")");
+  }
+  BinId maxBin = -1;
+  for (BinId b : binOf_) maxBin = std::max(maxBin, b);
+  bins_.resize(static_cast<std::size_t>(maxBin + 1));
+  for (const Item& r : instance.items()) {
+    BinId b = binOf_[r.id];
+    if (b >= 0) bins_[static_cast<std::size_t>(b)].add(r);
+  }
+}
+
+Time Packing::totalUsage() const {
+  Time total = 0;
+  for (const BinTimeline& bin : bins_) total += bin.usage();
+  return total;
+}
+
+std::size_t Packing::openBinsAt(Time t) const {
+  std::size_t open = 0;
+  for (const BinTimeline& bin : bins_) {
+    if (bin.busyPeriods().contains(t)) ++open;
+  }
+  return open;
+}
+
+StepFunction Packing::openBinProfile() const {
+  StepFunction profile;
+  for (const BinTimeline& bin : bins_) {
+    for (const Interval& busy : bin.busyPeriods().parts()) profile.add(busy, 1.0);
+  }
+  return profile;
+}
+
+std::size_t Packing::maxConcurrentBins() const {
+  return static_cast<std::size_t>(openBinProfile().maxValue() + 0.5);
+}
+
+double Packing::averageUtilization() const {
+  Time usage = totalUsage();
+  if (usage <= 0) return 0.0;
+  return instance_->demand() / usage;
+}
+
+std::optional<std::string> Packing::validate() const {
+  std::vector<bool> used(bins_.size(), false);
+  for (const Item& r : instance_->items()) {
+    BinId b = binOf_[r.id];
+    if (b < 0) {
+      return "item " + std::to_string(r.id) + " is unassigned";
+    }
+    used[static_cast<std::size_t>(b)] = true;
+  }
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    if (!used[b]) {
+      return "bin ids are not dense: bin " + std::to_string(b) + " is empty";
+    }
+    Size peak = bins_[b].peakLevel();
+    if (!leq(peak, kBinCapacity)) {
+      return "bin " + std::to_string(b) + " exceeds capacity: peak level " +
+             std::to_string(peak);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cdbp

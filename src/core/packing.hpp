@@ -1,0 +1,69 @@
+// Packing: an assignment of items to bins, with validation and metrics.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bin_timeline.hpp"
+#include "core/instance.hpp"
+#include "core/step_function.hpp"
+#include "core/types.hpp"
+
+namespace cdbp {
+
+/// The result of running a packing algorithm on an Instance: bin id per
+/// item. Bin ids must be dense 0..numBins-1 in bin-opening order (the order
+/// is only used for reporting; feasibility does not depend on it).
+///
+/// Lifetime: a Packing references the Instance it was built from (it does
+/// not copy it). The instance must outlive the packing and keep a stable
+/// address — wrap it in a shared_ptr if the packing is returned past the
+/// instance's scope (see FlexibleSchedule for the pattern).
+class Packing {
+ public:
+  Packing() = default;
+
+  /// `binOf[id]` is the bin of item `id`; every item must be assigned.
+  Packing(const Instance& instance, std::vector<BinId> binOf);
+
+  const Instance& instance() const { return *instance_; }
+  const std::vector<BinId>& binOf() const { return binOf_; }
+  BinId binOf(ItemId id) const { return binOf_[id]; }
+  std::size_t numBins() const { return bins_.size(); }
+
+  /// The reconstructed level/usage timeline of bin b.
+  const BinTimeline& bin(BinId b) const { return bins_[static_cast<std::size_t>(b)]; }
+
+  /// Total bin usage time — the MinUsageTime objective.
+  Time totalUsage() const;
+
+  /// Usage time of a single bin (span of its items).
+  Time binUsage(BinId b) const { return bin(b).usage(); }
+
+  /// Number of bins that are non-empty at time t.
+  std::size_t openBinsAt(Time t) const;
+
+  /// Maximum over time of the number of concurrently non-empty bins (the
+  /// classical DBP objective, reported for context).
+  std::size_t maxConcurrentBins() const;
+
+  /// The open-bin-count step function over time.
+  StepFunction openBinProfile() const;
+
+  /// Average level of non-empty bins, integrated over busy time, divided by
+  /// total usage: a utilization figure in (0, 1].
+  double averageUtilization() const;
+
+  /// Returns an error description if the packing is infeasible (a bin's
+  /// level exceeds the unit capacity somewhere, an item is unassigned, or
+  /// bin ids are not dense), or std::nullopt when valid.
+  std::optional<std::string> validate() const;
+
+ private:
+  const Instance* instance_ = nullptr;
+  std::vector<BinId> binOf_;
+  std::vector<BinTimeline> bins_;
+};
+
+}  // namespace cdbp

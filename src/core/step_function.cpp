@@ -1,0 +1,134 @@
+#include "core/step_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdbp {
+
+std::map<Time, double>::iterator StepFunction::split(Time t) {
+  auto it = points_.lower_bound(t);
+  if (it != points_.end() && it->first == t) return it;
+  // Value just before t: 0 if t precedes the first breakpoint.
+  double value = (it == points_.begin()) ? 0.0 : std::prev(it)->second;
+  return points_.emplace_hint(it, t, value);
+}
+
+void StepFunction::add(const Interval& I, double delta) {
+  if (I.empty() || delta == 0) return;
+  auto hiIt = split(I.hi);  // split hi first so lo's split can't invalidate it
+  auto loIt = split(I.lo);
+  for (auto it = loIt; it != hiIt; ++it) it->second += delta;
+}
+
+double StepFunction::valueAt(Time t) const {
+  auto it = points_.upper_bound(t);
+  if (it == points_.begin()) return 0.0;
+  return std::prev(it)->second;
+}
+
+double StepFunction::maxOver(const Interval& I) const {
+  if (I.empty()) return 0.0;
+  double best = valueAt(I.lo);
+  for (auto it = points_.upper_bound(I.lo); it != points_.end() && it->first < I.hi;
+       ++it) {
+    best = std::max(best, it->second);
+  }
+  return best;
+}
+
+double StepFunction::minOver(const Interval& I) const {
+  if (I.empty()) return 0.0;
+  double best = valueAt(I.lo);
+  for (auto it = points_.upper_bound(I.lo); it != points_.end() && it->first < I.hi;
+       ++it) {
+    best = std::min(best, it->second);
+  }
+  return best;
+}
+
+double StepFunction::maxValue() const {
+  double best = 0.0;
+  for (const auto& [t, v] : points_) best = std::max(best, v);
+  return best;
+}
+
+double StepFunction::integral() const {
+  double total = 0.0;
+  for (auto it = points_.begin(); it != points_.end(); ++it) {
+    auto next = std::next(it);
+    if (next == points_.end()) break;  // trailing region holds value 0
+    total += it->second * (next->first - it->first);
+  }
+  return total;
+}
+
+double StepFunction::integralOver(const Interval& I) const {
+  if (I.empty()) return 0.0;
+  double total = 0.0;
+  Time cursor = I.lo;
+  double value = valueAt(I.lo);
+  for (auto it = points_.upper_bound(I.lo); it != points_.end() && it->first < I.hi;
+       ++it) {
+    total += value * (it->first - cursor);
+    cursor = it->first;
+    value = it->second;
+  }
+  total += value * (I.hi - cursor);
+  return total;
+}
+
+double StepFunction::ceilIntegral(double eps) const {
+  double total = 0.0;
+  for (auto it = points_.begin(); it != points_.end(); ++it) {
+    auto next = std::next(it);
+    if (next == points_.end()) break;
+    if (it->second <= eps) continue;
+    double nearest = std::round(it->second);
+    double value = (std::fabs(it->second - nearest) <= eps) ? nearest : it->second;
+    total += std::ceil(value) * (next->first - it->first);
+  }
+  return total;
+}
+
+Time StepFunction::supportMeasure(double eps) const {
+  Time total = 0.0;
+  for (auto it = points_.begin(); it != points_.end(); ++it) {
+    auto next = std::next(it);
+    if (next == points_.end()) break;
+    if (it->second > eps) total += next->first - it->first;
+  }
+  return total;
+}
+
+std::vector<StepFunction::Segment> StepFunction::segments() const {
+  std::vector<Segment> out;
+  for (auto it = points_.begin(); it != points_.end(); ++it) {
+    auto next = std::next(it);
+    if (next == points_.end()) break;
+    if (it->second != 0.0) {
+      out.push_back({Interval{it->first, next->first}, it->second});
+    }
+  }
+  return out;
+}
+
+std::vector<Time> StepFunction::breakpoints() const {
+  std::vector<Time> out;
+  out.reserve(points_.size());
+  for (const auto& [t, v] : points_) out.push_back(t);
+  return out;
+}
+
+void StepFunction::normalize() {
+  double prev = 0.0;
+  for (auto it = points_.begin(); it != points_.end();) {
+    if (it->second == prev) {
+      it = points_.erase(it);
+    } else {
+      prev = it->second;
+      ++it;
+    }
+  }
+}
+
+}  // namespace cdbp

@@ -1,0 +1,36 @@
+// Fundamental scalar types shared by every cdbp module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cdbp {
+
+/// Continuous wall-clock time. Item arrival/departure times, spans and bin
+/// usage times are all expressed in these (dimensionless) units.
+using Time = double;
+
+/// Resource demand of an item, as a fraction of the unit bin capacity.
+/// A valid item size lies in (0, 1].
+using Size = double;
+
+/// Identifier of an item within an Instance. Dense, 0-based.
+using ItemId = std::uint32_t;
+
+/// Identifier of a bin within a packing. Dense, 0-based, ordered by the
+/// opening order of the bins (bin 0 opened first).
+using BinId = std::int32_t;
+
+/// Sentinel returned by placement policies to request a fresh bin.
+inline constexpr BinId kNewBin = -1;
+
+/// Sentinel for "item not assigned to any bin".
+inline constexpr BinId kUnassigned = -2;
+
+/// The capacity of every bin. The paper normalizes capacities to 1 without
+/// loss of generality; we keep the constant named for readability.
+inline constexpr Size kBinCapacity = 1.0;
+
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+}  // namespace cdbp

@@ -1,0 +1,37 @@
+#include "cost/billing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/epsilon.hpp"
+
+namespace cdbp {
+
+Time BillingModel::billedDuration(Time busy) const {
+  Time charged = std::max(busy, minimumCharge);
+  if (granularity > 0) {
+    double units = charged / granularity;
+    double nearest = std::round(units);
+    if (std::fabs(units - nearest) <= kTimeEps) units = nearest;
+    charged = std::ceil(units - kTimeEps) * granularity;
+  }
+  return charged;
+}
+
+CostBreakdown evaluateCost(const Packing& packing, const BillingModel& model) {
+  CostBreakdown breakdown;
+  for (std::size_t b = 0; b < packing.numBins(); ++b) {
+    for (const Interval& busy :
+         packing.bin(static_cast<BinId>(b)).busyPeriods().parts()) {
+      Time raw = busy.length();
+      Time billed = model.billedDuration(raw);
+      breakdown.rawUsage += raw;
+      breakdown.billedUsage += billed;
+      breakdown.total += billed * model.unitPrice;
+      ++breakdown.acquisitions;
+    }
+  }
+  return breakdown;
+}
+
+}  // namespace cdbp

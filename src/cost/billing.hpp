@@ -1,0 +1,62 @@
+// Cloud billing models (paper §1: "the cost of renting a cloud server is
+// normally proportional to its running hours by pay-as-you-go billing").
+//
+// MinUsageTime DBP minimizes raw usage time, which equals cost under
+// perfectly granular billing. Real providers bill in increments (per
+// second, minute or hour) with a minimum charge per acquisition, so the
+// monetary objective is a rounded, per-busy-period function of the
+// packing. This module evaluates packings under such models, letting the
+// benches show when usage-time optimization and cost optimization diverge.
+#pragma once
+
+#include <string>
+
+#include "core/packing.hpp"
+
+namespace cdbp {
+
+struct BillingModel {
+  /// Billing increment: a busy period is rounded up to a multiple of this
+  /// (0 = continuous billing).
+  Time granularity = 0;
+  /// Minimum billed duration per server acquisition (AWS-style "minimum of
+  /// 60 seconds" clauses). Applied per busy period, before rounding.
+  Time minimumCharge = 0;
+  /// Price per unit time.
+  double unitPrice = 1.0;
+
+  /// Continuous per-unit-time billing (cost == usage * price).
+  static BillingModel continuous(double unitPrice = 1.0) {
+    return {0, 0, unitPrice};
+  }
+
+  /// Increment-based billing.
+  static BillingModel metered(Time granularity, double unitPrice = 1.0,
+                              Time minimumCharge = 0) {
+    return {granularity, minimumCharge, unitPrice};
+  }
+
+  /// Billed duration of one busy period.
+  Time billedDuration(Time busy) const;
+};
+
+struct CostBreakdown {
+  double total = 0;          ///< money
+  Time rawUsage = 0;         ///< sum of busy-period lengths
+  Time billedUsage = 0;      ///< sum of billed durations
+  std::size_t acquisitions = 0;  ///< number of busy periods (server rentals)
+
+  /// billedUsage / rawUsage — how much the billing model inflates usage.
+  double roundingOverhead() const {
+    return rawUsage > 0 ? billedUsage / rawUsage : 1.0;
+  }
+};
+
+/// Evaluates a packing under a billing model. Every maximal busy period of
+/// every bin is one server acquisition: the online model closes a bin when
+/// it empties, and an offline bin with a usage gap releases the server in
+/// between (it is not billed for idle gaps — consistent with usage-time
+/// accounting).
+CostBreakdown evaluateCost(const Packing& packing, const BillingModel& model);
+
+}  // namespace cdbp

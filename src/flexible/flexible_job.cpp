@@ -1,0 +1,44 @@
+#include "flexible/flexible_job.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/epsilon.hpp"
+
+namespace cdbp {
+
+FlexibleInstance::FlexibleInstance(std::vector<FlexibleJob> jobs)
+    : jobs_(std::move(jobs)) {
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    FlexibleJob& j = jobs_[i];
+    if (!(j.size > 0) || lt(kBinCapacity, j.size) || !std::isfinite(j.size)) {
+      throw InstanceError("flexible job " + std::to_string(i) +
+                          ": size must be in (0, 1]");
+    }
+    if (!(j.length > 0) || !std::isfinite(j.length)) {
+      throw InstanceError("flexible job " + std::to_string(i) +
+                          ": length must be positive");
+    }
+    if (!std::isfinite(j.release) || !std::isfinite(j.deadline) ||
+        j.slack() < -kTimeEps) {
+      throw InstanceError("flexible job " + std::to_string(i) +
+                          ": window [release, deadline) shorter than length");
+    }
+    j.id = static_cast<ItemId>(i);
+  }
+}
+
+Instance FlexibleInstance::materialize(const std::vector<Time>& starts) const {
+  if (starts.size() != jobs_.size()) {
+    throw std::invalid_argument("materialize: starts size mismatch");
+  }
+  std::vector<Item> items;
+  items.reserve(jobs_.size());
+  for (const FlexibleJob& j : jobs_) {
+    Time s = starts[j.id];
+    items.emplace_back(j.id, j.size, s, s + j.length);
+  }
+  return Instance(std::move(items));
+}
+
+}  // namespace cdbp

@@ -1,0 +1,71 @@
+// Flexible jobs (paper §6 future work: "model flexible jobs that have
+// release times and deadlines and do not have to be processed immediately
+// upon arrival"; cf. Khandekar et al. [14]).
+//
+// A flexible job has a fixed processing length but a movable start: it may
+// run on any window [s, s + length) with release <= s and
+// s + length <= deadline. The scheduler chooses both the start time and
+// the bin.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+
+namespace cdbp {
+
+struct FlexibleJob {
+  ItemId id = 0;
+  Size size = 0;
+  Time release = 0;
+  Time deadline = 0;
+  Time length = 0;
+
+  FlexibleJob() = default;
+  FlexibleJob(ItemId id_, Size size_, Time release_, Time deadline_, Time length_)
+      : id(id_), size(size_), release(release_), deadline(deadline_),
+        length(length_) {}
+
+  /// Scheduling freedom: how far the start may move past the release.
+  Time slack() const { return deadline - release - length; }
+
+  /// Latest feasible start time.
+  Time latestStart() const { return deadline - length; }
+};
+
+class FlexibleInstance {
+ public:
+  FlexibleInstance() = default;
+
+  /// Validates each job: size in (0,1], length > 0, slack >= 0 (the window
+  /// must fit the job). Throws InstanceError otherwise.
+  explicit FlexibleInstance(std::vector<FlexibleJob> jobs);
+
+  const std::vector<FlexibleJob>& jobs() const { return jobs_; }
+  std::size_t size() const { return jobs_.size(); }
+  const FlexibleJob& operator[](ItemId id) const { return jobs_[id]; }
+
+  /// The fixed-interval instance induced by a start-time vector.
+  Instance materialize(const std::vector<Time>& starts) const;
+
+ private:
+  std::vector<FlexibleJob> jobs_;
+};
+
+class FlexibleInstanceBuilder {
+ public:
+  FlexibleInstanceBuilder& add(Size size, Time release, Time deadline,
+                               Time length) {
+    jobs_.emplace_back(static_cast<ItemId>(jobs_.size()), size, release, deadline,
+                       length);
+    return *this;
+  }
+
+  FlexibleInstance build() { return FlexibleInstance(std::move(jobs_)); }
+
+ private:
+  std::vector<FlexibleJob> jobs_;
+};
+
+}  // namespace cdbp

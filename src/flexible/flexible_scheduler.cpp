@@ -1,0 +1,113 @@
+#include "flexible/flexible_scheduler.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "core/bin_timeline.hpp"
+#include "core/epsilon.hpp"
+#include "offline/ddff.hpp"
+
+namespace cdbp {
+
+std::optional<std::string> FlexibleSchedule::validate(
+    const FlexibleInstance& instance) const {
+  if (starts.size() != instance.size()) return "starts size mismatch";
+  for (const FlexibleJob& j : instance.jobs()) {
+    Time s = starts[j.id];
+    if (s < j.release - kTimeEps || s > j.latestStart() + kTimeEps) {
+      return "job " + std::to_string(j.id) + " start " + std::to_string(s) +
+             " outside window [" + std::to_string(j.release) + ", " +
+             std::to_string(j.latestStart()) + "]";
+    }
+  }
+  return packing.validate();
+}
+
+FlexibleSchedule scheduleAsap(const FlexibleInstance& instance) {
+  FlexibleSchedule schedule;
+  schedule.starts.resize(instance.size());
+  for (const FlexibleJob& j : instance.jobs()) schedule.starts[j.id] = j.release;
+  schedule.fixedInstance =
+      std::make_shared<Instance>(instance.materialize(schedule.starts));
+  schedule.packing = durationDescendingFirstFit(*schedule.fixedInstance);
+  schedule.totalUsage = schedule.packing.totalUsage();
+  return schedule;
+}
+
+namespace {
+
+/// Usage increase of adding [s, s + length) to a bin's busy set.
+Time usageIncrease(const IntervalSet& busy, Time s, Time length) {
+  IntervalSet after = busy;
+  after.add({s, s + length});
+  return after.measure() - busy.measure();
+}
+
+}  // namespace
+
+FlexibleSchedule scheduleAligned(const FlexibleInstance& instance) {
+  std::vector<FlexibleJob> order = instance.jobs();
+  std::stable_sort(order.begin(), order.end(),
+                   [](const FlexibleJob& a, const FlexibleJob& b) {
+                     if (a.length != b.length) return a.length > b.length;
+                     if (a.release != b.release) return a.release < b.release;
+                     return a.id < b.id;
+                   });
+
+  std::vector<BinTimeline> bins;
+  FlexibleSchedule schedule;
+  schedule.starts.resize(instance.size());
+  std::vector<BinId> binOf(instance.size(), kUnassigned);
+
+  for (const FlexibleJob& j : order) {
+    BinId bestBin = kNewBin;
+    Time bestStart = j.release;
+    Time bestIncrease = kTimeInfinity;
+
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      const BinTimeline& bin = bins[b];
+      // Candidate starts: the window endpoints plus alignment points at
+      // the bin's busy-period boundaries (nestle before a period's end or
+      // after its start), clamped into the job's window.
+      std::set<Time> candidates = {j.release, j.latestStart()};
+      for (const Interval& busy : bin.busyPeriods().parts()) {
+        for (Time raw : {busy.lo, busy.hi, busy.lo - j.length, busy.hi - j.length}) {
+          candidates.insert(std::clamp(raw, j.release, j.latestStart()));
+        }
+      }
+      for (Time s : candidates) {
+        Item probe(j.id, j.size, s, s + j.length);
+        if (!bin.fits(probe)) continue;
+        Time increase = usageIncrease(bin.busyPeriods(), s, j.length);
+        // Strictly better increase wins; ties prefer earlier bins and then
+        // earlier starts (both checked by iteration order + strict <).
+        if (increase < bestIncrease - kTimeEps) {
+          bestIncrease = increase;
+          bestBin = static_cast<BinId>(b);
+          bestStart = s;
+        }
+      }
+    }
+
+    if (bestBin == kNewBin) {
+      // Nothing fits anywhere: a fresh bin at the release time costs
+      // exactly `length`, the floor for any placement of this job.
+      bins.emplace_back();
+      bestBin = static_cast<BinId>(bins.size() - 1);
+      bestStart = j.release;
+    }
+    bins[static_cast<std::size_t>(bestBin)].add(
+        Item(j.id, j.size, bestStart, bestStart + j.length));
+    schedule.starts[j.id] = bestStart;
+    binOf[j.id] = bestBin;
+  }
+
+  schedule.fixedInstance =
+      std::make_shared<Instance>(instance.materialize(schedule.starts));
+  schedule.packing = Packing(*schedule.fixedInstance, std::move(binOf));
+  schedule.totalUsage = schedule.packing.totalUsage();
+  return schedule;
+}
+
+}  // namespace cdbp

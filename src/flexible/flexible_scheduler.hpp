@@ -1,0 +1,43 @@
+// Schedulers for flexible jobs: choose a start time within each job's
+// window and a bin, minimizing total bin usage time.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/packing.hpp"
+#include "flexible/flexible_job.hpp"
+
+namespace cdbp {
+
+struct FlexibleSchedule {
+  std::vector<Time> starts;  ///< chosen start per job
+
+  /// The fixed-interval instance induced by `starts`. Held by shared_ptr
+  /// so its address is stable across moves of the schedule — `packing`
+  /// references it.
+  std::shared_ptr<const Instance> fixedInstance;
+
+  Packing packing;  ///< the induced fixed-interval packing
+  Time totalUsage = 0;
+
+  /// Error description if the schedule violates a job window or a bin
+  /// capacity; nullopt when valid.
+  std::optional<std::string> validate(const FlexibleInstance& instance) const;
+};
+
+/// Baseline: start every job at its release time (ignore the slack), then
+/// pack with Duration Descending First Fit.
+FlexibleSchedule scheduleAsap(const FlexibleInstance& instance);
+
+/// Alignment-greedy scheduler: jobs in descending length order; each job
+/// evaluates candidate start times per open bin — its release, its latest
+/// start, and alignment points derived from the bin's current busy
+/// periods — and takes the (bin, start) pair minimizing the usage-time
+/// increase. Opens a new bin (start = release) when nothing fits. Exploits
+/// the slack to nestle jobs into already-paid-for busy periods.
+FlexibleSchedule scheduleAligned(const FlexibleInstance& instance);
+
+}  // namespace cdbp

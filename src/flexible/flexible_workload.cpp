@@ -1,0 +1,29 @@
+#include "flexible/flexible_workload.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace cdbp {
+
+FlexibleInstance generateFlexibleWorkload(const FlexibleWorkloadSpec& spec,
+                                          std::uint64_t seed) {
+  if (!(spec.mu >= 1) || !(spec.minLength > 0) || !(spec.arrivalRate > 0) ||
+      spec.slackFactor < 0 || !(spec.minSize > 0) ||
+      spec.minSize > spec.maxSize || spec.maxSize > 1) {
+    throw std::invalid_argument("generateFlexibleWorkload: invalid spec");
+  }
+  Rng rng(seed);
+  FlexibleInstanceBuilder builder;
+  Time t = 0;
+  for (std::size_t i = 0; i < spec.numJobs; ++i) {
+    t += rng.exponential(1.0 / spec.arrivalRate);
+    Time length = rng.uniform(spec.minLength, spec.mu * spec.minLength);
+    Time slack = length * spec.slackFactor * rng.uniform01();
+    Size size = rng.uniform(spec.minSize, spec.maxSize);
+    builder.add(size, t, t + length + slack, length);
+  }
+  return builder.build();
+}
+
+}  // namespace cdbp

@@ -1,0 +1,25 @@
+// Flexible-job workload generation with a slack knob.
+#pragma once
+
+#include <cstdint>
+
+#include "flexible/flexible_job.hpp"
+
+namespace cdbp {
+
+struct FlexibleWorkloadSpec {
+  std::size_t numJobs = 500;
+  double arrivalRate = 4.0;   ///< Poisson release times
+  Time minLength = 1.0;
+  double mu = 8.0;            ///< lengths uniform in [minLength, mu*minLength]
+  /// Window slack as a multiple of the job's own length: deadline =
+  /// release + length * (1 + slackFactor * U[0,1]).
+  double slackFactor = 1.0;
+  Size minSize = 0.05;
+  Size maxSize = 0.6;
+};
+
+FlexibleInstance generateFlexibleWorkload(const FlexibleWorkloadSpec& spec,
+                                          std::uint64_t seed);
+
+}  // namespace cdbp

@@ -1,0 +1,158 @@
+#include "flexible/online_flexible.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "core/epsilon.hpp"
+
+namespace cdbp {
+
+FlexDecision FlexStartAsapFF::consider(const BinManager& bins,
+                                       const FlexibleJob& job, Time) {
+  for (BinId id : bins.openBins()) {
+    if (bins.fits(id, job.size)) return FlexDecision::start(id);
+  }
+  return FlexDecision::startFresh();
+}
+
+void FlexDeferAlign::onPlaced(BinId bin, Time departure) {
+  if (static_cast<std::size_t>(bin) >= binEnds_.size()) {
+    binEnds_.resize(static_cast<std::size_t>(bin) + 1, 0);
+  }
+  binEnds_[static_cast<std::size_t>(bin)] =
+      std::max(binEnds_[static_cast<std::size_t>(bin)], departure);
+}
+
+FlexDecision FlexDeferAlign::consider(const BinManager& bins,
+                                      const FlexibleJob& job, Time now) {
+  bool forced = now >= job.latestStart() - kTimeEps;
+  // Look for a zero-marginal slot: fits now and the bin is already
+  // committed past now + length.
+  for (BinId id : bins.openBins()) {
+    if (!bins.fits(id, job.size)) continue;
+    Time binEnd = static_cast<std::size_t>(id) < binEnds_.size()
+                      ? binEnds_[static_cast<std::size_t>(id)]
+                      : 0;
+    if (binEnd >= now + job.length - kTimeEps) return FlexDecision::start(id);
+  }
+  if (!forced) return FlexDecision::defer();
+  // Forced: plain First Fit, fresh bin as a last resort.
+  for (BinId id : bins.openBins()) {
+    if (bins.fits(id, job.size)) return FlexDecision::start(id);
+  }
+  return FlexDecision::startFresh();
+}
+
+std::optional<std::string> FlexOnlineResult::validate(
+    const FlexibleInstance& instance) const {
+  if (starts.size() != instance.size()) return "starts size mismatch";
+  for (const FlexibleJob& j : instance.jobs()) {
+    Time s = starts[j.id];
+    if (s < j.release - kTimeEps || s > j.latestStart() + kTimeEps) {
+      return "job " + std::to_string(j.id) + " started at " +
+             std::to_string(s) + " outside its window";
+    }
+  }
+  return packing.validate();
+}
+
+FlexOnlineResult simulateFlexibleOnline(const FlexibleInstance& instance,
+                                        FlexOnlinePolicy& policy) {
+  policy.reset();
+  BinManager bins;
+  std::vector<Time> starts(instance.size(),
+                           std::numeric_limits<Time>::quiet_NaN());
+  std::vector<BinId> binOf(instance.size(), kUnassigned);
+  std::size_t forcedStarts = 0;
+
+  // Jobs ordered by release; `released` holds pending (released, not yet
+  // started) job ids in release order.
+  std::vector<ItemId> byRelease;
+  for (const FlexibleJob& j : instance.jobs()) byRelease.push_back(j.id);
+  std::stable_sort(byRelease.begin(), byRelease.end(),
+                   [&](ItemId a, ItemId b) {
+                     if (instance[a].release != instance[b].release) {
+                       return instance[a].release < instance[b].release;
+                     }
+                     return a < b;
+                   });
+  std::size_t nextRelease = 0;
+  std::vector<ItemId> pending;
+
+  using Departure = std::pair<Time, ItemId>;
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
+      departures;
+
+  auto placeJob = [&](const FlexibleJob& job, BinId target, Time now,
+                      bool forced) {
+    if (target == kNewBin) {
+      target = bins.openBin(0, now);
+    } else if (!bins.info(target).open || !bins.fits(target, job.size)) {
+      throw std::logic_error(policy.name() + " started job " +
+                             std::to_string(job.id) +
+                             " into an infeasible bin");
+    }
+    bins.addItem(target, job.size);
+    starts[job.id] = now;
+    binOf[job.id] = target;
+    departures.emplace(now + job.length, job.id);
+    if (forced) ++forcedStarts;
+    policy.onPlaced(target, now + job.length);
+  };
+
+  while (nextRelease < byRelease.size() || !pending.empty() ||
+         !departures.empty()) {
+    // Next event time: earliest of release / departure / forced start.
+    Time t = kTimeInfinity;
+    if (nextRelease < byRelease.size()) {
+      t = std::min(t, instance[byRelease[nextRelease]].release);
+    }
+    if (!departures.empty()) t = std::min(t, departures.top().first);
+    for (ItemId id : pending) t = std::min(t, instance[id].latestStart());
+
+    // 1. Departures free capacity first (half-open intervals).
+    while (!departures.empty() && departures.top().first <= t + kTimeEps) {
+      ItemId gone = departures.top().second;
+      departures.pop();
+      bins.removeItem(binOf[gone], instance[gone].size);
+    }
+    // 2. Releases at t join the pending set.
+    while (nextRelease < byRelease.size() &&
+           instance[byRelease[nextRelease]].release <= t + kTimeEps) {
+      pending.push_back(byRelease[nextRelease]);
+      ++nextRelease;
+    }
+    // 3. Offer pending jobs until a full pass places nothing. Forced jobs
+    // (latest start reached) are placed unconditionally.
+    bool placedAny = true;
+    while (placedAny) {
+      placedAny = false;
+      for (std::size_t i = 0; i < pending.size();) {
+        const FlexibleJob& job = instance[pending[i]];
+        bool forced = t >= job.latestStart() - kTimeEps;
+        FlexDecision decision = policy.consider(bins, job, t);
+        if (decision.startNow || forced) {
+          BinId target = decision.startNow ? decision.bin : kNewBin;
+          placeJob(job, target, t, forced);
+          pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+          placedAny = true;
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+
+  FlexOnlineResult result;
+  result.starts = starts;
+  result.fixedInstance = std::make_shared<Instance>(instance.materialize(starts));
+  result.packing = Packing(*result.fixedInstance, std::move(binOf));
+  result.totalUsage = result.packing.totalUsage();
+  result.binsOpened = bins.binsOpened();
+  result.forcedStarts = forcedStarts;
+  return result;
+}
+
+}  // namespace cdbp

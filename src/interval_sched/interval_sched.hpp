@@ -1,0 +1,68 @@
+// Interval scheduling with bounded parallelism (Flammini et al., Mertzios
+// et al., Shalom et al.) — the unit-demand special case that Clairvoyant
+// MinUsageTime DBP generalizes (paper §1, §2).
+//
+// Jobs are intervals with identical demands; a machine runs at most g jobs
+// concurrently; minimize total machine busy time. The module maps the
+// problem onto the DBP core (every job gets size 1/g) so the paper's
+// algorithms apply directly, and exposes the two reference algorithms from
+// the related work:
+//   * the duration-descending greedy (Flammini et al.'s 4-approximation,
+//     which is exactly DDFF at unit demands), and
+//   * BucketFirstFit (Shalom et al.'s online algorithm, which is exactly
+//     classify-by-duration First Fit at unit demands) — the algorithm
+//     whose bound §5.3 improves from (2a+2)*ceil(log_a mu) to
+//     a + ceil(log_a mu) + 4.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/packing.hpp"
+
+namespace cdbp {
+
+struct IntervalJob {
+  ItemId id = 0;
+  Interval interval;
+};
+
+class IntervalSchedInstance {
+ public:
+  IntervalSchedInstance() = default;
+
+  /// `g` is the machine capacity (max concurrent jobs per machine).
+  IntervalSchedInstance(std::vector<IntervalJob> jobs, std::size_t g);
+
+  const std::vector<IntervalJob>& jobs() const { return jobs_; }
+  std::size_t capacity() const { return g_; }
+  std::size_t size() const { return jobs_.size(); }
+
+  /// The equivalent DBP instance: every job has size 1/g.
+  Instance toDbp() const;
+
+ private:
+  std::vector<IntervalJob> jobs_;
+  std::size_t g_ = 1;
+};
+
+struct IntervalScheduleResult {
+  Packing packing;  ///< machine assignment over the converted instance
+  /// The converted instance backing `packing` (stable address).
+  std::shared_ptr<const Instance> dbpInstance;
+  Time totalBusyTime = 0;
+  std::size_t machinesUsed = 0;
+};
+
+/// Flammini et al.'s greedy: longest job first, First Fit over machines.
+/// 4-approximation for total busy time.
+IntervalScheduleResult greedyLongestFirst(const IntervalSchedInstance& instance);
+
+/// Shalom et al.'s BucketFirstFit: jobs bucketed by length (ratio alpha per
+/// bucket, base = shortest job length), First Fit per bucket, online in
+/// arrival order.
+IntervalScheduleResult bucketFirstFit(const IntervalSchedInstance& instance,
+                                      double alpha);
+
+}  // namespace cdbp

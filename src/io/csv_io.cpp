@@ -1,0 +1,112 @@
+#include "io/csv_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace cdbp {
+
+namespace {
+
+std::vector<std::string> splitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+double parseNumber(const std::string& cell, std::size_t lineNo) {
+  try {
+    std::size_t consumed = 0;
+    double value = std::stod(cell, &consumed);
+    // Allow trailing whitespace only.
+    for (std::size_t i = consumed; i < cell.size(); ++i) {
+      if (!std::isspace(static_cast<unsigned char>(cell[i]))) {
+        throw std::invalid_argument(cell);
+      }
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw CsvError("line " + std::to_string(lineNo) + ": not a number: '" +
+                   cell + "'");
+  }
+}
+
+std::string trim(const std::string& s) {
+  std::size_t first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  std::size_t last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+Instance readInstanceCsv(std::istream& in) {
+  std::string line;
+  std::size_t lineNo = 0;
+  if (!std::getline(in, line)) throw CsvError("empty input");
+  ++lineNo;
+  if (trim(line) != "size,arrival,departure") {
+    throw CsvError("line 1: expected header 'size,arrival,departure', got '" +
+                   trim(line) + "'");
+  }
+  InstanceBuilder builder;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (trim(line).empty()) continue;
+    std::vector<std::string> cells = splitCsvLine(line);
+    if (cells.size() != 3) {
+      throw CsvError("line " + std::to_string(lineNo) + ": expected 3 cells, got " +
+                     std::to_string(cells.size()));
+    }
+    builder.add(parseNumber(cells[0], lineNo), parseNumber(cells[1], lineNo),
+                parseNumber(cells[2], lineNo));
+  }
+  return builder.build();
+}
+
+Instance loadInstanceCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw CsvError("cannot open '" + path + "'");
+  return readInstanceCsv(in);
+}
+
+void writeInstanceCsv(const Instance& instance, std::ostream& out) {
+  out << "size,arrival,departure\n";
+  out.precision(17);
+  for (const Item& r : instance.items()) {
+    out << r.size << ',' << r.arrival() << ',' << r.departure() << '\n';
+  }
+}
+
+void saveInstanceCsv(const Instance& instance, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw CsvError("cannot open '" + path + "' for writing");
+  writeInstanceCsv(instance, out);
+}
+
+void writePackingCsv(const Packing& packing, std::ostream& out) {
+  out << "item,bin,size,arrival,departure\n";
+  out.precision(17);
+  for (const Item& r : packing.instance().items()) {
+    out << r.id << ',' << packing.binOf(r.id) << ',' << r.size << ','
+        << r.arrival() << ',' << r.departure() << '\n';
+  }
+}
+
+void savePackingCsv(const Packing& packing, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw CsvError("cannot open '" + path + "' for writing");
+  writePackingCsv(packing, out);
+}
+
+void writeStepFunctionCsv(const StepFunction& f, std::ostream& out) {
+  out << "start,end,value\n";
+  out.precision(17);
+  for (const StepFunction::Segment& seg : f.segments()) {
+    out << seg.interval.lo << ',' << seg.interval.hi << ',' << seg.value << '\n';
+  }
+}
+
+}  // namespace cdbp

@@ -1,0 +1,47 @@
+// CSV persistence: load/save instances (so real traces can be replayed
+// through the simulator) and export packings and time profiles for
+// external plotting.
+//
+// Instance format (header required):
+//   size,arrival,departure
+//   0.5,0.0,4.0
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/packing.hpp"
+#include "core/step_function.hpp"
+
+namespace cdbp {
+
+/// Thrown on malformed CSV input (bad header, non-numeric cell, wrong
+/// arity). The message pinpoints the offending line.
+class CsvError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses an instance from a stream. Validation is delegated to Instance,
+/// so model violations (size > 1, inverted interval) surface as
+/// InstanceError with the item index.
+Instance readInstanceCsv(std::istream& in);
+
+/// Loads an instance from a file; CsvError if the file cannot be opened.
+Instance loadInstanceCsv(const std::string& path);
+
+/// Writes `size,arrival,departure` rows.
+void writeInstanceCsv(const Instance& instance, std::ostream& out);
+void saveInstanceCsv(const Instance& instance, const std::string& path);
+
+/// Writes `item,bin,size,arrival,departure` rows for a packing.
+void writePackingCsv(const Packing& packing, std::ostream& out);
+void savePackingCsv(const Packing& packing, const std::string& path);
+
+/// Writes `start,end,value` rows for each segment of a step function
+/// (e.g. an open-bin profile or S(t)).
+void writeStepFunctionCsv(const StepFunction& f, std::ostream& out);
+
+}  // namespace cdbp

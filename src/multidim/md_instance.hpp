@@ -1,0 +1,82 @@
+// Multi-dimensional items and instances.
+#pragma once
+
+#include <vector>
+
+#include "core/interval.hpp"
+#include "core/step_function.hpp"
+#include "core/types.hpp"
+#include "multidim/resources.hpp"
+
+namespace cdbp {
+
+/// An item with a vector demand. Mirrors core Item; dimensions must agree
+/// across an instance.
+struct MdItem {
+  ItemId id = 0;
+  Resources demand;
+  Interval interval;
+
+  MdItem() = default;
+  MdItem(ItemId id_, Resources demand_, Time arrival, Time departure)
+      : id(id_), demand(std::move(demand_)), interval(arrival, departure) {}
+
+  Time arrival() const { return interval.lo; }
+  Time departure() const { return interval.hi; }
+  Time duration() const { return interval.length(); }
+  bool activeAt(Time t) const { return interval.contains(t); }
+};
+
+class MdInstance {
+ public:
+  MdInstance() = default;
+
+  /// Validates: consistent dimensionality, every coordinate in [0, 1], at
+  /// least one coordinate positive, departure > arrival. Throws
+  /// InstanceError (reused from core) on violation.
+  explicit MdInstance(std::vector<MdItem> items);
+
+  const std::vector<MdItem>& items() const { return items_; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const MdItem& operator[](ItemId id) const { return items_[id]; }
+  std::size_t dims() const { return dims_; }
+
+  std::vector<MdItem> sortedByArrival() const;
+
+  /// The aggregate demand curve of one dimension.
+  StepFunction dimensionProfile(std::size_t d) const;
+
+  /// Span of the instance (union measure of active intervals).
+  Time span() const;
+
+  Time minDuration() const;
+  Time maxDuration() const;
+  double durationRatio() const;
+
+  /// The projection onto one dimension as a scalar core-model demand list
+  /// (sizes = coordinate d). Items with a zero coordinate are kept with a
+  /// tiny positive epsilon size... no: they are dropped, since they demand
+  /// nothing in that dimension.
+  std::vector<double> coordinateSizes(std::size_t d) const;
+
+ private:
+  std::vector<MdItem> items_;
+  std::size_t dims_ = 0;
+};
+
+class MdInstanceBuilder {
+ public:
+  MdInstanceBuilder& add(Resources demand, Time arrival, Time departure) {
+    items_.emplace_back(static_cast<ItemId>(items_.size()), std::move(demand),
+                        arrival, departure);
+    return *this;
+  }
+
+  MdInstance build() { return MdInstance(std::move(items_)); }
+
+ private:
+  std::vector<MdItem> items_;
+};
+
+}  // namespace cdbp

@@ -1,0 +1,22 @@
+#include "multidim/md_lower_bounds.hpp"
+
+#include <algorithm>
+
+#include "core/epsilon.hpp"
+
+namespace cdbp {
+
+double MdLowerBounds::best() const { return std::max({demand, span, ceilIntegral}); }
+
+MdLowerBounds mdLowerBounds(const MdInstance& instance) {
+  MdLowerBounds lb;
+  lb.span = instance.span();
+  for (std::size_t d = 0; d < instance.dims(); ++d) {
+    StepFunction profile = instance.dimensionProfile(d);
+    lb.ceilIntegral = std::max(lb.ceilIntegral, profile.ceilIntegral(kSizeEps));
+    lb.demand = std::max(lb.demand, profile.integral());
+  }
+  return lb;
+}
+
+}  // namespace cdbp

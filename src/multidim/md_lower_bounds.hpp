@@ -1,0 +1,27 @@
+// Lower bounds for multi-dimensional MinUsageTime DBP.
+//
+// Each of the paper's Propositions 1-3 generalizes per dimension: any
+// feasible packing is in particular feasible in every single dimension, so
+// the strongest single-dimension bound is a valid bound for the vector
+// problem.
+#pragma once
+
+#include "multidim/md_instance.hpp"
+
+namespace cdbp {
+
+struct MdLowerBounds {
+  /// max over dimensions of the total time-space demand in that dimension.
+  double demand = 0;
+  /// span of the instance.
+  double span = 0;
+  /// max over dimensions of integral of ceil(S_d(t)) dt — the
+  /// per-dimension Proposition 3 bound.
+  double ceilIntegral = 0;
+
+  double best() const;
+};
+
+MdLowerBounds mdLowerBounds(const MdInstance& instance);
+
+}  // namespace cdbp

@@ -1,0 +1,65 @@
+#include "multidim/md_packing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/epsilon.hpp"
+
+namespace cdbp {
+
+MdPacking::MdPacking(const MdInstance& instance, std::vector<BinId> binOf)
+    : instance_(&instance), binOf_(std::move(binOf)) {
+  if (binOf_.size() != instance.size()) {
+    throw std::invalid_argument("MdPacking: assignment size mismatch");
+  }
+  BinId maxBin = -1;
+  for (BinId b : binOf_) maxBin = std::max(maxBin, b);
+  numBins_ = static_cast<std::size_t>(maxBin + 1);
+  busy_.resize(numBins_);
+  level_.assign(numBins_,
+                std::vector<StepFunction>(instance.dims()));
+  for (const MdItem& r : instance.items()) {
+    BinId b = binOf_[r.id];
+    if (b < 0) continue;
+    busy_[static_cast<std::size_t>(b)].add(r.interval);
+    for (std::size_t d = 0; d < instance.dims(); ++d) {
+      level_[static_cast<std::size_t>(b)][d].add(r.interval, r.demand[d]);
+    }
+  }
+}
+
+Time MdPacking::totalUsage() const {
+  Time total = 0;
+  for (const IntervalSet& busy : busy_) total += busy.measure();
+  return total;
+}
+
+std::size_t MdPacking::openBinsAt(Time t) const {
+  std::size_t open = 0;
+  for (const IntervalSet& busy : busy_) {
+    if (busy.contains(t)) ++open;
+  }
+  return open;
+}
+
+std::optional<std::string> MdPacking::validate() const {
+  std::vector<bool> used(numBins_, false);
+  for (const MdItem& r : instance_->items()) {
+    BinId b = binOf_[r.id];
+    if (b < 0) return "md item " + std::to_string(r.id) + " is unassigned";
+    used[static_cast<std::size_t>(b)] = true;
+  }
+  for (std::size_t b = 0; b < numBins_; ++b) {
+    if (!used[b]) return "bin ids are not dense: bin " + std::to_string(b);
+    for (std::size_t d = 0; d < instance_->dims(); ++d) {
+      double peak = level_[b][d].maxValue();
+      if (!leq(peak, kBinCapacity)) {
+        return "bin " + std::to_string(b) + " dimension " + std::to_string(d) +
+               " exceeds capacity: peak " + std::to_string(peak);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cdbp

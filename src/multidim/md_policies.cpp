@@ -1,0 +1,160 @@
+#include "multidim/md_policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/epsilon.hpp"
+
+namespace cdbp {
+
+const std::vector<BinId>& MdBinManager::openBins(int category) const {
+  static const std::vector<BinId> kEmpty;
+  auto it = openByCategory_.find(category);
+  return it == openByCategory_.end() ? kEmpty : it->second;
+}
+
+BinId MdBinManager::openBin(int category, std::size_t dims) {
+  BinId id = static_cast<BinId>(bins_.size());
+  bins_.push_back({id, category, Resources::zero(dims), 0, true});
+  openByCategory_[category].push_back(id);
+  ++open_;
+  return id;
+}
+
+void MdBinManager::addItem(BinId id, const Resources& demand) {
+  BinInfo& bin = bins_[static_cast<std::size_t>(id)];
+  if (!bin.open) throw std::logic_error("MdBinManager::addItem: bin closed");
+  bin.level += demand;
+  ++bin.itemCount;
+}
+
+bool MdBinManager::removeItem(BinId id, const Resources& demand) {
+  BinInfo& bin = bins_[static_cast<std::size_t>(id)];
+  if (!bin.open || bin.itemCount == 0) {
+    throw std::logic_error("MdBinManager::removeItem: bin not holding items");
+  }
+  bin.level -= demand;
+  --bin.itemCount;
+  if (bin.itemCount > 0) return false;
+  bin.level = Resources::zero(bin.level.dims());
+  bin.open = false;
+  auto& cat = openByCategory_[bin.category];
+  cat.erase(std::find(cat.begin(), cat.end(), id));
+  --open_;
+  return true;
+}
+
+MdClassifyPolicy::MdClassifyPolicy(Config config) : config_(config) {
+  if (config_.categories == MdCategoryRule::kDeparture && !(config_.rho > 0)) {
+    throw std::invalid_argument("MdClassifyPolicy: rho must be positive");
+  }
+  if (config_.categories == MdCategoryRule::kDuration &&
+      (!(config_.base > 0) || !(config_.alpha > 1))) {
+    throw std::invalid_argument("MdClassifyPolicy: need base > 0, alpha > 1");
+  }
+}
+
+std::string MdClassifyPolicy::name() const {
+  std::ostringstream os;
+  switch (config_.categories) {
+    case MdCategoryRule::kNone:
+      os << "MD-";
+      break;
+    case MdCategoryRule::kDeparture:
+      os << "MD-CDT(rho=" << config_.rho << ")-";
+      break;
+    case MdCategoryRule::kDuration:
+      os << "MD-CD(alpha=" << config_.alpha << ")-";
+      break;
+  }
+  os << (config_.fit == MdFitRule::kFirstFit ? "FirstFit" : "DominantFit");
+  return os.str();
+}
+
+int MdClassifyPolicy::categoryOf(const MdItem& item) const {
+  switch (config_.categories) {
+    case MdCategoryRule::kNone:
+      return 0;
+    case MdCategoryRule::kDeparture: {
+      double q = item.departure() / config_.rho;
+      double nearest = std::round(q);
+      if (std::fabs(q - nearest) <= kTimeEps) q = nearest;
+      return static_cast<int>(std::ceil(q)) - 1;
+    }
+    case MdCategoryRule::kDuration: {
+      double q = std::log(item.duration() / config_.base) / std::log(config_.alpha);
+      double nearest = std::round(q);
+      if (std::fabs(q - nearest) <= 1e-9) q = nearest;
+      return static_cast<int>(std::floor(q));
+    }
+  }
+  return 0;
+}
+
+BinId MdClassifyPolicy::place(const MdBinManager& bins, const MdItem& item,
+                              int* category) {
+  *category = categoryOf(item);
+  const std::vector<BinId>& candidates = bins.openBins(*category);
+  if (config_.fit == MdFitRule::kFirstFit) {
+    for (BinId id : candidates) {
+      if (bins.fits(id, item.demand)) return id;
+    }
+    return kNewBin;
+  }
+  // Dominant-resource fit: pick the fitting bin whose post-placement
+  // dominant coordinate is smallest (keeps dimensions balanced); ties to
+  // the earliest-opened bin.
+  BinId best = kNewBin;
+  double bestScore = 2.0;
+  for (BinId id : candidates) {
+    if (!bins.fits(id, item.demand)) continue;
+    Resources after = bins.info(id).level + item.demand;
+    double score = after.maxCoordinate();
+    if (score < bestScore - kSizeEps) {
+      bestScore = score;
+      best = id;
+    }
+  }
+  return best;
+}
+
+MdSimResult mdSimulateOnline(const MdInstance& instance, MdOnlinePolicy& policy) {
+  policy.reset();
+  MdBinManager bins;
+  std::vector<BinId> binOf(instance.size(), kUnassigned);
+  std::size_t maxOpen = 0;
+
+  using Departure = std::pair<Time, ItemId>;
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>> departures;
+
+  for (const MdItem& r : instance.sortedByArrival()) {
+    while (!departures.empty() && departures.top().first <= r.arrival()) {
+      ItemId gone = departures.top().second;
+      departures.pop();
+      bins.removeItem(binOf[gone], instance[gone].demand);
+    }
+    int category = 0;
+    BinId target = policy.place(bins, r, &category);
+    if (target == kNewBin) {
+      target = bins.openBin(category, instance.dims());
+    } else if (!bins.fits(target, r.demand)) {
+      throw std::logic_error(policy.name() + " made an infeasible placement");
+    }
+    bins.addItem(target, r.demand);
+    binOf[r.id] = target;
+    departures.emplace(r.departure(), r.id);
+    maxOpen = std::max(maxOpen, bins.openCount());
+  }
+
+  MdSimResult result;
+  result.packing = MdPacking(instance, std::move(binOf));
+  result.totalUsage = result.packing.totalUsage();
+  result.binsOpened = bins.binsOpened();
+  result.maxOpenBins = maxOpen;
+  return result;
+}
+
+}  // namespace cdbp

@@ -1,0 +1,109 @@
+// Online policies and the simulator for multi-dimensional MinUsageTime DBP.
+//
+// The classification ideas of §5 transfer verbatim: categories depend only
+// on durations/departure times, not on sizes, so classify-by-departure-time
+// and classify-by-duration wrap any vector fit rule. The fit rules
+// implemented: First Fit (earliest-opened bin that fits in every
+// dimension) and Dominant-Resource Best Fit (fitting bin minimizing the
+// post-placement dominant coordinate — a vector-bin-packing heuristic).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "multidim/md_instance.hpp"
+#include "multidim/md_packing.hpp"
+
+namespace cdbp {
+
+/// Open-bin state for the MD simulator.
+class MdBinManager {
+ public:
+  struct BinInfo {
+    BinId id = 0;
+    int category = 0;
+    Resources level;
+    std::size_t itemCount = 0;
+    bool open = false;
+  };
+
+  const std::vector<BinId>& openBins(int category) const;
+  const BinInfo& info(BinId id) const { return bins_[static_cast<std::size_t>(id)]; }
+  bool fits(BinId id, const Resources& demand) const {
+    return info(id).open && info(id).level.fitsWith(demand);
+  }
+  std::size_t binsOpened() const { return bins_.size(); }
+  std::size_t openCount() const { return open_; }
+
+  BinId openBin(int category, std::size_t dims);
+  void addItem(BinId id, const Resources& demand);
+  bool removeItem(BinId id, const Resources& demand);
+
+ private:
+  std::vector<BinInfo> bins_;
+  std::map<int, std::vector<BinId>> openByCategory_;
+  std::size_t open_ = 0;
+};
+
+class MdOnlinePolicy {
+ public:
+  virtual ~MdOnlinePolicy() = default;
+  virtual std::string name() const = 0;
+  /// Returns the bin to place into, or kNewBin; `category` (out) tags a
+  /// fresh bin.
+  virtual BinId place(const MdBinManager& bins, const MdItem& item,
+                      int* category) = 0;
+  virtual void reset() {}
+};
+
+using MdPolicyPtr = std::unique_ptr<MdOnlinePolicy>;
+
+/// Which fit rule a policy uses within its categories.
+enum class MdFitRule {
+  kFirstFit,       ///< earliest-opened fitting bin
+  kDominantFit,    ///< fitting bin minimizing the post-placement max coordinate
+};
+
+/// The category rules of §5 lifted to MD items.
+enum class MdCategoryRule {
+  kNone,        ///< single category (plain fit rule)
+  kDeparture,   ///< windows of length rho over departure times (§5.2)
+  kDuration,    ///< geometric duration classes, base/alpha (§5.3)
+};
+
+/// A configurable MD policy combining a category rule with a fit rule.
+class MdClassifyPolicy : public MdOnlinePolicy {
+ public:
+  struct Config {
+    MdFitRule fit = MdFitRule::kFirstFit;
+    MdCategoryRule categories = MdCategoryRule::kNone;
+    Time rho = 1.0;     ///< departure-window length (kDeparture)
+    Time base = 1.0;    ///< duration base (kDuration)
+    double alpha = 2.0; ///< duration ratio per class (kDuration)
+  };
+
+  explicit MdClassifyPolicy(Config config);
+
+  std::string name() const override;
+  BinId place(const MdBinManager& bins, const MdItem& item, int* category) override;
+
+  int categoryOf(const MdItem& item) const;
+
+ private:
+  Config config_;
+};
+
+struct MdSimResult {
+  MdPacking packing;
+  Time totalUsage = 0;
+  std::size_t binsOpened = 0;
+  std::size_t maxOpenBins = 0;
+};
+
+/// Arrival-order simulation with close-on-empty bins, as in the scalar
+/// simulator. Throws std::logic_error on infeasible policy decisions.
+MdSimResult mdSimulateOnline(const MdInstance& instance, MdOnlinePolicy& policy);
+
+}  // namespace cdbp

@@ -1,0 +1,35 @@
+#include "multidim/md_workload.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cdbp {
+
+MdInstance generateMdWorkload(const MdWorkloadSpec& spec, std::uint64_t seed) {
+  if (spec.dims == 0 || !(spec.mu >= 1) || !(spec.minDuration > 0) ||
+      !(spec.arrivalRate > 0) || spec.correlation < 0 || spec.correlation > 1 ||
+      !(spec.minCoordinate > 0) || spec.minCoordinate > spec.maxCoordinate ||
+      spec.maxCoordinate > 1) {
+    throw std::invalid_argument("generateMdWorkload: invalid spec");
+  }
+  Rng rng(seed);
+  MdInstanceBuilder builder;
+  Time t = 0;
+  for (std::size_t i = 0; i < spec.numItems; ++i) {
+    t += rng.exponential(1.0 / spec.arrivalRate);
+    Time duration = rng.uniform(spec.minDuration, spec.mu * spec.minDuration);
+    // Correlated coordinates: blend a shared draw with per-dimension draws.
+    double shared = rng.uniform(spec.minCoordinate, spec.maxCoordinate);
+    std::vector<double> coords(spec.dims);
+    for (std::size_t d = 0; d < spec.dims; ++d) {
+      double independent = rng.uniform(spec.minCoordinate, spec.maxCoordinate);
+      coords[d] = spec.correlation * shared + (1.0 - spec.correlation) * independent;
+    }
+    builder.add(Resources(std::move(coords)), t, t + duration);
+  }
+  return builder.build();
+}
+
+}  // namespace cdbp

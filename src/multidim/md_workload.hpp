@@ -1,0 +1,26 @@
+// Multi-dimensional workload generation with a correlation knob: real VM
+// demand vectors are positively correlated across dimensions (big VMs are
+// big in both CPU and memory); correlation 0 draws dimensions
+// independently, correlation 1 makes all coordinates equal.
+#pragma once
+
+#include <cstdint>
+
+#include "multidim/md_instance.hpp"
+
+namespace cdbp {
+
+struct MdWorkloadSpec {
+  std::size_t numItems = 1000;
+  std::size_t dims = 2;
+  double arrivalRate = 4.0;   ///< Poisson arrivals per unit time
+  Time minDuration = 1.0;
+  double mu = 16.0;           ///< durations uniform in [Delta, mu*Delta]
+  double minCoordinate = 0.02;
+  double maxCoordinate = 0.8;
+  double correlation = 0.5;   ///< in [0, 1]
+};
+
+MdInstance generateMdWorkload(const MdWorkloadSpec& spec, std::uint64_t seed);
+
+}  // namespace cdbp

@@ -1,0 +1,114 @@
+// Multi-dimensional resource vectors (paper §6 future work: "extending
+// MinUsageTime DBP to multiple resource dimensions").
+//
+// A Resources value is a demand (or level) across d dimensions — CPU,
+// memory, bandwidth, ... — each normalized to the bin's capacity in that
+// dimension, so capacity is the all-ones vector.
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/epsilon.hpp"
+#include "core/types.hpp"
+
+namespace cdbp {
+
+class Resources {
+ public:
+  Resources() = default;
+
+  explicit Resources(std::vector<double> values) : values_(std::move(values)) {}
+
+  Resources(std::initializer_list<double> values) : values_(values) {}
+
+  /// A zero vector with `dims` dimensions (an empty bin's level).
+  static Resources zero(std::size_t dims) {
+    return Resources(std::vector<double>(dims, 0.0));
+  }
+
+  std::size_t dims() const { return values_.size(); }
+  double operator[](std::size_t d) const { return values_[d]; }
+  const std::vector<double>& values() const { return values_; }
+
+  Resources& operator+=(const Resources& other) {
+    requireSameDims(other);
+    for (std::size_t d = 0; d < values_.size(); ++d) values_[d] += other.values_[d];
+    return *this;
+  }
+
+  Resources& operator-=(const Resources& other) {
+    requireSameDims(other);
+    for (std::size_t d = 0; d < values_.size(); ++d) values_[d] -= other.values_[d];
+    return *this;
+  }
+
+  friend Resources operator+(Resources lhs, const Resources& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+
+  friend Resources operator-(Resources lhs, const Resources& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+
+  /// Whether every coordinate of level + demand stays within the unit
+  /// capacity (the multi-dimensional fit test).
+  bool fitsWith(const Resources& demand) const {
+    requireSameDims(demand);
+    for (std::size_t d = 0; d < values_.size(); ++d) {
+      if (!leq(values_[d] + demand.values_[d], kBinCapacity)) return false;
+    }
+    return true;
+  }
+
+  /// Largest coordinate — the "dominant resource" share.
+  double maxCoordinate() const {
+    double best = 0;
+    for (double v : values_) best = std::max(best, v);
+    return best;
+  }
+
+  /// Sum of coordinates (used by size-based tie-breaks).
+  double sum() const {
+    double total = 0;
+    for (double v : values_) total += v;
+    return total;
+  }
+
+  /// Index of the largest coordinate.
+  std::size_t dominantDimension() const {
+    std::size_t best = 0;
+    for (std::size_t d = 1; d < values_.size(); ++d) {
+      if (values_[d] > values_[best]) best = d;
+    }
+    return best;
+  }
+
+  friend bool operator==(const Resources&, const Resources&) = default;
+
+ private:
+  void requireSameDims(const Resources& other) const {
+    if (values_.size() != other.values_.size()) {
+      throw std::invalid_argument("Resources: dimension mismatch (" +
+                                  std::to_string(values_.size()) + " vs " +
+                                  std::to_string(other.values_.size()) + ")");
+    }
+  }
+
+  std::vector<double> values_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Resources& r) {
+  os << "(";
+  for (std::size_t d = 0; d < r.dims(); ++d) {
+    os << (d == 0 ? "" : ", ") << r[d];
+  }
+  return os << ")";
+}
+
+}  // namespace cdbp

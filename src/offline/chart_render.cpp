@@ -1,0 +1,80 @@
+#include "offline/chart_render.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/epsilon.hpp"
+
+namespace cdbp {
+
+void renderDemandChart(const DemandChart& chart, std::ostream& os,
+                       const ChartRenderOptions& options) {
+  if (chart.placements().empty()) {
+    os << "(empty demand chart)\n";
+    return;
+  }
+  std::vector<Time> breakpoints = chart.height().breakpoints();
+  Time lo = breakpoints.front();
+  Time hi = breakpoints.back();
+  double top = chart.maxHeight();
+  if (!(hi > lo) || !(top > 0)) {
+    os << "(degenerate demand chart)\n";
+    return;
+  }
+
+  // Full item rectangles I(r) x (h - s(r), h].
+  struct Rect {
+    ItemId item;
+    Interval time;
+    double loAlt, hiAlt;
+  };
+  std::vector<Rect> rects;
+  rects.reserve(chart.placements().size());
+  for (const ChartPlacement& p : chart.placements()) {
+    for (const Item& r : chart.items()) {
+      if (r.id == p.item) {
+        rects.push_back({r.id, r.interval, p.altitude - r.size, p.altitude});
+        break;
+      }
+    }
+  }
+
+  auto cellColor = [&](Time t, double alt) -> char {
+    if (lt(chart.height().valueAt(t), alt)) return ' ';  // outside chart
+    char glyph = 0;
+    int covering = 0;
+    for (const Rect& rect : rects) {
+      if (rect.time.contains(t) && lt(rect.loAlt, alt) && leq(alt, rect.hiAlt)) {
+        ++covering;
+        glyph = static_cast<char>('a' + rect.item % 26);
+      }
+    }
+    if (covering >= 2) return '#';
+    if (covering == 1) return glyph;
+    for (const ChartRect& blue : chart.blueRects()) {
+      if (blue.time.contains(t) && leq(alt, blue.hiAlt)) return '.';
+    }
+    // Not in an item and not blue: either a sampling artifact at a
+    // boundary or genuinely uncolored (which Lemma 2 rules out up to
+    // measure zero).
+    return '.';
+  };
+
+  for (int row = 0; row < options.height; ++row) {
+    double alt = top * (options.height - row - 0.5) /
+                 static_cast<double>(options.height);
+    std::string line(static_cast<std::size_t>(options.width), ' ');
+    for (int col = 0; col < options.width; ++col) {
+      Time t = lo + (hi - lo) * (col + 0.5) / static_cast<double>(options.width);
+      line[static_cast<std::size_t>(col)] = cellColor(t, alt);
+    }
+    os << '|' << line << '\n';
+  }
+  os << '+' << std::string(static_cast<std::size_t>(options.width), '-') << '\n';
+  if (options.showLegend) {
+    os << "letters = placed items, '#' = two items overlap, '.' = dead/blue "
+          "area, ' ' = outside chart\n";
+  }
+}
+
+}  // namespace cdbp

@@ -1,0 +1,24 @@
+// ASCII rendering of a demand chart and its Phase 1 placement — a direct
+// visual counterpart of the paper's Figures 3-4, for docs, debugging and
+// the batch_analytics example.
+#pragma once
+
+#include <ostream>
+
+#include "offline/demand_chart.hpp"
+
+namespace cdbp {
+
+struct ChartRenderOptions {
+  int width = 72;   ///< character columns for the time axis
+  int height = 18;  ///< character rows for the altitude axis
+  bool showLegend = true;
+};
+
+/// Draws the chart: item rectangles as letters (cycling a-z by item id),
+/// blue (dead) area as '.', area outside the chart blank. Overlapping
+/// item pairs render as '#'.
+void renderDemandChart(const DemandChart& chart, std::ostream& os,
+                       const ChartRenderOptions& options = {});
+
+}  // namespace cdbp

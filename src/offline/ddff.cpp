@@ -1,0 +1,40 @@
+#include "offline/ddff.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/bin_timeline.hpp"
+
+namespace cdbp {
+
+bool ddffOrderBefore(const Item& a, const Item& b) {
+  if (a.duration() != b.duration()) return a.duration() > b.duration();
+  if (a.arrival() != b.arrival()) return a.arrival() < b.arrival();
+  return a.id < b.id;
+}
+
+Packing durationDescendingFirstFit(const Instance& instance) {
+  std::vector<Item> order = instance.items();
+  std::stable_sort(order.begin(), order.end(), ddffOrderBefore);
+
+  std::vector<BinTimeline> bins;
+  std::vector<BinId> binOf(instance.size(), kUnassigned);
+  for (const Item& r : order) {
+    BinId chosen = kNewBin;
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      if (bins[b].fits(r)) {
+        chosen = static_cast<BinId>(b);
+        break;
+      }
+    }
+    if (chosen == kNewBin) {
+      bins.emplace_back();
+      chosen = static_cast<BinId>(bins.size() - 1);
+    }
+    bins[static_cast<std::size_t>(chosen)].add(r);
+    binOf[r.id] = chosen;
+  }
+  return Packing(instance, std::move(binOf));
+}
+
+}  // namespace cdbp

@@ -1,0 +1,20 @@
+// Duration Descending First Fit (paper §4.1, Theorem 1).
+//
+// Sort items by non-increasing duration, then First Fit: each item goes to
+// the lowest-indexed bin whose level profile can accommodate it throughout
+// its whole active interval; a new bin is opened otherwise. 5-approximation
+// for Clairvoyant MinUsageTime DBP.
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/packing.hpp"
+
+namespace cdbp {
+
+Packing durationDescendingFirstFit(const Instance& instance);
+
+/// The sort key used by the algorithm, exposed for tests: duration
+/// descending, ties by arrival then id (deterministic).
+bool ddffOrderBefore(const Item& a, const Item& b);
+
+}  // namespace cdbp

@@ -1,0 +1,247 @@
+#include "offline/demand_chart.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <stdexcept>
+
+#include "core/epsilon.hpp"
+
+namespace cdbp {
+
+namespace {
+
+/// The collection M of altitudes to examine, with epsilon-deduplication:
+/// altitudes are sums/differences of item sizes, so floating-point noise
+/// would otherwise create spurious near-duplicate altitudes.
+class AltitudeSet {
+ public:
+  void insert(double h) {
+    if (h <= kSizeEps) return;
+    auto it = std::lower_bound(sorted_.begin(), sorted_.end(), h);
+    if (it != sorted_.end() && approxEq(*it, h)) return;
+    if (it != sorted_.begin() && approxEq(*std::prev(it), h)) return;
+    sorted_.insert(it, h);
+  }
+
+  bool empty() const { return sorted_.empty(); }
+
+  double popMax() {
+    double h = sorted_.back();
+    sorted_.pop_back();
+    return h;
+  }
+
+ private:
+  std::vector<double> sorted_;  // ascending
+};
+
+enum class Color { kOutside, kRed, kBlue, kUncolored };
+
+}  // namespace
+
+DemandChart::DemandChart(const std::vector<Item>& smallItems)
+    : ownedItems_(smallItems) {
+  for (const Item& r : ownedItems_) {
+    if (lt(0.5, r.size)) {
+      throw std::invalid_argument(
+          "DemandChart: item " + std::to_string(r.id) +
+          " has size > 1/2; large items are packed outside the chart");
+    }
+  }
+  for (const Item& r : ownedItems_) height_.add(r.interval, r.size);
+  runPhaseOne();
+}
+
+void DemandChart::runPhaseOne() {
+  const std::vector<Item>& items = ownedItems_;
+  std::vector<bool> placed(items.size(), false);
+
+  // Step 1: M starts as every distinct positive chart height.
+  AltitudeSet M;
+  for (const StepFunction::Segment& seg : height_.segments()) {
+    if (seg.value > kSizeEps) M.insert(seg.value);
+  }
+
+  // Classifies the horizontal line at altitude h into maximal red / blue /
+  // uncolored / outside intervals. "Outside" marks columns where the chart
+  // is lower than h (S_S(t) < h): the eligibility rule of step 7 must treat
+  // them like red — an item may only cross I_u and blue columns — which is
+  // exactly what makes Lemma 3 (placements stay inside the chart) hold:
+  // both I_u and blue columns are known to have chart height >= h.
+  auto classify = [&](double h, std::vector<Interval>* red,
+                      std::vector<Interval>* uncolored,
+                      std::vector<Interval>* outside) {
+    std::set<Time> cuts;
+    for (Time t : height_.breakpoints()) cuts.insert(t);
+    for (const ChartRect& rect : red_) {
+      cuts.insert(rect.time.lo);
+      cuts.insert(rect.time.hi);
+    }
+    for (const ChartRect& rect : blue_) {
+      cuts.insert(rect.time.lo);
+      cuts.insert(rect.time.hi);
+    }
+    std::vector<Time> times(cuts.begin(), cuts.end());
+
+    auto colorAt = [&](Time mid) {
+      if (lt(height_.valueAt(mid), h)) return Color::kOutside;
+      for (const ChartRect& rect : red_) {
+        if (rect.time.contains(mid) && lt(rect.loAlt, h) && leq(h, rect.hiAlt)) {
+          return Color::kRed;
+        }
+      }
+      for (const ChartRect& rect : blue_) {
+        if (rect.time.contains(mid) && leq(h, rect.hiAlt)) return Color::kBlue;
+      }
+      return Color::kUncolored;
+    };
+
+    Color runColor = Color::kBlue;  // sentinel: nothing to flush
+    Time runStart = 0;
+    auto flush = [&](Time end) {
+      if (runColor == Color::kRed) red->push_back({runStart, end});
+      if (runColor == Color::kUncolored) uncolored->push_back({runStart, end});
+      if (runColor == Color::kOutside) outside->push_back({runStart, end});
+    };
+    for (std::size_t i = 0; i + 1 < times.size(); ++i) {
+      Time lo = times[i];
+      Time hi = times[i + 1];
+      Color c = colorAt((lo + hi) / 2);
+      if (c != runColor) {
+        flush(lo);
+        runColor = c;
+        runStart = lo;
+      }
+    }
+    if (!times.empty()) flush(times.back());
+  };
+
+  // Step 2: examine altitudes from high to low.
+  while (!M.empty()) {
+    double h = M.popMax();
+
+    std::vector<Interval> forbidden;  // red intervals + off-chart columns
+    std::vector<Interval> uncolored;
+    classify(h, &forbidden, &uncolored, &forbidden);
+    std::deque<Interval> U(uncolored.begin(), uncolored.end());
+
+    while (!U.empty()) {
+      Interval Iu = U.front();
+      U.pop_front();
+
+      // Step 7: find an unplaced item intersecting I_u but no other
+      // uncolored interval and no red interval at this altitude.
+      const Item* found = nullptr;
+      for (const Item& r : items) {
+        if (placed[&r - items.data()]) continue;
+        if (!r.interval.overlaps(Iu)) continue;
+        bool clean = true;
+        for (const Interval& other : U) {
+          if (r.interval.overlaps(other)) {
+            clean = false;
+            break;
+          }
+        }
+        if (clean) {
+          for (const Interval& rd : forbidden) {
+            if (r.interval.overlaps(rd)) {
+              clean = false;
+              break;
+            }
+          }
+        }
+        if (clean) {
+          found = &r;
+          break;
+        }
+      }
+
+      if (found == nullptr) {
+        // Step 18: dead area — color the full column below I_u blue.
+        blue_.push_back({Iu, 0.0, h});
+        continue;
+      }
+
+      // Steps 8-16: place the item at altitude h.
+      const Item& r = *found;
+      placed[static_cast<std::size_t>(&r - items.data())] = true;
+      placements_.push_back({r.id, h});
+      Interval covered = r.interval.intersect(Iu);
+      ChartRect rect{covered, h - r.size, h};
+      red_.push_back(rect);
+      forbidden.push_back(covered);
+      if (Iu.lo < r.interval.lo) U.push_back({Iu.lo, r.interval.lo});
+      if (Iu.hi > r.interval.hi) U.push_back({r.interval.hi, Iu.hi});
+      M.insert(h - r.size);
+    }
+  }
+}
+
+std::optional<double> DemandChart::altitudeOf(ItemId id) const {
+  for (const ChartPlacement& p : placements_) {
+    if (p.item == id) return p.altitude;
+  }
+  return std::nullopt;
+}
+
+double DemandChart::coloredArea() const {
+  double total = 0;
+  for (const ChartRect& rect : red_) total += rect.area();
+  for (const ChartRect& rect : blue_) total += rect.area();
+  return total;
+}
+
+std::size_t DemandChart::maxPlacementOverlap() const {
+  // Build each placed item's full rectangle I(r) x (h - s, h].
+  std::vector<ChartRect> rects;
+  rects.reserve(placements_.size());
+  for (const ChartPlacement& p : placements_) {
+    const Item* item = nullptr;
+    for (const Item& r : ownedItems_) {
+      if (r.id == p.item) {
+        item = &r;
+        break;
+      }
+    }
+    rects.push_back({item->interval, p.altitude - item->size, p.altitude});
+  }
+
+  std::set<Time> cuts;
+  for (const ChartRect& rect : rects) {
+    cuts.insert(rect.time.lo);
+    cuts.insert(rect.time.hi);
+  }
+  std::vector<Time> times(cuts.begin(), cuts.end());
+
+  std::size_t worst = 0;
+  for (std::size_t i = 0; i + 1 < times.size(); ++i) {
+    Time mid = (times[i] + times[i + 1]) / 2;
+    // Depth is maximized at some rectangle's top altitude.
+    for (const ChartRect& probe : rects) {
+      if (!probe.time.contains(mid)) continue;
+      double alt = probe.hiAlt;
+      std::size_t depth = 0;
+      for (const ChartRect& rect : rects) {
+        if (rect.time.contains(mid) && lt(rect.loAlt, alt) && leq(alt, rect.hiAlt)) {
+          ++depth;
+        }
+      }
+      worst = std::max(worst, depth);
+    }
+  }
+  return worst;
+}
+
+bool DemandChart::allPlacementsInsideChart() const {
+  for (const ChartPlacement& p : placements_) {
+    for (const Item& r : ownedItems_) {
+      if (r.id != p.item) continue;
+      if (lt(height_.minOver(r.interval), p.altitude)) return false;
+      if (lt(p.altitude, r.size)) return false;  // bottom below 0
+    }
+  }
+  return true;
+}
+
+}  // namespace cdbp

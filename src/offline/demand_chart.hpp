@@ -1,0 +1,90 @@
+// Demand chart and the Phase 1 coloring of the Dual Coloring algorithm
+// (paper §4.2, Figure 3).
+//
+// The chart is the region under the curve S_S(t) = total size of active
+// small items at time t. Phase 1 places every small item at an altitude h —
+// occupying the rectangle I(r) x (h - s(r), h] — while coloring the chart
+// red (area claimed by placed items) and blue (dead area), scanning
+// candidate altitudes from high to low. The resulting placement satisfies
+// (Lemmas 2-5): the chart ends fully colored, every item rectangle lies
+// inside the chart, every small item is placed, and no three item
+// rectangles share a point.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/step_function.hpp"
+
+namespace cdbp {
+
+/// An axis-aligned rectangle in the chart: time extent x altitude range
+/// (loAlt, hiAlt] (half-open from below, matching the paper's convention of
+/// leaving an item's lower boundary uncolored).
+struct ChartRect {
+  Interval time;
+  double loAlt = 0;
+  double hiAlt = 0;
+
+  double area() const { return time.length() * (hiAlt - loAlt); }
+};
+
+/// A small item placed at altitude `altitude`: it occupies
+/// I(r) x (altitude - s(r), altitude].
+struct ChartPlacement {
+  ItemId item = 0;
+  double altitude = 0;
+};
+
+class DemandChart {
+ public:
+  /// Builds the chart for `smallItems` (every size must be <= 1/2; checked)
+  /// and runs Phase 1 to completion.
+  explicit DemandChart(const std::vector<Item>& smallItems);
+
+  /// Placement (altitude) per small item, in the order items were placed.
+  const std::vector<ChartPlacement>& placements() const { return placements_; }
+
+  /// Altitude assigned to a given item id; nullopt if the item was never
+  /// placed (which would falsify Lemma 4 — tests assert this never
+  /// happens).
+  std::optional<double> altitudeOf(ItemId id) const;
+
+  /// The chart ceiling S_S(t).
+  const StepFunction& height() const { return height_; }
+
+  /// Maximum chart height (used by Phase 2 to size the stripes).
+  double maxHeight() const { return height_.maxValue(); }
+
+  const std::vector<ChartRect>& redRects() const { return red_; }
+  const std::vector<ChartRect>& blueRects() const { return blue_; }
+
+  /// The small items the chart was built from (ids as given).
+  const std::vector<Item>& items() const { return ownedItems_; }
+
+  /// Total chart area = total time-space demand of the small items.
+  double chartArea() const { return height_.integral(); }
+
+  /// Lemma 2 check: colored area (red + blue) equals the chart area.
+  double coloredArea() const;
+
+  /// Lemma 5 check: the maximum number of item rectangles sharing any
+  /// single point of the chart.
+  std::size_t maxPlacementOverlap() const;
+
+  /// Lemma 3 check: true when every placed item's rectangle lies within the
+  /// chart (its top altitude never exceeds S_S(t) anywhere in I(r)).
+  bool allPlacementsInsideChart() const;
+
+ private:
+  void runPhaseOne();
+
+  std::vector<Item> ownedItems_;
+  StepFunction height_;
+  std::vector<ChartPlacement> placements_;
+  std::vector<ChartRect> red_;
+  std::vector<ChartRect> blue_;
+};
+
+}  // namespace cdbp

@@ -1,0 +1,142 @@
+#include "offline/dual_coloring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "core/bin_timeline.hpp"
+#include "core/epsilon.hpp"
+
+namespace cdbp {
+
+namespace {
+
+/// Packs `items` by First Fit with whole-interval feasibility, assigning
+/// bin keys starting at `firstKey`. Returns the number of bins used.
+std::size_t firstFitInto(const std::vector<Item>& items, int firstKey,
+                         std::map<ItemId, int>* keyOf) {
+  std::vector<BinTimeline> bins;
+  for (const Item& r : items) {
+    std::size_t chosen = bins.size();
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      if (bins[b].fits(r)) {
+        chosen = b;
+        break;
+      }
+    }
+    if (chosen == bins.size()) bins.emplace_back();
+    bins[chosen].add(r);
+    (*keyOf)[r.id] = firstKey + static_cast<int>(chosen);
+  }
+  return bins.size();
+}
+
+}  // namespace
+
+DualColoringResult dualColoring(const Instance& instance) {
+  std::vector<Item> small;
+  std::vector<Item> large;
+  for (const Item& r : instance.items()) {
+    if (leq(r.size, 0.5)) {
+      small.push_back(r);
+    } else {
+      large.push_back(r);
+    }
+  }
+
+  // Abstract bin keys; compacted to dense BinIds at the end. Small items
+  // use keys [0, 2m-1): key k-1 for "within stripe k", key m+k-1 for
+  // "crossing the boundary between stripes k and k+1". Large items use keys
+  // from 2m-1 upward.
+  std::map<ItemId, int> keyOf;
+
+  DualColoringResult result;
+  std::size_t m = 0;
+  std::shared_ptr<DemandChart> chart;
+  if (!small.empty()) {
+    chart = std::make_shared<DemandChart>(small);
+    // Phase 2, step 1: number of stripes.
+    double peak = chart->maxHeight();
+    double scaled = 2.0 * peak;
+    double nearest = std::round(scaled);
+    if (std::fabs(scaled - nearest) <= kSizeEps) scaled = nearest;
+    m = static_cast<std::size_t>(std::ceil(scaled - kSizeEps));
+
+    for (const ChartPlacement& p : chart->placements()) {
+      const Item* item = nullptr;
+      for (const Item& r : small) {
+        if (r.id == p.item) {
+          item = &r;
+          break;
+        }
+      }
+      double top = p.altitude;
+      double bottom = p.altitude - item->size;
+      // Stripe containing the top: top in ((k-1)/2, k/2].
+      double scaledTop = 2.0 * top;
+      double nearestTop = std::round(scaledTop);
+      if (std::fabs(scaledTop - nearestTop) <= kSizeEps) scaledTop = nearestTop;
+      std::size_t k = static_cast<std::size_t>(std::ceil(scaledTop - kSizeEps));
+      k = std::clamp<std::size_t>(k, 1, m);
+      double stripeFloor = static_cast<double>(k - 1) / 2.0;
+      if (leq(stripeFloor, bottom)) {
+        // Fully within stripe k -> the k-th "within" bin (step 5-6).
+        keyOf[p.item] = static_cast<int>(k - 1);
+      } else {
+        // Crosses the boundary between stripes k-1 and k (step 7-8).
+        // Boundary index j = k-1 ranges over [1, m-1].
+        std::size_t j = k - 1;
+        keyOf[p.item] = static_cast<int>(m + j - 1);
+      }
+    }
+  }
+
+  // Large group: packed "arbitrarily" — First Fit keeps it deterministic.
+  int largeFirstKey = static_cast<int>(2 * m == 0 ? 0 : 2 * m - 1);
+  result.largeBins = firstFitInto(large, largeFirstKey, &keyOf);
+
+  // Compact abstract keys to dense bin ids in increasing key order.
+  std::map<int, BinId> dense;
+  for (const auto& [item, key] : keyOf) {
+    if (!dense.count(key)) {
+      BinId next = static_cast<BinId>(dense.size());
+      dense[key] = next;
+    }
+  }
+  // Re-walk in key order for a stable, opening-order-like numbering.
+  dense.clear();
+  std::vector<int> keys;
+  for (const auto& [item, key] : keyOf) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (int key : keys) dense[key] = static_cast<BinId>(dense.size());
+
+  std::vector<BinId> binOf(instance.size(), kUnassigned);
+  for (const auto& [item, key] : keyOf) binOf[item] = dense[key];
+
+  std::size_t largeKeys = 0;
+  for (int key : keys) {
+    if (key >= largeFirstKey && !large.empty()) ++largeKeys;
+  }
+  result.packing = Packing(instance, std::move(binOf));
+  result.chart = chart;
+  result.numStripes = m;
+  result.smallBins = keys.size() - largeKeys;
+  result.largeBins = largeKeys;
+  result.binKind.resize(keys.size());
+  for (int key : keys) {
+    DualColoringBinKind kind;
+    if (key >= largeFirstKey && !large.empty()) {
+      kind = DualColoringBinKind::kLarge;
+    } else if (key < static_cast<int>(m)) {
+      kind = DualColoringBinKind::kWithinStripe;
+    } else {
+      kind = DualColoringBinKind::kCrossStripe;
+    }
+    result.binKind[static_cast<std::size_t>(dense[key])] = kind;
+  }
+  return result;
+}
+
+}  // namespace cdbp

@@ -1,0 +1,52 @@
+// Dual Coloring algorithm (paper §4.2, Theorem 2): 4-approximation for
+// offline Clairvoyant MinUsageTime DBP.
+//
+// Items are split into a small group (size <= 1/2) and a large group
+// (size > 1/2). Large items are packed by First Fit into large-only bins.
+// Small items are placed in the demand chart (Phase 1, see demand_chart.hpp)
+// and then mapped to bins by the stripe rule (Phase 2): the chart is cut
+// into stripes of height 1/2; items whose rectangle lies within stripe k go
+// to the k-th "within" bin, items crossing the boundary between stripes k
+// and k+1 go to the k-th "cross" bin.
+#pragma once
+
+#include <memory>
+
+#include "core/instance.hpp"
+#include "core/packing.hpp"
+#include "offline/demand_chart.hpp"
+
+namespace cdbp {
+
+/// Role of a bin in the Dual Coloring construction — the three families the
+/// Theorem 2 accounting bounds separately.
+enum class DualColoringBinKind {
+  kWithinStripe,  ///< small items fully inside one stripe (step 6)
+  kCrossStripe,   ///< small items crossing a stripe boundary (step 8)
+  kLarge,         ///< large-group bins
+};
+
+struct DualColoringResult {
+  Packing packing;
+
+  /// The Phase 1 chart for the small group (null when there are no small
+  /// items). Exposed for the Lemma 2-5 property tests and for diagnostics.
+  std::shared_ptr<const DemandChart> chart;
+
+  /// Number of stripes m = ceil(2 * max_t S_S(t)).
+  std::size_t numStripes = 0;
+
+  /// Bin counts before empty-bin compaction, for the accounting in the
+  /// Theorem 2 proof: at most m "within" bins, m-1 "cross" bins and
+  /// floor(2 S_L) large bins.
+  std::size_t smallBins = 0;
+  std::size_t largeBins = 0;
+
+  /// Role of each (dense) bin id in `packing` — enables checking the
+  /// proof's per-family open-bin bounds, not just their 4*ceil(S) sum.
+  std::vector<DualColoringBinKind> binKind;
+};
+
+DualColoringResult dualColoring(const Instance& instance);
+
+}  // namespace cdbp

@@ -1,0 +1,84 @@
+#include "offline/ordered_first_fit.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/bin_timeline.hpp"
+#include "offline/ddff.hpp"
+
+namespace cdbp {
+
+std::string itemOrderName(ItemOrder order) {
+  switch (order) {
+    case ItemOrder::kDurationDescending:
+      return "duration-desc (DDFF)";
+    case ItemOrder::kDurationAscending:
+      return "duration-asc";
+    case ItemOrder::kArrival:
+      return "arrival";
+    case ItemOrder::kSizeDescending:
+      return "size-desc (FFD)";
+    case ItemOrder::kDemandDescending:
+      return "demand-desc";
+  }
+  return "unknown";
+}
+
+Packing orderedFirstFit(const Instance& instance, ItemOrder order) {
+  std::vector<Item> items = instance.items();
+  auto tieBreak = [](const Item& a, const Item& b) {
+    if (a.arrival() != b.arrival()) return a.arrival() < b.arrival();
+    return a.id < b.id;
+  };
+  switch (order) {
+    case ItemOrder::kDurationDescending:
+      std::stable_sort(items.begin(), items.end(), ddffOrderBefore);
+      break;
+    case ItemOrder::kDurationAscending:
+      std::stable_sort(items.begin(), items.end(),
+                       [&](const Item& a, const Item& b) {
+                         if (a.duration() != b.duration()) {
+                           return a.duration() < b.duration();
+                         }
+                         return tieBreak(a, b);
+                       });
+      break;
+    case ItemOrder::kArrival:
+      std::stable_sort(items.begin(), items.end(), tieBreak);
+      break;
+    case ItemOrder::kSizeDescending:
+      std::stable_sort(items.begin(), items.end(),
+                       [&](const Item& a, const Item& b) {
+                         if (a.size != b.size) return a.size > b.size;
+                         return tieBreak(a, b);
+                       });
+      break;
+    case ItemOrder::kDemandDescending:
+      std::stable_sort(items.begin(), items.end(),
+                       [&](const Item& a, const Item& b) {
+                         if (a.demand() != b.demand()) {
+                           return a.demand() > b.demand();
+                         }
+                         return tieBreak(a, b);
+                       });
+      break;
+  }
+
+  std::vector<BinTimeline> bins;
+  std::vector<BinId> binOf(instance.size(), kUnassigned);
+  for (const Item& r : items) {
+    std::size_t chosen = bins.size();
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      if (bins[b].fits(r)) {
+        chosen = b;
+        break;
+      }
+    }
+    if (chosen == bins.size()) bins.emplace_back();
+    bins[chosen].add(r);
+    binOf[r.id] = static_cast<BinId>(chosen);
+  }
+  return Packing(instance, std::move(binOf));
+}
+
+}  // namespace cdbp

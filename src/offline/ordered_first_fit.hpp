@@ -1,0 +1,29 @@
+// Ordered First Fit: the offline First Fit skeleton under configurable
+// item orders. Duration-descending is the paper's Theorem 1 algorithm
+// (see ddff.hpp); the other orders exist to quantify, by ablation, how
+// much the duration-descending choice matters.
+#pragma once
+
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/packing.hpp"
+
+namespace cdbp {
+
+enum class ItemOrder {
+  kDurationDescending,  ///< Theorem 1 (DDFF)
+  kDurationAscending,   ///< worst-case-adversarial inverse
+  kArrival,             ///< arrival order (offline First Fit baseline)
+  kSizeDescending,      ///< classical FFD ordering, ignores time
+  kDemandDescending,    ///< by time-space demand s(r) * l(I(r))
+};
+
+std::string itemOrderName(ItemOrder order);
+
+/// First Fit with whole-interval feasibility over the given order.
+/// orderedFirstFit(inst, kDurationDescending) ==
+/// durationDescendingFirstFit(inst).
+Packing orderedFirstFit(const Instance& instance, ItemOrder order);
+
+}  // namespace cdbp

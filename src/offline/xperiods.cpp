@@ -1,0 +1,52 @@
+#include "offline/xperiods.hpp"
+
+#include <algorithm>
+
+namespace cdbp {
+
+std::vector<Item> removeContainedItems(const std::vector<Item>& items) {
+  std::vector<Item> sorted = items;
+  std::stable_sort(sorted.begin(), sorted.end(), [](const Item& a, const Item& b) {
+    if (a.arrival() != b.arrival()) return a.arrival() < b.arrival();
+    // Among equal arrivals keep the longest first; the shorter ones are
+    // contained and dropped below.
+    return a.departure() > b.departure();
+  });
+  std::vector<Item> reduced;
+  for (const Item& r : sorted) {
+    // r is contained iff some already-kept item (arriving no later) departs
+    // no earlier. Kept departures are increasing (see below), so checking
+    // the last kept suffices.
+    if (!reduced.empty() && reduced.back().departure() >= r.departure()) {
+      continue;
+    }
+    reduced.push_back(r);
+  }
+  return reduced;
+}
+
+std::vector<XPeriod> xPeriods(const std::vector<Item>& items) {
+  std::vector<Item> reduced = removeContainedItems(items);
+  std::vector<XPeriod> periods;
+  periods.reserve(reduced.size());
+  for (std::size_t i = 0; i < reduced.size(); ++i) {
+    Time end = reduced[i].departure();
+    if (i + 1 < reduced.size()) {
+      end = std::min(end, reduced[i + 1].arrival());
+    }
+    periods.push_back({reduced[i].id, {reduced[i].arrival(), end}});
+  }
+  return periods;
+}
+
+double xPeriodDemand(const std::vector<Item>& items) {
+  std::vector<Item> reduced = removeContainedItems(items);
+  std::vector<XPeriod> periods = xPeriods(items);
+  double total = 0;
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    total += reduced[i].size * periods[i].period.length();
+  }
+  return total;
+}
+
+}  // namespace cdbp

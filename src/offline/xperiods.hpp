@@ -1,0 +1,35 @@
+// X-period decomposition (paper §4.1, Figure 2): the accounting device of
+// the Theorem 1 proof.
+//
+// Given the items of one bin, first reduce to the subset R'_k with no item
+// whose interval is contained in another's (arrival and departure orders
+// then coincide), then split the union of intervals at the arrival times:
+// item r_i owns X(r_i) = [I(r_i)^-, min(I(r_{i+1})^-, I(r_i)^+)). The
+// X-period lengths sum to the span of the bin, and each item's X-period is
+// a sub-interval of its active interval — the two facts the proof builds
+// on, both checked by the tests.
+#pragma once
+
+#include <vector>
+
+#include "core/item.hpp"
+
+namespace cdbp {
+
+struct XPeriod {
+  ItemId item = 0;
+  Interval period;
+};
+
+/// The reduced subset R' (no interval contained in another), sorted by
+/// arrival time.
+std::vector<Item> removeContainedItems(const std::vector<Item>& items);
+
+/// X-periods of the reduced subset of `items` (empty input -> empty).
+std::vector<XPeriod> xPeriods(const std::vector<Item>& items);
+
+/// sum_i s(r_i) * l(X(r_i)) — the quantity d_k of the proof, a lower bound
+/// on the bin's time-space demand.
+double xPeriodDemand(const std::vector<Item>& items);
+
+}  // namespace cdbp

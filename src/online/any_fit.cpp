@@ -1,0 +1,63 @@
+#include "online/any_fit.hpp"
+
+namespace cdbp {
+
+PlacementDecision FirstFitPolicy::place(const BinManager& bins, const Item& item) {
+  for (BinId id : bins.openBins()) {
+    if (bins.fits(id, item.size)) return PlacementDecision::existing(id);
+  }
+  return PlacementDecision::fresh(0);
+}
+
+PlacementDecision BestFitPolicy::place(const BinManager& bins, const Item& item) {
+  BinId best = kNewBin;
+  Size bestLevel = -1;
+  for (BinId id : bins.openBins()) {
+    if (!bins.fits(id, item.size)) continue;
+    Size level = bins.info(id).level;
+    if (level > bestLevel) {  // strict: ties keep the earliest-opened bin
+      bestLevel = level;
+      best = id;
+    }
+  }
+  if (best == kNewBin) return PlacementDecision::fresh(0);
+  return PlacementDecision::existing(best);
+}
+
+PlacementDecision WorstFitPolicy::place(const BinManager& bins, const Item& item) {
+  BinId best = kNewBin;
+  Size bestLevel = 2 * kBinCapacity;
+  for (BinId id : bins.openBins()) {
+    if (!bins.fits(id, item.size)) continue;
+    Size level = bins.info(id).level;
+    if (level < bestLevel) {
+      bestLevel = level;
+      best = id;
+    }
+  }
+  if (best == kNewBin) return PlacementDecision::fresh(0);
+  return PlacementDecision::existing(best);
+}
+
+PlacementDecision NextFitPolicy::place(const BinManager& bins, const Item& item) {
+  if (current_.has_value() && bins.info(*current_).open &&
+      bins.fits(*current_, item.size)) {
+    return PlacementDecision::existing(*current_);
+  }
+  // The simulator assigns the fresh bin the next global id.
+  current_ = static_cast<BinId>(bins.binsOpened());
+  return PlacementDecision::fresh(0);
+}
+
+PlacementDecision RandomFitPolicy::place(const BinManager& bins, const Item& item) {
+  std::vector<BinId> feasible;
+  for (BinId id : bins.openBins()) {
+    if (bins.fits(id, item.size)) feasible.push_back(id);
+  }
+  if (feasible.empty()) return PlacementDecision::fresh(0);
+  std::size_t pick = static_cast<std::size_t>(
+      rng_.uniformInt(0, feasible.size() - 1));
+  return PlacementDecision::existing(feasible[pick]);
+}
+
+}  // namespace cdbp

@@ -1,0 +1,72 @@
+// The Any Fit family of non-clairvoyant baselines (paper §1 previous work):
+// First Fit, Best Fit, Worst Fit, Next Fit and a randomized Any Fit. None
+// of them reads departure times; they are the yardsticks the clairvoyant
+// classification strategies are measured against.
+#pragma once
+
+#include <optional>
+
+#include "online/policy.hpp"
+#include "util/rng.hpp"
+
+namespace cdbp {
+
+/// First Fit: the earliest-opened bin that can accommodate the item;
+/// otherwise a new bin. Competitive ratio mu + 4 (Tang et al. 2016).
+class FirstFitPolicy : public OnlinePolicy {
+ public:
+  std::string name() const override { return "FirstFit"; }
+  bool clairvoyant() const override { return false; }
+  PlacementDecision place(const BinManager& bins, const Item& item) override;
+};
+
+/// Best Fit: the fitting bin with the highest level (smallest residual
+/// capacity); ties to the earliest-opened. Unbounded competitive ratio for
+/// MinUsageTime DBP (Li et al.), included as a cautionary baseline.
+class BestFitPolicy : public OnlinePolicy {
+ public:
+  std::string name() const override { return "BestFit"; }
+  bool clairvoyant() const override { return false; }
+  PlacementDecision place(const BinManager& bins, const Item& item) override;
+};
+
+/// Worst Fit: the fitting bin with the lowest level; ties to the
+/// earliest-opened.
+class WorstFitPolicy : public OnlinePolicy {
+ public:
+  std::string name() const override { return "WorstFit"; }
+  bool clairvoyant() const override { return false; }
+  PlacementDecision place(const BinManager& bins, const Item& item) override;
+};
+
+/// Next Fit: keeps a single current bin; items that do not fit it open a
+/// new current bin (previous bins stay open until they empty but receive no
+/// further items). Competitive ratio <= 2*mu + 1 (Kamali & Lopez-Ortiz).
+class NextFitPolicy : public OnlinePolicy {
+ public:
+  std::string name() const override { return "NextFit"; }
+  bool clairvoyant() const override { return false; }
+  PlacementDecision place(const BinManager& bins, const Item& item) override;
+  void reset() override { current_.reset(); }
+
+ private:
+  std::optional<BinId> current_;
+};
+
+/// Random Fit: a uniformly random fitting bin (a valid Any Fit algorithm —
+/// it never opens a bin while some open bin fits). Deterministic under a
+/// fixed seed.
+class RandomFitPolicy : public OnlinePolicy {
+ public:
+  explicit RandomFitPolicy(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+  std::string name() const override { return "RandomFit"; }
+  bool clairvoyant() const override { return false; }
+  PlacementDecision place(const BinManager& bins, const Item& item) override;
+  void reset() override { rng_ = Rng(seed_); }
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+}  // namespace cdbp

@@ -1,0 +1,56 @@
+#include "online/classify_departure.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/epsilon.hpp"
+
+namespace cdbp {
+
+ClassifyByDepartureFF::ClassifyByDepartureFF(Time rho) : rho_(rho) {
+  if (!(rho > 0) || !std::isfinite(rho)) {
+    throw std::invalid_argument("ClassifyByDepartureFF: rho must be positive");
+  }
+}
+
+ClassifyByDepartureFF ClassifyByDepartureFF::withKnownDurations(Time minDuration,
+                                                                double mu) {
+  if (!(minDuration > 0) || !(mu >= 1)) {
+    throw std::invalid_argument(
+        "ClassifyByDepartureFF: need minDuration > 0 and mu >= 1");
+  }
+  return ClassifyByDepartureFF(std::sqrt(mu) * minDuration);
+}
+
+std::string ClassifyByDepartureFF::name() const {
+  std::ostringstream os;
+  os << "CDT-FF(rho=" << rho_ << ")";
+  return os.str();
+}
+
+long long ClassifyByDepartureFF::windowOf(Time departure) const {
+  double q = departure / rho_;
+  double nearest = std::round(q);
+  if (std::fabs(q - nearest) <= kTimeEps) q = nearest;
+  // Window k holds departures in (k*rho, (k+1)*rho].
+  return static_cast<long long>(std::ceil(q)) - 1;
+}
+
+PlacementDecision ClassifyByDepartureFF::place(const BinManager& bins,
+                                               const Item& item) {
+  // Window indices are bounded by span/rho, comfortably within int for any
+  // instance a simulation run produces; assert instead of silently
+  // truncating.
+  long long window = windowOf(item.departure());
+  if (window > INT32_MAX || window < INT32_MIN) {
+    throw std::invalid_argument("ClassifyByDepartureFF: window index overflow");
+  }
+  int category = static_cast<int>(window);
+  for (BinId id : bins.openBins(category)) {
+    if (bins.fits(id, item.size)) return PlacementDecision::existing(id);
+  }
+  return PlacementDecision::fresh(category);
+}
+
+}  // namespace cdbp

@@ -1,0 +1,41 @@
+// Classify-by-departure-time First Fit (paper §5.2, Theorem 4).
+//
+// Time is cut into windows of length rho; an item's category is the window
+// its (known) departure time falls into: category k holds departures in
+// (k*rho, (k+1)*rho]. First Fit packs each category into its own bins, so
+// all items sharing a bin depart within rho of each other and the bin
+// closes promptly.
+//
+// Competitive ratio rho/Delta + mu*Delta/rho + 3; choosing rho =
+// sqrt(mu)*Delta (durations known) gives 2*sqrt(mu) + 3.
+#pragma once
+
+#include "online/policy.hpp"
+
+namespace cdbp {
+
+class ClassifyByDepartureFF : public OnlinePolicy {
+ public:
+  /// `rho` is the departure-window length; must be positive.
+  explicit ClassifyByDepartureFF(Time rho);
+
+  /// The optimal parameterization when the minimum duration Delta and the
+  /// duration ratio mu are known in advance: rho = sqrt(mu) * Delta.
+  static ClassifyByDepartureFF withKnownDurations(Time minDuration, double mu);
+
+  std::string name() const override;
+  bool clairvoyant() const override { return true; }
+  PlacementDecision place(const BinManager& bins, const Item& item) override;
+
+  /// Window index of a departure time; exposed for tests. Windows follow
+  /// the paper's convention of half-open-from-below buckets
+  /// (k*rho, (k+1)*rho].
+  long long windowOf(Time departure) const;
+
+  Time rho() const { return rho_; }
+
+ private:
+  Time rho_;
+};
+
+}  // namespace cdbp

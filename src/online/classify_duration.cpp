@@ -1,0 +1,61 @@
+#include "online/classify_duration.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/ratios.hpp"
+#include "core/epsilon.hpp"
+
+namespace cdbp {
+
+ClassifyByDurationFF::ClassifyByDurationFF(Time base, double alpha)
+    : base_(base), alpha_(alpha) {
+  if (!(base > 0) || !std::isfinite(base)) {
+    throw std::invalid_argument("ClassifyByDurationFF: base must be positive");
+  }
+  if (!(alpha > 1) || !std::isfinite(alpha)) {
+    throw std::invalid_argument("ClassifyByDurationFF: alpha must exceed 1");
+  }
+}
+
+ClassifyByDurationFF ClassifyByDurationFF::withKnownDurations(Time minDuration,
+                                                              double mu) {
+  if (!(minDuration > 0) || !(mu >= 1)) {
+    throw std::invalid_argument(
+        "ClassifyByDurationFF: need minDuration > 0 and mu >= 1");
+  }
+  std::size_t n = ratios::optimalDurationCategories(mu);
+  // alpha = mu^(1/n) splits [Delta, mu*Delta] into exactly n categories.
+  // Guard mu == 1 (alpha would be 1): a single category with any alpha > 1
+  // behaves identically.
+  double alpha = std::max(std::pow(mu, 1.0 / static_cast<double>(n)), 1.0 + 1e-9);
+  return ClassifyByDurationFF(minDuration, alpha);
+}
+
+std::string ClassifyByDurationFF::name() const {
+  std::ostringstream os;
+  os << "CD-FF(b=" << base_ << ",alpha=" << alpha_ << ")";
+  return os.str();
+}
+
+int ClassifyByDurationFF::categoryOf(Time duration) const {
+  if (!(duration > 0)) {
+    throw std::invalid_argument("ClassifyByDurationFF: non-positive duration");
+  }
+  double q = std::log(duration / base_) / std::log(alpha_);
+  double nearest = std::round(q);
+  if (std::fabs(q - nearest) <= 1e-9) q = nearest;
+  return static_cast<int>(std::floor(q));
+}
+
+PlacementDecision ClassifyByDurationFF::place(const BinManager& bins,
+                                              const Item& item) {
+  int category = categoryOf(item.duration());
+  for (BinId id : bins.openBins(category)) {
+    if (bins.fits(id, item.size)) return PlacementDecision::existing(id);
+  }
+  return PlacementDecision::fresh(category);
+}
+
+}  // namespace cdbp

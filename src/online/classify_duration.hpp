@@ -1,0 +1,42 @@
+// Classify-by-duration First Fit (paper §5.3, Theorem 5).
+//
+// Items are classified into geometric duration categories: with base b and
+// ratio alpha, category i holds durations in [b*alpha^(i-1), b*alpha^i).
+// First Fit packs each category separately, bounding the per-category
+// duration ratio by alpha; by the (mu+3)d + span First Fit inequality this
+// yields a competitive ratio of alpha + ceil(log_alpha(mu)) + 4, and with
+// known durations (b = Delta, alpha = mu^(1/n)) min_n mu^(1/n) + n + 3.
+#pragma once
+
+#include "online/policy.hpp"
+
+namespace cdbp {
+
+class ClassifyByDurationFF : public OnlinePolicy {
+ public:
+  /// Geometric classification with the given base duration and ratio
+  /// alpha > 1.
+  ClassifyByDurationFF(Time base, double alpha);
+
+  /// The optimal parameterization when Delta and mu are known: base =
+  /// Delta and alpha = mu^(1/n) with n = argmin_n mu^(1/n) + n + 3, giving
+  /// exactly n categories.
+  static ClassifyByDurationFF withKnownDurations(Time minDuration, double mu);
+
+  std::string name() const override;
+  bool clairvoyant() const override { return true; }
+  PlacementDecision place(const BinManager& bins, const Item& item) override;
+
+  /// Category index of a duration (0-based: category i holds durations in
+  /// [base*alpha^i, base*alpha^(i+1))). Exposed for tests.
+  int categoryOf(Time duration) const;
+
+  Time base() const { return base_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  Time base_;
+  double alpha_;
+};
+
+}  // namespace cdbp

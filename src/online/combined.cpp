@@ -1,0 +1,63 @@
+#include "online/combined.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/ratios.hpp"
+
+namespace cdbp {
+
+CombinedClassifyFF::CombinedClassifyFF(Time base, double alpha, double rhoFactor)
+    : base_(base), alpha_(alpha), rhoFactor_(rhoFactor) {
+  if (!(base > 0) || !(alpha > 1) || !(rhoFactor > 0)) {
+    throw std::invalid_argument(
+        "CombinedClassifyFF: need base > 0, alpha > 1, rhoFactor > 0");
+  }
+}
+
+CombinedClassifyFF CombinedClassifyFF::withKnownDurations(Time minDuration,
+                                                          double mu) {
+  if (!(minDuration > 0) || !(mu >= 1)) {
+    throw std::invalid_argument(
+        "CombinedClassifyFF: need minDuration > 0 and mu >= 1");
+  }
+  std::size_t n = ratios::optimalDurationCategories(mu);
+  double alpha = std::max(std::pow(mu, 1.0 / static_cast<double>(n)), 1.0 + 1e-9);
+  return CombinedClassifyFF(minDuration, alpha);
+}
+
+std::string CombinedClassifyFF::name() const {
+  std::ostringstream os;
+  os << "Combined-FF(b=" << base_ << ",alpha=" << alpha_ << ")";
+  return os.str();
+}
+
+std::pair<int, long long> CombinedClassifyFF::classOf(const Item& item) const {
+  double q = std::log(item.duration() / base_) / std::log(alpha_);
+  double nearest = std::round(q);
+  if (std::fabs(q - nearest) <= 1e-9) q = nearest;
+  int durClass = static_cast<int>(std::floor(q));
+
+  double classMinDuration = base_ * std::pow(alpha_, durClass);
+  double rho = rhoFactor_ * std::sqrt(alpha_) * classMinDuration;
+  double w = item.departure() / rho;
+  double nearestW = std::round(w);
+  if (std::fabs(w - nearestW) <= 1e-9) w = nearestW;
+  long long window = static_cast<long long>(std::ceil(w)) - 1;
+  return {durClass, window};
+}
+
+PlacementDecision CombinedClassifyFF::place(const BinManager& bins,
+                                            const Item& item) {
+  auto key = classOf(item);
+  auto [it, inserted] =
+      denseCategory_.emplace(key, static_cast<int>(denseCategory_.size()));
+  int category = it->second;
+  for (BinId id : bins.openBins(category)) {
+    if (bins.fits(id, item.size)) return PlacementDecision::existing(id);
+  }
+  return PlacementDecision::fresh(category);
+}
+
+}  // namespace cdbp

@@ -1,0 +1,48 @@
+// Combined classification First Fit — the algorithm the paper sketches as
+// future work in §5.4/§6: classify items first by duration (to cap the
+// per-class duration ratio at alpha), then sub-classify each duration class
+// by departure time.
+//
+// Within duration class i the durations lie in [b*alpha^i, b*alpha^(i+1)),
+// i.e. a class-local ratio of alpha with class-local minimum duration
+// Delta_i = b*alpha^i, so the Theorem 4 optimum suggests a class-local
+// window length rho_i = sqrt(alpha) * Delta_i. Heuristically this combines
+// the small-mu strength of classify-by-departure-time with the large-mu
+// strength of classify-by-duration.
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "online/policy.hpp"
+
+namespace cdbp {
+
+class CombinedClassifyFF : public OnlinePolicy {
+ public:
+  /// `base` and `alpha` define the duration classes as in
+  /// ClassifyByDurationFF; `rhoFactor` scales each class's departure window
+  /// rho_i = rhoFactor * sqrt(alpha) * base * alpha^i (rhoFactor = 1 is the
+  /// Theorem 4 optimum applied per class).
+  CombinedClassifyFF(Time base, double alpha, double rhoFactor = 1.0);
+
+  /// Known-durations parameterization: base = Delta, alpha chosen as in
+  /// ClassifyByDurationFF::withKnownDurations.
+  static CombinedClassifyFF withKnownDurations(Time minDuration, double mu);
+
+  std::string name() const override;
+  bool clairvoyant() const override { return true; }
+  PlacementDecision place(const BinManager& bins, const Item& item) override;
+  void reset() override { denseCategory_.clear(); }
+
+  /// (duration class, departure window) of an item; exposed for tests.
+  std::pair<int, long long> classOf(const Item& item) const;
+
+ private:
+  Time base_;
+  double alpha_;
+  double rhoFactor_;
+  std::map<std::pair<int, long long>, int> denseCategory_;
+};
+
+}  // namespace cdbp

@@ -1,0 +1,64 @@
+// Clairvoyant fit heuristics beyond the paper's classification strategies,
+// included as ablation baselines: both exploit known departure times
+// per-decision instead of per-category.
+//
+// MinExtension: place the item where it adds the least *known* usage time —
+// an open bin whose latest known departure already covers the item extends
+// by zero; a fresh bin costs the full item duration.
+//
+// DepartureAlignedBestFit: among fitting bins choose the one whose latest
+// known departure is closest to the item's departure (the per-bin analogue
+// of classify-by-departure-time, without fixed windows).
+#pragma once
+
+#include <unordered_map>
+
+#include "online/policy.hpp"
+
+namespace cdbp {
+
+/// Tracks the latest known departure per open bin (policies cannot get
+/// this from BinManager, which stores only levels).
+class DepartureTracker {
+ public:
+  void record(BinId bin, Time departure) {
+    Time& end = latest_[bin];
+    end = std::max(end, departure);
+  }
+
+  /// Latest departure recorded for the bin (0 if never seen — callers only
+  /// query bins they have placed into).
+  Time latestDeparture(BinId bin) const {
+    auto it = latest_.find(bin);
+    return it == latest_.end() ? 0 : it->second;
+  }
+
+  void clear() { latest_.clear(); }
+
+ private:
+  std::unordered_map<BinId, Time> latest_;
+};
+
+class MinExtensionPolicy : public OnlinePolicy {
+ public:
+  std::string name() const override { return "MinExtension"; }
+  bool clairvoyant() const override { return true; }
+  PlacementDecision place(const BinManager& bins, const Item& item) override;
+  void reset() override { tracker_.clear(); }
+
+ private:
+  DepartureTracker tracker_;
+};
+
+class DepartureAlignedBestFit : public OnlinePolicy {
+ public:
+  std::string name() const override { return "DepartureAlignedBF"; }
+  bool clairvoyant() const override { return true; }
+  PlacementDecision place(const BinManager& bins, const Item& item) override;
+  void reset() override { tracker_.clear(); }
+
+ private:
+  DepartureTracker tracker_;
+};
+
+}  // namespace cdbp

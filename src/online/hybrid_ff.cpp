@@ -1,0 +1,25 @@
+#include "online/hybrid_ff.hpp"
+
+#include "core/epsilon.hpp"
+
+namespace cdbp {
+
+int HybridFirstFitPolicy::sizeClass(Size size) const {
+  double bound = 0.5;  // class 0: (1/2, 1]
+  for (int cls = 0; cls < maxClasses_ - 1; ++cls) {
+    if (lt(bound, size)) return cls;
+    bound /= 2;
+  }
+  return maxClasses_ - 1;
+}
+
+PlacementDecision HybridFirstFitPolicy::place(const BinManager& bins,
+                                              const Item& item) {
+  int category = sizeClass(item.size);
+  for (BinId id : bins.openBins(category)) {
+    if (bins.fits(id, item.size)) return PlacementDecision::existing(id);
+  }
+  return PlacementDecision::fresh(category);
+}
+
+}  // namespace cdbp

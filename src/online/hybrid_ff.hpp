@@ -1,0 +1,30 @@
+// Hybrid First Fit (Li et al.): the strongest non-clairvoyant baseline
+// mentioned by the paper. Items are classified by size into geometric
+// classes — class i holds sizes in (2^-(i+1), 2^-i] — and First Fit packs
+// each class into its own bins. Co-locating similar sizes keeps bins well
+// filled; Li et al. prove a (8/7)mu + 55/7 competitive ratio (mu + 5 when
+// mu is known).
+#pragma once
+
+#include "online/policy.hpp"
+
+namespace cdbp {
+
+class HybridFirstFitPolicy : public OnlinePolicy {
+ public:
+  /// `maxClasses` caps the number of size classes; everything smaller than
+  /// 2^-maxClasses falls into the last class.
+  explicit HybridFirstFitPolicy(int maxClasses = 8) : maxClasses_(maxClasses) {}
+
+  std::string name() const override { return "HybridFF"; }
+  bool clairvoyant() const override { return false; }
+  PlacementDecision place(const BinManager& bins, const Item& item) override;
+
+  /// The size class assigned to `size`; exposed for tests.
+  int sizeClass(Size size) const;
+
+ private:
+  int maxClasses_;
+};
+
+}  // namespace cdbp

@@ -1,0 +1,48 @@
+// The online packing policy interface.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/item.hpp"
+#include "sim/bin_manager.hpp"
+
+namespace cdbp {
+
+/// A placement decision: an existing open bin (`bin >= 0`, category
+/// ignored) or a request for a new bin (`bin == kNewBin`) tagged with the
+/// policy's category for the item.
+struct PlacementDecision {
+  BinId bin = kNewBin;
+  int category = 0;
+
+  static PlacementDecision existing(BinId id) { return {id, 0}; }
+  static PlacementDecision fresh(int category) { return {kNewBin, category}; }
+};
+
+/// Base class for online packing policies.
+///
+/// The simulator calls place() once per item, in arrival order, after
+/// processing all departures up to the arrival instant. The decision is
+/// irrevocable (no migration). A policy must return a feasible bin — the
+/// simulator validates and throws on violations, since an infeasible
+/// decision is a policy bug, not an input condition.
+class OnlinePolicy {
+ public:
+  virtual ~OnlinePolicy() = default;
+
+  /// Human-readable name used in reports ("FirstFit", "CDT-FF(rho=2)", ...).
+  virtual std::string name() const = 0;
+
+  /// True when the policy reads item departure times (clairvoyant setting).
+  virtual bool clairvoyant() const = 0;
+
+  virtual PlacementDecision place(const BinManager& bins, const Item& item) = 0;
+
+  /// Clears internal state so the policy can be reused on a new instance.
+  virtual void reset() {}
+};
+
+using PolicyPtr = std::unique_ptr<OnlinePolicy>;
+
+}  // namespace cdbp

@@ -1,0 +1,42 @@
+#include "online/policy_factory.hpp"
+
+#include "online/any_fit.hpp"
+#include "online/classify_departure.hpp"
+#include "online/classify_duration.hpp"
+#include "online/combined.hpp"
+#include "online/hybrid_ff.hpp"
+
+namespace cdbp {
+
+std::vector<PolicyPtr> nonClairvoyantRoster(std::uint64_t seed) {
+  std::vector<PolicyPtr> roster;
+  roster.push_back(std::make_unique<FirstFitPolicy>());
+  roster.push_back(std::make_unique<BestFitPolicy>());
+  roster.push_back(std::make_unique<WorstFitPolicy>());
+  roster.push_back(std::make_unique<NextFitPolicy>());
+  roster.push_back(std::make_unique<HybridFirstFitPolicy>());
+  roster.push_back(std::make_unique<RandomFitPolicy>(seed));
+  return roster;
+}
+
+std::vector<PolicyPtr> clairvoyantRoster(Time minDuration, double mu) {
+  std::vector<PolicyPtr> roster;
+  roster.push_back(std::make_unique<ClassifyByDepartureFF>(
+      ClassifyByDepartureFF::withKnownDurations(minDuration, mu)));
+  roster.push_back(std::make_unique<ClassifyByDurationFF>(
+      ClassifyByDurationFF::withKnownDurations(minDuration, mu)));
+  roster.push_back(std::make_unique<CombinedClassifyFF>(
+      CombinedClassifyFF::withKnownDurations(minDuration, mu)));
+  return roster;
+}
+
+std::vector<PolicyPtr> fullRoster(Time minDuration, double mu,
+                                  std::uint64_t seed) {
+  std::vector<PolicyPtr> roster = nonClairvoyantRoster(seed);
+  for (PolicyPtr& p : clairvoyantRoster(minDuration, mu)) {
+    roster.push_back(std::move(p));
+  }
+  return roster;
+}
+
+}  // namespace cdbp

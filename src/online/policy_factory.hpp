@@ -1,0 +1,24 @@
+// Convenience constructors for the standard policy roster used by the
+// bench harness and the examples.
+#pragma once
+
+#include <vector>
+
+#include "online/policy.hpp"
+
+namespace cdbp {
+
+/// The non-clairvoyant baselines: FirstFit, BestFit, WorstFit, NextFit,
+/// HybridFF, RandomFit(seed).
+std::vector<PolicyPtr> nonClairvoyantRoster(std::uint64_t seed = 1);
+
+/// The clairvoyant strategies of the paper at their known-durations optimal
+/// parameters, plus the future-work combined strategy: CDT-FF, CD-FF,
+/// Combined-FF.
+std::vector<PolicyPtr> clairvoyantRoster(Time minDuration, double mu);
+
+/// Both rosters concatenated (baselines first).
+std::vector<PolicyPtr> fullRoster(Time minDuration, double mu,
+                                  std::uint64_t seed = 1);
+
+}  // namespace cdbp

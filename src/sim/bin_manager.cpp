@@ -1,0 +1,45 @@
+#include "sim/bin_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cdbp {
+
+const std::vector<BinId>& BinManager::openBins(int category) const {
+  static const std::vector<BinId> kEmpty;
+  auto it = openByCategory_.find(category);
+  return it == openByCategory_.end() ? kEmpty : it->second;
+}
+
+BinId BinManager::openBin(int category, Time now) {
+  BinId id = static_cast<BinId>(bins_.size());
+  bins_.push_back({id, category, 0.0, 0, now, true});
+  open_.push_back(id);
+  openByCategory_[category].push_back(id);
+  return id;
+}
+
+void BinManager::addItem(BinId id, Size size) {
+  BinInfo& bin = bins_[static_cast<std::size_t>(id)];
+  if (!bin.open) throw std::logic_error("BinManager::addItem: bin is closed");
+  bin.level += size;
+  ++bin.itemCount;
+}
+
+bool BinManager::removeItem(BinId id, Size size) {
+  BinInfo& bin = bins_[static_cast<std::size_t>(id)];
+  if (!bin.open || bin.itemCount == 0) {
+    throw std::logic_error("BinManager::removeItem: bin is not holding items");
+  }
+  bin.level -= size;
+  --bin.itemCount;
+  if (bin.itemCount > 0) return false;
+  bin.level = 0;  // flush accumulated floating-point residue
+  bin.open = false;
+  open_.erase(std::find(open_.begin(), open_.end(), id));
+  auto& cat = openByCategory_[bin.category];
+  cat.erase(std::find(cat.begin(), cat.end(), id));
+  return true;
+}
+
+}  // namespace cdbp

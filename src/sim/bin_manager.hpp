@@ -1,0 +1,73 @@
+// BinManager: the open-bin state an online packing policy sees.
+//
+// Bins are opened when they receive their first item and closed — forever —
+// when their last active item departs (paper §5). Every open bin carries a
+// policy-defined integer category: classification policies (classify-by-
+// departure-time, classify-by-duration, Hybrid First Fit) only co-locate
+// items of the same category, so the manager maintains per-category open
+// lists in opening order.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "core/epsilon.hpp"
+#include "core/item.hpp"
+#include "core/types.hpp"
+
+namespace cdbp {
+
+class BinManager {
+ public:
+  struct BinInfo {
+    BinId id = 0;
+    int category = 0;
+    Size level = 0;           ///< total size of items currently in the bin
+    std::size_t itemCount = 0;  ///< number of items currently in the bin
+    Time openedAt = 0;
+    bool open = false;
+  };
+
+  /// All open bins in opening order.
+  const std::vector<BinId>& openBins() const { return open_; }
+
+  /// Open bins of one category in opening order (empty list if none).
+  const std::vector<BinId>& openBins(int category) const;
+
+  /// Metadata of a bin (open or closed).
+  const BinInfo& info(BinId id) const { return bins_[static_cast<std::size_t>(id)]; }
+
+  /// Whether adding `size` keeps the bin within the unit capacity. Because
+  /// all already-placed items arrived no later than now, the current level
+  /// is the maximum future level, so this single check certifies
+  /// feasibility over the incoming item's whole stay.
+  bool fits(BinId id, Size size) const {
+    return info(id).open && fitsCapacity(info(id).level, size);
+  }
+
+  /// Total bins ever opened.
+  std::size_t binsOpened() const { return bins_.size(); }
+
+  /// Currently open bin count.
+  std::size_t openCount() const { return open_.size(); }
+
+  // --- Mutation interface (driven by the Simulator) ---
+
+  /// Opens a new bin with the given category; returns its global id.
+  BinId openBin(int category, Time now);
+
+  /// Adds an item's size to a bin.
+  void addItem(BinId id, Size size);
+
+  /// Removes an item's size; closes the bin when it empties. Returns true
+  /// when the bin closed.
+  bool removeItem(BinId id, Size size);
+
+ private:
+  std::vector<BinInfo> bins_;
+  std::vector<BinId> open_;
+  std::map<int, std::vector<BinId>> openByCategory_;
+};
+
+}  // namespace cdbp

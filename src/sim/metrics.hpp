@@ -1,0 +1,42 @@
+// Packing diagnostics beyond the headline usage-time figure: utilization,
+// open-bin statistics, busy-period (server rental) distributions and
+// fragmentation measures. Used by the examples and benches for reporting.
+#pragma once
+
+#include <vector>
+
+#include "core/packing.hpp"
+#include "util/stats.hpp"
+
+namespace cdbp {
+
+struct PackingMetrics {
+  Time totalUsage = 0;
+  std::size_t binsUsed = 0;
+  std::size_t maxConcurrentBins = 0;
+
+  /// Time-averaged number of open bins over the instance span.
+  double avgOpenBins = 0;
+
+  /// demand / usage: fraction of paid bin-time actually holding items.
+  double utilization = 0;
+
+  /// usage - demand: paid-for but idle capacity-time ("fragmentation").
+  double wastedTime = 0;
+
+  /// Length distribution of individual busy periods (= server rentals).
+  SummaryStats rentalLengths;
+
+  /// Per-bin usage distribution.
+  SummaryStats binUsages;
+};
+
+PackingMetrics computeMetrics(const Packing& packing);
+
+/// Samples the open-bin count on a uniform grid over the instance span
+/// (for plotting). Returns (time, openBins) pairs; empty for empty
+/// instances.
+std::vector<std::pair<Time, double>> openBinTimeSeries(const Packing& packing,
+                                                       std::size_t samples);
+
+}  // namespace cdbp

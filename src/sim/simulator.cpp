@@ -1,0 +1,91 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "core/epsilon.hpp"
+
+namespace cdbp {
+
+SimResult simulateOnline(const Instance& instance, OnlinePolicy& policy,
+                         const SimOptions& options) {
+  policy.reset();
+  BinManager bins;
+  std::vector<BinId> binOf(instance.size(), kUnassigned);
+  std::set<int> categories;
+  std::size_t maxOpen = 0;
+
+  // Departure queue: (time, item id, bin) ordered by time.
+  using Departure = std::pair<Time, ItemId>;
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>> departures;
+
+  std::vector<Item> order = instance.sortedByArrival();
+  for (const Item& r : order) {
+    // Release capacity from every item departing up to (and including) the
+    // arrival instant: intervals are half-open, so an item leaving at t
+    // does not overlap one arriving at t.
+    while (!departures.empty() && departures.top().first <= r.arrival()) {
+      ItemId gone = departures.top().second;
+      departures.pop();
+      bins.removeItem(binOf[gone], instance[gone].size);
+    }
+
+    Item announced = r;
+    if (options.announce) {
+      announced = options.announce(r);
+      if (announced.id != r.id || announced.size != r.size ||
+          announced.arrival() != r.arrival()) {
+        throw std::logic_error(
+            "SimOptions::announce may only perturb the departure time");
+      }
+    }
+
+    PlacementDecision decision = policy.place(bins, announced);
+    BinId target = decision.bin;
+    if (target == kNewBin) {
+      target = bins.openBin(decision.category, r.arrival());
+    } else {
+      if (!bins.info(target).open) {
+        throw std::logic_error(policy.name() + " placed item " +
+                               std::to_string(r.id) + " in closed bin " +
+                               std::to_string(target));
+      }
+      if (!bins.fits(target, r.size)) {
+        throw std::logic_error(policy.name() + " overfilled bin " +
+                               std::to_string(target) + " with item " +
+                               std::to_string(r.id));
+      }
+    }
+    if (options.trace) {
+      PlacementRecord record;
+      record.item = r.id;
+      record.time = r.arrival();
+      record.bin = target;
+      record.openedNewBin = decision.bin == kNewBin;
+      record.category = bins.info(target).category;
+      // Count excludes the bin just opened for this item, so the field
+      // reflects the state the policy decided against.
+      record.openBins = bins.openCount() - (decision.bin == kNewBin ? 1 : 0);
+      record.binLevelBefore = bins.info(target).level;
+      options.trace->record(record);
+    }
+    bins.addItem(target, r.size);
+    binOf[r.id] = target;
+    categories.insert(bins.info(target).category);
+    departures.emplace(r.departure(), r.id);
+    maxOpen = std::max(maxOpen, bins.openCount());
+  }
+
+  SimResult result;
+  result.packing = Packing(instance, std::move(binOf));
+  result.totalUsage = result.packing.totalUsage();
+  result.binsOpened = bins.binsOpened();
+  result.maxOpenBins = maxOpen;
+  result.categoriesUsed = categories.size();
+  return result;
+}
+
+}  // namespace cdbp

@@ -1,0 +1,98 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdbp {
+
+namespace {
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+}
+
+AsciiChart::AsciiChart(int width, int height) : width_(width), height_(height) {
+  if (width_ < 10 || height_ < 4) {
+    throw std::invalid_argument("AsciiChart: plot area too small");
+  }
+}
+
+void AsciiChart::addSeries(std::string name, std::vector<double> x,
+                           std::vector<double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("AsciiChart::addSeries: x/y size mismatch");
+  }
+  char glyph = kGlyphs[series_.size() % (sizeof(kGlyphs) / sizeof(kGlyphs[0]))];
+  series_.push_back({std::move(name), std::move(x), std::move(y), glyph});
+}
+
+void AsciiChart::print(std::ostream& os) const {
+  double xMin = std::numeric_limits<double>::infinity();
+  double xMax = -xMin;
+  double yMin = std::numeric_limits<double>::infinity();
+  double yMax = -yMin;
+  for (const Series& s : series_) {
+    for (double v : s.x) {
+      double vv = logX_ ? std::log10(v) : v;
+      xMin = std::min(xMin, vv);
+      xMax = std::max(xMax, vv);
+    }
+    for (double v : s.y) {
+      yMin = std::min(yMin, v);
+      yMax = std::max(yMax, v);
+    }
+  }
+  if (!(xMax > xMin)) xMax = xMin + 1;
+  if (!(yMax > yMin)) yMax = yMin + 1;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      double xv = logX_ ? std::log10(s.x[i]) : s.x[i];
+      int col = static_cast<int>(std::lround((xv - xMin) / (xMax - xMin) *
+                                             (width_ - 1)));
+      int row = static_cast<int>(std::lround((s.y[i] - yMin) / (yMax - yMin) *
+                                             (height_ - 1)));
+      col = std::clamp(col, 0, width_ - 1);
+      row = std::clamp(row, 0, height_ - 1);
+      grid[static_cast<std::size_t>(height_ - 1 - row)]
+          [static_cast<std::size_t>(col)] = s.glyph;
+    }
+  }
+
+  std::ostringstream top;
+  top << std::setprecision(4) << yMax;
+  std::ostringstream bottom;
+  bottom << std::setprecision(4) << yMin;
+  std::size_t label = std::max(top.str().size(), bottom.str().size());
+
+  for (int row = 0; row < height_; ++row) {
+    std::string prefix(label, ' ');
+    if (row == 0) prefix = top.str() + std::string(label - top.str().size(), ' ');
+    if (row == height_ - 1) {
+      prefix = bottom.str() + std::string(label - bottom.str().size(), ' ');
+    }
+    os << prefix << " |" << grid[static_cast<std::size_t>(row)] << '\n';
+  }
+  os << std::string(label + 1, ' ') << '+' << std::string(static_cast<std::size_t>(width_), '-')
+     << '\n';
+  std::ostringstream left;
+  left << std::setprecision(4) << (logX_ ? std::pow(10.0, xMin) : xMin);
+  std::ostringstream right;
+  right << std::setprecision(4) << (logX_ ? std::pow(10.0, xMax) : xMax);
+  os << std::string(label + 2, ' ') << left.str()
+     << std::string(
+            std::max<std::size_t>(
+                1, static_cast<std::size_t>(width_) - left.str().size() -
+                       right.str().size()),
+            ' ')
+     << right.str() << (logX_ ? "  (log x)" : "") << '\n';
+  for (const Series& s : series_) {
+    os << "  " << s.glyph << " = " << s.name << '\n';
+  }
+}
+
+}  // namespace cdbp

@@ -1,0 +1,40 @@
+// Terminal line charts: the bench harness renders each paper figure both as
+// a numeric table and as an ASCII plot, so "shape" claims (who wins, where
+// curves cross) can be eyeballed straight from bench output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cdbp {
+
+class AsciiChart {
+ public:
+  /// `width`/`height` are the plot area in character cells.
+  AsciiChart(int width = 72, int height = 20);
+
+  /// Adds a named series. Each series is drawn with its own glyph
+  /// (assigned in insertion order). x must be ascending.
+  void addSeries(std::string name, std::vector<double> x, std::vector<double> y);
+
+  /// Log-scale the x axis (useful for mu sweeps spanning decades).
+  void setLogX(bool enabled) { logX_ = enabled; }
+
+  void print(std::ostream& os) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> x;
+    std::vector<double> y;
+    char glyph;
+  };
+
+  int width_;
+  int height_;
+  bool logX_ = false;
+  std::vector<Series> series_;
+};
+
+}  // namespace cdbp

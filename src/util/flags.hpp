@@ -1,0 +1,29 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+//   cdbp::Flags flags(argc, argv);
+//   int n = flags.getInt("items", 2000);
+//   double mu = flags.getDouble("mu", 16.0);
+//   if (flags.has("csv")) ...
+//
+// Accepts --name=value, --name value, and bare --name switches.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace cdbp {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string getString(const std::string& name, const std::string& fallback) const;
+  long getInt(const std::string& name, long fallback) const;
+  double getDouble(const std::string& name, double fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace cdbp

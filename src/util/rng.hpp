@@ -1,0 +1,72 @@
+// Deterministic random number generation for workloads and property tests.
+//
+// A thin wrapper over std::mt19937_64 that makes seeding explicit and
+// provides the distributions the workload generators need. Identical seeds
+// produce identical streams on every platform we target (mt19937_64 output
+// is specified by the standard; the distribution helpers below avoid
+// std::*_distribution where cross-platform reproducibility matters).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace cdbp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    // 53 random mantissa bits -> exact uniform dyadic rationals.
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi) {
+    // Modulo bias is < 2^-40 for any range we use; acceptable for
+    // simulation workloads and fully reproducible.
+    return lo + engine_() % (hi - lo + 1);
+  }
+
+  /// Exponential with the given mean (mean = 1/rate).
+  double exponential(double mean) {
+    double u = uniform01();
+    // u in [0,1); 1-u in (0,1] so the log is finite.
+    return -mean * std::log(1.0 - u);
+  }
+
+  /// Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed durations).
+  double pareto(double xm, double alpha) {
+    double u = uniform01();
+    return xm / std::pow(1.0 - u, 1.0 / alpha);
+  }
+
+  /// Log-normal via Box-Muller on the underlying normal(mu, sigma).
+  double logNormal(double mu, double sigma) {
+    double u1 = uniform01();
+    double u2 = uniform01();
+    // Guard u1 = 0.
+    double radius = std::sqrt(-2.0 * std::log(1.0 - u1));
+    double normal = radius * std::cos(6.283185307179586 * u2);
+    return std::exp(mu + sigma * normal);
+  }
+
+  /// Bernoulli(p).
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Derives an independent child generator; lets parallel sweeps share one
+  /// master seed while keeping per-task streams decorrelated.
+  Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ull); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cdbp

@@ -1,0 +1,68 @@
+// Summary statistics for benchmark reporting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace cdbp {
+
+/// Accumulates samples and reports the summary figures the bench harness
+/// prints (mean, stddev, min/max, percentiles).
+class SummaryStats {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double sum() const {
+    double total = 0;
+    for (double x : samples_) total += x;
+    return total;
+  }
+
+  double mean() const { return empty() ? 0.0 : sum() / static_cast<double>(count()); }
+
+  double variance() const {
+    if (count() < 2) return 0.0;
+    double m = mean();
+    double accum = 0;
+    for (double x : samples_) accum += (x - m) * (x - m);
+    return accum / static_cast<double>(count() - 1);
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+
+  double min() const {
+    return empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double max() const {
+    return empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Percentile in [0, 100] with linear interpolation between order
+  /// statistics.
+  double percentile(double p) const {
+    if (empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted[0];
+    double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace cdbp

@@ -1,0 +1,37 @@
+// Fixed-width table rendering for benchmark and example output.
+//
+// Every bench binary prints its figure/table through this so the output is
+// uniform and directly comparable with the series in EXPERIMENTS.md.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cdbp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header arity.
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+
+  /// Renders with aligned columns and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (no alignment, comma-separated, quoted when needed).
+  void printCsv(std::ostream& os) const;
+
+  std::size_t numRows() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cdbp

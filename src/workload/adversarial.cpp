@@ -1,0 +1,70 @@
+#include "workload/adversarial.hpp"
+
+#include <stdexcept>
+
+namespace cdbp {
+
+Instance theorem3CaseA(double x, double eps) {
+  if (!(x > 1) || !(eps > 0) || !(eps < 0.5)) {
+    throw std::invalid_argument("theorem3CaseA: need x > 1 and 0 < eps < 1/2");
+  }
+  return InstanceBuilder()
+      .add(0.5 - eps, 0, x)  // first item: duration x
+      .add(0.5 - eps, 0, 1)  // second item: duration 1
+      .build();
+}
+
+Instance theorem3CaseB(double x, double eps, double tau) {
+  if (!(x > 1) || !(eps > 0) || !(eps < 0.5) || !(tau > 0)) {
+    throw std::invalid_argument(
+        "theorem3CaseB: need x > 1, 0 < eps < 1/2, tau > 0");
+  }
+  return InstanceBuilder()
+      .add(0.5 - eps, 0, x)
+      .add(0.5 - eps, 0, 1)
+      .add(0.5 + eps, tau, tau + x)  // third item: duration x
+      .add(0.5 + eps, tau, tau + 1)  // fourth item: duration 1
+      .build();
+}
+
+Instance firstFitSliverTrap(std::size_t k, double mu, double sliver) {
+  if (k == 0 || !(mu > 1)) {
+    throw std::invalid_argument("firstFitSliverTrap: need k >= 1 and mu > 1");
+  }
+  if (sliver == 0) sliver = 1.0 / static_cast<double>(k + 1);
+  if (!(sliver > 0) || static_cast<double>(k) * sliver > 1.0) {
+    throw std::invalid_argument("firstFitSliverTrap: need k * sliver <= 1");
+  }
+  // Phase gap small enough that all fillers coexist: every filler lives one
+  // unit, phases are delta apart with k*delta << 1.
+  double delta = 0.5 / static_cast<double>(k + 1);
+  InstanceBuilder builder;
+  for (std::size_t j = 1; j <= k; ++j) {
+    double t = static_cast<double>(j - 1) * delta;
+    builder.add(1.0 - sliver, t, t + 1.0);  // filler, short
+    builder.add(sliver, t, t + mu);         // sliver, long
+  }
+  return builder.build();
+}
+
+Instance sawtoothWaves(std::size_t waves, std::size_t pairsPerWave, double mu,
+                       double eps) {
+  if (waves == 0 || pairsPerWave == 0 || !(mu > 1) || !(eps > 0) || !(eps < 0.5)) {
+    throw std::invalid_argument("sawtoothWaves: invalid parameters");
+  }
+  InstanceBuilder builder;
+  // Waves are spaced so that a wave's long items outlive the next wave's
+  // short items, sustaining the fragmentation.
+  double waveGap = mu / 2.0;
+  for (std::size_t w = 0; w < waves; ++w) {
+    double t0 = static_cast<double>(w) * waveGap;
+    for (std::size_t p = 0; p < pairsPerWave; ++p) {
+      double t = t0 + static_cast<double>(p) * 1e-4;
+      builder.add(0.5 + eps, t, t + 1.0);   // big, short
+      builder.add(0.5 - eps, t, t + mu);    // small, long
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace cdbp

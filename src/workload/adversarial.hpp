@@ -1,0 +1,39 @@
+// Adversarial instances: the Theorem 3 lower-bound gadget and stress
+// constructions that separate the clairvoyant strategies from the
+// non-clairvoyant baselines.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+
+namespace cdbp {
+
+/// Theorem 3, case A: two items of size 1/2 - eps arriving at time 0 with
+/// durations x and 1 (x > 1). The optimum packs them together (usage x).
+Instance theorem3CaseA(double x, double eps);
+
+/// Theorem 3, case B: case A plus two items of size 1/2 + eps arriving at
+/// time tau with durations x and 1. The optimum pairs items 1&3 and 2&4
+/// (usage x + 1 + 2*tau).
+Instance theorem3CaseB(double x, double eps, double tau);
+
+/// The "sliver cascade" that drives plain First Fit to Theta(mu) times the
+/// optimum while duration-aware strategies stay O(1):
+///
+/// k phases; phase j brings a filler of size 1 - sliver (departing after
+/// one unit) immediately followed by a sliver of size `sliver` that lives
+/// for `mu` units. Under First Fit every earlier bin sits at level exactly
+/// 1, so each sliver tops off its own phase's filler bin; after the
+/// fillers depart, k bins each idle at a tiny level for mu units. The
+/// optimum consolidates all slivers into one bin. Requires k * sliver <= 1;
+/// sliver defaults to 1/(k+1).
+Instance firstFitSliverTrap(std::size_t k, double mu, double sliver = 0);
+
+/// Saw-tooth stress for Any Fit algorithms: waves of alternating big
+/// (1/2 + eps, short) and small (1/2 - eps, long) items; pairing bigs with
+/// smalls is the Any Fit move and the wrong one.
+Instance sawtoothWaves(std::size_t waves, std::size_t pairsPerWave, double mu,
+                       double eps = 0.05);
+
+}  // namespace cdbp

@@ -1,0 +1,114 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace cdbp {
+
+namespace {
+
+std::vector<Time> drawArrivals(const WorkloadSpec& spec, Rng& rng) {
+  std::vector<Time> arrivals;
+  arrivals.reserve(spec.numItems);
+  double gapMean = 1.0 / spec.arrivalRate;
+  switch (spec.arrivals) {
+    case ArrivalProcess::kPoisson: {
+      Time t = 0;
+      for (std::size_t i = 0; i < spec.numItems; ++i) {
+        t += rng.exponential(gapMean);
+        arrivals.push_back(t);
+      }
+      break;
+    }
+    case ArrivalProcess::kUniform: {
+      Time horizon = static_cast<Time>(spec.numItems) * gapMean;
+      for (std::size_t i = 0; i < spec.numItems; ++i) {
+        arrivals.push_back(rng.uniform(0, horizon));
+      }
+      std::sort(arrivals.begin(), arrivals.end());
+      break;
+    }
+    case ArrivalProcess::kBursty: {
+      Time t = 0;
+      while (arrivals.size() < spec.numItems) {
+        t += rng.exponential(gapMean * static_cast<double>(spec.burstSize));
+        for (std::size_t b = 0; b < spec.burstSize && arrivals.size() < spec.numItems;
+             ++b) {
+          arrivals.push_back(t);
+        }
+      }
+      break;
+    }
+  }
+  return arrivals;
+}
+
+Time drawDuration(const WorkloadSpec& spec, Rng& rng) {
+  Time lo = spec.minDuration;
+  Time hi = spec.mu * spec.minDuration;
+  Time d = lo;
+  switch (spec.durations) {
+    case DurationDist::kUniform:
+      d = rng.uniform(lo, hi);
+      break;
+    case DurationDist::kExponential:
+      d = rng.exponential((lo + hi) / 4.0);
+      break;
+    case DurationDist::kPareto:
+      d = rng.pareto(lo, spec.paretoShape);
+      break;
+    case DurationDist::kLogNormal:
+      d = lo * rng.logNormal(std::log(std::sqrt(spec.mu)) , spec.logNormalSigma);
+      break;
+    case DurationDist::kBimodal:
+      if (rng.chance(spec.bimodalShortFraction)) {
+        d = rng.uniform(lo, std::min(hi, 2 * lo));
+      } else {
+        d = rng.uniform(std::max(lo, hi / 2), hi);
+      }
+      break;
+  }
+  return std::clamp(d, lo, hi);
+}
+
+Size drawSize(const WorkloadSpec& spec, Rng& rng) {
+  switch (spec.sizes) {
+    case SizeDist::kUniform:
+      return rng.uniform(spec.minSize, spec.maxSize);
+    case SizeDist::kSmallOnly:
+      return rng.uniform(spec.minSize, std::min<Size>(0.5, spec.maxSize));
+    case SizeDist::kFlavors:
+      return spec.flavors[static_cast<std::size_t>(
+          rng.uniformInt(0, spec.flavors.size() - 1))];
+  }
+  return spec.minSize;
+}
+
+}  // namespace
+
+Instance generateWorkload(const WorkloadSpec& spec, std::uint64_t seed) {
+  if (!(spec.mu >= 1) || !(spec.minDuration > 0) || !(spec.arrivalRate > 0)) {
+    throw std::invalid_argument(
+        "generateWorkload: need mu >= 1, minDuration > 0, arrivalRate > 0");
+  }
+  if (!(spec.minSize > 0) || !(spec.maxSize <= 1) || spec.minSize > spec.maxSize) {
+    throw std::invalid_argument(
+        "generateWorkload: sizes must satisfy 0 < minSize <= maxSize <= 1");
+  }
+  Rng rng(seed);
+  std::vector<Time> arrivals = drawArrivals(spec, rng);
+  std::vector<Item> items;
+  items.reserve(spec.numItems);
+  for (std::size_t i = 0; i < spec.numItems; ++i) {
+    Time arrival = arrivals[i];
+    Time duration = drawDuration(spec, rng);
+    Size size = drawSize(spec, rng);
+    items.emplace_back(static_cast<ItemId>(i), size, arrival, arrival + duration);
+  }
+  return Instance(std::move(items));
+}
+
+}  // namespace cdbp

@@ -1,0 +1,61 @@
+// Seeded synthetic workload generation.
+//
+// The paper's evaluation is analytic, so the simulation benches need
+// workloads whose key knobs — the duration ratio mu, the arrival process,
+// the size law — can be dialed directly. All generators are deterministic
+// under a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace cdbp {
+
+enum class ArrivalProcess {
+  kPoisson,   ///< exponential inter-arrival gaps with the given rate
+  kUniform,   ///< arrivals uniform over [0, numItems/rate)
+  kBursty,    ///< Poisson-gapped bursts of `burstSize` simultaneous arrivals
+};
+
+enum class DurationDist {
+  kUniform,      ///< uniform over [minDuration, mu*minDuration]
+  kExponential,  ///< exponential, clamped into [minDuration, mu*minDuration]
+  kPareto,       ///< Pareto(shape), clamped — heavy-tailed job lengths
+  kLogNormal,    ///< log-normal, clamped
+  kBimodal,      ///< mixture of short [Delta, 2*Delta] and long [mu*Delta/2, mu*Delta]
+};
+
+enum class SizeDist {
+  kUniform,      ///< uniform over [minSize, maxSize]
+  kSmallOnly,    ///< uniform over [minSize, 1/2] (feeds the demand chart path)
+  kFlavors,      ///< uniform choice among `flavors` (VM-flavor style)
+};
+
+struct WorkloadSpec {
+  std::size_t numItems = 1000;
+
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  double arrivalRate = 4.0;  ///< expected arrivals per unit time
+  std::size_t burstSize = 8;
+
+  DurationDist durations = DurationDist::kUniform;
+  Time minDuration = 1.0;
+  double mu = 16.0;          ///< duration ratio knob (>= 1)
+  double paretoShape = 1.5;
+  double logNormalSigma = 1.0;
+  double bimodalShortFraction = 0.7;
+
+  SizeDist sizes = SizeDist::kUniform;
+  Size minSize = 0.05;
+  Size maxSize = 1.0;
+  std::vector<Size> flavors = {0.125, 0.25, 0.375, 0.5, 0.75, 1.0};
+};
+
+/// Generates an instance following `spec`. Durations are clamped into
+/// [minDuration, mu*minDuration], so the realized duration ratio never
+/// exceeds spec.mu (compute Instance::durationRatio() for the exact value).
+Instance generateWorkload(const WorkloadSpec& spec, std::uint64_t seed);
+
+}  // namespace cdbp

@@ -1,0 +1,56 @@
+#include "workload/scenarios.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace cdbp {
+
+Instance cloudGamingSessions(const CloudGamingSpec& spec, std::uint64_t seed) {
+  Rng rng(seed);
+  InstanceBuilder builder;
+  Time t = 0;
+  constexpr double kMinutesPerDay = 24.0 * 60.0;
+  for (std::size_t i = 0; i < spec.numSessions; ++i) {
+    // Thinned Poisson process: the instantaneous rate follows a diurnal
+    // sine with peak at spec.peakArrivalsPerMinute and trough at 10% of it.
+    for (;;) {
+      t += rng.exponential(1.0 / spec.peakArrivalsPerMinute);
+      double phase = 2.0 * 3.141592653589793 * (t / kMinutesPerDay);
+      double relativeRate = 0.55 + 0.45 * std::sin(phase);  // in [0.1, 1]
+      if (rng.chance(relativeRate)) break;
+    }
+    double length = spec.medianSessionMinutes *
+                    rng.logNormal(0.0, spec.sessionSigma);
+    length = std::clamp(length, spec.minSessionMinutes, spec.maxSessionMinutes);
+    Size share = spec.instanceShares[static_cast<std::size_t>(
+        rng.uniformInt(0, spec.instanceShares.size() - 1))];
+    builder.add(share, t, t + length);
+  }
+  return builder.build();
+}
+
+Instance batchAnalyticsJobs(const BatchAnalyticsSpec& spec, std::uint64_t seed) {
+  Rng rng(seed);
+  InstanceBuilder builder;
+  for (std::size_t tmpl = 0; tmpl < spec.numTemplates; ++tmpl) {
+    // Template-stable characteristics: recurring jobs look the same run
+    // after run, which is what makes their departure times predictable.
+    double offset = rng.uniform(0, spec.periodMinutes * (1.0 - spec.maxRunFraction));
+    double duration = spec.periodMinutes *
+                      rng.uniform(spec.minRunFraction, spec.maxRunFraction);
+    Size share = rng.uniform(0.05, 0.6);
+    for (std::size_t period = 0; period < spec.numPeriods; ++period) {
+      double jitter = spec.periodMinutes * spec.jitterFraction *
+                      (rng.uniform01() - 0.5);
+      Time start = static_cast<double>(period) * spec.periodMinutes + offset +
+                   jitter;
+      start = std::max(start, 0.0);
+      builder.add(share, start, start + duration);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace cdbp

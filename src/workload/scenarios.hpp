@@ -1,0 +1,51 @@
+// Domain scenario generators modeled on the applications that motivate the
+// paper (§1): cloud gaming sessions with predictable ending times, and
+// recurring data-analytics jobs.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+
+namespace cdbp {
+
+struct CloudGamingSpec {
+  std::size_t numSessions = 2000;
+  /// Peak session arrival rate (sessions per minute); the realized rate is
+  /// modulated by a diurnal profile with this peak.
+  double peakArrivalsPerMinute = 2.0;
+  /// Median session length in minutes; lengths are log-normal around it.
+  double medianSessionMinutes = 30.0;
+  double sessionSigma = 0.6;
+  /// Per-title resource shares of a server (game instances per flavor).
+  std::vector<Size> instanceShares = {0.25, 0.25, 0.5, 1.0};
+  /// Hard caps on session length (platform policy), in minutes.
+  double minSessionMinutes = 5.0;
+  double maxSessionMinutes = 240.0;
+};
+
+/// Game sessions over a multi-day horizon with a sinusoidal diurnal arrival
+/// pattern. Times are in minutes.
+Instance cloudGamingSessions(const CloudGamingSpec& spec, std::uint64_t seed);
+
+struct BatchAnalyticsSpec {
+  /// Number of distinct recurring job templates.
+  std::size_t numTemplates = 40;
+  /// Number of scheduling periods to materialize (e.g. hours).
+  std::size_t numPeriods = 24;
+  /// Length of one period in time units (minutes).
+  double periodMinutes = 60.0;
+  /// Per-run duration range as a fraction of the period.
+  double minRunFraction = 0.05;
+  double maxRunFraction = 0.8;
+  /// Start-time jitter within the period, as a fraction of the period.
+  double jitterFraction = 0.1;
+};
+
+/// Recurring analytics jobs: each template fires once per period at a fixed
+/// offset (plus jitter) with a stable duration and resource share —
+/// the "jobs are mostly recurring" setting of [21, 12] where departure
+/// times are predictable.
+Instance batchAnalyticsJobs(const BatchAnalyticsSpec& spec, std::uint64_t seed);
+
+}  // namespace cdbp

@@ -1,0 +1,72 @@
+#include "workload/transforms.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cdbp {
+
+Instance scaleTime(const Instance& instance, double factor) {
+  if (!(factor > 0)) throw std::invalid_argument("scaleTime: factor must be > 0");
+  std::vector<Item> items;
+  items.reserve(instance.size());
+  for (const Item& r : instance.items()) {
+    items.emplace_back(r.id, r.size, r.arrival() * factor,
+                       r.departure() * factor);
+  }
+  return Instance(std::move(items));
+}
+
+Instance shiftTime(const Instance& instance, Time offset) {
+  std::vector<Item> items;
+  items.reserve(instance.size());
+  for (const Item& r : instance.items()) {
+    items.emplace_back(r.id, r.size, r.arrival() + offset,
+                       r.departure() + offset);
+  }
+  return Instance(std::move(items));
+}
+
+Instance scaleSizes(const Instance& instance, double factor) {
+  if (!(factor > 0)) {
+    throw std::invalid_argument("scaleSizes: factor must be > 0");
+  }
+  std::vector<Item> items;
+  items.reserve(instance.size());
+  for (const Item& r : instance.items()) {
+    Size scaled = std::clamp(r.size * factor, 1e-12, 1.0);
+    items.emplace_back(r.id, scaled, r.arrival(), r.departure());
+  }
+  return Instance(std::move(items));
+}
+
+Instance mergeInstances(const Instance& a, const Instance& b) {
+  std::vector<Item> items;
+  items.reserve(a.size() + b.size());
+  for (const Item& r : a.items()) items.push_back(r);
+  for (const Item& r : b.items()) items.push_back(r);
+  return Instance(std::move(items));
+}
+
+Instance filterItems(const Instance& instance,
+                     const std::function<bool(const Item&)>& keep) {
+  std::vector<Item> items;
+  for (const Item& r : instance.items()) {
+    if (keep(r)) items.push_back(r);
+  }
+  return Instance(std::move(items));
+}
+
+std::pair<Instance, Instance> splitAt(const Instance& instance, Time t) {
+  std::vector<Item> early;
+  std::vector<Item> late;
+  for (const Item& r : instance.items()) {
+    if (r.arrival() < t) {
+      early.push_back(r);
+    } else {
+      late.push_back(r);
+    }
+  }
+  return {Instance(std::move(early)), Instance(std::move(late))};
+}
+
+}  // namespace cdbp

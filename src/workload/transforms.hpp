@@ -1,0 +1,38 @@
+// Instance transformations: time scaling/shifting, size perturbation,
+// merging and filtering. Besides trace preparation, these power the
+// metamorphic property tests — e.g. every algorithm's usage must scale
+// linearly under time dilation, and packing decisions must be invariant
+// under time shifts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/instance.hpp"
+
+namespace cdbp {
+
+/// New instance with every time multiplied by `factor` (> 0). Usage of any
+/// reasonable algorithm scales by the same factor.
+Instance scaleTime(const Instance& instance, double factor);
+
+/// New instance with every time shifted by `offset`. Shift-invariant
+/// algorithms (everything in this repo except the fixed-origin
+/// classify-by-departure windows) produce identical assignments.
+Instance shiftTime(const Instance& instance, Time offset);
+
+/// Multiplies every size by `factor`, clamping into (0, 1].
+Instance scaleSizes(const Instance& instance, double factor);
+
+/// Concatenates two instances (ids are renumbered).
+Instance mergeInstances(const Instance& a, const Instance& b);
+
+/// Keeps the items matching the predicate; ids are renumbered.
+Instance filterItems(const Instance& instance,
+                     const std::function<bool(const Item&)>& keep);
+
+/// Splits the instance at time `t`: items active strictly before t in the
+/// first part, the rest in the second. Items straddling t go to the first.
+std::pair<Instance, Instance> splitAt(const Instance& instance, Time t);
+
+}  // namespace cdbp

@@ -1,0 +1,86 @@
+#include "analysis/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "offline/ddff.hpp"
+#include "online/classify_departure.hpp"
+#include "online/classify_duration.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(Audit, FeasibilityPassesOnValidPacking) {
+  Instance inst = InstanceBuilder().add(0.5, 0, 2).add(0.5, 0, 2).build();
+  Packing packing(inst, {0, 0});
+  AuditReport report = auditFeasibility(inst, packing);
+  EXPECT_TRUE(report.allHold()) << report.describe();
+  EXPECT_EQ(report.checks.size(), 3u);
+}
+
+TEST(Audit, FeasibilityFailsOnOverfullBin) {
+  Instance inst = InstanceBuilder().add(0.7, 0, 2).add(0.7, 0, 2).build();
+  Packing packing(inst, {0, 0});
+  AuditReport report = auditFeasibility(inst, packing);
+  EXPECT_FALSE(report.allHold());
+  EXPECT_NE(report.describe().find("FAIL"), std::string::npos);
+}
+
+TEST(Audit, CheckDescribeFormatsBothOutcomes) {
+  AuditCheck good{"good", 1.0, 2.0, true};
+  AuditCheck bad{"bad", 3.0, 2.0, false};
+  EXPECT_NE(good.describe().find("[ok]"), std::string::npos);
+  EXPECT_NE(bad.describe().find("[FAIL]"), std::string::npos);
+}
+
+class AuditSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AuditSweep, AllFourTheoremAuditsHoldOnRandomWorkloads) {
+  WorkloadSpec spec;
+  spec.numItems = 150;
+  spec.mu = 12.0;
+  Instance inst = generateWorkload(spec, GetParam());
+  double delta = inst.minDuration();
+  double mu = inst.durationRatio();
+
+  AuditReport ddff = auditDdff(inst, durationDescendingFirstFit(inst));
+  EXPECT_TRUE(ddff.allHold()) << ddff.describe();
+
+  AuditReport dc = auditDualColoring(inst, dualColoring(inst));
+  EXPECT_TRUE(dc.allHold()) << dc.describe();
+
+  double rho = std::sqrt(mu) * delta;
+  ClassifyByDepartureFF cdt(rho);
+  SimResult cdtRun = simulateOnline(inst, cdt);
+  AuditReport cdtReport = auditClassifyByDeparture(inst, cdtRun.packing, rho);
+  EXPECT_TRUE(cdtReport.allHold()) << cdtReport.describe();
+
+  ClassifyByDurationFF cd(delta, 2.0);
+  SimResult cdRun = simulateOnline(inst, cd);
+  AuditReport cdReport = auditClassifyByDuration(inst, cdRun.packing, 2.0);
+  EXPECT_TRUE(cdReport.allHold()) << cdReport.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AuditSweep, ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(Audit, DualColoringReportIncludesLemmasWhenChartExists) {
+  WorkloadSpec spec;
+  spec.numItems = 40;
+  spec.sizes = SizeDist::kSmallOnly;
+  Instance inst = generateWorkload(spec, 3);
+  AuditReport report = auditDualColoring(inst, dualColoring(inst));
+  EXPECT_TRUE(report.allHold()) << report.describe();
+  // 3 feasibility + 2 theorem + 4 lemma checks.
+  EXPECT_EQ(report.checks.size(), 9u);
+}
+
+TEST(Audit, DualColoringWithoutSmallItemsSkipsLemmas) {
+  Instance inst = InstanceBuilder().add(0.9, 0, 1).build();
+  AuditReport report = auditDualColoring(inst, dualColoring(inst));
+  EXPECT_TRUE(report.allHold()) << report.describe();
+  EXPECT_EQ(report.checks.size(), 5u);
+}
+
+}  // namespace
+}  // namespace cdbp

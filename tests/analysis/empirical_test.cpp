@@ -1,0 +1,75 @@
+#include "analysis/empirical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "offline/ddff.hpp"
+#include "online/any_fit.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(Empirical, EvaluatePolicyReportsRatioAboveOne) {
+  WorkloadSpec spec;
+  spec.numItems = 200;
+  Instance inst = generateWorkload(spec, 1);
+  FirstFitPolicy ff;
+  EmpiricalResult result = evaluatePolicy(inst, ff);
+  EXPECT_EQ(result.algorithm, "FirstFit");
+  EXPECT_GT(result.lb3, 0.0);
+  EXPECT_GE(result.ratio, 1.0 - 1e-9);
+  EXPECT_NEAR(result.usage, result.ratio * result.lb3, 1e-6);
+  EXPECT_GT(result.binsOpened, 0u);
+}
+
+TEST(Empirical, EvaluateOfflineMatchesDirectComputation) {
+  WorkloadSpec spec;
+  spec.numItems = 60;
+  Instance inst = generateWorkload(spec, 2);
+  EmpiricalResult result =
+      evaluateOffline(inst, "DDFF", durationDescendingFirstFit);
+  Packing direct = durationDescendingFirstFit(inst);
+  EXPECT_EQ(result.algorithm, "DDFF");
+  EXPECT_DOUBLE_EQ(result.usage, direct.totalUsage());
+  EXPECT_EQ(result.binsOpened, direct.numBins());
+}
+
+TEST(Empirical, SweepAggregatesAcrossSeeds) {
+  WorkloadSpec spec;
+  spec.numItems = 100;
+  std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5, 6};
+  RatioSummary summary = sweepPolicy(
+      seeds,
+      [&](std::uint64_t seed) { return generateWorkload(spec, seed); },
+      [] { return std::make_unique<FirstFitPolicy>(); });
+  EXPECT_EQ(summary.algorithm, "FirstFit");
+  EXPECT_EQ(summary.ratios.count(), seeds.size());
+  EXPECT_GE(summary.ratios.min(), 1.0 - 1e-9);
+}
+
+TEST(Empirical, SweepIsDeterministicDespiteParallelism) {
+  WorkloadSpec spec;
+  spec.numItems = 80;
+  std::vector<std::uint64_t> seeds = {10, 20, 30, 40};
+  auto run = [&] {
+    return sweepPolicy(
+        seeds, [&](std::uint64_t seed) { return generateWorkload(spec, seed); },
+        [] { return std::make_unique<FirstFitPolicy>(); });
+  };
+  RatioSummary a = run();
+  RatioSummary b = run();
+  ASSERT_EQ(a.ratios.count(), b.ratios.count());
+  for (std::size_t i = 0; i < a.ratios.count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ratios.samples()[i], b.ratios.samples()[i]);
+  }
+}
+
+TEST(Empirical, EmptyInstanceRatioIsOne) {
+  FirstFitPolicy ff;
+  EmpiricalResult result = evaluatePolicy(Instance{}, ff);
+  EXPECT_DOUBLE_EQ(result.ratio, 1.0);
+  EXPECT_DOUBLE_EQ(result.usage, 0.0);
+}
+
+}  // namespace
+}  // namespace cdbp

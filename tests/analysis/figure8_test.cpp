@@ -1,0 +1,73 @@
+#include "analysis/figure8.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/ratios.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(Figure8, GridSpansOneToMuMax) {
+  std::vector<double> grid = figure8MuGrid(100.0, 50);
+  ASSERT_EQ(grid.size(), 50u);
+  EXPECT_DOUBLE_EQ(grid.front(), 1.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 100.0);
+  for (std::size_t i = 1; i < grid.size(); ++i) EXPECT_GT(grid[i], grid[i - 1]);
+}
+
+TEST(Figure8, RowsMatchClosedForms) {
+  std::vector<Figure8Row> rows = figure8Series({1.0, 4.0, 16.0, 100.0});
+  ASSERT_EQ(rows.size(), 4u);
+  for (const Figure8Row& row : rows) {
+    EXPECT_DOUBLE_EQ(row.firstFit, ratios::firstFitUpperBound(row.mu));
+    EXPECT_DOUBLE_EQ(row.cdtBest, ratios::cdtBestRatio(row.mu));
+    EXPECT_DOUBLE_EQ(row.cdBest, ratios::cdBestRatio(row.mu));
+    EXPECT_DOUBLE_EQ(row.lowerBound, ratios::onlineLowerBound());
+    EXPECT_EQ(row.cdBestN, ratios::optimalDurationCategories(row.mu));
+  }
+}
+
+TEST(Figure8, ShapeMatchesPaperNarrative) {
+  std::vector<Figure8Row> rows = figure8Series(figure8MuGrid(100.0, 100));
+  // 1. Classification curves grow much slower than FF's linear mu + 4.
+  const Figure8Row& last = rows.back();
+  EXPECT_LT(last.cdtBest, last.firstFit);
+  EXPECT_LT(last.cdBest, last.firstFit);
+  EXPECT_LT(last.cdBest, 0.2 * last.firstFit);  // order-of-magnitude gap
+  // 2. CDT below CD for mu < 4, above for mu > 4.
+  for (const Figure8Row& row : rows) {
+    if (row.mu < 3.5) {
+      EXPECT_LE(row.cdtBest, row.cdBest + 1e-9) << row.mu;
+    }
+    if (row.mu > 4.5) {
+      EXPECT_GE(row.cdtBest, row.cdBest - 1e-9) << row.mu;
+    }
+  }
+  // 3. Everything stays above the Theorem 3 lower bound.
+  for (const Figure8Row& row : rows) {
+    EXPECT_GT(row.cdtBest, row.lowerBound);
+    EXPECT_GT(row.cdBest, row.lowerBound);
+  }
+  // 4. All curves are non-decreasing in mu.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].firstFit, rows[i - 1].firstFit);
+    EXPECT_GE(rows[i].cdtBest, rows[i - 1].cdtBest);
+    EXPECT_GE(rows[i].cdBest + 1e-9, rows[i - 1].cdBest);
+  }
+}
+
+TEST(Figure8, KnownAnchorValues) {
+  // Hand-computed anchors for mu = 16: FF = 20, CDT = 2*4+3 = 11,
+  // CD optimum at n = 3: 16^(1/3) + 3 + 3 ~= 8.52 (beats n=2 and n=4,
+  // both 9).
+  std::vector<Figure8Row> rows = figure8Series({16.0});
+  EXPECT_DOUBLE_EQ(rows[0].firstFit, 20.0);
+  EXPECT_DOUBLE_EQ(rows[0].cdtBest, 11.0);
+  EXPECT_NEAR(rows[0].cdBest, std::cbrt(16.0) + 6.0, 1e-12);
+  EXPECT_EQ(rows[0].cdBestN, 3u);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,131 @@
+#include "analysis/ratios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cdbp::ratios {
+namespace {
+
+constexpr double kGolden = 1.6180339887498949;
+
+TEST(Ratios, OnlineLowerBoundIsGoldenRatio) {
+  EXPECT_NEAR(onlineLowerBound(), kGolden, 1e-12);
+  EXPECT_NEAR(adversaryOptimalX(), kGolden, 1e-12);
+}
+
+TEST(Ratios, AdversaryGuaranteePeaksAtGoldenRatio) {
+  // At x = phi both case ratios are equal to phi.
+  EXPECT_NEAR(adversaryGuarantee(kGolden), kGolden, 1e-9);
+  // Elsewhere the guarantee is strictly smaller.
+  EXPECT_LT(adversaryGuarantee(1.2), kGolden);
+  EXPECT_LT(adversaryGuarantee(2.5), kGolden);
+  EXPECT_THROW(adversaryGuarantee(1.0), std::invalid_argument);
+}
+
+TEST(Ratios, PriorWorkCurves) {
+  EXPECT_DOUBLE_EQ(firstFitUpperBound(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(firstFitUpperBound(16.0), 20.0);
+  EXPECT_DOUBLE_EQ(anyFitLowerBound(10.0), 11.0);
+  EXPECT_DOUBLE_EQ(nextFitUpperBound(10.0), 21.0);
+  EXPECT_DOUBLE_EQ(hybridFirstFitUpperBound(10.0), 15.0);
+}
+
+TEST(Ratios, CdtRatioFormula) {
+  // rho/Delta + mu*Delta/rho + 3 with rho=2, Delta=1, mu=16: 2 + 8 + 3.
+  EXPECT_DOUBLE_EQ(cdtRatio(2.0, 1.0, 16.0), 13.0);
+  EXPECT_THROW(cdtRatio(0, 1, 4), std::invalid_argument);
+}
+
+TEST(Ratios, CdtBestRatioIsMinimumOverRho) {
+  for (double mu : {1.0, 4.0, 16.0, 100.0}) {
+    double best = cdtBestRatio(mu);
+    EXPECT_NEAR(best, 2.0 * std::sqrt(mu) + 3.0, 1e-12);
+    // No rho does better.
+    for (double rho = 0.25; rho <= 64.0; rho *= 1.3) {
+      EXPECT_GE(cdtRatio(rho, 1.0, mu) + 1e-9, best) << "mu=" << mu;
+    }
+    // And the optimum rho = sqrt(mu)*Delta attains it.
+    EXPECT_NEAR(cdtRatio(std::sqrt(mu), 1.0, mu), best, 1e-12);
+  }
+}
+
+TEST(Ratios, CdRatioFormula) {
+  // alpha + ceil(log_alpha mu) + 4, alpha=2, mu=16: 2 + 4 + 4.
+  EXPECT_DOUBLE_EQ(cdRatio(2.0, 16.0), 10.0);
+  // mu=1: no classification needed beyond one category.
+  EXPECT_DOUBLE_EQ(cdRatio(2.0, 1.0), 6.0);
+  EXPECT_THROW(cdRatio(1.0, 4.0), std::invalid_argument);
+}
+
+TEST(Ratios, CdRatioForCategories) {
+  EXPECT_DOUBLE_EQ(cdRatioForCategories(16.0, 1), 16.0 + 1 + 3);
+  EXPECT_DOUBLE_EQ(cdRatioForCategories(16.0, 2), 4.0 + 2 + 3);
+  EXPECT_DOUBLE_EQ(cdRatioForCategories(16.0, 4), 2.0 + 4 + 3);
+  EXPECT_THROW(cdRatioForCategories(16.0, 0), std::invalid_argument);
+}
+
+TEST(Ratios, OptimalCategoriesMinimizesExactly) {
+  for (double mu : {1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0, 1e4}) {
+    std::size_t n = optimalDurationCategories(mu);
+    double best = cdRatioForCategories(mu, n);
+    for (std::size_t k = 1; k <= 40; ++k) {
+      EXPECT_LE(best, cdRatioForCategories(mu, k) + 1e-9) << "mu=" << mu;
+    }
+    EXPECT_NEAR(cdBestRatio(mu), best, 1e-12);
+  }
+}
+
+TEST(Ratios, OptimalCategoriesForMuOneIsOne) {
+  EXPECT_EQ(optimalDurationCategories(1.0), 1u);
+  EXPECT_DOUBLE_EQ(cdBestRatio(1.0), 5.0);
+}
+
+TEST(Ratios, OurBoundBeatsBucketFirstFit) {
+  // §5.3: alpha + ceil(log_alpha mu) + 4 << (2 alpha + 2) ceil(log_alpha mu).
+  for (double mu : {8.0, 64.0, 1024.0}) {
+    EXPECT_LT(cdRatio(2.0, mu), bucketFirstFitBound(2.0, mu));
+  }
+}
+
+TEST(Ratios, ClassificationCrossoverNearFour) {
+  // §5.4: CDT wins for mu < 4, CD wins for mu > 4.
+  double cross = classificationCrossoverMu();
+  EXPECT_NEAR(cross, 4.0, 0.5);
+  EXPECT_LT(cdtBestRatio(2.0), cdBestRatio(2.0));
+  EXPECT_GT(cdtBestRatio(16.0), cdBestRatio(16.0));
+}
+
+TEST(Ratios, RandomizationBeatsTheDeterministicLowerBound) {
+  // Theorem 3 holds for deterministic algorithms only: a coin-flipped
+  // first decision drives the oblivious adversary's value strictly below
+  // the golden ratio.
+  double best = randomizedAdversaryBest(kGolden);
+  EXPECT_LT(best, kGolden - 1e-3);
+  // Pure strategies recover the deterministic case ratios.
+  EXPECT_NEAR(randomizedAdversaryValue(kGolden, 1.0),
+              (2 * kGolden + 1) / (kGolden + 1), 1e-12);
+  EXPECT_NEAR(randomizedAdversaryValue(kGolden, 0.0),
+              (kGolden + 1) / kGolden, 1e-12);
+  EXPECT_THROW(randomizedAdversaryValue(1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(randomizedAdversaryValue(2.0, 1.5), std::invalid_argument);
+}
+
+TEST(Ratios, RandomizedValueIsMaxOfTwoCases) {
+  for (double p : {0.0, 0.3, 0.7, 1.0}) {
+    double value = randomizedAdversaryValue(2.0, p);
+    double caseA = (p * 2.0 + (1 - p) * 3.0) / 2.0;
+    double caseB = (p * 5.0 + (1 - p) * 3.0) / 3.0;
+    EXPECT_NEAR(value, std::max(caseA, caseB), 1e-12) << p;
+  }
+}
+
+TEST(Ratios, ClassifiedCurvesBeatPlainFirstFitAsymptotically) {
+  for (double mu : {25.0, 100.0, 400.0}) {
+    EXPECT_LT(cdtBestRatio(mu), firstFitUpperBound(mu));
+    EXPECT_LT(cdBestRatio(mu), firstFitUpperBound(mu));
+  }
+}
+
+}  // namespace
+}  // namespace cdbp::ratios

@@ -1,0 +1,79 @@
+#include "core/bin_timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdbp {
+namespace {
+
+Item item(ItemId id, Size s, Time a, Time d) { return Item(id, s, a, d); }
+
+TEST(BinTimeline, EmptyBinFitsAnything) {
+  BinTimeline bin;
+  EXPECT_TRUE(bin.fits(item(0, 1.0, 0, 10)));
+  EXPECT_TRUE(bin.empty());
+  EXPECT_DOUBLE_EQ(bin.usage(), 0.0);
+}
+
+TEST(BinTimeline, FitsChecksWholeInterval) {
+  BinTimeline bin;
+  bin.add(item(0, 0.6, 5, 10));
+  // Current level at time 0 is 0, but the candidate overlaps [5,10).
+  EXPECT_FALSE(bin.fits(item(1, 0.6, 0, 6)));
+  EXPECT_TRUE(bin.fits(item(1, 0.6, 0, 5)));   // half-open: touches only
+  EXPECT_TRUE(bin.fits(item(1, 0.4, 0, 20)));  // 0.6+0.4 == capacity
+}
+
+TEST(BinTimeline, ExactCapacityFits) {
+  BinTimeline bin;
+  bin.add(item(0, 0.5, 0, 10));
+  EXPECT_TRUE(bin.fits(item(1, 0.5, 0, 10)));
+  bin.add(item(1, 0.5, 0, 10));
+  EXPECT_FALSE(bin.fits(item(2, 0.01, 5, 6)));
+}
+
+TEST(BinTimeline, LevelEvolvesWithArrivalsAndDepartures) {
+  BinTimeline bin;
+  bin.add(item(0, 0.3, 0, 4));
+  bin.add(item(1, 0.4, 2, 6));
+  EXPECT_DOUBLE_EQ(bin.levelAt(1), 0.3);
+  EXPECT_DOUBLE_EQ(bin.levelAt(3), 0.7);
+  EXPECT_DOUBLE_EQ(bin.levelAt(5), 0.4);
+  EXPECT_DOUBLE_EQ(bin.levelAt(6), 0.0);
+  EXPECT_DOUBLE_EQ(bin.peakLevel(), 0.7);
+}
+
+TEST(BinTimeline, UsageIsSpanOfItems) {
+  BinTimeline bin;
+  bin.add(item(0, 0.3, 0, 2));
+  bin.add(item(1, 0.3, 1, 3));
+  bin.add(item(2, 0.3, 10, 12));  // gap between 3 and 10
+  EXPECT_DOUBLE_EQ(bin.usage(), 3.0 + 2.0);
+  EXPECT_EQ(bin.busyPeriods().parts().size(), 2u);
+}
+
+TEST(BinTimeline, MaxLevelOverWindow) {
+  BinTimeline bin;
+  bin.add(item(0, 0.5, 0, 10));
+  bin.add(item(1, 0.25, 3, 5));
+  EXPECT_DOUBLE_EQ(bin.maxLevelOver({0, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(bin.maxLevelOver({0, 10}), 0.75);
+}
+
+TEST(BinTimeline, TracksItemIdsInPlacementOrder) {
+  BinTimeline bin;
+  bin.add(item(5, 0.1, 0, 1));
+  bin.add(item(2, 0.1, 0, 1));
+  EXPECT_EQ(bin.items(), (std::vector<ItemId>{5, 2}));
+}
+
+TEST(BinTimeline, SequentialReuseAfterGap) {
+  BinTimeline bin;
+  bin.add(item(0, 1.0, 0, 1));
+  // Bin is free again on [1, inf): a full-size item fits.
+  EXPECT_TRUE(bin.fits(item(1, 1.0, 1, 2)));
+  bin.add(item(1, 1.0, 1, 2));
+  EXPECT_DOUBLE_EQ(bin.usage(), 2.0);
+}
+
+}  // namespace
+}  // namespace cdbp

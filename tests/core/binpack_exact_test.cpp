@@ -1,0 +1,87 @@
+#include "core/binpack_exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(FirstFitDecreasing, SimpleCases) {
+  EXPECT_EQ(firstFitDecreasingBinCount({}), 0u);
+  EXPECT_EQ(firstFitDecreasingBinCount({0.5, 0.5}), 1u);
+  EXPECT_EQ(firstFitDecreasingBinCount({0.6, 0.6}), 2u);
+  EXPECT_EQ(firstFitDecreasingBinCount({0.5, 0.3, 0.2, 0.5, 0.3, 0.2}), 2u);
+}
+
+TEST(FractionalBound, CeilOfTotal) {
+  EXPECT_EQ(fractionalBinLowerBound({}), 0u);
+  EXPECT_EQ(fractionalBinLowerBound({0.5}), 1u);
+  EXPECT_EQ(fractionalBinLowerBound({0.5, 0.5}), 1u);
+  EXPECT_EQ(fractionalBinLowerBound({0.5, 0.5, 0.1}), 2u);
+}
+
+TEST(FractionalBound, SnapsFloatNoise) {
+  // Ten 0.1s sum to slightly under 1 in binary; the bound must be 1, and a
+  // hair over an integer must not bump it to the next bin.
+  std::vector<Size> sizes(10, 0.1);
+  EXPECT_EQ(fractionalBinLowerBound(sizes), 1u);
+}
+
+TEST(MinBinCount, MatchesKnownOptima) {
+  EXPECT_EQ(minBinCount({}), 0u);
+  EXPECT_EQ(minBinCount({0.9}), 1u);
+  EXPECT_EQ(minBinCount({0.6, 0.6, 0.6}), 3u);
+  EXPECT_EQ(minBinCount({0.5, 0.5, 0.5, 0.5}), 2u);
+  // FFD is suboptimal here: {0.51,0.27,0.27,0.26,0.41,0.28}: FFD opens 3,
+  // optimum is 2 ({0.51,0.28,0.21?}) — craft a classic FFD-beating case:
+  // sizes {0.35,0.35,0.3,0.3,0.35,0.35}: optimum 2 via (0.35+0.35+0.3)x2.
+  EXPECT_EQ(minBinCount({0.35, 0.35, 0.3, 0.3, 0.35, 0.35}), 2u);
+}
+
+TEST(MinBinCount, BeatsFFDWhenFFDIsSuboptimal) {
+  // Classic instance where FFD uses 3 bins but 2 suffice:
+  // bins (0.45+0.35+0.2) and (0.45+0.35+0.2).
+  std::vector<Size> sizes = {0.45, 0.45, 0.35, 0.35, 0.2, 0.2};
+  std::size_t ffd = firstFitDecreasingBinCount(sizes);
+  std::size_t opt = minBinCount(sizes);
+  EXPECT_EQ(opt, 2u);
+  EXPECT_LE(opt, ffd);
+}
+
+TEST(MinBinCount, ExactFlagSetOnFullSearch) {
+  bool exact = false;
+  minBinCount({0.6, 0.6, 0.3, 0.3}, 0, &exact);
+  EXPECT_TRUE(exact);
+}
+
+TEST(MinBinCount, NodeBudgetReturnsUpperBound) {
+  // With an absurd 1-node budget the search aborts to the FFD answer.
+  std::vector<Size> sizes;
+  Rng rng(7);
+  for (int i = 0; i < 24; ++i) sizes.push_back(rng.uniform(0.2, 0.7));
+  bool exact = true;
+  std::size_t capped = minBinCount(sizes, 1, &exact);
+  std::size_t ffd = firstFitDecreasingBinCount(sizes);
+  EXPECT_LE(capped, ffd);
+  EXPECT_GE(capped, fractionalBinLowerBound(sizes));
+}
+
+class MinBinCountProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MinBinCountProperty, BracketsHold) {
+  Rng rng(GetParam());
+  std::vector<Size> sizes;
+  int n = 4 + static_cast<int>(rng.uniformInt(0, 8));
+  for (int i = 0; i < n; ++i) sizes.push_back(rng.uniform(0.05, 1.0));
+  std::size_t opt = minBinCount(sizes);
+  EXPECT_GE(opt, fractionalBinLowerBound(sizes));
+  EXPECT_LE(opt, firstFitDecreasingBinCount(sizes));
+  EXPECT_LE(opt, sizes.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinBinCountProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace cdbp

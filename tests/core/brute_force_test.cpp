@@ -1,0 +1,83 @@
+#include "core/brute_force.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/lower_bounds.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(BruteForce, SingleItemUsesOneBin) {
+  Instance inst = InstanceBuilder().add(0.7, 0, 5).build();
+  auto result = bruteForceOptimal(inst);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->usage, 5.0);
+  EXPECT_EQ(result->packing.numBins(), 1u);
+}
+
+TEST(BruteForce, PairsCompatibleItems) {
+  Instance inst = InstanceBuilder().add(0.5, 0, 4).add(0.5, 0, 4).build();
+  auto result = bruteForceOptimal(inst);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->usage, 4.0);
+  EXPECT_EQ(result->packing.numBins(), 1u);
+}
+
+TEST(BruteForce, SeparatesIncompatibleItems) {
+  Instance inst = InstanceBuilder().add(0.6, 0, 4).add(0.6, 0, 4).build();
+  auto result = bruteForceOptimal(inst);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->usage, 8.0);
+  EXPECT_EQ(result->packing.numBins(), 2u);
+}
+
+TEST(BruteForce, PrefersCoLocationThatShortensSpans) {
+  // Greedy-by-arrival pairs items 0&1 (usage 10+... ), but the optimum
+  // pairs the long items together and the short items together.
+  Instance inst = InstanceBuilder()
+                      .add(0.5, 0, 10)   // long
+                      .add(0.5, 0, 1)    // short
+                      .add(0.5, 0.5, 10)  // long
+                      .add(0.5, 0.5, 1.5)  // short
+                      .build();
+  auto result = bruteForceOptimal(inst);
+  ASSERT_TRUE(result.has_value());
+  // Longs together: span 10; shorts together: span 1.5. Total 11.5.
+  EXPECT_DOUBLE_EQ(result->usage, 11.5);
+  EXPECT_EQ(result->packing.binOf(0), result->packing.binOf(2));
+  EXPECT_EQ(result->packing.binOf(1), result->packing.binOf(3));
+}
+
+TEST(BruteForce, RefusesOversizedInstances) {
+  InstanceBuilder builder;
+  for (int i = 0; i < 15; ++i) builder.add(0.1, 0, 1);
+  EXPECT_FALSE(bruteForceOptimal(builder.build(), 12).has_value());
+}
+
+TEST(BruteForce, EmptyInstance) {
+  auto result = bruteForceOptimal(Instance{});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->usage, 0.0);
+}
+
+class BruteForceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BruteForceProperty, OptimumIsFeasibleAndAboveLb3) {
+  WorkloadSpec spec;
+  spec.numItems = 6;
+  spec.arrivalRate = 3.0;
+  spec.mu = 6.0;
+  Instance inst = generateWorkload(spec, GetParam());
+  auto result = bruteForceOptimal(inst);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->packing.validate().has_value());
+  EXPECT_GE(result->usage + 1e-9, lowerBounds(inst).ceilIntegral);
+  EXPECT_DOUBLE_EQ(result->usage, result->packing.totalUsage());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BruteForceProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace cdbp

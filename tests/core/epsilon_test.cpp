@@ -1,0 +1,50 @@
+#include "core/epsilon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdbp {
+namespace {
+
+TEST(Epsilon, LeqAcceptsWithinTolerance) {
+  EXPECT_TRUE(leq(1.0, 1.0));
+  EXPECT_TRUE(leq(1.0 + 0.5e-9, 1.0));
+  EXPECT_FALSE(leq(1.0 + 2e-9, 1.0));
+  EXPECT_TRUE(leq(0.5, 1.0));
+}
+
+TEST(Epsilon, LtRequiresClearSeparation) {
+  EXPECT_TRUE(lt(0.5, 1.0));
+  EXPECT_FALSE(lt(1.0, 1.0));
+  EXPECT_FALSE(lt(1.0 - 0.5e-9, 1.0));
+  EXPECT_TRUE(lt(1.0 - 2e-9, 1.0));
+}
+
+TEST(Epsilon, ApproxEq) {
+  EXPECT_TRUE(approxEq(1.0, 1.0 + 0.5e-9));
+  EXPECT_FALSE(approxEq(1.0, 1.0 + 2e-9));
+}
+
+TEST(Epsilon, LeqAndLtAreComplementaryUpToTies) {
+  for (double a : {0.1, 0.9999999995, 1.0, 1.0000000005, 1.1}) {
+    // lt(a, b) implies leq(a, b); both can hold, never neither-with-gap.
+    if (lt(a, 1.0)) EXPECT_TRUE(leq(a, 1.0)) << a;
+  }
+}
+
+TEST(Epsilon, FitsCapacityAtBoundary) {
+  EXPECT_TRUE(fitsCapacity(0.5, 0.5));
+  // Ten tenths accumulate binary noise but must still "fit".
+  double level = 0;
+  for (int i = 0; i < 9; ++i) level += 0.1;
+  EXPECT_TRUE(fitsCapacity(level, 0.1));
+  EXPECT_FALSE(fitsCapacity(0.95, 0.1));
+}
+
+TEST(Epsilon, CustomToleranceParameter) {
+  EXPECT_TRUE(leq(1.05, 1.0, 0.1));
+  EXPECT_FALSE(lt(1.05, 1.1, 0.1));
+  EXPECT_TRUE(approxEq(1.0, 1.05, 0.1));
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,136 @@
+#include "core/instance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdbp {
+namespace {
+
+Instance threeItems() {
+  return InstanceBuilder()
+      .add(0.5, 0.0, 4.0)    // demand 2.0
+      .add(0.25, 1.0, 3.0)   // demand 0.5
+      .add(1.0, 6.0, 8.0)    // demand 2.0, disjoint in time
+      .build();
+}
+
+TEST(Instance, BuilderAssignsDenseIds) {
+  Instance inst = threeItems();
+  ASSERT_EQ(inst.size(), 3u);
+  for (ItemId i = 0; i < 3; ++i) EXPECT_EQ(inst[i].id, i);
+}
+
+TEST(Instance, RejectsNonPositiveSize) {
+  EXPECT_THROW(InstanceBuilder().add(0.0, 0, 1).build(), InstanceError);
+  EXPECT_THROW(InstanceBuilder().add(-0.5, 0, 1).build(), InstanceError);
+}
+
+TEST(Instance, RejectsOversizedItem) {
+  EXPECT_THROW(InstanceBuilder().add(1.5, 0, 1).build(), InstanceError);
+  EXPECT_NO_THROW(InstanceBuilder().add(1.0, 0, 1).build());
+}
+
+TEST(Instance, RejectsEmptyOrInvertedInterval) {
+  EXPECT_THROW(InstanceBuilder().add(0.5, 2, 2).build(), InstanceError);
+  EXPECT_THROW(InstanceBuilder().add(0.5, 3, 2).build(), InstanceError);
+}
+
+TEST(Instance, RejectsNonFiniteFields) {
+  std::vector<Item> items;
+  items.emplace_back(0, std::numeric_limits<double>::quiet_NaN(), 0.0, 1.0);
+  EXPECT_THROW(Instance(std::move(items)), InstanceError);
+  std::vector<Item> items2;
+  items2.emplace_back(0, 0.5, 0.0, std::numeric_limits<double>::infinity());
+  EXPECT_THROW(Instance(std::move(items2)), InstanceError);
+}
+
+TEST(Instance, DemandSumsTimeSpaceProducts) {
+  EXPECT_DOUBLE_EQ(threeItems().demand(), 4.5);
+}
+
+TEST(Instance, SpanIsUnionMeasureNotExtent) {
+  // Items cover [0,4) and [6,8): span 6, extent 8.
+  EXPECT_DOUBLE_EQ(threeItems().span(), 6.0);
+}
+
+TEST(Instance, DurationStats) {
+  Instance inst = threeItems();
+  EXPECT_DOUBLE_EQ(inst.minDuration(), 2.0);
+  EXPECT_DOUBLE_EQ(inst.maxDuration(), 4.0);
+  EXPECT_DOUBLE_EQ(inst.durationRatio(), 2.0);
+}
+
+TEST(Instance, EmptyInstanceStats) {
+  Instance inst;
+  EXPECT_DOUBLE_EQ(inst.demand(), 0.0);
+  EXPECT_DOUBLE_EQ(inst.span(), 0.0);
+  EXPECT_DOUBLE_EQ(inst.durationRatio(), 1.0);
+  EXPECT_TRUE(inst.eventTimes().empty());
+}
+
+TEST(Instance, EventTimesAreSortedAndDeduplicated) {
+  Instance inst = InstanceBuilder()
+                      .add(0.1, 0, 2)
+                      .add(0.1, 2, 4)  // shares endpoint 2
+                      .build();
+  std::vector<Time> events = inst.eventTimes();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_DOUBLE_EQ(events[0], 0.0);
+  EXPECT_DOUBLE_EQ(events[1], 2.0);
+  EXPECT_DOUBLE_EQ(events[2], 4.0);
+}
+
+TEST(Instance, TotalSizeAtRespectsHalfOpenIntervals) {
+  Instance inst = threeItems();
+  EXPECT_DOUBLE_EQ(inst.totalSizeAt(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(inst.totalSizeAt(1.5), 0.75);
+  EXPECT_DOUBLE_EQ(inst.totalSizeAt(3.0), 0.5);   // item 1 departed at 3
+  EXPECT_DOUBLE_EQ(inst.totalSizeAt(4.0), 0.0);   // item 0 departed at 4
+  EXPECT_DOUBLE_EQ(inst.totalSizeAt(7.0), 1.0);
+}
+
+TEST(Instance, ActiveAtListsIds) {
+  Instance inst = threeItems();
+  EXPECT_EQ(inst.activeAt(1.5), (std::vector<ItemId>{0, 1}));
+  EXPECT_EQ(inst.activeAt(5.0), std::vector<ItemId>{});
+}
+
+TEST(Instance, PeakStatistics) {
+  Instance inst = threeItems();
+  EXPECT_EQ(inst.maxConcurrentItems(), 2u);
+  EXPECT_DOUBLE_EQ(inst.peakTotalSize(), 1.0);
+}
+
+TEST(Instance, SortedByArrivalIsStableOnTies) {
+  Instance inst = InstanceBuilder()
+                      .add(0.3, 5, 6)
+                      .add(0.3, 0, 1)
+                      .add(0.3, 0, 2)
+                      .build();
+  std::vector<Item> order = inst.sortedByArrival();
+  EXPECT_EQ(order[0].id, 1u);
+  EXPECT_EQ(order[1].id, 2u);
+  EXPECT_EQ(order[2].id, 0u);
+}
+
+TEST(Instance, FilterKeepsSelectedAndRenumbers) {
+  Instance inst = threeItems();
+  Instance filtered = inst.filter({true, false, true});
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0].id, 0u);
+  EXPECT_DOUBLE_EQ(filtered[0].size, 0.5);
+  EXPECT_EQ(filtered[1].id, 1u);
+  EXPECT_DOUBLE_EQ(filtered[1].size, 1.0);
+}
+
+TEST(Item, DerivedAccessors) {
+  Item r(7, 0.25, 2.0, 5.0);
+  EXPECT_DOUBLE_EQ(r.arrival(), 2.0);
+  EXPECT_DOUBLE_EQ(r.departure(), 5.0);
+  EXPECT_DOUBLE_EQ(r.duration(), 3.0);
+  EXPECT_DOUBLE_EQ(r.demand(), 0.75);
+  EXPECT_TRUE(r.activeAt(2.0));
+  EXPECT_FALSE(r.activeAt(5.0));
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,68 @@
+#include "core/opt_total.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/lower_bounds.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(OptTotal, SingleItem) {
+  Instance inst = InstanceBuilder().add(0.5, 0, 3).build();
+  OptTotalResult opt = optTotal(inst);
+  EXPECT_TRUE(opt.exact);
+  EXPECT_DOUBLE_EQ(opt.value(), 3.0);
+}
+
+TEST(OptTotal, TwoHalvesShareABin) {
+  Instance inst = InstanceBuilder().add(0.5, 0, 2).add(0.5, 0, 2).build();
+  OptTotalResult opt = optTotal(inst);
+  EXPECT_DOUBLE_EQ(opt.value(), 2.0);
+}
+
+TEST(OptTotal, RepackingBeatsFixedAssignment) {
+  // Three items: the repacking adversary can always pack the two active
+  // 0.6-items... they never fit together, but staggered bigs show the
+  // segment sweep: S = 0.6 on [0,1), 1.2 on [1,2), 0.6 on [2,3):
+  // bins: 1, 2, 1 -> OPT_total = 4.
+  Instance inst = InstanceBuilder().add(0.6, 0, 2).add(0.6, 1, 3).build();
+  OptTotalResult opt = optTotal(inst);
+  EXPECT_TRUE(opt.exact);
+  EXPECT_DOUBLE_EQ(opt.value(), 1.0 + 2.0 + 1.0);
+}
+
+TEST(OptTotal, GapsContributeNothing) {
+  Instance inst = InstanceBuilder().add(0.9, 0, 1).add(0.9, 10, 11).build();
+  EXPECT_DOUBLE_EQ(optTotal(inst).value(), 2.0);
+}
+
+TEST(OptTotal, EmptyInstance) {
+  EXPECT_DOUBLE_EQ(optTotal(Instance{}).value(), 0.0);
+}
+
+class OptTotalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptTotalProperty, SandwichedBetweenLb3AndBruteForce) {
+  WorkloadSpec spec;
+  spec.numItems = 7;
+  spec.arrivalRate = 2.0;
+  spec.mu = 4.0;
+  Instance inst = generateWorkload(spec, GetParam());
+  OptTotalResult opt = optTotal(inst);
+  EXPECT_TRUE(opt.exact);
+  LowerBounds lb = lowerBounds(inst);
+  // LB3 <= OPT_total: ceil(S(t)) <= OPT(R, t) pointwise.
+  EXPECT_LE(lb.ceilIntegral, opt.value() + 1e-9);
+  // OPT_total <= any fixed packing's usage, in particular the optimal one.
+  auto brute = bruteForceOptimal(inst);
+  ASSERT_TRUE(brute.has_value());
+  EXPECT_LE(opt.value(), brute->usage + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptTotalProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,93 @@
+#include "core/packing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdbp {
+namespace {
+
+Instance smallInstance() {
+  return InstanceBuilder()
+      .add(0.5, 0, 4)
+      .add(0.5, 1, 3)
+      .add(0.75, 2, 5)
+      .build();
+}
+
+TEST(Packing, TotalUsageSumsBinSpans) {
+  Instance inst = smallInstance();
+  // Items 0,1 share bin 0 (span 4); item 2 alone in bin 1 (span 3).
+  Packing packing(inst, {0, 0, 1});
+  EXPECT_DOUBLE_EQ(packing.binUsage(0), 4.0);
+  EXPECT_DOUBLE_EQ(packing.binUsage(1), 3.0);
+  EXPECT_DOUBLE_EQ(packing.totalUsage(), 7.0);
+  EXPECT_EQ(packing.numBins(), 2u);
+}
+
+TEST(Packing, ValidAssignmentPassesValidation) {
+  Instance inst = smallInstance();
+  Packing packing(inst, {0, 0, 1});
+  EXPECT_FALSE(packing.validate().has_value());
+}
+
+TEST(Packing, OverfullBinFailsValidation) {
+  Instance inst = smallInstance();
+  // Items 1 (0.5) and 2 (0.75) overlap on [2,3): level 1.25.
+  Packing packing(inst, {0, 1, 1});
+  auto error = packing.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("exceeds capacity"), std::string::npos);
+}
+
+TEST(Packing, UnassignedItemFailsValidation) {
+  Instance inst = smallInstance();
+  Packing packing(inst, {0, kUnassigned, 1});
+  auto error = packing.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("unassigned"), std::string::npos);
+}
+
+TEST(Packing, SparseBinIdsFailValidation) {
+  Instance inst = smallInstance();
+  Packing packing(inst, {0, 0, 2});  // bin 1 never used
+  auto error = packing.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("not dense"), std::string::npos);
+}
+
+TEST(Packing, MismatchedAssignmentSizeThrows) {
+  Instance inst = smallInstance();
+  EXPECT_THROW(Packing(inst, {0, 0}), std::invalid_argument);
+}
+
+TEST(Packing, OpenBinsAtFollowsBusyPeriods) {
+  Instance inst = smallInstance();
+  Packing packing(inst, {0, 0, 1});
+  EXPECT_EQ(packing.openBinsAt(0.5), 1u);
+  EXPECT_EQ(packing.openBinsAt(2.5), 2u);
+  EXPECT_EQ(packing.openBinsAt(4.5), 1u);
+  EXPECT_EQ(packing.openBinsAt(6.0), 0u);
+  EXPECT_EQ(packing.maxConcurrentBins(), 2u);
+}
+
+TEST(Packing, OpenBinProfileIntegralEqualsTotalUsage) {
+  Instance inst = smallInstance();
+  Packing packing(inst, {0, 1, 2});
+  EXPECT_NEAR(packing.openBinProfile().integral(), packing.totalUsage(), 1e-9);
+}
+
+TEST(Packing, AverageUtilizationIsDemandOverUsage) {
+  Instance inst = InstanceBuilder().add(0.5, 0, 2).build();
+  Packing packing(inst, {0});
+  EXPECT_DOUBLE_EQ(packing.averageUtilization(), 0.5);
+}
+
+TEST(Packing, EmptyInstanceHasZeroUsage) {
+  Instance inst;
+  Packing packing(inst, {});
+  EXPECT_DOUBLE_EQ(packing.totalUsage(), 0.0);
+  EXPECT_EQ(packing.numBins(), 0u);
+  EXPECT_FALSE(packing.validate().has_value());
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,85 @@
+#include "cost/billing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "online/any_fit.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(BillingModel, ContinuousBillsExactUsage) {
+  BillingModel model = BillingModel::continuous(2.0);
+  EXPECT_DOUBLE_EQ(model.billedDuration(3.7), 3.7);
+}
+
+TEST(BillingModel, MeteredRoundsUpToGranularity) {
+  BillingModel hourly = BillingModel::metered(60.0);
+  EXPECT_DOUBLE_EQ(hourly.billedDuration(1.0), 60.0);
+  EXPECT_DOUBLE_EQ(hourly.billedDuration(60.0), 60.0);
+  EXPECT_DOUBLE_EQ(hourly.billedDuration(60.5), 120.0);
+  EXPECT_DOUBLE_EQ(hourly.billedDuration(119.9), 120.0);
+}
+
+TEST(BillingModel, GranularityToleratesFloatNoise) {
+  BillingModel model = BillingModel::metered(0.1);
+  // 30 * 0.1 is inexact in binary but must bill as exactly 3.0.
+  EXPECT_NEAR(model.billedDuration(30 * 0.1), 3.0, 1e-9);
+}
+
+TEST(BillingModel, MinimumChargeApplies) {
+  BillingModel model = BillingModel::metered(1.0, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(model.billedDuration(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(model.billedDuration(7.2), 8.0);
+}
+
+TEST(EvaluateCost, CountsEveryBusyPeriodAsAnAcquisition) {
+  // One bin with a gap: two rentals.
+  Instance inst = InstanceBuilder().add(0.5, 0, 2).add(0.5, 10, 13).build();
+  Packing packing(inst, {0, 0});
+  CostBreakdown cost = evaluateCost(packing, BillingModel::continuous());
+  EXPECT_EQ(cost.acquisitions, 2u);
+  EXPECT_DOUBLE_EQ(cost.rawUsage, 5.0);
+  EXPECT_DOUBLE_EQ(cost.total, 5.0);
+}
+
+TEST(EvaluateCost, HourlyBillingInflatesShortRentals) {
+  Instance inst = InstanceBuilder().add(0.5, 0, 2).add(0.5, 10, 13).build();
+  Packing packing(inst, {0, 0});
+  CostBreakdown cost = evaluateCost(packing, BillingModel::metered(60.0, 0.5));
+  EXPECT_DOUBLE_EQ(cost.billedUsage, 120.0);
+  EXPECT_DOUBLE_EQ(cost.total, 60.0);
+  EXPECT_NEAR(cost.roundingOverhead(), 24.0, 1e-9);
+}
+
+TEST(EvaluateCost, UnitPriceScalesLinearly) {
+  Instance inst = InstanceBuilder().add(0.5, 0, 4).build();
+  Packing packing(inst, {0});
+  CostBreakdown cheap = evaluateCost(packing, BillingModel::continuous(1.0));
+  CostBreakdown pricey = evaluateCost(packing, BillingModel::continuous(3.0));
+  EXPECT_DOUBLE_EQ(pricey.total, 3.0 * cheap.total);
+}
+
+TEST(EvaluateCost, ContinuousCostEqualsTotalUsageOnRealPackings) {
+  WorkloadSpec spec;
+  spec.numItems = 300;
+  Instance inst = generateWorkload(spec, 4);
+  FirstFitPolicy ff;
+  SimResult r = simulateOnline(inst, ff);
+  CostBreakdown cost = evaluateCost(r.packing, BillingModel::continuous());
+  EXPECT_NEAR(cost.total, r.totalUsage, 1e-6);
+  EXPECT_NEAR(cost.rawUsage, r.totalUsage, 1e-6);
+}
+
+TEST(EvaluateCost, EmptyPackingCostsNothing) {
+  Instance inst;
+  Packing packing(inst, {});
+  CostBreakdown cost = evaluateCost(packing, BillingModel::metered(60.0));
+  EXPECT_DOUBLE_EQ(cost.total, 0.0);
+  EXPECT_EQ(cost.acquisitions, 0u);
+  EXPECT_DOUBLE_EQ(cost.roundingOverhead(), 1.0);
+}
+
+}  // namespace
+}  // namespace cdbp

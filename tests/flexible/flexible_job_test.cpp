@@ -1,0 +1,44 @@
+#include "flexible/flexible_job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdbp {
+namespace {
+
+TEST(FlexibleJob, SlackAndLatestStart) {
+  FlexibleJob j(0, 0.5, 2.0, 10.0, 3.0);
+  EXPECT_DOUBLE_EQ(j.slack(), 5.0);
+  EXPECT_DOUBLE_EQ(j.latestStart(), 7.0);
+}
+
+TEST(FlexibleInstance, ValidatesWindowFitsLength) {
+  EXPECT_THROW(FlexibleInstanceBuilder().add(0.5, 0, 2, 3).build(),
+               InstanceError);
+  EXPECT_NO_THROW(FlexibleInstanceBuilder().add(0.5, 0, 3, 3).build());
+}
+
+TEST(FlexibleInstance, ValidatesSizeAndLength) {
+  EXPECT_THROW(FlexibleInstanceBuilder().add(0.0, 0, 5, 1).build(), InstanceError);
+  EXPECT_THROW(FlexibleInstanceBuilder().add(1.5, 0, 5, 1).build(), InstanceError);
+  EXPECT_THROW(FlexibleInstanceBuilder().add(0.5, 0, 5, 0).build(), InstanceError);
+}
+
+TEST(FlexibleInstance, MaterializeUsesGivenStarts) {
+  FlexibleInstance inst = FlexibleInstanceBuilder()
+                              .add(0.5, 0, 10, 2)
+                              .add(0.3, 1, 20, 5)
+                              .build();
+  Instance fixed = inst.materialize({3.0, 10.0});
+  EXPECT_DOUBLE_EQ(fixed[0].arrival(), 3.0);
+  EXPECT_DOUBLE_EQ(fixed[0].departure(), 5.0);
+  EXPECT_DOUBLE_EQ(fixed[1].arrival(), 10.0);
+  EXPECT_DOUBLE_EQ(fixed[1].departure(), 15.0);
+}
+
+TEST(FlexibleInstance, MaterializeChecksArity) {
+  FlexibleInstance inst = FlexibleInstanceBuilder().add(0.5, 0, 10, 2).build();
+  EXPECT_THROW(inst.materialize({1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdbp

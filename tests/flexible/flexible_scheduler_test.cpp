@@ -1,0 +1,127 @@
+#include "flexible/flexible_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flexible/flexible_workload.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(ScheduleAsap, StartsEveryJobAtRelease) {
+  FlexibleInstance inst = FlexibleInstanceBuilder()
+                              .add(0.5, 1, 10, 2)
+                              .add(0.5, 3, 20, 4)
+                              .build();
+  FlexibleSchedule s = scheduleAsap(inst);
+  EXPECT_DOUBLE_EQ(s.starts[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.starts[1], 3.0);
+  EXPECT_FALSE(s.validate(inst).has_value());
+}
+
+TEST(ScheduleAligned, ExploitsSlackToOverlapJobs) {
+  // B's window allows running exactly alongside A at zero marginal usage;
+  // ASAP cannot move it, so any later start would stick out past A.
+  FlexibleInstance inst = FlexibleInstanceBuilder()
+                              .add(0.5, 0, 10, 10)   // A: fixed [0,10)
+                              .add(0.4, 0, 15, 10)   // B: window allows [0,10)
+                              .build();
+  FlexibleSchedule asap = scheduleAsap(inst);
+  FlexibleSchedule aligned = scheduleAligned(inst);
+  EXPECT_FALSE(aligned.validate(inst).has_value());
+  // Aligned: both on [0,10) in one bin -> usage 10.
+  EXPECT_DOUBLE_EQ(aligned.totalUsage, 10.0);
+  EXPECT_LE(aligned.totalUsage, asap.totalUsage);
+}
+
+TEST(ScheduleAligned, NestlesShortJobIntoPaidPeriod) {
+  FlexibleInstance inst = FlexibleInstanceBuilder()
+                              .add(0.6, 0, 10, 10)   // anchor, no slack
+                              .add(0.3, 2, 30, 4)    // can sit anywhere in [2,26]
+                              .build();
+  FlexibleSchedule aligned = scheduleAligned(inst);
+  EXPECT_FALSE(aligned.validate(inst).has_value());
+  // The short job fits inside the anchor's busy period at zero cost.
+  EXPECT_DOUBLE_EQ(aligned.totalUsage, 10.0);
+  EXPECT_LE(aligned.starts[1] + 4.0, 10.0 + 1e-9);
+}
+
+TEST(ScheduleAligned, RespectsCapacityWhenNestling) {
+  // The short job's window forces it to overlap the anchor in time, and
+  // 0.8 + 0.6 exceeds the capacity, so it must take its own bin.
+  FlexibleInstance inst = FlexibleInstanceBuilder()
+                              .add(0.8, 0, 10, 10)
+                              .add(0.6, 2, 9, 4)  // latest start 5 < anchor end
+                              .build();
+  FlexibleSchedule aligned = scheduleAligned(inst);
+  EXPECT_FALSE(aligned.validate(inst).has_value());
+  EXPECT_EQ(aligned.packing.numBins(), 2u);
+}
+
+TEST(ScheduleAligned, ReusesABinAfterItsJobsDepart) {
+  // With enough slack the short job slides past the anchor's departure and
+  // reuses the same bin at disjoint times (offline bins may have gaps).
+  FlexibleInstance inst = FlexibleInstanceBuilder()
+                              .add(0.8, 0, 10, 10)
+                              .add(0.6, 2, 30, 4)
+                              .build();
+  FlexibleSchedule aligned = scheduleAligned(inst);
+  EXPECT_FALSE(aligned.validate(inst).has_value());
+  EXPECT_EQ(aligned.packing.numBins(), 1u);
+  EXPECT_GE(aligned.starts[1], 10.0 - 1e-9);
+}
+
+TEST(ScheduleAligned, ZeroSlackDegeneratesToFixedIntervals) {
+  FlexibleInstance inst = FlexibleInstanceBuilder()
+                              .add(0.5, 0, 4, 4)
+                              .add(0.5, 1, 6, 5)
+                              .build();
+  FlexibleSchedule aligned = scheduleAligned(inst);
+  EXPECT_DOUBLE_EQ(aligned.starts[0], 0.0);
+  EXPECT_DOUBLE_EQ(aligned.starts[1], 1.0);
+  EXPECT_FALSE(aligned.validate(inst).has_value());
+}
+
+TEST(ScheduleValidate, CatchesWindowViolation) {
+  FlexibleInstance inst = FlexibleInstanceBuilder().add(0.5, 0, 10, 2).build();
+  FlexibleSchedule s = scheduleAsap(inst);
+  s.starts[0] = 9.5;  // start+length = 11.5 > deadline
+  EXPECT_TRUE(s.validate(inst).has_value());
+}
+
+class FlexibleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlexibleProperty, BothSchedulersValidAndAlignedNoWorseOnAverage) {
+  FlexibleWorkloadSpec spec;
+  spec.numJobs = 200;
+  spec.slackFactor = 2.0;
+  FlexibleInstance inst = generateFlexibleWorkload(spec, GetParam());
+  FlexibleSchedule asap = scheduleAsap(inst);
+  FlexibleSchedule aligned = scheduleAligned(inst);
+  EXPECT_FALSE(asap.validate(inst).has_value());
+  EXPECT_FALSE(aligned.validate(inst).has_value());
+  // Greedy alignment is a heuristic, not a theorem — allow a small loss
+  // margin per instance; the bench tracks the average saving.
+  EXPECT_LE(aligned.totalUsage, 1.1 * asap.totalUsage);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlexibleProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(FlexibleWorkload, SlackFactorZeroMeansNoSlack) {
+  FlexibleWorkloadSpec spec;
+  spec.numJobs = 50;
+  spec.slackFactor = 0.0;
+  FlexibleInstance inst = generateFlexibleWorkload(spec, 1);
+  for (const FlexibleJob& j : inst.jobs()) {
+    EXPECT_NEAR(j.slack(), 0.0, 1e-9);
+  }
+}
+
+TEST(FlexibleWorkload, RejectsInvalidSpec) {
+  FlexibleWorkloadSpec spec;
+  spec.slackFactor = -1;
+  EXPECT_THROW(generateFlexibleWorkload(spec, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdbp

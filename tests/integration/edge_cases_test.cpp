@@ -1,0 +1,121 @@
+// Edge cases that cut across modules: negative/shifted time origins,
+// boundary sizes, empty inputs, and single-item instances.
+#include <gtest/gtest.h>
+
+#include "core/lower_bounds.hpp"
+#include "offline/ddff.hpp"
+#include "online/any_fit.hpp"
+#include "offline/dual_coloring.hpp"
+#include "online/classify_departure.hpp"
+#include "online/classify_duration.hpp"
+#include "online/policy_factory.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+#include "workload/transforms.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(EdgeCases, EmptyInstanceThroughEveryPipeline) {
+  Instance empty;
+  FirstFitPolicy ff;
+  SimResult sim = simulateOnline(empty, ff);
+  EXPECT_DOUBLE_EQ(sim.totalUsage, 0.0);
+  EXPECT_EQ(sim.binsOpened, 0u);
+
+  Packing ddff = durationDescendingFirstFit(empty);
+  EXPECT_EQ(ddff.numBins(), 0u);
+  DualColoringResult dc = dualColoring(empty);
+  EXPECT_EQ(dc.packing.numBins(), 0u);
+  EXPECT_DOUBLE_EQ(lowerBounds(empty).best(), 0.0);
+}
+
+TEST(EdgeCases, SingleItemEveryAlgorithmUsesOneBin) {
+  Instance one = InstanceBuilder().add(0.37, 2.5, 7.25).build();
+  for (const PolicyPtr& policy : fullRoster(one.minDuration(), 1.0)) {
+    SimResult r = simulateOnline(one, *policy);
+    EXPECT_EQ(r.binsOpened, 1u) << policy->name();
+    EXPECT_DOUBLE_EQ(r.totalUsage, 4.75) << policy->name();
+  }
+  EXPECT_DOUBLE_EQ(durationDescendingFirstFit(one).totalUsage(), 4.75);
+  EXPECT_DOUBLE_EQ(dualColoring(one).packing.totalUsage(), 4.75);
+}
+
+TEST(EdgeCases, NegativeTimeOriginsWorkEverywhere) {
+  // Traces may start before t = 0 (e.g. epoch-relative logs).
+  WorkloadSpec spec;
+  spec.numItems = 80;
+  Instance inst = shiftTime(generateWorkload(spec, 9), -1000.0);
+  EXPECT_LT(inst.activeUnion().min(), 0.0);
+
+  for (const PolicyPtr& policy :
+       fullRoster(inst.minDuration(), inst.durationRatio())) {
+    SimResult r = simulateOnline(inst, *policy);
+    EXPECT_FALSE(r.packing.validate().has_value()) << policy->name();
+  }
+  EXPECT_FALSE(durationDescendingFirstFit(inst).validate().has_value());
+  EXPECT_FALSE(dualColoring(inst).packing.validate().has_value());
+}
+
+TEST(EdgeCases, DepartureWindowsHandleNegativeTimes) {
+  ClassifyByDepartureFF policy(2.0);
+  EXPECT_EQ(policy.windowOf(-0.5), -1);
+  EXPECT_EQ(policy.windowOf(-2.0), -2);  // (-4,-2] is window -2
+  EXPECT_EQ(policy.windowOf(-3.9), -2);
+}
+
+TEST(EdgeCases, ExactHalfSizeIsSmallForDualColoring) {
+  // Size exactly 1/2 goes to the small group (<= 1/2): two such items can
+  // share a bin via the chart.
+  Instance inst = InstanceBuilder().add(0.5, 0, 4).add(0.5, 0, 4).build();
+  DualColoringResult dc = dualColoring(inst);
+  EXPECT_TRUE(dc.chart != nullptr);
+  EXPECT_EQ(dc.largeBins, 0u);
+  EXPECT_FALSE(dc.packing.validate().has_value());
+}
+
+TEST(EdgeCases, JustAboveHalfIsLarge) {
+  Instance inst = InstanceBuilder().add(0.500001, 0, 4).build();
+  DualColoringResult dc = dualColoring(inst);
+  EXPECT_EQ(dc.largeBins, 1u);
+  EXPECT_FALSE(dc.chart);
+}
+
+TEST(EdgeCases, FullSizeItemsNeverShareConcurrently) {
+  InstanceBuilder builder;
+  for (int i = 0; i < 5; ++i) builder.add(1.0, i * 0.5, i * 0.5 + 1.0);
+  Instance inst = builder.build();
+  FirstFitPolicy ff;
+  SimResult r = simulateOnline(inst, ff);
+  EXPECT_FALSE(r.packing.validate().has_value());
+  EXPECT_EQ(r.packing.maxConcurrentBins(), 2u);  // overlap structure
+}
+
+TEST(EdgeCases, IdenticalItemsMassArrival) {
+  // 50 identical items at the same instant: First Fit fills bins to
+  // capacity in order.
+  InstanceBuilder builder;
+  for (int i = 0; i < 50; ++i) builder.add(0.25, 0, 1);
+  Instance inst = builder.build();
+  FirstFitPolicy ff;
+  SimResult r = simulateOnline(inst, ff);
+  EXPECT_EQ(r.binsOpened, 13u);  // ceil(50/4)
+  EXPECT_DOUBLE_EQ(r.totalUsage, 13.0);
+  EXPECT_DOUBLE_EQ(lowerBounds(inst).ceilIntegral, 13.0);  // ceil(12.5)
+}
+
+TEST(EdgeCases, VeryLongAndVeryShortCoexist) {
+  Instance inst = InstanceBuilder()
+                      .add(0.3, 0, 1e6)       // very long
+                      .add(0.3, 5e5, 5e5 + 1e-3)  // very short, nested
+                      .build();
+  EXPECT_GT(inst.durationRatio(), 1e8);
+  auto cd = ClassifyByDurationFF::withKnownDurations(inst.minDuration(),
+                                                     inst.durationRatio());
+  SimResult r = simulateOnline(inst, cd);
+  EXPECT_FALSE(r.packing.validate().has_value());
+  EXPECT_EQ(r.binsOpened, 2u);  // different duration categories
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,102 @@
+// Cross-module property sweep: every algorithm in the repository, run on
+// the same randomized workloads, must produce feasible packings whose usage
+// is sandwiched between the Proposition 3 lower bound and the sum of item
+// durations (the trivial one-bin-per-item upper bound).
+#include <gtest/gtest.h>
+
+#include "core/lower_bounds.hpp"
+#include "offline/ddff.hpp"
+#include "offline/dual_coloring.hpp"
+#include "online/policy_factory.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+struct SweepCase {
+  std::uint64_t seed;
+  double mu;
+  SizeDist sizes;
+  ArrivalProcess arrivals;
+};
+
+class AllAlgorithmsFeasibility : public ::testing::TestWithParam<SweepCase> {};
+
+double sumOfDurations(const Instance& inst) {
+  double total = 0;
+  for (const Item& r : inst.items()) total += r.duration();
+  return total;
+}
+
+TEST_P(AllAlgorithmsFeasibility, EveryAlgorithmSandwiched) {
+  const SweepCase& c = GetParam();
+  WorkloadSpec spec;
+  spec.numItems = 150;
+  spec.mu = c.mu;
+  spec.sizes = c.sizes;
+  spec.arrivals = c.arrivals;
+  Instance inst = generateWorkload(spec, c.seed);
+  double lb3 = lowerBounds(inst).ceilIntegral;
+  double ub = sumOfDurations(inst);
+
+  // Online roster.
+  for (const PolicyPtr& policy :
+       fullRoster(inst.minDuration(), inst.durationRatio())) {
+    SimResult r = simulateOnline(inst, *policy);
+    EXPECT_FALSE(r.packing.validate().has_value()) << policy->name();
+    EXPECT_GE(r.totalUsage + 1e-6, lb3) << policy->name();
+    EXPECT_LE(r.totalUsage, ub + 1e-6) << policy->name();
+  }
+
+  // Offline algorithms.
+  Packing ddff = durationDescendingFirstFit(inst);
+  EXPECT_FALSE(ddff.validate().has_value());
+  EXPECT_GE(ddff.totalUsage() + 1e-6, lb3);
+  EXPECT_LE(ddff.totalUsage(), ub + 1e-6);
+
+  DualColoringResult dc = dualColoring(inst);
+  EXPECT_FALSE(dc.packing.validate().has_value());
+  EXPECT_GE(dc.packing.totalUsage() + 1e-6, lb3);
+  EXPECT_LE(dc.packing.totalUsage(), ub + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllAlgorithmsFeasibility,
+    ::testing::Values(
+        SweepCase{1, 1.0, SizeDist::kUniform, ArrivalProcess::kPoisson},
+        SweepCase{2, 4.0, SizeDist::kUniform, ArrivalProcess::kPoisson},
+        SweepCase{3, 16.0, SizeDist::kUniform, ArrivalProcess::kUniform},
+        SweepCase{4, 64.0, SizeDist::kUniform, ArrivalProcess::kBursty},
+        SweepCase{5, 8.0, SizeDist::kSmallOnly, ArrivalProcess::kPoisson},
+        SweepCase{6, 8.0, SizeDist::kFlavors, ArrivalProcess::kBursty},
+        SweepCase{7, 32.0, SizeDist::kFlavors, ArrivalProcess::kUniform},
+        SweepCase{8, 2.0, SizeDist::kSmallOnly, ArrivalProcess::kBursty}));
+
+// Offline algorithms must also respect the monotonicity one expects from
+// the bounds: DDFF and Dual Coloring never beat LB3, and the ratio to LB3
+// stays under the proven constants whenever LB3 is the binding bound.
+class OfflineRatioSanity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OfflineRatioSanity, ApproximationFactorsNeverExceedTheorems) {
+  WorkloadSpec spec;
+  spec.numItems = 100;
+  spec.mu = 12.0;
+  Instance inst = generateWorkload(spec, GetParam());
+  // Against OPT_total >= LB3 the theorems still guarantee 5x / 4x because
+  // the proofs bound usage by combinations of d(R), span(R) <= LB3-like
+  // quantities.
+  double demand = inst.demand();
+  double span = inst.span();
+  Packing ddff = durationDescendingFirstFit(inst);
+  EXPECT_LT(ddff.totalUsage(), 4.0 * demand + span + 1e-6);
+  DualColoringResult dc = dualColoring(inst);
+  EXPECT_LE(dc.packing.totalUsage(),
+            4.0 * lowerBounds(inst).ceilIntegral + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OfflineRatioSanity,
+                         ::testing::Range<std::uint64_t>(30, 42));
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,83 @@
+// Differential test between the multidim module and the scalar core: a
+// 1-dimensional MD instance is exactly a scalar instance, so the MD
+// simulator with MD-FirstFit must reproduce scalar First Fit decision for
+// decision.
+#include <gtest/gtest.h>
+
+#include "core/lower_bounds.hpp"
+#include "multidim/md_lower_bounds.hpp"
+#include "multidim/md_policies.hpp"
+#include "online/any_fit.hpp"
+#include "online/classify_departure.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+MdInstance liftToOneDim(const Instance& scalar) {
+  MdInstanceBuilder builder;
+  for (const Item& r : scalar.items()) {
+    builder.add(Resources{r.size}, r.arrival(), r.departure());
+  }
+  return builder.build();
+}
+
+class MdScalarConsistency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MdScalarConsistency, OneDimMdFirstFitEqualsScalarFirstFit) {
+  WorkloadSpec spec;
+  spec.numItems = 300;
+  spec.mu = 12.0;
+  Instance scalar = generateWorkload(spec, GetParam());
+  MdInstance lifted = liftToOneDim(scalar);
+
+  FirstFitPolicy scalarFf;
+  SimResult scalarRun = simulateOnline(scalar, scalarFf);
+
+  MdClassifyPolicy mdFf({MdFitRule::kFirstFit, MdCategoryRule::kNone, 1, 1, 2});
+  MdSimResult mdRun = mdSimulateOnline(lifted, mdFf);
+
+  ASSERT_EQ(mdRun.packing.binOf().size(), scalarRun.packing.binOf().size());
+  for (ItemId i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(mdRun.packing.binOf(i), scalarRun.packing.binOf(i)) << "item " << i;
+  }
+  EXPECT_NEAR(mdRun.totalUsage, scalarRun.totalUsage, 1e-9);
+  EXPECT_EQ(mdRun.binsOpened, scalarRun.binsOpened);
+}
+
+TEST_P(MdScalarConsistency, OneDimLowerBoundsAgree) {
+  WorkloadSpec spec;
+  spec.numItems = 150;
+  Instance scalar = generateWorkload(spec, GetParam());
+  MdLowerBounds md = mdLowerBounds(liftToOneDim(scalar));
+  LowerBounds sc = lowerBounds(scalar);
+  EXPECT_NEAR(md.demand, sc.demand, 1e-9);
+  EXPECT_NEAR(md.span, sc.span, 1e-9);
+  EXPECT_NEAR(md.ceilIntegral, sc.ceilIntegral, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MdScalarConsistency,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(MdScalarConsistency, ClassificationRulesAgreeWithScalarCounterparts) {
+  WorkloadSpec spec;
+  spec.numItems = 200;
+  spec.mu = 16.0;
+  Instance scalar = generateWorkload(spec, 11);
+  MdInstance lifted = liftToOneDim(scalar);
+
+  // Scalar CDT-FF vs MD departure classification with the same rho.
+  double rho = 4.0;
+  ClassifyByDepartureFF scalarCdt(rho);
+  SimResult scalarRun = simulateOnline(scalar, scalarCdt);
+  MdClassifyPolicy mdCdt(
+      {MdFitRule::kFirstFit, MdCategoryRule::kDeparture, rho, 1, 2});
+  MdSimResult mdRun = mdSimulateOnline(lifted, mdCdt);
+  for (ItemId i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(mdRun.packing.binOf(i), scalarRun.packing.binOf(i)) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,82 @@
+// Scenario-level integration: the domain workloads from the paper's
+// motivation run end-to-end through online and offline pipelines, and the
+// clairvoyant strategies deliver their promised savings.
+#include <gtest/gtest.h>
+
+#include "analysis/empirical.hpp"
+#include "core/lower_bounds.hpp"
+#include "offline/ddff.hpp"
+#include "offline/dual_coloring.hpp"
+#include "online/any_fit.hpp"
+#include "online/classify_departure.hpp"
+#include "online/classify_duration.hpp"
+#include "sim/simulator.hpp"
+#include "workload/scenarios.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(CloudGamingIntegration, ClairvoyantStrategiesAreFeasibleAndReasonable) {
+  CloudGamingSpec spec;
+  spec.numSessions = 1500;
+  Instance inst = cloudGamingSessions(spec, 2016);
+  double delta = inst.minDuration();
+  double mu = inst.durationRatio();
+
+  FirstFitPolicy ff;
+  auto cdt = ClassifyByDepartureFF::withKnownDurations(delta, mu);
+  auto cd = ClassifyByDurationFF::withKnownDurations(delta, mu);
+
+  EmpiricalResult ffRes = evaluatePolicy(inst, ff);
+  EmpiricalResult cdtRes = evaluatePolicy(inst, cdt);
+  EmpiricalResult cdRes = evaluatePolicy(inst, cd);
+
+  // All feasible, all within a small constant of the lower bound on this
+  // benign workload.
+  EXPECT_LT(ffRes.ratio, 3.0);
+  EXPECT_LT(cdtRes.ratio, 3.0);
+  EXPECT_LT(cdRes.ratio, 3.0);
+}
+
+TEST(BatchAnalyticsIntegration, OfflinePlannersBeatTheTrivialPacking) {
+  BatchAnalyticsSpec spec;
+  spec.numTemplates = 30;
+  spec.numPeriods = 12;
+  Instance inst = batchAnalyticsJobs(spec, 7);
+
+  double trivial = 0;  // one bin per item
+  for (const Item& r : inst.items()) trivial += r.duration();
+
+  Packing ddff = durationDescendingFirstFit(inst);
+  DualColoringResult dc = dualColoring(inst);
+  EXPECT_LT(ddff.totalUsage(), trivial);
+  EXPECT_LT(dc.packing.totalUsage(), trivial);
+  EXPECT_GE(ddff.totalUsage() + 1e-6, lowerBounds(inst).ceilIntegral);
+}
+
+TEST(ScenarioIntegration, OnlineNeverBeatsTheRepackingAdversaryBound) {
+  CloudGamingSpec spec;
+  spec.numSessions = 300;
+  Instance inst = cloudGamingSessions(spec, 5);
+  double lb3 = lowerBounds(inst).ceilIntegral;
+  FirstFitPolicy ff;
+  SimResult r = simulateOnline(inst, ff);
+  EXPECT_GE(r.totalUsage + 1e-6, lb3);
+}
+
+TEST(ScenarioIntegration, DepartureClassificationHelpsGamingWorkload) {
+  // Game sessions have wide duration spread; grouping by departure window
+  // should not lose to plain FF by more than a whisker and typically wins.
+  CloudGamingSpec spec;
+  spec.numSessions = 2500;
+  Instance inst = cloudGamingSessions(spec, 99);
+  FirstFitPolicy ff;
+  auto cdt = ClassifyByDepartureFF::withKnownDurations(inst.minDuration(),
+                                                       inst.durationRatio());
+  double ffUsage = simulateOnline(inst, ff).totalUsage;
+  double cdtUsage = simulateOnline(inst, cdt).totalUsage;
+  EXPECT_LT(cdtUsage, 1.5 * ffUsage);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,117 @@
+// End-to-end verification of the paper's headline guarantees against the
+// exact optimum on brute-forceable instances, and against OPT_total on
+// slightly larger ones.
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/opt_total.hpp"
+#include "offline/ddff.hpp"
+#include "offline/dual_coloring.hpp"
+#include "online/classify_departure.hpp"
+#include "online/classify_duration.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+WorkloadSpec tinySpec(double mu) {
+  WorkloadSpec spec;
+  spec.numItems = 8;
+  spec.arrivalRate = 3.0;
+  spec.mu = mu;
+  return spec;
+}
+
+class TheoremOne : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TheoremOne, DdffWithinFiveTimesOptTotal) {
+  Instance inst = generateWorkload(tinySpec(6.0), GetParam());
+  Packing packing = durationDescendingFirstFit(inst);
+  OptTotalResult opt = optTotal(inst);
+  ASSERT_TRUE(opt.exact);
+  EXPECT_LE(packing.totalUsage(), 5.0 * opt.value() + 1e-9) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremOne,
+                         ::testing::Range<std::uint64_t>(500, 540));
+
+class TheoremTwo : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TheoremTwo, DualColoringWithinFourTimesOptTotal) {
+  Instance inst = generateWorkload(tinySpec(6.0), GetParam());
+  DualColoringResult result = dualColoring(inst);
+  OptTotalResult opt = optTotal(inst);
+  ASSERT_TRUE(opt.exact);
+  EXPECT_LE(result.packing.totalUsage(), 4.0 * opt.value() + 1e-9)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremTwo,
+                         ::testing::Range<std::uint64_t>(600, 640));
+
+class TheoremFour : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TheoremFour, CdtFFWithinTheoremRatioOfOptTotal) {
+  WorkloadSpec spec = tinySpec(9.0);
+  spec.numItems = 24;  // OPT_total still exact at this scale
+  Instance inst = generateWorkload(spec, GetParam());
+  double delta = inst.minDuration();
+  double mu = inst.durationRatio();
+  auto policy = ClassifyByDepartureFF::withKnownDurations(delta, mu);
+  SimResult r = simulateOnline(inst, policy);
+  OptTotalResult opt = optTotal(inst);
+  ASSERT_TRUE(opt.exact);
+  double bound = 2.0 * std::sqrt(mu) + 3.0;
+  EXPECT_LE(r.totalUsage, bound * opt.value() + 1e-9) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremFour,
+                         ::testing::Range<std::uint64_t>(700, 730));
+
+class TheoremFive : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TheoremFive, CdFFWithinTheoremRatioOfOptTotal) {
+  WorkloadSpec spec = tinySpec(16.0);
+  spec.numItems = 24;
+  Instance inst = generateWorkload(spec, GetParam());
+  double delta = inst.minDuration();
+  double mu = inst.durationRatio();
+  auto policy = ClassifyByDurationFF::withKnownDurations(delta, mu);
+  SimResult r = simulateOnline(inst, policy);
+  OptTotalResult opt = optTotal(inst);
+  ASSERT_TRUE(opt.exact);
+  // min_n mu^(1/n) + n + 3 evaluated through the analysis module would be
+  // circular here; recompute the bound directly.
+  double bound = 1e100;
+  for (std::size_t n = 1; n <= 20; ++n) {
+    bound = std::min(bound,
+                     std::pow(mu, 1.0 / static_cast<double>(n)) +
+                         static_cast<double>(n) + 3.0);
+  }
+  EXPECT_LE(r.totalUsage, bound * opt.value() + 1e-9) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremFive,
+                         ::testing::Range<std::uint64_t>(800, 830));
+
+// The offline algorithms against the true fixed-assignment optimum (which
+// is >= OPT_total, so this is the stronger comparison for them).
+class OfflineVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OfflineVsBruteForce, BothOfflineAlgorithmsWithinTheirFactors) {
+  Instance inst = generateWorkload(tinySpec(4.0), GetParam());
+  auto opt = bruteForceOptimal(inst);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_LE(durationDescendingFirstFit(inst).totalUsage(),
+            5.0 * opt->usage + 1e-9);
+  EXPECT_LE(dualColoring(inst).packing.totalUsage(), 4.0 * opt->usage + 1e-9);
+  // And OPT_total (repacking allowed) never exceeds the fixed optimum.
+  EXPECT_LE(optTotal(inst).value(), opt->usage + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OfflineVsBruteForce,
+                         ::testing::Range<std::uint64_t>(900, 930));
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,88 @@
+#include "interval_sched/interval_sched.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/lower_bounds.hpp"
+#include "util/rng.hpp"
+
+namespace cdbp {
+namespace {
+
+IntervalSchedInstance makeJobs(
+    std::initializer_list<std::pair<Time, Time>> intervals, std::size_t g) {
+  std::vector<IntervalJob> jobs;
+  ItemId id = 0;
+  for (const auto& [a, b] : intervals) jobs.push_back({id++, {a, b}});
+  return IntervalSchedInstance(std::move(jobs), g);
+}
+
+TEST(IntervalSched, RejectsInvalidInputs) {
+  EXPECT_THROW(makeJobs({{0, 1}}, 0), std::invalid_argument);
+  EXPECT_THROW(makeJobs({{2, 2}}, 3), std::invalid_argument);
+}
+
+TEST(IntervalSched, ConversionGivesUnitShares) {
+  IntervalSchedInstance inst = makeJobs({{0, 2}, {1, 3}}, 4);
+  Instance dbp = inst.toDbp();
+  ASSERT_EQ(dbp.size(), 2u);
+  EXPECT_DOUBLE_EQ(dbp[0].size, 0.25);
+  EXPECT_DOUBLE_EQ(dbp[1].size, 0.25);
+}
+
+TEST(IntervalSched, MachineHoldsExactlyGConcurrentJobs) {
+  // 5 identical jobs, g = 4: one machine takes 4, the fifth opens machine 2.
+  IntervalSchedInstance inst =
+      makeJobs({{0, 2}, {0, 2}, {0, 2}, {0, 2}, {0, 2}}, 4);
+  IntervalScheduleResult r = greedyLongestFirst(inst);
+  EXPECT_EQ(r.machinesUsed, 2u);
+  EXPECT_DOUBLE_EQ(r.totalBusyTime, 4.0);
+}
+
+TEST(IntervalSched, GreedyPrefersLongJobsTogether) {
+  // Two long jobs + two short ones, g = 2: longest-first groups the longs
+  // on machine 0; shorts join where they fit.
+  IntervalSchedInstance inst = makeJobs({{0, 10}, {0, 10}, {0, 1}, {0, 1}}, 2);
+  IntervalScheduleResult r = greedyLongestFirst(inst);
+  EXPECT_EQ(r.packing.binOf(0), r.packing.binOf(1));
+  EXPECT_EQ(r.packing.binOf(2), r.packing.binOf(3));
+  EXPECT_DOUBLE_EQ(r.totalBusyTime, 10.0 + 1.0);
+}
+
+TEST(IntervalSched, BucketFirstFitSeparatesLengthBuckets) {
+  // alpha = 2, lengths 1 and 3: different buckets -> different machines
+  // even though one machine could hold both (g = 2).
+  IntervalSchedInstance inst = makeJobs({{0, 1}, {0, 3}}, 2);
+  IntervalScheduleResult r = bucketFirstFit(inst, 2.0);
+  EXPECT_EQ(r.machinesUsed, 2u);
+}
+
+TEST(IntervalSched, BothAlgorithmsProduceValidPackings) {
+  Rng rng(77);
+  std::vector<IntervalJob> jobs;
+  for (ItemId i = 0; i < 200; ++i) {
+    Time a = rng.uniform(0, 50);
+    jobs.push_back({i, {a, a + rng.uniform(1, 9)}});
+  }
+  IntervalSchedInstance inst(std::move(jobs), 5);
+  IntervalScheduleResult greedy = greedyLongestFirst(inst);
+  IntervalScheduleResult bucket = bucketFirstFit(inst, 2.0);
+  EXPECT_FALSE(greedy.packing.validate().has_value());
+  EXPECT_FALSE(bucket.packing.validate().has_value());
+  double lb3 = lowerBounds(*greedy.dbpInstance).ceilIntegral;
+  EXPECT_GE(greedy.totalBusyTime + 1e-6, lb3);
+  EXPECT_GE(bucket.totalBusyTime + 1e-6, lb3);
+  // Flammini's guarantee transfers: greedy <= 4 * d + span-ish; use the
+  // proven DDFF inequality as the checkable surrogate.
+  EXPECT_LT(greedy.totalBusyTime,
+            4.0 * greedy.dbpInstance->demand() + greedy.dbpInstance->span());
+}
+
+TEST(IntervalSched, EmptyInstance) {
+  IntervalSchedInstance inst({}, 3);
+  IntervalScheduleResult r = greedyLongestFirst(inst);
+  EXPECT_EQ(r.machinesUsed, 0u);
+  EXPECT_DOUBLE_EQ(r.totalBusyTime, 0.0);
+}
+
+}  // namespace
+}  // namespace cdbp

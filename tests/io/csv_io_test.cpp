@@ -1,0 +1,103 @@
+#include "io/csv_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(CsvIo, RoundTripsAnInstanceThroughStreams) {
+  WorkloadSpec spec;
+  spec.numItems = 50;
+  Instance original = generateWorkload(spec, 9);
+  std::stringstream buffer;
+  writeInstanceCsv(original, buffer);
+  Instance loaded = readInstanceCsv(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (ItemId i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].size, original[i].size);
+    EXPECT_DOUBLE_EQ(loaded[i].arrival(), original[i].arrival());
+    EXPECT_DOUBLE_EQ(loaded[i].departure(), original[i].departure());
+  }
+}
+
+TEST(CsvIo, ParsesHandwrittenInput) {
+  std::istringstream in(
+      "size,arrival,departure\n"
+      "0.5,0,4\n"
+      "0.25,1.5,3\n"
+      "\n");  // trailing blank line tolerated
+  Instance inst = readInstanceCsv(in);
+  ASSERT_EQ(inst.size(), 2u);
+  EXPECT_DOUBLE_EQ(inst[1].size, 0.25);
+  EXPECT_DOUBLE_EQ(inst[1].arrival(), 1.5);
+}
+
+TEST(CsvIo, RejectsMissingHeader) {
+  std::istringstream in("0.5,0,4\n");
+  EXPECT_THROW(readInstanceCsv(in), CsvError);
+}
+
+TEST(CsvIo, RejectsWrongArity) {
+  std::istringstream in("size,arrival,departure\n0.5,0\n");
+  EXPECT_THROW(readInstanceCsv(in), CsvError);
+}
+
+TEST(CsvIo, RejectsNonNumericCellWithLineNumber) {
+  std::istringstream in("size,arrival,departure\n0.5,zero,4\n");
+  try {
+    readInstanceCsv(in);
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(CsvIo, ModelViolationsSurfaceAsInstanceError) {
+  std::istringstream in("size,arrival,departure\n1.5,0,4\n");
+  EXPECT_THROW(readInstanceCsv(in), InstanceError);
+}
+
+TEST(CsvIo, RejectsEmptyInput) {
+  std::istringstream in("");
+  EXPECT_THROW(readInstanceCsv(in), CsvError);
+}
+
+TEST(CsvIo, FileRoundTrip) {
+  WorkloadSpec spec;
+  spec.numItems = 20;
+  Instance original = generateWorkload(spec, 3);
+  std::string path = ::testing::TempDir() + "/cdbp_csv_io_test.csv";
+  saveInstanceCsv(original, path);
+  Instance loaded = loadInstanceCsv(path);
+  EXPECT_EQ(loaded.size(), original.size());
+}
+
+TEST(CsvIo, LoadMissingFileThrows) {
+  EXPECT_THROW(loadInstanceCsv("/nonexistent/definitely/not/here.csv"), CsvError);
+}
+
+TEST(CsvIo, PackingExportContainsAssignments) {
+  Instance inst = InstanceBuilder().add(0.5, 0, 2).add(0.5, 0, 2).build();
+  Packing packing(inst, {0, 0});
+  std::ostringstream out;
+  writePackingCsv(packing, out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("item,bin,size,arrival,departure"), std::string::npos);
+  EXPECT_NE(text.find("0,0,0.5,0,2"), std::string::npos);
+  EXPECT_NE(text.find("1,0,0.5,0,2"), std::string::npos);
+}
+
+TEST(CsvIo, StepFunctionExportListsSegments) {
+  StepFunction f;
+  f.add({0, 2}, 1.5);
+  std::ostringstream out;
+  writeStepFunctionCsv(f, out);
+  EXPECT_NE(out.str().find("0,2,1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,84 @@
+#include "multidim/md_workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdbp {
+namespace {
+
+TEST(MdWorkload, DeterministicUnderSeed) {
+  MdWorkloadSpec spec;
+  spec.numItems = 50;
+  MdInstance a = generateMdWorkload(spec, 5);
+  MdInstance b = generateMdWorkload(spec, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (ItemId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].demand, b[i].demand);
+    EXPECT_EQ(a[i].interval, b[i].interval);
+  }
+}
+
+TEST(MdWorkload, RespectsDimsAndRanges) {
+  MdWorkloadSpec spec;
+  spec.numItems = 200;
+  spec.dims = 4;
+  spec.minCoordinate = 0.1;
+  spec.maxCoordinate = 0.5;
+  MdInstance inst = generateMdWorkload(spec, 2);
+  EXPECT_EQ(inst.dims(), 4u);
+  for (const MdItem& r : inst.items()) {
+    ASSERT_EQ(r.demand.dims(), 4u);
+    for (double v : r.demand.values()) {
+      EXPECT_GE(v, spec.minCoordinate - 1e-12);
+      EXPECT_LE(v, spec.maxCoordinate + 1e-12);
+    }
+    EXPECT_GE(r.duration(), spec.minDuration - 1e-12);
+    EXPECT_LE(r.duration(), spec.mu * spec.minDuration + 1e-12);
+  }
+}
+
+TEST(MdWorkload, FullCorrelationMakesCoordinatesEqual) {
+  MdWorkloadSpec spec;
+  spec.numItems = 100;
+  spec.correlation = 1.0;
+  MdInstance inst = generateMdWorkload(spec, 3);
+  for (const MdItem& r : inst.items()) {
+    EXPECT_NEAR(r.demand[0], r.demand[1], 1e-12);
+  }
+}
+
+TEST(MdWorkload, ZeroCorrelationDecouplesCoordinates) {
+  MdWorkloadSpec spec;
+  spec.numItems = 500;
+  spec.correlation = 0.0;
+  MdInstance inst = generateMdWorkload(spec, 4);
+  // Empirical correlation between dims should be near zero.
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  double n = static_cast<double>(inst.size());
+  for (const MdItem& r : inst.items()) {
+    double x = r.demand[0];
+    double y = r.demand[1];
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  double corr = (n * sxy - sx * sy) /
+                std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
+  EXPECT_LT(std::fabs(corr), 0.15);
+}
+
+TEST(MdWorkload, RejectsInvalidSpecs) {
+  MdWorkloadSpec spec;
+  spec.dims = 0;
+  EXPECT_THROW(generateMdWorkload(spec, 1), std::invalid_argument);
+  spec = {};
+  spec.correlation = 1.5;
+  EXPECT_THROW(generateMdWorkload(spec, 1), std::invalid_argument);
+  spec = {};
+  spec.maxCoordinate = 1.2;
+  EXPECT_THROW(generateMdWorkload(spec, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdbp

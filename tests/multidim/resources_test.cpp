@@ -1,0 +1,59 @@
+#include "multidim/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cdbp {
+namespace {
+
+TEST(Resources, ArithmeticIsElementwise) {
+  Resources a{0.2, 0.5};
+  Resources b{0.1, 0.3};
+  Resources sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 0.3);
+  EXPECT_DOUBLE_EQ(sum[1], 0.8);
+  Resources diff = sum - b;
+  EXPECT_DOUBLE_EQ(diff[0], 0.2);
+  EXPECT_DOUBLE_EQ(diff[1], 0.5);
+}
+
+TEST(Resources, DimensionMismatchThrows) {
+  Resources a{0.2, 0.5};
+  Resources b{0.1};
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a.fitsWith(b), std::invalid_argument);
+}
+
+TEST(Resources, FitsWithRequiresEveryDimension) {
+  Resources level{0.5, 0.9};
+  EXPECT_TRUE(level.fitsWith({0.5, 0.1}));
+  EXPECT_FALSE(level.fitsWith({0.5, 0.2}));   // dim 1 overflows
+  EXPECT_FALSE(level.fitsWith({0.6, 0.05}));  // dim 0 overflows
+}
+
+TEST(Resources, ZeroFactory) {
+  Resources z = Resources::zero(3);
+  EXPECT_EQ(z.dims(), 3u);
+  EXPECT_DOUBLE_EQ(z.sum(), 0.0);
+  EXPECT_TRUE(z.fitsWith({1.0, 1.0, 1.0}));
+}
+
+TEST(Resources, DominantCoordinate) {
+  Resources r{0.2, 0.7, 0.4};
+  EXPECT_DOUBLE_EQ(r.maxCoordinate(), 0.7);
+  EXPECT_EQ(r.dominantDimension(), 1u);
+  EXPECT_DOUBLE_EQ(r.sum(), 1.3);
+}
+
+TEST(Resources, EqualityAndStreaming) {
+  Resources a{0.25, 0.5};
+  Resources b{0.25, 0.5};
+  EXPECT_EQ(a, b);
+  std::ostringstream os;
+  os << a;
+  EXPECT_EQ(os.str(), "(0.25, 0.5)");
+}
+
+}  // namespace
+}  // namespace cdbp

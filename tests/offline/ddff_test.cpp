@@ -1,0 +1,118 @@
+#include "offline/ddff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/lower_bounds.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(Ddff, OrderingIsDurationDescendingWithStableTies) {
+  Item longItem(0, 0.1, 0, 10);
+  Item shortItem(1, 0.1, 0, 1);
+  EXPECT_TRUE(ddffOrderBefore(longItem, shortItem));
+  EXPECT_FALSE(ddffOrderBefore(shortItem, longItem));
+  Item tieEarly(2, 0.1, 0, 5);
+  Item tieLate(3, 0.1, 1, 6);
+  EXPECT_TRUE(ddffOrderBefore(tieEarly, tieLate));
+  Item tieSameArrivalLowId(4, 0.1, 0, 5);
+  Item tieSameArrivalHighId(5, 0.1, 0, 5);
+  EXPECT_TRUE(ddffOrderBefore(tieSameArrivalLowId, tieSameArrivalHighId));
+}
+
+TEST(Ddff, SingleItem) {
+  Instance inst = InstanceBuilder().add(0.5, 0, 2).build();
+  Packing packing = durationDescendingFirstFit(inst);
+  EXPECT_EQ(packing.numBins(), 1u);
+  EXPECT_DOUBLE_EQ(packing.totalUsage(), 2.0);
+}
+
+TEST(Ddff, PacksLongItemsFirst) {
+  // The long thin item is packed first (bin 0); the short fat item fits
+  // nowhere near it at overlap times, so it opens bin 1 — even though it
+  // arrives earlier.
+  Instance inst = InstanceBuilder()
+                      .add(0.9, 0, 1)    // short, fat, arrives first
+                      .add(0.2, 0, 10)   // long, thin
+                      .build();
+  Packing packing = durationDescendingFirstFit(inst);
+  EXPECT_EQ(packing.binOf(1), 0);  // long item owns bin 0
+  EXPECT_EQ(packing.binOf(0), 1);
+}
+
+TEST(Ddff, FirstFitPrefersLowestIndexedBin) {
+  Instance inst = InstanceBuilder()
+                      .add(0.4, 0, 10)  // bin 0
+                      .add(0.7, 0, 9)   // bin 1 (0.4+0.7 > 1)
+                      .add(0.5, 0, 8)   // fits bin 0 (0.9), not bin 1
+                      .add(0.2, 0, 7)   // fits bin 1 (0.9), not bin 0
+                      .build();
+  Packing packing = durationDescendingFirstFit(inst);
+  EXPECT_EQ(packing.binOf(0), 0);
+  EXPECT_EQ(packing.binOf(1), 1);
+  EXPECT_EQ(packing.binOf(2), 0);
+  EXPECT_EQ(packing.binOf(3), 1);
+}
+
+TEST(Ddff, ReusesBinAcrossDisjointTimes) {
+  Instance inst = InstanceBuilder().add(1.0, 0, 1).add(1.0, 1, 2).build();
+  Packing packing = durationDescendingFirstFit(inst);
+  EXPECT_EQ(packing.numBins(), 1u);
+  EXPECT_DOUBLE_EQ(packing.totalUsage(), 2.0);
+}
+
+TEST(Ddff, WholeIntervalFeasibilityIsChecked) {
+  // Item 2's bins are both EMPTY at its arrival time 0 — a naive
+  // current-level check would accept bin 0 — but it clashes with both
+  // earlier items later in its interval, so DDFF must open a third bin.
+  Instance inst = InstanceBuilder()
+                      .add(0.6, 2, 12)   // longest: bin 0
+                      .add(0.6, 4, 13)   // overlaps item 0: bin 1
+                      .add(0.6, 0, 5)    // overlaps both on [2,5): bin 2
+                      .build();
+  Packing packing = durationDescendingFirstFit(inst);
+  EXPECT_FALSE(packing.validate().has_value());
+  EXPECT_EQ(packing.numBins(), 3u);
+  EXPECT_EQ(packing.binOf(2), 2);
+}
+
+class DdffProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DdffProperty, FeasibleAndWithinTheoremOneInequality) {
+  WorkloadSpec spec;
+  spec.numItems = 120;
+  spec.mu = 10.0;
+  Instance inst = generateWorkload(spec, GetParam());
+  Packing packing = durationDescendingFirstFit(inst);
+  ASSERT_FALSE(packing.validate().has_value());
+  // The inequality actually proven for Theorem 1:
+  // total usage < 4 d(R) + span(R).
+  EXPECT_LT(packing.totalUsage(), 4.0 * inst.demand() + inst.span() + 1e-9);
+  // And never below the Proposition 3 bound.
+  EXPECT_GE(packing.totalUsage() + 1e-9, lowerBounds(inst).ceilIntegral);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DdffProperty,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+class DdffVsOptimal : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DdffVsOptimal, WithinFiveTimesBruteForceOptimum) {
+  WorkloadSpec spec;
+  spec.numItems = 7;
+  spec.arrivalRate = 2.5;
+  spec.mu = 5.0;
+  Instance inst = generateWorkload(spec, GetParam());
+  Packing packing = durationDescendingFirstFit(inst);
+  auto opt = bruteForceOptimal(inst);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_LE(packing.totalUsage(), 5.0 * opt->usage + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DdffVsOptimal,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,121 @@
+#include "offline/demand_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+std::vector<Item> makeItems(
+    std::initializer_list<std::tuple<Size, Time, Time>> specs) {
+  std::vector<Item> items;
+  ItemId id = 0;
+  for (const auto& [s, a, d] : specs) items.emplace_back(id++, s, a, d);
+  return items;
+}
+
+TEST(DemandChart, RejectsLargeItems) {
+  EXPECT_THROW(DemandChart(makeItems({{0.6, 0, 1}})), std::invalid_argument);
+}
+
+TEST(DemandChart, SingleItemIsPlacedAtItsOwnHeight) {
+  DemandChart chart(makeItems({{0.4, 0, 2}}));
+  ASSERT_EQ(chart.placements().size(), 1u);
+  EXPECT_NEAR(chart.placements()[0].altitude, 0.4, 1e-12);
+  EXPECT_TRUE(chart.allPlacementsInsideChart());
+  EXPECT_NEAR(chart.coloredArea(), chart.chartArea(), 1e-9);
+}
+
+TEST(DemandChart, StackedItemsGetDistinctAltitudes) {
+  DemandChart chart(makeItems({{0.3, 0, 2}, {0.2, 0, 2}}));
+  ASSERT_EQ(chart.placements().size(), 2u);
+  auto a0 = chart.altitudeOf(0);
+  auto a1 = chart.altitudeOf(1);
+  ASSERT_TRUE(a0 && a1);
+  EXPECT_NE(*a0, *a1);
+  EXPECT_EQ(chart.maxPlacementOverlap(), 1u);  // perfectly stacked
+  EXPECT_NEAR(chart.maxHeight(), 0.5, 1e-12);
+}
+
+TEST(DemandChart, ChartHeightFollowsActiveSizes) {
+  DemandChart chart(makeItems({{0.3, 0, 4}, {0.2, 1, 3}}));
+  EXPECT_NEAR(chart.height().valueAt(0.5), 0.3, 1e-12);
+  EXPECT_NEAR(chart.height().valueAt(2.0), 0.5, 1e-12);
+  EXPECT_NEAR(chart.height().valueAt(3.5), 0.3, 1e-12);
+  EXPECT_NEAR(chart.chartArea(), 0.3 * 4 + 0.2 * 2, 1e-12);
+}
+
+TEST(DemandChart, StaggeredItemsAllPlaced) {
+  DemandChart chart(
+      makeItems({{0.4, 0, 2}, {0.4, 1, 3}, {0.4, 2, 4}, {0.4, 3, 5}}));
+  EXPECT_EQ(chart.placements().size(), 4u);
+  EXPECT_TRUE(chart.allPlacementsInsideChart());
+  EXPECT_LE(chart.maxPlacementOverlap(), 2u);
+  EXPECT_NEAR(chart.coloredArea(), chart.chartArea(), 1e-9);
+}
+
+TEST(DemandChart, EmptyItemListYieldsEmptyChart) {
+  DemandChart chart({});
+  EXPECT_TRUE(chart.placements().empty());
+  EXPECT_DOUBLE_EQ(chart.chartArea(), 0.0);
+  EXPECT_DOUBLE_EQ(chart.maxHeight(), 0.0);
+}
+
+TEST(DemandChart, AltitudeOfUnknownItemIsNullopt) {
+  DemandChart chart(makeItems({{0.2, 0, 1}}));
+  EXPECT_FALSE(chart.altitudeOf(99).has_value());
+}
+
+// The Lemma 2-5 sweep on random small-item workloads: the cornerstone of
+// the Dual Coloring analysis.
+class DemandChartLemmas : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DemandChartLemmas, AllFourPhaseOneProperties) {
+  WorkloadSpec spec;
+  spec.numItems = 60;
+  spec.sizes = SizeDist::kSmallOnly;
+  spec.minSize = 0.02;
+  spec.mu = 8.0;
+  spec.arrivalRate = 6.0;
+  Instance inst = generateWorkload(spec, GetParam());
+  DemandChart chart(inst.items());
+
+  // Lemma 4: every small item is placed.
+  EXPECT_EQ(chart.placements().size(), inst.size());
+  // Lemma 2: the chart ends fully colored (red+blue partition the area).
+  EXPECT_NEAR(chart.coloredArea(), chart.chartArea(),
+              1e-6 * std::max(1.0, chart.chartArea()));
+  // Lemma 3: every rectangle lies inside the chart.
+  EXPECT_TRUE(chart.allPlacementsInsideChart());
+  // Lemma 5: no three items overlap.
+  EXPECT_LE(chart.maxPlacementOverlap(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DemandChartLemmas,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+class DemandChartBursty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DemandChartBursty, LemmasHoldUnderBurstyArrivalsAndFlavors) {
+  WorkloadSpec spec;
+  spec.numItems = 50;
+  spec.arrivals = ArrivalProcess::kBursty;
+  spec.sizes = SizeDist::kFlavors;
+  spec.flavors = {0.125, 0.25, 0.5};
+  spec.durations = DurationDist::kBimodal;
+  spec.mu = 16.0;
+  Instance inst = generateWorkload(spec, GetParam());
+  DemandChart chart(inst.items());
+  EXPECT_EQ(chart.placements().size(), inst.size());
+  EXPECT_NEAR(chart.coloredArea(), chart.chartArea(),
+              1e-6 * std::max(1.0, chart.chartArea()));
+  EXPECT_TRUE(chart.allPlacementsInsideChart());
+  EXPECT_LE(chart.maxPlacementOverlap(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DemandChartBursty,
+                         ::testing::Range<std::uint64_t>(50, 62));
+
+}  // namespace
+}  // namespace cdbp

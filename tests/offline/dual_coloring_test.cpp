@@ -1,0 +1,168 @@
+#include "offline/dual_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/brute_force.hpp"
+#include "core/lower_bounds.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(DualColoring, EmptyInstance) {
+  DualColoringResult result = dualColoring(Instance{});
+  EXPECT_EQ(result.packing.numBins(), 0u);
+  EXPECT_EQ(result.numStripes, 0u);
+}
+
+TEST(DualColoring, OnlyLargeItems) {
+  Instance inst = InstanceBuilder().add(0.8, 0, 2).add(0.9, 0, 2).build();
+  DualColoringResult result = dualColoring(inst);
+  EXPECT_FALSE(result.packing.validate().has_value());
+  EXPECT_EQ(result.packing.numBins(), 2u);
+  EXPECT_EQ(result.largeBins, 2u);
+  EXPECT_EQ(result.smallBins, 0u);
+  EXPECT_FALSE(result.chart);
+}
+
+TEST(DualColoring, OnlySmallItemsSharableIntoOneBin) {
+  Instance inst = InstanceBuilder().add(0.25, 0, 4).add(0.25, 0, 4).build();
+  DualColoringResult result = dualColoring(inst);
+  EXPECT_FALSE(result.packing.validate().has_value());
+  // Peak S_S = 0.5 -> one stripe -> one "within" bin suffices.
+  EXPECT_EQ(result.numStripes, 1u);
+  EXPECT_DOUBLE_EQ(result.packing.totalUsage(), 4.0);
+}
+
+TEST(DualColoring, LargeBinsNeverHostSmallItems) {
+  Instance inst = InstanceBuilder()
+                      .add(0.7, 0, 4)   // large
+                      .add(0.3, 0, 4)   // small — would fit the large bin
+                      .build();
+  DualColoringResult result = dualColoring(inst);
+  EXPECT_NE(result.packing.binOf(0), result.packing.binOf(1));
+}
+
+TEST(DualColoring, MixedGroupsStayFeasible) {
+  Instance inst = InstanceBuilder()
+                      .add(0.6, 0, 3)
+                      .add(0.5, 0, 5)
+                      .add(0.4, 1, 4)
+                      .add(0.3, 2, 6)
+                      .add(0.9, 4, 7)
+                      .build();
+  DualColoringResult result = dualColoring(inst);
+  EXPECT_FALSE(result.packing.validate().has_value());
+}
+
+TEST(DualColoring, StripeCountMatchesPeak) {
+  // Peak small load 1.3 -> m = ceil(2.6) = 3 stripes.
+  Instance inst = InstanceBuilder()
+                      .add(0.5, 0, 2)
+                      .add(0.5, 0, 2)
+                      .add(0.3, 0, 2)
+                      .build();
+  DualColoringResult result = dualColoring(inst);
+  EXPECT_EQ(result.numStripes, 3u);
+  EXPECT_FALSE(result.packing.validate().has_value());
+}
+
+// The inequality actually proven for Theorem 2: at every instant the number
+// of open bins is at most 4 * ceil(S(t)).
+class DualColoringBinBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DualColoringBinBound, OpenBinsAtMostFourCeilS) {
+  WorkloadSpec spec;
+  spec.numItems = 80;
+  spec.mu = 8.0;
+  spec.minSize = 0.05;
+  spec.maxSize = 1.0;
+  Instance inst = generateWorkload(spec, GetParam());
+  DualColoringResult result = dualColoring(inst);
+  ASSERT_FALSE(result.packing.validate().has_value());
+
+  for (Time t : inst.eventTimes()) {
+    // Probe strictly inside each elementary segment.
+    Time probe = t + 1e-7;
+    double s = inst.totalSizeAt(probe);
+    if (s <= 0) continue;
+    double snapped = std::round(s);
+    if (std::fabs(s - snapped) > 1e-9) snapped = s;
+    std::size_t cap = static_cast<std::size_t>(4.0 * std::ceil(snapped - 1e-12));
+    EXPECT_LE(result.packing.openBinsAt(probe), cap) << "at t=" << probe;
+  }
+  // Which integrates to the Theorem 2 guarantee against LB3 <= OPT_total.
+  EXPECT_LE(result.packing.totalUsage(),
+            4.0 * lowerBounds(inst).ceilIntegral + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualColoringBinBound,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// The finer per-family inequalities from the Theorem 2 proof: at any time,
+// small-group bins <= 2*ceil(2*S_S(t)) - 1 and large-group bins
+// <= floor(2*S_L(t)).
+class DualColoringFamilyBounds
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DualColoringFamilyBounds, PerFamilyOpenBinBoundsHold) {
+  WorkloadSpec spec;
+  spec.numItems = 70;
+  spec.mu = 8.0;
+  Instance inst = generateWorkload(spec, GetParam());
+  DualColoringResult result = dualColoring(inst);
+  ASSERT_EQ(result.binKind.size(), result.packing.numBins());
+
+  for (Time t : inst.eventTimes()) {
+    Time probe = t + 1e-7;
+    double smallSize = 0, largeSize = 0;
+    for (const Item& r : inst.items()) {
+      if (!r.activeAt(probe)) continue;
+      (r.size <= 0.5 ? smallSize : largeSize) += r.size;
+    }
+    std::size_t smallOpen = 0, largeOpen = 0;
+    for (std::size_t b = 0; b < result.packing.numBins(); ++b) {
+      if (!result.packing.bin(static_cast<BinId>(b)).busyPeriods().contains(probe)) {
+        continue;
+      }
+      if (result.binKind[b] == DualColoringBinKind::kLarge) {
+        ++largeOpen;
+      } else {
+        ++smallOpen;
+      }
+    }
+    if (smallSize > 1e-9) {
+      double cap = 2.0 * std::ceil(2.0 * smallSize - 1e-9) - 1.0;
+      EXPECT_LE(static_cast<double>(smallOpen), cap) << "t=" << probe;
+    } else {
+      EXPECT_EQ(smallOpen, 0u);
+    }
+    double largeCap = std::floor(2.0 * largeSize + 1e-9);
+    EXPECT_LE(static_cast<double>(largeOpen), largeCap) << "t=" << probe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualColoringFamilyBounds,
+                         ::testing::Range<std::uint64_t>(300, 315));
+
+class DualColoringVsOptimal : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DualColoringVsOptimal, WithinFourTimesBruteForceOptimum) {
+  WorkloadSpec spec;
+  spec.numItems = 7;
+  spec.arrivalRate = 2.5;
+  spec.mu = 5.0;
+  Instance inst = generateWorkload(spec, GetParam());
+  DualColoringResult result = dualColoring(inst);
+  auto opt = bruteForceOptimal(inst);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_LE(result.packing.totalUsage(), 4.0 * opt->usage + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualColoringVsOptimal,
+                         ::testing::Range<std::uint64_t>(200, 220));
+
+}  // namespace
+}  // namespace cdbp

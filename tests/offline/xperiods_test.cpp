@@ -1,0 +1,107 @@
+#include "offline/xperiods.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/instance.hpp"
+#include "core/interval.hpp"
+#include "offline/ddff.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+std::vector<Item> makeItems(
+    std::initializer_list<std::tuple<Size, Time, Time>> specs) {
+  std::vector<Item> items;
+  ItemId id = 0;
+  for (const auto& [s, a, d] : specs) items.emplace_back(id++, s, a, d);
+  return items;
+}
+
+TEST(XPeriods, RemovesContainedItems) {
+  // Item 1 is inside item 0; item 2 staggers out.
+  std::vector<Item> items =
+      makeItems({{0.1, 0, 10}, {0.1, 2, 5}, {0.1, 8, 12}});
+  std::vector<Item> reduced = removeContainedItems(items);
+  ASSERT_EQ(reduced.size(), 2u);
+  EXPECT_EQ(reduced[0].id, 0u);
+  EXPECT_EQ(reduced[1].id, 2u);
+  // Departures strictly increase in the reduced list.
+  EXPECT_LT(reduced[0].departure(), reduced[1].departure());
+}
+
+TEST(XPeriods, EqualIntervalsKeepOne) {
+  std::vector<Item> items = makeItems({{0.1, 0, 5}, {0.2, 0, 5}});
+  EXPECT_EQ(removeContainedItems(items).size(), 1u);
+}
+
+TEST(XPeriods, SplitAtArrivals) {
+  std::vector<Item> items = makeItems({{0.5, 0, 4}, {0.5, 2, 6}});
+  std::vector<XPeriod> periods = xPeriods(items);
+  ASSERT_EQ(periods.size(), 2u);
+  EXPECT_EQ(periods[0].period, Interval(0, 2));  // cut at item 1's arrival
+  EXPECT_EQ(periods[1].period, Interval(2, 6));
+}
+
+TEST(XPeriods, GapsKeepFullIntervals) {
+  std::vector<Item> items = makeItems({{0.5, 0, 2}, {0.5, 10, 12}});
+  std::vector<XPeriod> periods = xPeriods(items);
+  ASSERT_EQ(periods.size(), 2u);
+  EXPECT_EQ(periods[0].period, Interval(0, 2));
+  EXPECT_EQ(periods[1].period, Interval(10, 12));
+}
+
+TEST(XPeriods, DemandIsSizeWeightedLengths) {
+  std::vector<Item> items = makeItems({{0.5, 0, 4}, {0.25, 2, 6}});
+  // X(0) = [0,2) -> 0.5*2 = 1; X(1) = [2,6) -> 0.25*4 = 1.
+  EXPECT_DOUBLE_EQ(xPeriodDemand(items), 2.0);
+}
+
+TEST(XPeriods, EmptyInput) {
+  EXPECT_TRUE(xPeriods({}).empty());
+  EXPECT_DOUBLE_EQ(xPeriodDemand({}), 0.0);
+}
+
+class XPeriodsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XPeriodsProperty, LengthsSumToSpanAndStayInsideIntervals) {
+  WorkloadSpec spec;
+  spec.numItems = 80;
+  spec.mu = 10.0;
+  Instance inst = generateWorkload(spec, GetParam());
+  // Use a real DDFF bin's contents: the proof applies them per bin.
+  Packing packing = durationDescendingFirstFit(inst);
+  for (std::size_t b = 0; b < packing.numBins(); ++b) {
+    std::vector<Item> binItems;
+    for (ItemId id : packing.bin(static_cast<BinId>(b)).items()) {
+      binItems.push_back(inst[id]);
+    }
+    std::vector<XPeriod> periods = xPeriods(binItems);
+    // 1. Disjoint and sum to the span (reduction preserves the span).
+    double total = 0;
+    IntervalSet covered;
+    for (const XPeriod& x : periods) {
+      total += x.period.length();
+      EXPECT_FALSE(covered.overlaps(x.period));
+      covered.add(x.period);
+    }
+    IntervalSet span;
+    for (const Item& r : binItems) span.add(r.interval);
+    EXPECT_NEAR(total, span.measure(), 1e-9);
+    // 2. Each X-period sits inside its owner's active interval.
+    for (const XPeriod& x : periods) {
+      EXPECT_TRUE(inst[x.item].interval.contains(x.period));
+    }
+    // 3. The d_k quantity lower-bounds the bin's time-space demand
+    //    (inequality (1) of the proof).
+    double demand = 0;
+    for (const Item& r : binItems) demand += r.demand();
+    EXPECT_LE(xPeriodDemand(binItems), demand + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XPeriodsProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,107 @@
+#include "online/classify_departure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "online/any_fit.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(ClassifyByDeparture, RejectsInvalidRho) {
+  EXPECT_THROW(ClassifyByDepartureFF(0), std::invalid_argument);
+  EXPECT_THROW(ClassifyByDepartureFF(-1), std::invalid_argument);
+}
+
+TEST(ClassifyByDeparture, WindowsAreHalfOpenFromBelow) {
+  ClassifyByDepartureFF policy(2.0);
+  // Window k holds departures in (2k, 2k+2].
+  EXPECT_EQ(policy.windowOf(0.5), 0);
+  EXPECT_EQ(policy.windowOf(2.0), 0);   // boundary belongs to the lower window
+  EXPECT_EQ(policy.windowOf(2.0001), 1);
+  EXPECT_EQ(policy.windowOf(4.0), 1);
+  EXPECT_EQ(policy.windowOf(10.0), 4);
+}
+
+TEST(ClassifyByDeparture, WindowBoundaryToleratesFloatNoise) {
+  ClassifyByDepartureFF policy(0.1);
+  // 30 * 0.1 is not exact in binary; 3.0 must land in window 29.
+  EXPECT_EQ(policy.windowOf(30 * 0.1), 29);
+}
+
+TEST(ClassifyByDeparture, KnownDurationsUsesSqrtMuDelta) {
+  auto policy = ClassifyByDepartureFF::withKnownDurations(2.0, 16.0);
+  EXPECT_DOUBLE_EQ(policy.rho(), 8.0);
+  EXPECT_TRUE(policy.clairvoyant());
+}
+
+TEST(ClassifyByDeparture, ItemsInDifferentWindowsNeverShare) {
+  // Two tiny items that plain FF would co-locate, departing in different
+  // windows.
+  Instance inst = InstanceBuilder()
+                      .add(0.1, 0, 0.5)   // window 0 (rho=1)
+                      .add(0.1, 0, 1.7)   // window 1
+                      .build();
+  ClassifyByDepartureFF policy(1.0);
+  SimResult r = simulateOnline(inst, policy);
+  EXPECT_EQ(r.binsOpened, 2u);
+}
+
+TEST(ClassifyByDeparture, SameWindowSharesViaFirstFit) {
+  Instance inst = InstanceBuilder()
+                      .add(0.4, 0, 0.9)
+                      .add(0.4, 0.1, 0.8)
+                      .build();
+  ClassifyByDepartureFF policy(1.0);
+  SimResult r = simulateOnline(inst, policy);
+  EXPECT_EQ(r.binsOpened, 1u);
+}
+
+TEST(ClassifyByDeparture, SavesUsageWhenDeparturesAreMixed) {
+  // The motivating scenario of §5.2: long items trapped with short ones
+  // keep bins open. CDT separates them.
+  InstanceBuilder builder;
+  for (int i = 0; i < 6; ++i) {
+    builder.add(0.45, 0.001 * i, 1.0);         // short, depart ~1
+    builder.add(0.45, 0.001 * i + 5e-4, 50.0);  // long, depart 50
+  }
+  Instance inst = builder.build();
+
+  FirstFitPolicy ff;
+  ClassifyByDepartureFF cdt(1.0);
+  double ffUsage = simulateOnline(inst, ff).totalUsage;
+  double cdtUsage = simulateOnline(inst, cdt).totalUsage;
+  EXPECT_LT(cdtUsage, ffUsage);
+}
+
+// Inequality (9): usage < (rho/Delta + 2) d(R) + (mu*Delta + rho)/rho * span.
+class CdtTheorem4 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CdtTheorem4, ProvenUsageInequalityHolds) {
+  WorkloadSpec spec;
+  spec.numItems = 250;
+  spec.mu = 9.0;
+  spec.minDuration = 0.5;
+  Instance inst = generateWorkload(spec, GetParam());
+  double delta = inst.minDuration();
+  double mu = inst.durationRatio();
+  for (double rhoFactor : {0.5, 1.0, 3.0}) {
+    double rho = rhoFactor * std::sqrt(mu) * delta;
+    ClassifyByDepartureFF policy(rho);
+    SimResult r = simulateOnline(inst, policy);
+    ASSERT_FALSE(r.packing.validate().has_value());
+    double bound = (rho / delta + 2.0) * inst.demand() +
+                   (mu * delta + rho) / rho * inst.span();
+    EXPECT_LT(r.totalUsage, bound + 1e-6)
+        << "rho=" << rho << " mu=" << mu << " delta=" << delta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdtTheorem4,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,109 @@
+#include "online/classify_duration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "analysis/ratios.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(ClassifyByDuration, RejectsInvalidParameters) {
+  EXPECT_THROW(ClassifyByDurationFF(0, 2), std::invalid_argument);
+  EXPECT_THROW(ClassifyByDurationFF(1, 1.0), std::invalid_argument);
+  EXPECT_THROW(ClassifyByDurationFF(1, 0.5), std::invalid_argument);
+}
+
+TEST(ClassifyByDuration, GeometricCategories) {
+  ClassifyByDurationFF policy(1.0, 2.0);
+  // Category i holds durations in [2^i, 2^(i+1)).
+  EXPECT_EQ(policy.categoryOf(1.0), 0);
+  EXPECT_EQ(policy.categoryOf(1.99), 0);
+  EXPECT_EQ(policy.categoryOf(2.0), 1);
+  EXPECT_EQ(policy.categoryOf(3.999), 1);
+  EXPECT_EQ(policy.categoryOf(4.0), 2);
+  EXPECT_EQ(policy.categoryOf(0.5), -1);  // below base: earlier category
+}
+
+TEST(ClassifyByDuration, PaperFootnoteExample) {
+  // Footnote 2: alpha = 2, durations 1.5..4.5 -> three non-empty
+  // categories [1,2), [2,4), [4,8).
+  ClassifyByDurationFF policy(1.0, 2.0);
+  std::set<int> cats;
+  for (double d : {1.5, 1.9, 2.0, 3.5, 4.0, 4.5}) cats.insert(policy.categoryOf(d));
+  EXPECT_EQ(cats, (std::set<int>{0, 1, 2}));
+}
+
+TEST(ClassifyByDuration, BoundaryToleratesFloatNoise) {
+  ClassifyByDurationFF policy(1.0, 2.0);
+  // 2^k computed through pow/log round-trips still lands in category k.
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_EQ(policy.categoryOf(std::pow(2.0, k)), k) << k;
+  }
+}
+
+TEST(ClassifyByDuration, KnownDurationsProducesAtMostNCategories) {
+  for (double mu : {1.0, 2.0, 4.0, 16.0, 100.0, 1000.0}) {
+    auto policy = ClassifyByDurationFF::withKnownDurations(1.0, mu);
+    std::size_t n = ratios::optimalDurationCategories(mu);
+    std::set<int> cats;
+    for (double d = 1.0; d <= mu; d *= 1.05) cats.insert(policy.categoryOf(d));
+    cats.insert(policy.categoryOf(mu));
+    EXPECT_LE(cats.size(), n + 1) << "mu=" << mu;  // +1 for the closed top end
+  }
+}
+
+TEST(ClassifyByDuration, DifferentCategoriesNeverShareBins) {
+  Instance inst = InstanceBuilder()
+                      .add(0.1, 0, 1.5)   // category 0 (alpha=2, base=1)
+                      .add(0.1, 0, 3.0)   // category 1
+                      .build();
+  ClassifyByDurationFF policy(1.0, 2.0);
+  SimResult r = simulateOnline(inst, policy);
+  EXPECT_EQ(r.binsOpened, 2u);
+}
+
+TEST(ClassifyByDuration, CategoryCountRespectsTheoremFiveBound) {
+  WorkloadSpec spec;
+  spec.numItems = 400;
+  spec.minDuration = 1.0;
+  spec.mu = 64.0;
+  Instance inst = generateWorkload(spec, 9);
+  double mu = inst.durationRatio();
+  double alpha = 2.0;
+  ClassifyByDurationFF policy(inst.minDuration(), alpha);
+  SimResult r = simulateOnline(inst, policy);
+  double bound = std::ceil(std::log(mu) / std::log(alpha) - 1e-12) + 1;
+  EXPECT_LE(r.categoriesUsed, static_cast<std::size_t>(bound));
+}
+
+// Per-category First Fit inequality from [24], the basis of Theorem 5:
+// usage(FF on R_i) <= (mu_i + 3) d(R_i) + span(R_i).
+class CdTheorem5 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CdTheorem5, AggregateUsageWithinTheoremFiveInequality) {
+  WorkloadSpec spec;
+  spec.numItems = 250;
+  spec.mu = 32.0;
+  Instance inst = generateWorkload(spec, GetParam());
+  double alpha = 2.0;
+  ClassifyByDurationFF policy(inst.minDuration(), alpha);
+  SimResult r = simulateOnline(inst, policy);
+  ASSERT_FALSE(r.packing.validate().has_value());
+  // Inequality (10) summed over categories:
+  // usage <= (alpha+3) d(R) + (ceil(log_alpha mu) + 1) span(R).
+  double mu = inst.durationRatio();
+  double cats = std::max(1.0, std::ceil(std::log(mu) / std::log(alpha) - 1e-12) + 1);
+  double bound = (alpha + 3.0) * inst.demand() + cats * inst.span();
+  EXPECT_LE(r.totalUsage, bound + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdTheorem5,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace cdbp

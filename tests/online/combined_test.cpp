@@ -1,0 +1,98 @@
+#include "online/combined.hpp"
+
+#include <gtest/gtest.h>
+
+#include "online/classify_departure.hpp"
+#include "online/classify_duration.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(Combined, RejectsInvalidParameters) {
+  EXPECT_THROW(CombinedClassifyFF(0, 2), std::invalid_argument);
+  EXPECT_THROW(CombinedClassifyFF(1, 1), std::invalid_argument);
+  EXPECT_THROW(CombinedClassifyFF(1, 2, 0), std::invalid_argument);
+}
+
+TEST(Combined, ClassOfSplitsByDurationThenDeparture) {
+  CombinedClassifyFF policy(1.0, 4.0);
+  // Duration 1 -> class 0, duration 5 -> class 1 (alpha=4).
+  Item shortItem(0, 0.1, 0, 1);
+  Item longItem(1, 0.1, 0, 5);
+  EXPECT_EQ(policy.classOf(shortItem).first, 0);
+  EXPECT_EQ(policy.classOf(longItem).first, 1);
+  // Same duration class, departures far apart -> different windows.
+  Item early(2, 0.1, 0, 1);
+  Item late(3, 0.1, 100, 101);
+  EXPECT_EQ(policy.classOf(early).first, policy.classOf(late).first);
+  EXPECT_NE(policy.classOf(early).second, policy.classOf(late).second);
+}
+
+TEST(Combined, DifferentDurationClassesNeverShare) {
+  Instance inst = InstanceBuilder()
+                      .add(0.1, 0, 1)     // class 0
+                      .add(0.1, 0, 100)   // much longer class
+                      .build();
+  CombinedClassifyFF policy(1.0, 2.0);
+  SimResult r = simulateOnline(inst, policy);
+  EXPECT_EQ(r.binsOpened, 2u);
+}
+
+TEST(Combined, SameClassAndWindowShares) {
+  Instance inst = InstanceBuilder()
+                      .add(0.3, 0, 1.1)
+                      .add(0.3, 0.05, 1.15)
+                      .build();
+  CombinedClassifyFF policy(1.0, 2.0);
+  SimResult r = simulateOnline(inst, policy);
+  EXPECT_EQ(r.binsOpened, 1u);
+}
+
+TEST(Combined, ResetClearsDenseCategoryMap) {
+  Instance inst = InstanceBuilder().add(0.3, 0, 1.1).add(0.3, 5, 9).build();
+  CombinedClassifyFF policy(1.0, 2.0);
+  SimResult first = simulateOnline(inst, policy);
+  SimResult second = simulateOnline(inst, policy);
+  EXPECT_EQ(first.packing.binOf(), second.packing.binOf());
+  EXPECT_EQ(first.categoriesUsed, second.categoriesUsed);
+}
+
+TEST(Combined, FeasibleAcrossWorkloads) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    WorkloadSpec spec;
+    spec.numItems = 300;
+    spec.mu = 24.0;
+    Instance inst = generateWorkload(spec, seed);
+    auto policy =
+        CombinedClassifyFF::withKnownDurations(inst.minDuration(),
+                                               inst.durationRatio());
+    SimResult r = simulateOnline(inst, policy);
+    EXPECT_FALSE(r.packing.validate().has_value());
+  }
+}
+
+TEST(Combined, CompetitiveWithSingleStrategiesOnMixedLoad) {
+  // Not a theorem — a regression guard: on a workload mixing wide duration
+  // spread with dense departures, the combined policy should not be
+  // dramatically worse than the better single strategy.
+  WorkloadSpec spec;
+  spec.numItems = 800;
+  spec.mu = 64.0;
+  spec.durations = DurationDist::kBimodal;
+  Instance inst = generateWorkload(spec, 77);
+  double delta = inst.minDuration();
+  double mu = inst.durationRatio();
+
+  auto cdt = ClassifyByDepartureFF::withKnownDurations(delta, mu);
+  auto cd = ClassifyByDurationFF::withKnownDurations(delta, mu);
+  auto combined = CombinedClassifyFF::withKnownDurations(delta, mu);
+  double cdtUsage = simulateOnline(inst, cdt).totalUsage;
+  double cdUsage = simulateOnline(inst, cd).totalUsage;
+  double combinedUsage = simulateOnline(inst, combined).totalUsage;
+  EXPECT_LT(combinedUsage, 1.5 * std::min(cdtUsage, cdUsage));
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,61 @@
+#include "online/hybrid_ff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(HybridFF, SizeClassesAreGeometric) {
+  HybridFirstFitPolicy policy(8);
+  EXPECT_EQ(policy.sizeClass(1.0), 0);    // (1/2, 1]
+  EXPECT_EQ(policy.sizeClass(0.51), 0);
+  EXPECT_EQ(policy.sizeClass(0.5), 1);    // (1/4, 1/2]
+  EXPECT_EQ(policy.sizeClass(0.26), 1);
+  EXPECT_EQ(policy.sizeClass(0.25), 2);   // (1/8, 1/4]
+  EXPECT_EQ(policy.sizeClass(0.13), 2);
+}
+
+TEST(HybridFF, TinySizesFallIntoLastClass) {
+  HybridFirstFitPolicy policy(4);
+  EXPECT_EQ(policy.sizeClass(1e-6), 3);
+  EXPECT_EQ(policy.sizeClass(0.0626), 3);
+}
+
+TEST(HybridFF, DifferentClassesNeverShareBins) {
+  // A big and a small item that would fit together under plain First Fit.
+  Instance inst = InstanceBuilder().add(0.6, 0, 4).add(0.2, 0.5, 4).build();
+  HybridFirstFitPolicy policy;
+  SimResult r = simulateOnline(inst, policy);
+  EXPECT_EQ(r.binsOpened, 2u);
+  EXPECT_NE(r.packing.binOf(0), r.packing.binOf(1));
+}
+
+TEST(HybridFF, SameClassUsesFirstFit) {
+  Instance inst = InstanceBuilder()
+                      .add(0.3, 0, 4)
+                      .add(0.3, 0, 4)
+                      .add(0.3, 0, 4)
+                      .add(0.3, 0.5, 4)  // class (1/4,1/2]: fits bin0? 0.9+0.3>1 -> second bin
+                      .build();
+  HybridFirstFitPolicy policy;
+  SimResult r = simulateOnline(inst, policy);
+  EXPECT_EQ(r.packing.binOf(0), r.packing.binOf(1));
+  EXPECT_EQ(r.packing.binOf(1), r.packing.binOf(2));
+  EXPECT_NE(r.packing.binOf(3), r.packing.binOf(0));
+}
+
+TEST(HybridFF, FeasibleOnRandomWorkloads) {
+  WorkloadSpec spec;
+  spec.numItems = 500;
+  spec.mu = 8.0;
+  Instance inst = generateWorkload(spec, 5);
+  HybridFirstFitPolicy policy;
+  SimResult r = simulateOnline(inst, policy);
+  EXPECT_FALSE(r.packing.validate().has_value());
+}
+
+}  // namespace
+}  // namespace cdbp

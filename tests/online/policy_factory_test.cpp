@@ -1,0 +1,60 @@
+#include "online/policy_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(PolicyFactory, NonClairvoyantRosterComposition) {
+  std::vector<PolicyPtr> roster = nonClairvoyantRoster();
+  ASSERT_EQ(roster.size(), 6u);
+  for (const PolicyPtr& policy : roster) {
+    EXPECT_FALSE(policy->clairvoyant()) << policy->name();
+  }
+}
+
+TEST(PolicyFactory, ClairvoyantRosterComposition) {
+  std::vector<PolicyPtr> roster = clairvoyantRoster(1.0, 16.0);
+  ASSERT_EQ(roster.size(), 3u);
+  for (const PolicyPtr& policy : roster) {
+    EXPECT_TRUE(policy->clairvoyant()) << policy->name();
+  }
+}
+
+TEST(PolicyFactory, FullRosterHasUniqueNames) {
+  std::vector<PolicyPtr> roster = fullRoster(1.0, 16.0);
+  EXPECT_EQ(roster.size(), 9u);
+  std::set<std::string> names;
+  for (const PolicyPtr& policy : roster) names.insert(policy->name());
+  EXPECT_EQ(names.size(), roster.size());
+}
+
+TEST(PolicyFactory, EveryRosterPolicyRunsEndToEnd) {
+  WorkloadSpec spec;
+  spec.numItems = 150;
+  Instance inst = generateWorkload(spec, 2);
+  for (const PolicyPtr& policy :
+       fullRoster(inst.minDuration(), inst.durationRatio())) {
+    SimResult r = simulateOnline(inst, *policy);
+    EXPECT_FALSE(r.packing.validate().has_value()) << policy->name();
+  }
+}
+
+TEST(PolicyFactory, MuOneIsAccepted) {
+  // All items same duration: the known-durations constructors must not
+  // divide by zero or produce alpha <= 1.
+  EXPECT_NO_THROW(clairvoyantRoster(2.0, 1.0));
+  Instance inst = InstanceBuilder().add(0.5, 0, 1).add(0.5, 2, 3).build();
+  for (const PolicyPtr& policy : clairvoyantRoster(1.0, 1.0)) {
+    SimResult r = simulateOnline(inst, *policy);
+    EXPECT_FALSE(r.packing.validate().has_value()) << policy->name();
+  }
+}
+
+}  // namespace
+}  // namespace cdbp

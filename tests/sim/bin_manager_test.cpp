@@ -1,0 +1,90 @@
+#include "sim/bin_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdbp {
+namespace {
+
+TEST(BinManager, OpensBinsWithSequentialIds) {
+  BinManager mgr;
+  EXPECT_EQ(mgr.openBin(0, 0.0), 0);
+  EXPECT_EQ(mgr.openBin(1, 0.5), 1);
+  EXPECT_EQ(mgr.binsOpened(), 2u);
+  EXPECT_EQ(mgr.openCount(), 2u);
+}
+
+TEST(BinManager, TracksLevelsAndCounts) {
+  BinManager mgr;
+  BinId b = mgr.openBin(0, 0.0);
+  mgr.addItem(b, 0.3);
+  mgr.addItem(b, 0.4);
+  EXPECT_DOUBLE_EQ(mgr.info(b).level, 0.7);
+  EXPECT_EQ(mgr.info(b).itemCount, 2u);
+}
+
+TEST(BinManager, FitsHonorsCapacity) {
+  BinManager mgr;
+  BinId b = mgr.openBin(0, 0.0);
+  mgr.addItem(b, 0.7);
+  EXPECT_TRUE(mgr.fits(b, 0.3));
+  EXPECT_FALSE(mgr.fits(b, 0.31));
+}
+
+TEST(BinManager, BinClosesWhenLastItemLeaves) {
+  BinManager mgr;
+  BinId b = mgr.openBin(0, 0.0);
+  mgr.addItem(b, 0.3);
+  mgr.addItem(b, 0.4);
+  EXPECT_FALSE(mgr.removeItem(b, 0.3));
+  EXPECT_TRUE(mgr.removeItem(b, 0.4));
+  EXPECT_FALSE(mgr.info(b).open);
+  EXPECT_EQ(mgr.openCount(), 0u);
+  EXPECT_FALSE(mgr.fits(b, 0.1));  // closed bins never fit
+}
+
+TEST(BinManager, ClosedBinRejectsMutation) {
+  BinManager mgr;
+  BinId b = mgr.openBin(0, 0.0);
+  mgr.addItem(b, 0.3);
+  mgr.removeItem(b, 0.3);
+  EXPECT_THROW(mgr.addItem(b, 0.1), std::logic_error);
+  EXPECT_THROW(mgr.removeItem(b, 0.1), std::logic_error);
+}
+
+TEST(BinManager, LevelResidueFlushedOnClose) {
+  BinManager mgr;
+  BinId b = mgr.openBin(0, 0.0);
+  // Accumulate float noise across many add/remove pairs.
+  for (int i = 0; i < 100; ++i) mgr.addItem(b, 0.1);
+  for (int i = 0; i < 100; ++i) {
+    bool closed = mgr.removeItem(b, 0.1);
+    EXPECT_EQ(closed, i == 99);
+  }
+  EXPECT_DOUBLE_EQ(mgr.info(b).level, 0.0);
+}
+
+TEST(BinManager, PerCategoryOpenLists) {
+  BinManager mgr;
+  BinId a = mgr.openBin(7, 0.0);
+  BinId b = mgr.openBin(3, 0.0);
+  BinId c = mgr.openBin(7, 1.0);
+  EXPECT_EQ(mgr.openBins(7), (std::vector<BinId>{a, c}));
+  EXPECT_EQ(mgr.openBins(3), (std::vector<BinId>{b}));
+  EXPECT_TRUE(mgr.openBins(42).empty());
+  mgr.addItem(a, 0.5);
+  mgr.removeItem(a, 0.5);
+  EXPECT_EQ(mgr.openBins(7), (std::vector<BinId>{c}));
+}
+
+TEST(BinManager, OpenBinsPreservesOpeningOrderAfterClosures) {
+  BinManager mgr;
+  BinId a = mgr.openBin(0, 0.0);
+  BinId b = mgr.openBin(0, 1.0);
+  BinId c = mgr.openBin(0, 2.0);
+  mgr.addItem(b, 0.2);
+  mgr.removeItem(b, 0.2);  // closes b
+  EXPECT_EQ(mgr.openBins(), (std::vector<BinId>{a, c}));
+}
+
+}  // namespace
+}  // namespace cdbp

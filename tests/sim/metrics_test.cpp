@@ -1,0 +1,85 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "online/any_fit.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(Metrics, SimpleTwoBinPacking) {
+  Instance inst = InstanceBuilder()
+                      .add(0.5, 0, 4)   // bin 0
+                      .add(0.5, 1, 3)   // bin 0
+                      .add(0.75, 0, 2)  // bin 1
+                      .build();
+  Packing packing(inst, {0, 0, 1});
+  PackingMetrics m = computeMetrics(packing);
+  EXPECT_DOUBLE_EQ(m.totalUsage, 4.0 + 2.0);
+  EXPECT_EQ(m.binsUsed, 2u);
+  EXPECT_EQ(m.maxConcurrentBins, 2u);
+  // demand = 2 + 1 + 1.5 = 4.5; utilization = 4.5 / 6.
+  EXPECT_NEAR(m.utilization, 4.5 / 6.0, 1e-12);
+  EXPECT_NEAR(m.wastedTime, 1.5, 1e-12);
+  // open profile: 2 bins on [0,2), 1 on [2,4): avg over span 4 = 6/4.
+  EXPECT_NEAR(m.avgOpenBins, 1.5, 1e-12);
+  EXPECT_EQ(m.rentalLengths.count(), 2u);
+}
+
+TEST(Metrics, GapsSplitRentals) {
+  Instance inst = InstanceBuilder().add(0.5, 0, 1).add(0.5, 10, 12).build();
+  Packing packing(inst, {0, 0});
+  PackingMetrics m = computeMetrics(packing);
+  EXPECT_EQ(m.binsUsed, 1u);
+  EXPECT_EQ(m.rentalLengths.count(), 2u);
+  EXPECT_DOUBLE_EQ(m.rentalLengths.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.rentalLengths.max(), 2.0);
+}
+
+TEST(Metrics, EmptyPacking) {
+  Instance inst;
+  Packing packing(inst, {});
+  PackingMetrics m = computeMetrics(packing);
+  EXPECT_DOUBLE_EQ(m.totalUsage, 0.0);
+  EXPECT_DOUBLE_EQ(m.utilization, 0.0);
+  EXPECT_EQ(m.rentalLengths.count(), 0u);
+}
+
+TEST(Metrics, TimeSeriesSamplesProfile) {
+  Instance inst = InstanceBuilder().add(0.9, 0, 10).add(0.9, 2, 8).build();
+  Packing packing(inst, {0, 1});
+  auto series = openBinTimeSeries(packing, 10);
+  ASSERT_EQ(series.size(), 11u);
+  EXPECT_DOUBLE_EQ(series.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().first, 10.0);
+  // At t=5 both bins are open.
+  EXPECT_DOUBLE_EQ(series[5].second, 2.0);
+}
+
+TEST(Metrics, TimeSeriesEmptyCases) {
+  Instance inst;
+  Packing packing(inst, {});
+  EXPECT_TRUE(openBinTimeSeries(packing, 10).empty());
+  Instance one = InstanceBuilder().add(0.5, 0, 1).build();
+  Packing p1(one, {0});
+  EXPECT_TRUE(openBinTimeSeries(p1, 0).empty());
+}
+
+TEST(Metrics, ConsistentWithSimulatorOnRandomWorkload) {
+  WorkloadSpec spec;
+  spec.numItems = 250;
+  Instance inst = generateWorkload(spec, 12);
+  FirstFitPolicy ff;
+  SimResult r = simulateOnline(inst, ff);
+  PackingMetrics m = computeMetrics(r.packing);
+  EXPECT_DOUBLE_EQ(m.totalUsage, r.totalUsage);
+  EXPECT_EQ(m.binsUsed, r.binsOpened);
+  EXPECT_EQ(m.maxConcurrentBins, r.maxOpenBins);
+  EXPECT_GT(m.utilization, 0.0);
+  EXPECT_LE(m.utilization, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,163 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "online/any_fit.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+// A policy that always opens a new bin: maximally wasteful but trivially
+// correct; used to probe the simulator's accounting.
+class AlwaysNewBin : public OnlinePolicy {
+ public:
+  std::string name() const override { return "AlwaysNewBin"; }
+  bool clairvoyant() const override { return false; }
+  PlacementDecision place(const BinManager&, const Item&) override {
+    return PlacementDecision::fresh(0);
+  }
+};
+
+// A deliberately broken policy that targets bin 0 forever.
+class StuckOnBinZero : public OnlinePolicy {
+ public:
+  std::string name() const override { return "StuckOnBinZero"; }
+  bool clairvoyant() const override { return false; }
+  PlacementDecision place(const BinManager& bins, const Item&) override {
+    if (bins.binsOpened() == 0) return PlacementDecision::fresh(0);
+    return PlacementDecision::existing(0);
+  }
+};
+
+TEST(Simulator, AlwaysNewBinUsageIsSumOfDurations) {
+  Instance inst = InstanceBuilder()
+                      .add(0.2, 0, 2)
+                      .add(0.2, 1, 4)
+                      .add(0.2, 3, 6)
+                      .build();
+  AlwaysNewBin policy;
+  SimResult result = simulateOnline(inst, policy);
+  EXPECT_EQ(result.binsOpened, 3u);
+  EXPECT_DOUBLE_EQ(result.totalUsage, 2.0 + 3.0 + 3.0);
+  EXPECT_FALSE(result.packing.validate().has_value());
+}
+
+TEST(Simulator, DepartureFreesCapacityForSameInstantArrival) {
+  // Item 0 occupies the whole bin on [0,1); item 1 arrives exactly at 1.
+  Instance inst = InstanceBuilder().add(1.0, 0, 1).add(1.0, 1, 2).build();
+  FirstFitPolicy ff;
+  SimResult result = simulateOnline(inst, ff);
+  // The bin closed at t=1 (it emptied), so First Fit opens a second bin:
+  // closed bins never reopen in the online model.
+  EXPECT_EQ(result.binsOpened, 2u);
+  EXPECT_DOUBLE_EQ(result.totalUsage, 2.0);
+}
+
+TEST(Simulator, OverlappingSameInstantItemsShareWhenFeasible) {
+  Instance inst = InstanceBuilder().add(0.5, 0, 2).add(0.5, 0, 2).build();
+  FirstFitPolicy ff;
+  SimResult result = simulateOnline(inst, ff);
+  EXPECT_EQ(result.binsOpened, 1u);
+  EXPECT_DOUBLE_EQ(result.totalUsage, 2.0);
+}
+
+TEST(Simulator, ThrowsOnInfeasiblePolicyDecision) {
+  Instance inst = InstanceBuilder().add(0.9, 0, 2).add(0.9, 1, 3).build();
+  StuckOnBinZero policy;
+  EXPECT_THROW(simulateOnline(inst, policy), std::logic_error);
+}
+
+TEST(Simulator, ThrowsWhenPolicyTargetsClosedBin) {
+  Instance inst = InstanceBuilder().add(0.9, 0, 1).add(0.9, 5, 6).build();
+  StuckOnBinZero policy;  // bin 0 closes at t=1, item 1 arrives at 5
+  EXPECT_THROW(simulateOnline(inst, policy), std::logic_error);
+}
+
+TEST(Simulator, MaxOpenBinsTracksPeak) {
+  Instance inst = InstanceBuilder()
+                      .add(0.9, 0, 10)
+                      .add(0.9, 1, 3)
+                      .add(0.9, 2, 4)
+                      .build();
+  FirstFitPolicy ff;
+  SimResult result = simulateOnline(inst, ff);
+  EXPECT_EQ(result.maxOpenBins, 3u);
+  EXPECT_EQ(result.packing.maxConcurrentBins(), 3u);
+}
+
+TEST(Simulator, AnnounceHookPerturbsOnlyWhatPoliciesSee) {
+  Instance inst = InstanceBuilder().add(0.4, 0, 10).add(0.4, 0, 10).build();
+  // Record what the policy received.
+  struct Recorder : OnlinePolicy {
+    std::vector<Time> seenDepartures;
+    std::string name() const override { return "Recorder"; }
+    bool clairvoyant() const override { return true; }
+    PlacementDecision place(const BinManager& bins, const Item& item) override {
+      seenDepartures.push_back(item.departure());
+      for (BinId id : bins.openBins()) {
+        if (bins.fits(id, item.size)) return PlacementDecision::existing(id);
+      }
+      return PlacementDecision::fresh(0);
+    }
+  } recorder;
+
+  SimOptions options;
+  options.announce = [](const Item& r) {
+    return Item(r.id, r.size, r.arrival(), r.departure() * 2);
+  };
+  SimResult result = simulateOnline(inst, recorder, options);
+  ASSERT_EQ(recorder.seenDepartures.size(), 2u);
+  EXPECT_DOUBLE_EQ(recorder.seenDepartures[0], 20.0);
+  // The system still evolves with the true departures.
+  EXPECT_DOUBLE_EQ(result.totalUsage, 10.0);
+}
+
+TEST(Simulator, AnnounceMayNotChangeSizeOrArrival) {
+  Instance inst = InstanceBuilder().add(0.4, 0, 10).build();
+  FirstFitPolicy ff;
+  SimOptions options;
+  options.announce = [](const Item& r) {
+    return Item(r.id, r.size * 0.5, r.arrival(), r.departure());
+  };
+  EXPECT_THROW(simulateOnline(inst, ff, options), std::logic_error);
+}
+
+TEST(Simulator, CategoriesUsedCountsDistinctTags) {
+  Instance inst = InstanceBuilder()
+                      .add(0.4, 0, 1)
+                      .add(0.4, 0, 1)
+                      .add(0.4, 0, 1)
+                      .build();
+  struct TagPerItem : OnlinePolicy {
+    int next = 0;
+    std::string name() const override { return "TagPerItem"; }
+    bool clairvoyant() const override { return false; }
+    PlacementDecision place(const BinManager&, const Item&) override {
+      return PlacementDecision::fresh(next++);
+    }
+    void reset() override { next = 0; }
+  } tagger;
+  SimResult result = simulateOnline(inst, tagger);
+  EXPECT_EQ(result.categoriesUsed, 3u);
+}
+
+class SimulatorFeasibility : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorFeasibility, FirstFitPackingsAlwaysValidate) {
+  WorkloadSpec spec;
+  spec.numItems = 300;
+  spec.mu = 12.0;
+  Instance inst = generateWorkload(spec, GetParam());
+  FirstFitPolicy ff;
+  SimResult result = simulateOnline(inst, ff);
+  EXPECT_FALSE(result.packing.validate().has_value());
+  EXPECT_DOUBLE_EQ(result.totalUsage, result.packing.totalUsage());
+  EXPECT_EQ(result.binsOpened, result.packing.numBins());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorFeasibility,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace cdbp

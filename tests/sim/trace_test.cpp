@@ -1,0 +1,88 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "online/any_fit.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(DecisionTrace, RecordsEveryPlacement) {
+  Instance inst = InstanceBuilder()
+                      .add(0.6, 0, 4)
+                      .add(0.6, 1, 5)
+                      .add(0.3, 2, 6)
+                      .build();
+  DecisionTrace trace;
+  SimOptions options;
+  options.trace = &trace;
+  FirstFitPolicy ff;
+  SimResult r = simulateOnline(inst, ff, options);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.records()[0].item, 0u);
+  EXPECT_TRUE(trace.records()[0].openedNewBin);
+  EXPECT_EQ(trace.records()[0].openBins, 0u);  // nothing open before item 0
+  EXPECT_TRUE(trace.records()[1].openedNewBin);  // 0.6 + 0.6 > 1
+  EXPECT_FALSE(trace.records()[2].openedNewBin);  // 0.3 fits bin 0
+  EXPECT_EQ(trace.records()[2].bin, r.packing.binOf(2));
+  EXPECT_DOUBLE_EQ(trace.records()[2].binLevelBefore, 0.6);
+}
+
+TEST(DecisionTrace, AggregateStatistics) {
+  DecisionTrace trace;
+  trace.record({0, 0.0, 0, true, 0, 0, 0.0});
+  trace.record({1, 1.0, 0, false, 0, 1, 0.5});
+  trace.record({2, 2.0, 1, true, 0, 1, 0.0});
+  EXPECT_NEAR(trace.newBinRate(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(trace.meanOpenBins(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(DecisionTrace, EmptyAggregates) {
+  DecisionTrace trace;
+  EXPECT_DOUBLE_EQ(trace.newBinRate(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.meanOpenBins(), 0.0);
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(DecisionTrace, CsvExport) {
+  DecisionTrace trace;
+  trace.record({7, 1.5, 2, true, 3, 4, 0.25});
+  std::ostringstream out;
+  trace.writeCsv(out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("item,time,bin,new,category,openBins,levelBefore"),
+            std::string::npos);
+  EXPECT_NE(text.find("7,1.5,2,1,3,4,0.25"), std::string::npos);
+}
+
+TEST(DecisionTrace, ClearResets) {
+  DecisionTrace trace;
+  trace.record({0, 0, 0, true, 0, 0, 0});
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(DecisionTrace, ConsistentWithSimResultOnRandomWorkload) {
+  WorkloadSpec spec;
+  spec.numItems = 300;
+  Instance inst = generateWorkload(spec, 17);
+  DecisionTrace trace;
+  SimOptions options;
+  options.trace = &trace;
+  FirstFitPolicy ff;
+  SimResult r = simulateOnline(inst, ff, options);
+  EXPECT_EQ(trace.size(), inst.size());
+  std::size_t opened = 0;
+  for (const PlacementRecord& rec : trace.records()) {
+    if (rec.openedNewBin) ++opened;
+    EXPECT_EQ(rec.bin, r.packing.binOf(rec.item));
+  }
+  EXPECT_EQ(opened, r.binsOpened);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,50 @@
+#include "util/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cdbp {
+namespace {
+
+TEST(AsciiChart, RendersSeriesGlyphsAndLegend) {
+  AsciiChart chart(40, 10);
+  chart.addSeries("linear", {1, 2, 3, 4}, {1, 2, 3, 4});
+  chart.addSeries("flat", {1, 2, 3, 4}, {2, 2, 2, 2});
+  std::ostringstream os;
+  chart.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+  EXPECT_NE(out.find("linear"), std::string::npos);
+  EXPECT_NE(out.find("flat"), std::string::npos);
+}
+
+TEST(AsciiChart, RejectsMismatchedSeries) {
+  AsciiChart chart;
+  EXPECT_THROW(chart.addSeries("bad", {1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(AsciiChart, RejectsTinyPlotArea) {
+  EXPECT_THROW(AsciiChart(5, 2), std::invalid_argument);
+}
+
+TEST(AsciiChart, LogXHandlesWideRanges) {
+  AsciiChart chart(40, 8);
+  chart.setLogX(true);
+  chart.addSeries("sweep", {1, 10, 100, 1000}, {1, 2, 3, 4});
+  std::ostringstream os;
+  chart.print(os);
+  EXPECT_NE(os.str().find("(log x)"), std::string::npos);
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotDivideByZero) {
+  AsciiChart chart(30, 6);
+  chart.addSeries("const", {5}, {7});
+  std::ostringstream os;
+  EXPECT_NO_THROW(chart.print(os));
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,59 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cdbp {
+namespace {
+
+Flags parse(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  for (std::string& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f = parse({"--items=500", "--mu=2.5"});
+  EXPECT_EQ(f.getInt("items", 0), 500);
+  EXPECT_DOUBLE_EQ(f.getDouble("mu", 0), 2.5);
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags f = parse({"--items", "42", "--name", "hello"});
+  EXPECT_EQ(f.getInt("items", 0), 42);
+  EXPECT_EQ(f.getString("name", ""), "hello");
+}
+
+TEST(Flags, BareSwitch) {
+  Flags f = parse({"--csv", "--items=3"});
+  EXPECT_TRUE(f.has("csv"));
+  EXPECT_FALSE(f.has("json"));
+  EXPECT_EQ(f.getInt("items", 0), 3);
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  Flags f = parse({});
+  EXPECT_EQ(f.getInt("items", 7), 7);
+  EXPECT_DOUBLE_EQ(f.getDouble("mu", 1.5), 1.5);
+  EXPECT_EQ(f.getString("name", "dflt"), "dflt");
+}
+
+TEST(Flags, BareSwitchFollowedByFlagIsNotAValue) {
+  Flags f = parse({"--csv", "--verbose"});
+  EXPECT_TRUE(f.has("csv"));
+  EXPECT_TRUE(f.has("verbose"));
+  EXPECT_EQ(f.getString("csv", "x"), "");
+}
+
+TEST(Flags, NonFlagArgumentsIgnored) {
+  Flags f = parse({"positional", "--a=1"});
+  EXPECT_EQ(f.getInt("a", 0), 1);
+  EXPECT_FALSE(f.has("positional"));
+}
+
+}  // namespace
+}  // namespace cdbp

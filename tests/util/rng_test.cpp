@@ -1,0 +1,90 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdbp {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t v = rng.uniformInt(2, 5);
+    EXPECT_GE(v, 2u);
+    EXPECT_LE(v, 5u);
+    sawLo |= (v == 2);
+    sawHi |= (v == 5);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(4);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, LogNormalIsPositive) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.logNormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ChanceFrequencyMatchesP) {
+  Rng rng(8);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkDecorrelatesStreams) {
+  Rng parent(9);
+  Rng child = parent.fork();
+  // The child stream must differ from a fresh continuation of the parent.
+  bool anyDifferent = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.uniform01() != child.uniform01()) anyDifferent = true;
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cdbp {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"mu", "ratio"});
+  table.addRow({"1", "5.0"});
+  table.addRow({"100", "23.0"});
+  std::ostringstream os;
+  table.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("mu"), std::string::npos);
+  EXPECT_NE(out.find("23.0"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.addRow({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsWithPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(1.0 / 3.0, 4), "0.3333");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table table({"name", "value"});
+  table.addRow({"has,comma", "has\"quote"});
+  std::ostringstream os;
+  table.printCsv(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table table({"a"});
+  table.addRow({"plain"});
+  std::ostringstream os;
+  table.printCsv(os);
+  EXPECT_EQ(os.str(), "a\nplain\n");
+}
+
+TEST(Table, TracksRowCount) {
+  Table table({"x"});
+  EXPECT_EQ(table.numRows(), 0u);
+  table.addRow({"1"});
+  table.addRow({"2"});
+  EXPECT_EQ(table.numRows(), 2u);
+  EXPECT_EQ(table.rows()[1][0], "2");
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,89 @@
+#include "workload/adversarial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "online/any_fit.hpp"
+#include "online/classify_duration.hpp"
+#include "sim/simulator.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(Theorem3Gadget, CaseAShape) {
+  Instance inst = theorem3CaseA(2.0, 0.01);
+  ASSERT_EQ(inst.size(), 2u);
+  EXPECT_DOUBLE_EQ(inst[0].duration(), 2.0);
+  EXPECT_DOUBLE_EQ(inst[1].duration(), 1.0);
+  EXPECT_DOUBLE_EQ(inst[0].size, 0.49);
+  // Optimal co-location usage is x.
+  auto opt = bruteForceOptimal(inst);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_DOUBLE_EQ(opt->usage, 2.0);
+}
+
+TEST(Theorem3Gadget, CaseBShapeAndOptimum) {
+  double x = 1.8, eps = 0.01, tau = 0.05;
+  Instance inst = theorem3CaseB(x, eps, tau);
+  ASSERT_EQ(inst.size(), 4u);
+  auto opt = bruteForceOptimal(inst);
+  ASSERT_TRUE(opt.has_value());
+  // Pair 1&3 and 2&4: x + 1 + 2*tau.
+  EXPECT_NEAR(opt->usage, x + 1 + 2 * tau, 1e-9);
+}
+
+TEST(Theorem3Gadget, ParameterValidation) {
+  EXPECT_THROW(theorem3CaseA(1.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(theorem3CaseA(2.0, 0.6), std::invalid_argument);
+  EXPECT_THROW(theorem3CaseB(2.0, 0.1, 0.0), std::invalid_argument);
+}
+
+TEST(SliverTrap, FirstFitScattersSliversAcrossBins) {
+  std::size_t k = 6;
+  Instance inst = firstFitSliverTrap(k, 20.0);
+  FirstFitPolicy ff;
+  SimResult r = simulateOnline(inst, ff);
+  // Each phase's filler opens a bin and its sliver tops that bin off.
+  EXPECT_EQ(r.binsOpened, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    EXPECT_EQ(r.packing.binOf(static_cast<ItemId>(2 * j)),
+              r.packing.binOf(static_cast<ItemId>(2 * j + 1)));
+  }
+}
+
+TEST(SliverTrap, DurationClassificationDefusesIt) {
+  std::size_t k = 6;
+  double mu = 20.0;
+  Instance inst = firstFitSliverTrap(k, mu);
+  FirstFitPolicy ff;
+  ClassifyByDurationFF cd(inst.minDuration(), 2.0);
+  double ffUsage = simulateOnline(inst, ff).totalUsage;
+  double cdUsage = simulateOnline(inst, cd).totalUsage;
+  // FF pays ~k*mu; classification pays ~k + mu. The gap must be wide.
+  EXPECT_GT(ffUsage, 2.0 * cdUsage);
+}
+
+TEST(SliverTrap, ParameterValidation) {
+  EXPECT_THROW(firstFitSliverTrap(0, 10.0), std::invalid_argument);
+  EXPECT_THROW(firstFitSliverTrap(4, 0.5), std::invalid_argument);
+  EXPECT_THROW(firstFitSliverTrap(4, 10.0, 0.5), std::invalid_argument);
+}
+
+TEST(Sawtooth, GeneratesAlternatingPairs) {
+  Instance inst = sawtoothWaves(2, 3, 8.0);
+  ASSERT_EQ(inst.size(), 12u);
+  // Even ids big-short, odd ids small-long.
+  EXPECT_GT(inst[0].size, 0.5);
+  EXPECT_LT(inst[1].size, 0.5);
+  EXPECT_LT(inst[0].duration(), inst[1].duration());
+}
+
+TEST(Sawtooth, FeasiblyPackableByFirstFit) {
+  Instance inst = sawtoothWaves(4, 5, 10.0);
+  FirstFitPolicy ff;
+  SimResult r = simulateOnline(inst, ff);
+  EXPECT_FALSE(r.packing.validate().has_value());
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,141 @@
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdbp {
+namespace {
+
+TEST(Generators, DeterministicUnderSeed) {
+  WorkloadSpec spec;
+  spec.numItems = 100;
+  Instance a = generateWorkload(spec, 42);
+  Instance b = generateWorkload(spec, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (ItemId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+  WorkloadSpec spec;
+  spec.numItems = 50;
+  Instance a = generateWorkload(spec, 1);
+  Instance b = generateWorkload(spec, 2);
+  bool anyDifferent = false;
+  for (ItemId i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) anyDifferent = true;
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(Generators, RejectsBadSpecs) {
+  WorkloadSpec spec;
+  spec.mu = 0.5;
+  EXPECT_THROW(generateWorkload(spec, 1), std::invalid_argument);
+  spec = {};
+  spec.minSize = 0;
+  EXPECT_THROW(generateWorkload(spec, 1), std::invalid_argument);
+  spec = {};
+  spec.minSize = 0.9;
+  spec.maxSize = 0.5;
+  EXPECT_THROW(generateWorkload(spec, 1), std::invalid_argument);
+}
+
+class DurationDistCase
+    : public ::testing::TestWithParam<std::tuple<DurationDist, std::uint64_t>> {};
+
+TEST_P(DurationDistCase, DurationsStayWithinMuWindow) {
+  WorkloadSpec spec;
+  spec.numItems = 400;
+  spec.durations = std::get<0>(GetParam());
+  spec.minDuration = 2.0;
+  spec.mu = 10.0;
+  Instance inst = generateWorkload(spec, std::get<1>(GetParam()));
+  for (const Item& r : inst.items()) {
+    EXPECT_GE(r.duration(), spec.minDuration - 1e-12);
+    EXPECT_LE(r.duration(), spec.mu * spec.minDuration + 1e-12);
+  }
+  EXPECT_LE(inst.durationRatio(), spec.mu + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDists, DurationDistCase,
+    ::testing::Combine(::testing::Values(DurationDist::kUniform,
+                                         DurationDist::kExponential,
+                                         DurationDist::kPareto,
+                                         DurationDist::kLogNormal,
+                                         DurationDist::kBimodal),
+                       ::testing::Values(1, 7)));
+
+class SizeDistCase
+    : public ::testing::TestWithParam<std::tuple<SizeDist, std::uint64_t>> {};
+
+TEST_P(SizeDistCase, SizesAreValidForUnitBins) {
+  WorkloadSpec spec;
+  spec.numItems = 300;
+  spec.sizes = std::get<0>(GetParam());
+  Instance inst = generateWorkload(spec, std::get<1>(GetParam()));
+  for (const Item& r : inst.items()) {
+    EXPECT_GT(r.size, 0.0);
+    EXPECT_LE(r.size, 1.0);
+    if (spec.sizes == SizeDist::kSmallOnly) EXPECT_LE(r.size, 0.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDists, SizeDistCase,
+    ::testing::Combine(::testing::Values(SizeDist::kUniform,
+                                         SizeDist::kSmallOnly,
+                                         SizeDist::kFlavors),
+                       ::testing::Values(3, 11)));
+
+TEST(Generators, PoissonArrivalsAreIncreasing) {
+  WorkloadSpec spec;
+  spec.numItems = 200;
+  spec.arrivals = ArrivalProcess::kPoisson;
+  Instance inst = generateWorkload(spec, 5);
+  std::vector<Item> order = inst.sortedByArrival();
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(order[i].arrival(), order[i - 1].arrival());
+  }
+}
+
+TEST(Generators, BurstyArrivalsProduceTies) {
+  WorkloadSpec spec;
+  spec.numItems = 64;
+  spec.arrivals = ArrivalProcess::kBursty;
+  spec.burstSize = 8;
+  Instance inst = generateWorkload(spec, 5);
+  std::size_t ties = 0;
+  std::vector<Item> order = inst.sortedByArrival();
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i].arrival() == order[i - 1].arrival()) ++ties;
+  }
+  EXPECT_GE(ties, 32u);  // most items share a burst instant
+}
+
+TEST(Generators, ArrivalRateControlsHorizon) {
+  WorkloadSpec dense;
+  dense.numItems = 500;
+  dense.arrivalRate = 100.0;
+  WorkloadSpec sparse = dense;
+  sparse.arrivalRate = 1.0;
+  Instance denseInst = generateWorkload(dense, 9);
+  Instance sparseInst = generateWorkload(sparse, 9);
+  EXPECT_LT(denseInst.span(), sparseInst.span());
+  EXPECT_GT(denseInst.peakTotalSize(), sparseInst.peakTotalSize());
+}
+
+TEST(Generators, FlavorSizesComeFromTheList) {
+  WorkloadSpec spec;
+  spec.numItems = 100;
+  spec.sizes = SizeDist::kFlavors;
+  spec.flavors = {0.25, 0.5};
+  Instance inst = generateWorkload(spec, 13);
+  for (const Item& r : inst.items()) {
+    EXPECT_TRUE(r.size == 0.25 || r.size == 0.5) << r.size;
+  }
+}
+
+}  // namespace
+}  // namespace cdbp

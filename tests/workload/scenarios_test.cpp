@@ -1,0 +1,90 @@
+#include "workload/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdbp {
+namespace {
+
+TEST(CloudGaming, ProducesRequestedSessionCount) {
+  CloudGamingSpec spec;
+  spec.numSessions = 500;
+  Instance inst = cloudGamingSessions(spec, 1);
+  EXPECT_EQ(inst.size(), 500u);
+}
+
+TEST(CloudGaming, SessionLengthsRespectPlatformCaps) {
+  CloudGamingSpec spec;
+  spec.numSessions = 400;
+  Instance inst = cloudGamingSessions(spec, 2);
+  for (const Item& r : inst.items()) {
+    EXPECT_GE(r.duration(), spec.minSessionMinutes - 1e-9);
+    EXPECT_LE(r.duration(), spec.maxSessionMinutes + 1e-9);
+  }
+  EXPECT_LE(inst.durationRatio(),
+            spec.maxSessionMinutes / spec.minSessionMinutes + 1e-9);
+}
+
+TEST(CloudGaming, SharesComeFromFlavorList) {
+  CloudGamingSpec spec;
+  spec.numSessions = 200;
+  spec.instanceShares = {0.5, 1.0};
+  Instance inst = cloudGamingSessions(spec, 3);
+  for (const Item& r : inst.items()) {
+    EXPECT_TRUE(r.size == 0.5 || r.size == 1.0);
+  }
+}
+
+TEST(CloudGaming, DeterministicUnderSeed) {
+  CloudGamingSpec spec;
+  spec.numSessions = 100;
+  Instance a = cloudGamingSessions(spec, 7);
+  Instance b = cloudGamingSessions(spec, 7);
+  for (ItemId i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(BatchAnalytics, MaterializesTemplatesTimesPeriods) {
+  BatchAnalyticsSpec spec;
+  spec.numTemplates = 10;
+  spec.numPeriods = 5;
+  Instance inst = batchAnalyticsJobs(spec, 1);
+  EXPECT_EQ(inst.size(), 50u);
+}
+
+TEST(BatchAnalytics, RunsOfATemplateShareDuration) {
+  BatchAnalyticsSpec spec;
+  spec.numTemplates = 3;
+  spec.numPeriods = 4;
+  Instance inst = batchAnalyticsJobs(spec, 2);
+  // Items are emitted template-major: 4 consecutive runs per template.
+  for (std::size_t tmpl = 0; tmpl < 3; ++tmpl) {
+    double d0 = inst[static_cast<ItemId>(tmpl * 4)].duration();
+    for (std::size_t p = 1; p < 4; ++p) {
+      EXPECT_NEAR(inst[static_cast<ItemId>(tmpl * 4 + p)].duration(), d0, 1e-9);
+    }
+  }
+}
+
+TEST(BatchAnalytics, RunsRecurOncePerPeriod) {
+  BatchAnalyticsSpec spec;
+  spec.numTemplates = 1;
+  spec.numPeriods = 6;
+  spec.jitterFraction = 0.0;
+  Instance inst = batchAnalyticsJobs(spec, 3);
+  for (std::size_t p = 1; p < 6; ++p) {
+    double gap = inst[static_cast<ItemId>(p)].arrival() -
+                 inst[static_cast<ItemId>(p - 1)].arrival();
+    EXPECT_NEAR(gap, spec.periodMinutes, 1e-9);
+  }
+}
+
+TEST(BatchAnalytics, DurationsStayWithinPeriodFractions) {
+  BatchAnalyticsSpec spec;
+  Instance inst = batchAnalyticsJobs(spec, 4);
+  for (const Item& r : inst.items()) {
+    EXPECT_GE(r.duration(), spec.periodMinutes * spec.minRunFraction - 1e-9);
+    EXPECT_LE(r.duration(), spec.periodMinutes * spec.maxRunFraction + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cdbp

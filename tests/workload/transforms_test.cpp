@@ -1,0 +1,126 @@
+#include "workload/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/lower_bounds.hpp"
+#include "offline/ddff.hpp"
+#include "online/any_fit.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+Instance sample(std::uint64_t seed = 5) {
+  WorkloadSpec spec;
+  spec.numItems = 120;
+  spec.mu = 8.0;
+  return generateWorkload(spec, seed);
+}
+
+TEST(Transforms, ScaleTimeScalesIntervals) {
+  Instance inst = sample();
+  Instance scaled = scaleTime(inst, 3.0);
+  for (ItemId i = 0; i < inst.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scaled[i].arrival(), 3.0 * inst[i].arrival());
+    // Durations are differences of scaled endpoints: equal up to rounding.
+    EXPECT_NEAR(scaled[i].duration(), 3.0 * inst[i].duration(), 1e-9);
+    EXPECT_DOUBLE_EQ(scaled[i].size, inst[i].size);
+  }
+  EXPECT_THROW(scaleTime(inst, 0), std::invalid_argument);
+}
+
+TEST(Transforms, ShiftTimePreservesDurations) {
+  Instance inst = sample();
+  Instance shifted = shiftTime(inst, -7.5);
+  for (ItemId i = 0; i < inst.size(); ++i) {
+    EXPECT_DOUBLE_EQ(shifted[i].duration(), inst[i].duration());
+    EXPECT_DOUBLE_EQ(shifted[i].arrival(), inst[i].arrival() - 7.5);
+  }
+}
+
+TEST(Transforms, ScaleSizesClampsIntoUnitRange) {
+  Instance inst = InstanceBuilder().add(0.8, 0, 1).add(0.1, 0, 1).build();
+  Instance scaled = scaleSizes(inst, 2.0);
+  EXPECT_DOUBLE_EQ(scaled[0].size, 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(scaled[1].size, 0.2);
+}
+
+TEST(Transforms, MergeConcatenatesAndRenumbers) {
+  Instance a = InstanceBuilder().add(0.5, 0, 1).build();
+  Instance b = InstanceBuilder().add(0.25, 5, 6).add(0.25, 7, 8).build();
+  Instance merged = mergeInstances(a, b);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[2].id, 2u);
+  EXPECT_DOUBLE_EQ(merged[2].arrival(), 7.0);
+}
+
+TEST(Transforms, FilterKeepsMatching) {
+  Instance inst = sample();
+  Instance bigOnly =
+      filterItems(inst, [](const Item& r) { return r.size > 0.5; });
+  for (const Item& r : bigOnly.items()) EXPECT_GT(r.size, 0.5);
+  EXPECT_LT(bigOnly.size(), inst.size());
+}
+
+TEST(Transforms, SplitPartitionsByArrival) {
+  Instance inst = sample();
+  Time mid = inst.activeUnion().min() + inst.span() / 2;
+  auto [early, late] = splitAt(inst, mid);
+  EXPECT_EQ(early.size() + late.size(), inst.size());
+  for (const Item& r : early.items()) EXPECT_LT(r.arrival(), mid);
+  for (const Item& r : late.items()) EXPECT_GE(r.arrival(), mid);
+}
+
+// Metamorphic properties: how algorithm outputs must respond to input
+// transformations.
+class Metamorphic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Metamorphic, UsageIsTimeScaleEquivariant) {
+  Instance inst = sample(GetParam());
+  Instance scaled = scaleTime(inst, 2.5);
+  FirstFitPolicy ff;
+  double base = simulateOnline(inst, ff).totalUsage;
+  double dilated = simulateOnline(scaled, ff).totalUsage;
+  EXPECT_NEAR(dilated, 2.5 * base, 1e-6 * std::max(1.0, base));
+
+  double ddffBase = durationDescendingFirstFit(inst).totalUsage();
+  double ddffDilated = durationDescendingFirstFit(scaled).totalUsage();
+  EXPECT_NEAR(ddffDilated, 2.5 * ddffBase, 1e-6 * std::max(1.0, ddffBase));
+}
+
+TEST_P(Metamorphic, FirstFitDecisionsAreTimeShiftInvariant) {
+  Instance inst = sample(GetParam());
+  Instance shifted = shiftTime(inst, 113.0);
+  FirstFitPolicy ff;
+  SimResult base = simulateOnline(inst, ff);
+  SimResult moved = simulateOnline(shifted, ff);
+  EXPECT_EQ(base.packing.binOf(), moved.packing.binOf());
+  EXPECT_NEAR(base.totalUsage, moved.totalUsage, 1e-6);
+}
+
+TEST_P(Metamorphic, LowerBoundsScaleWithTime) {
+  Instance inst = sample(GetParam());
+  LowerBounds base = lowerBounds(inst);
+  LowerBounds scaled = lowerBounds(scaleTime(inst, 4.0));
+  EXPECT_NEAR(scaled.demand, 4.0 * base.demand, 1e-6);
+  EXPECT_NEAR(scaled.span, 4.0 * base.span, 1e-6);
+  EXPECT_NEAR(scaled.ceilIntegral, 4.0 * base.ceilIntegral, 1e-6);
+}
+
+TEST_P(Metamorphic, MergeOfDisjointSpansAddsUsage) {
+  Instance a = sample(GetParam());
+  // Push b far past a's horizon so spans are disjoint.
+  Instance b = shiftTime(sample(GetParam() + 1000), a.activeUnion().max() + 100);
+  Instance merged = mergeInstances(a, b);
+  FirstFitPolicy ff;
+  double ua = simulateOnline(a, ff).totalUsage;
+  double ub = simulateOnline(b, ff).totalUsage;
+  double um = simulateOnline(merged, ff).totalUsage;
+  EXPECT_NEAR(um, ua + ub, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Metamorphic, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace cdbp
