@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_billing.dir/bench_billing.cpp.o"
+  "CMakeFiles/bench_billing.dir/bench_billing.cpp.o.d"
+  "bench_billing"
+  "bench_billing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

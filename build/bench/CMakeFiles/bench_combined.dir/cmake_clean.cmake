@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_combined.dir/bench_combined.cpp.o"
+  "CMakeFiles/bench_combined.dir/bench_combined.cpp.o.d"
+  "bench_combined"
+  "bench_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

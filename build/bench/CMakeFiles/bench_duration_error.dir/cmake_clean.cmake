@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_duration_error.dir/bench_duration_error.cpp.o"
+  "CMakeFiles/bench_duration_error.dir/bench_duration_error.cpp.o.d"
+  "bench_duration_error"
+  "bench_duration_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_duration_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

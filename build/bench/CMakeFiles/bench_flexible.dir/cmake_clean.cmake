@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flexible.dir/bench_flexible.cpp.o"
+  "CMakeFiles/bench_flexible.dir/bench_flexible.cpp.o.d"
+  "bench_flexible"
+  "bench_flexible.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flexible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

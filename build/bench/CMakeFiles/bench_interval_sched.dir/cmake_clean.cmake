@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interval_sched.dir/bench_interval_sched.cpp.o"
+  "CMakeFiles/bench_interval_sched.dir/bench_interval_sched.cpp.o.d"
+  "bench_interval_sched"
+  "bench_interval_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interval_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multidim.dir/bench_multidim.cpp.o"
+  "CMakeFiles/bench_multidim.dir/bench_multidim.cpp.o.d"
+  "bench_multidim"
+  "bench_multidim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multidim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_offline_approx.dir/bench_offline_approx.cpp.o"
+  "CMakeFiles/bench_offline_approx.dir/bench_offline_approx.cpp.o.d"
+  "bench_offline_approx"
+  "bench_offline_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offline_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

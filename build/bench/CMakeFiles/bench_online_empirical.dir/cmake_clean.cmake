@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_empirical.dir/bench_online_empirical.cpp.o"
+  "CMakeFiles/bench_online_empirical.dir/bench_online_empirical.cpp.o.d"
+  "bench_online_empirical"
+  "bench_online_empirical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_empirical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

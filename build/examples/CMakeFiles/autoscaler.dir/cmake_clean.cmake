@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscaler.dir/autoscaler.cpp.o"
+  "CMakeFiles/autoscaler.dir/autoscaler.cpp.o.d"
+  "autoscaler"
+  "autoscaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

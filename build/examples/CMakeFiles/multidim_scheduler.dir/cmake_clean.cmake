@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidim_scheduler.dir/multidim_scheduler.cpp.o"
+  "CMakeFiles/multidim_scheduler.dir/multidim_scheduler.cpp.o.d"
+  "multidim_scheduler"
+  "multidim_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidim_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/adversary.cpp" "src/CMakeFiles/cdbp.dir/analysis/adversary.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/analysis/adversary.cpp.o.d"
+  "/root/repo/src/analysis/audit.cpp" "src/CMakeFiles/cdbp.dir/analysis/audit.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/analysis/audit.cpp.o.d"
+  "/root/repo/src/analysis/empirical.cpp" "src/CMakeFiles/cdbp.dir/analysis/empirical.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/analysis/empirical.cpp.o.d"
+  "/root/repo/src/analysis/figure8.cpp" "src/CMakeFiles/cdbp.dir/analysis/figure8.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/analysis/figure8.cpp.o.d"
+  "/root/repo/src/analysis/ratios.cpp" "src/CMakeFiles/cdbp.dir/analysis/ratios.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/analysis/ratios.cpp.o.d"
+  "/root/repo/src/core/binpack_exact.cpp" "src/CMakeFiles/cdbp.dir/core/binpack_exact.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/core/binpack_exact.cpp.o.d"
+  "/root/repo/src/core/brute_force.cpp" "src/CMakeFiles/cdbp.dir/core/brute_force.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/core/brute_force.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/CMakeFiles/cdbp.dir/core/instance.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/core/instance.cpp.o.d"
+  "/root/repo/src/core/lower_bounds.cpp" "src/CMakeFiles/cdbp.dir/core/lower_bounds.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/core/lower_bounds.cpp.o.d"
+  "/root/repo/src/core/opt_total.cpp" "src/CMakeFiles/cdbp.dir/core/opt_total.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/core/opt_total.cpp.o.d"
+  "/root/repo/src/core/packing.cpp" "src/CMakeFiles/cdbp.dir/core/packing.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/core/packing.cpp.o.d"
+  "/root/repo/src/core/step_function.cpp" "src/CMakeFiles/cdbp.dir/core/step_function.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/core/step_function.cpp.o.d"
+  "/root/repo/src/cost/billing.cpp" "src/CMakeFiles/cdbp.dir/cost/billing.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/cost/billing.cpp.o.d"
+  "/root/repo/src/flexible/flexible_job.cpp" "src/CMakeFiles/cdbp.dir/flexible/flexible_job.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/flexible/flexible_job.cpp.o.d"
+  "/root/repo/src/flexible/flexible_scheduler.cpp" "src/CMakeFiles/cdbp.dir/flexible/flexible_scheduler.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/flexible/flexible_scheduler.cpp.o.d"
+  "/root/repo/src/flexible/flexible_workload.cpp" "src/CMakeFiles/cdbp.dir/flexible/flexible_workload.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/flexible/flexible_workload.cpp.o.d"
+  "/root/repo/src/flexible/online_flexible.cpp" "src/CMakeFiles/cdbp.dir/flexible/online_flexible.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/flexible/online_flexible.cpp.o.d"
+  "/root/repo/src/interval_sched/interval_sched.cpp" "src/CMakeFiles/cdbp.dir/interval_sched/interval_sched.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/interval_sched/interval_sched.cpp.o.d"
+  "/root/repo/src/io/csv_io.cpp" "src/CMakeFiles/cdbp.dir/io/csv_io.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/io/csv_io.cpp.o.d"
+  "/root/repo/src/multidim/md_instance.cpp" "src/CMakeFiles/cdbp.dir/multidim/md_instance.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/multidim/md_instance.cpp.o.d"
+  "/root/repo/src/multidim/md_lower_bounds.cpp" "src/CMakeFiles/cdbp.dir/multidim/md_lower_bounds.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/multidim/md_lower_bounds.cpp.o.d"
+  "/root/repo/src/multidim/md_packing.cpp" "src/CMakeFiles/cdbp.dir/multidim/md_packing.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/multidim/md_packing.cpp.o.d"
+  "/root/repo/src/multidim/md_policies.cpp" "src/CMakeFiles/cdbp.dir/multidim/md_policies.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/multidim/md_policies.cpp.o.d"
+  "/root/repo/src/multidim/md_workload.cpp" "src/CMakeFiles/cdbp.dir/multidim/md_workload.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/multidim/md_workload.cpp.o.d"
+  "/root/repo/src/offline/chart_render.cpp" "src/CMakeFiles/cdbp.dir/offline/chart_render.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/offline/chart_render.cpp.o.d"
+  "/root/repo/src/offline/ddff.cpp" "src/CMakeFiles/cdbp.dir/offline/ddff.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/offline/ddff.cpp.o.d"
+  "/root/repo/src/offline/demand_chart.cpp" "src/CMakeFiles/cdbp.dir/offline/demand_chart.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/offline/demand_chart.cpp.o.d"
+  "/root/repo/src/offline/dual_coloring.cpp" "src/CMakeFiles/cdbp.dir/offline/dual_coloring.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/offline/dual_coloring.cpp.o.d"
+  "/root/repo/src/offline/ordered_first_fit.cpp" "src/CMakeFiles/cdbp.dir/offline/ordered_first_fit.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/offline/ordered_first_fit.cpp.o.d"
+  "/root/repo/src/offline/xperiods.cpp" "src/CMakeFiles/cdbp.dir/offline/xperiods.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/offline/xperiods.cpp.o.d"
+  "/root/repo/src/online/any_fit.cpp" "src/CMakeFiles/cdbp.dir/online/any_fit.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/online/any_fit.cpp.o.d"
+  "/root/repo/src/online/classify_departure.cpp" "src/CMakeFiles/cdbp.dir/online/classify_departure.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/online/classify_departure.cpp.o.d"
+  "/root/repo/src/online/classify_duration.cpp" "src/CMakeFiles/cdbp.dir/online/classify_duration.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/online/classify_duration.cpp.o.d"
+  "/root/repo/src/online/combined.cpp" "src/CMakeFiles/cdbp.dir/online/combined.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/online/combined.cpp.o.d"
+  "/root/repo/src/online/departure_fit.cpp" "src/CMakeFiles/cdbp.dir/online/departure_fit.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/online/departure_fit.cpp.o.d"
+  "/root/repo/src/online/hybrid_ff.cpp" "src/CMakeFiles/cdbp.dir/online/hybrid_ff.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/online/hybrid_ff.cpp.o.d"
+  "/root/repo/src/online/policy_factory.cpp" "src/CMakeFiles/cdbp.dir/online/policy_factory.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/online/policy_factory.cpp.o.d"
+  "/root/repo/src/sim/bin_manager.cpp" "src/CMakeFiles/cdbp.dir/sim/bin_manager.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/sim/bin_manager.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/cdbp.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/cdbp.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/cdbp.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/util/ascii_chart.cpp" "src/CMakeFiles/cdbp.dir/util/ascii_chart.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/util/ascii_chart.cpp.o.d"
+  "/root/repo/src/util/flags.cpp" "src/CMakeFiles/cdbp.dir/util/flags.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/util/flags.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/cdbp.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/cdbp.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/workload/adversarial.cpp" "src/CMakeFiles/cdbp.dir/workload/adversarial.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/workload/adversarial.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/CMakeFiles/cdbp.dir/workload/generators.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/workload/generators.cpp.o.d"
+  "/root/repo/src/workload/scenarios.cpp" "src/CMakeFiles/cdbp.dir/workload/scenarios.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/workload/scenarios.cpp.o.d"
+  "/root/repo/src/workload/transforms.cpp" "src/CMakeFiles/cdbp.dir/workload/transforms.cpp.o" "gcc" "src/CMakeFiles/cdbp.dir/workload/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

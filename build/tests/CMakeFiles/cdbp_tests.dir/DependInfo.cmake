@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/adversary_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/analysis/adversary_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/analysis/adversary_test.cpp.o.d"
+  "/root/repo/tests/analysis/audit_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/analysis/audit_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/analysis/audit_test.cpp.o.d"
+  "/root/repo/tests/analysis/empirical_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/analysis/empirical_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/analysis/empirical_test.cpp.o.d"
+  "/root/repo/tests/analysis/figure8_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/analysis/figure8_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/analysis/figure8_test.cpp.o.d"
+  "/root/repo/tests/analysis/ratios_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/analysis/ratios_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/analysis/ratios_test.cpp.o.d"
+  "/root/repo/tests/core/bin_timeline_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/core/bin_timeline_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/core/bin_timeline_test.cpp.o.d"
+  "/root/repo/tests/core/binpack_exact_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/core/binpack_exact_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/core/binpack_exact_test.cpp.o.d"
+  "/root/repo/tests/core/brute_force_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/core/brute_force_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/core/brute_force_test.cpp.o.d"
+  "/root/repo/tests/core/epsilon_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/core/epsilon_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/core/epsilon_test.cpp.o.d"
+  "/root/repo/tests/core/instance_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/core/instance_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/core/instance_test.cpp.o.d"
+  "/root/repo/tests/core/interval_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/core/interval_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/core/interval_test.cpp.o.d"
+  "/root/repo/tests/core/lower_bounds_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/core/lower_bounds_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/core/lower_bounds_test.cpp.o.d"
+  "/root/repo/tests/core/opt_total_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/core/opt_total_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/core/opt_total_test.cpp.o.d"
+  "/root/repo/tests/core/packing_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/core/packing_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/core/packing_test.cpp.o.d"
+  "/root/repo/tests/core/step_function_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/core/step_function_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/core/step_function_test.cpp.o.d"
+  "/root/repo/tests/cost/billing_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/cost/billing_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/cost/billing_test.cpp.o.d"
+  "/root/repo/tests/flexible/flexible_job_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/flexible/flexible_job_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/flexible/flexible_job_test.cpp.o.d"
+  "/root/repo/tests/flexible/flexible_scheduler_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/flexible/flexible_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/flexible/flexible_scheduler_test.cpp.o.d"
+  "/root/repo/tests/flexible/online_flexible_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/flexible/online_flexible_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/flexible/online_flexible_test.cpp.o.d"
+  "/root/repo/tests/integration/edge_cases_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/integration/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/integration/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/integration/feasibility_properties_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/integration/feasibility_properties_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/integration/feasibility_properties_test.cpp.o.d"
+  "/root/repo/tests/integration/golden_regression_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/integration/golden_regression_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/integration/golden_regression_test.cpp.o.d"
+  "/root/repo/tests/integration/multidim_scalar_consistency_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/integration/multidim_scalar_consistency_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/integration/multidim_scalar_consistency_test.cpp.o.d"
+  "/root/repo/tests/integration/scenario_integration_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/integration/scenario_integration_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/integration/scenario_integration_test.cpp.o.d"
+  "/root/repo/tests/integration/theorem_bounds_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/integration/theorem_bounds_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/integration/theorem_bounds_test.cpp.o.d"
+  "/root/repo/tests/interval_sched/interval_sched_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/interval_sched/interval_sched_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/interval_sched/interval_sched_test.cpp.o.d"
+  "/root/repo/tests/io/csv_io_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/io/csv_io_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/io/csv_io_test.cpp.o.d"
+  "/root/repo/tests/multidim/md_instance_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/multidim/md_instance_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/multidim/md_instance_test.cpp.o.d"
+  "/root/repo/tests/multidim/md_policies_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/multidim/md_policies_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/multidim/md_policies_test.cpp.o.d"
+  "/root/repo/tests/multidim/md_workload_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/multidim/md_workload_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/multidim/md_workload_test.cpp.o.d"
+  "/root/repo/tests/multidim/resources_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/multidim/resources_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/multidim/resources_test.cpp.o.d"
+  "/root/repo/tests/offline/chart_render_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/offline/chart_render_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/offline/chart_render_test.cpp.o.d"
+  "/root/repo/tests/offline/ddff_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/offline/ddff_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/offline/ddff_test.cpp.o.d"
+  "/root/repo/tests/offline/demand_chart_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/offline/demand_chart_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/offline/demand_chart_test.cpp.o.d"
+  "/root/repo/tests/offline/dual_coloring_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/offline/dual_coloring_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/offline/dual_coloring_test.cpp.o.d"
+  "/root/repo/tests/offline/ordered_first_fit_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/offline/ordered_first_fit_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/offline/ordered_first_fit_test.cpp.o.d"
+  "/root/repo/tests/offline/xperiods_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/offline/xperiods_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/offline/xperiods_test.cpp.o.d"
+  "/root/repo/tests/online/any_fit_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/online/any_fit_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/online/any_fit_test.cpp.o.d"
+  "/root/repo/tests/online/classify_departure_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/online/classify_departure_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/online/classify_departure_test.cpp.o.d"
+  "/root/repo/tests/online/classify_duration_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/online/classify_duration_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/online/classify_duration_test.cpp.o.d"
+  "/root/repo/tests/online/combined_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/online/combined_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/online/combined_test.cpp.o.d"
+  "/root/repo/tests/online/departure_fit_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/online/departure_fit_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/online/departure_fit_test.cpp.o.d"
+  "/root/repo/tests/online/hybrid_ff_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/online/hybrid_ff_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/online/hybrid_ff_test.cpp.o.d"
+  "/root/repo/tests/online/policy_factory_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/online/policy_factory_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/online/policy_factory_test.cpp.o.d"
+  "/root/repo/tests/sim/bin_manager_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/sim/bin_manager_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/sim/bin_manager_test.cpp.o.d"
+  "/root/repo/tests/sim/metrics_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/sim/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/sim/metrics_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/sim/trace_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/sim/trace_test.cpp.o.d"
+  "/root/repo/tests/util/ascii_chart_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/util/ascii_chart_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/util/ascii_chart_test.cpp.o.d"
+  "/root/repo/tests/util/flags_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/util/flags_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/util/flags_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/util/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/workload/adversarial_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/workload/adversarial_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/workload/adversarial_test.cpp.o.d"
+  "/root/repo/tests/workload/generators_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/workload/generators_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/workload/generators_test.cpp.o.d"
+  "/root/repo/tests/workload/scenarios_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/workload/scenarios_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/workload/scenarios_test.cpp.o.d"
+  "/root/repo/tests/workload/transforms_test.cpp" "tests/CMakeFiles/cdbp_tests.dir/workload/transforms_test.cpp.o" "gcc" "tests/CMakeFiles/cdbp_tests.dir/workload/transforms_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdbp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
