@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# scripts/check.sh — the full local analysis gauntlet, mirroring CI.
+#
+#   1. cdbp_lint (project invariant linter) + its self-test
+#   2. Release build + full ctest suite
+#   3. ASan/UBSan build + ctest (debug contracts active)
+#   4. TSan build + the thread-pool / parallel-harness tests
+#   5. clang-tidy over src/ (skipped with a notice when not installed)
+#
+# Usage: scripts/check.sh [--quick]
+#   --quick runs only lint + the Release suite (steps 1-2).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK=1
+fi
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "cdbp_lint"
+python3 tools/cdbp_lint.py
+python3 tools/cdbp_lint.py --self-test
+
+step "Release build + tests"
+cmake --preset release
+cmake --build --preset release -j
+ctest --preset release -j
+
+if [[ "$QUICK" == "1" ]]; then
+  echo "--quick: skipping sanitizer matrix and clang-tidy"
+  exit 0
+fi
+
+step "ASan/UBSan build + tests"
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j
+ctest --preset asan-ubsan -j
+
+step "TSan build + concurrency tests"
+cmake --preset tsan
+cmake --build --preset tsan -j
+# The whole suite is TSan-clean, but the concurrency contract lives in the
+# thread pool and the parallel simulation harness — run those at minimum,
+# then the rest (cheap enough to keep on).
+ctest --preset tsan -j -R 'ThreadPool|ParallelFor' --no-tests=error
+ctest --preset tsan -j
+
+step "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # compile_commands.json from the release preset drives the tidy run.
+  cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  mapfile -t sources < <(find src -name '*.cpp' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p build-release "${sources[@]}"
+  else
+    clang-tidy -quiet -p build-release "${sources[@]}"
+  fi
+else
+  echo "clang-tidy not installed; skipping (CI runs it — see .github/workflows/ci.yml)"
+fi
+
+step "all checks passed"

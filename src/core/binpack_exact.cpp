@@ -57,7 +57,7 @@ struct BranchAndBound {
     // Fractional bound: open bins cannot shrink, and the remaining volume
     // needs at least ceil(remaining - free space in open bins) extra bins.
     double freeSpace = 0;
-    for (Size level : levels) freeSpace += kBinCapacity - level;
+    for (Size level : levels) freeSpace += freeCapacity(level);
     double overflow = remaining - freeSpace;
     if (overflow > kSizeEps) {
       std::size_t extra = static_cast<std::size_t>(std::ceil(overflow - kSizeEps));

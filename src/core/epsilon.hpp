@@ -38,4 +38,9 @@ inline bool fitsCapacity(Size level, Size size) {
   return leq(level + size, kBinCapacity);
 }
 
+/// Remaining headroom of a bin at `level`: kBinCapacity - level. The single
+/// sanctioned way to do raw capacity arithmetic outside this header (the
+/// cdbp_lint `capacity-compare` rule flags direct kBinCapacity expressions).
+inline Size freeCapacity(Size level) { return kBinCapacity - level; }
+
 }  // namespace cdbp

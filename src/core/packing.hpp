@@ -9,6 +9,7 @@
 #include "core/instance.hpp"
 #include "core/step_function.hpp"
 #include "core/types.hpp"
+#include "util/check.hpp"
 
 namespace cdbp {
 
@@ -29,11 +30,18 @@ class Packing {
 
   const Instance& instance() const { return *instance_; }
   const std::vector<BinId>& binOf() const { return binOf_; }
-  BinId binOf(ItemId id) const { return binOf_[id]; }
+  BinId binOf(ItemId id) const {
+    CDBP_DCHECK(id < binOf_.size(), "binOf: item ", id, " out of range");
+    return binOf_[id];
+  }
   std::size_t numBins() const { return bins_.size(); }
 
   /// The reconstructed level/usage timeline of bin b.
-  const BinTimeline& bin(BinId b) const { return bins_[static_cast<std::size_t>(b)]; }
+  const BinTimeline& bin(BinId b) const {
+    CDBP_DCHECK(b >= 0 && static_cast<std::size_t>(b) < bins_.size(),
+                "bin: id ", b, " out of range");
+    return bins_[static_cast<std::size_t>(b)];
+  }
 
   /// Total bin usage time — the MinUsageTime objective.
   Time totalUsage() const;

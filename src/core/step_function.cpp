@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.hpp"
+
 namespace cdbp {
 
 std::map<Time, double>::iterator StepFunction::split(Time t) {
@@ -15,9 +17,16 @@ std::map<Time, double>::iterator StepFunction::split(Time t) {
 
 void StepFunction::add(const Interval& I, double delta) {
   if (I.empty() || delta == 0) return;
+  CDBP_DCHECK(std::isfinite(I.lo) && std::isfinite(I.hi) && std::isfinite(delta),
+              "add: non-finite update [", I.lo, ", ", I.hi, ") += ", delta);
   auto hiIt = split(I.hi);  // split hi first so lo's split can't invalidate it
   auto loIt = split(I.lo);
   for (auto it = loIt; it != hiIt; ++it) it->second += delta;
+  // Breakpoint monotonicity invariant: updates only touch [lo, hi), so the
+  // trailing region (at and past the last key) always holds exactly 0.
+  CDBP_DCHECK(points_.empty() || points_.rbegin()->second == 0.0,
+              "add: trailing segment holds ", points_.rbegin()->second,
+              " instead of 0");
 }
 
 double StepFunction::valueAt(Time t) const {

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/epsilon.hpp"
+#include "util/check.hpp"
 
 namespace cdbp {
 
@@ -25,24 +26,37 @@ BinId MdBinManager::openBin(int category, std::size_t dims) {
 }
 
 void MdBinManager::addItem(BinId id, const Resources& demand) {
+  CDBP_DCHECK(id >= 0 && static_cast<std::size_t>(id) < bins_.size(),
+              "addItem: bin id ", id, " out of range");
   BinInfo& bin = bins_[static_cast<std::size_t>(id)];
   if (!bin.open) throw std::logic_error("MdBinManager::addItem: bin closed");
+  CDBP_DCHECK(bin.level.dims() == demand.dims(), "addItem: bin ", id,
+              " has ", bin.level.dims(), " dims, demand has ", demand.dims());
+  CDBP_DCHECK(bin.level.fitsWith(demand), "addItem: bin ", id,
+              " cannot hold the demand in every dimension");
   bin.level += demand;
   ++bin.itemCount;
 }
 
 bool MdBinManager::removeItem(BinId id, const Resources& demand) {
+  CDBP_DCHECK(id >= 0 && static_cast<std::size_t>(id) < bins_.size(),
+              "removeItem: bin id ", id, " out of range");
   BinInfo& bin = bins_[static_cast<std::size_t>(id)];
   if (!bin.open || bin.itemCount == 0) {
     throw std::logic_error("MdBinManager::removeItem: bin not holding items");
   }
+  CDBP_DCHECK(bin.level.dims() == demand.dims(), "removeItem: bin ", id,
+              " has ", bin.level.dims(), " dims, demand has ", demand.dims());
   bin.level -= demand;
   --bin.itemCount;
   if (bin.itemCount > 0) return false;
   bin.level = Resources::zero(bin.level.dims());
   bin.open = false;
   auto& cat = openByCategory_[bin.category];
-  cat.erase(std::find(cat.begin(), cat.end(), id));
+  auto catIt = std::find(cat.begin(), cat.end(), id);
+  CDBP_DCHECK(catIt != cat.end(), "removeItem: bin ", id,
+              " missing from category ", bin.category, "'s open list");
+  cat.erase(catIt);
   --open_;
   return true;
 }

@@ -7,6 +7,7 @@
 
 #include "core/bin_timeline.hpp"
 #include "core/epsilon.hpp"
+#include "util/check.hpp"
 
 namespace cdbp {
 
@@ -71,6 +72,8 @@ DualColoringResult dualColoring(const Instance& instance) {
           break;
         }
       }
+      CDBP_CHECK(item != nullptr, "dualColoring: chart placement references "
+                 "unknown small item ", p.item);
       double top = p.altitude;
       double bottom = p.altitude - item->size;
       // Stripe containing the top: top in ((k-1)/2, k/2].
@@ -78,6 +81,13 @@ DualColoringResult dualColoring(const Instance& instance) {
       double nearestTop = std::round(scaledTop);
       if (std::fabs(scaledTop - nearestTop) <= kSizeEps) scaledTop = nearestTop;
       std::size_t k = static_cast<std::size_t>(std::ceil(scaledTop - kSizeEps));
+      // Phase 1 caps every altitude by the chart peak, so the stripe index
+      // can only leave [1, m] through tolerance noise at the boundaries.
+      CDBP_DCHECK(k >= 1 || approxEq(top, 0.0),
+                  "dualColoring: item ", p.item, " at altitude ", top,
+                  " maps below stripe 1");
+      CDBP_DCHECK(k <= m + 1, "dualColoring: item ", p.item, " at altitude ",
+                  top, " maps past stripe count ", m);
       k = std::clamp<std::size_t>(k, 1, m);
       double stripeFloor = static_cast<double>(k - 1) / 2.0;
       if (leq(stripeFloor, bottom)) {
@@ -87,6 +97,8 @@ DualColoringResult dualColoring(const Instance& instance) {
         // Crosses the boundary between stripes k-1 and k (step 7-8).
         // Boundary index j = k-1 ranges over [1, m-1].
         std::size_t j = k - 1;
+        CDBP_DCHECK(j >= 1 && j <= m - 1, "dualColoring: item ", p.item,
+                    " crosses boundary ", j, " outside [1, ", m - 1, "]");
         keyOf[p.item] = static_cast<int>(m + j - 1);
       }
     }
@@ -119,6 +131,8 @@ DualColoringResult dualColoring(const Instance& instance) {
   for (int key : keys) {
     if (key >= largeFirstKey && !large.empty()) ++largeKeys;
   }
+  CDBP_DCHECK(largeKeys <= keys.size(), "dualColoring: stripe bookkeeping "
+              "counted ", largeKeys, " large keys among ", keys.size());
   result.packing = Packing(instance, std::move(binOf));
   result.chart = chart;
   result.numStripes = m;

@@ -26,6 +26,7 @@ PlacementDecision BestFitPolicy::place(const BinManager& bins, const Item& item)
 
 PlacementDecision WorstFitPolicy::place(const BinManager& bins, const Item& item) {
   BinId best = kNewBin;
+  // cdbp-lint: allow(capacity-compare): sentinel above any feasible level, not a capacity decision
   Size bestLevel = 2 * kBinCapacity;
   for (BinId id : bins.openBins()) {
     if (!bins.fits(id, item.size)) continue;

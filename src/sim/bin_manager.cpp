@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace cdbp {
 
 const std::vector<BinId>& BinManager::openBins(int category) const {
@@ -20,25 +22,40 @@ BinId BinManager::openBin(int category, Time now) {
 }
 
 void BinManager::addItem(BinId id, Size size) {
+  CDBP_DCHECK(id >= 0 && static_cast<std::size_t>(id) < bins_.size(),
+              "addItem: bin id ", id, " out of range");
   BinInfo& bin = bins_[static_cast<std::size_t>(id)];
   if (!bin.open) throw std::logic_error("BinManager::addItem: bin is closed");
+  CDBP_DCHECK(fitsCapacity(bin.level, size), "addItem: bin ", id,
+              " at level ", bin.level, " cannot hold size ", size);
   bin.level += size;
   ++bin.itemCount;
 }
 
 bool BinManager::removeItem(BinId id, Size size) {
+  CDBP_DCHECK(id >= 0 && static_cast<std::size_t>(id) < bins_.size(),
+              "removeItem: bin id ", id, " out of range");
   BinInfo& bin = bins_[static_cast<std::size_t>(id)];
   if (!bin.open || bin.itemCount == 0) {
     throw std::logic_error("BinManager::removeItem: bin is not holding items");
   }
+  CDBP_DCHECK(leq(size, bin.level), "removeItem: bin ", id, " at level ",
+              bin.level, " cannot release size ", size,
+              " (level would go negative)");
   bin.level -= size;
   --bin.itemCount;
   if (bin.itemCount > 0) return false;
   bin.level = 0;  // flush accumulated floating-point residue
   bin.open = false;
-  open_.erase(std::find(open_.begin(), open_.end(), id));
+  auto openIt = std::find(open_.begin(), open_.end(), id);
+  CDBP_DCHECK(openIt != open_.end(), "removeItem: bin ", id,
+              " missing from the open list");
+  open_.erase(openIt);
   auto& cat = openByCategory_[bin.category];
-  cat.erase(std::find(cat.begin(), cat.end(), id));
+  auto catIt = std::find(cat.begin(), cat.end(), id);
+  CDBP_DCHECK(catIt != cat.end(), "removeItem: bin ", id,
+              " missing from category ", bin.category, "'s open list");
+  cat.erase(catIt);
   return true;
 }
 

@@ -1,0 +1,89 @@
+// Debug contract checks for invariant-bearing hot paths.
+//
+// Three macros, modeled on the Abseil/glog family but dependency-free:
+//
+//   CDBP_CHECK(cond, msg...)   — always on; aborts with file:line on failure.
+//   CDBP_DCHECK(cond, msg...)  — like CDBP_CHECK in debug builds; compiled to
+//                                a no-op in Release (NDEBUG). The condition is
+//                                still type-checked but never evaluated, so a
+//                                DCHECK can guard arbitrarily expensive
+//                                diagnostics without a Release cost.
+//   CDBP_UNREACHABLE(msg)      — marks control flow the invariants rule out;
+//                                always aborts (even in Release) because
+//                                reaching it means state is already corrupt.
+//
+// These exist so that sanitizer runs (ASan/UBSan/TSan presets) stop at the
+// point of corruption — e.g. a bin level driven negative inside
+// BinManager::removeItem — instead of surfacing later as a confusing audit
+// or validation failure. Failure messages go to stderr and the process
+// aborts, which GTest death tests can assert on (EXPECT_DEATH).
+//
+// The message arguments are only evaluated and formatted on the failure
+// path; they may be any sequence of ostream-streamable values.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cdbp::detail {
+
+/// Streams every argument into one string. Only called on failure paths.
+template <typename... Args>
+std::string formatCheckMessage(const Args&... args) {
+  std::ostringstream os;
+  ((os << args), ...);
+  return os.str();
+}
+
+[[noreturn]] inline void checkFailed(const char* file, int line,
+                                     const char* kind, const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d%s%s\n", kind, expr, file, line,
+               message.empty() ? "" : ": ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace cdbp::detail
+
+/// Aborts (with file:line and the stringified condition) unless `cond` holds.
+#define CDBP_CHECK(cond, ...)                                        \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::cdbp::detail::checkFailed(                                   \
+          __FILE__, __LINE__, "CDBP_CHECK", #cond,                   \
+          ::cdbp::detail::formatCheckMessage(__VA_ARGS__));          \
+    }                                                                \
+  } while (false)
+
+/// Debug-only CDBP_CHECK. In Release (NDEBUG) the condition and message are
+/// type-checked but never evaluated — zero runtime cost.
+#ifdef NDEBUG
+#define CDBP_DCHECK(cond, ...)                                       \
+  do {                                                               \
+    if (false && static_cast<bool>((cond))) {                        \
+      ::cdbp::detail::checkFailed(                                   \
+          __FILE__, __LINE__, "CDBP_DCHECK", #cond,                  \
+          ::cdbp::detail::formatCheckMessage(__VA_ARGS__));          \
+    }                                                                \
+  } while (false)
+#else
+#define CDBP_DCHECK(cond, ...)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::cdbp::detail::checkFailed(                                   \
+          __FILE__, __LINE__, "CDBP_DCHECK", #cond,                  \
+          ::cdbp::detail::formatCheckMessage(__VA_ARGS__));          \
+    }                                                                \
+  } while (false)
+#endif
+
+/// Marks control flow the caller's invariants make impossible. Always fatal:
+/// reaching it means earlier state is already corrupt, and continuing would
+/// turn a localized bug into silent wrong answers.
+#define CDBP_UNREACHABLE(...)                                        \
+  ::cdbp::detail::checkFailed(                                       \
+      __FILE__, __LINE__, "CDBP_UNREACHABLE", "reached",             \
+      ::cdbp::detail::formatCheckMessage(__VA_ARGS__))

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace cdbp {
 
@@ -35,6 +36,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait() {
   std::unique_lock lock(mutex_);
   allDone_.wait(lock, [this] { return inFlight_ == 0; });
+  if (firstError_) {
+    std::exception_ptr error = std::exchange(firstError_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -47,9 +53,17 @@ void ThreadPool::workerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    // The decrement must happen on every path — a throwing task that left
+    // inFlight_ elevated would wedge wait() forever.
     {
       std::unique_lock lock(mutex_);
+      if (error && !firstError_) firstError_ = error;
       if (--inFlight_ == 0) allDone_.notify_all();
     }
   }

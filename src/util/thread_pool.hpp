@@ -2,10 +2,27 @@
 // harness to run independent (seed, parameter) simulation cells
 // concurrently. Results are written into pre-sized slots, so no
 // synchronization is needed beyond the pool's own queue.
+//
+// Concurrency contract (verified under the `tsan` CMake preset):
+//
+//  * submit() and wait() may be called from any thread, including from
+//    inside a running task (a task may submit follow-up work).
+//  * wait() returns only when every task whose submit() happens-before the
+//    wait() call has finished, *including* any tasks those tasks submitted
+//    before their own completion. A submit() that races with wait() (no
+//    happens-before edge, e.g. from an unrelated thread) is not guaranteed
+//    to be observed by that wait() — callers that need such a guarantee
+//    must order their submits before the wait themselves, as parallelFor
+//    does by submitting everything from the calling thread first.
+//  * If a task throws, the exception is captured and rethrown from the next
+//    wait() call (first exception wins; later ones are dropped). The pool
+//    itself stays usable: workers keep running and in-flight accounting is
+//    exception-safe, so a throwing task can never deadlock wait().
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -19,16 +36,20 @@ class ThreadPool {
   /// `threads` = 0 picks the hardware concurrency (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
 
-  /// Drains the queue and joins all workers.
+  /// Drains the queue and joins all workers. Exceptions captured after the
+  /// last wait() are swallowed (there is no caller left to rethrow to).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
+  /// Enqueues a task for execution. See the class comment for how task
+  /// exceptions are reported.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every previously submitted task has finished (see the
+  /// class comment for the precise ordering contract), then rethrows the
+  /// first captured task exception, if any.
   void wait();
 
   std::size_t threadCount() const { return workers_.size(); }
@@ -43,10 +64,14 @@ class ThreadPool {
   std::condition_variable allDone_;
   std::size_t inFlight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr firstError_;  // guarded by mutex_
 };
 
 /// Runs body(i) for i in [0, count) across the pool and waits. The body
 /// must only touch state owned by index i (or otherwise synchronized).
+/// Exception-safe: if one or more bodies throw, every index still runs to
+/// completion (or failure), wait() cannot deadlock, and the first exception
+/// is rethrown to the caller once all indices have been processed.
 void parallelFor(ThreadPool& pool, std::size_t count,
                  const std::function<void(std::size_t)>& body);
 

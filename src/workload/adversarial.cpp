@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/epsilon.hpp"
+
 namespace cdbp {
 
 Instance theorem3CaseA(double x, double eps) {
@@ -32,7 +34,7 @@ Instance firstFitSliverTrap(std::size_t k, double mu, double sliver) {
     throw std::invalid_argument("firstFitSliverTrap: need k >= 1 and mu > 1");
   }
   if (sliver == 0) sliver = 1.0 / static_cast<double>(k + 1);
-  if (!(sliver > 0) || static_cast<double>(k) * sliver > 1.0) {
+  if (!(sliver > 0) || lt(kBinCapacity, static_cast<double>(k) * sliver)) {
     throw std::invalid_argument("firstFitSliverTrap: need k * sliver <= 1");
   }
   // Phase gap small enough that all fillers coexist: every filler lives one

@@ -27,7 +27,9 @@ TEST(Epsilon, ApproxEq) {
 TEST(Epsilon, LeqAndLtAreComplementaryUpToTies) {
   for (double a : {0.1, 0.9999999995, 1.0, 1.0000000005, 1.1}) {
     // lt(a, b) implies leq(a, b); both can hold, never neither-with-gap.
-    if (lt(a, 1.0)) EXPECT_TRUE(leq(a, 1.0)) << a;
+    if (lt(a, 1.0)) {
+      EXPECT_TRUE(leq(a, 1.0)) << a;
+    }
   }
 }
 

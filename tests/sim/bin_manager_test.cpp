@@ -54,10 +54,11 @@ TEST(BinManager, ClosedBinRejectsMutation) {
 TEST(BinManager, LevelResidueFlushedOnClose) {
   BinManager mgr;
   BinId b = mgr.openBin(0, 0.0);
-  // Accumulate float noise across many add/remove pairs.
-  for (int i = 0; i < 100; ++i) mgr.addItem(b, 0.1);
+  // Accumulate float noise across many feasible add/remove pairs (0.009 is
+  // inexact in binary; 100 of them stay within the unit capacity).
+  for (int i = 0; i < 100; ++i) mgr.addItem(b, 0.009);
   for (int i = 0; i < 100; ++i) {
-    bool closed = mgr.removeItem(b, 0.1);
+    bool closed = mgr.removeItem(b, 0.009);
     EXPECT_EQ(closed, i == 99);
   }
   EXPECT_DOUBLE_EQ(mgr.info(b).level, 0.0);

@@ -1,0 +1,72 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cdbp {
+namespace {
+
+int sideEffects = 0;
+bool bumpAndReturnFalse() {
+  ++sideEffects;
+  return false;
+}
+
+TEST(CdbpCheck, PassingConditionIsSilent) {
+  CDBP_CHECK(1 + 1 == 2);
+  CDBP_CHECK(true, "message is not evaluated on success");
+  SUCCEED();
+}
+
+// Death tests fork; the threadsafe style re-executes the binary so they stay
+// valid even when other tests have spawned ThreadPool workers.
+class CdbpCheckDeathTest : public testing::Test {
+ protected:
+  CdbpCheckDeathTest() {
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST_F(CdbpCheckDeathTest, FailureAbortsWithExpressionAndLocation) {
+  EXPECT_DEATH(CDBP_CHECK(2 + 2 == 5), "CDBP_CHECK failed: 2 \\+ 2 == 5");
+  EXPECT_DEATH(CDBP_CHECK(false), "check_test\\.cpp");
+}
+
+TEST_F(CdbpCheckDeathTest, MessageArgumentsAreStreamedIntoTheReport) {
+  int bin = 7;
+  double level = 1.25;
+  EXPECT_DEATH(CDBP_CHECK(level < 1.2, "bin ", bin, " at level ", level),
+               "bin 7 at level 1.25");
+}
+
+TEST_F(CdbpCheckDeathTest, UnreachableAlwaysAborts) {
+  EXPECT_DEATH(CDBP_UNREACHABLE("corrupt category ", 3),
+               "CDBP_UNREACHABLE.*corrupt category 3");
+}
+
+// The Release/Debug split is the contract: CDBP_DCHECK must vanish (condition
+// unevaluated) under NDEBUG and behave like CDBP_CHECK otherwise. This test
+// is meaningful in both configurations and is exercised under every preset.
+TEST(CdbpDcheck, ConditionEvaluationMatchesBuildType) {
+  sideEffects = 0;
+#ifdef NDEBUG
+  CDBP_DCHECK(bumpAndReturnFalse(), "never reached in Release");
+  EXPECT_EQ(sideEffects, 0) << "CDBP_DCHECK evaluated its condition in Release";
+#else
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(CDBP_DCHECK(bumpAndReturnFalse(), "fails in Debug"),
+               "CDBP_DCHECK failed");
+  CDBP_DCHECK(true);
+#endif
+}
+
+TEST(CdbpCheck, FormatterConcatenatesHeterogeneousArguments) {
+  EXPECT_EQ(detail::formatCheckMessage(), "");
+  EXPECT_EQ(detail::formatCheckMessage("bin ", 3, " level ", 0.5),
+            "bin 3 level 0.5");
+  EXPECT_EQ(detail::formatCheckMessage(std::string("x")), "x");
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -78,7 +78,9 @@ TEST_P(SizeDistCase, SizesAreValidForUnitBins) {
   for (const Item& r : inst.items()) {
     EXPECT_GT(r.size, 0.0);
     EXPECT_LE(r.size, 1.0);
-    if (spec.sizes == SizeDist::kSmallOnly) EXPECT_LE(r.size, 0.5);
+    if (spec.sizes == SizeDist::kSmallOnly) {
+      EXPECT_LE(r.size, 0.5);
+    }
   }
 }
 

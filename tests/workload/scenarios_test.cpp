@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/epsilon.hpp"
+
 namespace cdbp {
 namespace {
 
@@ -30,7 +32,7 @@ TEST(CloudGaming, SharesComeFromFlavorList) {
   spec.instanceShares = {0.5, 1.0};
   Instance inst = cloudGamingSessions(spec, 3);
   for (const Item& r : inst.items()) {
-    EXPECT_TRUE(r.size == 0.5 || r.size == 1.0);
+    EXPECT_TRUE(approxEq(r.size, 0.5) || approxEq(r.size, 1.0));
   }
 }
 

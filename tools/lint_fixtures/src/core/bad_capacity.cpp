@@ -1,0 +1,23 @@
+// Fixture: raw capacity comparisons that must route through epsilon helpers.
+#include "core/types.hpp"
+
+namespace cdbp_fixture {
+
+bool rawCapacityCompare(double level, double size) {
+  return level + size <= kBinCapacity;  // violation: raw kBinCapacity use
+}
+
+bool rawLiteralCompare(double size) {
+  return size == 1.0;  // violation: raw comparison against literal 1.0
+}
+
+bool rawLiteralCompareReversed(double load) {
+  return 1.0 < load;  // violation: literal on the left is still a comparison
+}
+
+bool assignmentIsFine(double& x) {
+  x = 1.0;  // not a comparison: must NOT fire
+  return x > 0.5;
+}
+
+}  // namespace cdbp_fixture

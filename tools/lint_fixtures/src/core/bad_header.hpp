@@ -1,0 +1,9 @@
+// Fixture: header without #pragma once (the guard below does not count).
+#ifndef CDBP_FIXTURE_BAD_HEADER_HPP
+#define CDBP_FIXTURE_BAD_HEADER_HPP
+
+namespace cdbp_fixture {
+inline int three() { return 3; }
+}  // namespace cdbp_fixture
+
+#endif

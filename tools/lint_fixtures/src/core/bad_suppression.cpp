@@ -1,0 +1,10 @@
+// Fixture: a suppression without a justification is itself an error, and the
+// underlying violation still fires.
+
+namespace cdbp_fixture {
+
+bool unjustified(double level) {
+  return level <= 1.0;  // cdbp-lint: allow(capacity-compare)
+}
+
+}  // namespace cdbp_fixture

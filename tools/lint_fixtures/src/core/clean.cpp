@@ -1,0 +1,12 @@
+// Fixture: idiomatic cdbp code that must lint clean.
+#include "core/epsilon.hpp"
+
+namespace cdbp_fixture {
+
+bool fits(double level, double size) { return cdbp::fitsCapacity(level, size); }
+
+bool atCapacity(double level) { return cdbp::approxEq(level, cdbp::kBinCapacity); }
+
+double scale(double x) { return x * 1.05; }  // 1.05 is not the literal 1.0
+
+}  // namespace cdbp_fixture

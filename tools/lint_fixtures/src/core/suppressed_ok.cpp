@@ -1,0 +1,18 @@
+// Fixture: justified suppressions silence findings; comments and strings are
+// never matched.
+
+namespace cdbp_fixture {
+
+// A comparison against kBinCapacity in a comment must not fire: x <= kBinCapacity.
+inline const char* kDoc = "size == 1.0 inside a string must not fire";
+
+double sentinel() {
+  // cdbp-lint: allow(capacity-compare): sentinel value, not a feasibility decision
+  return 2.0 * kBinCapacity;
+}
+
+bool exactBoundary(double size) {
+  return size == 1.0;  // cdbp-lint: allow(capacity-compare): exact generator output, no arithmetic involved
+}
+
+}  // namespace cdbp_fixture

@@ -1,0 +1,8 @@
+// Fixture: <iostream> is banned in the algorithmic library directories.
+#include <iostream>
+
+namespace cdbp_fixture {
+
+void debugPrint(int bins) { std::cout << bins << "\n"; }
+
+}  // namespace cdbp_fixture

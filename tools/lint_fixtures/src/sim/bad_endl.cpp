@@ -1,0 +1,8 @@
+// Fixture: std::endl in src/ hot paths.
+#include <ostream>
+
+namespace cdbp_fixture {
+
+void render(std::ostream& os) { os << "row" << std::endl; }
+
+}  // namespace cdbp_fixture

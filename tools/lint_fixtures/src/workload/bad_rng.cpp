@@ -1,0 +1,15 @@
+// Fixture: entropy-seeded / C-library RNG outside util/rng.hpp.
+#include <cstdlib>
+#include <random>
+
+namespace cdbp_fixture {
+
+double notReproducible() {
+  std::random_device entropy;
+  std::mt19937_64 engine(entropy());
+  return static_cast<double>(engine() % 100) / 100.0;
+}
+
+int legacyRand() { return std::rand(); }
+
+}  // namespace cdbp_fixture
