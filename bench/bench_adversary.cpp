@@ -10,12 +10,13 @@
 #include "analysis/adversary.hpp"
 #include "analysis/ratios.hpp"
 #include "online/policy_factory.hpp"
+#include "telemetry/bench_report.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags(argc, argv);
+  Flags flags = Flags::strictOrDie(argc, argv, {"eps", "tau", "json"});
   double eps = flags.getDouble("eps", 1e-3);
   double tau = flags.getDouble("tau", 1e-4);
 
@@ -55,5 +56,12 @@ int main(int argc, char** argv) {
             << Table::num(ratios::randomizedAdversaryBest(phi), 4)
             << "  < deterministic lower bound "
             << Table::num(ratios::onlineLowerBound(), 4) << '\n';
+
+  telemetry::BenchReport report("adversary");
+  report.setParam("eps", eps);
+  report.setParam("tau", tau);
+  report.addTable("theorem3_adversary", table);
+  report.addTable("randomized_play", randomized);
+  report.writeIfRequested(flags, std::cout);
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "analysis/empirical.hpp"
 #include "analysis/ratios.hpp"
 #include "online/classify_duration.hpp"
+#include "telemetry/bench_report.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -21,7 +22,7 @@
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags(argc, argv);
+  Flags flags = Flags::strictOrDie(argc, argv, {"items", "mu", "seeds", "json"});
   std::size_t items = static_cast<std::size_t>(flags.getInt("items", 2500));
   double mu = flags.getDouble("mu", 64.0);
   std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 5));
@@ -65,5 +66,12 @@ int main(int argc, char** argv) {
   chart.addSeries("theoretical bound", xs, theory);
   std::cout << '\n';
   chart.print(std::cout);
+
+  telemetry::BenchReport report("alpha_sweep");
+  report.setParam("items", items);
+  report.setParam("mu", mu);
+  report.setParam("seeds", numSeeds);
+  report.addTable("category_count_sweep", table);
+  report.writeIfRequested(flags, std::cout);
   return 0;
 }

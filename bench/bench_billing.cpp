@@ -13,13 +13,14 @@
 #include "online/classify_duration.hpp"
 #include "online/departure_fit.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/bench_report.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 #include "workload/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags(argc, argv);
+  Flags flags = Flags::strictOrDie(argc, argv, {"sessions", "seed", "json"});
   CloudGamingSpec spec;
   spec.numSessions = static_cast<std::size_t>(flags.getInt("sessions", 2500));
   std::uint64_t seed = static_cast<std::uint64_t>(flags.getInt("seed", 77));
@@ -74,5 +75,11 @@ int main(int argc, char** argv) {
                "billing. Policies opening many short rentals (classification"
                " with narrow categories) pay more rounding than their raw "
                "usage advantage.\n";
+
+  telemetry::BenchReport report("billing");
+  report.setParam("sessions", spec.numSessions);
+  report.setParam("seed", static_cast<long>(seed));
+  report.addTable("billing_models", table);
+  report.writeIfRequested(flags, std::cout);
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "online/classify_departure.hpp"
 #include "online/classify_duration.hpp"
 #include "online/combined.hpp"
+#include "telemetry/bench_report.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -21,7 +22,7 @@
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags(argc, argv);
+  Flags flags = Flags::strictOrDie(argc, argv, {"items", "seeds", "json"});
   std::size_t items = static_cast<std::size_t>(flags.getInt("items", 2500));
   std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 5));
 
@@ -78,5 +79,11 @@ int main(int argc, char** argv) {
   chart.addSeries("Combined-FF", mus, sComb);
   std::cout << '\n';
   chart.print(std::cout);
+
+  telemetry::BenchReport report("combined");
+  report.setParam("items", items);
+  report.setParam("seeds", numSeeds);
+  report.addTable("combined_vs_single", table);
+  report.writeIfRequested(flags, std::cout);
   return 0;
 }

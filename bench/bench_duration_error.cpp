@@ -19,6 +19,7 @@
 #include "online/classify_departure.hpp"
 #include "online/classify_duration.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/bench_report.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -27,7 +28,7 @@
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags(argc, argv);
+  Flags flags = Flags::strictOrDie(argc, argv, {"items", "mu", "seeds", "json"});
   std::size_t items = static_cast<std::size_t>(flags.getInt("items", 2500));
   double mu = flags.getDouble("mu", 32.0);
   std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 5));
@@ -89,5 +90,12 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nFeasibility is never at risk: estimates only steer "
                "classification; capacity uses true sizes.\n";
+
+  telemetry::BenchReport report("duration_error");
+  report.setParam("items", items);
+  report.setParam("mu", mu);
+  report.setParam("seeds", numSeeds);
+  report.addTable("noise_sensitivity", table);
+  report.writeIfRequested(flags, std::cout);
   return 0;
 }

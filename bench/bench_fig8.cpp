@@ -9,13 +9,15 @@
 
 #include "analysis/figure8.hpp"
 #include "analysis/ratios.hpp"
+#include "telemetry/bench_report.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags(argc, argv);
+  Flags flags =
+      Flags::strictOrDie(argc, argv, {"mu-max", "points", "csv", "json"});
   double muMax = flags.getDouble("mu-max", 100.0);
   std::size_t points = static_cast<std::size_t>(flags.getInt("points", 100));
 
@@ -56,5 +58,11 @@ int main(int argc, char** argv) {
   std::cout << "\nCrossover of the two classification strategies: mu = "
             << ratios::classificationCrossoverMu()
             << "  (paper: CDT wins below mu=4, CD wins above)\n";
+
+  telemetry::BenchReport report("fig8");
+  report.setParam("mu_max", muMax);
+  report.setParam("points", points);
+  report.addTable("competitive_ratios_vs_mu", table);
+  report.writeIfRequested(flags, std::cout);
   return 0;
 }

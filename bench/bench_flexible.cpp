@@ -13,13 +13,14 @@
 #include "flexible/flexible_scheduler.hpp"
 #include "flexible/flexible_workload.hpp"
 #include "flexible/online_flexible.hpp"
+#include "telemetry/bench_report.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags(argc, argv);
+  Flags flags = Flags::strictOrDie(argc, argv, {"jobs", "seeds", "json"});
   std::size_t jobs = static_cast<std::size_t>(flags.getInt("jobs", 400));
   std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 5));
 
@@ -84,5 +85,12 @@ int main(int argc, char** argv) {
                    Table::num(forcedShare.mean(), 1)});
   }
   online.print(std::cout);
+
+  telemetry::BenchReport report("flexible");
+  report.setParam("jobs", jobs);
+  report.setParam("seeds", numSeeds);
+  report.addTable("offline_aligned_vs_asap", table);
+  report.addTable("online_defer_align", online);
+  report.writeIfRequested(flags, std::cout);
   return 0;
 }

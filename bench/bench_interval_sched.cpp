@@ -11,6 +11,7 @@
 #include "analysis/ratios.hpp"
 #include "core/lower_bounds.hpp"
 #include "interval_sched/interval_sched.hpp"
+#include "telemetry/bench_report.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -18,7 +19,7 @@
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags(argc, argv);
+  Flags flags = Flags::strictOrDie(argc, argv, {"jobs", "g", "seeds", "json"});
   std::size_t jobs = static_cast<std::size_t>(flags.getInt("jobs", 2000));
   std::size_t g = static_cast<std::size_t>(flags.getInt("g", 5));
   std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 5));
@@ -65,5 +66,13 @@ int main(int argc, char** argv) {
   std::cout << "\nSame algorithm, new analysis: the paper's bound is "
                "asymptotically lower (and the analysis also covers arbitrary "
                "item sizes).\n";
+
+  telemetry::BenchReport report("interval_sched");
+  report.setParam("jobs", jobs);
+  report.setParam("g", g);
+  report.setParam("seeds", numSeeds);
+  report.addTable("empirical", empirical);
+  report.addTable("proven_bounds", bounds);
+  report.writeIfRequested(flags, std::cout);
   return 0;
 }

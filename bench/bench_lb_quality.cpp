@@ -12,6 +12,7 @@
 
 #include "core/lower_bounds.hpp"
 #include "core/opt_total.hpp"
+#include "telemetry/bench_report.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -19,7 +20,7 @@
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags(argc, argv);
+  Flags flags = Flags::strictOrDie(argc, argv, {"items", "seeds", "json"});
   std::size_t items = static_cast<std::size_t>(flags.getInt("items", 12));
   std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 40));
 
@@ -49,5 +50,11 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nAll ratios <= 1 by the Propositions; LB3 is the yardstick "
                "the empirical benches normalize by.\n";
+
+  telemetry::BenchReport report("lb_quality");
+  report.setParam("items", items);
+  report.setParam("seeds", numSeeds);
+  report.addTable("lb_over_opt", table);
+  report.writeIfRequested(flags, std::cout);
   return 0;
 }

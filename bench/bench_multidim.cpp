@@ -13,13 +13,14 @@
 #include "multidim/md_lower_bounds.hpp"
 #include "multidim/md_policies.hpp"
 #include "multidim/md_workload.hpp"
+#include "telemetry/bench_report.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags(argc, argv);
+  Flags flags = Flags::strictOrDie(argc, argv, {"items", "seeds", "json"});
   std::size_t items = static_cast<std::size_t>(flags.getInt("items", 1500));
   std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 4));
 
@@ -92,5 +93,12 @@ int main(int argc, char** argv) {
   byCorr.print(std::cout);
   std::cout << "\nRatios use the per-dimension Proposition 3 bound, which "
                "weakens as dims grow — expect all curves to rise.\n";
+
+  telemetry::BenchReport report("multidim");
+  report.setParam("items", items);
+  report.setParam("seeds", numSeeds);
+  report.addTable("usage_vs_dims", byDims);
+  report.addTable("usage_vs_correlation", byCorr);
+  report.writeIfRequested(flags, std::cout);
   return 0;
 }

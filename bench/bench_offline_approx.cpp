@@ -15,6 +15,7 @@
 #include "core/opt_total.hpp"
 #include "offline/ddff.hpp"
 #include "offline/dual_coloring.hpp"
+#include "telemetry/bench_report.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -22,7 +23,8 @@
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags(argc, argv);
+  Flags flags =
+      Flags::strictOrDie(argc, argv, {"items", "seeds", "tiny-seeds", "json"});
   std::size_t items = static_cast<std::size_t>(flags.getInt("items", 400));
   std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 8));
   std::size_t tinySeeds = static_cast<std::size_t>(flags.getInt("tiny-seeds", 25));
@@ -103,5 +105,13 @@ int main(int argc, char** argv) {
   tiny.addRow({"max vs OPT_total", Table::num(ddffVsRepack.max(), 3),
                Table::num(dcVsRepack.max(), 3), "5 / 4 (Thm 1 / Thm 2)"});
   tiny.print(std::cout);
+
+  telemetry::BenchReport report("offline_approx");
+  report.setParam("items", items);
+  report.setParam("seeds", numSeeds);
+  report.setParam("tiny_seeds", tinySeeds);
+  report.addTable("usage_over_lb3", table);
+  report.addTable("tiny_vs_exact", tiny);
+  report.writeIfRequested(flags, std::cout);
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "analysis/empirical.hpp"
+#include "telemetry/bench_report.hpp"
 #include "online/any_fit.hpp"
 #include "online/classify_departure.hpp"
 #include "online/classify_duration.hpp"
@@ -27,7 +28,7 @@
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags(argc, argv);
+  Flags flags = Flags::strictOrDie(argc, argv, {"items", "seeds", "csv", "json"});
   std::size_t items = static_cast<std::size_t>(flags.getInt("items", 2000));
   std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 5));
 
@@ -168,5 +169,12 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: FirstFit/BestFit/NextFit grow linearly "
                "with mu (stranded bins), the clairvoyant strategies stay "
                "flat — the simulation analogue of Figure 8.\n";
+
+  telemetry::BenchReport report("online_empirical");
+  report.setParam("items", items);
+  report.setParam("seeds", numSeeds);
+  report.addTable("usage_over_lb3_vs_mu", table);
+  report.addTable("sliver_trap_vs_mu", trap);
+  report.writeIfRequested(flags, std::cout);
   return 0;
 }

@@ -16,6 +16,9 @@
 #include "online/classify_departure.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/bench_report.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
 #include "workload/adversarial.hpp"
 #include "workload/generators.hpp"
 
@@ -31,8 +34,9 @@ void timelineBar(const char* label, cdbp::Interval I, double scale,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cdbp;
+  Flags flags = Flags::strictOrDie(argc, argv, {"json"});
   std::cout << "===== Reconstructing the paper's Figures 1-7 =====\n";
 
   // ---- Figure 1: span of an item list ----
@@ -99,11 +103,12 @@ int main() {
   double phi = ratios::adversaryOptimalX();
   Instance caseA = theorem3CaseA(phi, 0.01);
   Instance caseB = theorem3CaseB(phi, 0.01, 0.05);
+  double caseAOpt = bruteForceOptimal(caseA)->usage;
+  double caseBOpt = bruteForceOptimal(caseB)->usage;
   std::cout << "  case A: two items of size 1/2-eps at t=0, durations x and 1\n";
-  std::cout << "    optimum (co-locate): " << bruteForceOptimal(caseA)->usage
-            << "\n";
+  std::cout << "    optimum (co-locate): " << caseAOpt << "\n";
   std::cout << "  case B: plus two items of size 1/2+eps at tau\n";
-  std::cout << "    optimum (pair 1&3, 2&4): " << bruteForceOptimal(caseB)->usage
+  std::cout << "    optimum (pair 1&3, 2&4): " << caseBOpt
             << "\n    co-locating algorithms pay 2x+1 = " << 2 * phi + 1
             << "\n";
 
@@ -154,5 +159,21 @@ int main() {
   std::cout << "  stage 1 [t1,t2): one open bin; stage 2 [t2,t3): avg level "
                "> 1/2 (Lemma 6); stage 3 [t3,t+rho): left/right usage split "
                "(Figure 7)\n";
+
+  Table constants({"figure", "quantity", "value"});
+  constants.addRow({"1", "span(R)", Table::num(fig1.span(), 4)});
+  constants.addRow(
+      {"4", "stripes m", std::to_string(dc.numStripes)});
+  constants.addRow(
+      {"4", "bins used", std::to_string(dc.packing.numBins())});
+  constants.addRow({"5", "phi", Table::num(phi, 6)});
+  constants.addRow({"5", "case A optimum", Table::num(caseAOpt, 4)});
+  constants.addRow({"5", "case B optimum", Table::num(caseBOpt, 4)});
+  constants.addRow({"6", "t1", Table::num(t1, 4)});
+  constants.addRow({"6", "t2", Table::num(t2, 4)});
+  constants.addRow({"6", "t3", Table::num(t3, 4)});
+  telemetry::BenchReport report("paper_figures");
+  report.addTable("figure_constants", constants);
+  report.writeIfRequested(flags, std::cout);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "analysis/ratios.hpp"
 #include "online/any_fit.hpp"
 #include "online/classify_departure.hpp"
+#include "telemetry/bench_report.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -23,7 +24,7 @@
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags(argc, argv);
+  Flags flags = Flags::strictOrDie(argc, argv, {"items", "mu", "seeds", "json"});
   std::size_t items = static_cast<std::size_t>(flags.getInt("items", 2500));
   double mu = flags.getDouble("mu", 16.0);
   std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 5));
@@ -72,5 +73,12 @@ int main(int argc, char** argv) {
   chart.addSeries("theoretical bound", xs, theory);
   std::cout << '\n';
   chart.print(std::cout);
+
+  telemetry::BenchReport report("rho_sweep");
+  report.setParam("items", items);
+  report.setParam("mu", mu);
+  report.setParam("seeds", numSeeds);
+  report.addTable("rho_sweep", table);
+  report.writeIfRequested(flags, std::cout);
   return 0;
 }

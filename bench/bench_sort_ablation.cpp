@@ -12,6 +12,7 @@
 
 #include "core/lower_bounds.hpp"
 #include "offline/ordered_first_fit.hpp"
+#include "telemetry/bench_report.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -19,7 +20,7 @@
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags(argc, argv);
+  Flags flags = Flags::strictOrDie(argc, argv, {"items", "seeds", "json"});
   std::size_t items = static_cast<std::size_t>(flags.getInt("items", 600));
   std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 6));
 
@@ -55,5 +56,11 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nTheorem 1's 5x guarantee is proven only for the "
                "duration-descending order.\n";
+
+  telemetry::BenchReport report("sort_ablation");
+  report.setParam("items", items);
+  report.setParam("seeds", numSeeds);
+  report.addTable("order_ablation", table);
+  report.writeIfRequested(flags, std::cout);
   return 0;
 }

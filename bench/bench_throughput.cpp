@@ -1,7 +1,27 @@
-// Performance benchmarks (google-benchmark): packing throughput of the
-// online policies and the offline algorithms, plus the core data
-// structures, across instance sizes.
-#include <benchmark/benchmark.h>
+// Throughput macro-benchmarks: packing speed of the online policies, the
+// offline algorithms and the core data structures across instance sizes.
+//
+// Hand-rolled repetition harness (no external benchmark dependency): each
+// benchmark runs `--warmup` untimed passes, then `--reps` timed passes
+// measured through telemetry::monotonicNanos(). Per-benchmark registry
+// counter deltas (bins scanned, bins opened, fit attempts, ...) are
+// attributed from snapshots taken around the timed passes.
+//
+// Flags:
+//   --reps N        timed repetitions per benchmark (default 7)
+//   --warmup N      untimed warmup passes (default 1)
+//   --filter STR    only run benchmarks whose name contains STR
+//   --max-items N   skip benchmarks with more than N items (CI perf-smoke)
+//   --mu X          duration ratio of the generated workloads (default 16)
+//   --seed S        workload seed (default 1)
+//   --csv           render the summary table as CSV
+//   --json[=PATH]   write BENCH_throughput.json (schema: DESIGN.md §8.3)
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/lower_bounds.hpp"
 #include "core/step_function.hpp"
@@ -11,106 +31,164 @@
 #include "online/classify_departure.hpp"
 #include "online/classify_duration.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/bench_report.hpp"
+#include "telemetry/clock.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
 #include "workload/generators.hpp"
 
 namespace cdbp {
 namespace {
 
-Instance makeInstance(std::size_t n, double mu = 16.0, std::uint64_t seed = 1) {
+// A volatile sink keeps the optimizer from discarding benchmark results.
+volatile double g_sink = 0;
+
+Instance makeInstance(std::size_t n, double mu, std::uint64_t seed) {
   WorkloadSpec spec;
   spec.numItems = n;
   spec.mu = mu;
   return generateWorkload(spec, seed);
 }
 
-void BM_FirstFitOnline(benchmark::State& state) {
-  Instance inst = makeInstance(static_cast<std::size_t>(state.range(0)));
-  FirstFitPolicy policy;
-  for (auto _ : state) {
-    SimResult r = simulateOnline(inst, policy);
-    benchmark::DoNotOptimize(r.totalUsage);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_FirstFitOnline)->Arg(1000)->Arg(4000)->Arg(16000);
+struct Spec {
+  std::string name;
+  std::size_t items;
+  std::function<void()> body;
+};
 
-void BM_BestFitOnline(benchmark::State& state) {
-  Instance inst = makeInstance(static_cast<std::size_t>(state.range(0)));
-  BestFitPolicy policy;
-  for (auto _ : state) {
-    SimResult r = simulateOnline(inst, policy);
-    benchmark::DoNotOptimize(r.totalUsage);
+void addOnline(std::vector<Spec>& specs, const std::string& name,
+               std::vector<std::size_t> sizes, double mu, std::uint64_t seed,
+               const std::function<PolicyPtr(const Instance&)>& makePolicy) {
+  for (std::size_t n : sizes) {
+    auto inst = std::make_shared<Instance>(makeInstance(n, mu, seed));
+    auto policy = std::shared_ptr<OnlinePolicy>(makePolicy(*inst));
+    specs.push_back({name + "/" + std::to_string(n), n, [inst, policy] {
+                       SimResult r = simulateOnline(*inst, *policy);
+                       g_sink = r.totalUsage;
+                     }});
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_BestFitOnline)->Arg(1000)->Arg(4000);
-
-void BM_CdtFFOnline(benchmark::State& state) {
-  Instance inst = makeInstance(static_cast<std::size_t>(state.range(0)));
-  ClassifyByDepartureFF policy = ClassifyByDepartureFF::withKnownDurations(
-      inst.minDuration(), inst.durationRatio());
-  for (auto _ : state) {
-    SimResult r = simulateOnline(inst, policy);
-    benchmark::DoNotOptimize(r.totalUsage);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_CdtFFOnline)->Arg(1000)->Arg(4000)->Arg(16000);
-
-void BM_CdFFOnline(benchmark::State& state) {
-  Instance inst = makeInstance(static_cast<std::size_t>(state.range(0)));
-  ClassifyByDurationFF policy = ClassifyByDurationFF::withKnownDurations(
-      inst.minDuration(), inst.durationRatio());
-  for (auto _ : state) {
-    SimResult r = simulateOnline(inst, policy);
-    benchmark::DoNotOptimize(r.totalUsage);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_CdFFOnline)->Arg(1000)->Arg(4000)->Arg(16000);
-
-void BM_Ddff(benchmark::State& state) {
-  Instance inst = makeInstance(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    Packing p = durationDescendingFirstFit(inst);
-    benchmark::DoNotOptimize(p.totalUsage());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_Ddff)->Arg(500)->Arg(2000);
-
-void BM_DualColoring(benchmark::State& state) {
-  Instance inst = makeInstance(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    DualColoringResult r = dualColoring(inst);
-    benchmark::DoNotOptimize(r.packing.totalUsage());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_DualColoring)->Arg(200)->Arg(500);
-
-void BM_LowerBounds(benchmark::State& state) {
-  Instance inst = makeInstance(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    LowerBounds lb = lowerBounds(inst);
-    benchmark::DoNotOptimize(lb.ceilIntegral);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_LowerBounds)->Arg(1000)->Arg(10000);
-
-void BM_StepFunctionRangeAdd(benchmark::State& state) {
-  Instance inst = makeInstance(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    StepFunction f;
-    for (const Item& r : inst.items()) f.add(r.interval, r.size);
-    benchmark::DoNotOptimize(f.maxValue());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_StepFunctionRangeAdd)->Arg(1000)->Arg(10000);
 
 }  // namespace
 }  // namespace cdbp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace cdbp;
+  Flags flags = Flags::strictOrDie(
+      argc, argv,
+      {"reps", "warmup", "filter", "max-items", "mu", "seed", "csv", "json"});
+  std::size_t reps = static_cast<std::size_t>(flags.getInt("reps", 7));
+  std::size_t warmup = static_cast<std::size_t>(flags.getInt("warmup", 1));
+  std::string filter = flags.getString("filter", "");
+  long maxItems = flags.getInt("max-items", 0);  // 0 = no limit
+  double mu = flags.getDouble("mu", 16.0);
+  std::uint64_t seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+
+  std::vector<Spec> specs;
+  addOnline(specs, "FirstFitOnline", {1000, 4000, 16000}, mu, seed,
+            [](const Instance&) -> PolicyPtr {
+              return std::make_unique<FirstFitPolicy>();
+            });
+  addOnline(specs, "BestFitOnline", {1000, 4000}, mu, seed,
+            [](const Instance&) -> PolicyPtr {
+              return std::make_unique<BestFitPolicy>();
+            });
+  addOnline(specs, "CdtFFOnline", {1000, 4000, 16000}, mu, seed,
+            [](const Instance& inst) -> PolicyPtr {
+              return std::make_unique<ClassifyByDepartureFF>(
+                  ClassifyByDepartureFF::withKnownDurations(
+                      inst.minDuration(), inst.durationRatio()));
+            });
+  addOnline(specs, "CdFFOnline", {1000, 4000, 16000}, mu, seed,
+            [](const Instance& inst) -> PolicyPtr {
+              return std::make_unique<ClassifyByDurationFF>(
+                  ClassifyByDurationFF::withKnownDurations(
+                      inst.minDuration(), inst.durationRatio()));
+            });
+  for (std::size_t n : {std::size_t{500}, std::size_t{2000}}) {
+    auto inst = std::make_shared<Instance>(makeInstance(n, mu, seed));
+    specs.push_back({"Ddff/" + std::to_string(n), n, [inst] {
+                       Packing p = durationDescendingFirstFit(*inst);
+                       g_sink = p.totalUsage();
+                     }});
+  }
+  for (std::size_t n : {std::size_t{200}, std::size_t{500}}) {
+    auto inst = std::make_shared<Instance>(makeInstance(n, mu, seed));
+    specs.push_back({"DualColoring/" + std::to_string(n), n, [inst] {
+                       DualColoringResult r = dualColoring(*inst);
+                       g_sink = r.packing.totalUsage();
+                     }});
+  }
+  for (std::size_t n : {std::size_t{1000}, std::size_t{10000}}) {
+    auto inst = std::make_shared<Instance>(makeInstance(n, mu, seed));
+    specs.push_back({"LowerBounds/" + std::to_string(n), n, [inst] {
+                       LowerBounds lb = lowerBounds(*inst);
+                       g_sink = lb.ceilIntegral;
+                     }});
+  }
+  for (std::size_t n : {std::size_t{1000}, std::size_t{10000}}) {
+    auto inst = std::make_shared<Instance>(makeInstance(n, mu, seed));
+    specs.push_back({"StepFunctionRangeAdd/" + std::to_string(n), n, [inst] {
+                       StepFunction f;
+                       for (const Item& r : inst->items()) {
+                         f.add(r.interval, r.size);
+                       }
+                       g_sink = f.maxValue();
+                     }});
+  }
+
+  telemetry::BenchReport report("throughput");
+  report.setParam("reps", reps);
+  report.setParam("warmup", warmup);
+  report.setParam("mu", mu);
+  report.setParam("seed", static_cast<long>(seed));
+  report.setParam("max_items", maxItems);
+  report.setParam("filter", filter);
+
+  Table table({"benchmark", "items", "mean ms", "stddev ms", "items/s"});
+  std::size_t ran = 0;
+  for (const Spec& spec : specs) {
+    if (!filter.empty() && spec.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    if (maxItems > 0 && spec.items > static_cast<std::size_t>(maxItems)) {
+      continue;
+    }
+    ++ran;
+    for (std::size_t w = 0; w < warmup; ++w) spec.body();
+
+    telemetry::RegistrySnapshot before = telemetry::Registry::global().snapshot();
+    telemetry::BenchTimingSeries& series =
+        report.addTiming(spec.name, spec.items);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      std::uint64_t t0 = telemetry::monotonicNanos();
+      spec.body();
+      std::uint64_t t1 = telemetry::monotonicNanos();
+      series.addRepSeconds(static_cast<double>(t1 - t0) * 1e-9);
+    }
+    telemetry::RegistrySnapshot after = telemetry::Registry::global().snapshot();
+    series.setCounterDeltas(telemetry::diffCounters(before, after));
+
+    table.addRow({spec.name, std::to_string(spec.items),
+                  Table::num(series.seconds().mean() * 1e3, 3),
+                  Table::num(series.seconds().stddev() * 1e3, 3),
+                  Table::num(series.itemsPerSecond(), 0)});
+  }
+
+  std::cout << "=== throughput (" << reps << " reps, warmup " << warmup
+            << ", mu " << mu << ", telemetry "
+            << (telemetry::kEnabled ? "on" : "off") << ") ===\n";
+  if (flags.has("csv")) {
+    table.printCsv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  if (ran == 0) {
+    std::cerr << "bench_throughput: no benchmark matched --filter/--max-items\n";
+    return 1;
+  }
+
+  report.addTable("throughput", table);
+  report.writeIfRequested(flags, std::cout);
+  return 0;
+}

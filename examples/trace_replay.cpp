@@ -10,13 +10,15 @@
 //
 // Flags: --trace <path>, --policy ff|bf|cdt|cd|minext (default ff),
 //        --out <path> (packing CSV), --profile <path> (open-bin CSV),
-//        --decisions <path> (per-item decision trace CSV).
+//        --decisions <path> (per-item decision trace CSV),
+//        --chrome-trace <path> (timeline JSON for chrome://tracing).
 #include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "core/lower_bounds.hpp"
 #include "io/csv_io.hpp"
+#include "telemetry/chrome_trace.hpp"
 #include "online/any_fit.hpp"
 #include "online/classify_departure.hpp"
 #include "online/classify_duration.hpp"
@@ -29,7 +31,9 @@
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags(argc, argv);
+  Flags flags = Flags::strictOrDie(
+      argc, argv,
+      {"trace", "policy", "out", "profile", "decisions", "chrome-trace"});
 
   std::string tracePath = flags.getString("trace", "");
   Instance trace;
@@ -73,8 +77,13 @@ int main(int argc, char** argv) {
   }
 
   DecisionTrace decisions;
+  telemetry::ChromeTrace chromeTrace;
   SimOptions simOptions;
   simOptions.trace = &decisions;
+  std::string chromeTracePath = flags.getString("chrome-trace", "");
+  if (!chromeTracePath.empty()) {
+    simOptions.chromeTrace = &chromeTrace;
+  }
   SimResult result = simulateOnline(trace, *policy, simOptions);
   PackingMetrics metrics = computeMetrics(result.packing);
   LowerBounds lb = lowerBounds(trace);
@@ -111,6 +120,12 @@ int main(int argc, char** argv) {
     std::ofstream out(profilePath);
     writeStepFunctionCsv(result.packing.openBinProfile(), out);
     std::cout << "open-server profile written to " << profilePath << '\n';
+  }
+  if (!chromeTracePath.empty()) {
+    std::ofstream out(chromeTracePath);
+    chromeTrace.write(out);
+    std::cout << "timeline written to " << chromeTracePath
+              << " (open in chrome://tracing or ui.perfetto.dev)\n";
   }
   return 0;
 }

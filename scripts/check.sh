@@ -7,16 +7,23 @@
 #   4. TSan build + the thread-pool / parallel-harness tests
 #   5. clang-tidy over src/ (skipped with a notice when not installed)
 #
-# Usage: scripts/check.sh [--quick]
+# Usage: scripts/check.sh [--quick] [--perf]
 #   --quick runs only lint + the Release suite (steps 1-2).
+#   --perf additionally runs the reduced throughput bench (the CI
+#          perf-smoke job) and leaves BENCH_throughput.json behind.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 QUICK=0
-if [[ "${1:-}" == "--quick" ]]; then
-  QUICK=1
-fi
+PERF=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    --perf) PERF=1 ;;
+    *) echo "unknown option: $arg (accepted: --quick, --perf)" >&2; exit 2 ;;
+  esac
+done
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
@@ -28,6 +35,12 @@ step "Release build + tests"
 cmake --preset release
 cmake --build --preset release -j
 ctest --preset release -j
+
+if [[ "$PERF" == "1" ]]; then
+  step "perf smoke (reduced throughput bench -> BENCH_throughput.json)"
+  ./build-release/bench/bench_throughput --reps 3 --max-items 4000 \
+    --json=BENCH_throughput.json
+fi
 
 if [[ "$QUICK" == "1" ]]; then
   echo "--quick: skipping sanitizer matrix and clang-tidy"
@@ -43,9 +56,9 @@ step "TSan build + concurrency tests"
 cmake --preset tsan
 cmake --build --preset tsan -j
 # The whole suite is TSan-clean, but the concurrency contract lives in the
-# thread pool and the parallel simulation harness — run those at minimum,
-# then the rest (cheap enough to keep on).
-ctest --preset tsan -j -R 'ThreadPool|ParallelFor' --no-tests=error
+# thread pool, the parallel simulation harness and the telemetry registry —
+# run those at minimum, then the rest (cheap enough to keep on).
+ctest --preset tsan -j -R 'ThreadPool|ParallelFor|TelemetryConcurrency' --no-tests=error
 ctest --preset tsan -j
 
 step "clang-tidy"

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/bin_timeline.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cdbp {
 
@@ -14,14 +15,22 @@ bool ddffOrderBefore(const Item& a, const Item& b) {
 }
 
 Packing durationDescendingFirstFit(const Instance& instance) {
+  // The DDFF cost splits into the O(n log n) sort and the First Fit packing
+  // scan; the two timers expose that split (DESIGN.md §8.1).
   std::vector<Item> order = instance.items();
-  std::stable_sort(order.begin(), order.end(), ddffOrderBefore);
+  {
+    CDBP_TELEM_SCOPED_TIMER(sortTimer, "offline.ddff.sort_ns");
+    std::stable_sort(order.begin(), order.end(), ddffOrderBefore);
+  }
 
+  CDBP_TELEM_SCOPED_TIMER(packTimer, "offline.ddff.pack_ns");
   std::vector<BinTimeline> bins;
   std::vector<BinId> binOf(instance.size(), kUnassigned);
+  std::uint64_t scans = 0;
   for (const Item& r : order) {
     BinId chosen = kNewBin;
     for (std::size_t b = 0; b < bins.size(); ++b) {
+      ++scans;
       if (bins[b].fits(r)) {
         chosen = static_cast<BinId>(b);
         break;
@@ -34,6 +43,9 @@ Packing durationDescendingFirstFit(const Instance& instance) {
     bins[static_cast<std::size_t>(chosen)].add(r);
     binOf[r.id] = chosen;
   }
+  CDBP_TELEM_COUNT("offline.ddff.bins_scanned", scans);
+  CDBP_TELEM_COUNT("offline.ddff.bins_opened", bins.size());
+  CDBP_TELEM_COUNT("offline.ddff.runs", 1);
   return Packing(instance, std::move(binOf));
 }
 

@@ -7,6 +7,7 @@
 
 #include "core/bin_timeline.hpp"
 #include "core/epsilon.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace cdbp {
@@ -36,6 +37,7 @@ std::size_t firstFitInto(const std::vector<Item>& items, int firstKey,
 }  // namespace
 
 DualColoringResult dualColoring(const Instance& instance) {
+  CDBP_TELEM_COUNT("offline.dual_coloring.runs", 1);
   std::vector<Item> small;
   std::vector<Item> large;
   for (const Item& r : instance.items()) {
@@ -56,7 +58,15 @@ DualColoringResult dualColoring(const Instance& instance) {
   std::size_t m = 0;
   std::shared_ptr<DemandChart> chart;
   if (!small.empty()) {
+    // Phase 1: the demand chart build (altitude assignment) — the
+    // dominant cost; timed separately from the coloring pass below.
+    CDBP_TELEM_SCOPED_TIMER(phase1Timer, "offline.dual_coloring.phase1_ns");
     chart = std::make_shared<DemandChart>(small);
+  }
+  // Phase 2: stripe assignment of the small items, packing the large
+  // group, key compaction.
+  CDBP_TELEM_SCOPED_TIMER(phase2Timer, "offline.dual_coloring.phase2_ns");
+  if (chart) {
     // Phase 2, step 1: number of stripes.
     double peak = chart->maxHeight();
     double scaled = 2.0 * peak;

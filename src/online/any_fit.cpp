@@ -1,11 +1,22 @@
 #include "online/any_fit.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace cdbp {
 
 PlacementDecision FirstFitPolicy::place(const BinManager& bins, const Item& item) {
+  std::uint64_t attempts = 0;
+  BinId chosen = kNewBin;
   for (BinId id : bins.openBins()) {
-    if (bins.fits(id, item.size)) return PlacementDecision::existing(id);
+    ++attempts;
+    if (bins.fits(id, item.size)) {
+      chosen = id;
+      break;
+    }
   }
+  CDBP_TELEM_COUNT("policy.any_fit.fit_attempts", attempts);
+  if (chosen != kNewBin) return PlacementDecision::existing(chosen);
+  CDBP_TELEM_COUNT("policy.any_fit.opens", 1);
   return PlacementDecision::fresh(0);
 }
 

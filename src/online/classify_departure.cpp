@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/epsilon.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cdbp {
 
@@ -47,9 +48,20 @@ PlacementDecision ClassifyByDepartureFF::place(const BinManager& bins,
     throw std::invalid_argument("ClassifyByDepartureFF: window index overflow");
   }
   int category = static_cast<int>(window);
+  std::uint64_t attempts = 0;
+  BinId chosen = kNewBin;
   for (BinId id : bins.openBins(category)) {
-    if (bins.fits(id, item.size)) return PlacementDecision::existing(id);
+    ++attempts;
+    if (bins.fits(id, item.size)) {
+      chosen = id;
+      break;
+    }
   }
+  CDBP_TELEM_COUNT("policy.cdt_ff.fit_attempts", attempts);
+  if (chosen != kNewBin) return PlacementDecision::existing(chosen);
+  CDBP_TELEM_COUNT("policy.cdt_ff.opens", 1);
+  CDBP_TELEM_HIST("policy.cdt_ff.open_category",
+                  category < 0 ? 0 : category);
   return PlacementDecision::fresh(category);
 }
 

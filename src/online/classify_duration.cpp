@@ -6,6 +6,7 @@
 
 #include "analysis/ratios.hpp"
 #include "core/epsilon.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cdbp {
 
@@ -52,9 +53,19 @@ int ClassifyByDurationFF::categoryOf(Time duration) const {
 PlacementDecision ClassifyByDurationFF::place(const BinManager& bins,
                                               const Item& item) {
   int category = categoryOf(item.duration());
+  std::uint64_t attempts = 0;
+  BinId chosen = kNewBin;
   for (BinId id : bins.openBins(category)) {
-    if (bins.fits(id, item.size)) return PlacementDecision::existing(id);
+    ++attempts;
+    if (bins.fits(id, item.size)) {
+      chosen = id;
+      break;
+    }
   }
+  CDBP_TELEM_COUNT("policy.cd_ff.fit_attempts", attempts);
+  if (chosen != kNewBin) return PlacementDecision::existing(chosen);
+  CDBP_TELEM_COUNT("policy.cd_ff.opens", 1);
+  CDBP_TELEM_HIST("policy.cd_ff.open_category", category < 0 ? 0 : category);
   return PlacementDecision::fresh(category);
 }
 

@@ -18,6 +18,8 @@ BinId BinManager::openBin(int category, Time now) {
   bins_.push_back({id, category, 0.0, 0, now, true});
   open_.push_back(id);
   openByCategory_[category].push_back(id);
+  CDBP_TELEM_COUNT("sim.bins_opened", 1);
+  CDBP_TELEM_GAUGE_SET("sim.open_bins", open_.size());
   return id;
 }
 
@@ -56,6 +58,8 @@ bool BinManager::removeItem(BinId id, Size size) {
   CDBP_DCHECK(catIt != cat.end(), "removeItem: bin ", id,
               " missing from category ", bin.category, "'s open list");
   cat.erase(catIt);
+  CDBP_TELEM_COUNT("sim.bins_closed", 1);
+  CDBP_TELEM_GAUGE_SET("sim.open_bins", open_.size());
   return true;
 }
 

@@ -15,6 +15,7 @@
 #include "core/epsilon.hpp"
 #include "core/item.hpp"
 #include "core/types.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cdbp {
 
@@ -43,6 +44,7 @@ class BinManager {
   /// is the maximum future level, so this single check certifies
   /// feasibility over the incoming item's whole stay.
   bool fits(BinId id, Size size) const {
+    CDBP_TELEM_COUNT("sim.fit_checks", 1);
     return info(id).open && fitsCapacity(info(id).level, size);
   }
 

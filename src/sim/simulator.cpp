@@ -4,11 +4,35 @@
 #include <cmath>
 #include <queue>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/epsilon.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cdbp {
+
+namespace {
+
+// Trace rows: items land on their bin's row inside the "placements"
+// process.
+constexpr int kTracePid = 1;
+
+#if CDBP_TELEMETRY
+// Scan cost of one placement = fit() probes the policy issued for it,
+// measured as the delta of the global fit-check counter around place().
+// The counter is process-wide, so concurrent simulations (the parallel
+// sweep harness) would attribute each other's probes; the per-placement
+// histogram is therefore only recorded when the delta is plausible for a
+// single placement — the aggregate counter stays exact either way.
+telemetry::Counter& fitCheckCounter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("sim.fit_checks");
+  return c;
+}
+#endif
+
+}  // namespace
 
 SimResult simulateOnline(const Instance& instance, OnlinePolicy& policy,
                          const SimOptions& options) {
@@ -17,6 +41,11 @@ SimResult simulateOnline(const Instance& instance, OnlinePolicy& policy,
   std::vector<BinId> binOf(instance.size(), kUnassigned);
   std::set<int> categories;
   std::size_t maxOpen = 0;
+
+  if (options.chromeTrace) {
+    options.chromeTrace->setProcessName(kTracePid,
+                                        "cdbp simulation: " + policy.name());
+  }
 
   // Departure queue: (time, item id, bin) ordered by time.
   using Departure = std::pair<Time, ItemId>;
@@ -28,9 +57,16 @@ SimResult simulateOnline(const Instance& instance, OnlinePolicy& policy,
     // arrival instant: intervals are half-open, so an item leaving at t
     // does not overlap one arriving at t.
     while (!departures.empty() && departures.top().first <= r.arrival()) {
+      Time when = departures.top().first;
       ItemId gone = departures.top().second;
       departures.pop();
       bins.removeItem(binOf[gone], instance[gone].size);
+      CDBP_TELEM_COUNT("sim.events_processed", 1);
+      if (options.chromeTrace) {
+        options.chromeTrace->addCounter(
+            "open_bins", when * options.traceTimeScale, kTracePid,
+            static_cast<double>(bins.openCount()));
+      }
     }
 
     Item announced = r;
@@ -43,11 +79,22 @@ SimResult simulateOnline(const Instance& instance, OnlinePolicy& policy,
       }
     }
 
+#if CDBP_TELEMETRY
+    std::uint64_t fitChecksBefore = fitCheckCounter().value();
+#endif
     PlacementDecision decision = policy.place(bins, announced);
+#if CDBP_TELEMETRY
+    std::uint64_t scanned = fitCheckCounter().value() - fitChecksBefore;
+    if (scanned <= bins.openCount()) {
+      CDBP_TELEM_HIST("sim.bins_scanned_per_placement", scanned);
+    }
+#endif
     BinId target = decision.bin;
     if (target == kNewBin) {
       target = bins.openBin(decision.category, r.arrival());
+      CDBP_TELEM_COUNT("sim.placements_new_bin", 1);
     } else {
+      CDBP_TELEM_COUNT("sim.placements_existing_bin", 1);
       if (!bins.info(target).open) {
         throw std::logic_error(policy.name() + " placed item " +
                                std::to_string(r.id) + " in closed bin " +
@@ -77,6 +124,46 @@ SimResult simulateOnline(const Instance& instance, OnlinePolicy& policy,
     categories.insert(bins.info(target).category);
     departures.emplace(r.departure(), r.id);
     maxOpen = std::max(maxOpen, bins.openCount());
+    CDBP_TELEM_COUNT("sim.events_processed", 1);
+    CDBP_TELEM_HIST("sim.item_size_permille", r.size * 1000.0);
+
+    if (options.chromeTrace) {
+      std::ostringstream name;
+      name << "item " << r.id;
+      options.chromeTrace->addComplete(
+          name.str(), "item", r.arrival() * options.traceTimeScale,
+          r.duration() * options.traceTimeScale, kTracePid,
+          static_cast<int>(target),
+          {{"size", r.size},
+           {"category", static_cast<double>(bins.info(target).category)},
+           {"bin_level_after", bins.info(target).level}});
+      options.chromeTrace->addCounter("open_bins",
+                                      r.arrival() * options.traceTimeScale,
+                                      kTracePid,
+                                      static_cast<double>(bins.openCount()));
+    }
+  }
+
+  if (options.chromeTrace) {
+    // Drain the queue so the counter series closes at zero and every bin
+    // row carries a readable name.
+    while (!departures.empty()) {
+      Time when = departures.top().first;
+      ItemId gone = departures.top().second;
+      departures.pop();
+      bins.removeItem(binOf[gone], instance[gone].size);
+      CDBP_TELEM_COUNT("sim.events_processed", 1);
+      options.chromeTrace->addCounter(
+          "open_bins", when * options.traceTimeScale, kTracePid,
+          static_cast<double>(bins.openCount()));
+    }
+    for (std::size_t b = 0; b < bins.binsOpened(); ++b) {
+      const BinManager::BinInfo& info = bins.info(static_cast<BinId>(b));
+      std::ostringstream name;
+      name << "bin " << info.id << " (cat " << info.category << ")";
+      options.chromeTrace->setThreadName(kTracePid, static_cast<int>(info.id),
+                                         name.str());
+    }
   }
 
   SimResult result;

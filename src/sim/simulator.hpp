@@ -13,6 +13,7 @@
 #include "core/packing.hpp"
 #include "online/policy.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/chrome_trace.hpp"
 
 namespace cdbp {
 
@@ -26,6 +27,17 @@ struct SimOptions {
 
   /// When set, every placement decision is appended here (see trace.hpp).
   DecisionTrace* trace = nullptr;
+
+  /// When set, the run is recorded as a chrome://tracing timeline: one
+  /// complete event per item on its bin's row plus an open-bin counter
+  /// series (DESIGN.md §8.2). Always available, independent of the
+  /// CDBP_TELEMETRY toggle — this is an explicitly requested artifact, not
+  /// ambient instrumentation.
+  telemetry::ChromeTrace* chromeTrace = nullptr;
+
+  /// Simulated-time-unit -> trace-microsecond scale (trace timestamps are
+  /// microseconds; the default renders 1 time unit as 1 second).
+  double traceTimeScale = 1e6;
 };
 
 struct SimResult {

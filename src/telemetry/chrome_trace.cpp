@@ -1,0 +1,99 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include "io/json_writer.hpp"
+
+namespace cdbp::telemetry {
+
+void ChromeTrace::addComplete(std::string name, std::string category,
+                              double tsMicros, double durMicros, int pid,
+                              int tid,
+                              std::vector<std::pair<std::string, double>> args) {
+  Event e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'X';
+  e.tsMicros = tsMicros;
+  e.durMicros = durMicros;
+  e.pid = pid;
+  e.tid = tid;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void ChromeTrace::addInstant(std::string name, std::string category,
+                             double tsMicros, int pid, int tid) {
+  Event e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'i';
+  e.tsMicros = tsMicros;
+  e.pid = pid;
+  e.tid = tid;
+  events_.push_back(std::move(e));
+}
+
+void ChromeTrace::addCounter(std::string series, double tsMicros, int pid,
+                             double value) {
+  Event e;
+  e.name = std::move(series);
+  e.category = "counter";
+  e.phase = 'C';
+  e.tsMicros = tsMicros;
+  e.pid = pid;
+  e.args.emplace_back("value", value);
+  events_.push_back(std::move(e));
+}
+
+void ChromeTrace::setProcessName(int pid, std::string name) {
+  processNames_[pid] = std::move(name);
+}
+
+void ChromeTrace::setThreadName(int pid, int tid, std::string name) {
+  threadNames_[{pid, tid}] = std::move(name);
+}
+
+void ChromeTrace::write(std::ostream& os) const {
+  // Compact: traces routinely hold one event per item, pretty-printing
+  // would triple the file size for no reader benefit.
+  JsonWriter w(os, /*indent=*/0);
+  w.beginArray();
+  for (const auto& [pid, name] : processNames_) {
+    w.beginObject();
+    w.key("name").value("process_name");
+    w.key("ph").value("M");
+    w.key("pid").value(pid);
+    w.key("tid").value(0);
+    w.key("args").beginObject().key("name").value(name).endObject();
+    w.endObject();
+  }
+  for (const auto& [key, name] : threadNames_) {
+    w.beginObject();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(key.first);
+    w.key("tid").value(key.second);
+    w.key("args").beginObject().key("name").value(name).endObject();
+    w.endObject();
+  }
+  for (const Event& e : events_) {
+    w.beginObject();
+    w.key("name").value(e.name);
+    if (!e.category.empty()) w.key("cat").value(e.category);
+    w.key("ph").value(std::string_view(&e.phase, 1));
+    w.key("ts").value(e.tsMicros);
+    if (e.phase == 'X') w.key("dur").value(e.durMicros);
+    w.key("pid").value(e.pid);
+    w.key("tid").value(e.tid);
+    if (!e.args.empty()) {
+      w.key("args").beginObject();
+      for (const auto& [k, v] : e.args) w.key(k).value(v);
+      w.endObject();
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.done();
+  os << '\n';
+}
+
+}  // namespace cdbp::telemetry

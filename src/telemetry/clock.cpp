@@ -1,0 +1,21 @@
+#include "telemetry/clock.hpp"
+
+#include <chrono>
+
+namespace cdbp::telemetry {
+
+std::uint64_t monotonicNanos() noexcept {
+  // cdbp-lint: allow(wallclock-in-lib): this is the sanctioned clock wrapper
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+std::int64_t wallclockUnixMicros() noexcept {
+  // cdbp-lint: allow(wallclock-in-lib): this is the sanctioned clock wrapper
+  auto now = std::chrono::system_clock::now().time_since_epoch();
+  return static_cast<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+}
+
+}  // namespace cdbp::telemetry

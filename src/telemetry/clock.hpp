@@ -1,0 +1,24 @@
+// The project's only sanctioned wall-clock call site.
+//
+// Every other module (including the bench harnesses) obtains time through
+// these two functions or through the registry's scoped timers, never by
+// calling std::chrono::*_clock::now() directly — the `wallclock-in-lib`
+// lint rule enforces this. Centralizing the clock keeps timing compilable
+// out (CDBP_TELEMETRY=0 removes every instrumentation read) and gives the
+// harness one place to stub time if a deterministic replay ever needs it.
+#pragma once
+
+#include <cstdint>
+
+namespace cdbp::telemetry {
+
+/// Monotonic nanoseconds since an arbitrary epoch (std::chrono::steady_clock).
+/// Always available, independent of the CDBP_TELEMETRY toggle — the bench
+/// harness measures with it even in telemetry-off builds.
+std::uint64_t monotonicNanos() noexcept;
+
+/// Wall-clock microseconds since the Unix epoch (std::chrono::system_clock).
+/// Used only for report metadata (run timestamps), never for measurement.
+std::int64_t wallclockUnixMicros() noexcept;
+
+}  // namespace cdbp::telemetry

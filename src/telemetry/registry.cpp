@@ -1,0 +1,99 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+
+#include "telemetry/clock.hpp"
+
+namespace cdbp::telemetry {
+
+namespace {
+
+template <typename Map>
+auto& findOrCreate(std::mutex& mu, Map& map, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+std::uint64_t RegistrySnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> diffCounters(
+    const RegistrySnapshot& before, const RegistrySnapshot& after) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, value] : after.counters) {
+    std::uint64_t prior = before.counter(name);
+    if (value > prior) out.emplace_back(name, value - prior);
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // leaked: outlives all users
+  return *instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return findOrCreate(mu_, counters_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return findOrCreate(mu_, gauges_, name);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return findOrCreate(mu_, histograms_, name);
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, GaugeSnapshot{g->value(), g->max()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.min = h->min();
+    hs.max = h->max();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      std::uint64_t n = h->bucketCount(b);
+      if (n > 0) hs.buckets.emplace_back(b, n);
+    }
+    snap.histograms.emplace_back(name, std::move(hs));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+ScopedTimer::ScopedTimer(Histogram& sink)
+    : sink_(&sink), startNanos_(monotonicNanos()) {}
+
+ScopedTimer::~ScopedTimer() {
+  std::uint64_t end = monotonicNanos();
+  sink_->record(end >= startNanos_ ? end - startNanos_ : 0);
+}
+
+}  // namespace cdbp::telemetry

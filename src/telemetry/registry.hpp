@@ -1,0 +1,287 @@
+// Metrics registry: the repo-wide home for counters, gauges, log-bucketed
+// histograms and scoped wall-clock timers (DESIGN.md §8).
+//
+// Design constraints, in order:
+//   1. Zero cost when compiled out. `CDBP_TELEMETRY=0` turns every update
+//      into an empty inline function and the CDBP_TELEM_* site macros into
+//      nothing, so the hot placement paths carry no atomics, no clock
+//      reads, and no registry lookups.
+//   2. Thread-safe without locks on the update path. Metric objects are
+//      plain relaxed atomics (TSan-clean under the `tsan` preset); the
+//      registry mutex is touched only on first lookup of a name and when
+//      taking a snapshot.
+//   3. Dependency-free. Standard library only.
+//
+// Instrumentation sites use the macros from telemetry.hpp; they resolve
+// the name to a metric reference once (function-local static) and then hit
+// the atomic directly. Metric references stay valid for the program's
+// lifetime — the registry never deletes a metric.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef CDBP_TELEMETRY
+#define CDBP_TELEMETRY 1
+#endif
+
+namespace cdbp::telemetry {
+
+/// Compile-time master switch (set via the CDBP_TELEMETRY CMake option).
+inline constexpr bool kEnabled = CDBP_TELEMETRY != 0;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+#if CDBP_TELEMETRY
+    value_.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+
+  std::uint64_t value() const noexcept {
+#if CDBP_TELEMETRY
+    return value_.load(std::memory_order_relaxed);
+#else
+    return 0;
+#endif
+  }
+
+  void reset() noexcept {
+#if CDBP_TELEMETRY
+    value_.store(0, std::memory_order_relaxed);
+#endif
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level (open-bin count, queue depth, ...). Tracks the
+/// current value and the high-water mark since the last reset.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+#if CDBP_TELEMETRY
+    value_.store(v, std::memory_order_relaxed);
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+#else
+    (void)v;
+#endif
+  }
+
+  std::int64_t value() const noexcept {
+#if CDBP_TELEMETRY
+    return value_.load(std::memory_order_relaxed);
+#else
+    return 0;
+#endif
+  }
+
+  std::int64_t max() const noexcept {
+#if CDBP_TELEMETRY
+    return max_.load(std::memory_order_relaxed);
+#else
+    return 0;
+#endif
+  }
+
+  void reset() noexcept {
+#if CDBP_TELEMETRY
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+#endif
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Power-of-two (log2) bucketed histogram of non-negative integer samples
+/// (durations in nanoseconds, scan counts, category indices, ...).
+/// Bucket b holds samples v with std::bit_width(v) == b, i.e. bucket 0 is
+/// exactly {0} and bucket b >= 1 covers [2^(b-1), 2^b - 1].
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  static std::size_t bucketIndex(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+
+  /// Inclusive lower bound of a bucket (0 for bucket 0).
+  static std::uint64_t bucketFloor(std::size_t b) noexcept {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  void record(std::uint64_t v) noexcept {
+#if CDBP_TELEMETRY
+    buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t seenMin = min_.load(std::memory_order_relaxed);
+    while (v < seenMin && !min_.compare_exchange_weak(
+                              seenMin, v, std::memory_order_relaxed)) {
+    }
+    std::uint64_t seenMax = max_.load(std::memory_order_relaxed);
+    while (v > seenMax && !max_.compare_exchange_weak(
+                              seenMax, v, std::memory_order_relaxed)) {
+    }
+#else
+    (void)v;
+#endif
+  }
+
+  std::uint64_t count() const noexcept {
+#if CDBP_TELEMETRY
+    return count_.load(std::memory_order_relaxed);
+#else
+    return 0;
+#endif
+  }
+
+  std::uint64_t sum() const noexcept {
+#if CDBP_TELEMETRY
+    return sum_.load(std::memory_order_relaxed);
+#else
+    return 0;
+#endif
+  }
+
+  std::uint64_t bucketCount(std::size_t b) const noexcept {
+#if CDBP_TELEMETRY
+    return buckets_[b].load(std::memory_order_relaxed);
+#else
+    (void)b;
+    return 0;
+#endif
+  }
+
+  /// Minimum recorded sample; 0 when empty.
+  std::uint64_t min() const noexcept {
+#if CDBP_TELEMETRY
+    std::uint64_t v = min_.load(std::memory_order_relaxed);
+    return v == kEmptyMin ? 0 : v;
+#else
+    return 0;
+#endif
+  }
+
+  std::uint64_t max() const noexcept {
+#if CDBP_TELEMETRY
+    return max_.load(std::memory_order_relaxed);
+#else
+    return 0;
+#endif
+  }
+
+  void reset() noexcept {
+#if CDBP_TELEMETRY
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(kEmptyMin, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+#endif
+  }
+
+ private:
+  static constexpr std::uint64_t kEmptyMin = ~std::uint64_t{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{kEmptyMin};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  /// (bucket index, count) for non-empty buckets only.
+  std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+struct GaugeSnapshot {
+  std::int64_t value = 0;
+  std::int64_t max = 0;
+};
+
+/// A consistent-enough point-in-time copy of every registered metric.
+/// Names are sorted; concurrent updates during the copy may tear across
+/// metrics but never within one atomic.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, GaugeSnapshot>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Counter value by name; 0 when absent.
+  std::uint64_t counter(std::string_view name) const;
+};
+
+/// Counter increments between two snapshots (after - before), dropping
+/// zero deltas. Counters present only in `after` count from zero.
+std::vector<std::pair<std::string, std::uint64_t>> diffCounters(
+    const RegistrySnapshot& before, const RegistrySnapshot& after);
+
+class Registry {
+ public:
+  /// The process-wide registry every CDBP_TELEM_* site records into.
+  static Registry& global();
+
+  /// Finds or creates a metric. The returned reference is stable forever.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  RegistrySnapshot snapshot() const;
+
+  /// Zeroes every registered metric (names stay registered). Intended for
+  /// test and bench isolation, not for concurrent production use.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  // node-based maps: element addresses survive insertion.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Measures the wall-clock span of a scope and records it, in nanoseconds,
+/// into a histogram (typically named "*_ns"). Compiled out together with
+/// the rest of the instrumentation via CDBP_TELEM_SCOPED_TIMER.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* sink_;
+  std::uint64_t startNanos_;
+};
+
+}  // namespace cdbp::telemetry

@@ -1,8 +1,32 @@
 #include "util/flags.hpp"
 
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
+#include <set>
+#include <stdexcept>
 
 namespace cdbp {
+
+namespace {
+
+std::string joinAllowed(const std::vector<std::string>& allowed) {
+  std::string out;
+  for (const std::string& a : allowed) {
+    if (!out.empty()) out += ", ";
+    out += "--" + a;
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
 
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -17,6 +41,44 @@ Flags::Flags(int argc, char** argv) {
     } else {
       values_[arg] = "";
     }
+  }
+}
+
+Flags::Flags(int argc, char** argv, const std::vector<std::string>& allowed)
+    : Flags(argc, argv) {
+  std::set<std::string> known(allowed.begin(), allowed.end());
+  for (const auto& [name, value] : values_) {
+    if (!known.count(name)) {
+      throw std::invalid_argument("unknown flag --" + name + " (accepted: " +
+                                  joinAllowed(allowed) + ")");
+    }
+  }
+  // Re-walk argv for stray positionals: tokens that are neither flags nor
+  // consumed as a flag's value.
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      // `--name value` consumes the next non-flag token, mirroring the
+      // parse above.
+      if (arg.find('=') == std::string::npos && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        ++i;
+      }
+      continue;
+    }
+    throw std::invalid_argument("unexpected positional argument '" + arg +
+                                "' (accepted: " + joinAllowed(allowed) + ")");
+  }
+}
+
+Flags Flags::strictOrDie(int argc, char** argv,
+                         const std::vector<std::string>& allowed) {
+  try {
+    return Flags(argc, argv, allowed);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s: %s\n", argc > 0 ? argv[0] : "cdbp",
+                 e.what());
+    std::exit(2);
   }
 }
 
@@ -38,6 +100,17 @@ double Flags::getDouble(const std::string& name, double fallback) const {
   auto it = values_.find(name);
   if (it == values_.end() || it->second.empty()) return fallback;
   return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::getBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  if (it->second.empty()) return true;  // bare --name switch
+  std::string v = lowercase(it->second);
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" +
+                              it->second + "'");
 }
 
 }  // namespace cdbp

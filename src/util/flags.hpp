@@ -1,15 +1,26 @@
 // Minimal command-line flag parsing for bench and example binaries.
 //
 //   cdbp::Flags flags(argc, argv);
-//   int n = flags.getInt("items", 2000);
+//   long n = flags.getInt("items", 2000);        // note: returns long
 //   double mu = flags.getDouble("mu", 16.0);
+//   bool csv = flags.getBool("csv", false);
 //   if (flags.has("csv")) ...
 //
 // Accepts --name=value, --name value, and bare --name switches.
+//
+// Strict mode rejects unknown flags (a typo'd --iterms would otherwise be
+// silently ignored and the bench would run with the default):
+//
+//   cdbp::Flags flags = cdbp::Flags::strictOrDie(
+//       argc, argv, {"items", "seeds", "csv", "json"});
+//
+// The throwing strict constructor is available for code that wants to
+// handle the error itself (tests use it).
 #pragma once
 
 #include <map>
 #include <string>
+#include <vector>
 
 namespace cdbp {
 
@@ -17,10 +28,28 @@ class Flags {
  public:
   Flags(int argc, char** argv);
 
+  /// Strict parse: any flag not listed in `allowed`, and any stray
+  /// positional argument, throws std::invalid_argument naming the
+  /// offender and the accepted flags.
+  Flags(int argc, char** argv, const std::vector<std::string>& allowed);
+
+  /// Strict parse for bench/example mains: on error prints the message and
+  /// the accepted flags to stderr and exits with status 2.
+  static Flags strictOrDie(int argc, char** argv,
+                           const std::vector<std::string>& allowed);
+
   bool has(const std::string& name) const;
   std::string getString(const std::string& name, const std::string& fallback) const;
+
+  /// Integer flag value (parsed as long); `fallback` when absent or empty.
   long getInt(const std::string& name, long fallback) const;
   double getDouble(const std::string& name, double fallback) const;
+
+  /// Boolean flag value. A bare `--name` switch reads as true; otherwise
+  /// accepts true/false, yes/no, on/off, 1/0 (case-insensitive). Returns
+  /// `fallback` when the flag is absent; throws std::invalid_argument on
+  /// any other value.
+  bool getBool(const std::string& name, bool fallback) const;
 
  private:
   std::map<std::string, std::string> values_;

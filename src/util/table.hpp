@@ -27,6 +27,7 @@ class Table {
   void printCsv(std::ostream& os) const;
 
   std::size_t numRows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
   const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
  private:

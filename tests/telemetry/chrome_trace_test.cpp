@@ -1,0 +1,82 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace cdbp::telemetry {
+namespace {
+
+TEST(ChromeTrace, EmptyTraceIsAnEmptyArray) {
+  ChromeTrace trace;
+  EXPECT_EQ(trace.eventCount(), 0u);
+  std::ostringstream os;
+  trace.write(os);
+  EXPECT_EQ(os.str(), "[]\n");
+}
+
+TEST(ChromeTrace, CompleteEventFields) {
+  ChromeTrace trace;
+  trace.addComplete("item 0", "placement", 1500.0, 250.0, 1, 3,
+                    {{"size", 0.4}});
+  EXPECT_EQ(trace.eventCount(), 1u);
+  std::ostringstream os;
+  trace.write(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("\"name\":\"item 0\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"ts\":1500.0"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"dur\":250.0"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"pid\":1"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"tid\":3"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"size\":0.4"), std::string::npos) << out;
+}
+
+TEST(ChromeTrace, CounterEvent) {
+  ChromeTrace trace;
+  trace.addCounter("open_bins", 10.0, 1, 4.0);
+  std::ostringstream os;
+  trace.write(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("\"ph\":\"C\""), std::string::npos) << out;
+  EXPECT_NE(out.find("open_bins"), std::string::npos) << out;
+}
+
+TEST(ChromeTrace, InstantEvent) {
+  ChromeTrace trace;
+  trace.addInstant("tick", "sim", 5.0, 1, 2);
+  std::ostringstream os;
+  trace.write(os);
+  EXPECT_NE(os.str().find("\"ph\":\"i\""), std::string::npos) << os.str();
+}
+
+TEST(ChromeTrace, MetadataNamesRows) {
+  ChromeTrace trace;
+  trace.setProcessName(1, "simulator");
+  trace.setThreadName(1, 2, "bin 2 (cat 0)");
+  trace.addInstant("tick", "sim", 0.0, 1, 2);
+  std::ostringstream os;
+  trace.write(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("process_name"), std::string::npos) << out;
+  EXPECT_NE(out.find("thread_name"), std::string::npos) << out;
+  EXPECT_NE(out.find("simulator"), std::string::npos) << out;
+  EXPECT_NE(out.find("bin 2 (cat 0)"), std::string::npos) << out;
+}
+
+TEST(ChromeTrace, OutputIsOneJsonArray) {
+  ChromeTrace trace;
+  trace.addComplete("a", "c", 0.0, 1.0, 1, 1);
+  trace.addComplete("b", "c", 1.0, 1.0, 1, 2);
+  std::ostringstream os;
+  trace.write(os);
+  std::string out = os.str();
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), '\n');
+  EXPECT_EQ(out[out.size() - 2], ']');
+}
+
+}  // namespace
+}  // namespace cdbp::telemetry

@@ -1,0 +1,146 @@
+// End-to-end checks that the instrumentation wired through the simulator,
+// the online policies and the offline algorithms actually records. All
+// value assertions are gated on telemetry::kEnabled so the suite also
+// passes on a -DCDBP_TELEMETRY=OFF build (where every delta must be zero).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "offline/ddff.hpp"
+#include "offline/dual_coloring.hpp"
+#include "online/any_fit.hpp"
+#include "online/classify_departure.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/bench_report.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/registry.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+using telemetry::Registry;
+using telemetry::RegistrySnapshot;
+
+Instance smallWorkload(std::size_t n = 60) {
+  WorkloadSpec spec;
+  spec.numItems = n;
+  spec.mu = 8.0;
+  return generateWorkload(spec, 5);
+}
+
+std::uint64_t delta(const RegistrySnapshot& before,
+                    const RegistrySnapshot& after, std::string_view name) {
+  return after.counter(name) - before.counter(name);
+}
+
+TEST(TelemetryInstrumentation, SimulatorCountsEventsAndPlacements) {
+  Instance inst = smallWorkload();
+  RegistrySnapshot before = Registry::global().snapshot();
+  FirstFitPolicy ff;
+  simulateOnline(inst, ff);
+  RegistrySnapshot after = Registry::global().snapshot();
+  if constexpr (telemetry::kEnabled) {
+    // One arrival event per item plus the departures processed before the
+    // last arrival (the tail of the queue is only drained when tracing).
+    EXPECT_GE(delta(before, after, "sim.events_processed"), inst.size());
+    EXPECT_LE(delta(before, after, "sim.events_processed"), 2 * inst.size());
+    EXPECT_EQ(delta(before, after, "sim.placements_new_bin") +
+                  delta(before, after, "sim.placements_existing_bin"),
+              inst.size());
+    EXPECT_GE(delta(before, after, "sim.bins_opened"), 1u);
+    EXPECT_GE(delta(before, after, "sim.bins_opened"),
+              delta(before, after, "sim.bins_closed"));
+    EXPECT_GE(delta(before, after, "sim.fit_checks"),
+              delta(before, after, "sim.placements_existing_bin"));
+  } else {
+    EXPECT_EQ(after.counter("sim.events_processed"), 0u);
+    EXPECT_EQ(after.counter("sim.fit_checks"), 0u);
+  }
+}
+
+TEST(TelemetryInstrumentation, PolicyCountersAttributeOpens) {
+  Instance inst = smallWorkload();
+  RegistrySnapshot before = Registry::global().snapshot();
+  FirstFitPolicy ff;
+  simulateOnline(inst, ff);
+  auto cdt = ClassifyByDepartureFF::withKnownDurations(inst.minDuration(),
+                                                       inst.durationRatio());
+  simulateOnline(inst, cdt);
+  RegistrySnapshot after = Registry::global().snapshot();
+  if constexpr (telemetry::kEnabled) {
+    EXPECT_GE(delta(before, after, "policy.any_fit.opens"), 1u);
+    EXPECT_GE(delta(before, after, "policy.any_fit.fit_attempts"), 1u);
+    EXPECT_GE(delta(before, after, "policy.cdt_ff.opens"), 1u);
+  }
+}
+
+TEST(TelemetryInstrumentation, DdffSplitsSortAndPack) {
+  Instance inst = smallWorkload();
+  RegistrySnapshot before = Registry::global().snapshot();
+  std::uint64_t sortBefore =
+      Registry::global().histogram("offline.ddff.sort_ns").count();
+  durationDescendingFirstFit(inst);
+  RegistrySnapshot after = Registry::global().snapshot();
+  if constexpr (telemetry::kEnabled) {
+    EXPECT_EQ(delta(before, after, "offline.ddff.runs"), 1u);
+    EXPECT_GE(delta(before, after, "offline.ddff.bins_opened"), 1u);
+    EXPECT_GE(delta(before, after, "offline.ddff.bins_scanned"),
+              delta(before, after, "offline.ddff.bins_opened"));
+    EXPECT_EQ(Registry::global().histogram("offline.ddff.sort_ns").count(),
+              sortBefore + 1);
+  }
+}
+
+TEST(TelemetryInstrumentation, DualColoringTimesBothPhases) {
+  Instance inst = smallWorkload();
+  RegistrySnapshot before = Registry::global().snapshot();
+  std::uint64_t p2Before =
+      Registry::global().histogram("offline.dual_coloring.phase2_ns").count();
+  dualColoring(inst);
+  RegistrySnapshot after = Registry::global().snapshot();
+  if constexpr (telemetry::kEnabled) {
+    EXPECT_EQ(delta(before, after, "offline.dual_coloring.runs"), 1u);
+    EXPECT_EQ(
+        Registry::global().histogram("offline.dual_coloring.phase2_ns").count(),
+        p2Before + 1);
+  }
+}
+
+TEST(TelemetryInstrumentation, SimulatorEmitsChromeTrace) {
+  Instance inst = smallWorkload(20);
+  telemetry::ChromeTrace trace;
+  SimOptions options;
+  options.chromeTrace = &trace;
+  FirstFitPolicy ff;
+  simulateOnline(inst, ff, options);
+  // One complete event per item plus counter samples and bin metadata —
+  // trace emission is independent of the CDBP_TELEMETRY metric toggle.
+  EXPECT_GE(trace.eventCount(), inst.size());
+  std::ostringstream os;
+  trace.write(os);
+  EXPECT_EQ(os.str().front(), '[');
+  EXPECT_NE(os.str().find("open_bins"), std::string::npos);
+}
+
+TEST(TelemetryInstrumentation, OpenBinsGaugeIsZeroAfterDrain) {
+  // Tracing drains the departure queue at end of run, closing every bin.
+  Instance inst = smallWorkload();
+  telemetry::ChromeTrace trace;
+  SimOptions options;
+  options.chromeTrace = &trace;
+  FirstFitPolicy ff;
+  simulateOnline(inst, ff, options);
+  RegistrySnapshot snap = Registry::global().snapshot();
+  for (const auto& [name, g] : snap.gauges) {
+    if (name == "sim.open_bins") {
+      EXPECT_EQ(g.value, 0);
+      if constexpr (telemetry::kEnabled) {
+        EXPECT_GE(g.max, 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,160 @@
+#include "telemetry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace cdbp::telemetry {
+namespace {
+
+// Every test uses its own Registry instance (not Registry::global()) so
+// the instrumented library code running in other tests cannot interfere.
+// Update-path assertions are gated on kEnabled: with CDBP_TELEMETRY=0 the
+// metric bodies compile to no-ops and all reads return zero.
+
+TEST(TelemetryRegistry, CounterAddAndValue) {
+  Registry reg;
+  Counter& c = reg.counter("c");
+  c.add();
+  c.add(4);
+  if constexpr (kEnabled) {
+    EXPECT_EQ(c.value(), 5u);
+  } else {
+    EXPECT_EQ(c.value(), 0u);
+  }
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(TelemetryRegistry, SameNameSameMetric) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &reg.counter("y"));
+}
+
+TEST(TelemetryRegistry, GaugeTracksMax) {
+  Registry reg;
+  Gauge& g = reg.gauge("g");
+  g.set(3);
+  g.set(9);
+  g.set(5);
+  if constexpr (kEnabled) {
+    EXPECT_EQ(g.value(), 5);
+    EXPECT_EQ(g.max(), 9);
+  }
+}
+
+TEST(TelemetryRegistry, HistogramBucketing) {
+  // Bucket b holds samples with bit_width == b: {0}, {1}, {2,3}, {4..7}...
+  EXPECT_EQ(Histogram::bucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::bucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::bucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::bucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::bucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::bucketIndex(~std::uint64_t{0}), 64u);
+  EXPECT_EQ(Histogram::bucketFloor(0), 0u);
+  EXPECT_EQ(Histogram::bucketFloor(1), 1u);
+  EXPECT_EQ(Histogram::bucketFloor(3), 4u);
+}
+
+TEST(TelemetryRegistry, HistogramRecordsStats) {
+  Registry reg;
+  Histogram& h = reg.histogram("h");
+  h.record(0);
+  h.record(3);
+  h.record(100);
+  if constexpr (kEnabled) {
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 103u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_EQ(h.bucketCount(Histogram::bucketIndex(3)), 1u);
+  }
+}
+
+TEST(TelemetryRegistry, EmptyHistogramMinIsZero) {
+  Registry reg;
+  EXPECT_EQ(reg.histogram("h").min(), 0u);
+}
+
+TEST(TelemetryRegistry, SnapshotCapturesAllKinds) {
+  Registry reg;
+  reg.counter("a.count").add(2);
+  reg.gauge("a.gauge").set(7);
+  reg.histogram("a.hist").record(5);
+  RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "a.count");
+  if constexpr (kEnabled) {
+    EXPECT_EQ(snap.counter("a.count"), 2u);
+    EXPECT_EQ(snap.gauges[0].second.value, 7);
+    EXPECT_EQ(snap.histograms[0].second.count, 1u);
+    EXPECT_DOUBLE_EQ(snap.histograms[0].second.mean(), 5.0);
+  }
+  EXPECT_EQ(snap.counter("missing"), 0u);
+}
+
+TEST(TelemetryRegistry, SnapshotNamesAreSorted) {
+  Registry reg;
+  reg.counter("z");
+  reg.counter("a");
+  reg.counter("m");
+  RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "a");
+  EXPECT_EQ(snap.counters[1].first, "m");
+  EXPECT_EQ(snap.counters[2].first, "z");
+}
+
+TEST(TelemetryRegistry, DiffCountersDropsZeroDeltas) {
+  Registry reg;
+  Counter& moving = reg.counter("moving");
+  reg.counter("static").add(5);
+  RegistrySnapshot before = reg.snapshot();
+  moving.add(3);
+  reg.counter("fresh").add(1);
+  RegistrySnapshot after = reg.snapshot();
+  auto deltas = diffCounters(before, after);
+  if constexpr (kEnabled) {
+    ASSERT_EQ(deltas.size(), 2u);
+    EXPECT_EQ(deltas[0].first, "fresh");
+    EXPECT_EQ(deltas[0].second, 1u);
+    EXPECT_EQ(deltas[1].first, "moving");
+    EXPECT_EQ(deltas[1].second, 3u);
+  } else {
+    EXPECT_TRUE(deltas.empty());
+  }
+}
+
+TEST(TelemetryRegistry, ResetZeroesButKeepsNames) {
+  Registry reg;
+  reg.counter("c").add(4);
+  reg.gauge("g").set(4);
+  reg.histogram("h").record(4);
+  reg.reset();
+  RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counter("c"), 0u);
+  EXPECT_EQ(snap.gauges[0].second.value, 0);
+  EXPECT_EQ(snap.histograms[0].second.count, 0u);
+}
+
+TEST(TelemetryRegistry, ScopedTimerRecordsOneSample) {
+  Registry reg;
+  Histogram& h = reg.histogram("span_ns");
+  { ScopedTimer t(h); }
+  if constexpr (kEnabled) {
+    EXPECT_EQ(h.count(), 1u);
+  }
+}
+
+TEST(TelemetryRegistry, GlobalIsASingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace cdbp::telemetry

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 namespace cdbp {
@@ -14,6 +15,16 @@ Flags parse(std::vector<std::string> args) {
   storage.insert(storage.begin(), "prog");
   for (std::string& s : storage) argv.push_back(s.data());
   return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+Flags parseStrict(std::vector<std::string> args,
+                  std::vector<std::string> allowed) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  for (std::string& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data(), allowed);
 }
 
 TEST(Flags, EqualsSyntax) {
@@ -53,6 +64,70 @@ TEST(Flags, NonFlagArgumentsIgnored) {
   Flags f = parse({"positional", "--a=1"});
   EXPECT_EQ(f.getInt("a", 0), 1);
   EXPECT_FALSE(f.has("positional"));
+}
+
+TEST(Flags, GetIntReturnsLong) {
+  // The doc promises long: values beyond int range must survive.
+  Flags f = parse({"--big=5000000000"});
+  EXPECT_EQ(f.getInt("big", 0), 5000000000L);
+}
+
+TEST(Flags, GetBoolBareSwitchIsTrue) {
+  Flags f = parse({"--csv"});
+  EXPECT_TRUE(f.getBool("csv", false));
+}
+
+TEST(Flags, GetBoolFallbackWhenAbsent) {
+  Flags f = parse({});
+  EXPECT_TRUE(f.getBool("csv", true));
+  EXPECT_FALSE(f.getBool("csv", false));
+}
+
+TEST(Flags, GetBoolSpellings) {
+  Flags f = parse({"--a=true", "--b=NO", "--c=On", "--d=0", "--e=Yes",
+                   "--g=off", "--h=1", "--i=False"});
+  EXPECT_TRUE(f.getBool("a", false));
+  EXPECT_FALSE(f.getBool("b", true));
+  EXPECT_TRUE(f.getBool("c", false));
+  EXPECT_FALSE(f.getBool("d", true));
+  EXPECT_TRUE(f.getBool("e", false));
+  EXPECT_FALSE(f.getBool("g", true));
+  EXPECT_TRUE(f.getBool("h", false));
+  EXPECT_FALSE(f.getBool("i", true));
+}
+
+TEST(Flags, GetBoolRejectsGarbage) {
+  Flags f = parse({"--a=maybe"});
+  EXPECT_THROW(f.getBool("a", false), std::invalid_argument);
+}
+
+TEST(Flags, StrictAcceptsListedFlags) {
+  Flags f = parseStrict({"--items=5", "--csv", "--mu", "2.5"},
+                        {"items", "csv", "mu"});
+  EXPECT_EQ(f.getInt("items", 0), 5);
+  EXPECT_TRUE(f.has("csv"));
+  EXPECT_DOUBLE_EQ(f.getDouble("mu", 0), 2.5);
+}
+
+TEST(Flags, StrictRejectsUnknownFlag) {
+  EXPECT_THROW(parseStrict({"--iterms=5"}, {"items"}), std::invalid_argument);
+}
+
+TEST(Flags, StrictRejectsStrayPositional) {
+  EXPECT_THROW(parseStrict({"stray"}, {"items"}), std::invalid_argument);
+}
+
+TEST(Flags, StrictAcceptsSpaceSeparatedValueNotAsPositional) {
+  // "--items 42": the 42 is a flag value, not a stray positional.
+  Flags f = parseStrict({"--items", "42"}, {"items"});
+  EXPECT_EQ(f.getInt("items", 0), 42);
+}
+
+TEST(Flags, StrictRejectsValueAfterBareSwitchAtEnd) {
+  // "--csv 42": csv takes no value here (42 becomes its value in lax mode,
+  // consumed) — strict mode accepts it as the flag's value, not a stray.
+  Flags f = parseStrict({"--csv", "--items=1"}, {"csv", "items"});
+  EXPECT_TRUE(f.has("csv"));
 }
 
 }  // namespace

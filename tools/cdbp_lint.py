@@ -26,6 +26,13 @@ mechanically over ``src/``, ``tests/``, ``bench/`` and ``examples/``:
                      ``std::endl`` flushes, which is a measurable cost in
                      table/chart rendering hot paths).
   pragma-once        Every header carries ``#pragma once``.
+  wallclock-in-lib   No direct ``steady_clock``/``system_clock``/
+                     ``high_resolution_clock`` ``::now()`` calls under
+                     ``src/`` outside ``src/telemetry/``. All timing routes
+                     through ``telemetry/clock.hpp`` (monotonicNanos /
+                     wallclockUnixMicros) so instrumentation stays
+                     centralized and mockable, and library code stays
+                     deterministic.
 
 Suppressing a finding
 ---------------------
@@ -79,12 +86,21 @@ RNG_RE = re.compile(r"\bstd::s?rand\b|\bs?rand\s*\(|\brandom_device\b")
 
 IOSTREAM_RE = re.compile(r"#\s*include\s*<iostream>")
 
+WALLCLOCK_RE = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
+)
+
+# The sanctioned clock wrappers live here; everything else under src/ must
+# go through them.
+WALLCLOCK_EXEMPT_DIR = "src/telemetry/"
+
 ALL_RULES = (
     "capacity-compare",
     "rng-discipline",
     "iostream-in-lib",
     "endl-in-lib",
     "pragma-once",
+    "wallclock-in-lib",
 )
 
 
@@ -243,6 +259,19 @@ class FileLint:
                     "std::endl flushes on every use; write '\\n' and let the "
                     "stream flush on close")
 
+    def check_wallclock_in_lib(self) -> None:
+        if not self.relpath.startswith("src/"):
+            return
+        if self.relpath.startswith(WALLCLOCK_EXEMPT_DIR):
+            return
+        for idx, code in enumerate(self.code_lines, start=1):
+            if WALLCLOCK_RE.search(code):
+                self.report(
+                    idx, "wallclock-in-lib",
+                    "direct clock ::now() call in library code; use "
+                    "telemetry/clock.hpp (monotonicNanos / "
+                    "wallclockUnixMicros) so timing stays centralized")
+
     def check_pragma_once(self) -> None:
         if not self.relpath.endswith((".hpp", ".h")):
             return
@@ -256,6 +285,7 @@ class FileLint:
         self.check_rng_discipline()
         self.check_iostream_in_lib()
         self.check_endl_in_lib()
+        self.check_wallclock_in_lib()
         self.check_pragma_once()
         return self.findings
 
@@ -293,6 +323,8 @@ FIXTURE_EXPECTATIONS = {
     "src/sim/bad_endl.cpp": {"endl-in-lib"},
     "src/workload/bad_rng.cpp": {"rng-discipline"},
     "src/core/clean.cpp": set(),
+    "src/sim/bad_wallclock.cpp": {"wallclock-in-lib"},
+    "src/telemetry/clock_ok.cpp": set(),
 }
 
 

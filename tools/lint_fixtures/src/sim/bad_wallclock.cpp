@@ -1,0 +1,15 @@
+// Fixture: direct clock reads in library code must fire wallclock-in-lib.
+#include <chrono>
+
+double now1() {
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+double now2() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+double now3() {
+  return std::chrono::high_resolution_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,9 @@
+// Fixture: src/telemetry/ is the sanctioned home for clock reads — the
+// wallclock-in-lib rule must stay quiet here.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t monotonicNanosFixture() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
