@@ -6,26 +6,33 @@
 // optimal n*; empirically, too few categories behaves like plain FF on a
 // wide-mu load, too many categories fragments bins.
 //
+// The whole sweep is one runMany grid: (1 generator) x (10 alpha specs) x
+// (seeds), fanned over --threads workers.
+//
 // Flags: --items <int> (default 2500), --mu <double> (default 64),
-//        --seeds <int> (default 5).
+//        --seeds <int> (default 5), --threads <int> (default 0 = hardware).
+#include <chrono>
 #include <cmath>
 #include <iostream>
+#include <sstream>
 
-#include "analysis/empirical.hpp"
 #include "analysis/ratios.hpp"
-#include "online/classify_duration.hpp"
+#include "sim/run_many.hpp"
 #include "telemetry/bench_report.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/flags.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags = Flags::strictOrDie(argc, argv, {"items", "mu", "seeds", "json"});
+  Flags flags = Flags::strictOrDie(argc, argv,
+                                   {"items", "mu", "seeds", "threads", "json"});
   std::size_t items = static_cast<std::size_t>(flags.getInt("items", 2500));
   double mu = flags.getDouble("mu", 64.0);
   std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 5));
+  unsigned threads = static_cast<unsigned>(flags.getInt("threads", 0));
 
   WorkloadSpec spec;
   spec.numItems = items;
@@ -41,25 +48,47 @@ int main(int argc, char** argv) {
   std::cout << "=== E4: category-count sweep for CD-FF (mu = " << realizedMu
             << ", closed-form optimal n* = " << optN << ") ===\n";
 
+  constexpr std::size_t kMaxCategories = 10;
+  RunManySpec grid;
+  grid.instances.push_back(
+      [spec](std::uint64_t seed) { return generateWorkload(spec, seed); });
+  grid.seeds = seeds;
+  grid.threads = threads;
+  std::vector<double> alphas;
+  for (std::size_t n = 1; n <= kMaxCategories; ++n) {
+    double alpha = std::max(
+        std::pow(realizedMu, 1.0 / static_cast<double>(n)), 1.0 + 1e-9);
+    alphas.push_back(alpha);
+    std::ostringstream policySpec;
+    policySpec.precision(17);
+    policySpec << "cd-ff(base=" << delta << ",alpha=" << alpha << ")";
+    grid.policies.emplace_back(policySpec.str());
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<RunResult> results = runMany(grid);
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
   Table table({"n", "alpha=mu^(1/n)", "empirical usage/LB3",
                "theoretical mu^(1/n)+n+3"});
   std::vector<double> xs, empirical, theory;
-  for (std::size_t n = 1; n <= 10; ++n) {
-    double alpha =
-        std::max(std::pow(realizedMu, 1.0 / static_cast<double>(n)), 1.0 + 1e-9);
-    RatioSummary summary = sweepPolicy(
-        seeds, [&](std::uint64_t seed) { return generateWorkload(spec, seed); },
-        [&]() -> PolicyPtr {
-          return std::make_unique<ClassifyByDurationFF>(delta, alpha);
-        });
+  for (std::size_t n = 1; n <= kMaxCategories; ++n) {
+    SummaryStats stats;
+    for (std::size_t s = 0; s < numSeeds; ++s) {
+      stats.add(results[(n - 1) * numSeeds + s].ratio);
+    }
     double bound = ratios::cdRatioForCategories(realizedMu, n);
-    table.addRow({std::to_string(n), Table::num(alpha, 3),
-                  Table::num(summary.ratios.mean(), 3), Table::num(bound, 3)});
+    table.addRow({std::to_string(n), Table::num(alphas[n - 1], 3),
+                  Table::num(stats.mean(), 3), Table::num(bound, 3)});
     xs.push_back(static_cast<double>(n));
-    empirical.push_back(summary.ratios.mean());
+    empirical.push_back(stats.mean());
     theory.push_back(bound);
   }
   table.print(std::cout);
+  std::cout << "grid: " << results.size() << " runs in "
+            << Table::num(elapsed, 2) << "s (threads=" << threads << ")\n";
 
   AsciiChart chart(72, 16);
   chart.addSeries("empirical", xs, empirical);
@@ -71,6 +100,8 @@ int main(int argc, char** argv) {
   report.setParam("items", items);
   report.setParam("mu", mu);
   report.setParam("seeds", numSeeds);
+  report.setParam("threads", static_cast<std::size_t>(threads));
+  report.setParam("grid_seconds", elapsed);
   report.addTable("category_count_sweep", table);
   report.writeIfRequested(flags, std::cout);
   return 0;

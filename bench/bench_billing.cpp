@@ -8,10 +8,7 @@
 #include <iostream>
 
 #include "cost/billing.hpp"
-#include "online/any_fit.hpp"
-#include "online/classify_departure.hpp"
-#include "online/classify_duration.hpp"
-#include "online/departure_fit.hpp"
+#include "online/policy_factory.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/bench_report.hpp"
 #include "util/flags.hpp"
@@ -42,11 +39,13 @@ int main(int argc, char** argv) {
       {"per-hour+10min-min", BillingModel::metered(60.0, 1.0, 10.0)},
   };
 
-  FirstFitPolicy ff;
-  auto cdt = ClassifyByDepartureFF::withKnownDurations(delta, mu);
-  auto cd = ClassifyByDurationFF::withKnownDurations(delta, mu);
-  MinExtensionPolicy minext;
-  std::vector<OnlinePolicy*> policies = {&ff, &cdt, &cd, &minext};
+  PolicyContext context;
+  context.minDuration = delta;
+  context.mu = mu;
+  std::vector<PolicyPtr> policies;
+  for (const char* spec : {"ff", "cdt-ff", "cd-ff", "min-ext"}) {
+    policies.push_back(makePolicy(spec, context));
+  }
 
   Table table([&] {
     std::vector<std::string> h = {"policy", "rentals"};
@@ -54,7 +53,7 @@ int main(int argc, char** argv) {
     h.push_back("hourly overhead");
     return h;
   }());
-  for (OnlinePolicy* policy : policies) {
+  for (const PolicyPtr& policy : policies) {
     SimResult r = simulateOnline(sessions, *policy);
     std::vector<std::string> row = {policy->name(), ""};
     CostBreakdown hourly;

@@ -6,83 +6,83 @@
 // of the mu = 4 crossover, at the cost of more categories (more open bins
 // on sparse loads).
 //
-// Flags: --items <int> (default 2500), --seeds <int> (default 5).
+// One runMany grid: (7 mu generators) x (4 policy specs) x (seeds); each
+// clairvoyant cell self-tunes to its instance's realized delta/mu.
+//
+// Flags: --items <int> (default 2500), --seeds <int> (default 5),
+//        --threads <int> (default 0 = hardware).
 #include <iostream>
 
-#include "analysis/empirical.hpp"
-#include "online/any_fit.hpp"
-#include "online/classify_departure.hpp"
-#include "online/classify_duration.hpp"
-#include "online/combined.hpp"
+#include "sim/run_many.hpp"
 #include "telemetry/bench_report.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/flags.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags = Flags::strictOrDie(argc, argv, {"items", "seeds", "json"});
+  Flags flags =
+      Flags::strictOrDie(argc, argv, {"items", "seeds", "threads", "json"});
   std::size_t items = static_cast<std::size_t>(flags.getInt("items", 2500));
   std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 5));
+  unsigned threads = static_cast<unsigned>(flags.getInt("threads", 0));
 
   std::vector<std::uint64_t> seeds;
   for (std::size_t s = 0; s < numSeeds; ++s) seeds.push_back(91 + s);
 
   std::cout << "=== E5: combined classification vs single strategies ===\n";
-  Table table({"mu", "FirstFit", "CDT-FF", "CD-FF", "Combined-FF"});
+  const std::vector<std::pair<std::string, std::string>> policyAxis = {
+      {"FirstFit", "ff"},
+      {"CDT-FF", "cdt-ff"},
+      {"CD-FF", "cd-ff"},
+      {"Combined-FF", "combined-ff"}};
   std::vector<double> mus = {2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0};
-  std::vector<double> sFF, sCdt, sCd, sComb;
+
+  RunManySpec grid;
+  grid.threads = threads;
+  grid.seeds = seeds;
+  for (const auto& [name, spec] : policyAxis) grid.policies.emplace_back(spec);
   for (double mu : mus) {
     WorkloadSpec spec;
     spec.numItems = items;
     spec.mu = mu;
     spec.durations = DurationDist::kBimodal;  // stresses classification
-    Instance probe = generateWorkload(spec, seeds[0]);
-    double delta = probe.minDuration();
-    double realizedMu = probe.durationRatio();
+    grid.instances.push_back(
+        [spec](std::uint64_t seed) { return generateWorkload(spec, seed); });
+  }
+  std::vector<RunResult> results = runMany(grid);
 
-    auto sweep = [&](std::function<PolicyPtr()> make) {
-      return sweepPolicy(
-                 seeds,
-                 [&](std::uint64_t seed) { return generateWorkload(spec, seed); },
-                 make)
-          .ratios.mean();
-    };
-    double ff = sweep([] { return std::make_unique<FirstFitPolicy>(); });
-    double cdt = sweep([&]() -> PolicyPtr {
-      return std::make_unique<ClassifyByDepartureFF>(
-          ClassifyByDepartureFF::withKnownDurations(delta, realizedMu));
-    });
-    double cd = sweep([&]() -> PolicyPtr {
-      return std::make_unique<ClassifyByDurationFF>(
-          ClassifyByDurationFF::withKnownDurations(delta, realizedMu));
-    });
-    double comb = sweep([&]() -> PolicyPtr {
-      return std::make_unique<CombinedClassifyFF>(
-          CombinedClassifyFF::withKnownDurations(delta, realizedMu));
-    });
-    table.addRow({Table::num(mu, 0), Table::num(ff, 3), Table::num(cdt, 3),
-                  Table::num(cd, 3), Table::num(comb, 3)});
-    sFF.push_back(ff);
-    sCdt.push_back(cdt);
-    sCd.push_back(cd);
-    sComb.push_back(comb);
+  const std::size_t numPolicies = policyAxis.size();
+  Table table({"mu", "FirstFit", "CDT-FF", "CD-FF", "Combined-FF"});
+  std::vector<std::vector<double>> series(numPolicies);
+  for (std::size_t m = 0; m < mus.size(); ++m) {
+    std::vector<std::string> row = {Table::num(mus[m], 0)};
+    for (std::size_t p = 0; p < numPolicies; ++p) {
+      SummaryStats stats;
+      for (std::size_t s = 0; s < numSeeds; ++s) {
+        stats.add(results[(m * numPolicies + p) * numSeeds + s].ratio);
+      }
+      row.push_back(Table::num(stats.mean(), 3));
+      series[p].push_back(stats.mean());
+    }
+    table.addRow(row);
   }
   table.print(std::cout);
 
   AsciiChart chart(72, 16);
   chart.setLogX(true);
-  chart.addSeries("FirstFit", mus, sFF);
-  chart.addSeries("CDT-FF", mus, sCdt);
-  chart.addSeries("CD-FF", mus, sCd);
-  chart.addSeries("Combined-FF", mus, sComb);
+  for (std::size_t p = 0; p < numPolicies; ++p) {
+    chart.addSeries(policyAxis[p].first, mus, series[p]);
+  }
   std::cout << '\n';
   chart.print(std::cout);
 
   telemetry::BenchReport report("combined");
   report.setParam("items", items);
   report.setParam("seeds", numSeeds);
+  report.setParam("threads", static_cast<std::size_t>(threads));
   report.addTable("combined_vs_single", table);
   report.writeIfRequested(flags, std::cout);
   return 0;

@@ -15,9 +15,7 @@
 
 #include "analysis/empirical.hpp"
 #include "core/lower_bounds.hpp"
-#include "online/any_fit.hpp"
-#include "online/classify_departure.hpp"
-#include "online/classify_duration.hpp"
+#include "online/policy_factory.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/bench_report.hpp"
 #include "util/flags.hpp"
@@ -45,13 +43,19 @@ int main(int argc, char** argv) {
             << realizedMu << ") ===\n";
   std::cout << "noise e: announced duration = true duration * U[1/(1+e), 1+e]\n\n";
 
+  // The known-durations context both clairvoyant specs tune against; the
+  // noise perturbs the announced departures, not these parameters.
+  PolicyContext context;
+  context.minDuration = delta;
+  context.mu = realizedMu;
+
   Table table({"noise e", "CDT-FF", "CD-FF", "FirstFit (noise-free ref)"});
   // Reference: FF ignores departures entirely, so noise cannot affect it.
   SummaryStats ffStats;
   for (std::size_t s = 0; s < numSeeds; ++s) {
     Instance inst = generateWorkload(spec, 500 + s);
-    FirstFitPolicy ff;
-    ffStats.add(evaluatePolicy(inst, ff).ratio);
+    PolicyPtr ff = makePolicy("ff");
+    ffStats.add(evaluatePolicy(inst, *ff).ratio);
   }
 
   for (double noise : {0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0}) {
@@ -75,14 +79,12 @@ int main(int argc, char** argv) {
 
       SimOptions options;
       options.announce = makeAnnounce(9000 + s);
-      ClassifyByDepartureFF cdt =
-          ClassifyByDepartureFF::withKnownDurations(delta, realizedMu);
-      cdtStats.add(simulateOnline(inst, cdt, options).totalUsage / lb3);
+      PolicyPtr cdt = makePolicy("cdt-ff", context);
+      cdtStats.add(simulateOnline(inst, *cdt, options).totalUsage / lb3);
 
       options.announce = makeAnnounce(9000 + s);
-      ClassifyByDurationFF cd =
-          ClassifyByDurationFF::withKnownDurations(delta, realizedMu);
-      cdStats.add(simulateOnline(inst, cd, options).totalUsage / lb3);
+      PolicyPtr cd = makePolicy("cd-ff", context);
+      cdStats.add(simulateOnline(inst, *cd, options).totalUsage / lb3);
     }
     table.addRow({Table::num(noise, 2), Table::num(cdtStats.mean(), 3),
                   Table::num(cdStats.mean(), 3), Table::num(ffStats.mean(), 3)});

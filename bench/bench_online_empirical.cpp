@@ -6,31 +6,33 @@
 // increasingly as mu grows; Best Fit is erratic; the sliver-style
 // degradation of non-clairvoyant policies shows in the tail columns.
 //
+// Both experiments are runMany grids — E1 is (9 mu generators) x (9 policy
+// specs) x (seeds), E1b is (sliver-trap instances) x (9 specs) x 1 — so
+// the whole bench parallelizes across --threads workers. Clairvoyant specs
+// carry no explicit parameters: each cell derives its known-durations
+// optimum from the instance it runs on (PolicyContext::forInstance).
+//
 // Flags: --items <int> (default 2000), --seeds <int> (default 5),
-//        --csv.
+//        --threads <int> (default 0 = hardware), --csv.
+#include <chrono>
 #include <iostream>
 
-#include "analysis/empirical.hpp"
+#include "sim/run_many.hpp"
 #include "telemetry/bench_report.hpp"
-#include "online/any_fit.hpp"
-#include "online/classify_departure.hpp"
-#include "online/classify_duration.hpp"
-#include "online/combined.hpp"
-#include "online/departure_fit.hpp"
-#include "online/hybrid_ff.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/flags.hpp"
-#include "core/lower_bounds.hpp"
-#include "sim/simulator.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/adversarial.hpp"
 #include "workload/generators.hpp"
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags = Flags::strictOrDie(argc, argv, {"items", "seeds", "csv", "json"});
+  Flags flags = Flags::strictOrDie(argc, argv,
+                                   {"items", "seeds", "threads", "csv", "json"});
   std::size_t items = static_cast<std::size_t>(flags.getInt("items", 2000));
   std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 5));
+  unsigned threads = static_cast<unsigned>(flags.getInt("threads", 0));
 
   std::vector<double> mus = {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0};
   std::vector<std::uint64_t> seeds;
@@ -39,59 +41,18 @@ int main(int argc, char** argv) {
   std::cout << "=== E1: empirical usage / LB3 vs mu (" << items
             << " items, mean over " << numSeeds << " seeds) ===\n";
 
-  // Policy factories, keyed by a stable display name.
-  struct Entry {
-    std::string name;
-    std::function<PolicyPtr(double delta, double mu)> make;
-    std::vector<double> series;
-  };
-  std::vector<Entry> entries;
-  entries.push_back({"FirstFit", [](double, double) -> PolicyPtr {
-                       return std::make_unique<FirstFitPolicy>();
-                     },
-                     {}});
-  entries.push_back({"BestFit", [](double, double) -> PolicyPtr {
-                       return std::make_unique<BestFitPolicy>();
-                     },
-                     {}});
-  entries.push_back({"NextFit", [](double, double) -> PolicyPtr {
-                       return std::make_unique<NextFitPolicy>();
-                     },
-                     {}});
-  entries.push_back({"HybridFF", [](double, double) -> PolicyPtr {
-                       return std::make_unique<HybridFirstFitPolicy>();
-                     },
-                     {}});
-  entries.push_back({"CDT-FF", [](double delta, double mu) -> PolicyPtr {
-                       return std::make_unique<ClassifyByDepartureFF>(
-                           ClassifyByDepartureFF::withKnownDurations(delta, mu));
-                     },
-                     {}});
-  entries.push_back({"CD-FF", [](double delta, double mu) -> PolicyPtr {
-                       return std::make_unique<ClassifyByDurationFF>(
-                           ClassifyByDurationFF::withKnownDurations(delta, mu));
-                     },
-                     {}});
-  entries.push_back({"Combined-FF", [](double delta, double mu) -> PolicyPtr {
-                       return std::make_unique<CombinedClassifyFF>(
-                           CombinedClassifyFF::withKnownDurations(delta, mu));
-                     },
-                     {}});
-  entries.push_back({"MinExtension", [](double, double) -> PolicyPtr {
-                       return std::make_unique<MinExtensionPolicy>();
-                     },
-                     {}});
-  entries.push_back({"DepAlignedBF", [](double, double) -> PolicyPtr {
-                       return std::make_unique<DepartureAlignedBestFit>();
-                     },
-                     {}});
+  // Policy axis: spec strings plus the display name each column carries.
+  const std::vector<std::pair<std::string, std::string>> policyAxis = {
+      {"FirstFit", "ff"},          {"BestFit", "bf"},
+      {"NextFit", "nf"},           {"HybridFF", "hybrid-ff"},
+      {"CDT-FF", "cdt-ff"},        {"CD-FF", "cd-ff"},
+      {"Combined-FF", "combined-ff"}, {"MinExtension", "min-ext"},
+      {"DepAlignedBF", "dep-bf"}};
 
-  Table table([&] {
-    std::vector<std::string> header = {"mu"};
-    for (const Entry& e : entries) header.push_back(e.name);
-    return header;
-  }());
-
+  RunManySpec grid;
+  grid.threads = threads;
+  grid.seeds = seeds;
+  for (const auto& [name, spec] : policyAxis) grid.policies.emplace_back(spec);
   for (double mu : mus) {
     WorkloadSpec spec;
     spec.numItems = items;
@@ -99,19 +60,37 @@ int main(int argc, char** argv) {
     // Keep the instantaneous load comparable across mu: scale the arrival
     // rate down as durations stretch.
     spec.arrivalRate = 16.0 / (1.0 + mu / 8.0);
-    // A representative instance fixes delta/mu for the clairvoyant
-    // policies (known-durations setting).
-    Instance probe = generateWorkload(spec, seeds[0]);
-    double delta = probe.minDuration();
-    double realizedMu = probe.durationRatio();
+    grid.instances.push_back(
+        [spec](std::uint64_t seed) { return generateWorkload(spec, seed); });
+  }
 
-    std::vector<std::string> row = {Table::num(mu, 0)};
-    for (Entry& entry : entries) {
-      RatioSummary summary = sweepPolicy(
-          seeds, [&](std::uint64_t seed) { return generateWorkload(spec, seed); },
-          [&] { return entry.make(delta, realizedMu); });
-      row.push_back(Table::num(summary.ratios.mean(), 3));
-      entry.series.push_back(summary.ratios.mean());
+  auto start = std::chrono::steady_clock::now();
+  std::vector<RunResult> results = runMany(grid);
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const std::size_t numPolicies = policyAxis.size();
+  auto meanRatio = [&](std::size_t instance, std::size_t policy) {
+    SummaryStats stats;
+    for (std::size_t s = 0; s < numSeeds; ++s) {
+      stats.add(results[(instance * numPolicies + policy) * numSeeds + s].ratio);
+    }
+    return stats.mean();
+  };
+
+  Table table([&] {
+    std::vector<std::string> header = {"mu"};
+    for (const auto& [name, spec] : policyAxis) header.push_back(name);
+    return header;
+  }());
+  std::vector<std::vector<double>> series(numPolicies);
+  for (std::size_t m = 0; m < mus.size(); ++m) {
+    std::vector<std::string> row = {Table::num(mus[m], 0)};
+    for (std::size_t p = 0; p < numPolicies; ++p) {
+      double mean = meanRatio(m, p);
+      row.push_back(Table::num(mean, 3));
+      series[p].push_back(mean);
     }
     table.addRow(row);
   }
@@ -121,12 +100,15 @@ int main(int argc, char** argv) {
   } else {
     table.print(std::cout);
   }
+  std::cout << "grid: " << results.size() << " runs in "
+            << Table::num(elapsed, 2) << "s (threads=" << threads << ")\n";
 
   AsciiChart chart(72, 20);
   chart.setLogX(true);
-  for (const Entry& e : entries) {
-    if (e.name == "BestFit" || e.name == "NextFit") continue;  // declutter
-    chart.addSeries(e.name, mus, e.series);
+  for (std::size_t p = 0; p < numPolicies; ++p) {
+    const std::string& name = policyAxis[p].first;
+    if (name == "BestFit" || name == "NextFit") continue;  // declutter
+    chart.addSeries(name, mus, series[p]);
   }
   std::cout << '\n';
   chart.print(std::cout);
@@ -139,25 +121,30 @@ int main(int argc, char** argv) {
   // non-clairvoyant policies strand near-empty bins for mu time units.
   std::cout << "\n=== E1b: fragmentation-prone workload (sliver cascade, k=24"
                " phases) ===\n";
-  Table trap([&] {
-    std::vector<std::string> header = {"mu"};
-    for (const Entry& e : entries) header.push_back(e.name);
-    return header;
-  }());
-  std::vector<std::vector<double>> trapSeries(entries.size());
+  std::vector<double> trapMus;
+  RunManySpec trapGrid;
+  trapGrid.threads = threads;
+  trapGrid.seeds = {0};  // the trap is deterministic; one seed
+  for (const auto& [name, spec] : policyAxis) {
+    trapGrid.policies.emplace_back(spec);
+  }
   for (double mu : mus) {
     if (mu < 2) continue;
-    Instance inst = firstFitSliverTrap(24, mu);
-    double delta = inst.minDuration();
-    double realizedMu = inst.durationRatio();
-    double lb3 = lowerBounds(inst).ceilIntegral;
-    std::vector<std::string> row = {Table::num(mu, 0)};
-    for (std::size_t e = 0; e < entries.size(); ++e) {
-      PolicyPtr policy = entries[e].make(delta, realizedMu);
-      SimResult r = simulateOnline(inst, *policy);
-      double ratio = r.totalUsage / lb3;
-      row.push_back(Table::num(ratio, 3));
-      trapSeries[e].push_back(ratio);
+    trapMus.push_back(mu);
+    trapGrid.instances.push_back(
+        [mu](std::uint64_t) { return firstFitSliverTrap(24, mu); });
+  }
+  std::vector<RunResult> trapResults = runMany(trapGrid);
+
+  Table trap([&] {
+    std::vector<std::string> header = {"mu"};
+    for (const auto& [name, spec] : policyAxis) header.push_back(name);
+    return header;
+  }());
+  for (std::size_t m = 0; m < trapMus.size(); ++m) {
+    std::vector<std::string> row = {Table::num(trapMus[m], 0)};
+    for (std::size_t p = 0; p < numPolicies; ++p) {
+      row.push_back(Table::num(trapResults[m * numPolicies + p].ratio, 3));
     }
     trap.addRow(row);
   }
@@ -173,6 +160,8 @@ int main(int argc, char** argv) {
   telemetry::BenchReport report("online_empirical");
   report.setParam("items", items);
   report.setParam("seeds", numSeeds);
+  report.setParam("threads", static_cast<std::size_t>(threads));
+  report.setParam("grid_seconds", elapsed);
   report.addTable("usage_over_lb3_vs_mu", table);
   report.addTable("sliver_trap_vs_mu", trap);
   report.writeIfRequested(flags, std::cout);

@@ -13,8 +13,7 @@
 #include "offline/demand_chart.hpp"
 #include "offline/dual_coloring.hpp"
 #include "offline/xperiods.hpp"
-#include "online/classify_departure.hpp"
-#include "sim/simulator.hpp"
+#include "sim/run_many.hpp"
 #include "sim/trace.hpp"
 #include "telemetry/bench_report.hpp"
 #include "util/flags.hpp"
@@ -118,15 +117,20 @@ int main(int argc, char** argv) {
   WorkloadSpec cdtSpec;
   cdtSpec.numItems = 60;
   cdtSpec.mu = 6.0;
-  Instance cdtInst = generateWorkload(cdtSpec, 8);
-  double delta = cdtInst.minDuration();
-  double mu = cdtInst.durationRatio();
+  // One-cell runMany grid; the parameter-free cdt-ff spec self-tunes to
+  // rho = sqrt(mu)*Delta of the generated instance, and captureTrace hands
+  // back the per-cell decision trace the stage decomposition reads.
+  RunManySpec cdtGrid;
+  cdtGrid.instances.push_back(
+      [cdtSpec](std::uint64_t seed) { return generateWorkload(cdtSpec, seed); });
+  cdtGrid.policies.emplace_back("cdt-ff");
+  cdtGrid.seeds = {8};
+  cdtGrid.captureTrace = true;
+  RunResult cdtRun = std::move(runMany(cdtGrid).front());
+  double delta = cdtRun.instance->minDuration();
+  double mu = cdtRun.instance->durationRatio();
   double rho = std::sqrt(mu) * delta;
-  ClassifyByDepartureFF policy(rho);
-  DecisionTrace traceLog;
-  SimOptions options;
-  options.trace = &traceLog;
-  simulateOnline(cdtInst, policy, options);
+  const DecisionTrace& traceLog = *cdtRun.trace;
 
   // Pick the busiest category and derive t1, t2, t3 from the definitions.
   std::map<int, std::vector<PlacementRecord>> byCategory;

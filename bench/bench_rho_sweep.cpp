@@ -7,27 +7,33 @@
 // workloads are benign) but shares the U shape — very small rho
 // over-fragments bins, very large rho degenerates to plain First Fit.
 //
+// The whole sweep is one runMany grid: (1 generator) x (9 rho specs + the
+// plain First Fit reference) x (seeds), fanned over --threads workers.
+//
 // Flags: --items <int> (default 2500), --mu <double> (default 16),
-//        --seeds <int> (default 5).
+//        --seeds <int> (default 5), --threads <int> (default 0 = hardware).
+#include <chrono>
 #include <cmath>
 #include <iostream>
+#include <sstream>
 
-#include "analysis/empirical.hpp"
 #include "analysis/ratios.hpp"
-#include "online/any_fit.hpp"
-#include "online/classify_departure.hpp"
+#include "sim/run_many.hpp"
 #include "telemetry/bench_report.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/flags.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags = Flags::strictOrDie(argc, argv, {"items", "mu", "seeds", "json"});
+  Flags flags = Flags::strictOrDie(argc, argv,
+                                   {"items", "mu", "seeds", "threads", "json"});
   std::size_t items = static_cast<std::size_t>(flags.getInt("items", 2500));
   double mu = flags.getDouble("mu", 16.0);
   std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 5));
+  unsigned threads = static_cast<unsigned>(flags.getInt("threads", 0));
 
   WorkloadSpec spec;
   spec.numItems = items;
@@ -44,28 +50,58 @@ int main(int argc, char** argv) {
             << ", Delta = " << delta << ", optimal rho = " << optRho
             << ") ===\n";
 
+  const std::vector<double> factors = {0.125, 0.25, 0.5, 1.0, 2.0,
+                                       4.0,   8.0,  16.0, 32.0};
+  RunManySpec grid;
+  grid.instances.push_back(
+      [spec](std::uint64_t seed) { return generateWorkload(spec, seed); });
+  grid.seeds = seeds;
+  grid.threads = threads;
+  std::vector<double> rhos;
+  for (double factor : factors) {
+    double rho = factor * optRho;
+    rhos.push_back(rho);
+    std::ostringstream policySpec;
+    policySpec.precision(17);
+    policySpec << "cdt-ff(rho=" << rho << ")";
+    grid.policies.emplace_back(policySpec.str());
+  }
+  grid.policies.emplace_back("ff");
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<RunResult> results = runMany(grid);
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Grid order: policy-major within the single instance — cell (p, s) is
+  // results[p * numSeeds + s].
+  auto meanRatio = [&](std::size_t p) {
+    SummaryStats stats;
+    for (std::size_t s = 0; s < numSeeds; ++s) {
+      stats.add(results[p * numSeeds + s].ratio);
+    }
+    return stats.mean();
+  };
+
   Table table({"rho/Delta", "empirical usage/LB3", "theoretical ratio bound"});
   std::vector<double> xs, empirical, theory;
-  for (double factor : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
-    double rho = factor * optRho;
-    RatioSummary summary = sweepPolicy(
-        seeds, [&](std::uint64_t seed) { return generateWorkload(spec, seed); },
-        [&]() -> PolicyPtr { return std::make_unique<ClassifyByDepartureFF>(rho); });
+  for (std::size_t f = 0; f < factors.size(); ++f) {
+    double rho = rhos[f];
+    double mean = meanRatio(f);
     double bound = ratios::cdtRatio(rho, delta, realizedMu);
-    table.addRow({Table::num(rho / delta, 3), Table::num(summary.ratios.mean(), 3),
+    table.addRow({Table::num(rho / delta, 3), Table::num(mean, 3),
                   Table::num(bound, 3)});
     xs.push_back(rho / delta);
-    empirical.push_back(summary.ratios.mean());
+    empirical.push_back(mean);
     theory.push_back(bound);
   }
   table.print(std::cout);
 
-  // Plain First Fit reference at the same workload.
-  RatioSummary ff = sweepPolicy(
-      seeds, [&](std::uint64_t seed) { return generateWorkload(spec, seed); },
-      [] { return std::make_unique<FirstFitPolicy>(); });
   std::cout << "\nplain FirstFit reference: usage/LB3 = "
-            << Table::num(ff.ratios.mean(), 3) << '\n';
+            << Table::num(meanRatio(factors.size()), 3) << '\n';
+  std::cout << "grid: " << results.size() << " runs in " << Table::num(elapsed, 2)
+            << "s (threads=" << threads << ")\n";
 
   AsciiChart chart(72, 16);
   chart.setLogX(true);
@@ -78,6 +114,8 @@ int main(int argc, char** argv) {
   report.setParam("items", items);
   report.setParam("mu", mu);
   report.setParam("seeds", numSeeds);
+  report.setParam("threads", static_cast<std::size_t>(threads));
+  report.setParam("grid_seconds", elapsed);
   report.addTable("rho_sweep", table);
   report.writeIfRequested(flags, std::cout);
   return 0;

@@ -14,6 +14,7 @@
 //   --max-items N   skip benchmarks with more than N items (CI perf-smoke)
 //   --mu X          duration ratio of the generated workloads (default 16)
 //   --seed S        workload seed (default 1)
+//   --engine E      placement engine: indexed (default) | linear
 //   --csv           render the summary table as CSV
 //   --json[=PATH]   write BENCH_throughput.json (schema: DESIGN.md §8.3)
 #include <cstdint>
@@ -27,9 +28,7 @@
 #include "core/step_function.hpp"
 #include "offline/ddff.hpp"
 #include "offline/dual_coloring.hpp"
-#include "online/any_fit.hpp"
-#include "online/classify_departure.hpp"
-#include "online/classify_duration.hpp"
+#include "online/policy_factory.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/bench_report.hpp"
 #include "telemetry/clock.hpp"
@@ -57,13 +56,19 @@ struct Spec {
 };
 
 void addOnline(std::vector<Spec>& specs, const std::string& name,
-               std::vector<std::size_t> sizes, double mu, std::uint64_t seed,
-               const std::function<PolicyPtr(const Instance&)>& makePolicy) {
+               const std::string& policySpec, std::vector<std::size_t> sizes,
+               const WorkloadSpec& base, std::uint64_t seed,
+               PlacementEngine engine) {
   for (std::size_t n : sizes) {
-    auto inst = std::make_shared<Instance>(makeInstance(n, mu, seed));
-    auto policy = std::shared_ptr<OnlinePolicy>(makePolicy(*inst));
-    specs.push_back({name + "/" + std::to_string(n), n, [inst, policy] {
-                       SimResult r = simulateOnline(*inst, *policy);
+    WorkloadSpec w = base;
+    w.numItems = n;
+    auto inst = std::make_shared<Instance>(generateWorkload(w, seed));
+    auto policy = std::shared_ptr<OnlinePolicy>(
+        makePolicy(policySpec, PolicyContext::forInstance(*inst, seed)));
+    SimOptions options;
+    options.engine = engine;
+    specs.push_back({name + "/" + std::to_string(n), n, [inst, policy, options] {
+                       SimResult r = simulateOnline(*inst, *policy, options);
                        g_sink = r.totalUsage;
                      }});
   }
@@ -75,36 +80,47 @@ void addOnline(std::vector<Spec>& specs, const std::string& name,
 int main(int argc, char** argv) {
   using namespace cdbp;
   Flags flags = Flags::strictOrDie(
-      argc, argv,
-      {"reps", "warmup", "filter", "max-items", "mu", "seed", "csv", "json"});
+      argc, argv, {"reps", "warmup", "filter", "max-items", "mu", "seed",
+                   "engine", "csv", "json"});
   std::size_t reps = static_cast<std::size_t>(flags.getInt("reps", 7));
   std::size_t warmup = static_cast<std::size_t>(flags.getInt("warmup", 1));
   std::string filter = flags.getString("filter", "");
   long maxItems = flags.getInt("max-items", 0);  // 0 = no limit
   double mu = flags.getDouble("mu", 16.0);
   std::uint64_t seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+  std::string engineName = flags.getString("engine", "indexed");
+  PlacementEngine engine;
+  if (engineName == "indexed") {
+    engine = PlacementEngine::kIndexed;
+  } else if (engineName == "linear") {
+    engine = PlacementEngine::kLinearScan;
+  } else {
+    std::cerr << "bench_throughput: --engine must be 'indexed' or 'linear', "
+                 "got '" << engineName << "'\n";
+    return 1;
+  }
+
+  WorkloadSpec base;
+  base.mu = mu;
+  // The stress series for the placement engines: a high arrival rate keeps
+  // hundreds of bins open at once, so per-item placement cost is dominated
+  // by bin search — O(B) under --engine linear, O(log B) under the
+  // capacity-indexed engine.
+  WorkloadSpec manyOpen = base;
+  manyOpen.arrivalRate = 256.0;
 
   std::vector<Spec> specs;
-  addOnline(specs, "FirstFitOnline", {1000, 4000, 16000}, mu, seed,
-            [](const Instance&) -> PolicyPtr {
-              return std::make_unique<FirstFitPolicy>();
-            });
-  addOnline(specs, "BestFitOnline", {1000, 4000}, mu, seed,
-            [](const Instance&) -> PolicyPtr {
-              return std::make_unique<BestFitPolicy>();
-            });
-  addOnline(specs, "CdtFFOnline", {1000, 4000, 16000}, mu, seed,
-            [](const Instance& inst) -> PolicyPtr {
-              return std::make_unique<ClassifyByDepartureFF>(
-                  ClassifyByDepartureFF::withKnownDurations(
-                      inst.minDuration(), inst.durationRatio()));
-            });
-  addOnline(specs, "CdFFOnline", {1000, 4000, 16000}, mu, seed,
-            [](const Instance& inst) -> PolicyPtr {
-              return std::make_unique<ClassifyByDurationFF>(
-                  ClassifyByDurationFF::withKnownDurations(
-                      inst.minDuration(), inst.durationRatio()));
-            });
+  addOnline(specs, "FirstFitOnline", "ff", {1000, 4000, 16000}, base, seed,
+            engine);
+  addOnline(specs, "FirstFitManyOpen", "ff", {4000, 32000}, manyOpen, seed,
+            engine);
+  addOnline(specs, "BestFitOnline", "bf", {1000, 4000}, base, seed, engine);
+  addOnline(specs, "BestFitManyOpen", "bf", {4000, 32000}, manyOpen, seed,
+            engine);
+  addOnline(specs, "CdtFFOnline", "cdt-ff", {1000, 4000, 16000}, base, seed,
+            engine);
+  addOnline(specs, "CdFFOnline", "cd-ff", {1000, 4000, 16000}, base, seed,
+            engine);
   for (std::size_t n : {std::size_t{500}, std::size_t{2000}}) {
     auto inst = std::make_shared<Instance>(makeInstance(n, mu, seed));
     specs.push_back({"Ddff/" + std::to_string(n), n, [inst] {
@@ -144,6 +160,7 @@ int main(int argc, char** argv) {
   report.setParam("seed", static_cast<long>(seed));
   report.setParam("max_items", maxItems);
   report.setParam("filter", filter);
+  report.setParam("engine", engineName);
 
   Table table({"benchmark", "items", "mean ms", "stddev ms", "items/s"});
   std::size_t ran = 0;
@@ -176,7 +193,7 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "=== throughput (" << reps << " reps, warmup " << warmup
-            << ", mu " << mu << ", telemetry "
+            << ", mu " << mu << ", engine " << engineName << ", telemetry "
             << (telemetry::kEnabled ? "on" : "off") << ") ===\n";
   if (flags.has("csv")) {
     table.printCsv(std::cout);

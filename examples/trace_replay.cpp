@@ -8,7 +8,8 @@
 //   ./trace_replay                          # demo trace, First Fit
 //   ./trace_replay --trace jobs.csv --policy cdt --out packing.csv
 //
-// Flags: --trace <path>, --policy ff|bf|cdt|cd|minext (default ff),
+// Flags: --trace <path>, --policy <spec> (any makePolicy spec, e.g.
+//        ff, bf, cdt, cd, minext, "cdt-ff(rho=2)"; default ff),
 //        --out <path> (packing CSV), --profile <path> (open-bin CSV),
 //        --decisions <path> (per-item decision trace CSV),
 //        --chrome-trace <path> (timeline JSON for chrome://tracing).
@@ -19,10 +20,7 @@
 #include "core/lower_bounds.hpp"
 #include "io/csv_io.hpp"
 #include "telemetry/chrome_trace.hpp"
-#include "online/any_fit.hpp"
-#include "online/classify_departure.hpp"
-#include "online/classify_duration.hpp"
-#include "online/departure_fit.hpp"
+#include "online/policy_factory.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace.hpp"
 #include "sim/simulator.hpp"
@@ -55,24 +53,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Parameter-free clairvoyant specs (cdt, cd, ...) self-tune to the
+  // loaded trace's realized Delta and mu.
   std::string policyName = flags.getString("policy", "ff");
   PolicyPtr policy;
-  if (policyName == "ff") {
-    policy = std::make_unique<FirstFitPolicy>();
-  } else if (policyName == "bf") {
-    policy = std::make_unique<BestFitPolicy>();
-  } else if (policyName == "cdt") {
-    policy = std::make_unique<ClassifyByDepartureFF>(
-        ClassifyByDepartureFF::withKnownDurations(trace.minDuration(),
-                                                  trace.durationRatio()));
-  } else if (policyName == "cd") {
-    policy = std::make_unique<ClassifyByDurationFF>(
-        ClassifyByDurationFF::withKnownDurations(trace.minDuration(),
-                                                 trace.durationRatio()));
-  } else if (policyName == "minext") {
-    policy = std::make_unique<MinExtensionPolicy>();
-  } else {
-    std::cerr << "unknown --policy '" << policyName << "'\n";
+  try {
+    policy = makePolicy(policyName, PolicyContext::forInstance(trace));
+  } catch (const std::exception& e) {
+    std::cerr << "bad --policy '" << policyName << "': " << e.what() << '\n';
     return 1;
   }
 

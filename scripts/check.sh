@@ -10,7 +10,11 @@
 # Usage: scripts/check.sh [--quick] [--perf]
 #   --quick runs only lint + the Release suite (steps 1-2).
 #   --perf additionally runs the reduced throughput bench (the CI
-#          perf-smoke job) and leaves BENCH_throughput.json behind.
+#          perf-smoke job), leaves BENCH_throughput.json behind, and runs
+#          tools/perf_guard.py against the committed baselines: no
+#          benchmark may lose >20% items/sec relative to the fleet, and
+#          the indexed engine must stay >=3x the linear scan on the
+#          many-open-bins series.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,6 +44,16 @@ if [[ "$PERF" == "1" ]]; then
   step "perf smoke (reduced throughput bench -> BENCH_throughput.json)"
   ./build-release/bench/bench_throughput --reps 3 --max-items 4000 \
     --json=BENCH_throughput.json
+
+  step "perf guard (>20% regression vs committed baseline fails)"
+  python3 tools/perf_guard.py bench/baselines/BENCH_throughput.json \
+    BENCH_throughput.json
+
+  step "perf guard (indexed engine >=3x linear scan on many-open-bins)"
+  ./build-release/bench/bench_throughput --reps 3 --max-items 4000 \
+    --engine linear --json=BENCH_throughput_linear.json
+  python3 tools/perf_guard.py BENCH_throughput_linear.json \
+    BENCH_throughput.json --min-speedup 3 --filter ManyOpen
 fi
 
 if [[ "$QUICK" == "1" ]]; then

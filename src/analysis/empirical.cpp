@@ -1,10 +1,8 @@
 #include "analysis/empirical.hpp"
 
-#include <mutex>
-
 #include "core/lower_bounds.hpp"
+#include "sim/run_many.hpp"
 #include "sim/simulator.hpp"
-#include "util/thread_pool.hpp"
 
 namespace cdbp {
 
@@ -38,19 +36,21 @@ RatioSummary sweepPolicy(
     const std::vector<std::uint64_t>& seeds,
     const std::function<Instance(std::uint64_t)>& makeInstance,
     const std::function<PolicyPtr()>& makePolicy) {
+  // A single-policy column of the runMany grid; the factory escape hatch
+  // carries the caller's preconfigured constructor. makePolicy runs once
+  // per cell, concurrently — the same contract the old parallelFor had.
+  RunManySpec spec;
+  spec.instances.push_back(makeInstance);
+  spec.policies.emplace_back(
+      "custom", [&makePolicy](const PolicyContext&) { return makePolicy(); });
+  spec.seeds = seeds;
+
   RatioSummary summary;
-  std::vector<double> ratios(seeds.size(), 0.0);
-  {
-    ThreadPool pool;
-    parallelFor(pool, seeds.size(), [&](std::size_t i) {
-      Instance instance = makeInstance(seeds[i]);
-      PolicyPtr policy = makePolicy();
-      ratios[i] = evaluatePolicy(instance, *policy).ratio;
-    });
+  for (const RunResult& run : runMany(spec)) {
+    summary.algorithm = run.policyName;
+    summary.ratios.add(run.ratio);
   }
-  PolicyPtr probe = makePolicy();
-  summary.algorithm = probe->name();
-  for (double r : ratios) summary.ratios.add(r);
+  if (seeds.empty()) summary.algorithm = makePolicy()->name();
   return summary;
 }
 

@@ -43,4 +43,15 @@ inline bool fitsCapacity(Size level, Size size) {
 /// cdbp_lint `capacity-compare` rule flags direct kBinCapacity expressions).
 inline Size freeCapacity(Size level) { return kBinCapacity - level; }
 
+/// Conservative upper bound on any level that can still fit `size`:
+/// fitsCapacity(L, size) implies L <= kBinCapacity + kSizeEps - size up to
+/// a few ulps of rounding in fl(L + size), so padding by 1e-12 (orders of
+/// magnitude above that rounding, orders below kSizeEps) guarantees every
+/// fitting level lies at or below the bound. The indexed Best Fit query
+/// seeks down from this bound and re-validates with fitsCapacity itself,
+/// keeping its answers bit-identical to the linear scan.
+inline Size fittingLevelUpperBound(Size size) {
+  return kBinCapacity + kSizeEps - size + 1e-12;
+}
+
 }  // namespace cdbp

@@ -4,67 +4,48 @@
 
 namespace cdbp {
 
-PlacementDecision FirstFitPolicy::place(const BinManager& bins, const Item& item) {
-  std::uint64_t attempts = 0;
-  BinId chosen = kNewBin;
-  for (BinId id : bins.openBins()) {
-    ++attempts;
-    if (bins.fits(id, item.size)) {
-      chosen = id;
-      break;
-    }
-  }
-  CDBP_TELEM_COUNT("policy.any_fit.fit_attempts", attempts);
+PlacementDecision FirstFitPolicy::place(const PlacementView& view,
+                                        const Item& item) {
+  // One indexed query per placement; the per-bin probe cost (linear
+  // engine) or O(log B) query cost (indexed engine) shows up under
+  // sim.fit_checks.
+  CDBP_TELEM_COUNT("policy.any_fit.fit_attempts", 1);
+  BinId chosen = view.firstFit(item.size);
   if (chosen != kNewBin) return PlacementDecision::existing(chosen);
   CDBP_TELEM_COUNT("policy.any_fit.opens", 1);
   return PlacementDecision::fresh(0);
 }
 
-PlacementDecision BestFitPolicy::place(const BinManager& bins, const Item& item) {
-  BinId best = kNewBin;
-  Size bestLevel = -1;
-  for (BinId id : bins.openBins()) {
-    if (!bins.fits(id, item.size)) continue;
-    Size level = bins.info(id).level;
-    if (level > bestLevel) {  // strict: ties keep the earliest-opened bin
-      bestLevel = level;
-      best = id;
-    }
-  }
+PlacementDecision BestFitPolicy::place(const PlacementView& view,
+                                       const Item& item) {
+  BinId best = view.bestFit(item.size);
   if (best == kNewBin) return PlacementDecision::fresh(0);
   return PlacementDecision::existing(best);
 }
 
-PlacementDecision WorstFitPolicy::place(const BinManager& bins, const Item& item) {
-  BinId best = kNewBin;
-  // cdbp-lint: allow(capacity-compare): sentinel above any feasible level, not a capacity decision
-  Size bestLevel = 2 * kBinCapacity;
-  for (BinId id : bins.openBins()) {
-    if (!bins.fits(id, item.size)) continue;
-    Size level = bins.info(id).level;
-    if (level < bestLevel) {
-      bestLevel = level;
-      best = id;
-    }
-  }
+PlacementDecision WorstFitPolicy::place(const PlacementView& view,
+                                        const Item& item) {
+  BinId best = view.worstFit(item.size);
   if (best == kNewBin) return PlacementDecision::fresh(0);
   return PlacementDecision::existing(best);
 }
 
-PlacementDecision NextFitPolicy::place(const BinManager& bins, const Item& item) {
-  if (current_.has_value() && bins.info(*current_).open &&
-      bins.fits(*current_, item.size)) {
+PlacementDecision NextFitPolicy::place(const PlacementView& view,
+                                       const Item& item) {
+  if (current_.has_value() && view.info(*current_).open &&
+      view.fits(*current_, item.size)) {
     return PlacementDecision::existing(*current_);
   }
   // The simulator assigns the fresh bin the next global id.
-  current_ = static_cast<BinId>(bins.binsOpened());
+  current_ = static_cast<BinId>(view.binsOpened());
   return PlacementDecision::fresh(0);
 }
 
-PlacementDecision RandomFitPolicy::place(const BinManager& bins, const Item& item) {
+PlacementDecision RandomFitPolicy::place(const PlacementView& view,
+                                         const Item& item) {
   std::vector<BinId> feasible;
-  for (BinId id : bins.openBins()) {
-    if (bins.fits(id, item.size)) feasible.push_back(id);
+  for (BinId id : view.openBins()) {
+    if (view.fits(id, item.size)) feasible.push_back(id);
   }
   if (feasible.empty()) return PlacementDecision::fresh(0);
   std::size_t pick = static_cast<std::size_t>(

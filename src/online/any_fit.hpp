@@ -17,7 +17,7 @@ class FirstFitPolicy : public OnlinePolicy {
  public:
   std::string name() const override { return "FirstFit"; }
   bool clairvoyant() const override { return false; }
-  PlacementDecision place(const BinManager& bins, const Item& item) override;
+  PlacementDecision place(const PlacementView& view, const Item& item) override;
 };
 
 /// Best Fit: the fitting bin with the highest level (smallest residual
@@ -27,7 +27,7 @@ class BestFitPolicy : public OnlinePolicy {
  public:
   std::string name() const override { return "BestFit"; }
   bool clairvoyant() const override { return false; }
-  PlacementDecision place(const BinManager& bins, const Item& item) override;
+  PlacementDecision place(const PlacementView& view, const Item& item) override;
 };
 
 /// Worst Fit: the fitting bin with the lowest level; ties to the
@@ -36,7 +36,7 @@ class WorstFitPolicy : public OnlinePolicy {
  public:
   std::string name() const override { return "WorstFit"; }
   bool clairvoyant() const override { return false; }
-  PlacementDecision place(const BinManager& bins, const Item& item) override;
+  PlacementDecision place(const PlacementView& view, const Item& item) override;
 };
 
 /// Next Fit: keeps a single current bin; items that do not fit it open a
@@ -46,7 +46,7 @@ class NextFitPolicy : public OnlinePolicy {
  public:
   std::string name() const override { return "NextFit"; }
   bool clairvoyant() const override { return false; }
-  PlacementDecision place(const BinManager& bins, const Item& item) override;
+  PlacementDecision place(const PlacementView& view, const Item& item) override;
   void reset() override { current_.reset(); }
 
  private:
@@ -61,7 +61,7 @@ class RandomFitPolicy : public OnlinePolicy {
   explicit RandomFitPolicy(std::uint64_t seed) : seed_(seed), rng_(seed) {}
   std::string name() const override { return "RandomFit"; }
   bool clairvoyant() const override { return false; }
-  PlacementDecision place(const BinManager& bins, const Item& item) override;
+  PlacementDecision place(const PlacementView& view, const Item& item) override;
   void reset() override { rng_ = Rng(seed_); }
 
  private:

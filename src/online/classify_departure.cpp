@@ -38,7 +38,7 @@ long long ClassifyByDepartureFF::windowOf(Time departure) const {
   return static_cast<long long>(std::ceil(q)) - 1;
 }
 
-PlacementDecision ClassifyByDepartureFF::place(const BinManager& bins,
+PlacementDecision ClassifyByDepartureFF::place(const PlacementView& view,
                                                const Item& item) {
   // Window indices are bounded by span/rho, comfortably within int for any
   // instance a simulation run produces; assert instead of silently
@@ -48,16 +48,8 @@ PlacementDecision ClassifyByDepartureFF::place(const BinManager& bins,
     throw std::invalid_argument("ClassifyByDepartureFF: window index overflow");
   }
   int category = static_cast<int>(window);
-  std::uint64_t attempts = 0;
-  BinId chosen = kNewBin;
-  for (BinId id : bins.openBins(category)) {
-    ++attempts;
-    if (bins.fits(id, item.size)) {
-      chosen = id;
-      break;
-    }
-  }
-  CDBP_TELEM_COUNT("policy.cdt_ff.fit_attempts", attempts);
+  CDBP_TELEM_COUNT("policy.cdt_ff.fit_attempts", 1);
+  BinId chosen = view.firstFitIn(category, item.size);
   if (chosen != kNewBin) return PlacementDecision::existing(chosen);
   CDBP_TELEM_COUNT("policy.cdt_ff.opens", 1);
   CDBP_TELEM_HIST("policy.cdt_ff.open_category",

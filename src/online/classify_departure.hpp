@@ -25,7 +25,7 @@ class ClassifyByDepartureFF : public OnlinePolicy {
 
   std::string name() const override;
   bool clairvoyant() const override { return true; }
-  PlacementDecision place(const BinManager& bins, const Item& item) override;
+  PlacementDecision place(const PlacementView& view, const Item& item) override;
 
   /// Window index of a departure time; exposed for tests. Windows follow
   /// the paper's convention of half-open-from-below buckets

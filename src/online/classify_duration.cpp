@@ -50,19 +50,11 @@ int ClassifyByDurationFF::categoryOf(Time duration) const {
   return static_cast<int>(std::floor(q));
 }
 
-PlacementDecision ClassifyByDurationFF::place(const BinManager& bins,
+PlacementDecision ClassifyByDurationFF::place(const PlacementView& view,
                                               const Item& item) {
   int category = categoryOf(item.duration());
-  std::uint64_t attempts = 0;
-  BinId chosen = kNewBin;
-  for (BinId id : bins.openBins(category)) {
-    ++attempts;
-    if (bins.fits(id, item.size)) {
-      chosen = id;
-      break;
-    }
-  }
-  CDBP_TELEM_COUNT("policy.cd_ff.fit_attempts", attempts);
+  CDBP_TELEM_COUNT("policy.cd_ff.fit_attempts", 1);
+  BinId chosen = view.firstFitIn(category, item.size);
   if (chosen != kNewBin) return PlacementDecision::existing(chosen);
   CDBP_TELEM_COUNT("policy.cd_ff.opens", 1);
   CDBP_TELEM_HIST("policy.cd_ff.open_category", category < 0 ? 0 : category);

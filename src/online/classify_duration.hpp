@@ -25,7 +25,7 @@ class ClassifyByDurationFF : public OnlinePolicy {
 
   std::string name() const override;
   bool clairvoyant() const override { return true; }
-  PlacementDecision place(const BinManager& bins, const Item& item) override;
+  PlacementDecision place(const PlacementView& view, const Item& item) override;
 
   /// Category index of a duration (0-based: category i holds durations in
   /// [base*alpha^i, base*alpha^(i+1))). Exposed for tests.

@@ -48,15 +48,14 @@ std::pair<int, long long> CombinedClassifyFF::classOf(const Item& item) const {
   return {durClass, window};
 }
 
-PlacementDecision CombinedClassifyFF::place(const BinManager& bins,
+PlacementDecision CombinedClassifyFF::place(const PlacementView& view,
                                             const Item& item) {
   auto key = classOf(item);
   auto [it, inserted] =
       denseCategory_.emplace(key, static_cast<int>(denseCategory_.size()));
   int category = it->second;
-  for (BinId id : bins.openBins(category)) {
-    if (bins.fits(id, item.size)) return PlacementDecision::existing(id);
-  }
+  BinId chosen = view.firstFitIn(category, item.size);
+  if (chosen != kNewBin) return PlacementDecision::existing(chosen);
   return PlacementDecision::fresh(category);
 }
 

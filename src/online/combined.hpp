@@ -32,7 +32,7 @@ class CombinedClassifyFF : public OnlinePolicy {
 
   std::string name() const override;
   bool clairvoyant() const override { return true; }
-  PlacementDecision place(const BinManager& bins, const Item& item) override;
+  PlacementDecision place(const PlacementView& view, const Item& item) override;
   void reset() override { denseCategory_.clear(); }
 
   /// (duration class, departure window) of an item; exposed for tests.

@@ -4,18 +4,18 @@
 
 namespace cdbp {
 
-PlacementDecision MinExtensionPolicy::place(const BinManager& bins,
+PlacementDecision MinExtensionPolicy::place(const PlacementView& view,
                                             const Item& item) {
   BinId best = kNewBin;
   double bestCost = item.duration();  // cost of a fresh bin
   double bestLevel = -1;
-  for (BinId id : bins.openBins()) {
-    if (!bins.fits(id, item.size)) continue;
+  for (BinId id : view.openBins()) {
+    if (!view.fits(id, item.size)) continue;
     double binEnd = tracker_.latestDeparture(id);
     double cost = std::max(0.0, item.departure() - binEnd);
     // Strictly cheaper wins; equal cost prefers the fuller bin (leaves
     // more aggregate headroom elsewhere).
-    double level = bins.info(id).level;
+    double level = view.info(id).level;
     if (cost < bestCost - 1e-12 ||
         (std::fabs(cost - bestCost) <= 1e-12 && level > bestLevel)) {
       bestCost = cost;
@@ -24,19 +24,19 @@ PlacementDecision MinExtensionPolicy::place(const BinManager& bins,
     }
   }
   if (best == kNewBin) {
-    tracker_.record(static_cast<BinId>(bins.binsOpened()), item.departure());
+    tracker_.record(static_cast<BinId>(view.binsOpened()), item.departure());
     return PlacementDecision::fresh(0);
   }
   tracker_.record(best, item.departure());
   return PlacementDecision::existing(best);
 }
 
-PlacementDecision DepartureAlignedBestFit::place(const BinManager& bins,
+PlacementDecision DepartureAlignedBestFit::place(const PlacementView& view,
                                                  const Item& item) {
   BinId best = kNewBin;
   double bestDistance = kTimeInfinity;
-  for (BinId id : bins.openBins()) {
-    if (!bins.fits(id, item.size)) continue;
+  for (BinId id : view.openBins()) {
+    if (!view.fits(id, item.size)) continue;
     double distance =
         std::fabs(tracker_.latestDeparture(id) - item.departure());
     if (distance < bestDistance) {
@@ -45,7 +45,7 @@ PlacementDecision DepartureAlignedBestFit::place(const BinManager& bins,
     }
   }
   if (best == kNewBin) {
-    tracker_.record(static_cast<BinId>(bins.binsOpened()), item.departure());
+    tracker_.record(static_cast<BinId>(view.binsOpened()), item.departure());
     return PlacementDecision::fresh(0);
   }
   tracker_.record(best, item.departure());

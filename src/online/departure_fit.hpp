@@ -43,7 +43,7 @@ class MinExtensionPolicy : public OnlinePolicy {
  public:
   std::string name() const override { return "MinExtension"; }
   bool clairvoyant() const override { return true; }
-  PlacementDecision place(const BinManager& bins, const Item& item) override;
+  PlacementDecision place(const PlacementView& view, const Item& item) override;
   void reset() override { tracker_.clear(); }
 
  private:
@@ -54,7 +54,7 @@ class DepartureAlignedBestFit : public OnlinePolicy {
  public:
   std::string name() const override { return "DepartureAlignedBF"; }
   bool clairvoyant() const override { return true; }
-  PlacementDecision place(const BinManager& bins, const Item& item) override;
+  PlacementDecision place(const PlacementView& view, const Item& item) override;
   void reset() override { tracker_.clear(); }
 
  private:

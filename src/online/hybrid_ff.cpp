@@ -13,12 +13,11 @@ int HybridFirstFitPolicy::sizeClass(Size size) const {
   return maxClasses_ - 1;
 }
 
-PlacementDecision HybridFirstFitPolicy::place(const BinManager& bins,
+PlacementDecision HybridFirstFitPolicy::place(const PlacementView& view,
                                               const Item& item) {
   int category = sizeClass(item.size);
-  for (BinId id : bins.openBins(category)) {
-    if (bins.fits(id, item.size)) return PlacementDecision::existing(id);
-  }
+  BinId chosen = view.firstFitIn(category, item.size);
+  if (chosen != kNewBin) return PlacementDecision::existing(chosen);
   return PlacementDecision::fresh(category);
 }
 

@@ -18,7 +18,7 @@ class HybridFirstFitPolicy : public OnlinePolicy {
 
   std::string name() const override { return "HybridFF"; }
   bool clairvoyant() const override { return false; }
-  PlacementDecision place(const BinManager& bins, const Item& item) override;
+  PlacementDecision place(const PlacementView& view, const Item& item) override;
 
   /// The size class assigned to `size`; exposed for tests.
   int sizeClass(Size size) const;

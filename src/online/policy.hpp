@@ -5,7 +5,7 @@
 #include <string>
 
 #include "core/item.hpp"
-#include "sim/bin_manager.hpp"
+#include "sim/placement_view.hpp"
 
 namespace cdbp {
 
@@ -27,6 +27,14 @@ struct PlacementDecision {
 /// irrevocable (no migration). A policy must return a feasible bin — the
 /// simulator validates and throws on violations, since an infeasible
 /// decision is a policy bug, not an input condition.
+///
+/// Policies see the open-bin state through a PlacementView, not the
+/// BinManager itself: the view exposes the indexed first/best/worst-fit
+/// queries (O(log B) under the default engine), the per-category open
+/// lists for bespoke selection rules, per-bin metadata, and the arrival
+/// clock `now()` — nothing mutation-adjacent. Prefer the indexed queries;
+/// they answer in O(log B) and stay bit-identical to the linear scans
+/// (DESIGN.md §9.1).
 class OnlinePolicy {
  public:
   virtual ~OnlinePolicy() = default;
@@ -37,7 +45,8 @@ class OnlinePolicy {
   /// True when the policy reads item departure times (clairvoyant setting).
   virtual bool clairvoyant() const = 0;
 
-  virtual PlacementDecision place(const BinManager& bins, const Item& item) = 0;
+  virtual PlacementDecision place(const PlacementView& view,
+                                  const Item& item) = 0;
 
   /// Clears internal state so the policy can be reused on a new instance.
   virtual void reset() {}

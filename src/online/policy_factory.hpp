@@ -1,12 +1,70 @@
-// Convenience constructors for the standard policy roster used by the
-// bench harness and the examples.
+// Policy construction: one spec-string API plus the standard rosters.
+//
+// Every bench main, example, and test builds policies through
+// makePolicy("cdt-ff(rho=2)") instead of bespoke construction switches;
+// the spec grammar is the single place policy names, parameters, and
+// defaults live, and the parallel experiment runner (sim/run_many.hpp)
+// fans specs across its grid because a string — unlike a PolicyPtr — can
+// be instantiated freshly and independently in every worker.
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "core/instance.hpp"
 #include "online/policy.hpp"
 
 namespace cdbp {
+
+/// Instance-derived defaults for specs that omit tuning parameters: the
+/// clairvoyant classify policies fall back to their known-durations
+/// optimal settings (rho = sqrt(mu)*Delta, alpha = mu^(1/n)) computed from
+/// this context, and `rf` draws its seed from here.
+struct PolicyContext {
+  /// Minimum item duration Delta; 0 means "unknown" and makes parameter-
+  /// free clairvoyant specs an error.
+  Time minDuration = 0;
+  /// Duration ratio mu = max/min duration.
+  double mu = 1;
+  /// Seed for randomized policies.
+  std::uint64_t seed = 1;
+
+  static PolicyContext forInstance(const Instance& instance,
+                                   std::uint64_t seed = 1);
+};
+
+/// Builds a policy from a spec string. The grammar is
+///
+///   name | name(key=value, key=value, ...)
+///
+/// with these specs (aliases in brackets):
+///
+///   ff                                      First Fit
+///   bf                                      Best Fit
+///   wf                                      Worst Fit
+///   nf                                      Next Fit
+///   rf(seed=N)                              Random Fit; seed defaults to
+///                                           the context seed
+///   hybrid-ff(classes=N)                    Hybrid First Fit; 8 classes
+///   cdt-ff(rho=X)            [cdt]          classify-by-departure-time FF;
+///                                           rho defaults to sqrt(mu)*Delta
+///                                           from the context
+///   cd-ff(base=X, alpha=Y)   [cd]           classify-by-duration FF;
+///                                           defaults to the known-durations
+///                                           optimum from the context
+///   combined-ff(base=X, alpha=Y,
+///               rho-factor=Z)               combined classify FF; same
+///                                           context defaults
+///   min-ext                  [minext]       minimum rental extension
+///   dep-bf                                  departure-aligned Best Fit
+///
+/// Throws std::invalid_argument on an unknown spec or malformed/missing
+/// parameters; the message enumerates all valid specs (policySpecHelp()).
+PolicyPtr makePolicy(const std::string& spec, const PolicyContext& context = {});
+
+/// Human-readable enumeration of every valid spec, embedded in makePolicy
+/// error messages and surfaced by CLI --policy error paths.
+std::string policySpecHelp();
 
 /// The non-clairvoyant baselines: FirstFit, BestFit, WorstFit, NextFit,
 /// HybridFF, RandomFit(seed).

@@ -18,6 +18,7 @@ BinId BinManager::openBin(int category, Time now) {
   bins_.push_back({id, category, 0.0, 0, now, true});
   open_.push_back(id);
   openByCategory_[category].push_back(id);
+  if (indexed_) index_.onOpen(id, category);
   CDBP_TELEM_COUNT("sim.bins_opened", 1);
   CDBP_TELEM_GAUGE_SET("sim.open_bins", open_.size());
   return id;
@@ -32,6 +33,7 @@ void BinManager::addItem(BinId id, Size size) {
               " at level ", bin.level, " cannot hold size ", size);
   bin.level += size;
   ++bin.itemCount;
+  if (indexed_) index_.onLevelChange(id, bin.level);
 }
 
 bool BinManager::removeItem(BinId id, Size size) {
@@ -46,9 +48,13 @@ bool BinManager::removeItem(BinId id, Size size) {
               " (level would go negative)");
   bin.level -= size;
   --bin.itemCount;
-  if (bin.itemCount > 0) return false;
+  if (bin.itemCount > 0) {
+    if (indexed_) index_.onLevelChange(id, bin.level);
+    return false;
+  }
   bin.level = 0;  // flush accumulated floating-point residue
   bin.open = false;
+  if (indexed_) index_.onClose(id);
   auto openIt = std::find(open_.begin(), open_.end(), id);
   CDBP_DCHECK(openIt != open_.end(), "removeItem: bin ", id,
               " missing from the open list");

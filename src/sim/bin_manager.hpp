@@ -15,12 +15,20 @@
 #include "core/epsilon.hpp"
 #include "core/item.hpp"
 #include "core/types.hpp"
+#include "sim/bin_search.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace cdbp {
 
 class BinManager {
  public:
+  /// `indexed` selects the placement engine: when true (the default) the
+  /// manager maintains a BinSearchIndex answering first/best/worst-fit
+  /// queries in O(log B); when false it skips all index maintenance and
+  /// PlacementView falls back to the linear open-list scans — the retained
+  /// reference path differential tests pin the index against.
+  explicit BinManager(bool indexed = true) : indexed_(indexed) {}
+
   struct BinInfo {
     BinId id = 0;
     int category = 0;
@@ -43,10 +51,26 @@ class BinManager {
   /// all already-placed items arrived no later than now, the current level
   /// is the maximum future level, so this single check certifies
   /// feasibility over the incoming item's whole stay.
+  ///
+  /// Counts toward `sim.fit_checks`: this is the policy-visible probe (via
+  /// PlacementView::fits). Infrastructure re-checks must use wouldFit so
+  /// the counter measures policy work only.
   bool fits(BinId id, Size size) const {
     CDBP_TELEM_COUNT("sim.fit_checks", 1);
+    return wouldFit(id, size);
+  }
+
+  /// Uncounted feasibility check for infrastructure use (the simulator's
+  /// post-decision validation). Identical predicate to fits().
+  bool wouldFit(BinId id, Size size) const {
     return info(id).open && fitsCapacity(info(id).level, size);
   }
+
+  /// True when the sublinear placement index is maintained.
+  bool indexed() const { return indexed_; }
+
+  /// The placement index; only valid when indexed() is true.
+  const BinSearchIndex& index() const { return index_; }
 
   /// Total bins ever opened.
   std::size_t binsOpened() const { return bins_.size(); }
@@ -70,6 +94,8 @@ class BinManager {
   std::vector<BinInfo> bins_;
   std::vector<BinId> open_;
   std::map<int, std::vector<BinId>> openByCategory_;
+  bool indexed_ = true;
+  BinSearchIndex index_;
 };
 
 }  // namespace cdbp

@@ -1,0 +1,125 @@
+// Capacity-indexed bin search: the sublinear placement engine core.
+//
+// A BinSearchIndex answers the placement queries every AnyFit/classify
+// policy issues — "leftmost open bin with remaining capacity >= s" (First
+// Fit), "fullest fitting bin" (Best Fit), "emptiest fitting bin" (Worst
+// Fit) — in O(log B) instead of the O(B) open-list scan, for the global
+// open set and for each policy category independently.
+//
+// First/Worst Fit ride on a min-level tournament tree (MinLevelTree): each
+// internal node stores the minimum level of its leaf range, closed slots
+// hold +infinity. The descent uses the *same* fitsCapacity(level, size)
+// predicate as the linear scan, on the same doubles; because fl(level +
+// size) is monotone non-decreasing in level, a subtree contains a fitting
+// bin iff its minimum level fits, so the indexed answers are bit-identical
+// to the linear reference (DESIGN.md §9.1 gives the argument).
+//
+// Best Fit needs the *maximum* fitting level, which a min/max tree cannot
+// localize in O(log B) worst case; it uses a level-ordered set instead,
+// materialized lazily so runs that never ask Best Fit queries (First Fit
+// and every classify policy) pay zero set maintenance.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/epsilon.hpp"
+#include "core/types.hpp"
+
+namespace cdbp {
+
+/// Array-backed tournament (segment) tree over bin slots keyed by level.
+/// Slots are append-only (bins are never re-opened); a closed slot is
+/// parked at +infinity, which no query can fit into.
+class MinLevelTree {
+ public:
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+  /// Sentinel level for closed / not-yet-opened slots. fitsCapacity(+inf,
+  /// s) is false for every s, so closed slots are invisible to queries.
+  static constexpr Size kClosed = std::numeric_limits<Size>::infinity();
+
+  /// Appends a slot at the given level; returns its index (dense, in
+  /// append order). Amortized O(log B): the backing array doubles.
+  std::size_t append(Size level);
+
+  /// Sets a slot's level and re-sifts the path to the root. O(log B).
+  void update(std::size_t slot, Size level);
+
+  /// Parks a slot at +infinity (the bin closed). O(log B).
+  void close(std::size_t slot) { update(slot, kClosed); }
+
+  /// Leftmost slot whose level fits `size` (the First Fit answer), or npos
+  /// when no open slot fits. O(log B).
+  std::size_t firstFit(Size size) const;
+
+  /// Leftmost slot attaining the minimum level (the Worst Fit candidate —
+  /// by monotonicity of fitsCapacity it fits iff any slot does), or npos
+  /// when every slot is closed. O(log B).
+  std::size_t minSlot() const;
+
+  /// Current level of a slot (kClosed when closed).
+  Size levelAt(std::size_t slot) const { return tree_[cap_ + slot]; }
+
+  /// Slots ever appended (open + closed).
+  std::size_t size() const { return size_; }
+
+ private:
+  void grow(std::size_t minCap);
+
+  // tree_[1] is the root, leaves live at [cap_, cap_ + size_); unassigned
+  // leaves are kClosed so they never win a descent.
+  std::vector<Size> tree_;
+  std::size_t cap_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// The placement index proper: one MinLevelTree + lazy Best Fit set per
+/// scope, where a scope is either the global open set or one policy
+/// category. BinManager drives it via onOpen / onLevelChange / onClose;
+/// queries return the bin id, or kNewBin when no open bin fits.
+class BinSearchIndex {
+ public:
+  void onOpen(BinId id, int category);
+  void onLevelChange(BinId id, Size newLevel);
+  void onClose(BinId id);
+
+  BinId firstFit(Size size) const { return firstFitIn(global_, size); }
+  BinId firstFitIn(int category, Size size) const;
+  BinId bestFit(Size size) const { return bestFitIn(global_, size); }
+  BinId bestFitIn(int category, Size size) const;
+  BinId worstFit(Size size) const { return worstFitIn(global_, size); }
+  BinId worstFitIn(int category, Size size) const;
+
+ private:
+  struct Scope {
+    MinLevelTree tree;
+    std::vector<BinId> slotToBin;  ///< slot (scope-local) -> global bin id
+    /// Open bins ordered by (level, id): Best Fit walks down from the
+    /// fitting threshold. Built on the first bestFit query against this
+    /// scope and maintained incrementally afterwards; mutable because
+    /// materialization happens inside logically-const queries (the index
+    /// is owned by one single-threaded simulation).
+    mutable std::set<std::pair<Size, BinId>> byLevel;
+    mutable bool byLevelBuilt = false;
+  };
+
+  void apply(Scope& scope, std::size_t slot, BinId id, Size newLevel);
+  static void materialize(const Scope& scope);
+  static BinId firstFitIn(const Scope& scope, Size size);
+  static BinId bestFitIn(const Scope& scope, Size size);
+  static BinId worstFitIn(const Scope& scope, Size size);
+
+  Scope global_;
+  std::map<int, Scope> byCategory_;
+  // Per-bin bookkeeping, indexed by the dense BinId. The global slot of bin
+  // b is b itself (bins open in id order); the category slot is recorded.
+  std::vector<std::size_t> categorySlot_;
+  std::vector<int> category_;
+};
+
+}  // namespace cdbp

@@ -1,0 +1,86 @@
+// PlacementView: the narrow, read-only surface an online policy sees.
+//
+// Policies used to take `const BinManager&` directly, which (a) exposed
+// the whole mutation-adjacent interface and (b) hard-wired every policy to
+// linear open-list scans. The view exposes exactly what placement logic
+// needs — the indexed first/best/worst-fit queries, the per-category open
+// lists for bespoke scans, per-bin metadata, and the simulation clock —
+// and routes each query to the engine the simulation selected:
+//
+//  * indexed (default): O(log B) answers from the BinSearchIndex. Each
+//    query counts once toward `sim.fit_checks` (one policy-visible
+//    capacity question was asked, however it was answered).
+//  * linear-scan reference: the exact open-list scans the policies
+//    shipped with, probe by counted probe — retained so differential
+//    tests can pin the indexed engine against it bit for bit.
+//
+// Queries return the chosen bin id or kNewBin when no open bin fits.
+#pragma once
+
+#include "core/types.hpp"
+#include "sim/bin_manager.hpp"
+
+namespace cdbp {
+
+class PlacementView {
+ public:
+  /// `now` is the arrival instant of the item being placed (departures up
+  /// to and including `now` have already been drained).
+  PlacementView(const BinManager& bins, Time now) : bins_(bins), now_(now) {}
+
+  /// The simulation clock: the current item's arrival time.
+  Time now() const { return now_; }
+
+  /// True when queries are answered by the sublinear index.
+  bool indexed() const { return bins_.indexed(); }
+
+  // --- Indexed placement queries (engine-routed) ---
+
+  /// Earliest-opened open bin that fits `size`, or kNewBin.
+  BinId firstFit(Size size) const;
+
+  /// Earliest-opened open bin of `category` that fits `size`, or kNewBin.
+  BinId firstFitIn(int category, Size size) const;
+
+  /// Fullest fitting open bin (ties to earliest-opened), or kNewBin.
+  BinId bestFit(Size size) const;
+  BinId bestFitIn(int category, Size size) const;
+
+  /// Emptiest fitting open bin (ties to earliest-opened), or kNewBin.
+  BinId worstFit(Size size) const;
+  BinId worstFitIn(int category, Size size) const;
+
+  // --- Open-list surface for policies with bespoke selection rules ---
+
+  /// All open bins in opening order.
+  const std::vector<BinId>& openBins() const { return bins_.openBins(); }
+
+  /// Open bins of one category in opening order (empty list if none).
+  const std::vector<BinId>& openBins(int category) const {
+    return bins_.openBins(category);
+  }
+
+  /// Metadata of a bin (open or closed).
+  const BinManager::BinInfo& info(BinId id) const { return bins_.info(id); }
+
+  /// Counted capacity probe: whether `size` fits bin `id` now. This is the
+  /// per-bin question bespoke scans ask; every call counts toward
+  /// `sim.fit_checks`.
+  bool fits(BinId id, Size size) const { return bins_.fits(id, size); }
+
+  /// Total bins ever opened (the id the next fresh bin will receive).
+  std::size_t binsOpened() const { return bins_.binsOpened(); }
+
+  /// Currently open bin count.
+  std::size_t openCount() const { return bins_.openCount(); }
+
+ private:
+  BinId linearFirstFit(const std::vector<BinId>& bins, Size size) const;
+  BinId linearBestFit(const std::vector<BinId>& bins, Size size) const;
+  BinId linearWorstFit(const std::vector<BinId>& bins, Size size) const;
+
+  const BinManager& bins_;
+  Time now_;
+};
+
+}  // namespace cdbp

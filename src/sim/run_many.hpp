@@ -1,0 +1,105 @@
+// runMany: the parallel experiment runner.
+//
+// Every sweep-style evaluation in this repo is the same shape — a grid of
+// (instance generator × policy spec × seed) cells, each an independent
+// simulateOnline call. runMany fans that grid over the shared ThreadPool
+// and returns one RunResult per cell with the guarantees the bench mains
+// rely on:
+//
+//  * Determinism: results arrive in grid order (instance-major, then
+//    policy, then seed) regardless of thread count or scheduling, and each
+//    cell's outcome depends only on (generator, spec, seed) — policies are
+//    constructed fresh inside the cell from their spec string, so no state
+//    leaks between cells. The same grid run with --threads 1 and
+//    --threads N is element-wise identical.
+//
+//  * Telemetry isolation: everything attributable to a run — the policy
+//    instance, its DecisionTrace, the SimOptions — is private to the cell.
+//    The global metrics Registry is process-wide by design (relaxed-atomic
+//    counters are cheap precisely because they are shared), so registry
+//    counters aggregate across concurrent cells; read them as fleet
+//    totals, not per-run numbers (DESIGN.md §9.3).
+//
+//  * Shared inputs: each (instance, seed) pair is generated once and
+//    shared read-only by all policy cells, as is its Proposition 3 lower
+//    bound — the expensive parts of a sweep are not recomputed per policy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "online/policy_factory.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace cdbp {
+
+/// One policy axis entry: a spec string, optionally overridden by an
+/// explicit factory for policies the spec grammar cannot express (custom
+/// test policies, preconfigured instances). The factory, when set, must be
+/// callable concurrently — it is invoked once per cell.
+struct RunPolicy {
+  std::string spec;
+  std::function<PolicyPtr(const PolicyContext&)> factory;
+
+  RunPolicy() = default;
+  RunPolicy(std::string s) : spec(std::move(s)) {}  // NOLINT(google-explicit-constructor)
+  RunPolicy(const char* s) : spec(s) {}  // NOLINT(google-explicit-constructor)
+  RunPolicy(std::string label,
+            std::function<PolicyPtr(const PolicyContext&)> make)
+      : spec(std::move(label)), factory(std::move(make)) {}
+};
+
+struct RunManySpec {
+  /// Instance axis: generators mapping a seed to an Instance.
+  std::vector<std::function<Instance(std::uint64_t)>> instances;
+  /// Policy axis: spec strings (or labeled factories).
+  std::vector<RunPolicy> policies;
+  /// Seed axis.
+  std::vector<std::uint64_t> seeds;
+
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// Placement engine for every cell.
+  PlacementEngine engine = PlacementEngine::kIndexed;
+  /// Compute the Proposition 3 lower bound (and ratio) per instance.
+  bool computeLowerBound = true;
+  /// Attach a per-cell DecisionTrace to each result.
+  bool captureTrace = false;
+  /// Fixed PolicyContext for spec instantiation. When unset, each cell
+  /// derives PolicyContext::forInstance(instance, seed) — specs with
+  /// context defaults then self-tune to the instance they run on.
+  std::optional<PolicyContext> context;
+};
+
+/// One grid cell's outcome. The shared instance pointer keeps
+/// `sim.packing` (which references the instance) valid for the result's
+/// lifetime.
+struct RunResult {
+  std::size_t instanceIndex = 0;
+  std::size_t policyIndex = 0;
+  std::size_t seedIndex = 0;
+  std::uint64_t seed = 0;
+  std::string policyName;
+  std::shared_ptr<const Instance> instance;
+  SimResult sim;
+  /// Proposition 3 lower bound (0 when computeLowerBound is false).
+  double lb3 = 0;
+  /// sim.totalUsage / lb3 (1 when the bound is 0 or disabled).
+  double ratio = 1;
+  /// Per-cell decision trace (null unless captureTrace).
+  std::shared_ptr<DecisionTrace> trace;
+};
+
+/// Runs the full grid; returns instances.size() * policies.size() *
+/// seeds.size() results in grid order (instance-major, then policy, then
+/// seed). Exceptions thrown by generators, specs, or simulations propagate
+/// out of runMany (first one wins, per ThreadPool::wait).
+std::vector<RunResult> runMany(const RunManySpec& spec);
+
+}  // namespace cdbp

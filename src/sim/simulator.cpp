@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
+#include <cstdint>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/epsilon.hpp"
+#include "sim/placement_view.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace cdbp {
@@ -17,6 +18,27 @@ namespace {
 // Trace rows: items land on their bin's row inside the "placements"
 // process.
 constexpr int kTracePid = 1;
+
+// One flat, pre-sorted timeline replaces the departure priority queue: all
+// 2n arrival/departure records live in one contiguous array, sorted once
+// by (time, kind, item). Departures order before arrivals at the same
+// instant (half-open intervals: an item leaving at t does not overlap one
+// arriving at t), and simultaneous departures drain in item-id order —
+// exactly the (time, id) pop order of the old heap, so bin levels evolve
+// through the identical sequence of floating-point updates.
+enum : std::uint8_t { kDeparture = 0, kArrival = 1 };
+
+struct TimelineEvent {
+  Time time;
+  ItemId item;
+  std::uint8_t kind;
+};
+
+bool timelineBefore(const TimelineEvent& a, const TimelineEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  return a.item < b.item;
+}
 
 #if CDBP_TELEMETRY
 // Scan cost of one placement = fit() probes the policy issued for it,
@@ -37,7 +59,7 @@ telemetry::Counter& fitCheckCounter() {
 SimResult simulateOnline(const Instance& instance, OnlinePolicy& policy,
                          const SimOptions& options) {
   policy.reset();
-  BinManager bins;
+  BinManager bins(options.engine == PlacementEngine::kIndexed);
   std::vector<BinId> binOf(instance.size(), kUnassigned);
   std::set<int> categories;
   std::size_t maxOpen = 0;
@@ -47,27 +69,40 @@ SimResult simulateOnline(const Instance& instance, OnlinePolicy& policy,
                                         "cdbp simulation: " + policy.name());
   }
 
-  // Departure queue: (time, item id, bin) ordered by time.
-  using Departure = std::pair<Time, ItemId>;
-  std::priority_queue<Departure, std::vector<Departure>, std::greater<>> departures;
+  // Build the timeline. An item's departure sorts strictly after its
+  // arrival (durations are positive), so a departure record is always
+  // scanned after its item was placed.
+  std::vector<TimelineEvent> events;
+  events.reserve(2 * instance.size());
+  for (const Item& r : instance.items()) {
+    events.push_back({r.arrival(), r.id, kArrival});
+    events.push_back({r.departure(), r.id, kDeparture});
+  }
+  std::sort(events.begin(), events.end(), timelineBefore);
 
-  std::vector<Item> order = instance.sortedByArrival();
-  for (const Item& r : order) {
-    // Release capacity from every item departing up to (and including) the
-    // arrival instant: intervals are half-open, so an item leaving at t
-    // does not overlap one arriving at t.
-    while (!departures.empty() && departures.top().first <= r.arrival()) {
-      Time when = departures.top().first;
-      ItemId gone = departures.top().second;
-      departures.pop();
-      bins.removeItem(binOf[gone], instance[gone].size);
-      CDBP_TELEM_COUNT("sim.events_processed", 1);
-      if (options.chromeTrace) {
-        options.chromeTrace->addCounter(
-            "open_bins", when * options.traceTimeScale, kTracePid,
-            static_cast<double>(bins.openCount()));
-      }
+  auto processDeparture = [&](const TimelineEvent& e) {
+    bins.removeItem(binOf[e.item], instance[e.item].size);
+    CDBP_TELEM_COUNT("sim.events_processed", 1);
+    if (options.chromeTrace) {
+      options.chromeTrace->addCounter("open_bins",
+                                      e.time * options.traceTimeScale,
+                                      kTracePid,
+                                      static_cast<double>(bins.openCount()));
     }
+  };
+
+  std::size_t arrivalsLeft = instance.size();
+  std::size_t cursor = 0;
+  for (; cursor < events.size() && arrivalsLeft > 0; ++cursor) {
+    const TimelineEvent& e = events[cursor];
+    if (e.kind == kDeparture) {
+      // Batched draining: consecutive departure records release capacity
+      // back to back with no per-item heap traffic.
+      processDeparture(e);
+      continue;
+    }
+    const Item& r = instance[e.item];
+    --arrivalsLeft;
 
     Item announced = r;
     if (options.announce) {
@@ -79,10 +114,11 @@ SimResult simulateOnline(const Instance& instance, OnlinePolicy& policy,
       }
     }
 
+    PlacementView view(bins, r.arrival());
 #if CDBP_TELEMETRY
     std::uint64_t fitChecksBefore = fitCheckCounter().value();
 #endif
-    PlacementDecision decision = policy.place(bins, announced);
+    PlacementDecision decision = policy.place(view, announced);
 #if CDBP_TELEMETRY
     std::uint64_t scanned = fitCheckCounter().value() - fitChecksBefore;
     if (scanned <= bins.openCount()) {
@@ -100,7 +136,9 @@ SimResult simulateOnline(const Instance& instance, OnlinePolicy& policy,
                                std::to_string(r.id) + " in closed bin " +
                                std::to_string(target));
       }
-      if (!bins.fits(target, r.size)) {
+      // Validation re-check: wouldFit is the uncounted twin of fits(), so
+      // sim.fit_checks measures policy-issued queries only.
+      if (!bins.wouldFit(target, r.size)) {
         throw std::logic_error(policy.name() + " overfilled bin " +
                                std::to_string(target) + " with item " +
                                std::to_string(r.id));
@@ -122,7 +160,6 @@ SimResult simulateOnline(const Instance& instance, OnlinePolicy& policy,
     bins.addItem(target, r.size);
     binOf[r.id] = target;
     categories.insert(bins.info(target).category);
-    departures.emplace(r.departure(), r.id);
     maxOpen = std::max(maxOpen, bins.openCount());
     CDBP_TELEM_COUNT("sim.events_processed", 1);
     CDBP_TELEM_HIST("sim.item_size_permille", r.size * 1000.0);
@@ -143,19 +180,12 @@ SimResult simulateOnline(const Instance& instance, OnlinePolicy& policy,
                                       static_cast<double>(bins.openCount()));
     }
   }
-
+  // Departure records after the last arrival cannot influence any
+  // placement; they are drained only when a timeline artifact wants the
+  // open-bin counter series to close at zero.
   if (options.chromeTrace) {
-    // Drain the queue so the counter series closes at zero and every bin
-    // row carries a readable name.
-    while (!departures.empty()) {
-      Time when = departures.top().first;
-      ItemId gone = departures.top().second;
-      departures.pop();
-      bins.removeItem(binOf[gone], instance[gone].size);
-      CDBP_TELEM_COUNT("sim.events_processed", 1);
-      options.chromeTrace->addCounter(
-          "open_bins", when * options.traceTimeScale, kTracePid,
-          static_cast<double>(bins.openCount()));
+    for (; cursor < events.size(); ++cursor) {
+      processDeparture(events[cursor]);
     }
     for (std::size_t b = 0; b < bins.binsOpened(); ++b) {
       const BinManager::BinInfo& info = bins.info(static_cast<BinId>(b));

@@ -17,7 +17,21 @@
 
 namespace cdbp {
 
+/// Which placement machinery backs the PlacementView queries.
+enum class PlacementEngine {
+  /// Sublinear capacity-indexed search (bin_search.hpp); the default.
+  kIndexed,
+  /// The original linear open-list scans, retained as the reference the
+  /// differential tests pin kIndexed against. Skips all index maintenance.
+  kLinearScan,
+};
+
 struct SimOptions {
+  /// Placement engine selection. Both engines produce bit-identical
+  /// packings and SimResults (see DESIGN.md §9.1); kLinearScan exists for
+  /// differential testing and honest before/after benchmarking.
+  PlacementEngine engine = PlacementEngine::kIndexed;
+
   /// Optional transformation applied to each item before it is shown to the
   /// policy — used to model inaccurate duration estimates (§6 future work:
   /// the policy sees the perturbed departure, the system evolves with the

@@ -30,7 +30,7 @@ TEST(Adversary, SeparatingPolicyPaysCaseA) {
   struct Separator : OnlinePolicy {
     std::string name() const override { return "Separator"; }
     bool clairvoyant() const override { return false; }
-    PlacementDecision place(const BinManager&, const Item&) override {
+    PlacementDecision place(const PlacementView&, const Item&) override {
       return PlacementDecision::fresh(0);
     }
   } separator;

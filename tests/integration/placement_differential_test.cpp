@@ -1,0 +1,124 @@
+// Differential pin of the sublinear placement engine: every policy spec,
+// run over randomized workloads with the capacity-indexed engine and with
+// the retained linear-scan reference, must produce bit-identical packings.
+// The indexed queries use the same fitsCapacity predicate on the same
+// doubles as the linear loops (DESIGN.md §9.1), so this is an equality
+// test, not an approximation test.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "online/policy_factory.hpp"
+#include "sim/simulator.hpp"
+#include "workload/adversarial.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+const std::vector<std::string>& allSpecs() {
+  static const std::vector<std::string> specs = {
+      "ff",     "bf",    "wf",          "nf",      "rf(seed=7)",
+      "hybrid-ff", "cdt-ff", "cd-ff",   "combined-ff", "min-ext",
+      "dep-bf"};
+  return specs;
+}
+
+SimResult runWith(const Instance& inst, const std::string& spec,
+                  PlacementEngine engine) {
+  PolicyPtr policy = makePolicy(spec, PolicyContext::forInstance(inst));
+  SimOptions options;
+  options.engine = engine;
+  return simulateOnline(inst, *policy, options);
+}
+
+void expectIdentical(const Instance& inst, const std::string& spec,
+                     const std::string& label) {
+  SimResult indexed = runWith(inst, spec, PlacementEngine::kIndexed);
+  SimResult linear = runWith(inst, spec, PlacementEngine::kLinearScan);
+  SCOPED_TRACE(label + " / " + spec);
+  // Exact equality: the two engines must take the same decisions, not
+  // merely equally good ones.
+  EXPECT_EQ(indexed.totalUsage, linear.totalUsage);
+  EXPECT_EQ(indexed.binsOpened, linear.binsOpened);
+  EXPECT_EQ(indexed.maxOpenBins, linear.maxOpenBins);
+  EXPECT_EQ(indexed.categoriesUsed, linear.categoriesUsed);
+  for (const Item& r : inst.items()) {
+    ASSERT_EQ(indexed.packing.binOf(r.id), linear.packing.binOf(r.id))
+        << "item " << r.id;
+  }
+}
+
+TEST(PlacementDifferential, AllPoliciesOnRandomWorkloads) {
+  for (double mu : {1.0, 8.0, 64.0}) {
+    for (std::uint64_t seed : {1u, 2u}) {
+      WorkloadSpec spec;
+      spec.numItems = 120;
+      spec.mu = mu;
+      Instance inst = generateWorkload(spec, seed);
+      for (const std::string& policySpec : allSpecs()) {
+        expectIdentical(inst, policySpec,
+                        "mu=" + std::to_string(mu) +
+                            " seed=" + std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(PlacementDifferential, ManyOpenBinsStress) {
+  // High arrival rate keeps a large open set alive — the regime the index
+  // exists for, and the one where a descent bug would actually bite.
+  WorkloadSpec spec;
+  spec.numItems = 400;
+  spec.mu = 16.0;
+  spec.arrivalRate = 64.0;
+  Instance inst = generateWorkload(spec, 13);
+  for (const std::string& policySpec : allSpecs()) {
+    expectIdentical(inst, policySpec, "many-open");
+  }
+}
+
+TEST(PlacementDifferential, SmallSizesPackManyPerBin) {
+  // Dozens of items per bin exercise long equal-level runs in the Best Fit
+  // set and deep tournament descents.
+  WorkloadSpec spec;
+  spec.numItems = 300;
+  spec.sizes = SizeDist::kSmallOnly;
+  spec.minSize = 0.02;
+  spec.arrivalRate = 24.0;
+  spec.mu = 8.0;
+  Instance inst = generateWorkload(spec, 5);
+  for (const std::string& policySpec : allSpecs()) {
+    expectIdentical(inst, policySpec, "small-sizes");
+  }
+}
+
+TEST(PlacementDifferential, AdversarialSliverTrap) {
+  // The deterministic fragmentation construction: exact half-capacity
+  // levels and sliver items sit right on the epsilon boundary.
+  Instance inst = firstFitSliverTrap(12, 8.0);
+  for (const std::string& policySpec : allSpecs()) {
+    expectIdentical(inst, policySpec, "sliver-trap");
+  }
+}
+
+TEST(PlacementDifferential, RandomizedPropertySweep) {
+  // Broad randomized property: many small instances across the generator's
+  // parameter space, three representative query shapes (leftmost, fullest,
+  // emptiest) plus the category-scoped classify policy.
+  const std::vector<std::string> fast = {"ff", "bf", "wf", "cdt-ff"};
+  for (std::uint64_t seed = 100; seed < 120; ++seed) {
+    WorkloadSpec spec;
+    spec.numItems = 60 + (seed % 5) * 30;
+    spec.mu = 1.0 + static_cast<double>(seed % 7) * 9.0;
+    spec.arrivalRate = 2.0 + static_cast<double>(seed % 4) * 16.0;
+    Instance inst = generateWorkload(spec, seed);
+    for (const std::string& policySpec : fast) {
+      expectIdentical(inst, policySpec, "sweep seed=" + std::to_string(seed));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -56,5 +56,105 @@ TEST(PolicyFactory, MuOneIsAccepted) {
   }
 }
 
+TEST(MakePolicy, ParsesBareNamesAndAliases) {
+  EXPECT_EQ(makePolicy("ff")->name(), "FirstFit");
+  EXPECT_EQ(makePolicy("bf")->name(), "BestFit");
+  EXPECT_EQ(makePolicy("wf")->name(), "WorstFit");
+  EXPECT_EQ(makePolicy("nf")->name(), "NextFit");
+  EXPECT_EQ(makePolicy("min-ext")->name(), "MinExtension");
+  EXPECT_EQ(makePolicy("minext")->name(), "MinExtension");
+  EXPECT_EQ(makePolicy("dep-bf")->name(), makePolicy("dep-bf")->name());
+  // Aliases resolve to the same policy as the canonical spec.
+  PolicyContext context;
+  context.minDuration = 1.0;
+  context.mu = 16.0;
+  EXPECT_EQ(makePolicy("cdt", context)->name(),
+            makePolicy("cdt-ff", context)->name());
+  EXPECT_EQ(makePolicy("cd", context)->name(),
+            makePolicy("cd-ff", context)->name());
+}
+
+TEST(MakePolicy, ParsesParameterizedSpecs) {
+  EXPECT_EQ(makePolicy("cdt-ff(rho=2)")->name(), "CDT-FF(rho=2)");
+  PolicyPtr cd = makePolicy("cd-ff(base=1,alpha=4)");
+  EXPECT_NE(cd->name().find("alpha=4"), std::string::npos) << cd->name();
+  EXPECT_NO_THROW(makePolicy("hybrid-ff(classes=4)"));
+  EXPECT_NO_THROW(makePolicy("rf(seed=9)"));
+  // Whitespace around names, keys, and values is tolerated.
+  EXPECT_EQ(makePolicy("  cdt-ff ( rho = 2 ) ")->name(), "CDT-FF(rho=2)");
+}
+
+TEST(MakePolicy, ContextSuppliesClairvoyantDefaults) {
+  PolicyContext context;
+  context.minDuration = 2.0;
+  context.mu = 9.0;
+  // rho defaults to sqrt(mu) * Delta = 6.
+  EXPECT_EQ(makePolicy("cdt-ff", context)->name(), "CDT-FF(rho=6)");
+  // Without a context (minDuration 0) the parameter-free clairvoyant specs
+  // have nothing to tune against and must fail loudly.
+  EXPECT_THROW(makePolicy("cdt-ff"), std::invalid_argument);
+  EXPECT_THROW(makePolicy("cd-ff"), std::invalid_argument);
+  EXPECT_THROW(makePolicy("combined-ff"), std::invalid_argument);
+  // Explicit parameters need no context.
+  EXPECT_NO_THROW(makePolicy("cdt-ff(rho=1.5)"));
+}
+
+TEST(MakePolicy, RejectsUnknownSpecWithHelp) {
+  try {
+    makePolicy("frobnicate");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("frobnicate"), std::string::npos) << message;
+    // The error enumerates the valid specs.
+    EXPECT_NE(message.find("cdt-ff"), std::string::npos) << message;
+    EXPECT_NE(message.find("hybrid-ff"), std::string::npos) << message;
+  }
+}
+
+TEST(MakePolicy, RejectsMalformedSpecs) {
+  EXPECT_THROW(makePolicy(""), std::invalid_argument);
+  EXPECT_THROW(makePolicy("cdt-ff(rho=2"), std::invalid_argument);   // no ')'
+  EXPECT_THROW(makePolicy("cdt-ff(rho)"), std::invalid_argument);    // no '='
+  EXPECT_THROW(makePolicy("cdt-ff(rho=abc)"), std::invalid_argument);
+  EXPECT_THROW(makePolicy("ff(bogus=1)"), std::invalid_argument);
+  EXPECT_THROW(makePolicy("cdt-ff(rho=2,rho=3,extra=4)"),
+               std::invalid_argument);
+}
+
+TEST(MakePolicy, SpecHelpListsEverySpec) {
+  std::string help = policySpecHelp();
+  for (const char* name : {"ff", "bf", "wf", "nf", "rf", "hybrid-ff",
+                           "cdt-ff", "cd-ff", "combined-ff", "min-ext",
+                           "dep-bf"}) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(MakePolicy, ContextForInstanceMatchesRealizedParameters) {
+  WorkloadSpec spec;
+  spec.numItems = 80;
+  spec.mu = 16.0;
+  Instance inst = generateWorkload(spec, 3);
+  PolicyContext context = PolicyContext::forInstance(inst, 5);
+  EXPECT_DOUBLE_EQ(context.minDuration, inst.minDuration());
+  EXPECT_DOUBLE_EQ(context.mu, inst.durationRatio());
+  EXPECT_EQ(context.seed, 5u);
+}
+
+TEST(MakePolicy, EverySpecRunsEndToEnd) {
+  WorkloadSpec spec;
+  spec.numItems = 100;
+  Instance inst = generateWorkload(spec, 4);
+  PolicyContext context = PolicyContext::forInstance(inst);
+  for (const char* policySpec :
+       {"ff", "bf", "wf", "nf", "rf", "hybrid-ff", "cdt-ff", "cd-ff",
+        "combined-ff", "min-ext", "dep-bf"}) {
+    PolicyPtr policy = makePolicy(policySpec, context);
+    SimResult r = simulateOnline(inst, *policy);
+    EXPECT_FALSE(r.packing.validate().has_value()) << policySpec;
+  }
+}
+
 }  // namespace
 }  // namespace cdbp

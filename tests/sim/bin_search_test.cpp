@@ -1,0 +1,235 @@
+// Unit tests for the capacity-indexed bin search (MinLevelTree +
+// BinSearchIndex): leftmost tie-breaking, epsilon-boundary fits, slot
+// growth, and category churn. The differential suite
+// (tests/integration/placement_differential_test.cpp) pins the indexed
+// engine against the linear scan end to end; these tests pin the data
+// structure in isolation.
+#include "sim/bin_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/epsilon.hpp"
+#include "core/types.hpp"
+
+namespace cdbp {
+namespace {
+
+TEST(MinLevelTree, AppendAssignsDenseSlots) {
+  MinLevelTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.append(0.5), 0u);
+  EXPECT_EQ(tree.append(0.2), 1u);
+  EXPECT_EQ(tree.append(0.9), 2u);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_DOUBLE_EQ(tree.levelAt(0), 0.5);
+  EXPECT_DOUBLE_EQ(tree.levelAt(1), 0.2);
+  EXPECT_DOUBLE_EQ(tree.levelAt(2), 0.9);
+}
+
+TEST(MinLevelTree, FirstFitReturnsLeftmostFittingSlot) {
+  MinLevelTree tree;
+  tree.append(0.9);   // slot 0: only 0.1 headroom
+  tree.append(0.5);   // slot 1: fits 0.5
+  tree.append(0.1);   // slot 2: fits more, but slot 1 is leftmost
+  EXPECT_EQ(tree.firstFit(0.5), 1u);
+  EXPECT_EQ(tree.firstFit(0.05), 0u);
+  EXPECT_EQ(tree.firstFit(0.6), 2u);
+  EXPECT_EQ(tree.firstFit(0.95), MinLevelTree::npos);
+}
+
+TEST(MinLevelTree, FirstFitBreaksTiesLeft) {
+  MinLevelTree tree;
+  for (int i = 0; i < 5; ++i) tree.append(0.5);
+  EXPECT_EQ(tree.firstFit(0.5), 0u);
+  tree.close(0);
+  EXPECT_EQ(tree.firstFit(0.5), 1u);
+}
+
+TEST(MinLevelTree, MinSlotPrefersLeftmostMinimum) {
+  MinLevelTree tree;
+  tree.append(0.7);
+  tree.append(0.3);
+  tree.append(0.3);  // same minimum as slot 1 — slot 1 wins
+  EXPECT_EQ(tree.minSlot(), 1u);
+  tree.update(1, 0.8);
+  EXPECT_EQ(tree.minSlot(), 2u);
+}
+
+TEST(MinLevelTree, ClosedSlotsAreInvisible) {
+  MinLevelTree tree;
+  tree.append(0.1);
+  tree.append(0.2);
+  tree.close(0);
+  tree.close(1);
+  EXPECT_EQ(tree.firstFit(0.1), MinLevelTree::npos);
+  EXPECT_EQ(tree.minSlot(), MinLevelTree::npos);
+  EXPECT_EQ(tree.levelAt(0), MinLevelTree::kClosed);
+}
+
+TEST(MinLevelTree, GrowthPreservesLevelsAndAnswers) {
+  // Push well past the initial capacity so the backing array doubles
+  // several times; every level must survive the rebuilds.
+  MinLevelTree tree;
+  const std::size_t n = 300;
+  for (std::size_t i = 0; i < n; ++i) {
+    tree.append(static_cast<Size>(i % 10) / 10.0);
+  }
+  ASSERT_EQ(tree.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(tree.levelAt(i), static_cast<Size>(i % 10) / 10.0);
+  }
+  // Leftmost slot with level <= 0.5 that fits size 0.5 is slot 0 (level 0).
+  EXPECT_EQ(tree.firstFit(0.5), 0u);
+  // Close the first decade; the next zero-level slot is slot 10.
+  for (std::size_t i = 0; i < 10; ++i) tree.close(i);
+  EXPECT_EQ(tree.firstFit(1.0), 10u);
+  EXPECT_EQ(tree.minSlot(), 10u);
+}
+
+TEST(MinLevelTree, EpsilonBoundaryMatchesFitsCapacity) {
+  // The descent must use the exact fitsCapacity tolerance: a level that
+  // overshoots capacity by less than kSizeEps still fits, one that
+  // overshoots by more does not.
+  MinLevelTree just;
+  just.append(0.6);
+  EXPECT_TRUE(fitsCapacity(0.6, 0.4 + kSizeEps / 2));
+  EXPECT_EQ(just.firstFit(0.4 + kSizeEps / 2), 0u);
+  EXPECT_FALSE(fitsCapacity(0.6, 0.4 + 10 * kSizeEps));
+  EXPECT_EQ(just.firstFit(0.4 + 10 * kSizeEps), MinLevelTree::npos);
+}
+
+TEST(BinSearchIndex, QueriesEmptyIndexReturnNewBin) {
+  BinSearchIndex index;
+  EXPECT_EQ(index.firstFit(0.5), kNewBin);
+  EXPECT_EQ(index.bestFit(0.5), kNewBin);
+  EXPECT_EQ(index.worstFit(0.5), kNewBin);
+  EXPECT_EQ(index.firstFitIn(3, 0.5), kNewBin);
+  EXPECT_EQ(index.bestFitIn(3, 0.5), kNewBin);
+  EXPECT_EQ(index.worstFitIn(3, 0.5), kNewBin);
+}
+
+TEST(BinSearchIndex, FirstBestWorstAgreeWithDefinitions) {
+  BinSearchIndex index;
+  index.onOpen(0, 0);
+  index.onLevelChange(0, 0.7);
+  index.onOpen(1, 0);
+  index.onLevelChange(1, 0.4);
+  index.onOpen(2, 0);
+  index.onLevelChange(2, 0.2);
+
+  // size 0.5: bin 0 (level .7) does not fit; leftmost fitting is bin 1.
+  EXPECT_EQ(index.firstFit(0.5), 1);
+  // Best Fit: fullest fitting bin = bin 1 (level .4 > .2).
+  EXPECT_EQ(index.bestFit(0.5), 1);
+  // Worst Fit: emptiest bin overall = bin 2.
+  EXPECT_EQ(index.worstFit(0.5), 2);
+  // size 0.25 fits everywhere: Best Fit now picks bin 0.
+  EXPECT_EQ(index.firstFit(0.25), 0);
+  EXPECT_EQ(index.bestFit(0.25), 0);
+}
+
+TEST(BinSearchIndex, BestFitBreaksLevelTiesByEarliestBin) {
+  BinSearchIndex index;
+  index.onOpen(0, 0);
+  index.onLevelChange(0, 0.5);
+  index.onOpen(1, 0);
+  index.onLevelChange(1, 0.5);
+  index.onOpen(2, 0);
+  index.onLevelChange(2, 0.5);
+  EXPECT_EQ(index.bestFit(0.3), 0);
+  index.onClose(0);
+  EXPECT_EQ(index.bestFit(0.3), 1);
+}
+
+TEST(BinSearchIndex, BestFitSkipsNonFittingLevelRuns) {
+  // Several bins share a level that does not fit; the query must skip the
+  // whole run and land on the fullest level that does.
+  BinSearchIndex index;
+  for (BinId id = 0; id < 4; ++id) {
+    index.onOpen(id, 0);
+    index.onLevelChange(id, 0.8);  // none of these fit size 0.3
+  }
+  index.onOpen(4, 0);
+  index.onLevelChange(4, 0.6);
+  index.onOpen(5, 0);
+  index.onLevelChange(5, 0.1);
+  EXPECT_EQ(index.bestFit(0.3), 4);
+  index.onClose(4);
+  EXPECT_EQ(index.bestFit(0.3), 5);
+}
+
+TEST(BinSearchIndex, EpsilonBoundaryFitsInAllThreeQueries) {
+  BinSearchIndex index;
+  index.onOpen(0, 0);
+  index.onLevelChange(0, 0.6);
+  Size justFits = 0.4 + kSizeEps / 2;
+  Size tooBig = 0.4 + 10 * kSizeEps;
+  EXPECT_EQ(index.firstFit(justFits), 0);
+  EXPECT_EQ(index.bestFit(justFits), 0);
+  EXPECT_EQ(index.worstFit(justFits), 0);
+  EXPECT_EQ(index.firstFit(tooBig), kNewBin);
+  EXPECT_EQ(index.bestFit(tooBig), kNewBin);
+  EXPECT_EQ(index.worstFit(tooBig), kNewBin);
+}
+
+TEST(BinSearchIndex, CategoryScopesAreIndependent) {
+  BinSearchIndex index;
+  index.onOpen(0, 7);
+  index.onLevelChange(0, 0.2);
+  index.onOpen(1, 9);
+  index.onLevelChange(1, 0.1);
+
+  EXPECT_EQ(index.firstFitIn(7, 0.5), 0);
+  EXPECT_EQ(index.firstFitIn(9, 0.5), 1);
+  EXPECT_EQ(index.firstFitIn(8, 0.5), kNewBin);
+  // The global scope sees both; bin 0 is leftmost, bin 1 is emptiest.
+  EXPECT_EQ(index.firstFit(0.5), 0);
+  EXPECT_EQ(index.worstFit(0.5), 1);
+}
+
+TEST(BinSearchIndex, CategoryChurnRoutesToFreshBins) {
+  // Open and close bins of the same category repeatedly: closed slots must
+  // stay invisible and new bins (new dense ids) must be found, including
+  // by an already-materialized Best Fit set.
+  BinSearchIndex index;
+  BinId next = 0;
+  for (int round = 0; round < 5; ++round) {
+    BinId a = next++;
+    BinId b = next++;
+    index.onOpen(a, 42);
+    index.onLevelChange(a, 0.5);
+    index.onOpen(b, 42);
+    index.onLevelChange(b, 0.3);
+    EXPECT_EQ(index.firstFitIn(42, 0.4), a);
+    EXPECT_EQ(index.bestFitIn(42, 0.4), a);
+    EXPECT_EQ(index.worstFitIn(42, 0.4), b);
+    index.onClose(a);
+    EXPECT_EQ(index.firstFitIn(42, 0.4), b);
+    EXPECT_EQ(index.bestFitIn(42, 0.4), b);
+    index.onClose(b);
+    EXPECT_EQ(index.firstFitIn(42, 0.4), kNewBin);
+    EXPECT_EQ(index.bestFitIn(42, 0.4), kNewBin);
+    EXPECT_EQ(index.worstFitIn(42, 0.4), kNewBin);
+  }
+}
+
+TEST(BinSearchIndex, LevelChangesKeepBestFitSetCurrent) {
+  BinSearchIndex index;
+  index.onOpen(0, 0);
+  index.onLevelChange(0, 0.3);
+  index.onOpen(1, 0);
+  index.onLevelChange(1, 0.2);
+  EXPECT_EQ(index.bestFit(0.5), 0);  // materializes the set
+  // Items arrive and depart: the incremental maintenance must track.
+  index.onLevelChange(1, 0.45);
+  EXPECT_EQ(index.bestFit(0.5), 1);
+  index.onLevelChange(1, 0.05);
+  EXPECT_EQ(index.bestFit(0.5), 0);
+  index.onLevelChange(0, 0.9);
+  EXPECT_EQ(index.bestFit(0.5), 1);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -14,7 +14,7 @@ class AlwaysNewBin : public OnlinePolicy {
  public:
   std::string name() const override { return "AlwaysNewBin"; }
   bool clairvoyant() const override { return false; }
-  PlacementDecision place(const BinManager&, const Item&) override {
+  PlacementDecision place(const PlacementView&, const Item&) override {
     return PlacementDecision::fresh(0);
   }
 };
@@ -24,8 +24,8 @@ class StuckOnBinZero : public OnlinePolicy {
  public:
   std::string name() const override { return "StuckOnBinZero"; }
   bool clairvoyant() const override { return false; }
-  PlacementDecision place(const BinManager& bins, const Item&) override {
-    if (bins.binsOpened() == 0) return PlacementDecision::fresh(0);
+  PlacementDecision place(const PlacementView& view, const Item&) override {
+    if (view.binsOpened() == 0) return PlacementDecision::fresh(0);
     return PlacementDecision::existing(0);
   }
 };
@@ -93,10 +93,10 @@ TEST(Simulator, AnnounceHookPerturbsOnlyWhatPoliciesSee) {
     std::vector<Time> seenDepartures;
     std::string name() const override { return "Recorder"; }
     bool clairvoyant() const override { return true; }
-    PlacementDecision place(const BinManager& bins, const Item& item) override {
+    PlacementDecision place(const PlacementView& view, const Item& item) override {
       seenDepartures.push_back(item.departure());
-      for (BinId id : bins.openBins()) {
-        if (bins.fits(id, item.size)) return PlacementDecision::existing(id);
+      for (BinId id : view.openBins()) {
+        if (view.fits(id, item.size)) return PlacementDecision::existing(id);
       }
       return PlacementDecision::fresh(0);
     }
@@ -133,7 +133,7 @@ TEST(Simulator, CategoriesUsedCountsDistinctTags) {
     int next = 0;
     std::string name() const override { return "TagPerItem"; }
     bool clairvoyant() const override { return false; }
-    PlacementDecision place(const BinManager&, const Item&) override {
+    PlacementDecision place(const PlacementView&, const Item&) override {
       return PlacementDecision::fresh(next++);
     }
     void reset() override { next = 0; }

@@ -107,6 +107,38 @@ TEST(TelemetryInstrumentation, DualColoringTimesBothPhases) {
   }
 }
 
+TEST(TelemetryInstrumentation, FitChecksCountPolicyQueriesOnly) {
+  // Regression: sim.fit_checks used to double-count — the simulator's
+  // validation re-check of the policy's answer went through the same
+  // counted BinManager::fits as the policy's own probes. Validation now
+  // uses the uncounted wouldFit, so the counter reflects policy work only:
+  // under the linear view, one count per probed bin (item 0 scans zero
+  // bins, item 1 probes one), under the indexed engine one count per query
+  // (both items query once). Before the fix each placement into an
+  // existing bin added one more.
+  Instance inst =
+      InstanceBuilder().add(0.4, 0, 10).add(0.4, 1, 10).build();
+  struct Case {
+    PlacementEngine engine;
+    std::uint64_t expected;
+    const char* label;
+  };
+  for (const Case& c : {Case{PlacementEngine::kLinearScan, 1, "linear"},
+                        Case{PlacementEngine::kIndexed, 2, "indexed"}}) {
+    SimOptions options;
+    options.engine = c.engine;
+    RegistrySnapshot before = Registry::global().snapshot();
+    FirstFitPolicy ff;
+    SimResult r = simulateOnline(inst, ff, options);
+    RegistrySnapshot after = Registry::global().snapshot();
+    ASSERT_EQ(r.binsOpened, 1u);
+    if constexpr (telemetry::kEnabled) {
+      EXPECT_EQ(delta(before, after, "sim.fit_checks"), c.expected)
+          << "engine=" << c.label;
+    }
+  }
+}
+
 TEST(TelemetryInstrumentation, SimulatorEmitsChromeTrace) {
   Instance inst = smallWorkload(20);
   telemetry::ChromeTrace trace;

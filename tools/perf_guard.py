@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Perf guard: compare two cdbp-bench-report JSON files by items/sec.
+
+Modes
+-----
+Regression guard (default):
+
+    perf_guard.py BASELINE CURRENT [--max-regression 20]
+
+  For every benchmark present in both reports, compute the throughput
+  ratio current/baseline. Ratios are normalized by their geometric mean
+  before the check, so a uniformly faster or slower machine (CI runners
+  vary a lot) cancels out and only *relative* shifts between benchmarks
+  count. The guard fails when any normalized ratio drops more than
+  --max-regression percent below parity. Pass --absolute to skip the
+  normalization (meaningful only when both reports come from the same
+  machine).
+
+Speedup assertion:
+
+    perf_guard.py BASELINE CURRENT --min-speedup 3 [--filter ManyOpen]
+
+  Requires current/baseline >= FACTOR (raw, never normalized) for every
+  benchmark whose name contains the --filter substring. Used to pin the
+  capacity-indexed placement engine's win over the linear-scan reference:
+  both reports are produced back to back on the same machine, so raw
+  ratios are meaningful.
+
+Only the Python standard library is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_throughputs(path: str) -> dict[str, float]:
+    """Returns {benchmark name: items per second} from a bench report."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except OSError as e:
+        sys.exit(f"perf_guard: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"perf_guard: {path} is not valid JSON: {e}")
+    if report.get("schema") != "cdbp-bench-report":
+        sys.exit(f"perf_guard: {path} is not a cdbp-bench-report")
+    result: dict[str, float] = {}
+    for timing in report.get("timings", []):
+        ips = timing.get("items_per_second", 0.0)
+        if ips > 0:
+            result[timing["name"]] = ips
+    if not result:
+        sys.exit(f"perf_guard: {path} contains no timings")
+    return result
+
+
+def geometric_mean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="reference BENCH_throughput.json")
+    parser.add_argument("current", help="freshly produced BENCH_throughput.json")
+    parser.add_argument(
+        "--max-regression", type=float, default=20.0, metavar="PCT",
+        help="fail when a benchmark loses more than PCT%% items/sec "
+             "relative to the fleet (default 20)")
+    parser.add_argument(
+        "--absolute", action="store_true",
+        help="compare raw ratios without geometric-mean normalization")
+    parser.add_argument(
+        "--min-speedup", type=float, default=None, metavar="FACTOR",
+        help="instead of the regression check, require current >= "
+             "FACTOR x baseline (raw) on matching benchmarks")
+    parser.add_argument(
+        "--filter", default="", metavar="SUBSTR",
+        help="restrict the comparison to benchmarks containing SUBSTR")
+    args = parser.parse_args()
+
+    baseline = load_throughputs(args.baseline)
+    current = load_throughputs(args.current)
+
+    names = sorted(
+        name for name in baseline
+        if name in current and args.filter in name)
+    if not names:
+        sys.exit("perf_guard: no common benchmarks to compare "
+                 f"(filter: '{args.filter or '<none>'}')")
+    skipped = sorted(set(baseline) ^ set(current))
+    if skipped:
+        print(f"perf_guard: note: {len(skipped)} benchmark(s) present in "
+              f"only one report are skipped: {', '.join(skipped)}")
+
+    ratios = {name: current[name] / baseline[name] for name in names}
+
+    if args.min_speedup is not None:
+        failures = []
+        print(f"perf_guard: speedup check (>= {args.min_speedup:g}x) over "
+              f"{len(names)} benchmark(s):")
+        for name in names:
+            verdict = "ok" if ratios[name] >= args.min_speedup else "FAIL"
+            print(f"  {verdict:4} {name}: {ratios[name]:.2f}x "
+                  f"({baseline[name]:,.0f} -> {current[name]:,.0f} items/s)")
+            if verdict == "FAIL":
+                failures.append(name)
+        if failures:
+            print(f"perf_guard: FAILED — {len(failures)} benchmark(s) below "
+                  f"{args.min_speedup:g}x: {', '.join(failures)}")
+            return 1
+        print("perf_guard: speedup check passed")
+        return 0
+
+    norm = 1.0 if args.absolute else geometric_mean(list(ratios.values()))
+    floor = 1.0 - args.max_regression / 100.0
+    mode = "absolute" if args.absolute else f"fleet-normalized (geomean {norm:.3f}x)"
+    print(f"perf_guard: regression check, {mode}, floor {floor:.2f}x, "
+          f"{len(names)} benchmark(s):")
+    failures = []
+    for name in names:
+        normalized = ratios[name] / norm
+        verdict = "ok" if normalized >= floor else "FAIL"
+        print(f"  {verdict:4} {name}: {normalized:.3f}x normalized "
+              f"({ratios[name]:.3f}x raw, "
+              f"{baseline[name]:,.0f} -> {current[name]:,.0f} items/s)")
+        if verdict == "FAIL":
+            failures.append(name)
+    if failures:
+        print(f"perf_guard: FAILED — {len(failures)} benchmark(s) regressed "
+              f"more than {args.max_regression:g}%: {', '.join(failures)}")
+        return 1
+    print("perf_guard: no regression beyond "
+          f"{args.max_regression:g}% detected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
