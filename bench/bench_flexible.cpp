@@ -6,13 +6,21 @@
 // with the slack factor and saturates once windows are wide enough to
 // nestle every short job into already-paid-for busy periods.
 //
-// Flags: --jobs <int> (default 400), --seeds <int> (default 5).
+// Flags:
+//   --jobs N     jobs per cell (default 400)
+//   --seeds N    seeds per cell (default 5)
+//   --threads N  worker threads for the sweep cells (0 = hardware)
+//   --engine E   placement engine for the online simulator:
+//                indexed (default) | linear
+//   --json[=PATH]  write BENCH_flexible.json (schema: DESIGN.md §8.3)
 #include <iostream>
+#include <vector>
 
 #include "core/lower_bounds.hpp"
 #include "flexible/flexible_scheduler.hpp"
 #include "flexible/flexible_workload.hpp"
 #include "flexible/online_flexible.hpp"
+#include "sim/run_many.hpp"
 #include "telemetry/bench_report.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
@@ -20,33 +28,63 @@
 
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags = Flags::strictOrDie(argc, argv, {"jobs", "seeds", "json"});
+  Flags flags = Flags::strictOrDie(argc, argv,
+                                   {"jobs", "seeds", "threads", "engine",
+                                    "json"});
   std::size_t jobs = static_cast<std::size_t>(flags.getInt("jobs", 400));
   std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 5));
+  unsigned threads = static_cast<unsigned>(flags.getInt("threads", 0));
+  std::string engineName = flags.getString("engine", "indexed");
+  FlexSimOptions simOptions;
+  if (engineName == "indexed") {
+    simOptions.engine = PlacementEngine::kIndexed;
+  } else if (engineName == "linear") {
+    simOptions.engine = PlacementEngine::kLinearScan;
+  } else {
+    std::cerr << "bench_flexible: --engine must be 'indexed' or 'linear', "
+                 "got '" << engineName << "'\n";
+    return 1;
+  }
 
   std::cout << "=== FLEX: alignment-greedy vs ASAP scheduling of flexible "
                "jobs ===\n";
+  const std::vector<double> offlineSlacks = {0.0, 0.25, 0.5, 1.0,
+                                             2.0, 4.0,  8.0};
+  // Cells fan out over runCells into pre-sized slots, so the tables are
+  // identical under any --threads value.
+  struct OfflineCell {
+    double asapRatio = 0, alignedRatio = 0, saving = 0;
+  };
+  std::vector<OfflineCell> offlineCells(offlineSlacks.size() * numSeeds);
+  runCells(threads, offlineCells.size(), [&](std::size_t cell) {
+    std::size_t k = cell / numSeeds;
+    std::size_t s = cell % numSeeds;
+    FlexibleWorkloadSpec spec;
+    spec.numJobs = jobs;
+    spec.slackFactor = offlineSlacks[k];
+    FlexibleInstance inst = generateFlexibleWorkload(spec, 300 + s);
+    FlexibleSchedule asap = scheduleAsap(inst);
+    FlexibleSchedule aligned = scheduleAligned(inst);
+    // Normalize both by the LB3 of the ASAP materialization — a fixed
+    // yardstick per instance (the true flexible optimum can only be
+    // lower).
+    double lb3 = lowerBounds(*asap.fixedInstance).ceilIntegral;
+    offlineCells[cell] = {asap.totalUsage / lb3, aligned.totalUsage / lb3,
+                          100.0 * (asap.totalUsage - aligned.totalUsage) /
+                              asap.totalUsage};
+  });
   Table table({"slack factor", "ASAP usage/LB3", "Aligned usage/LB3",
                "mean saving (%)"});
-  for (double slack : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+  for (std::size_t k = 0; k < offlineSlacks.size(); ++k) {
     SummaryStats asapRatio, alignedRatio, saving;
     for (std::size_t s = 0; s < numSeeds; ++s) {
-      FlexibleWorkloadSpec spec;
-      spec.numJobs = jobs;
-      spec.slackFactor = slack;
-      FlexibleInstance inst = generateFlexibleWorkload(spec, 300 + s);
-      FlexibleSchedule asap = scheduleAsap(inst);
-      FlexibleSchedule aligned = scheduleAligned(inst);
-      // Normalize both by the LB3 of the ASAP materialization — a fixed
-      // yardstick per instance (the true flexible optimum can only be
-      // lower).
-      double lb3 = lowerBounds(*asap.fixedInstance).ceilIntegral;
-      asapRatio.add(asap.totalUsage / lb3);
-      alignedRatio.add(aligned.totalUsage / lb3);
-      saving.add(100.0 * (asap.totalUsage - aligned.totalUsage) /
-                 asap.totalUsage);
+      const OfflineCell& c = offlineCells[k * numSeeds + s];
+      asapRatio.add(c.asapRatio);
+      alignedRatio.add(c.alignedRatio);
+      saving.add(c.saving);
     }
-    table.addRow({Table::num(slack, 2), Table::num(asapRatio.mean(), 3),
+    table.addRow({Table::num(offlineSlacks[k], 2),
+                  Table::num(asapRatio.mean(), 3),
                   Table::num(alignedRatio.mean(), 3),
                   Table::num(saving.mean(), 1)});
   }
@@ -58,28 +96,43 @@ int main(int argc, char** argv) {
   // lever. Expect the online defer-align policy to recover part of the
   // offline saving, paying for its lack of lookahead with forced starts.
   std::cout << "\n=== FLEX-online: deferred starts without lookahead ===\n";
+  const std::vector<double> onlineSlacks = {0.0, 0.5, 1.0, 2.0, 4.0, 8.0};
+  struct OnlineCell {
+    double asapRatio = 0, alignRatio = 0, saving = 0, forcedShare = 0;
+  };
+  std::vector<OnlineCell> onlineCells(onlineSlacks.size() * numSeeds);
+  runCells(threads, onlineCells.size(), [&](std::size_t cell) {
+    std::size_t k = cell / numSeeds;
+    std::size_t s = cell % numSeeds;
+    FlexibleWorkloadSpec spec;
+    spec.numJobs = jobs;
+    spec.slackFactor = onlineSlacks[k];
+    FlexibleInstance inst = generateFlexibleWorkload(spec, 300 + s);
+    FlexStartAsapFF asapPolicy;
+    FlexDeferAlign alignPolicy;
+    FlexOnlineResult asap = simulateFlexibleOnline(inst, asapPolicy, simOptions);
+    FlexOnlineResult aligned =
+        simulateFlexibleOnline(inst, alignPolicy, simOptions);
+    double lb3 = lowerBounds(*asap.fixedInstance).ceilIntegral;
+    onlineCells[cell] = {asap.totalUsage / lb3, aligned.totalUsage / lb3,
+                         100.0 * (asap.totalUsage - aligned.totalUsage) /
+                             asap.totalUsage,
+                         100.0 * static_cast<double>(aligned.forcedStarts) /
+                             static_cast<double>(inst.size())};
+  });
   Table online({"slack factor", "online ASAP /LB3", "online DeferAlign /LB3",
                 "saving (%)", "forced starts (%)"});
-  for (double slack : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+  for (std::size_t k = 0; k < onlineSlacks.size(); ++k) {
     SummaryStats asapRatio, alignRatio, saving, forcedShare;
     for (std::size_t s = 0; s < numSeeds; ++s) {
-      FlexibleWorkloadSpec spec;
-      spec.numJobs = jobs;
-      spec.slackFactor = slack;
-      FlexibleInstance inst = generateFlexibleWorkload(spec, 300 + s);
-      FlexStartAsapFF asapPolicy;
-      FlexDeferAlign alignPolicy;
-      FlexOnlineResult asap = simulateFlexibleOnline(inst, asapPolicy);
-      FlexOnlineResult aligned = simulateFlexibleOnline(inst, alignPolicy);
-      double lb3 = lowerBounds(*asap.fixedInstance).ceilIntegral;
-      asapRatio.add(asap.totalUsage / lb3);
-      alignRatio.add(aligned.totalUsage / lb3);
-      saving.add(100.0 * (asap.totalUsage - aligned.totalUsage) /
-                 asap.totalUsage);
-      forcedShare.add(100.0 * static_cast<double>(aligned.forcedStarts) /
-                      static_cast<double>(inst.size()));
+      const OnlineCell& c = onlineCells[k * numSeeds + s];
+      asapRatio.add(c.asapRatio);
+      alignRatio.add(c.alignRatio);
+      saving.add(c.saving);
+      forcedShare.add(c.forcedShare);
     }
-    online.addRow({Table::num(slack, 2), Table::num(asapRatio.mean(), 3),
+    online.addRow({Table::num(onlineSlacks[k], 2),
+                   Table::num(asapRatio.mean(), 3),
                    Table::num(alignRatio.mean(), 3),
                    Table::num(saving.mean(), 1),
                    Table::num(forcedShare.mean(), 1)});
@@ -89,6 +142,7 @@ int main(int argc, char** argv) {
   telemetry::BenchReport report("flexible");
   report.setParam("jobs", jobs);
   report.setParam("seeds", numSeeds);
+  report.setParam("engine", engineName);
   report.addTable("offline_aligned_vs_asap", table);
   report.addTable("online_defer_align", online);
   report.writeIfRequested(flags, std::cout);

@@ -1,5 +1,6 @@
 // Experiment MD (paper §6 future work: multiple resource dimensions):
-// vector packing policies across dimension counts and demand correlation.
+// vector packing policies across dimension counts and demand correlation,
+// plus timed throughput series for the generic placement substrate.
 //
 // Expected shape: usage/LB grows with the number of dimensions for every
 // policy (the per-dimension lower bound gets looser and stranded capacity
@@ -7,27 +8,173 @@
 // the classification strategies keep their edge over plain fits on
 // fragmentation-prone duration mixes.
 //
-// Flags: --items <int> (default 1500), --seeds <int> (default 4).
+// The MdManyOpen timing series is the perf-guard gate for the indexed
+// engine on the vector substrate: a high arrival rate keeps hundreds of
+// bins open, so placement cost is dominated by bin search — O(B) probes
+// under --engine linear versus a pruned tree descent under the indexed
+// engine. Demand correlation is set high because the index prunes on the
+// componentwise minimum over a subtree: with correlated demands that
+// minimum is close to a level some real bin attains, so pruning is nearly
+// exact; with independent coordinates the minimum is an optimistic phantom
+// and the descent degenerates toward a scan.
+//
+// Flags:
+//   --items N       items per ratio-table cell (default 1500)
+//   --seeds N       seeds per ratio-table cell (default 4)
+//   --threads N     worker threads for the ratio tables (0 = hardware)
+//   --engine E      placement engine: indexed (default) | linear
+//   --reps N        timed repetitions per benchmark (default 7)
+//   --warmup N      untimed warmup passes (default 1)
+//   --filter STR    only run timing series whose name contains STR
+//                   (a non-empty filter also skips the ratio tables)
+//   --max-items N   skip timing series with more than N items (CI smoke)
+//   --csv           render the timing table as CSV
+//   --json[=PATH]   write BENCH_multidim.json (schema: DESIGN.md §8.3)
+#include <cstdint>
+#include <functional>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "multidim/md_lower_bounds.hpp"
 #include "multidim/md_policies.hpp"
 #include "multidim/md_workload.hpp"
+#include "sim/run_many.hpp"
 #include "telemetry/bench_report.hpp"
+#include "telemetry/clock.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
+namespace cdbp {
+namespace {
+
+// A volatile sink keeps the optimizer from discarding benchmark results.
+volatile double g_sink = 0;
+
+struct PolicySpec {
+  std::string label;
+  MdClassifyPolicy::Config config;
+};
+
+/// One point on a ratio-table axis: a row label plus the workload spec and
+/// seed base that generate its instances.
+struct AxisPoint {
+  std::string label;
+  MdWorkloadSpec spec;
+  std::uint64_t seedBase;
+};
+
+/// Builds one usage/LB3 table: rows are axis points, columns are policies,
+/// each cell the mean ratio over `numSeeds` seeds. Instances (and their
+/// lower bounds) are generated once per (point, seed) and shared across the
+/// policy axis; all cells fan out over runCells, with results written into
+/// pre-sized slots so the table is identical under any --threads value.
+Table ratioTable(const std::string& axisHeader,
+                 const std::vector<AxisPoint>& axis,
+                 const std::vector<PolicySpec>& policies, std::size_t numSeeds,
+                 unsigned threads, const MdSimOptions& simOptions) {
+  const std::size_t numPolicies = policies.size();
+
+  struct Built {
+    std::shared_ptr<const MdInstance> inst;
+    double lb = 1;
+  };
+  std::vector<Built> built(axis.size() * numSeeds);
+  runCells(threads, built.size(), [&](std::size_t task) {
+    std::size_t a = task / numSeeds;
+    std::size_t s = task % numSeeds;
+    auto inst = std::make_shared<const MdInstance>(
+        generateMdWorkload(axis[a].spec, axis[a].seedBase + s));
+    built[task].lb = mdLowerBounds(*inst).ceilIntegral;
+    built[task].inst = std::move(inst);
+  });
+
+  std::vector<double> ratios(axis.size() * numPolicies * numSeeds);
+  runCells(threads, ratios.size(), [&](std::size_t cell) {
+    std::size_t a = cell / (numPolicies * numSeeds);
+    std::size_t p = (cell / numSeeds) % numPolicies;
+    std::size_t s = cell % numSeeds;
+    const Built& input = built[a * numSeeds + s];
+    MdClassifyPolicy::Config config = policies[p].config;
+    config.base = input.inst->minDuration();
+    MdClassifyPolicy policy(config);
+    MdSimResult r = mdSimulateOnline(*input.inst, policy, simOptions);
+    ratios[cell] = r.totalUsage / input.lb;
+  });
+
+  Table table([&] {
+    std::vector<std::string> h = {axisHeader};
+    for (const PolicySpec& p : policies) h.push_back(p.label);
+    return h;
+  }());
+  for (std::size_t a = 0; a < axis.size(); ++a) {
+    std::vector<std::string> row = {axis[a].label};
+    for (std::size_t p = 0; p < numPolicies; ++p) {
+      SummaryStats stats;
+      for (std::size_t s = 0; s < numSeeds; ++s) {
+        stats.add(ratios[(a * numPolicies + p) * numSeeds + s]);
+      }
+      row.push_back(Table::num(stats.mean(), 3));
+    }
+    table.addRow(row);
+  }
+  return table;
+}
+
+struct Spec {
+  std::string name;
+  std::size_t items;
+  std::function<void()> body;
+};
+
+void addMdSeries(std::vector<Spec>& specs, const std::string& name,
+                 const MdClassifyPolicy::Config& base,
+                 std::vector<std::size_t> sizes, const MdWorkloadSpec& w0,
+                 std::uint64_t seed, const MdSimOptions& simOptions) {
+  for (std::size_t n : sizes) {
+    MdWorkloadSpec w = w0;
+    w.numItems = n;
+    auto inst = std::make_shared<const MdInstance>(generateMdWorkload(w, seed));
+    MdClassifyPolicy::Config config = base;
+    config.base = inst->minDuration();
+    specs.push_back(
+        {name + "/" + std::to_string(n), n, [inst, config, simOptions] {
+           MdClassifyPolicy policy(config);
+           MdSimResult r = mdSimulateOnline(*inst, policy, simOptions);
+           g_sink = r.totalUsage;
+         }});
+  }
+}
+
+}  // namespace
+}  // namespace cdbp
+
 int main(int argc, char** argv) {
   using namespace cdbp;
-  Flags flags = Flags::strictOrDie(argc, argv, {"items", "seeds", "json"});
+  Flags flags = Flags::strictOrDie(
+      argc, argv, {"items", "seeds", "threads", "engine", "reps", "warmup",
+                   "filter", "max-items", "csv", "json"});
   std::size_t items = static_cast<std::size_t>(flags.getInt("items", 1500));
   std::size_t numSeeds = static_cast<std::size_t>(flags.getInt("seeds", 4));
+  unsigned threads = static_cast<unsigned>(flags.getInt("threads", 0));
+  std::size_t reps = static_cast<std::size_t>(flags.getInt("reps", 7));
+  std::size_t warmup = static_cast<std::size_t>(flags.getInt("warmup", 1));
+  std::string filter = flags.getString("filter", "");
+  long maxItems = flags.getInt("max-items", 0);  // 0 = no limit
+  std::string engineName = flags.getString("engine", "indexed");
+  MdSimOptions simOptions;
+  if (engineName == "indexed") {
+    simOptions.engine = PlacementEngine::kIndexed;
+  } else if (engineName == "linear") {
+    simOptions.engine = PlacementEngine::kLinearScan;
+  } else {
+    std::cerr << "bench_multidim: --engine must be 'indexed' or 'linear', "
+                 "got '" << engineName << "'\n";
+    return 1;
+  }
 
-  struct PolicySpec {
-    std::string label;
-    MdClassifyPolicy::Config config;
-  };
   std::vector<PolicySpec> policies = {
       {"MD-FirstFit", {MdFitRule::kFirstFit, MdCategoryRule::kNone, 1, 1, 2}},
       {"MD-DominantFit",
@@ -36,69 +183,112 @@ int main(int argc, char** argv) {
       {"MD-CD-FF", {MdFitRule::kFirstFit, MdCategoryRule::kDuration, 1, 1, 2}},
   };
 
-  std::cout << "=== MD1: usage / per-dimension LB3 vs dimension count ("
-            << items << " items x " << numSeeds << " seeds) ===\n";
-  Table byDims([&] {
-    std::vector<std::string> h = {"dims"};
-    for (const PolicySpec& p : policies) h.push_back(p.label);
-    return h;
-  }());
-  for (std::size_t dims : {1u, 2u, 3u, 4u, 6u}) {
-    std::vector<std::string> row = {std::to_string(dims)};
-    for (const PolicySpec& p : policies) {
-      SummaryStats stats;
-      for (std::size_t s = 0; s < numSeeds; ++s) {
-        MdWorkloadSpec spec;
-        spec.numItems = items;
-        spec.dims = dims;
-        MdInstance inst = generateMdWorkload(spec, 100 + s);
-        MdClassifyPolicy::Config config = p.config;
-        config.base = inst.minDuration();
-        MdClassifyPolicy policy(config);
-        MdSimResult r = mdSimulateOnline(inst, policy);
-        stats.add(r.totalUsage / mdLowerBounds(inst).ceilIntegral);
-      }
-      row.push_back(Table::num(stats.mean(), 3));
-    }
-    byDims.addRow(row);
-  }
-  byDims.print(std::cout);
-
-  std::cout << "\n=== MD2: effect of demand correlation (dims = 3) ===\n";
-  Table byCorr([&] {
-    std::vector<std::string> h = {"correlation"};
-    for (const PolicySpec& p : policies) h.push_back(p.label);
-    return h;
-  }());
-  for (double corr : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-    std::vector<std::string> row = {Table::num(corr, 2)};
-    for (const PolicySpec& p : policies) {
-      SummaryStats stats;
-      for (std::size_t s = 0; s < numSeeds; ++s) {
-        MdWorkloadSpec spec;
-        spec.numItems = items;
-        spec.dims = 3;
-        spec.correlation = corr;
-        MdInstance inst = generateMdWorkload(spec, 200 + s);
-        MdClassifyPolicy::Config config = p.config;
-        config.base = inst.minDuration();
-        MdClassifyPolicy policy(config);
-        MdSimResult r = mdSimulateOnline(inst, policy);
-        stats.add(r.totalUsage / mdLowerBounds(inst).ceilIntegral);
-      }
-      row.push_back(Table::num(stats.mean(), 3));
-    }
-    byCorr.addRow(row);
-  }
-  byCorr.print(std::cout);
-  std::cout << "\nRatios use the per-dimension Proposition 3 bound, which "
-               "weakens as dims grow — expect all curves to rise.\n";
-
   telemetry::BenchReport report("multidim");
   report.setParam("items", items);
   report.setParam("seeds", numSeeds);
-  report.addTable("usage_vs_dims", byDims);
-  report.addTable("usage_vs_correlation", byCorr);
+  report.setParam("reps", reps);
+  report.setParam("warmup", warmup);
+  report.setParam("max_items", maxItems);
+  report.setParam("filter", filter);
+  report.setParam("engine", engineName);
+
+  // Ratio tables (skipped under --filter: a filtered run wants exactly the
+  // named timing series, e.g. the perf-guard engine comparison).
+  if (filter.empty()) {
+    std::vector<AxisPoint> dimsAxis;
+    for (std::size_t dims : {1u, 2u, 3u, 4u, 6u}) {
+      MdWorkloadSpec spec;
+      spec.numItems = items;
+      spec.dims = dims;
+      dimsAxis.push_back({std::to_string(dims), spec, 100});
+    }
+    std::cout << "=== MD1: usage / per-dimension LB3 vs dimension count ("
+              << items << " items x " << numSeeds << " seeds) ===\n";
+    Table byDims =
+        ratioTable("dims", dimsAxis, policies, numSeeds, threads, simOptions);
+    byDims.print(std::cout);
+
+    std::vector<AxisPoint> corrAxis;
+    for (double corr : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      MdWorkloadSpec spec;
+      spec.numItems = items;
+      spec.dims = 3;
+      spec.correlation = corr;
+      corrAxis.push_back({Table::num(corr, 2), spec, 200});
+    }
+    std::cout << "\n=== MD2: effect of demand correlation (dims = 3) ===\n";
+    Table byCorr = ratioTable("correlation", corrAxis, policies, numSeeds,
+                              threads, simOptions);
+    byCorr.print(std::cout);
+    std::cout << "\nRatios use the per-dimension Proposition 3 bound, which "
+                 "weakens as dims grow — expect all curves to rise.\n\n";
+
+    report.addTable("usage_vs_dims", byDims);
+    report.addTable("usage_vs_correlation", byCorr);
+  }
+
+  // Timed series.
+  MdWorkloadSpec base;
+  base.dims = 3;
+  // The engine-comparison stress series (see the file comment): many open
+  // bins via the arrival rate, high correlation so the index prunes well.
+  MdWorkloadSpec manyOpen;
+  manyOpen.dims = 2;
+  manyOpen.arrivalRate = 512.0;
+  manyOpen.correlation = 0.95;
+
+  std::vector<Spec> specs;
+  addMdSeries(specs, "MdFirstFitOnline", policies[0].config, {1000, 4000},
+              base, 400, simOptions);
+  addMdSeries(specs, "MdDominantFitOnline", policies[1].config, {1000, 4000},
+              base, 400, simOptions);
+  addMdSeries(specs, "MdManyOpen", policies[0].config, {4000, 16000}, manyOpen,
+              401, simOptions);
+
+  Table table({"benchmark", "items", "mean ms", "stddev ms", "items/s"});
+  std::size_t ran = 0;
+  for (const Spec& spec : specs) {
+    if (!filter.empty() && spec.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    if (maxItems > 0 && spec.items > static_cast<std::size_t>(maxItems)) {
+      continue;
+    }
+    ++ran;
+    for (std::size_t w = 0; w < warmup; ++w) spec.body();
+
+    telemetry::RegistrySnapshot before = telemetry::Registry::global().snapshot();
+    telemetry::BenchTimingSeries& series =
+        report.addTiming(spec.name, spec.items);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      std::uint64_t t0 = telemetry::monotonicNanos();
+      spec.body();
+      std::uint64_t t1 = telemetry::monotonicNanos();
+      series.addRepSeconds(static_cast<double>(t1 - t0) * 1e-9);
+    }
+    telemetry::RegistrySnapshot after = telemetry::Registry::global().snapshot();
+    series.setCounterDeltas(telemetry::diffCounters(before, after));
+
+    table.addRow({spec.name, std::to_string(spec.items),
+                  Table::num(series.seconds().mean() * 1e3, 3),
+                  Table::num(series.seconds().stddev() * 1e3, 3),
+                  Table::num(series.itemsPerSecond(), 0)});
+  }
+
+  std::cout << "=== multidim timings (" << reps << " reps, warmup " << warmup
+            << ", engine " << engineName << ", telemetry "
+            << (telemetry::kEnabled ? "on" : "off") << ") ===\n";
+  if (flags.has("csv")) {
+    table.printCsv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  if (ran == 0) {
+    std::cerr << "bench_multidim: no benchmark matched --filter/--max-items\n";
+    return 1;
+  }
+
+  report.addTable("timings", table);
   report.writeIfRequested(flags, std::cout);
   return 0;
 }

@@ -9,12 +9,14 @@
 #
 # Usage: scripts/check.sh [--quick] [--perf]
 #   --quick runs only lint + the Release suite (steps 1-2).
-#   --perf additionally runs the reduced throughput bench (the CI
-#          perf-smoke job), leaves BENCH_throughput.json behind, and runs
-#          tools/perf_guard.py against the committed baselines: no
-#          benchmark may lose >20% items/sec relative to the fleet, and
-#          the indexed engine must stay >=3x the linear scan on the
-#          many-open-bins series.
+#   --perf additionally runs the reduced throughput and multidim benches
+#          (the CI perf-smoke job), leaves BENCH_throughput.json and
+#          BENCH_multidim.json behind, and runs tools/perf_guard.py
+#          against the committed baselines: no benchmark may lose >20%
+#          items/sec relative to the fleet, and the indexed engine must
+#          stay >=3x the linear scan on the scalar many-open-bins series
+#          and >=2x on the multidim one (vector pruning is approximate,
+#          so the bar is lower).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -54,6 +56,20 @@ if [[ "$PERF" == "1" ]]; then
     --engine linear --json=BENCH_throughput_linear.json
   python3 tools/perf_guard.py BENCH_throughput_linear.json \
     BENCH_throughput.json --min-speedup 3 --filter ManyOpen
+
+  step "perf smoke (reduced multidim bench -> BENCH_multidim.json)"
+  ./build-release/bench/bench_multidim --reps 3 --max-items 4000 \
+    --json=BENCH_multidim.json
+
+  step "multidim perf guard (>20% regression vs committed baseline fails)"
+  python3 tools/perf_guard.py bench/baselines/BENCH_multidim.json \
+    BENCH_multidim.json
+
+  step "multidim perf guard (indexed engine >=2x linear scan on many-open-bins)"
+  ./build-release/bench/bench_multidim --reps 3 --max-items 4000 \
+    --engine linear --filter MdManyOpen --json=BENCH_multidim_linear.json
+  python3 tools/perf_guard.py BENCH_multidim_linear.json \
+    BENCH_multidim.json --min-speedup 2 --filter MdManyOpen
 fi
 
 if [[ "$QUICK" == "1" ]]; then

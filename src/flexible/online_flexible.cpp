@@ -9,12 +9,10 @@
 
 namespace cdbp {
 
-FlexDecision FlexStartAsapFF::consider(const BinManager& bins,
+FlexDecision FlexStartAsapFF::consider(const PlacementView& view,
                                        const FlexibleJob& job, Time) {
-  for (BinId id : bins.openBins()) {
-    if (bins.fits(id, job.size)) return FlexDecision::start(id);
-  }
-  return FlexDecision::startFresh();
+  BinId id = view.firstFit(job.size);
+  return id == kNewBin ? FlexDecision::startFresh() : FlexDecision::start(id);
 }
 
 void FlexDeferAlign::onPlaced(BinId bin, Time departure) {
@@ -25,13 +23,16 @@ void FlexDeferAlign::onPlaced(BinId bin, Time departure) {
       std::max(binEnds_[static_cast<std::size_t>(bin)], departure);
 }
 
-FlexDecision FlexDeferAlign::consider(const BinManager& bins,
+FlexDecision FlexDeferAlign::consider(const PlacementView& view,
                                       const FlexibleJob& job, Time now) {
   bool forced = now >= job.latestStart() - kTimeEps;
   // Look for a zero-marginal slot: fits now and the bin is already
-  // committed past now + length.
-  for (BinId id : bins.openBins()) {
-    if (!bins.fits(id, job.size)) continue;
+  // committed past now + length. The slot criterion depends on policy
+  // state (binEnds_) the substrate cannot rank by, so this stays a
+  // bespoke scan over the view's open-list surface.
+  // cdbp-lint: allow(raw-bin-loop): selection keys on policy-private binEnds_, not a substrate query
+  for (BinId id : view.openBins()) {
+    if (!view.fits(id, job.size)) continue;
     Time binEnd = static_cast<std::size_t>(id) < binEnds_.size()
                       ? binEnds_[static_cast<std::size_t>(id)]
                       : 0;
@@ -39,10 +40,8 @@ FlexDecision FlexDeferAlign::consider(const BinManager& bins,
   }
   if (!forced) return FlexDecision::defer();
   // Forced: plain First Fit, fresh bin as a last resort.
-  for (BinId id : bins.openBins()) {
-    if (bins.fits(id, job.size)) return FlexDecision::start(id);
-  }
-  return FlexDecision::startFresh();
+  BinId id = view.firstFit(job.size);
+  return id == kNewBin ? FlexDecision::startFresh() : FlexDecision::start(id);
 }
 
 std::optional<std::string> FlexOnlineResult::validate(
@@ -59,9 +58,10 @@ std::optional<std::string> FlexOnlineResult::validate(
 }
 
 FlexOnlineResult simulateFlexibleOnline(const FlexibleInstance& instance,
-                                        FlexOnlinePolicy& policy) {
+                                        FlexOnlinePolicy& policy,
+                                        const FlexSimOptions& options) {
   policy.reset();
-  BinManager bins;
+  BinManager bins(options.engine == PlacementEngine::kIndexed);
   std::vector<Time> starts(instance.size(),
                            std::numeric_limits<Time>::quiet_NaN());
   std::vector<BinId> binOf(instance.size(), kUnassigned);
@@ -89,7 +89,9 @@ FlexOnlineResult simulateFlexibleOnline(const FlexibleInstance& instance,
                       bool forced) {
     if (target == kNewBin) {
       target = bins.openBin(0, now);
-    } else if (!bins.info(target).open || !bins.fits(target, job.size)) {
+    } else if (!bins.wouldFit(target, job.size)) {
+      // Validation re-check: wouldFit is the uncounted twin of fits(), so
+      // sim.fit_checks measures policy-issued queries only.
       throw std::logic_error(policy.name() + " started job " +
                              std::to_string(job.id) +
                              " into an infeasible bin");
@@ -132,7 +134,8 @@ FlexOnlineResult simulateFlexibleOnline(const FlexibleInstance& instance,
       for (std::size_t i = 0; i < pending.size();) {
         const FlexibleJob& job = instance[pending[i]];
         bool forced = t >= job.latestStart() - kTimeEps;
-        FlexDecision decision = policy.consider(bins, job, t);
+        PlacementView view(bins, t);
+        FlexDecision decision = policy.consider(view, job, t);
         if (decision.startNow || forced) {
           BinId target = decision.startNow ? decision.bin : kNewBin;
           placeJob(job, target, t, forced);

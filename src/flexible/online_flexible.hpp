@@ -16,7 +16,7 @@
 
 #include "core/packing.hpp"
 #include "flexible/flexible_job.hpp"
-#include "sim/bin_manager.hpp"
+#include "sim/placement_view.hpp"
 
 namespace cdbp {
 
@@ -39,9 +39,10 @@ class FlexOnlinePolicy {
 
   /// Called for each pending job (release order) at every event time.
   /// `now` >= job.release; the job can still be deferred iff
-  /// now < job.latestStart().
-  virtual FlexDecision consider(const BinManager& bins, const FlexibleJob& job,
-                                Time now) = 0;
+  /// now < job.latestStart(). Placement queries go through the view, so
+  /// they are answered by whichever engine the simulation selected.
+  virtual FlexDecision consider(const PlacementView& view,
+                                const FlexibleJob& job, Time now) = 0;
 
   /// Notification after every successful start (policies tracking per-bin
   /// state override this; default no-op).
@@ -55,7 +56,7 @@ class FlexOnlinePolicy {
 class FlexStartAsapFF : public FlexOnlinePolicy {
  public:
   std::string name() const override { return "Flex-ASAP-FF"; }
-  FlexDecision consider(const BinManager& bins, const FlexibleJob& job,
+  FlexDecision consider(const PlacementView& view, const FlexibleJob& job,
                         Time now) override;
 };
 
@@ -66,7 +67,7 @@ class FlexStartAsapFF : public FlexOnlinePolicy {
 class FlexDeferAlign : public FlexOnlinePolicy {
  public:
   std::string name() const override { return "Flex-DeferAlign"; }
-  FlexDecision consider(const BinManager& bins, const FlexibleJob& job,
+  FlexDecision consider(const PlacementView& view, const FlexibleJob& job,
                         Time now) override;
   void reset() override { binEnds_.clear(); }
   void onPlaced(BinId bin, Time departure) override;
@@ -86,9 +87,16 @@ struct FlexOnlineResult {
   std::optional<std::string> validate(const FlexibleInstance& instance) const;
 };
 
+struct FlexSimOptions {
+  /// Placement engine selection; both engines produce bit-identical
+  /// schedules and packings (the flexible differential suite pins this).
+  PlacementEngine engine = PlacementEngine::kIndexed;
+};
+
 /// Runs the event-driven online simulation. Throws std::logic_error when a
 /// policy starts a job into an infeasible bin.
 FlexOnlineResult simulateFlexibleOnline(const FlexibleInstance& instance,
-                                        FlexOnlinePolicy& policy);
+                                        FlexOnlinePolicy& policy,
+                                        const FlexSimOptions& options = {});
 
 }  // namespace cdbp

@@ -2,64 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/epsilon.hpp"
-#include "util/check.hpp"
+#include "sim/bin_manager.hpp"
 
 namespace cdbp {
 
-const std::vector<BinId>& MdBinManager::openBins(int category) const {
-  static const std::vector<BinId> kEmpty;
-  auto it = openByCategory_.find(category);
-  return it == openByCategory_.end() ? kEmpty : it->second;
+namespace {
+
+// Same flat, pre-sorted timeline as the scalar simulator: departures order
+// before arrivals at the same instant (the old departure heap drained
+// everything with time <= the arrival), and simultaneous departures drain
+// in item-id order — the heap's (time, id) pop order — so bin levels
+// evolve through the identical sequence of floating-point updates.
+enum : std::uint8_t { kDeparture = 0, kArrival = 1 };
+
+struct TimelineEvent {
+  Time time;
+  ItemId item;
+  std::uint8_t kind;
+};
+
+bool timelineBefore(const TimelineEvent& a, const TimelineEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  return a.item < b.item;
 }
 
-BinId MdBinManager::openBin(int category, std::size_t dims) {
-  BinId id = static_cast<BinId>(bins_.size());
-  bins_.push_back({id, category, Resources::zero(dims), 0, true});
-  openByCategory_[category].push_back(id);
-  ++open_;
-  return id;
-}
-
-void MdBinManager::addItem(BinId id, const Resources& demand) {
-  CDBP_DCHECK(id >= 0 && static_cast<std::size_t>(id) < bins_.size(),
-              "addItem: bin id ", id, " out of range");
-  BinInfo& bin = bins_[static_cast<std::size_t>(id)];
-  if (!bin.open) throw std::logic_error("MdBinManager::addItem: bin closed");
-  CDBP_DCHECK(bin.level.dims() == demand.dims(), "addItem: bin ", id,
-              " has ", bin.level.dims(), " dims, demand has ", demand.dims());
-  CDBP_DCHECK(bin.level.fitsWith(demand), "addItem: bin ", id,
-              " cannot hold the demand in every dimension");
-  bin.level += demand;
-  ++bin.itemCount;
-}
-
-bool MdBinManager::removeItem(BinId id, const Resources& demand) {
-  CDBP_DCHECK(id >= 0 && static_cast<std::size_t>(id) < bins_.size(),
-              "removeItem: bin id ", id, " out of range");
-  BinInfo& bin = bins_[static_cast<std::size_t>(id)];
-  if (!bin.open || bin.itemCount == 0) {
-    throw std::logic_error("MdBinManager::removeItem: bin not holding items");
-  }
-  CDBP_DCHECK(bin.level.dims() == demand.dims(), "removeItem: bin ", id,
-              " has ", bin.level.dims(), " dims, demand has ", demand.dims());
-  bin.level -= demand;
-  --bin.itemCount;
-  if (bin.itemCount > 0) return false;
-  bin.level = Resources::zero(bin.level.dims());
-  bin.open = false;
-  auto& cat = openByCategory_[bin.category];
-  auto catIt = std::find(cat.begin(), cat.end(), id);
-  CDBP_DCHECK(catIt != cat.end(), "removeItem: bin ", id,
-              " missing from category ", bin.category, "'s open list");
-  cat.erase(catIt);
-  --open_;
-  return true;
-}
+}  // namespace
 
 MdClassifyPolicy::MdClassifyPolicy(Config config) : config_(config) {
   if (config_.categories == MdCategoryRule::kDeparture && !(config_.rho > 0)) {
@@ -108,58 +81,61 @@ int MdClassifyPolicy::categoryOf(const MdItem& item) const {
   return 0;
 }
 
-BinId MdClassifyPolicy::place(const MdBinManager& bins, const MdItem& item,
+BinId MdClassifyPolicy::place(const MdPlacementView& view, const MdItem& item,
                               int* category) {
   *category = categoryOf(item);
-  const std::vector<BinId>& candidates = bins.openBins(*category);
   if (config_.fit == MdFitRule::kFirstFit) {
-    for (BinId id : candidates) {
-      if (bins.fits(id, item.demand)) return id;
-    }
-    return kNewBin;
+    return view.firstFitIn(*category, item.demand);
   }
   // Dominant-resource fit: pick the fitting bin whose post-placement
   // dominant coordinate is smallest (keeps dimensions balanced); ties to
   // the earliest-opened bin.
-  BinId best = kNewBin;
-  double bestScore = 2.0;
-  for (BinId id : candidates) {
-    if (!bins.fits(id, item.demand)) continue;
-    Resources after = bins.info(id).level + item.demand;
-    double score = after.maxCoordinate();
-    if (score < bestScore - kSizeEps) {
-      bestScore = score;
-      best = id;
-    }
-  }
-  return best;
+  return view.minScoreFitIn(*category, item.demand,
+                            [&item](const Resources& level) {
+                              return (level + item.demand).maxCoordinate();
+                            });
 }
 
-MdSimResult mdSimulateOnline(const MdInstance& instance, MdOnlinePolicy& policy) {
+MdSimResult mdSimulateOnline(const MdInstance& instance, MdOnlinePolicy& policy,
+                             const MdSimOptions& options) {
   policy.reset();
-  MdBinManager bins;
+  BasicBinManager<VectorResource> bins(
+      options.engine == PlacementEngine::kIndexed,
+      VectorResource::Shape{instance.dims()});
   std::vector<BinId> binOf(instance.size(), kUnassigned);
   std::size_t maxOpen = 0;
 
-  using Departure = std::pair<Time, ItemId>;
-  std::priority_queue<Departure, std::vector<Departure>, std::greater<>> departures;
+  std::vector<TimelineEvent> events;
+  events.reserve(2 * instance.size());
+  for (const MdItem& r : instance.items()) {
+    events.push_back({r.arrival(), r.id, kArrival});
+    events.push_back({r.departure(), r.id, kDeparture});
+  }
+  std::sort(events.begin(), events.end(), timelineBefore);
 
-  for (const MdItem& r : instance.sortedByArrival()) {
-    while (!departures.empty() && departures.top().first <= r.arrival()) {
-      ItemId gone = departures.top().second;
-      departures.pop();
-      bins.removeItem(binOf[gone], instance[gone].demand);
+  std::size_t arrivalsLeft = instance.size();
+  for (std::size_t cursor = 0; cursor < events.size() && arrivalsLeft > 0;
+       ++cursor) {
+    const TimelineEvent& e = events[cursor];
+    if (e.kind == kDeparture) {
+      bins.removeItem(binOf[e.item], instance[e.item].demand);
+      continue;
     }
+    const MdItem& r = instance[e.item];
+    --arrivalsLeft;
+
+    MdPlacementView view(bins, r.arrival());
     int category = 0;
-    BinId target = policy.place(bins, r, &category);
+    BinId target = policy.place(view, r, &category);
     if (target == kNewBin) {
-      target = bins.openBin(category, instance.dims());
-    } else if (!bins.fits(target, r.demand)) {
+      target = bins.openBin(category, r.arrival());
+    } else if (!bins.wouldFit(target, r.demand)) {
+      // Validation re-check: wouldFit is the uncounted twin of fits(), so
+      // sim.fit_checks measures policy-issued queries only.
       throw std::logic_error(policy.name() + " made an infeasible placement");
     }
     bins.addItem(target, r.demand);
     binOf[r.id] = target;
-    departures.emplace(r.departure(), r.id);
     maxOpen = std::max(maxOpen, bins.openCount());
   }
 

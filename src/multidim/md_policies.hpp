@@ -6,46 +6,28 @@
 // implemented: First Fit (earliest-opened bin that fits in every
 // dimension) and Dominant-Resource Best Fit (fitting bin minimizing the
 // post-placement dominant coordinate — a vector-bin-packing heuristic).
+//
+// PR 4: the bespoke MdBinManager is gone. Multidim packing runs on the
+// generic substrate — BasicBinManager<VectorResource> holds the open-bin
+// state and policies query a BasicPlacementView<VectorResource>, so both
+// placement engines (sublinear indexed and linear-scan reference), the
+// CDBP_CHECK contracts, and the sim.* telemetry counters are shared with
+// the scalar simulator.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "multidim/md_instance.hpp"
 #include "multidim/md_packing.hpp"
+#include "sim/placement_view.hpp"
 
 namespace cdbp {
 
-/// Open-bin state for the MD simulator.
-class MdBinManager {
- public:
-  struct BinInfo {
-    BinId id = 0;
-    int category = 0;
-    Resources level;
-    std::size_t itemCount = 0;
-    bool open = false;
-  };
-
-  const std::vector<BinId>& openBins(int category) const;
-  const BinInfo& info(BinId id) const { return bins_[static_cast<std::size_t>(id)]; }
-  bool fits(BinId id, const Resources& demand) const {
-    return info(id).open && info(id).level.fitsWith(demand);
-  }
-  std::size_t binsOpened() const { return bins_.size(); }
-  std::size_t openCount() const { return open_; }
-
-  BinId openBin(int category, std::size_t dims);
-  void addItem(BinId id, const Resources& demand);
-  bool removeItem(BinId id, const Resources& demand);
-
- private:
-  std::vector<BinInfo> bins_;
-  std::map<int, std::vector<BinId>> openByCategory_;
-  std::size_t open_ = 0;
-};
+/// What a multidim policy sees: the vector instantiation of the generic
+/// placement view (per-category first-fit / min-score queries plus the
+/// open-list surface). Instantiated lazily from the headers.
+using MdPlacementView = BasicPlacementView<VectorResource>;
 
 class MdOnlinePolicy {
  public:
@@ -53,7 +35,7 @@ class MdOnlinePolicy {
   virtual std::string name() const = 0;
   /// Returns the bin to place into, or kNewBin; `category` (out) tags a
   /// fresh bin.
-  virtual BinId place(const MdBinManager& bins, const MdItem& item,
+  virtual BinId place(const MdPlacementView& view, const MdItem& item,
                       int* category) = 0;
   virtual void reset() {}
 };
@@ -87,12 +69,20 @@ class MdClassifyPolicy : public MdOnlinePolicy {
   explicit MdClassifyPolicy(Config config);
 
   std::string name() const override;
-  BinId place(const MdBinManager& bins, const MdItem& item, int* category) override;
+  BinId place(const MdPlacementView& view, const MdItem& item,
+              int* category) override;
 
   int categoryOf(const MdItem& item) const;
 
  private:
   Config config_;
+};
+
+struct MdSimOptions {
+  /// Placement engine selection; both engines produce bit-identical
+  /// packings (tests/integration/placement_differential_test.cpp pins the
+  /// multidim suites).
+  PlacementEngine engine = PlacementEngine::kIndexed;
 };
 
 struct MdSimResult {
@@ -104,6 +94,7 @@ struct MdSimResult {
 
 /// Arrival-order simulation with close-on-empty bins, as in the scalar
 /// simulator. Throws std::logic_error on infeasible policy decisions.
-MdSimResult mdSimulateOnline(const MdInstance& instance, MdOnlinePolicy& policy);
+MdSimResult mdSimulateOnline(const MdInstance& instance, MdOnlinePolicy& policy,
+                             const MdSimOptions& options = {});
 
 }  // namespace cdbp

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <initializer_list>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 #include <vector>
@@ -66,6 +67,14 @@ class Resources {
     return true;
   }
 
+  /// Componentwise minimum with another vector (tournament tree re-sift).
+  void assignMin(const Resources& other) {
+    requireSameDims(other);
+    for (std::size_t d = 0; d < values_.size(); ++d) {
+      values_[d] = std::min(values_[d], other.values_[d]);
+    }
+  }
+
   /// Largest coordinate — the "dominant resource" share.
   double maxCoordinate() const {
     double best = 0;
@@ -110,5 +119,55 @@ inline std::ostream& operator<<(std::ostream& os, const Resources& r) {
   }
   return os << ")";
 }
+
+/// Resource model plugging vector bin packing into the generic placement
+/// substrate (sim/resource.hpp documents the concept). Levels and demands
+/// are Resources vectors; a bin fits when every dimension fits.
+///
+/// kIndexable: an internal tree node holds the componentwise minimum of its
+/// leaf levels. fits() on that minimum is a *sound* prune — if even the
+/// pointwise-best combination over the subtree cannot host the demand, no
+/// single leaf can — but not exact (the minimum need not be attained by one
+/// bin), so vector descents may backtrack where scalar ones never do.
+/// kOrderedLevels is false: vectors have no total order, so Best/Worst Fit
+/// queries do not exist for this model (DominantFit uses the scored
+/// traversal instead).
+struct VectorResource {
+  using Level = Resources;
+  using Demand = Resources;
+  struct Shape {
+    std::size_t dims = 0;
+  };
+
+  static constexpr bool kIndexable = true;
+  static constexpr bool kOrderedLevels = false;
+
+  static Level zeroLevel(const Shape& shape) {
+    return Resources::zero(shape.dims);
+  }
+  static Level closedLevel(const Shape& shape) {
+    return Resources(std::vector<double>(
+        shape.dims, std::numeric_limits<double>::infinity()));
+  }
+  static bool isClosed(const Level& level) {
+    return level.dims() > 0 &&
+           level[0] == std::numeric_limits<double>::infinity();
+  }
+  static bool fits(const Level& level, const Demand& demand) {
+    return level.fitsWith(demand);
+  }
+  static void assignMin(Level& into, const Level& other) {
+    into.assignMin(other);
+  }
+  static void add(Level& level, const Demand& demand) { level += demand; }
+  static void subtract(Level& level, const Demand& demand) { level -= demand; }
+  static bool canRelease(const Level& level, const Demand& demand) {
+    if (level.dims() != demand.dims()) return false;
+    for (std::size_t d = 0; d < level.dims(); ++d) {
+      if (!leq(demand[d], level[d])) return false;
+    }
+    return true;
+  }
+};
 
 }  // namespace cdbp

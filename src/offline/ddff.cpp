@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <vector>
 
-#include "core/bin_timeline.hpp"
+#include "offline/interval_resource.hpp"
+#include "sim/placement_view.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace cdbp {
@@ -24,27 +25,20 @@ Packing durationDescendingFirstFit(const Instance& instance) {
   }
 
   CDBP_TELEM_SCOPED_TIMER(packTimer, "offline.ddff.pack_ns");
-  std::vector<BinTimeline> bins;
+  // Offline bins never close, so opening order is creation order and the
+  // substrate's linear First Fit reproduces the classic vector scan probe
+  // for probe; each probe counts toward sim.fit_checks (the former
+  // offline.ddff.bins_scanned counter).
+  BasicBinManager<IntervalResource> bins(/*indexed=*/false);
+  BasicPlacementView<IntervalResource> view(bins, 0.0);
   std::vector<BinId> binOf(instance.size(), kUnassigned);
-  std::uint64_t scans = 0;
   for (const Item& r : order) {
-    BinId chosen = kNewBin;
-    for (std::size_t b = 0; b < bins.size(); ++b) {
-      ++scans;
-      if (bins[b].fits(r)) {
-        chosen = static_cast<BinId>(b);
-        break;
-      }
-    }
-    if (chosen == kNewBin) {
-      bins.emplace_back();
-      chosen = static_cast<BinId>(bins.size() - 1);
-    }
-    bins[static_cast<std::size_t>(chosen)].add(r);
+    BinId chosen = view.firstFit(r);
+    if (chosen == kNewBin) chosen = bins.openBin(0, r.arrival());
+    bins.addItem(chosen, r);
     binOf[r.id] = chosen;
   }
-  CDBP_TELEM_COUNT("offline.ddff.bins_scanned", scans);
-  CDBP_TELEM_COUNT("offline.ddff.bins_opened", bins.size());
+  CDBP_TELEM_COUNT("offline.ddff.bins_opened", bins.binsOpened());
   CDBP_TELEM_COUNT("offline.ddff.runs", 1);
   return Packing(instance, std::move(binOf));
 }

@@ -5,8 +5,9 @@
 #include <map>
 #include <vector>
 
-#include "core/bin_timeline.hpp"
 #include "core/epsilon.hpp"
+#include "offline/interval_resource.hpp"
+#include "sim/placement_view.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
@@ -18,20 +19,16 @@ namespace {
 /// bin keys starting at `firstKey`. Returns the number of bins used.
 std::size_t firstFitInto(const std::vector<Item>& items, int firstKey,
                          std::map<ItemId, int>* keyOf) {
-  std::vector<BinTimeline> bins;
+  // Append-only interval bins on the generic substrate; see ddff.cpp.
+  BasicBinManager<IntervalResource> bins(/*indexed=*/false);
+  BasicPlacementView<IntervalResource> view(bins, 0.0);
   for (const Item& r : items) {
-    std::size_t chosen = bins.size();
-    for (std::size_t b = 0; b < bins.size(); ++b) {
-      if (bins[b].fits(r)) {
-        chosen = b;
-        break;
-      }
-    }
-    if (chosen == bins.size()) bins.emplace_back();
-    bins[chosen].add(r);
+    BinId chosen = view.firstFit(r);
+    if (chosen == kNewBin) chosen = bins.openBin(0, r.arrival());
+    bins.addItem(chosen, r);
     (*keyOf)[r.id] = firstKey + static_cast<int>(chosen);
   }
-  return bins.size();
+  return bins.binsOpened();
 }
 
 }  // namespace

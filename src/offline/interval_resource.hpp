@@ -1,0 +1,42 @@
+// IntervalResource: the offline algorithms' resource model for the generic
+// placement substrate (sim/resource.hpp documents the concept).
+//
+// Offline First Fit variants (DDFF, Ordered First Fit, Dual Coloring's
+// group packing) place items with full knowledge of their active
+// intervals: a bin "level" is a whole BinTimeline and an item fits when
+// its size fits under the timeline's peak over the item's interval.
+// Offline bins accumulate forever — nothing departs mid-run — so the model
+// is append-only: kIndexable is false (a BinTimeline has no sound
+// componentwise minimum) and subtract is deleted. The substrate's linear
+// first-fit scan over bins in opening order reproduces the classic
+// std::vector<BinTimeline> loops decision for decision.
+#pragma once
+
+#include "core/bin_timeline.hpp"
+#include "core/item.hpp"
+
+namespace cdbp {
+
+struct IntervalResource {
+  using Level = BinTimeline;
+  using Demand = Item;
+  struct Shape {};
+
+  /// No tournament tree: interval levels admit no sound subtree summary,
+  /// and the offline algorithms are defined by their linear scan order.
+  static constexpr bool kIndexable = false;
+  static constexpr bool kOrderedLevels = false;
+
+  static Level zeroLevel(const Shape&) { return BinTimeline(); }
+  static bool isClosed(const Level&) { return false; }
+  static bool fits(const Level& timeline, const Demand& item) {
+    return timeline.fits(item);
+  }
+  static void add(Level& timeline, const Demand& item) { timeline.add(item); }
+  /// Offline bins never shrink; any instantiation of removeItem for this
+  /// model is a bug caught at compile time.
+  static void subtract(Level&, const Demand&) = delete;
+  static bool canRelease(const Level&, const Demand&) = delete;
+};
+
+}  // namespace cdbp

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <vector>
 
-#include "core/bin_timeline.hpp"
 #include "offline/ddff.hpp"
+#include "offline/interval_resource.hpp"
+#include "sim/placement_view.hpp"
 
 namespace cdbp {
 
@@ -64,19 +65,15 @@ Packing orderedFirstFit(const Instance& instance, ItemOrder order) {
       break;
   }
 
-  std::vector<BinTimeline> bins;
+  // Append-only interval bins on the generic substrate; see ddff.cpp.
+  BasicBinManager<IntervalResource> bins(/*indexed=*/false);
+  BasicPlacementView<IntervalResource> view(bins, 0.0);
   std::vector<BinId> binOf(instance.size(), kUnassigned);
   for (const Item& r : items) {
-    std::size_t chosen = bins.size();
-    for (std::size_t b = 0; b < bins.size(); ++b) {
-      if (bins[b].fits(r)) {
-        chosen = b;
-        break;
-      }
-    }
-    if (chosen == bins.size()) bins.emplace_back();
-    bins[chosen].add(r);
-    binOf[r.id] = static_cast<BinId>(chosen);
+    BinId chosen = view.firstFit(r);
+    if (chosen == kNewBin) chosen = bins.openBin(0, r.arrival());
+    bins.addItem(chosen, r);
+    binOf[r.id] = chosen;
   }
   return Packing(instance, std::move(binOf));
 }

@@ -44,6 +44,7 @@ PlacementDecision NextFitPolicy::place(const PlacementView& view,
 PlacementDecision RandomFitPolicy::place(const PlacementView& view,
                                          const Item& item) {
   std::vector<BinId> feasible;
+  // cdbp-lint: allow(raw-bin-loop): uniform sampling needs the full feasible set, not one query answer
   for (BinId id : view.openBins()) {
     if (view.fits(id, item.size)) feasible.push_back(id);
   }

@@ -9,6 +9,7 @@ PlacementDecision MinExtensionPolicy::place(const PlacementView& view,
   BinId best = kNewBin;
   double bestCost = item.duration();  // cost of a fresh bin
   double bestLevel = -1;
+  // cdbp-lint: allow(raw-bin-loop): extension cost keys on policy-private departure tracking, not the bin level
   for (BinId id : view.openBins()) {
     if (!view.fits(id, item.size)) continue;
     double binEnd = tracker_.latestDeparture(id);
@@ -35,6 +36,7 @@ PlacementDecision DepartureAlignedBestFit::place(const PlacementView& view,
                                                  const Item& item) {
   BinId best = kNewBin;
   double bestDistance = kTimeInfinity;
+  // cdbp-lint: allow(raw-bin-loop): alignment distance keys on policy-private departure tracking, not the bin level
   for (BinId id : view.openBins()) {
     if (!view.fits(id, item.size)) continue;
     double distance =

@@ -1,72 +1,10 @@
+// Explicit instantiation of the scalar bin manager (declared extern in the
+// header) so the hot scalar path is compiled exactly once. Other resource
+// models instantiate lazily from the header in the TUs that use them.
 #include "sim/bin_manager.hpp"
-
-#include <algorithm>
-#include <stdexcept>
-
-#include "util/check.hpp"
 
 namespace cdbp {
 
-const std::vector<BinId>& BinManager::openBins(int category) const {
-  static const std::vector<BinId> kEmpty;
-  auto it = openByCategory_.find(category);
-  return it == openByCategory_.end() ? kEmpty : it->second;
-}
-
-BinId BinManager::openBin(int category, Time now) {
-  BinId id = static_cast<BinId>(bins_.size());
-  bins_.push_back({id, category, 0.0, 0, now, true});
-  open_.push_back(id);
-  openByCategory_[category].push_back(id);
-  if (indexed_) index_.onOpen(id, category);
-  CDBP_TELEM_COUNT("sim.bins_opened", 1);
-  CDBP_TELEM_GAUGE_SET("sim.open_bins", open_.size());
-  return id;
-}
-
-void BinManager::addItem(BinId id, Size size) {
-  CDBP_DCHECK(id >= 0 && static_cast<std::size_t>(id) < bins_.size(),
-              "addItem: bin id ", id, " out of range");
-  BinInfo& bin = bins_[static_cast<std::size_t>(id)];
-  if (!bin.open) throw std::logic_error("BinManager::addItem: bin is closed");
-  CDBP_DCHECK(fitsCapacity(bin.level, size), "addItem: bin ", id,
-              " at level ", bin.level, " cannot hold size ", size);
-  bin.level += size;
-  ++bin.itemCount;
-  if (indexed_) index_.onLevelChange(id, bin.level);
-}
-
-bool BinManager::removeItem(BinId id, Size size) {
-  CDBP_DCHECK(id >= 0 && static_cast<std::size_t>(id) < bins_.size(),
-              "removeItem: bin id ", id, " out of range");
-  BinInfo& bin = bins_[static_cast<std::size_t>(id)];
-  if (!bin.open || bin.itemCount == 0) {
-    throw std::logic_error("BinManager::removeItem: bin is not holding items");
-  }
-  CDBP_DCHECK(leq(size, bin.level), "removeItem: bin ", id, " at level ",
-              bin.level, " cannot release size ", size,
-              " (level would go negative)");
-  bin.level -= size;
-  --bin.itemCount;
-  if (bin.itemCount > 0) {
-    if (indexed_) index_.onLevelChange(id, bin.level);
-    return false;
-  }
-  bin.level = 0;  // flush accumulated floating-point residue
-  bin.open = false;
-  if (indexed_) index_.onClose(id);
-  auto openIt = std::find(open_.begin(), open_.end(), id);
-  CDBP_DCHECK(openIt != open_.end(), "removeItem: bin ", id,
-              " missing from the open list");
-  open_.erase(openIt);
-  auto& cat = openByCategory_[bin.category];
-  auto catIt = std::find(cat.begin(), cat.end(), id);
-  CDBP_DCHECK(catIt != cat.end(), "removeItem: bin ", id,
-              " missing from category ", bin.category, "'s open list");
-  cat.erase(catIt);
-  CDBP_TELEM_COUNT("sim.bins_closed", 1);
-  CDBP_TELEM_GAUGE_SET("sim.open_bins", open_.size());
-  return true;
-}
+template class BasicBinManager<ScalarResource>;
 
 }  // namespace cdbp

@@ -1,4 +1,5 @@
-// BinManager: the open-bin state an online packing policy sees.
+// BasicBinManager: the open-bin state a packing policy sees, generic over
+// a Resource model (sim/resource.hpp documents the concept).
 //
 // Bins are opened when they receive their first item and closed — forever —
 // when their last active item departs (paper §5). Every open bin carries a
@@ -6,33 +7,71 @@
 // departure-time, classify-by-duration, Hybrid First Fit) only co-locate
 // items of the same category, so the manager maintains per-category open
 // lists in opening order.
+//
+// One manager serves every packing variant:
+//   BasicBinManager<ScalarResource>   (alias BinManager) — the scalar
+//       simulator and the 7 online policies, unchanged from PR 3.
+//   BasicBinManager<VectorResource>   — the multidim module.
+//   BasicBinManager<IntervalResource> — the offline First Fit passes
+//       (append-only: bins never close, linear engine only).
+//
+// Contract violations (mutating a closed bin, releasing from an empty
+// bin) are programming errors, not recoverable conditions: they abort via
+// CDBP_CHECK in every build mode.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <map>
 #include <vector>
 
 #include "core/epsilon.hpp"
-#include "core/item.hpp"
 #include "core/types.hpp"
 #include "sim/bin_search.hpp"
+#include "sim/resource.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/check.hpp"
 
 namespace cdbp {
 
-class BinManager {
+/// Which placement machinery backs the PlacementView queries.
+enum class PlacementEngine {
+  /// Sublinear capacity-indexed search (bin_search.hpp); the default.
+  kIndexed,
+  /// The original linear open-list scans, retained as the reference the
+  /// differential tests pin kIndexed against. Skips all index maintenance.
+  kLinearScan,
+};
+
+template <typename R>
+class BasicBinManager {
  public:
+  using Resource = R;
+  using Level = typename R::Level;
+  using Demand = typename R::Demand;
+  using Shape = typename R::Shape;
+
   /// `indexed` selects the placement engine: when true (the default) the
-  /// manager maintains a BinSearchIndex answering first/best/worst-fit
-  /// queries in O(log B); when false it skips all index maintenance and
-  /// PlacementView falls back to the linear open-list scans — the retained
-  /// reference path differential tests pin the index against.
-  explicit BinManager(bool indexed = true) : indexed_(indexed) {}
+  /// manager maintains a BinSearchIndexT answering placement queries in
+  /// O(log B); when false it skips all index maintenance and
+  /// BasicPlacementView falls back to the linear open-list scans — the
+  /// retained reference path differential tests pin the index against.
+  /// Non-indexable resource models (IntervalResource) must pass false.
+  /// `shape` carries the model's per-manager configuration (the dimension
+  /// count for VectorResource; empty for the scalar model).
+  explicit BasicBinManager(bool indexed = true, Shape shape = {})
+      : shape_(shape), indexed_(indexed), index_(shape) {
+    if constexpr (!R::kIndexable) {
+      CDBP_CHECK(!indexed,
+                 "BinManager: this resource model supports only the linear "
+                 "engine (pass indexed = false)");
+    }
+  }
 
   struct BinInfo {
     BinId id = 0;
     int category = 0;
-    Size level = 0;           ///< total size of items currently in the bin
+    Level level{};              ///< total demand currently in the bin
     std::size_t itemCount = 0;  ///< number of items currently in the bin
     Time openedAt = 0;
     bool open = false;
@@ -42,35 +81,46 @@ class BinManager {
   const std::vector<BinId>& openBins() const { return open_; }
 
   /// Open bins of one category in opening order (empty list if none).
-  const std::vector<BinId>& openBins(int category) const;
+  const std::vector<BinId>& openBins(int category) const {
+    static const std::vector<BinId> kEmpty;
+    auto it = openByCategory_.find(category);
+    return it == openByCategory_.end() ? kEmpty : it->second;
+  }
 
   /// Metadata of a bin (open or closed).
-  const BinInfo& info(BinId id) const { return bins_[static_cast<std::size_t>(id)]; }
+  const BinInfo& info(BinId id) const {
+    return bins_[static_cast<std::size_t>(id)];
+  }
 
-  /// Whether adding `size` keeps the bin within the unit capacity. Because
-  /// all already-placed items arrived no later than now, the current level
-  /// is the maximum future level, so this single check certifies
-  /// feasibility over the incoming item's whole stay.
+  /// Whether adding `demand` keeps the bin within capacity (R::fits).
+  /// Under the scalar/vector online model, all already-placed items
+  /// arrived no later than now, so the current level is the maximum future
+  /// level and this single check certifies feasibility over the incoming
+  /// item's whole stay; the interval model folds the stay into the
+  /// predicate itself.
   ///
   /// Counts toward `sim.fit_checks`: this is the policy-visible probe (via
-  /// PlacementView::fits). Infrastructure re-checks must use wouldFit so
-  /// the counter measures policy work only.
-  bool fits(BinId id, Size size) const {
+  /// BasicPlacementView::fits). Infrastructure re-checks must use wouldFit
+  /// so the counter measures policy work only.
+  bool fits(BinId id, const Demand& demand) const {
     CDBP_TELEM_COUNT("sim.fit_checks", 1);
-    return wouldFit(id, size);
+    return wouldFit(id, demand);
   }
 
   /// Uncounted feasibility check for infrastructure use (the simulator's
   /// post-decision validation). Identical predicate to fits().
-  bool wouldFit(BinId id, Size size) const {
-    return info(id).open && fitsCapacity(info(id).level, size);
+  bool wouldFit(BinId id, const Demand& demand) const {
+    return info(id).open && R::fits(info(id).level, demand);
   }
 
   /// True when the sublinear placement index is maintained.
   bool indexed() const { return indexed_; }
 
   /// The placement index; only valid when indexed() is true.
-  const BinSearchIndex& index() const { return index_; }
+  const BinSearchIndexT<R>& index() const { return index_; }
+
+  /// The resource model's per-manager configuration.
+  const Shape& shape() const { return shape_; }
 
   /// Total bins ever opened.
   std::size_t binsOpened() const { return bins_.size(); }
@@ -78,24 +128,90 @@ class BinManager {
   /// Currently open bin count.
   std::size_t openCount() const { return open_.size(); }
 
-  // --- Mutation interface (driven by the Simulator) ---
+  // --- Mutation interface (driven by the simulators) ---
 
   /// Opens a new bin with the given category; returns its global id.
-  BinId openBin(int category, Time now);
+  BinId openBin(int category, Time now) {
+    BinId id = static_cast<BinId>(bins_.size());
+    bins_.push_back(BinInfo{id, category, R::zeroLevel(shape_), 0, now, true});
+    open_.push_back(id);
+    openByCategory_[category].push_back(id);
+    if constexpr (R::kIndexable) {
+      if (indexed_) index_.onOpen(id, category);
+    }
+    CDBP_TELEM_COUNT("sim.bins_opened", 1);
+    CDBP_TELEM_GAUGE_SET("sim.open_bins", open_.size());
+    return id;
+  }
 
-  /// Adds an item's size to a bin.
-  void addItem(BinId id, Size size);
+  /// Adds an item's demand to a bin. The bin must be open (CDBP_CHECK)
+  /// and the demand must fit (CDBP_DCHECK — the simulators validate
+  /// placements with wouldFit before committing).
+  void addItem(BinId id, const Demand& demand) {
+    CDBP_DCHECK(id >= 0 && static_cast<std::size_t>(id) < bins_.size(),
+                "addItem: bin id ", id, " out of range");
+    BinInfo& bin = bins_[static_cast<std::size_t>(id)];
+    CDBP_CHECK(bin.open, "BinManager::addItem: bin ", id, " is closed");
+    CDBP_DCHECK(R::fits(bin.level, demand), "addItem: bin ", id,
+                " cannot hold the demand within capacity");
+    R::add(bin.level, demand);
+    ++bin.itemCount;
+    if constexpr (R::kIndexable) {
+      if (indexed_) index_.onLevelChange(id, bin.level);
+    }
+  }
 
-  /// Removes an item's size; closes the bin when it empties. Returns true
-  /// when the bin closed.
-  bool removeItem(BinId id, Size size);
+  /// Removes an item's demand; closes the bin when it empties. Returns
+  /// true when the bin closed. The bin must be open and non-empty
+  /// (CDBP_CHECK). Unavailable for append-only resource models.
+  bool removeItem(BinId id, const Demand& demand) {
+    CDBP_DCHECK(id >= 0 && static_cast<std::size_t>(id) < bins_.size(),
+                "removeItem: bin id ", id, " out of range");
+    BinInfo& bin = bins_[static_cast<std::size_t>(id)];
+    CDBP_CHECK(bin.open && bin.itemCount > 0, "BinManager::removeItem: bin ",
+               id, " is not holding items");
+    CDBP_DCHECK(R::canRelease(bin.level, demand), "removeItem: bin ", id,
+                " cannot release the demand (level would go negative)");
+    R::subtract(bin.level, demand);
+    --bin.itemCount;
+    if (bin.itemCount > 0) {
+      if constexpr (R::kIndexable) {
+        if (indexed_) index_.onLevelChange(id, bin.level);
+      }
+      return false;
+    }
+    bin.level = R::zeroLevel(shape_);  // flush floating-point residue
+    bin.open = false;
+    if constexpr (R::kIndexable) {
+      if (indexed_) index_.onClose(id);
+    }
+    auto openIt = std::find(open_.begin(), open_.end(), id);
+    CDBP_DCHECK(openIt != open_.end(), "removeItem: bin ", id,
+                " missing from the open list");
+    open_.erase(openIt);
+    auto& cat = openByCategory_[bin.category];
+    auto catIt = std::find(cat.begin(), cat.end(), id);
+    CDBP_DCHECK(catIt != cat.end(), "removeItem: bin ", id,
+                " missing from category ", bin.category, "'s open list");
+    cat.erase(catIt);
+    CDBP_TELEM_COUNT("sim.bins_closed", 1);
+    CDBP_TELEM_GAUGE_SET("sim.open_bins", open_.size());
+    return true;
+  }
 
  private:
+  Shape shape_;
   std::vector<BinInfo> bins_;
   std::vector<BinId> open_;
   std::map<int, std::vector<BinId>> openByCategory_;
   bool indexed_ = true;
-  BinSearchIndex index_;
+  BinSearchIndexT<R> index_;
 };
+
+/// The scalar instantiation keeps its PR 3 name and constructor shape; it
+/// is explicitly instantiated in bin_manager.cpp.
+using BinManager = BasicBinManager<ScalarResource>;
+
+extern template class BasicBinManager<ScalarResource>;
 
 }  // namespace cdbp

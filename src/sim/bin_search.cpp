@@ -1,175 +1,13 @@
+// Explicit instantiation of the scalar placement index — the hot path
+// every online policy and the simulator ride on. Keeping the one
+// instantiation here (declared extern in the header) means the scalar
+// tree/index code is compiled exactly once; other resource models
+// instantiate lazily from the header in the TUs that use them.
 #include "sim/bin_search.hpp"
-
-#include <algorithm>
-
-#include "util/check.hpp"
 
 namespace cdbp {
 
-// --- MinLevelTree ---
-
-void MinLevelTree::grow(std::size_t minCap) {
-  std::size_t newCap = cap_ == 0 ? 1 : cap_;
-  while (newCap < minCap) newCap *= 2;
-  std::vector<Size> fresh(2 * newCap, kClosed);
-  for (std::size_t i = 0; i < size_; ++i) fresh[newCap + i] = tree_[cap_ + i];
-  for (std::size_t i = newCap - 1; i >= 1; --i) {
-    fresh[i] = std::min(fresh[2 * i], fresh[2 * i + 1]);
-  }
-  tree_ = std::move(fresh);
-  cap_ = newCap;
-}
-
-std::size_t MinLevelTree::append(Size level) {
-  if (size_ == cap_) grow(size_ + 1);
-  std::size_t slot = size_++;
-  update(slot, level);
-  return slot;
-}
-
-void MinLevelTree::update(std::size_t slot, Size level) {
-  CDBP_DCHECK(slot < size_, "MinLevelTree::update: slot ", slot,
-              " out of range (size ", size_, ")");
-  std::size_t pos = cap_ + slot;
-  tree_[pos] = level;
-  for (pos /= 2; pos >= 1; pos /= 2) {
-    tree_[pos] = std::min(tree_[2 * pos], tree_[2 * pos + 1]);
-  }
-}
-
-std::size_t MinLevelTree::firstFit(Size size) const {
-  if (size_ == 0 || !fitsCapacity(tree_[1], size)) return npos;
-  std::size_t pos = 1;
-  while (pos < cap_) {
-    // The subtree minimum fits, so at least one child's minimum does;
-    // preferring the left child yields the leftmost (earliest-opened)
-    // fitting slot, exactly like the linear scan's break-on-first-hit.
-    pos = fitsCapacity(tree_[2 * pos], size) ? 2 * pos : 2 * pos + 1;
-  }
-  return pos - cap_;
-}
-
-std::size_t MinLevelTree::minSlot() const {
-  if (size_ == 0 || tree_[1] == kClosed) return npos;
-  std::size_t pos = 1;
-  while (pos < cap_) {
-    // Ties go left: the leftmost slot attaining the global minimum, which
-    // is the earliest-opened bin the linear Worst Fit scan would keep.
-    pos = tree_[2 * pos] <= tree_[2 * pos + 1] ? 2 * pos : 2 * pos + 1;
-  }
-  return pos - cap_;
-}
-
-// --- BinSearchIndex ---
-
-void BinSearchIndex::onOpen(BinId id, int category) {
-  CDBP_DCHECK(static_cast<std::size_t>(id) == category_.size(),
-              "BinSearchIndex::onOpen: ids must arrive densely, got ", id,
-              " expected ", category_.size());
-  std::size_t globalSlot = global_.tree.append(0.0);
-  CDBP_DCHECK(globalSlot == static_cast<std::size_t>(id),
-              "BinSearchIndex: global slot ", globalSlot,
-              " diverged from bin id ", id);
-  global_.slotToBin.push_back(id);
-  Scope& cat = byCategory_[category];
-  std::size_t catSlot = cat.tree.append(0.0);
-  cat.slotToBin.push_back(id);
-  categorySlot_.push_back(catSlot);
-  category_.push_back(category);
-  if (global_.byLevelBuilt) global_.byLevel.insert({0.0, id});
-  if (cat.byLevelBuilt) cat.byLevel.insert({0.0, id});
-}
-
-void BinSearchIndex::apply(Scope& scope, std::size_t slot, BinId id,
-                           Size newLevel) {
-  Size oldLevel = scope.tree.levelAt(slot);
-  if (newLevel == MinLevelTree::kClosed) {
-    scope.tree.close(slot);
-  } else {
-    scope.tree.update(slot, newLevel);
-  }
-  if (scope.byLevelBuilt) {
-    if (oldLevel != MinLevelTree::kClosed) scope.byLevel.erase({oldLevel, id});
-    if (newLevel != MinLevelTree::kClosed) scope.byLevel.insert({newLevel, id});
-  }
-}
-
-void BinSearchIndex::onLevelChange(BinId id, Size newLevel) {
-  std::size_t b = static_cast<std::size_t>(id);
-  CDBP_DCHECK(b < category_.size(),
-              "BinSearchIndex::onLevelChange: unknown bin ", id);
-  apply(global_, b, id, newLevel);
-  apply(byCategory_[category_[b]], categorySlot_[b], id, newLevel);
-}
-
-void BinSearchIndex::onClose(BinId id) {
-  std::size_t b = static_cast<std::size_t>(id);
-  CDBP_DCHECK(b < category_.size(), "BinSearchIndex::onClose: unknown bin ",
-              id);
-  apply(global_, b, id, MinLevelTree::kClosed);
-  apply(byCategory_[category_[b]], categorySlot_[b], id, MinLevelTree::kClosed);
-}
-
-void BinSearchIndex::materialize(const Scope& scope) {
-  for (std::size_t slot = 0; slot < scope.tree.size(); ++slot) {
-    Size level = scope.tree.levelAt(slot);
-    if (level != MinLevelTree::kClosed) {
-      scope.byLevel.insert({level, scope.slotToBin[slot]});
-    }
-  }
-  scope.byLevelBuilt = true;
-}
-
-BinId BinSearchIndex::firstFitIn(const Scope& scope, Size size) {
-  std::size_t slot = scope.tree.firstFit(size);
-  return slot == MinLevelTree::npos ? kNewBin : scope.slotToBin[slot];
-}
-
-BinId BinSearchIndex::bestFitIn(const Scope& scope, Size size) {
-  if (!scope.byLevelBuilt) materialize(scope);
-  const auto& byLevel = scope.byLevel;
-  auto it = byLevel.upper_bound(
-      {fittingLevelUpperBound(size), std::numeric_limits<BinId>::max()});
-  while (it != byLevel.begin()) {
-    --it;
-    if (fitsCapacity(it->first, size)) {
-      // it->first is the maximum fitting level (fitsCapacity is monotone
-      // decreasing in level); take the earliest-opened bin at that level.
-      auto first = byLevel.lower_bound(
-          {it->first, std::numeric_limits<BinId>::min()});
-      return first->second;
-    }
-    // This level sits in the sub-tolerance window between the true cutoff
-    // and the conservative bound; skip its whole run of bins and keep
-    // seeking down. The window is ~1e-12 wide, so this loop effectively
-    // never repeats in practice.
-    it = byLevel.lower_bound({it->first, std::numeric_limits<BinId>::min()});
-  }
-  return kNewBin;
-}
-
-BinId BinSearchIndex::worstFitIn(const Scope& scope, Size size) {
-  std::size_t slot = scope.tree.minSlot();
-  if (slot == MinLevelTree::npos) return kNewBin;
-  // The minimum-level bin fits iff any bin does (monotone fitsCapacity),
-  // and it is exactly the bin the linear Worst Fit scan selects.
-  if (!fitsCapacity(scope.tree.levelAt(slot), size)) return kNewBin;
-  return scope.slotToBin[slot];
-}
-
-BinId BinSearchIndex::firstFitIn(int category, Size size) const {
-  auto it = byCategory_.find(category);
-  return it == byCategory_.end() ? kNewBin : firstFitIn(it->second, size);
-}
-
-BinId BinSearchIndex::bestFitIn(int category, Size size) const {
-  auto it = byCategory_.find(category);
-  return it == byCategory_.end() ? kNewBin : bestFitIn(it->second, size);
-}
-
-BinId BinSearchIndex::worstFitIn(int category, Size size) const {
-  auto it = byCategory_.find(category);
-  return it == byCategory_.end() ? kNewBin : worstFitIn(it->second, size);
-}
+template class MinLevelTreeT<ScalarResource>;
+template class BinSearchIndexT<ScalarResource>;
 
 }  // namespace cdbp

@@ -1,23 +1,33 @@
-// Capacity-indexed bin search: the sublinear placement engine core.
+// Capacity-indexed bin search: the sublinear placement engine core,
+// generic over a Resource model (sim/resource.hpp documents the concept).
 //
-// A BinSearchIndex answers the placement queries every AnyFit/classify
-// policy issues — "leftmost open bin with remaining capacity >= s" (First
-// Fit), "fullest fitting bin" (Best Fit), "emptiest fitting bin" (Worst
-// Fit) — in O(log B) instead of the O(B) open-list scan, for the global
-// open set and for each policy category independently.
+// A BinSearchIndexT<R> answers the placement queries packing policies
+// issue — "leftmost open bin that fits" (First Fit), and for ordered
+// (scalar) levels "fullest fitting bin" (Best Fit) and "emptiest fitting
+// bin" (Worst Fit) — in O(log B) instead of the O(B) open-list scan, for
+// the global open set and for each policy category independently.
 //
-// First/Worst Fit ride on a min-level tournament tree (MinLevelTree): each
-// internal node stores the minimum level of its leaf range, closed slots
-// hold +infinity. The descent uses the *same* fitsCapacity(level, size)
-// predicate as the linear scan, on the same doubles; because fl(level +
-// size) is monotone non-decreasing in level, a subtree contains a fitting
-// bin iff its minimum level fits, so the indexed answers are bit-identical
-// to the linear reference (DESIGN.md §9.1 gives the argument).
+// First/Worst Fit ride on a min-level tournament tree (MinLevelTreeT):
+// each internal node stores the R::assignMin-combination of its leaf
+// range, closed slots hold R::closedLevel, which no demand fits. The
+// descent uses the *same* R::fits predicate as the linear scan, on the
+// same doubles:
 //
-// Best Fit needs the *maximum* fitting level, which a min/max tree cannot
-// localize in O(log B) worst case; it uses a level-ordered set instead,
-// materialized lazily so runs that never ask Best Fit queries (First Fit
-// and every classify policy) pay zero set maintenance.
+//  * Ordered levels (scalar): fits is monotone in the level and the
+//    subtree minimum is attained by a leaf, so "min fits" is exact — the
+//    descent never backtracks and costs O(log B), exactly as in PR 3.
+//  * Vector levels (multidim): the componentwise minimum need not be
+//    attained by any single bin, so "min fits" is only a sound prune
+//    ("false" proves no leaf fits). The descent backtracks left-first,
+//    still returning the leftmost bin that *actually* fits — bit-identical
+//    to the linear reference, with worst-case O(B) on adversarial level
+//    mixes and O(log B) when the prune bites (DESIGN.md §10.2).
+//
+// Best Fit needs the *maximum* fitting level, which a min tree cannot
+// localize; for ordered levels it uses a level-ordered set instead,
+// materialized lazily so runs that never ask Best Fit queries pay zero set
+// maintenance. Unordered models get the scored traversal minScoreFitIn
+// (Dominant-Resource Fit) over the pruned fitting set in opening order.
 #pragma once
 
 #include <cstddef>
@@ -29,91 +39,162 @@
 
 #include "core/epsilon.hpp"
 #include "core/types.hpp"
+#include "sim/resource.hpp"
+#include "util/check.hpp"
 
 namespace cdbp {
 
 /// Array-backed tournament (segment) tree over bin slots keyed by level.
 /// Slots are append-only (bins are never re-opened); a closed slot is
-/// parked at +infinity, which no query can fit into.
-class MinLevelTree {
+/// parked at R::closedLevel, which no query can fit into.
+template <typename R>
+class MinLevelTreeT {
  public:
+  using Level = typename R::Level;
+  using Demand = typename R::Demand;
+  using Shape = typename R::Shape;
+
   static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
 
-  /// Sentinel level for closed / not-yet-opened slots. fitsCapacity(+inf,
-  /// s) is false for every s, so closed slots are invisible to queries.
-  static constexpr Size kClosed = std::numeric_limits<Size>::infinity();
+  explicit MinLevelTreeT(Shape shape = {}) : shape_(shape) {}
 
   /// Appends a slot at the given level; returns its index (dense, in
   /// append order). Amortized O(log B): the backing array doubles.
-  std::size_t append(Size level);
+  std::size_t append(const Level& level);
 
   /// Sets a slot's level and re-sifts the path to the root. O(log B).
-  void update(std::size_t slot, Size level);
+  void update(std::size_t slot, const Level& level);
 
-  /// Parks a slot at +infinity (the bin closed). O(log B).
-  void close(std::size_t slot) { update(slot, kClosed); }
+  /// Parks a slot at the closed sentinel (the bin closed). O(log B).
+  void close(std::size_t slot) { update(slot, R::closedLevel(shape_)); }
 
-  /// Leftmost slot whose level fits `size` (the First Fit answer), or npos
-  /// when no open slot fits. O(log B).
-  std::size_t firstFit(Size size) const;
+  /// Leftmost slot whose level fits `demand` (the First Fit answer), or
+  /// npos when no open slot fits. O(log B) for ordered levels; pruned DFS
+  /// with backtracking otherwise (see the header comment).
+  std::size_t firstFit(const Demand& demand) const;
 
   /// Leftmost slot attaining the minimum level (the Worst Fit candidate —
   /// by monotonicity of fitsCapacity it fits iff any slot does), or npos
-  /// when every slot is closed. O(log B).
-  std::size_t minSlot() const;
+  /// when every slot is closed. O(log B). Ordered (scalar) levels only.
+  std::size_t minSlot() const
+    requires(R::kOrderedLevels);
 
-  /// Current level of a slot (kClosed when closed).
-  Size levelAt(std::size_t slot) const { return tree_[cap_ + slot]; }
+  /// Visits every open slot that fits `demand`, in slot (opening) order,
+  /// as fn(slot, level). Internal nodes failing the sound prune are
+  /// skipped wholesale; leaves are tested exactly, so the visit sequence
+  /// equals the linear scan's sequence of fitting bins.
+  template <typename Fn>
+  void forEachFitting(const Demand& demand, Fn&& fn) const {
+    if (size_ > 0) visitFitting(1, demand, fn);
+  }
+
+  /// Current level of a slot (the closed sentinel when closed).
+  const Level& levelAt(std::size_t slot) const { return tree_[cap_ + slot]; }
 
   /// Slots ever appended (open + closed).
   std::size_t size() const { return size_; }
 
  private:
+  std::size_t searchLeftmost(std::size_t pos, const Demand& demand) const;
+  template <typename Fn>
+  void visitFitting(std::size_t pos, const Demand& demand, Fn&& fn) const;
   void grow(std::size_t minCap);
 
   // tree_[1] is the root, leaves live at [cap_, cap_ + size_); unassigned
-  // leaves are kClosed so they never win a descent.
-  std::vector<Size> tree_;
+  // leaves are closedLevel so they never win a descent.
+  std::vector<Level> tree_;
+  Shape shape_;
   std::size_t cap_ = 0;
   std::size_t size_ = 0;
 };
 
-/// The placement index proper: one MinLevelTree + lazy Best Fit set per
-/// scope, where a scope is either the global open set or one policy
-/// category. BinManager drives it via onOpen / onLevelChange / onClose;
-/// queries return the bin id, or kNewBin when no open bin fits.
-class BinSearchIndex {
+/// The placement index proper: one MinLevelTreeT + (for ordered levels) a
+/// lazy Best Fit set per scope, where a scope is either the global open
+/// set or one policy category. BasicBinManager drives it via onOpen /
+/// onLevelChange / onClose; queries return the bin id, or kNewBin when no
+/// open bin fits.
+template <typename R>
+class BinSearchIndexT {
  public:
+  using Level = typename R::Level;
+  using Demand = typename R::Demand;
+  using Shape = typename R::Shape;
+
+  explicit BinSearchIndexT(Shape shape = {}) : shape_(shape), global_(shape) {}
+
   void onOpen(BinId id, int category);
-  void onLevelChange(BinId id, Size newLevel);
+  void onLevelChange(BinId id, const Level& newLevel);
   void onClose(BinId id);
 
-  BinId firstFit(Size size) const { return firstFitIn(global_, size); }
-  BinId firstFitIn(int category, Size size) const;
-  BinId bestFit(Size size) const { return bestFitIn(global_, size); }
-  BinId bestFitIn(int category, Size size) const;
-  BinId worstFit(Size size) const { return worstFitIn(global_, size); }
-  BinId worstFitIn(int category, Size size) const;
+  BinId firstFit(const Demand& demand) const {
+    return firstFitIn(global_, demand);
+  }
+  BinId firstFitIn(int category, const Demand& demand) const;
+  BinId bestFit(const Demand& demand) const
+    requires(R::kOrderedLevels)
+  {
+    return bestFitIn(global_, demand);
+  }
+  BinId bestFitIn(int category, const Demand& demand) const
+    requires(R::kOrderedLevels);
+  BinId worstFit(const Demand& demand) const
+    requires(R::kOrderedLevels)
+  {
+    return worstFitIn(global_, demand);
+  }
+  BinId worstFitIn(int category, const Demand& demand) const
+    requires(R::kOrderedLevels);
+
+  /// Fitting bin of `category` minimizing score(level), eps-strict
+  /// improvement, ties to the earliest-opened bin — the query behind
+  /// Dominant-Resource Fit. Candidates are enumerated through the pruned
+  /// tree traversal in opening order, so the winner (and every comparison
+  /// deciding it) is identical to the linear scan's.
+  template <typename ScoreFn>
+  BinId minScoreFitIn(int category, const Demand& demand,
+                      ScoreFn&& score) const {
+    auto it = byCategory_.find(category);
+    if (it == byCategory_.end()) return kNewBin;
+    const Scope& scope = it->second;
+    BinId best = kNewBin;
+    double bestScore = std::numeric_limits<double>::infinity();
+    scope.tree.forEachFitting(
+        demand, [&](std::size_t slot, const Level& level) {
+          double s = score(level);
+          if (s < bestScore - kSizeEps) {
+            bestScore = s;
+            best = scope.slotToBin[slot];
+          }
+        });
+    return best;
+  }
 
  private:
   struct Scope {
-    MinLevelTree tree;
+    explicit Scope(Shape shape) : tree(shape) {}
+
+    MinLevelTreeT<R> tree;
     std::vector<BinId> slotToBin;  ///< slot (scope-local) -> global bin id
     /// Open bins ordered by (level, id): Best Fit walks down from the
     /// fitting threshold. Built on the first bestFit query against this
     /// scope and maintained incrementally afterwards; mutable because
     /// materialization happens inside logically-const queries (the index
-    /// is owned by one single-threaded simulation).
-    mutable std::set<std::pair<Size, BinId>> byLevel;
+    /// is owned by one single-threaded simulation). Only touched for
+    /// ordered (scalar) levels.
+    mutable std::set<std::pair<Level, BinId>> byLevel;
     mutable bool byLevelBuilt = false;
   };
 
-  void apply(Scope& scope, std::size_t slot, BinId id, Size newLevel);
-  static void materialize(const Scope& scope);
-  static BinId firstFitIn(const Scope& scope, Size size);
-  static BinId bestFitIn(const Scope& scope, Size size);
-  static BinId worstFitIn(const Scope& scope, Size size);
+  void apply(Scope& scope, std::size_t slot, BinId id, const Level* newLevel);
+  static void materialize(const Scope& scope)
+    requires(R::kOrderedLevels);
+  static BinId firstFitIn(const Scope& scope, const Demand& demand);
+  static BinId bestFitIn(const Scope& scope, const Demand& demand)
+    requires(R::kOrderedLevels);
+  static BinId worstFitIn(const Scope& scope, const Demand& demand)
+    requires(R::kOrderedLevels);
 
+  Shape shape_;
   Scope global_;
   std::map<int, Scope> byCategory_;
   // Per-bin bookkeeping, indexed by the dense BinId. The global slot of bin
@@ -121,5 +202,261 @@ class BinSearchIndex {
   std::vector<std::size_t> categorySlot_;
   std::vector<int> category_;
 };
+
+// The scalar instantiations keep their PR 3 names (and, for the tree, the
+// kClosed sentinel tests poke at); they are explicitly instantiated in
+// bin_search.cpp.
+class MinLevelTree : public MinLevelTreeT<ScalarResource> {
+ public:
+  using MinLevelTreeT<ScalarResource>::MinLevelTreeT;
+
+  /// Sentinel level for closed / not-yet-opened slots. fitsCapacity(+inf,
+  /// s) is false for every s, so closed slots are invisible to queries.
+  static constexpr Size kClosed = std::numeric_limits<Size>::infinity();
+};
+using BinSearchIndex = BinSearchIndexT<ScalarResource>;
+
+// --- template definitions ---
+
+template <typename R>
+void MinLevelTreeT<R>::grow(std::size_t minCap) {
+  std::size_t newCap = cap_ == 0 ? 1 : cap_;
+  while (newCap < minCap) newCap *= 2;
+  std::vector<Level> fresh(2 * newCap, R::closedLevel(shape_));
+  for (std::size_t i = 0; i < size_; ++i) {
+    fresh[newCap + i] = std::move(tree_[cap_ + i]);
+  }
+  for (std::size_t i = newCap - 1; i >= 1; --i) {
+    Level combined = fresh[2 * i];
+    R::assignMin(combined, fresh[2 * i + 1]);
+    fresh[i] = std::move(combined);
+  }
+  tree_ = std::move(fresh);
+  cap_ = newCap;
+}
+
+template <typename R>
+std::size_t MinLevelTreeT<R>::append(const Level& level) {
+  if (size_ == cap_) grow(size_ + 1);
+  std::size_t slot = size_++;
+  update(slot, level);
+  return slot;
+}
+
+template <typename R>
+void MinLevelTreeT<R>::update(std::size_t slot, const Level& level) {
+  CDBP_DCHECK(slot < size_, "MinLevelTree::update: slot ", slot,
+              " out of range (size ", size_, ")");
+  std::size_t pos = cap_ + slot;
+  tree_[pos] = level;
+  for (pos /= 2; pos >= 1; pos /= 2) {
+    Level combined = tree_[2 * pos];
+    R::assignMin(combined, tree_[2 * pos + 1]);
+    tree_[pos] = std::move(combined);
+  }
+}
+
+template <typename R>
+std::size_t MinLevelTreeT<R>::firstFit(const Demand& demand) const {
+  if (size_ == 0 || !R::fits(tree_[1], demand)) return npos;
+  if constexpr (R::kOrderedLevels) {
+    // Exact prune: the subtree minimum is a leaf value and fits is
+    // monotone, so whenever a node's min fits, some leaf below fits —
+    // prefer the left child for the leftmost (earliest-opened) slot,
+    // exactly like the linear scan's break-on-first-hit. Never backtracks.
+    std::size_t pos = 1;
+    while (pos < cap_) {
+      pos = R::fits(tree_[2 * pos], demand) ? 2 * pos : 2 * pos + 1;
+    }
+    return pos - cap_;
+  } else {
+    return searchLeftmost(1, demand);
+  }
+}
+
+template <typename R>
+std::size_t MinLevelTreeT<R>::searchLeftmost(std::size_t pos,
+                                             const Demand& demand) const {
+  // Sound prune: a node whose min-combined level fails R::fits has no
+  // fitting leaf. A passing internal node is only a *maybe* for unordered
+  // levels, so descend left-first and fall back to the right subtree.
+  // Leaves hold actual bin levels, so the leaf test is exact and the first
+  // accepted leaf is the leftmost genuinely fitting bin.
+  if (!R::fits(tree_[pos], demand)) return npos;
+  if (pos >= cap_) return pos - cap_;
+  std::size_t left = searchLeftmost(2 * pos, demand);
+  if (left != npos) return left;
+  return searchLeftmost(2 * pos + 1, demand);
+}
+
+template <typename R>
+template <typename Fn>
+void MinLevelTreeT<R>::visitFitting(std::size_t pos, const Demand& demand,
+                                    Fn&& fn) const {
+  if (!R::fits(tree_[pos], demand)) return;
+  if (pos >= cap_) {
+    fn(pos - cap_, tree_[pos]);
+    return;
+  }
+  visitFitting(2 * pos, demand, fn);
+  visitFitting(2 * pos + 1, demand, fn);
+}
+
+template <typename R>
+std::size_t MinLevelTreeT<R>::minSlot() const
+  requires(R::kOrderedLevels)
+{
+  if (size_ == 0 || R::isClosed(tree_[1])) return npos;
+  std::size_t pos = 1;
+  while (pos < cap_) {
+    // Ties go left: the leftmost slot attaining the global minimum, which
+    // is the earliest-opened bin the linear Worst Fit scan would keep.
+    pos = tree_[2 * pos] <= tree_[2 * pos + 1] ? 2 * pos : 2 * pos + 1;
+  }
+  return pos - cap_;
+}
+
+template <typename R>
+void BinSearchIndexT<R>::onOpen(BinId id, int category) {
+  CDBP_DCHECK(static_cast<std::size_t>(id) == category_.size(),
+              "BinSearchIndex::onOpen: ids must arrive densely, got ", id,
+              " expected ", category_.size());
+  Level zero = R::zeroLevel(shape_);
+  std::size_t globalSlot = global_.tree.append(zero);
+  CDBP_DCHECK(globalSlot == static_cast<std::size_t>(id),
+              "BinSearchIndex: global slot ", globalSlot,
+              " diverged from bin id ", id);
+  global_.slotToBin.push_back(id);
+  Scope& cat = byCategory_.try_emplace(category, shape_).first->second;
+  std::size_t catSlot = cat.tree.append(zero);
+  cat.slotToBin.push_back(id);
+  categorySlot_.push_back(catSlot);
+  category_.push_back(category);
+  if constexpr (R::kOrderedLevels) {
+    if (global_.byLevelBuilt) global_.byLevel.insert({zero, id});
+    if (cat.byLevelBuilt) cat.byLevel.insert({zero, id});
+  }
+}
+
+template <typename R>
+void BinSearchIndexT<R>::apply(Scope& scope, std::size_t slot, BinId id,
+                               const Level* newLevel) {
+  if constexpr (R::kOrderedLevels) {
+    if (scope.byLevelBuilt) {
+      const Level& oldLevel = scope.tree.levelAt(slot);
+      if (!R::isClosed(oldLevel)) scope.byLevel.erase({oldLevel, id});
+      if (newLevel != nullptr) scope.byLevel.insert({*newLevel, id});
+    }
+  }
+  if (newLevel != nullptr) {
+    scope.tree.update(slot, *newLevel);
+  } else {
+    scope.tree.close(slot);
+  }
+}
+
+template <typename R>
+void BinSearchIndexT<R>::onLevelChange(BinId id, const Level& newLevel) {
+  std::size_t b = static_cast<std::size_t>(id);
+  CDBP_DCHECK(b < category_.size(),
+              "BinSearchIndex::onLevelChange: unknown bin ", id);
+  apply(global_, b, id, &newLevel);
+  apply(byCategory_.at(category_[b]), categorySlot_[b], id, &newLevel);
+}
+
+template <typename R>
+void BinSearchIndexT<R>::onClose(BinId id) {
+  std::size_t b = static_cast<std::size_t>(id);
+  CDBP_DCHECK(b < category_.size(), "BinSearchIndex::onClose: unknown bin ",
+              id);
+  apply(global_, b, id, nullptr);
+  apply(byCategory_.at(category_[b]), categorySlot_[b], id, nullptr);
+}
+
+template <typename R>
+void BinSearchIndexT<R>::materialize(const Scope& scope)
+  requires(R::kOrderedLevels)
+{
+  for (std::size_t slot = 0; slot < scope.tree.size(); ++slot) {
+    const Level& level = scope.tree.levelAt(slot);
+    if (!R::isClosed(level)) {
+      scope.byLevel.insert({level, scope.slotToBin[slot]});
+    }
+  }
+  scope.byLevelBuilt = true;
+}
+
+template <typename R>
+BinId BinSearchIndexT<R>::firstFitIn(const Scope& scope,
+                                     const Demand& demand) {
+  std::size_t slot = scope.tree.firstFit(demand);
+  return slot == MinLevelTreeT<R>::npos ? kNewBin : scope.slotToBin[slot];
+}
+
+template <typename R>
+BinId BinSearchIndexT<R>::bestFitIn(const Scope& scope, const Demand& demand)
+  requires(R::kOrderedLevels)
+{
+  if (!scope.byLevelBuilt) materialize(scope);
+  const auto& byLevel = scope.byLevel;
+  auto it = byLevel.upper_bound(
+      {fittingLevelUpperBound(demand), std::numeric_limits<BinId>::max()});
+  while (it != byLevel.begin()) {
+    --it;
+    if (fitsCapacity(it->first, demand)) {
+      // it->first is the maximum fitting level (fitsCapacity is monotone
+      // decreasing in level); take the earliest-opened bin at that level.
+      auto first = byLevel.lower_bound(
+          {it->first, std::numeric_limits<BinId>::min()});
+      return first->second;
+    }
+    // This level sits in the sub-tolerance window between the true cutoff
+    // and the conservative bound; skip its whole run of bins and keep
+    // seeking down. The window is ~1e-12 wide, so this loop effectively
+    // never repeats in practice.
+    it = byLevel.lower_bound({it->first, std::numeric_limits<BinId>::min()});
+  }
+  return kNewBin;
+}
+
+template <typename R>
+BinId BinSearchIndexT<R>::worstFitIn(const Scope& scope, const Demand& demand)
+  requires(R::kOrderedLevels)
+{
+  std::size_t slot = scope.tree.minSlot();
+  if (slot == MinLevelTreeT<R>::npos) return kNewBin;
+  // The minimum-level bin fits iff any bin does (monotone fitsCapacity),
+  // and it is exactly the bin the linear Worst Fit scan selects.
+  if (!fitsCapacity(scope.tree.levelAt(slot), demand)) return kNewBin;
+  return scope.slotToBin[slot];
+}
+
+template <typename R>
+BinId BinSearchIndexT<R>::firstFitIn(int category, const Demand& demand) const {
+  auto it = byCategory_.find(category);
+  return it == byCategory_.end() ? kNewBin : firstFitIn(it->second, demand);
+}
+
+template <typename R>
+BinId BinSearchIndexT<R>::bestFitIn(int category, const Demand& demand) const
+  requires(R::kOrderedLevels)
+{
+  auto it = byCategory_.find(category);
+  return it == byCategory_.end() ? kNewBin : bestFitIn(it->second, demand);
+}
+
+template <typename R>
+BinId BinSearchIndexT<R>::worstFitIn(int category, const Demand& demand) const
+  requires(R::kOrderedLevels)
+{
+  auto it = byCategory_.find(category);
+  return it == byCategory_.end() ? kNewBin : worstFitIn(it->second, demand);
+}
+
+// The hot scalar path is compiled once in bin_search.cpp; other resource
+// models (VectorResource, IntervalResource) instantiate lazily in the TUs
+// that use them.
+extern template class MinLevelTreeT<ScalarResource>;
+extern template class BinSearchIndexT<ScalarResource>;
 
 }  // namespace cdbp

@@ -1,97 +1,9 @@
+// Explicit instantiation of the scalar placement view (declared extern in
+// the header); other resource models instantiate lazily where used.
 #include "sim/placement_view.hpp"
-
-#include <limits>
-
-#include "telemetry/telemetry.hpp"
 
 namespace cdbp {
 
-namespace {
-
-// One indexed query = one policy-visible capacity question. The linear
-// reference path instead counts every probe inside BinManager::fits, which
-// is exactly what the original scanning policies charged.
-inline void countIndexedQuery() { CDBP_TELEM_COUNT("sim.fit_checks", 1); }
-
-}  // namespace
-
-// The linear scans below reproduce the original policy loops verbatim —
-// same iteration order, same comparison operators, same counted fits()
-// probes — so a linear-engine run is byte-for-byte the seed behavior the
-// differential tests compare the index against.
-
-BinId PlacementView::linearFirstFit(const std::vector<BinId>& bins,
-                                    Size size) const {
-  for (BinId id : bins) {
-    if (bins_.fits(id, size)) return id;
-  }
-  return kNewBin;
-}
-
-BinId PlacementView::linearBestFit(const std::vector<BinId>& bins,
-                                   Size size) const {
-  BinId best = kNewBin;
-  Size bestLevel = -1;
-  for (BinId id : bins) {
-    if (!bins_.fits(id, size)) continue;
-    Size level = bins_.info(id).level;
-    if (level > bestLevel) {  // strict: ties keep the earliest-opened bin
-      bestLevel = level;
-      best = id;
-    }
-  }
-  return best;
-}
-
-BinId PlacementView::linearWorstFit(const std::vector<BinId>& bins,
-                                    Size size) const {
-  BinId best = kNewBin;
-  Size bestLevel = std::numeric_limits<Size>::infinity();
-  for (BinId id : bins) {
-    if (!bins_.fits(id, size)) continue;
-    Size level = bins_.info(id).level;
-    if (level < bestLevel) {  // strict: ties keep the earliest-opened bin
-      bestLevel = level;
-      best = id;
-    }
-  }
-  return best;
-}
-
-BinId PlacementView::firstFit(Size size) const {
-  if (!indexed()) return linearFirstFit(bins_.openBins(), size);
-  countIndexedQuery();
-  return bins_.index().firstFit(size);
-}
-
-BinId PlacementView::firstFitIn(int category, Size size) const {
-  if (!indexed()) return linearFirstFit(bins_.openBins(category), size);
-  countIndexedQuery();
-  return bins_.index().firstFitIn(category, size);
-}
-
-BinId PlacementView::bestFit(Size size) const {
-  if (!indexed()) return linearBestFit(bins_.openBins(), size);
-  countIndexedQuery();
-  return bins_.index().bestFit(size);
-}
-
-BinId PlacementView::bestFitIn(int category, Size size) const {
-  if (!indexed()) return linearBestFit(bins_.openBins(category), size);
-  countIndexedQuery();
-  return bins_.index().bestFitIn(category, size);
-}
-
-BinId PlacementView::worstFit(Size size) const {
-  if (!indexed()) return linearWorstFit(bins_.openBins(), size);
-  countIndexedQuery();
-  return bins_.index().worstFit(size);
-}
-
-BinId PlacementView::worstFitIn(int category, Size size) const {
-  if (!indexed()) return linearWorstFit(bins_.openBins(category), size);
-  countIndexedQuery();
-  return bins_.index().worstFitIn(category, size);
-}
+template class BasicPlacementView<ScalarResource>;
 
 }  // namespace cdbp

@@ -1,32 +1,43 @@
-// PlacementView: the narrow, read-only surface an online policy sees.
+// BasicPlacementView: the narrow, read-only surface a packing policy sees,
+// generic over a Resource model (sim/resource.hpp documents the concept).
 //
 // Policies used to take `const BinManager&` directly, which (a) exposed
 // the whole mutation-adjacent interface and (b) hard-wired every policy to
 // linear open-list scans. The view exposes exactly what placement logic
-// needs — the indexed first/best/worst-fit queries, the per-category open
-// lists for bespoke scans, per-bin metadata, and the simulation clock —
-// and routes each query to the engine the simulation selected:
+// needs — the indexed placement queries, the per-category open lists for
+// bespoke scans, per-bin metadata, and the simulation clock — and routes
+// each query to the engine the simulation selected:
 //
-//  * indexed (default): O(log B) answers from the BinSearchIndex. Each
+//  * indexed (default): O(log B) answers from the BinSearchIndexT. Each
 //    query counts once toward `sim.fit_checks` (one policy-visible
 //    capacity question was asked, however it was answered).
 //  * linear-scan reference: the exact open-list scans the policies
 //    shipped with, probe by counted probe — retained so differential
-//    tests can pin the indexed engine against it bit for bit.
+//    tests can pin the indexed engine against it bit for bit. The only
+//    engine for non-indexable models (IntervalResource).
 //
 // Queries return the chosen bin id or kNewBin when no open bin fits.
+// Best/Worst Fit exist only for ordered (scalar) levels; unordered models
+// use minScoreFitIn (Dominant-Resource Fit) or the open-list surface.
 #pragma once
+
+#include <limits>
 
 #include "core/types.hpp"
 #include "sim/bin_manager.hpp"
 
 namespace cdbp {
 
-class PlacementView {
+template <typename R>
+class BasicPlacementView {
  public:
+  using Demand = typename R::Demand;
+  using BinInfo = typename BasicBinManager<R>::BinInfo;
+
   /// `now` is the arrival instant of the item being placed (departures up
   /// to and including `now` have already been drained).
-  PlacementView(const BinManager& bins, Time now) : bins_(bins), now_(now) {}
+  BasicPlacementView(const BasicBinManager<R>& bins, Time now)
+      : bins_(bins), now_(now) {}
 
   /// The simulation clock: the current item's arrival time.
   Time now() const { return now_; }
@@ -36,19 +47,89 @@ class PlacementView {
 
   // --- Indexed placement queries (engine-routed) ---
 
-  /// Earliest-opened open bin that fits `size`, or kNewBin.
-  BinId firstFit(Size size) const;
+  /// Earliest-opened open bin that fits `demand`, or kNewBin.
+  BinId firstFit(const Demand& demand) const {
+    if constexpr (R::kIndexable) {
+      if (indexed()) {
+        countIndexedQuery();
+        return bins_.index().firstFit(demand);
+      }
+    }
+    return linearFirstFit(bins_.openBins(), demand);
+  }
 
-  /// Earliest-opened open bin of `category` that fits `size`, or kNewBin.
-  BinId firstFitIn(int category, Size size) const;
+  /// Earliest-opened open bin of `category` that fits `demand`, or kNewBin.
+  BinId firstFitIn(int category, const Demand& demand) const {
+    if constexpr (R::kIndexable) {
+      if (indexed()) {
+        countIndexedQuery();
+        return bins_.index().firstFitIn(category, demand);
+      }
+    }
+    return linearFirstFit(bins_.openBins(category), demand);
+  }
 
   /// Fullest fitting open bin (ties to earliest-opened), or kNewBin.
-  BinId bestFit(Size size) const;
-  BinId bestFitIn(int category, Size size) const;
+  /// Ordered (scalar) levels only.
+  BinId bestFit(const Demand& demand) const
+    requires(R::kOrderedLevels)
+  {
+    if (!indexed()) return linearBestFit(bins_.openBins(), demand);
+    countIndexedQuery();
+    return bins_.index().bestFit(demand);
+  }
+  BinId bestFitIn(int category, const Demand& demand) const
+    requires(R::kOrderedLevels)
+  {
+    if (!indexed()) return linearBestFit(bins_.openBins(category), demand);
+    countIndexedQuery();
+    return bins_.index().bestFitIn(category, demand);
+  }
 
   /// Emptiest fitting open bin (ties to earliest-opened), or kNewBin.
-  BinId worstFit(Size size) const;
-  BinId worstFitIn(int category, Size size) const;
+  /// Ordered (scalar) levels only.
+  BinId worstFit(const Demand& demand) const
+    requires(R::kOrderedLevels)
+  {
+    if (!indexed()) return linearWorstFit(bins_.openBins(), demand);
+    countIndexedQuery();
+    return bins_.index().worstFit(demand);
+  }
+  BinId worstFitIn(int category, const Demand& demand) const
+    requires(R::kOrderedLevels)
+  {
+    if (!indexed()) return linearWorstFit(bins_.openBins(category), demand);
+    countIndexedQuery();
+    return bins_.index().worstFitIn(category, demand);
+  }
+
+  /// Fitting bin of `category` minimizing score(level) — eps-strict
+  /// improvement, ties to the earliest-opened bin (the Dominant-Resource
+  /// Fit query: score the hypothetical post-placement level inside the
+  /// callback). Both engines enumerate candidates in opening order and
+  /// apply the same comparison on the same doubles, so they agree bin for
+  /// bin.
+  template <typename ScoreFn>
+  BinId minScoreFitIn(int category, const Demand& demand,
+                      ScoreFn&& score) const {
+    if constexpr (R::kIndexable) {
+      if (indexed()) {
+        countIndexedQuery();
+        return bins_.index().minScoreFitIn(category, demand, score);
+      }
+    }
+    BinId best = kNewBin;
+    double bestScore = std::numeric_limits<double>::infinity();
+    for (BinId id : bins_.openBins(category)) {
+      if (!bins_.fits(id, demand)) continue;
+      double s = score(bins_.info(id).level);
+      if (s < bestScore - kSizeEps) {
+        bestScore = s;
+        best = id;
+      }
+    }
+    return best;
+  }
 
   // --- Open-list surface for policies with bespoke selection rules ---
 
@@ -61,12 +142,14 @@ class PlacementView {
   }
 
   /// Metadata of a bin (open or closed).
-  const BinManager::BinInfo& info(BinId id) const { return bins_.info(id); }
+  const BinInfo& info(BinId id) const { return bins_.info(id); }
 
-  /// Counted capacity probe: whether `size` fits bin `id` now. This is the
-  /// per-bin question bespoke scans ask; every call counts toward
+  /// Counted capacity probe: whether `demand` fits bin `id` now. This is
+  /// the per-bin question bespoke scans ask; every call counts toward
   /// `sim.fit_checks`.
-  bool fits(BinId id, Size size) const { return bins_.fits(id, size); }
+  bool fits(BinId id, const Demand& demand) const {
+    return bins_.fits(id, demand);
+  }
 
   /// Total bins ever opened (the id the next fresh bin will receive).
   std::size_t binsOpened() const { return bins_.binsOpened(); }
@@ -75,12 +158,66 @@ class PlacementView {
   std::size_t openCount() const { return bins_.openCount(); }
 
  private:
-  BinId linearFirstFit(const std::vector<BinId>& bins, Size size) const;
-  BinId linearBestFit(const std::vector<BinId>& bins, Size size) const;
-  BinId linearWorstFit(const std::vector<BinId>& bins, Size size) const;
+  // One indexed query = one policy-visible capacity question. The linear
+  // reference path instead counts every probe inside fits(), which is
+  // exactly what the original scanning policies charged.
+  static void countIndexedQuery() { CDBP_TELEM_COUNT("sim.fit_checks", 1); }
 
-  const BinManager& bins_;
+  // The linear scans below reproduce the original policy loops verbatim —
+  // same iteration order, same comparison operators, same counted fits()
+  // probes — so a linear-engine run is byte-for-byte the seed behavior the
+  // differential tests compare the index against.
+
+  BinId linearFirstFit(const std::vector<BinId>& bins,
+                       const Demand& demand) const {
+    for (BinId id : bins) {
+      if (bins_.fits(id, demand)) return id;
+    }
+    return kNewBin;
+  }
+
+  BinId linearBestFit(const std::vector<BinId>& bins,
+                      const Demand& demand) const
+    requires(R::kOrderedLevels)
+  {
+    BinId best = kNewBin;
+    Size bestLevel = -1;
+    for (BinId id : bins) {
+      if (!bins_.fits(id, demand)) continue;
+      Size level = bins_.info(id).level;
+      if (level > bestLevel) {  // strict: ties keep the earliest-opened bin
+        bestLevel = level;
+        best = id;
+      }
+    }
+    return best;
+  }
+
+  BinId linearWorstFit(const std::vector<BinId>& bins,
+                       const Demand& demand) const
+    requires(R::kOrderedLevels)
+  {
+    BinId best = kNewBin;
+    Size bestLevel = std::numeric_limits<Size>::infinity();
+    for (BinId id : bins) {
+      if (!bins_.fits(id, demand)) continue;
+      Size level = bins_.info(id).level;
+      if (level < bestLevel) {  // strict: ties keep the earliest-opened bin
+        bestLevel = level;
+        best = id;
+      }
+    }
+    return best;
+  }
+
+  const BasicBinManager<R>& bins_;
   Time now_;
 };
+
+/// The scalar instantiation keeps its PR 3 name; it is explicitly
+/// instantiated in placement_view.cpp.
+using PlacementView = BasicPlacementView<ScalarResource>;
+
+extern template class BasicPlacementView<ScalarResource>;
 
 }  // namespace cdbp

@@ -1,0 +1,94 @@
+// The Resource concept: what the placement substrate is generic over.
+//
+// One substrate — BasicBinManager / BinSearchIndexT / BasicPlacementView —
+// serves every packing variant in this repo. Each variant supplies a
+// resource model, a stateless trait struct describing how bin "levels"
+// combine with item "demands":
+//
+//   ScalarResource    Level = Size (double), Demand = Size. The paper's
+//                     MinUsageTime DBP model; backs the 7 online policies
+//                     and the simulator (sim/resource.hpp, this file).
+//   VectorResource    Level = Resources, Demand = Resources. Vector bin
+//                     packing for the multidim module; fits iff every
+//                     dimension fits (multidim/resources.hpp).
+//   IntervalResource  Level = BinTimeline, Demand = Item. Whole-interval
+//                     feasibility for the offline algorithms, which place
+//                     items with full knowledge of their active intervals
+//                     (offline/interval_resource.hpp).
+//
+// Required members of a resource model R:
+//
+//   using Level;   // a bin's occupancy state
+//   using Demand;  // what an item asks of a bin
+//   struct Shape;  // per-manager static configuration (e.g. dimension
+//                  // count); default-constructible, copyable
+//
+//   static constexpr bool kIndexable;      // MinLevelTreeT<R> supported:
+//                                          // levels admit a componentwise
+//                                          // min that soundly under-
+//                                          // approximates every leaf
+//   static constexpr bool kOrderedLevels;  // levels are totally ordered
+//                                          // Sizes: Best/Worst Fit exist
+//
+//   static Level zeroLevel(const Shape&);    // freshly opened bin
+//   static Level closedLevel(const Shape&);  // sentinel no demand fits
+//   static bool isClosed(const Level&);      // recognizes the sentinel
+//   static bool fits(const Level&, const Demand&);  // THE predicate: same
+//       // doubles, same tolerance as the linear reference scan. On an
+//       // internal tree node (a componentwise min of leaf levels) it is a
+//       // sound prune — "no leaf below can fit" when false; at a leaf it
+//       // is exact.
+//   static void assignMin(Level&, const Level&);  // componentwise min,
+//       // used to re-sift tournament tree nodes (kIndexable only)
+//   static void add(Level&, const Demand&);       // place an item
+//   static void subtract(Level&, const Demand&);  // remove an item
+//       // (models whose bins never shrink mark it unavailable)
+//   static bool canRelease(const Level&, const Demand&);  // DCHECK guard
+//       // for subtract: the level stays non-negative up to tolerance
+//
+// Bit-identicality contract: every indexed query answers with the exact
+// bin the linear open-list scan would pick, because both use R::fits on
+// the same Level doubles and the tree descent only prunes subtrees whose
+// min-combined level already fails the predicate (DESIGN.md §9.1, §10.2).
+#pragma once
+
+#include <limits>
+
+#include "core/epsilon.hpp"
+#include "core/types.hpp"
+
+namespace cdbp {
+
+/// The paper's model: one scalar size per item, unit-capacity bins.
+struct ScalarResource {
+  using Level = Size;
+  using Demand = Size;
+  struct Shape {};  // no per-manager configuration
+
+  static constexpr bool kIndexable = true;
+  static constexpr bool kOrderedLevels = true;
+
+  static Level zeroLevel(const Shape&) { return 0.0; }
+  static Level closedLevel(const Shape&) {
+    return std::numeric_limits<Size>::infinity();
+  }
+  static bool isClosed(const Level& level) {
+    return level == std::numeric_limits<Size>::infinity();
+  }
+  /// The scalar predicate is exact on tree minima, not merely sound:
+  /// fitsCapacity is monotone in the level, so a subtree's min fits iff
+  /// some leaf fits — scalar descents never backtrack.
+  static bool fits(const Level& level, const Demand& demand) {
+    return fitsCapacity(level, demand);
+  }
+  static void assignMin(Level& into, const Level& other) {
+    if (other < into) into = other;
+  }
+  static void add(Level& level, const Demand& demand) { level += demand; }
+  static void subtract(Level& level, const Demand& demand) { level -= demand; }
+  static bool canRelease(const Level& level, const Demand& demand) {
+    return leq(demand, level);
+  }
+};
+
+}  // namespace cdbp

@@ -82,4 +82,11 @@ std::vector<RunResult> runMany(const RunManySpec& spec) {
   return results;
 }
 
+void runCells(unsigned threads, std::size_t count,
+              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  ThreadPool pool(threads);
+  parallelFor(pool, count, fn);
+}
+
 }  // namespace cdbp

@@ -102,4 +102,13 @@ struct RunResult {
 /// out of runMany (first one wins, per ThreadPool::wait).
 std::vector<RunResult> runMany(const RunManySpec& spec);
 
+/// The bare fan-out underneath runMany, for sweeps whose cells are not
+/// scalar simulateOnline calls (the multidim and flexible benches): runs
+/// fn(0..count-1) over a ThreadPool with `threads` workers (0 = hardware
+/// concurrency). fn must be safe to call concurrently; write results into
+/// pre-sized slots indexed by the cell id to keep the sweep deterministic
+/// under any thread count. Exceptions propagate (first one wins).
+void runCells(unsigned threads, std::size_t count,
+              const std::function<void(std::size_t)>& fn);
+
 }  // namespace cdbp

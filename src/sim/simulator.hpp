@@ -17,14 +17,9 @@
 
 namespace cdbp {
 
-/// Which placement machinery backs the PlacementView queries.
-enum class PlacementEngine {
-  /// Sublinear capacity-indexed search (bin_search.hpp); the default.
-  kIndexed,
-  /// The original linear open-list scans, retained as the reference the
-  /// differential tests pin kIndexed against. Skips all index maintenance.
-  kLinearScan,
-};
+// PlacementEngine moved to sim/bin_manager.hpp in PR 4 (the multidim and
+// flexible simulators select engines too); it arrives here transitively
+// via online/policy.hpp -> sim/placement_view.hpp -> sim/bin_manager.hpp.
 
 struct SimOptions {
   /// Placement engine selection. Both engines produce bit-identical

@@ -9,6 +9,7 @@
 #include "multidim/md_policies.hpp"
 #include "online/any_fit.hpp"
 #include "online/classify_departure.hpp"
+#include "online/classify_duration.hpp"
 #include "sim/simulator.hpp"
 #include "workload/generators.hpp"
 
@@ -23,6 +24,34 @@ MdInstance liftToOneDim(const Instance& scalar) {
   return builder.build();
 }
 
+/// Runs the scalar policy on `scalar` and the MD policy on the 1-dim lift,
+/// both under `engine`, and requires the packings to agree bin by bin,
+/// item by item — the d=1 instantiation of the generic substrate must be
+/// indistinguishable from the scalar simulator.
+void expectMdMatchesScalar(const Instance& scalar, OnlinePolicy& scalarPolicy,
+                           MdClassifyPolicy& mdPolicy, PlacementEngine engine,
+                           const std::string& label) {
+  SCOPED_TRACE(label + (engine == PlacementEngine::kIndexed
+                            ? " engine=indexed"
+                            : " engine=linear"));
+  MdInstance lifted = liftToOneDim(scalar);
+  SimOptions scalarOptions;
+  scalarOptions.engine = engine;
+  SimResult scalarRun = simulateOnline(scalar, scalarPolicy, scalarOptions);
+  MdSimOptions mdOptions;
+  mdOptions.engine = engine;
+  MdSimResult mdRun = mdSimulateOnline(lifted, mdPolicy, mdOptions);
+
+  ASSERT_EQ(mdRun.packing.binOf().size(), scalarRun.packing.binOf().size());
+  for (ItemId i = 0; i < scalar.size(); ++i) {
+    ASSERT_EQ(mdRun.packing.binOf(i), scalarRun.packing.binOf(i))
+        << "item " << i;
+  }
+  EXPECT_NEAR(mdRun.totalUsage, scalarRun.totalUsage, 1e-9);
+  EXPECT_EQ(mdRun.binsOpened, scalarRun.binsOpened);
+  EXPECT_EQ(mdRun.maxOpenBins, scalarRun.maxOpenBins);
+}
+
 class MdScalarConsistency : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(MdScalarConsistency, OneDimMdFirstFitEqualsScalarFirstFit) {
@@ -30,20 +59,13 @@ TEST_P(MdScalarConsistency, OneDimMdFirstFitEqualsScalarFirstFit) {
   spec.numItems = 300;
   spec.mu = 12.0;
   Instance scalar = generateWorkload(spec, GetParam());
-  MdInstance lifted = liftToOneDim(scalar);
-
-  FirstFitPolicy scalarFf;
-  SimResult scalarRun = simulateOnline(scalar, scalarFf);
-
-  MdClassifyPolicy mdFf({MdFitRule::kFirstFit, MdCategoryRule::kNone, 1, 1, 2});
-  MdSimResult mdRun = mdSimulateOnline(lifted, mdFf);
-
-  ASSERT_EQ(mdRun.packing.binOf().size(), scalarRun.packing.binOf().size());
-  for (ItemId i = 0; i < scalar.size(); ++i) {
-    EXPECT_EQ(mdRun.packing.binOf(i), scalarRun.packing.binOf(i)) << "item " << i;
+  for (PlacementEngine engine :
+       {PlacementEngine::kIndexed, PlacementEngine::kLinearScan}) {
+    FirstFitPolicy scalarFf;
+    MdClassifyPolicy mdFf(
+        {MdFitRule::kFirstFit, MdCategoryRule::kNone, 1, 1, 2});
+    expectMdMatchesScalar(scalar, scalarFf, mdFf, engine, "ff");
   }
-  EXPECT_NEAR(mdRun.totalUsage, scalarRun.totalUsage, 1e-9);
-  EXPECT_EQ(mdRun.binsOpened, scalarRun.binsOpened);
 }
 
 TEST_P(MdScalarConsistency, OneDimLowerBoundsAgree) {
@@ -65,17 +87,23 @@ TEST(MdScalarConsistency, ClassificationRulesAgreeWithScalarCounterparts) {
   spec.numItems = 200;
   spec.mu = 16.0;
   Instance scalar = generateWorkload(spec, 11);
-  MdInstance lifted = liftToOneDim(scalar);
 
-  // Scalar CDT-FF vs MD departure classification with the same rho.
-  double rho = 4.0;
-  ClassifyByDepartureFF scalarCdt(rho);
-  SimResult scalarRun = simulateOnline(scalar, scalarCdt);
-  MdClassifyPolicy mdCdt(
-      {MdFitRule::kFirstFit, MdCategoryRule::kDeparture, rho, 1, 2});
-  MdSimResult mdRun = mdSimulateOnline(lifted, mdCdt);
-  for (ItemId i = 0; i < scalar.size(); ++i) {
-    EXPECT_EQ(mdRun.packing.binOf(i), scalarRun.packing.binOf(i)) << "item " << i;
+  for (PlacementEngine engine :
+       {PlacementEngine::kIndexed, PlacementEngine::kLinearScan}) {
+    // Scalar CDT-FF vs MD departure classification with the same rho.
+    double rho = 4.0;
+    ClassifyByDepartureFF scalarCdt(rho);
+    MdClassifyPolicy mdCdt(
+        {MdFitRule::kFirstFit, MdCategoryRule::kDeparture, rho, 1, 2});
+    expectMdMatchesScalar(scalar, scalarCdt, mdCdt, engine, "cdt-ff");
+
+    // Scalar CD-FF vs MD duration classification with the same base/alpha.
+    double base = scalar.minDuration();
+    double alpha = 2.0;
+    ClassifyByDurationFF scalarCd(base, alpha);
+    MdClassifyPolicy mdCd(
+        {MdFitRule::kFirstFit, MdCategoryRule::kDuration, 1, base, alpha});
+    expectMdMatchesScalar(scalar, scalarCd, mdCd, engine, "cd-ff");
   }
 }
 

@@ -6,9 +6,14 @@
 // test, not an approximation test.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
+#include "flexible/flexible_workload.hpp"
+#include "flexible/online_flexible.hpp"
+#include "multidim/md_policies.hpp"
+#include "multidim/md_workload.hpp"
 #include "online/policy_factory.hpp"
 #include "sim/simulator.hpp"
 #include "workload/adversarial.hpp"
@@ -101,6 +106,166 @@ TEST(PlacementDifferential, AdversarialSliverTrap) {
   for (const std::string& policySpec : allSpecs()) {
     expectIdentical(inst, policySpec, "sliver-trap");
   }
+}
+
+// --- Multidim suites: the generic substrate's vector instantiation must
+// agree engine for engine too. The vector tournament descent is only a
+// sound prune (it backtracks), so these suites are what certify that it
+// still lands on the leftmost genuinely fitting bin.
+
+struct MdPolicyConfig {
+  std::string label;
+  MdClassifyPolicy::Config config;
+};
+
+const std::vector<MdPolicyConfig>& allMdConfigs() {
+  static const std::vector<MdPolicyConfig> configs = {
+      {"md-ff", {MdFitRule::kFirstFit, MdCategoryRule::kNone, 1, 1, 2}},
+      {"md-df", {MdFitRule::kDominantFit, MdCategoryRule::kNone, 1, 1, 2}},
+      {"md-cdt-ff", {MdFitRule::kFirstFit, MdCategoryRule::kDeparture, 6, 1, 2}},
+      {"md-cdt-df",
+       {MdFitRule::kDominantFit, MdCategoryRule::kDeparture, 6, 1, 2}},
+      {"md-cd-ff", {MdFitRule::kFirstFit, MdCategoryRule::kDuration, 1, 1, 2}},
+      {"md-cd-df",
+       {MdFitRule::kDominantFit, MdCategoryRule::kDuration, 1, 1, 2}},
+  };
+  return configs;
+}
+
+MdSimResult runMdWith(const MdInstance& inst,
+                      const MdClassifyPolicy::Config& config,
+                      PlacementEngine engine) {
+  MdClassifyPolicy policy(config);
+  MdSimOptions options;
+  options.engine = engine;
+  return mdSimulateOnline(inst, policy, options);
+}
+
+void expectMdIdentical(const MdInstance& inst, const MdPolicyConfig& config,
+                       const std::string& label) {
+  MdSimResult indexed = runMdWith(inst, config.config, PlacementEngine::kIndexed);
+  MdSimResult linear =
+      runMdWith(inst, config.config, PlacementEngine::kLinearScan);
+  SCOPED_TRACE(label + " / " + config.label);
+  EXPECT_EQ(indexed.totalUsage, linear.totalUsage);
+  EXPECT_EQ(indexed.binsOpened, linear.binsOpened);
+  EXPECT_EQ(indexed.maxOpenBins, linear.maxOpenBins);
+  for (const MdItem& r : inst.items()) {
+    ASSERT_EQ(indexed.packing.binOf(r.id), linear.packing.binOf(r.id))
+        << "item " << r.id;
+  }
+}
+
+TEST(PlacementDifferential, MultidimAllConfigsOnRandomWorkloads) {
+  for (std::size_t dims : {2u, 3u}) {
+    for (double correlation : {0.0, 1.0}) {
+      MdWorkloadSpec spec;
+      spec.numItems = 150;
+      spec.dims = dims;
+      spec.correlation = correlation;
+      MdInstance inst = generateMdWorkload(spec, 31 + dims);
+      for (const MdPolicyConfig& config : allMdConfigs()) {
+        expectMdIdentical(inst, config,
+                          "dims=" + std::to_string(dims) +
+                              " corr=" + std::to_string(correlation));
+      }
+    }
+  }
+}
+
+TEST(PlacementDifferential, MultidimManyOpenBinsStress) {
+  // Large open set + low correlation: the regime where the vector
+  // descent's sound-prune backtracking actually runs, and where a
+  // leftmost-selection bug would surface.
+  MdWorkloadSpec spec;
+  spec.numItems = 400;
+  spec.dims = 3;
+  spec.arrivalRate = 64.0;
+  spec.mu = 16.0;
+  spec.correlation = 0.0;
+  MdInstance inst = generateMdWorkload(spec, 47);
+  for (const MdPolicyConfig& config : allMdConfigs()) {
+    expectMdIdentical(inst, config, "md-many-open");
+  }
+}
+
+TEST(PlacementDifferential, MultidimAdversarialAlternatingDominant) {
+  // Lift the scalar sliver trap to 2 dims with the dominant coordinate
+  // alternating per item: per-dimension levels sit on the epsilon boundary
+  // in different dimensions of different bins, the worst case for a
+  // componentwise-min prune.
+  Instance trap = firstFitSliverTrap(12, 8.0);
+  MdInstanceBuilder builder;
+  for (const Item& r : trap.items()) {
+    double minor = std::min(0.05, r.size);
+    if (r.id % 2 == 0) {
+      builder.add(Resources({r.size, minor}), r.arrival(), r.departure());
+    } else {
+      builder.add(Resources({minor, r.size}), r.arrival(), r.departure());
+    }
+  }
+  MdInstance inst = builder.build();
+  for (const MdPolicyConfig& config : allMdConfigs()) {
+    expectMdIdentical(inst, config, "md-sliver-trap");
+  }
+}
+
+// --- Flexible suites: the event-driven flexible scheduler's First Fit
+// queries route through the same view; starts, forced starts and the final
+// packing must be bit-identical across engines.
+
+void expectFlexIdentical(const FlexibleInstance& inst, FlexOnlinePolicy& policy,
+                         const std::string& label) {
+  FlexSimOptions indexedOptions;
+  indexedOptions.engine = PlacementEngine::kIndexed;
+  FlexOnlineResult indexed = simulateFlexibleOnline(inst, policy, indexedOptions);
+  FlexSimOptions linearOptions;
+  linearOptions.engine = PlacementEngine::kLinearScan;
+  FlexOnlineResult linear = simulateFlexibleOnline(inst, policy, linearOptions);
+  SCOPED_TRACE(label + " / " + policy.name());
+  EXPECT_EQ(indexed.totalUsage, linear.totalUsage);
+  EXPECT_EQ(indexed.binsOpened, linear.binsOpened);
+  EXPECT_EQ(indexed.forcedStarts, linear.forcedStarts);
+  ASSERT_EQ(indexed.starts.size(), linear.starts.size());
+  for (const FlexibleJob& j : inst.jobs()) {
+    EXPECT_EQ(indexed.starts[j.id], linear.starts[j.id]) << "job " << j.id;
+    ASSERT_EQ(indexed.packing.binOf(j.id), linear.packing.binOf(j.id))
+        << "job " << j.id;
+  }
+}
+
+TEST(PlacementDifferential, FlexiblePoliciesOnRandomWorkloads) {
+  for (double slack : {0.5, 3.0}) {
+    for (std::uint64_t seed : {3u, 9u}) {
+      FlexibleWorkloadSpec spec;
+      spec.numJobs = 150;
+      spec.slackFactor = slack;
+      FlexibleInstance inst = generateFlexibleWorkload(spec, seed);
+      std::string label =
+          "slack=" + std::to_string(slack) + " seed=" + std::to_string(seed);
+      FlexStartAsapFF asap;
+      expectFlexIdentical(inst, asap, label);
+      FlexDeferAlign align;
+      expectFlexIdentical(inst, align, label);
+    }
+  }
+}
+
+TEST(PlacementDifferential, FlexibleAdversarialZeroSlackSliverTrap) {
+  // Zero slack forces every start at release: the scheduler degenerates to
+  // scalar First Fit over the sliver trap, with every placement on the
+  // forced path — the fresh-bin fallback and forced First Fit must agree
+  // across engines too.
+  Instance trap = firstFitSliverTrap(10, 6.0);
+  FlexibleInstanceBuilder builder;
+  for (const Item& r : trap.items()) {
+    builder.add(r.size, r.arrival(), r.departure(), r.duration());
+  }
+  FlexibleInstance inst = builder.build();
+  FlexStartAsapFF asap;
+  expectFlexIdentical(inst, asap, "flex-sliver-trap");
+  FlexDeferAlign align;
+  expectFlexIdentical(inst, align, "flex-sliver-trap");
 }
 
 TEST(PlacementDifferential, RandomizedPropertySweep) {

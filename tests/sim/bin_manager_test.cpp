@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "multidim/resources.hpp"
+
 namespace cdbp {
 namespace {
 
@@ -42,13 +44,14 @@ TEST(BinManager, BinClosesWhenLastItemLeaves) {
   EXPECT_FALSE(mgr.fits(b, 0.1));  // closed bins never fit
 }
 
-TEST(BinManager, ClosedBinRejectsMutation) {
+TEST(BinManagerDeathTest, ClosedBinRejectsMutation) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
   BinManager mgr;
   BinId b = mgr.openBin(0, 0.0);
   mgr.addItem(b, 0.3);
   mgr.removeItem(b, 0.3);
-  EXPECT_THROW(mgr.addItem(b, 0.1), std::logic_error);
-  EXPECT_THROW(mgr.removeItem(b, 0.1), std::logic_error);
+  EXPECT_DEATH(mgr.addItem(b, 0.1), "is closed");
+  EXPECT_DEATH(mgr.removeItem(b, 0.1), "is not holding items");
 }
 
 TEST(BinManager, LevelResidueFlushedOnClose) {
@@ -85,6 +88,58 @@ TEST(BinManager, OpenBinsPreservesOpeningOrderAfterClosures) {
   mgr.addItem(b, 0.2);
   mgr.removeItem(b, 0.2);  // closes b
   EXPECT_EQ(mgr.openBins(), (std::vector<BinId>{a, c}));
+}
+
+// --- Vector (multidim) instantiation of the same manager ---
+
+using MdManager = BasicBinManager<VectorResource>;
+
+MdManager mdManager(std::size_t dims, bool indexed = true) {
+  return MdManager(indexed, VectorResource::Shape{dims});
+}
+
+TEST(MdBinManager, TracksVectorLevels) {
+  MdManager mgr = mdManager(2);
+  BinId b = mgr.openBin(0, 0.0);
+  mgr.addItem(b, Resources({0.3, 0.5}));
+  mgr.addItem(b, Resources({0.4, 0.1}));
+  EXPECT_DOUBLE_EQ(mgr.info(b).level[0], 0.7);
+  EXPECT_DOUBLE_EQ(mgr.info(b).level[1], 0.6);
+  EXPECT_EQ(mgr.info(b).itemCount, 2u);
+}
+
+TEST(MdBinManager, FitsHonorsEveryDimension) {
+  MdManager mgr = mdManager(2);
+  BinId b = mgr.openBin(0, 0.0);
+  mgr.addItem(b, Resources({0.7, 0.2}));
+  EXPECT_TRUE(mgr.fits(b, Resources({0.3, 0.8})));
+  EXPECT_FALSE(mgr.fits(b, Resources({0.31, 0.1})));  // dim 0 overflows
+  EXPECT_FALSE(mgr.fits(b, Resources({0.1, 0.81})));  // dim 1 overflows
+}
+
+TEST(MdBinManager, BinClosesWhenLastItemLeaves) {
+  for (bool indexed : {true, false}) {
+    MdManager mgr = mdManager(3, indexed);
+    BinId b = mgr.openBin(4, 0.0);
+    Resources d({0.2, 0.3, 0.4});
+    mgr.addItem(b, d);
+    EXPECT_TRUE(mgr.removeItem(b, d));
+    EXPECT_FALSE(mgr.info(b).open);
+    EXPECT_EQ(mgr.openCount(), 0u);
+    EXPECT_FALSE(mgr.fits(b, Resources({0.1, 0.1, 0.1})));
+    EXPECT_TRUE(mgr.openBins(4).empty());
+  }
+}
+
+TEST(MdBinManagerDeathTest, ClosedBinRejectsMutation) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MdManager mgr = mdManager(2);
+  BinId b = mgr.openBin(0, 0.0);
+  Resources d({0.2, 0.2});
+  mgr.addItem(b, d);
+  mgr.removeItem(b, d);
+  EXPECT_DEATH(mgr.addItem(b, d), "is closed");
+  EXPECT_DEATH(mgr.removeItem(b, d), "is not holding items");
 }
 
 }  // namespace

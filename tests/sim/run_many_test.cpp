@@ -201,5 +201,29 @@ TEST(RunMany, EmptyGridIsEmpty) {
   EXPECT_TRUE(runMany(spec).empty());
 }
 
+
+TEST(RunCells, VisitsEveryCellExactlyOnce) {
+  for (unsigned threads : {1u, 4u}) {
+    std::vector<int> visits(100, 0);
+    runCells(threads, visits.size(),
+             [&](std::size_t i) { visits[i] += 1; });
+    for (std::size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i], 1) << "cell " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(RunCells, ZeroCountIsANoOp) {
+  runCells(2, 0, [](std::size_t) { FAIL() << "fn must not be called"; });
+}
+
+TEST(RunCells, ExceptionsPropagate) {
+  EXPECT_THROW(runCells(2, 8,
+                        [](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("cell boom");
+                        }),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace cdbp

@@ -85,7 +85,9 @@ TEST(TelemetryInstrumentation, DdffSplitsSortAndPack) {
   if constexpr (telemetry::kEnabled) {
     EXPECT_EQ(delta(before, after, "offline.ddff.runs"), 1u);
     EXPECT_GE(delta(before, after, "offline.ddff.bins_opened"), 1u);
-    EXPECT_GE(delta(before, after, "offline.ddff.bins_scanned"),
+    // The pack loop's per-bin probes run through the shared substrate now,
+    // so they land in sim.fit_checks (the former offline.ddff.bins_scanned).
+    EXPECT_GE(delta(before, after, "sim.fit_checks"),
               delta(before, after, "offline.ddff.bins_opened"));
     EXPECT_EQ(Registry::global().histogram("offline.ddff.sort_ns").count(),
               sortBefore + 1);

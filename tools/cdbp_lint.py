@@ -33,6 +33,15 @@ mechanically over ``src/``, ``tests/``, ``bench/`` and ``examples/``:
                      wallclockUnixMicros) so instrumentation stays
                      centralized and mockable, and library code stays
                      deterministic.
+  raw-bin-loop       No range-``for`` iteration over ``openBins(...)`` under
+                     ``src/`` outside the placement substrate
+                     (``src/sim/``). Linear open-bin scans bypass the
+                     engine-routed PlacementView queries (firstFit /
+                     bestFit / worstFit / minScoreFitIn), silently lose the
+                     sublinear indexed engine and skew the ``sim.fit_checks``
+                     accounting. Policies whose selection rule genuinely
+                     keys on policy-private state must carry a justified
+                     suppression.
 
 Suppressing a finding
 ---------------------
@@ -94,6 +103,16 @@ WALLCLOCK_RE = re.compile(
 # go through them.
 WALLCLOCK_EXEMPT_DIR = "src/telemetry/"
 
+# Range-for over an openBins(...) list — the shape of a hand-rolled linear
+# placement scan. The opening brace of the range-for body may sit on the
+# same line or the loop header may span lines; matching the `: ...openBins(`
+# core is enough for this codebase's formatting.
+RAW_BIN_LOOP_RE = re.compile(r"for\s*\(.*:\s*[\w.\->]*openBins\s*\(")
+
+# The substrate itself (manager, view, index) is the sanctioned home of
+# linear reference scans.
+RAW_BIN_LOOP_EXEMPT_DIR = "src/sim/"
+
 ALL_RULES = (
     "capacity-compare",
     "rng-discipline",
@@ -101,6 +120,7 @@ ALL_RULES = (
     "endl-in-lib",
     "pragma-once",
     "wallclock-in-lib",
+    "raw-bin-loop",
 )
 
 
@@ -272,6 +292,21 @@ class FileLint:
                     "telemetry/clock.hpp (monotonicNanos / "
                     "wallclockUnixMicros) so timing stays centralized")
 
+    def check_raw_bin_loop(self) -> None:
+        if not self.relpath.startswith("src/"):
+            return
+        if self.relpath.startswith(RAW_BIN_LOOP_EXEMPT_DIR):
+            return
+        for idx, code in enumerate(self.code_lines, start=1):
+            if RAW_BIN_LOOP_RE.search(code):
+                self.report(
+                    idx, "raw-bin-loop",
+                    "hand-rolled scan over openBins(); route placement "
+                    "through the PlacementView queries (firstFit/bestFit/"
+                    "worstFit/minScoreFitIn) so both engines serve it, or "
+                    "justify why the selection rule cannot be expressed as "
+                    "a substrate query")
+
     def check_pragma_once(self) -> None:
         if not self.relpath.endswith((".hpp", ".h")):
             return
@@ -286,6 +321,7 @@ class FileLint:
         self.check_iostream_in_lib()
         self.check_endl_in_lib()
         self.check_wallclock_in_lib()
+        self.check_raw_bin_loop()
         self.check_pragma_once()
         return self.findings
 
@@ -325,6 +361,9 @@ FIXTURE_EXPECTATIONS = {
     "src/core/clean.cpp": set(),
     "src/sim/bad_wallclock.cpp": {"wallclock-in-lib"},
     "src/telemetry/clock_ok.cpp": set(),
+    "src/online/bad_bin_loop.cpp": {"raw-bin-loop"},
+    "src/online/bin_loop_suppressed_ok.cpp": set(),
+    "src/sim/bin_loop_substrate_ok.cpp": set(),
 }
 
 

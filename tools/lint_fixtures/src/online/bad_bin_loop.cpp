@@ -1,0 +1,25 @@
+// Fixture: hand-rolled open-bin scans in policy code must fire raw-bin-loop.
+
+namespace cdbp_fixture {
+
+struct View {
+  const int* openBins() const { return nullptr; }
+  const int* openBins(int) const { return nullptr; }
+  bool fits(int, double) const { return false; }
+};
+
+int scanAll(const View& view, double size) {
+  for (int id : view.openBins()) {
+    if (view.fits(id, size)) return id;
+  }
+  return -1;
+}
+
+int scanCategory(const View& view, int category, double size) {
+  for (int id : view.openBins(category)) {
+    if (view.fits(id, size)) return id;
+  }
+  return -1;
+}
+
+}  // namespace cdbp_fixture

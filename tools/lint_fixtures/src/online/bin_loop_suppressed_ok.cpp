@@ -1,0 +1,22 @@
+// Fixture: a justified suppression covers a bespoke open-bin scan, and
+// mentions of openBins() in comments or strings never fire.
+
+namespace cdbp_fixture {
+
+// Policies often document `for (BinId id : view.openBins())` without looping.
+inline const char* kDoc = "for (BinId id : view.openBins()) in a string";
+
+struct View {
+  const int* openBins() const { return nullptr; }
+  bool fits(int, double) const { return false; }
+};
+
+int bespokeScan(const View& view, double size) {
+  // cdbp-lint: allow(raw-bin-loop): selection keys on policy-private state the substrate cannot rank by
+  for (int id : view.openBins()) {
+    if (view.fits(id, size)) return id;
+  }
+  return -1;
+}
+
+}  // namespace cdbp_fixture

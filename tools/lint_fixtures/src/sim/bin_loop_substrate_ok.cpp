@@ -1,0 +1,18 @@
+// Fixture: the placement substrate (src/sim/) is the sanctioned home of
+// linear reference scans; raw-bin-loop must stay quiet here.
+
+namespace cdbp_fixture {
+
+struct Manager {
+  const int* openBins(int) const { return nullptr; }
+  bool fits(int, double) const { return false; }
+};
+
+int linearReferenceScan(const Manager& bins, int category, double size) {
+  for (int id : bins.openBins(category)) {
+    if (bins.fits(id, size)) return id;
+  }
+  return -1;
+}
+
+}  // namespace cdbp_fixture
