@@ -1,0 +1,267 @@
+// Streaming-ingestion macro-benchmarks: the bounded-memory simulator
+// against the batch simulator on identical workloads, plus the trace file
+// pipeline (write, scan, stream-from-file) that feeds it.
+//
+// Series (n = items):
+//   Batch/<policy>/n       simulateOnline on a materialized Instance
+//   Stream/<policy>/n      simulateStream via InstanceArrivalSource
+//   StreamLb3/ff/n         simulateStream with the incremental LB3 on
+//   TraceWrite/<fmt>/n     saveTrace of the generated instance
+//   TraceScan/<fmt>/n      scanTrace one-pass statistics
+//   StreamFile/<fmt>/n     TraceArrivalSource -> simulateStream (parse + sim)
+//
+// The trailing memory table reports each streaming run's peak open items
+// and estimated resident bytes — the bounded-memory claim, measured.
+//
+// Flags:
+//   --reps N        timed repetitions per benchmark (default 5)
+//   --warmup N      untimed warmup passes (default 1)
+//   --filter STR    only run benchmarks whose name contains STR
+//   --max-items N   skip benchmarks with more than N items (CI perf-smoke)
+//   --mu X          duration ratio of the generated workloads (default 16)
+//   --seed S        workload seed (default 1)
+//   --engine E      placement engine: indexed (default) | linear
+//   --csv           render the summary table as CSV
+//   --json[=PATH]   write BENCH_streaming.json (schema: DESIGN.md §8.3)
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "online/policy_factory.hpp"
+#include "sim/simulator.hpp"
+#include "sim/streaming.hpp"
+#include "telemetry/bench_report.hpp"
+#include "telemetry/clock.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+#include "workload/trace_io.hpp"
+
+namespace cdbp {
+namespace {
+
+volatile double g_sink = 0;
+
+struct Spec {
+  std::string name;
+  std::size_t items;
+  std::function<void()> body;
+};
+
+}  // namespace
+}  // namespace cdbp
+
+int main(int argc, char** argv) {
+  using namespace cdbp;
+  Flags flags = Flags::strictOrDie(
+      argc, argv, {"reps", "warmup", "filter", "max-items", "mu", "seed",
+                   "engine", "csv", "json"});
+  std::size_t reps = static_cast<std::size_t>(flags.getInt("reps", 5));
+  std::size_t warmup = static_cast<std::size_t>(flags.getInt("warmup", 1));
+  std::string filter = flags.getString("filter", "");
+  long maxItems = flags.getInt("max-items", 0);  // 0 = no limit
+  double mu = flags.getDouble("mu", 16.0);
+  std::uint64_t seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+  std::string engineName = flags.getString("engine", "indexed");
+  PlacementEngine engine;
+  if (engineName == "indexed") {
+    engine = PlacementEngine::kIndexed;
+  } else if (engineName == "linear") {
+    engine = PlacementEngine::kLinearScan;
+  } else {
+    std::cerr << "bench_streaming: --engine must be 'indexed' or 'linear', "
+                 "got '" << engineName << "'\n";
+    return 1;
+  }
+
+  // Last StreamResult per streaming benchmark, for the memory table. Only
+  // entries that actually ran appear.
+  std::map<std::string, StreamResult> streamResults;
+  std::vector<std::filesystem::path> tempFiles;
+
+  std::vector<Spec> specs;
+  // Sizes are filtered BEFORE any instance is generated, so a perf-smoke
+  // run with --max-items 200000 never pays for the 1M workload.
+  const std::vector<std::size_t> allSizes = {50000, 200000, 1000000};
+  for (std::size_t n : allSizes) {
+    if (maxItems > 0 && n > static_cast<std::size_t>(maxItems)) continue;
+    WorkloadSpec w;
+    w.numItems = n;
+    w.mu = mu;
+    auto inst = std::make_shared<Instance>(generateWorkload(w, seed));
+    PolicyContext context = PolicyContext::forInstance(*inst, seed);
+
+    for (const char* policySpec : {"ff", "cdt-ff"}) {
+      std::string tag = std::string(policySpec) + "/" + std::to_string(n);
+      auto batchPolicy =
+          std::shared_ptr<OnlinePolicy>(makePolicy(policySpec, context));
+      SimOptions batchOptions;
+      batchOptions.engine = engine;
+      specs.push_back({"Batch/" + tag, n, [inst, batchPolicy, batchOptions] {
+                         SimResult r =
+                             simulateOnline(*inst, *batchPolicy, batchOptions);
+                         g_sink = r.totalUsage;
+                       }});
+
+      auto streamPolicy =
+          std::shared_ptr<OnlinePolicy>(makePolicy(policySpec, context));
+      auto source = std::make_shared<InstanceArrivalSource>(*inst);
+      StreamOptions streamOptions;
+      streamOptions.engine = engine;
+      streamOptions.computeLowerBound = false;  // apples-to-apples with batch
+      std::string streamName = "Stream/" + tag;
+      specs.push_back(
+          {streamName, n,
+           [source, streamPolicy, streamOptions, streamName, &streamResults] {
+             source->reset();
+             StreamResult r =
+                 simulateStream(*source, *streamPolicy, streamOptions);
+             g_sink = r.totalUsage;
+             streamResults[streamName] = r;
+           }});
+    }
+
+    {
+      auto lbPolicy = std::shared_ptr<OnlinePolicy>(makePolicy("ff", context));
+      auto source = std::make_shared<InstanceArrivalSource>(*inst);
+      StreamOptions lbOptions;
+      lbOptions.engine = engine;
+      lbOptions.computeLowerBound = true;
+      std::string lbName = "StreamLb3/ff/" + std::to_string(n);
+      specs.push_back({lbName, n,
+                       [source, lbPolicy, lbOptions, lbName, &streamResults] {
+                         source->reset();
+                         StreamResult r =
+                             simulateStream(*source, *lbPolicy, lbOptions);
+                         g_sink = r.lb3;
+                         streamResults[lbName] = r;
+                       }});
+    }
+
+    for (const char* fmt : {"csv", "jsonl"}) {
+      std::filesystem::path path =
+          std::filesystem::temp_directory_path() /
+          ("cdbp_bench_stream_" + std::to_string(n) + "." + fmt);
+      tempFiles.push_back(path);
+      std::string pathStr = path.string();
+      specs.push_back({"TraceWrite/" + std::string(fmt) + "/" +
+                           std::to_string(n),
+                       n, [inst, pathStr] {
+                         saveTrace(*inst, pathStr, "bench_streaming");
+                         g_sink = static_cast<double>(inst->size());
+                       }});
+      specs.push_back({"TraceScan/" + std::string(fmt) + "/" +
+                           std::to_string(n),
+                       n, [pathStr] {
+                         TraceStats stats = scanTrace(pathStr);
+                         g_sink = stats.demand;
+                       }});
+      auto filePolicy =
+          std::shared_ptr<OnlinePolicy>(makePolicy("ff", context));
+      StreamOptions fileOptions;
+      fileOptions.engine = engine;
+      fileOptions.computeLowerBound = false;
+      std::string fileName =
+          "StreamFile/" + std::string(fmt) + "/" + std::to_string(n);
+      specs.push_back(
+          {fileName, n,
+           [pathStr, filePolicy, fileOptions, fileName, &streamResults] {
+             TraceArrivalSource source(pathStr);
+             StreamResult r =
+                 simulateStream(source, *filePolicy, fileOptions);
+             g_sink = r.totalUsage;
+             streamResults[fileName] = r;
+           }});
+    }
+  }
+
+  telemetry::BenchReport report("streaming");
+  report.setParam("reps", reps);
+  report.setParam("warmup", warmup);
+  report.setParam("mu", mu);
+  report.setParam("seed", static_cast<long>(seed));
+  report.setParam("max_items", maxItems);
+  report.setParam("filter", filter);
+  report.setParam("engine", engineName);
+
+  Table table({"benchmark", "items", "mean ms", "stddev ms", "items/s"});
+  std::size_t ran = 0;
+  for (const Spec& spec : specs) {
+    if (!filter.empty() && spec.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    ++ran;
+    for (std::size_t w = 0; w < warmup; ++w) spec.body();
+
+    telemetry::RegistrySnapshot before =
+        telemetry::Registry::global().snapshot();
+    telemetry::BenchTimingSeries& series =
+        report.addTiming(spec.name, spec.items);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      std::uint64_t t0 = telemetry::monotonicNanos();
+      spec.body();
+      std::uint64_t t1 = telemetry::monotonicNanos();
+      series.addRepSeconds(static_cast<double>(t1 - t0) * 1e-9);
+    }
+    telemetry::RegistrySnapshot after =
+        telemetry::Registry::global().snapshot();
+    series.setCounterDeltas(telemetry::diffCounters(before, after));
+
+    table.addRow({spec.name, std::to_string(spec.items),
+                  Table::num(series.seconds().mean() * 1e3, 3),
+                  Table::num(series.seconds().stddev() * 1e3, 3),
+                  Table::num(series.itemsPerSecond(), 0)});
+  }
+
+  std::cout << "=== streaming (" << reps << " reps, warmup " << warmup
+            << ", mu " << mu << ", engine " << engineName << ", telemetry "
+            << (telemetry::kEnabled ? "on" : "off") << ") ===\n";
+  if (flags.has("csv")) {
+    table.printCsv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  // The bounded-memory claim, measured: peak simultaneously-open items and
+  // estimated resident simulator state per streaming run.
+  Table memory({"benchmark", "items", "peak open items", "open/total",
+                "resident KiB"});
+  for (const auto& [name, r] : streamResults) {
+    memory.addRow({name, std::to_string(r.items),
+                   std::to_string(r.peakOpenItems),
+                   Table::num(r.items > 0
+                                  ? static_cast<double>(r.peakOpenItems) /
+                                        static_cast<double>(r.items)
+                                  : 0.0,
+                              4),
+                   std::to_string(r.peakResidentBytes / 1024)});
+  }
+  if (!streamResults.empty()) {
+    std::cout << "--- streaming memory ---\n";
+    if (flags.has("csv")) {
+      memory.printCsv(std::cout);
+    } else {
+      memory.print(std::cout);
+    }
+    report.addTable("memory", memory);
+  }
+
+  for (const std::filesystem::path& path : tempFiles) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+
+  if (ran == 0) {
+    std::cerr << "bench_streaming: no benchmark matched --filter/--max-items\n";
+    return 1;
+  }
+
+  report.addTable("streaming", table);
+  report.writeIfRequested(flags, std::cout);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Trace exporter: run any synthetic generator and write the result as a
+// versioned cdbp-trace file (workload/trace_io.hpp), so the exact same
+// workload can be replayed later — by stream_replay, the runMany grid, or
+// a different process entirely — without re-threading generator knobs.
+//
+//   ./make_trace                                    # 10k jobs -> trace.jsonl
+//   ./make_trace --items 1000000 --mu 64 --out big.csv
+//   ./make_trace --arrivals bursty --burst 16 --durations pareto --out h.jsonl
+//
+// Flags: --items N, --seed N, --out <path> (.csv or .jsonl; the extension
+//        picks the flavor; default trace.jsonl),
+//        --arrivals poisson|uniform|bursty, --rate X, --burst N,
+//        --durations uniform|exponential|pareto|lognormal|bimodal,
+//        --mu X, --min-duration X,
+//        --sizes uniform|small|flavors, --min-size X, --max-size X.
+#include <iostream>
+#include <string>
+
+#include "util/flags.hpp"
+#include "workload/generators.hpp"
+#include "workload/trace_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdbp;
+  Flags flags = Flags::strictOrDie(
+      argc, argv,
+      {"items", "seed", "out", "arrivals", "rate", "burst", "durations", "mu",
+       "min-duration", "sizes", "min-size", "max-size"});
+
+  WorkloadSpec spec;
+  std::uint64_t seed = 42;
+  try {
+    spec.numItems = static_cast<std::size_t>(flags.getInt("items", 10000));
+    spec.arrivalRate = flags.getDouble("rate", spec.arrivalRate);
+    spec.burstSize = static_cast<std::size_t>(
+        flags.getInt("burst", static_cast<long>(spec.burstSize)));
+    spec.minDuration = flags.getDouble("min-duration", spec.minDuration);
+    spec.mu = flags.getDouble("mu", spec.mu);
+    spec.minSize = flags.getDouble("min-size", spec.minSize);
+    spec.maxSize = flags.getDouble("max-size", spec.maxSize);
+    seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  } catch (const std::exception& e) {
+    std::cerr << "make_trace: " << e.what() << '\n';
+    return 2;
+  }
+
+  std::string arrivals = flags.getString("arrivals", "poisson");
+  if (arrivals == "poisson") {
+    spec.arrivals = ArrivalProcess::kPoisson;
+  } else if (arrivals == "uniform") {
+    spec.arrivals = ArrivalProcess::kUniform;
+  } else if (arrivals == "bursty") {
+    spec.arrivals = ArrivalProcess::kBursty;
+  } else {
+    std::cerr << "bad --arrivals '" << arrivals
+              << "' (poisson|uniform|bursty)\n";
+    return 2;
+  }
+
+  std::string durations = flags.getString("durations", "uniform");
+  if (durations == "uniform") {
+    spec.durations = DurationDist::kUniform;
+  } else if (durations == "exponential") {
+    spec.durations = DurationDist::kExponential;
+  } else if (durations == "pareto") {
+    spec.durations = DurationDist::kPareto;
+  } else if (durations == "lognormal") {
+    spec.durations = DurationDist::kLogNormal;
+  } else if (durations == "bimodal") {
+    spec.durations = DurationDist::kBimodal;
+  } else {
+    std::cerr << "bad --durations '" << durations
+              << "' (uniform|exponential|pareto|lognormal|bimodal)\n";
+    return 2;
+  }
+
+  std::string sizes = flags.getString("sizes", "uniform");
+  if (sizes == "uniform") {
+    spec.sizes = SizeDist::kUniform;
+  } else if (sizes == "small") {
+    spec.sizes = SizeDist::kSmallOnly;
+  } else if (sizes == "flavors") {
+    spec.sizes = SizeDist::kFlavors;
+  } else {
+    std::cerr << "bad --sizes '" << sizes << "' (uniform|small|flavors)\n";
+    return 2;
+  }
+
+  std::string out = flags.getString("out", "trace.jsonl");
+
+  try {
+    Instance instance = generateWorkload(spec, seed);
+    std::string note = "make_trace items=" + std::to_string(spec.numItems) +
+                       " arrivals=" + arrivals + " durations=" + durations +
+                       " sizes=" + sizes + " mu=" + std::to_string(spec.mu) +
+                       " seed=" + std::to_string(seed);
+    saveTrace(instance, out, note);
+
+    // Read the file back for the summary: what scanTrace reports is what
+    // every later consumer will see.
+    TraceStats stats = scanTrace(out);
+    std::cout << "wrote " << stats.count << " jobs to " << out << " ("
+              << traceFormatName(traceFormatForPath(out)) << " v"
+              << kTraceFormatVersion << ")\n";
+    std::cout << "  arrivals in [" << stats.minArrival << ", "
+              << stats.maxArrival << "], last departure " << stats.maxDeparture
+              << '\n';
+    std::cout << "  durations in [" << stats.minDuration << ", "
+              << stats.maxDuration << "] (mu " << stats.mu << "), max size "
+              << stats.maxSize << ", demand " << stats.demand << '\n';
+  } catch (const std::exception& e) {
+    std::cerr << "make_trace: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -9,9 +9,10 @@
 #
 # Usage: scripts/check.sh [--quick] [--perf]
 #   --quick runs only lint + the Release suite (steps 1-2).
-#   --perf additionally runs the reduced throughput and multidim benches
-#          (the CI perf-smoke job), leaves BENCH_throughput.json and
-#          BENCH_multidim.json behind, and runs tools/perf_guard.py
+#   --perf additionally runs the reduced throughput, multidim and
+#          streaming benches (the CI perf-smoke job), leaves
+#          BENCH_throughput.json, BENCH_multidim.json and
+#          BENCH_streaming.json behind, and runs tools/perf_guard.py
 #          against the committed baselines: no benchmark may lose >20%
 #          items/sec relative to the fleet, and the indexed engine must
 #          stay >=3x the linear scan on the scalar many-open-bins series
@@ -70,6 +71,14 @@ if [[ "$PERF" == "1" ]]; then
     --engine linear --filter MdManyOpen --json=BENCH_multidim_linear.json
   python3 tools/perf_guard.py BENCH_multidim_linear.json \
     BENCH_multidim.json --min-speedup 2 --filter MdManyOpen
+
+  step "perf smoke (reduced streaming bench -> BENCH_streaming.json)"
+  ./build-release/bench/bench_streaming --reps 3 --max-items 200000 \
+    --json=BENCH_streaming.json
+
+  step "streaming perf guard (>20% regression vs committed baseline fails)"
+  python3 tools/perf_guard.py bench/baselines/BENCH_streaming.json \
+    BENCH_streaming.json
 fi
 
 if [[ "$QUICK" == "1" ]]; then

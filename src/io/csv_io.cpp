@@ -4,6 +4,8 @@
 #include <sstream>
 #include <vector>
 
+#include "util/parse.hpp"
+
 namespace cdbp {
 
 namespace {
@@ -16,28 +18,20 @@ std::vector<std::string> splitCsvLine(const std::string& line) {
   return cells;
 }
 
-double parseNumber(const std::string& cell, std::size_t lineNo) {
-  try {
-    std::size_t consumed = 0;
-    double value = std::stod(cell, &consumed);
-    // Allow trailing whitespace only.
-    for (std::size_t i = consumed; i < cell.size(); ++i) {
-      if (!std::isspace(static_cast<unsigned char>(cell[i]))) {
-        throw std::invalid_argument(cell);
-      }
-    }
-    return value;
-  } catch (const std::exception&) {
-    throw CsvError("line " + std::to_string(lineNo) + ": not a number: '" +
-                   cell + "'");
-  }
-}
-
 std::string trim(const std::string& s) {
   std::size_t first = s.find_first_not_of(" \t\r\n");
   if (first == std::string::npos) return "";
   std::size_t last = s.find_last_not_of(" \t\r\n");
   return s.substr(first, last - first + 1);
+}
+
+double parseNumber(const std::string& cell, std::size_t lineNo) {
+  double value = 0;
+  if (!tryParseDouble(trim(cell), value)) {
+    throw CsvError("line " + std::to_string(lineNo) + ": not a number: '" +
+                   cell + "'");
+  }
+  return value;
 }
 
 }  // namespace

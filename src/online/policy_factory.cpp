@@ -10,6 +10,7 @@
 #include "online/combined.hpp"
 #include "online/departure_fit.hpp"
 #include "online/hybrid_ff.hpp"
+#include "util/parse.hpp"
 
 namespace cdbp {
 
@@ -39,29 +40,25 @@ struct ParsedSpec {
   double getDouble(const std::string& key) {
     auto it = params.find(key);
     if (it == params.end()) fail("missing parameter '" + key + "'");
-    try {
-      std::size_t used = 0;
-      double value = std::stod(it->second, &used);
-      if (used != it->second.size()) throw std::invalid_argument(it->second);
-      params.erase(it);
-      return value;
-    } catch (const std::logic_error&) {
-      fail("parameter '" + key + "' is not a number");
+    double value = 0;
+    if (!tryParseDouble(it->second, value)) {
+      fail("parameter '" + key + "' is not a number (got '" + it->second +
+           "')");
     }
+    params.erase(it);
+    return value;
   }
 
   std::uint64_t getUint(const std::string& key) {
     auto it = params.find(key);
     if (it == params.end()) fail("missing parameter '" + key + "'");
-    try {
-      std::size_t used = 0;
-      unsigned long long value = std::stoull(it->second, &used);
-      if (used != it->second.size()) throw std::invalid_argument(it->second);
-      params.erase(it);
-      return value;
-    } catch (const std::logic_error&) {
-      fail("parameter '" + key + "' is not a non-negative integer");
+    std::uint64_t value = 0;
+    if (!tryParseUint(it->second, value)) {
+      fail("parameter '" + key + "' is not a non-negative integer (got '" +
+           it->second + "')");
     }
+    params.erase(it);
+    return value;
   }
 
   void finish() const {

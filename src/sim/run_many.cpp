@@ -4,6 +4,7 @@
 
 #include "core/lower_bounds.hpp"
 #include "util/thread_pool.hpp"
+#include "workload/trace_io.hpp"
 
 namespace cdbp {
 
@@ -80,6 +81,13 @@ std::vector<RunResult> runMany(const RunManySpec& spec) {
   });
 
   return results;
+}
+
+std::function<Instance(std::uint64_t)> traceFileInstanceAxis(
+    std::string path) {
+  return [path = std::move(path)](std::uint64_t /*seed*/) {
+    return loadTraceInstance(path);
+  };
 }
 
 void runCells(unsigned threads, std::size_t count,

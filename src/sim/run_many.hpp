@@ -102,6 +102,14 @@ struct RunResult {
 /// out of runMany (first one wins, per ThreadPool::wait).
 std::vector<RunResult> runMany(const RunManySpec& spec);
 
+/// Instance-axis entry replaying a trace file (workload/trace_io.hpp):
+/// the seed is ignored — every seed-axis cell sees the same recorded
+/// workload, so seeds only vary the policy side (e.g. rf's RNG). The file
+/// is re-read per generator call; runMany's phase-1 sharing means that is
+/// once per (instance, seed) pair, not once per policy. Errors surface as
+/// TraceError out of runMany.
+std::function<Instance(std::uint64_t)> traceFileInstanceAxis(std::string path);
+
 /// The bare fan-out underneath runMany, for sweeps whose cells are not
 /// scalar simulateOnline calls (the multidim and flexible benches): runs
 /// fn(0..count-1) over a ThreadPool with `threads` workers (0 = hardware

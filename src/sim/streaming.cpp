@@ -1,0 +1,285 @@
+#include "sim/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/epsilon.hpp"
+#include "sim/placement_view.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace cdbp {
+
+namespace {
+
+constexpr int kTracePid = 1;
+
+// One pending departure per arrived-but-not-departed item. Popped in
+// (time, id) order — the batch timeline's sort key, under which departures
+// precede arrivals at the same instant and simultaneous departures drain
+// in item-id order — so bin levels evolve through the identical sequence
+// of floating-point updates as in simulateOnline.
+struct PendingDeparture {
+  Time time;
+  ItemId item;
+  BinId bin;
+  Size size;
+};
+
+// std::push_heap/pop_heap maintain a max-heap w.r.t. the comparator;
+// "later departure wins" turns that into a min-heap on (time, id).
+bool laterDeparture(const PendingDeparture& a, const PendingDeparture& b) {
+  if (a.time != b.time) return a.time > b.time;
+  return a.item > b.item;
+}
+
+#if CDBP_TELEMETRY
+// Same counter the batch simulator attributes per-placement scan cost
+// from; see simulator.cpp for the concurrent-attribution caveat.
+telemetry::Counter& fitCheckCounter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("sim.fit_checks");
+  return c;
+}
+#endif
+
+// Incremental mirror of StepFunction::ceilIntegral(kSizeEps) over the
+// running total-size profile S(t): each event first settles the segment
+// since the previous event — skipping near-empty segments and snapping
+// near-integer levels, exactly as the batch bound does — then applies the
+// item's size delta. O(1) state; the price is that the running level is a
+// long alternating FP sum, so the result matches the batch bound to
+// accumulation order, not bitwise.
+class IncrementalLb3 {
+ public:
+  void onEvent(Time t, double delta) {
+    if (level_ > kSizeEps && t > last_) {
+      double nearest = std::round(level_);
+      double value =
+          (std::fabs(level_ - nearest) <= kSizeEps) ? nearest : level_;
+      total_ += std::ceil(value) * (t - last_);
+    }
+    last_ = t;
+    level_ += delta;
+  }
+
+  double total() const { return total_; }
+
+ private:
+  double level_ = 0;
+  double total_ = 0;
+  Time last_ = 0;
+};
+
+}  // namespace
+
+InstanceArrivalSource::InstanceArrivalSource(const Instance& instance)
+    : items_(instance.sortedByArrival()) {}
+
+bool InstanceArrivalSource::next(StreamItem& out) {
+  if (pos_ >= items_.size()) return false;
+  const Item& r = items_[pos_++];
+  out.size = r.size;
+  out.arrival = r.arrival();
+  out.departure = r.departure();
+  return true;
+}
+
+StreamResult simulateStream(ArrivalSource& source, OnlinePolicy& policy,
+                            const StreamOptions& options) {
+  policy.reset();
+  BinManager bins(options.engine == PlacementEngine::kIndexed);
+  std::set<int> categories;
+  std::vector<PendingDeparture> pending;  // min-heap via push_heap/pop_heap
+  // Per-bin usage, indexed by BinId and filled when the bin closes. Kept
+  // so the final sum runs in bin-id order — the exact addition order of
+  // Packing::totalUsage() — making the result double bit-identical to the
+  // batch path. O(bins opened), the same order BinManager already carries.
+  std::vector<Time> usageByBin;
+  IncrementalLb3 lb3;
+  StreamResult result;
+
+  if (options.chromeTrace) {
+    options.chromeTrace->setProcessName(kTracePid,
+                                        "cdbp simulation: " + policy.name());
+  }
+
+  std::size_t residentPeak = 0;
+  auto noteResident = [&] {
+    std::size_t bytes = pending.capacity() * sizeof(PendingDeparture) +
+                        usageByBin.capacity() * sizeof(Time) +
+                        bins.binsOpened() * sizeof(BinManager::BinInfo) +
+                        bins.openCount() * 2 * sizeof(BinId);
+    if (bytes > residentPeak) {
+      residentPeak = bytes;
+      CDBP_TELEM_GAUGE_SET("stream.resident_bytes", bytes);
+    }
+  };
+
+  auto popDeparture = [&] {
+    std::pop_heap(pending.begin(), pending.end(), laterDeparture);
+    PendingDeparture dep = pending.back();
+    pending.pop_back();
+    if (options.computeLowerBound) lb3.onEvent(dep.time, -dep.size);
+    if (bins.removeItem(dep.bin, dep.size)) {
+      usageByBin[static_cast<std::size_t>(dep.bin)] =
+          dep.time - bins.info(dep.bin).openedAt;
+    }
+    CDBP_TELEM_COUNT("sim.events_processed", 1);
+    CDBP_TELEM_GAUGE_SET("stream.open_items", pending.size());
+    if (options.chromeTrace) {
+      options.chromeTrace->addCounter("open_bins",
+                                      dep.time * options.traceTimeScale,
+                                      kTracePid,
+                                      static_cast<double>(bins.openCount()));
+    }
+  };
+
+  Time lastArrival = 0;
+  ItemId nextId = 0;
+  StreamItem incoming;
+  while (source.next(incoming)) {
+    if (nextId == std::numeric_limits<ItemId>::max()) {
+      throw std::invalid_argument("simulateStream: item id space exhausted");
+    }
+    // Model validation, mirroring Instance's constructor: a streaming
+    // source bypasses that gate, so the same invariants are enforced here.
+    if (!std::isfinite(incoming.arrival) || !std::isfinite(incoming.departure)) {
+      throw std::invalid_argument("simulateStream: item " +
+                                  std::to_string(nextId) +
+                                  " has a non-finite time");
+    }
+    if (!(incoming.departure > incoming.arrival)) {
+      throw std::invalid_argument("simulateStream: item " +
+                                  std::to_string(nextId) +
+                                  " departs at or before its arrival");
+    }
+    if (!std::isfinite(incoming.size) || !(incoming.size > 0) ||
+        lt(kBinCapacity, incoming.size)) {
+      throw std::invalid_argument("simulateStream: item " +
+                                  std::to_string(nextId) +
+                                  " has size outside (0, 1]");
+    }
+    if (result.items > 0 && incoming.arrival < lastArrival) {
+      throw std::invalid_argument(
+          "simulateStream: ArrivalSource must yield nondecreasing arrivals "
+          "(item " + std::to_string(nextId) + " arrives at " +
+          std::to_string(incoming.arrival) + " after " +
+          std::to_string(lastArrival) + ")");
+    }
+
+    const Item r(nextId++, incoming.size, incoming.arrival, incoming.departure);
+    lastArrival = r.arrival();
+    ++result.items;
+
+    // Exact-time draining: every departure at or before this arrival is
+    // processed first (half-open intervals), replicating the batch
+    // timeline's departures-before-arrivals order at equal instants.
+    while (!pending.empty() && pending.front().time <= r.arrival()) {
+      popDeparture();
+    }
+
+    Item announced = r;
+    if (options.announce) {
+      announced = options.announce(r);
+      if (announced.id != r.id || announced.size != r.size ||
+          announced.arrival() != r.arrival()) {
+        throw std::logic_error(
+            "StreamOptions::announce may only perturb the departure time");
+      }
+    }
+
+    if (options.computeLowerBound) lb3.onEvent(r.arrival(), r.size);
+
+    PlacementView view(bins, r.arrival());
+#if CDBP_TELEMETRY
+    std::uint64_t fitChecksBefore = fitCheckCounter().value();
+#endif
+    PlacementDecision decision = policy.place(view, announced);
+#if CDBP_TELEMETRY
+    std::uint64_t scanned = fitCheckCounter().value() - fitChecksBefore;
+    if (scanned <= bins.openCount()) {
+      CDBP_TELEM_HIST("sim.bins_scanned_per_placement", scanned);
+    }
+#endif
+    BinId target = decision.bin;
+    if (target == kNewBin) {
+      target = bins.openBin(decision.category, r.arrival());
+      usageByBin.push_back(0);  // slot == id: one push per openBin
+      CDBP_TELEM_COUNT("sim.placements_new_bin", 1);
+    } else {
+      CDBP_TELEM_COUNT("sim.placements_existing_bin", 1);
+      if (!bins.info(target).open) {
+        throw std::logic_error(policy.name() + " placed item " +
+                               std::to_string(r.id) + " in closed bin " +
+                               std::to_string(target));
+      }
+      // Validation re-check: wouldFit is the uncounted twin of fits(), so
+      // sim.fit_checks stays comparable with the batch simulator's.
+      if (!bins.wouldFit(target, r.size)) {
+        throw std::logic_error(policy.name() + " overfilled bin " +
+                               std::to_string(target) + " with item " +
+                               std::to_string(r.id));
+      }
+    }
+    bins.addItem(target, r.size);
+    pending.push_back({r.departure(), r.id, target, r.size});
+    std::push_heap(pending.begin(), pending.end(), laterDeparture);
+    result.peakOpenItems = std::max(result.peakOpenItems, pending.size());
+    CDBP_TELEM_GAUGE_SET("stream.open_items", pending.size());
+    categories.insert(bins.info(target).category);
+    result.maxOpenBins = std::max(result.maxOpenBins, bins.openCount());
+    CDBP_TELEM_COUNT("sim.events_processed", 1);
+    CDBP_TELEM_HIST("sim.item_size_permille", r.size * 1000.0);
+
+    if (options.onPlacement) {
+      options.onPlacement(r.id, target, decision.bin == kNewBin,
+                          bins.info(target).category);
+    }
+    if (options.chromeTrace) {
+      std::ostringstream name;
+      name << "item " << r.id;
+      options.chromeTrace->addComplete(
+          name.str(), "item", r.arrival() * options.traceTimeScale,
+          r.duration() * options.traceTimeScale, kTracePid,
+          static_cast<int>(target),
+          {{"size", r.size},
+           {"category", static_cast<double>(bins.info(target).category)},
+           {"bin_level_after", bins.info(target).level}});
+      options.chromeTrace->addCounter("open_bins",
+                                      r.arrival() * options.traceTimeScale,
+                                      kTracePid,
+                                      static_cast<double>(bins.openCount()));
+    }
+    noteResident();
+  }
+
+  // End of stream: drain every pending departure so all bins close and the
+  // usage ledger completes. (The batch simulator may skip its trailing
+  // departures; here they are what produces totalUsage.)
+  while (!pending.empty()) popDeparture();
+
+  if (options.chromeTrace) {
+    for (std::size_t b = 0; b < bins.binsOpened(); ++b) {
+      const BinManager::BinInfo& info = bins.info(static_cast<BinId>(b));
+      std::ostringstream name;
+      name << "bin " << info.id << " (cat " << info.category << ")";
+      options.chromeTrace->setThreadName(kTracePid, static_cast<int>(info.id),
+                                         name.str());
+    }
+  }
+
+  Time totalUsage = 0;
+  for (Time usage : usageByBin) totalUsage += usage;
+  result.totalUsage = totalUsage;
+  result.binsOpened = bins.binsOpened();
+  result.categoriesUsed = categories.size();
+  if (options.computeLowerBound) result.lb3 = lb3.total();
+  result.peakResidentBytes = residentPeak;
+  return result;
+}
+
+}  // namespace cdbp

@@ -1,0 +1,129 @@
+// Bounded-memory streaming simulator.
+//
+// simulateOnline materializes the whole Instance plus a flat 2n-event
+// timeline before the first placement — O(n) memory by construction.
+// simulateStream consumes arrivals incrementally from an ArrivalSource and
+// keeps only the live state: the open-bin set, a min-heap of pending
+// departures (one entry per arrived-but-not-departed item), and O(1)
+// accumulators. Resident memory is O(open bins + pending departures +
+// bins ever opened), never O(total items) — the term that caps batch
+// replay at RAM. (The per-opened-bin term is inherent to BinManager's
+// BinInfo bookkeeping and is bytes per bin, not per item.)
+//
+// Equivalence contract (DESIGN.md §11, enforced by
+// tests/integration/streaming_differential_test.cpp): for any arrival-
+// sorted source, simulateStream is BIT-IDENTICAL to simulateOnline on the
+// same items — same bins for every item, same totalUsage double, same
+// sim.fit_checks count. This holds because the stream replays the batch
+// timeline order exactly: departures with time <= the incoming arrival
+// drain first (in (time, id) order — the batch sort key), so every bin
+// level evolves through the same sequence of floating-point updates and
+// every policy query sees the same state.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+#include "online/policy.hpp"
+#include "telemetry/chrome_trace.hpp"
+
+namespace cdbp {
+
+/// One arriving job as a source yields it. Sources carry no ids:
+/// simulateStream assigns dense ids in yield order, matching the dense
+/// (arrival, id) numbering a trace-file round trip produces.
+struct StreamItem {
+  Size size = 0;
+  Time arrival = 0;
+  Time departure = 0;
+};
+
+/// Pull-based arrival feed. Implementations must yield items in
+/// nondecreasing arrival order (simulateStream validates and throws
+/// std::invalid_argument on a violation) and may be single-pass.
+class ArrivalSource {
+ public:
+  virtual ~ArrivalSource() = default;
+
+  /// Fills `out` with the next item; returns false at end of stream.
+  virtual bool next(StreamItem& out) = 0;
+};
+
+/// Adapter streaming an in-memory Instance in (arrival, id) order — the
+/// oracle-side source of the streaming ≡ batch differential battery. It
+/// holds a sorted copy of the items, so it deliberately does NOT have the
+/// bounded-memory property; file-backed sources (TraceArrivalSource in
+/// workload/trace_io.hpp) do.
+class InstanceArrivalSource final : public ArrivalSource {
+ public:
+  explicit InstanceArrivalSource(const Instance& instance);
+
+  bool next(StreamItem& out) override;
+
+  /// Rewinds to the first item (the instance copy is reusable).
+  void reset() { pos_ = 0; }
+
+ private:
+  std::vector<Item> items_;  // (arrival, id) order
+  std::size_t pos_ = 0;
+};
+
+struct StreamOptions {
+  /// Placement engine, as in SimOptions. Both engines remain bit-identical
+  /// to their batch counterparts.
+  PlacementEngine engine = PlacementEngine::kIndexed;
+
+  /// Same contract as SimOptions::announce: the policy sees the perturbed
+  /// departure, the system evolves with the true one; only the departure
+  /// may change.
+  std::function<Item(const Item&)> announce;
+
+  /// Per-placement callback, invoked after each item is committed:
+  /// (item id, bin, opened-new-bin, bin category). Tests capture full
+  /// assignments through this without the simulator storing O(n) state.
+  std::function<void(ItemId, BinId, bool, int)> onPlacement;
+
+  /// Maintain the incremental Proposition 3 lower bound (ceil-integral of
+  /// the running total-size profile) in StreamResult::lb3. O(1) per event;
+  /// disable to shave the accumulator work off pure throughput runs.
+  bool computeLowerBound = true;
+
+  /// Timeline artifact, as in SimOptions (always available, independent of
+  /// the CDBP_TELEMETRY toggle).
+  telemetry::ChromeTrace* chromeTrace = nullptr;
+  double traceTimeScale = 1e6;
+};
+
+struct StreamResult {
+  /// Items consumed from the source.
+  std::size_t items = 0;
+  /// Sum of per-bin usage (close - open), accumulated in bin-id order —
+  /// bit-identical to the batch Packing::totalUsage() double.
+  Time totalUsage = 0;
+  std::size_t binsOpened = 0;
+  std::size_t maxOpenBins = 0;
+  std::size_t categoriesUsed = 0;
+  /// Incremental Proposition 3 lower bound (0 when disabled). Agrees with
+  /// lowerBounds().ceilIntegral to floating-point accumulation order, not
+  /// bitwise (DESIGN.md §11.4).
+  double lb3 = 0;
+  /// High-water mark of simultaneously pending departures — the "open
+  /// items" the stream had to remember at once. Bounded-memory runs show
+  /// peakOpenItems << items.
+  std::size_t peakOpenItems = 0;
+  /// Estimated peak bytes of simulator-owned state (departure heap +
+  /// usage ledger + bin metadata). An estimate from container capacities,
+  /// not an allocator measurement.
+  std::size_t peakResidentBytes = 0;
+};
+
+/// Streams `source` through `policy` (reset() first). Throws
+/// std::logic_error on invalid policy decisions (closed/overfilled bin) and
+/// std::invalid_argument on out-of-order or model-invalid source items.
+StreamResult simulateStream(ArrivalSource& source, OnlinePolicy& policy,
+                            const StreamOptions& options = {});
+
+}  // namespace cdbp

@@ -7,6 +7,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "util/parse.hpp"
+
 namespace cdbp {
 
 namespace {
@@ -93,13 +95,23 @@ std::string Flags::getString(const std::string& name,
 long Flags::getInt(const std::string& name, long fallback) const {
   auto it = values_.find(name);
   if (it == values_.end() || it->second.empty()) return fallback;
-  return std::strtol(it->second.c_str(), nullptr, 10);
+  long value = 0;
+  if (!tryParseLong(it->second, value)) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+  return value;
 }
 
 double Flags::getDouble(const std::string& name, double fallback) const {
   auto it = values_.find(name);
   if (it == values_.end() || it->second.empty()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  double value = 0;
+  if (!tryParseDouble(it->second, value)) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+  return value;
 }
 
 bool Flags::getBool(const std::string& name, bool fallback) const {

@@ -1,0 +1,69 @@
+// Checked numeric parsing — the sanctioned home of raw number parsing
+// (the `raw-number-parse` lint rule points here).
+//
+// std::stod and friends are parser landmines: they accept partial
+// prefixes ("16abc" parses as 16), the unsigned family wraps negative
+// input ("-1" parses as 2^64-1), and strtod with a null end pointer
+// turns arbitrary junk into 0.0. Every parser under src/ routes through
+// these helpers instead: the whole string must be consumed, signs must
+// match the target type, and failure is an explicit `false`, never an
+// exception or a silent default.
+//
+// Built on std::from_chars, so parsing is locale-independent and the
+// shortest-round-trip doubles the writers emit (io/json_writer.hpp)
+// read back bitwise identical. Hex floats ("0x1p3") are intentionally
+// rejected. "inf"/"nan" parse as non-finite values — finiteness is the
+// caller's policy, not the parser's.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string_view>
+#include <system_error>
+
+namespace cdbp {
+
+namespace parse_detail {
+
+// Strips one leading '+' (which from_chars never accepts but the stod
+// family always did); a sign after the '+' stays malformed.
+inline bool stripPlus(std::string_view& s) {
+  if (!s.empty() && s.front() == '+') {
+    s.remove_prefix(1);
+    if (s.empty() || s.front() == '+' || s.front() == '-') return false;
+  }
+  return true;
+}
+
+template <typename T>
+bool parseWhole(std::string_view s, T& out) {
+  if (s.empty() || !stripPlus(s)) return false;
+  T value{};
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), last, value);
+  if (ec != std::errc{} || ptr != last) return false;
+  out = value;
+  return true;
+}
+
+}  // namespace parse_detail
+
+/// Parses all of `s` as a double ("1.5", "-2e-3", "inf", "nan"; optional
+/// leading '+'; no whitespace, no hex floats, no trailing junk). Returns
+/// false without touching `out` otherwise.
+inline bool tryParseDouble(std::string_view s, double& out) {
+  return parse_detail::parseWhole(s, out);
+}
+
+/// Parses all of `s` as a non-negative integer. Rejects '-' outright —
+/// no modular wraparound, the std::stoull trap.
+inline bool tryParseUint(std::string_view s, std::uint64_t& out) {
+  return parse_detail::parseWhole(s, out);
+}
+
+/// Parses all of `s` as a signed long (decimal only).
+inline bool tryParseLong(std::string_view s, long& out) {
+  return parse_detail::parseWhole(s, out);
+}
+
+}  // namespace cdbp

@@ -122,6 +122,48 @@ TEST(MakePolicy, RejectsMalformedSpecs) {
                std::invalid_argument);
 }
 
+TEST(MakePolicy, EveryGrammarErrorCarriesTheSpecHelp) {
+  // Unknown names, unknown keys, and non-numeric values all fail with a
+  // message that embeds the full policySpecHelp() text, so a user at any
+  // entry point (flag, config, runMany spec) sees the grammar.
+  const std::string help = policySpecHelp();
+  for (const char* bad :
+       {"frobnicate", "ff(bogus=1)", "cdt-ff(rho=abc)", "cdt-ff(rho)",
+        "cdt-ff(rho=2", "rf(seed=7f)", "hybrid-ff(classes=4.5)", ""}) {
+    try {
+      makePolicy(bad);
+      FAIL() << "expected std::invalid_argument for spec '" << bad << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(help), std::string::npos)
+          << "spec '" << bad << "' error lacks the help text: " << e.what();
+    }
+  }
+}
+
+TEST(MakePolicy, RejectsTrailingJunkInNumericParams) {
+  // Partial-prefix parses ("16abc" -> 16) must not slip through.
+  EXPECT_THROW(makePolicy("cdt-ff(rho=2.5x)"), std::invalid_argument);
+  EXPECT_THROW(makePolicy("cdt-ff(rho=2.5 3)"), std::invalid_argument);
+  EXPECT_THROW(makePolicy("rf(seed=9q)"), std::invalid_argument);
+  EXPECT_THROW(makePolicy("hybrid-ff(classes=8!)"), std::invalid_argument);
+}
+
+TEST(MakePolicy, RejectsNegativeUintWithoutWraparound) {
+  // std::stoull would have accepted seed=-1 as 2^64-1; the checked parser
+  // rejects the sign outright.
+  EXPECT_THROW(makePolicy("rf(seed=-1)"), std::invalid_argument);
+  EXPECT_THROW(makePolicy("hybrid-ff(classes=-4)"), std::invalid_argument);
+}
+
+TEST(MakePolicy, RejectsHexFloatParams) {
+  EXPECT_THROW(makePolicy("cdt-ff(rho=0x1p3)"), std::invalid_argument);
+}
+
+TEST(MakePolicy, AcceptsSignedAndExponentDoubles) {
+  EXPECT_NO_THROW(makePolicy("cdt-ff(rho=+2.5)"));
+  EXPECT_NO_THROW(makePolicy("cdt-ff(rho=2.5e-1)"));
+}
+
 TEST(MakePolicy, SpecHelpListsEverySpec) {
   std::string help = policySpecHelp();
   for (const char* name : {"ff", "bf", "wf", "nf", "rf", "hybrid-ff",

@@ -1,0 +1,228 @@
+#include "sim/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/lower_bounds.hpp"
+#include "online/policy_factory.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+/// Source yielding a fixed list verbatim — including invalid entries, to
+/// exercise simulateStream's own validation (a streaming source bypasses
+/// Instance's constructor gate).
+class RawSource final : public ArrivalSource {
+ public:
+  explicit RawSource(std::vector<StreamItem> items)
+      : items_(std::move(items)) {}
+
+  bool next(StreamItem& out) override {
+    if (pos_ >= items_.size()) return false;
+    out = items_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<StreamItem> items_;
+  std::size_t pos_ = 0;
+};
+
+TEST(SimulateStream, EmptyStream) {
+  RawSource source({});
+  PolicyPtr policy = makePolicy("ff");
+  StreamResult result = simulateStream(source, *policy);
+  EXPECT_EQ(result.items, 0u);
+  EXPECT_EQ(result.totalUsage, 0.0);
+  EXPECT_EQ(result.binsOpened, 0u);
+  EXPECT_EQ(result.peakOpenItems, 0u);
+  EXPECT_EQ(result.lb3, 0.0);
+}
+
+TEST(SimulateStream, TinyHandTrace) {
+  // Two overlapping halves share a bin under FF; the third arrives after
+  // both depart, so the bin has closed and a new one opens.
+  RawSource source({{0.5, 0.0, 4.0}, {0.5, 1.0, 3.0}, {0.5, 5.0, 6.0}});
+  PolicyPtr policy = makePolicy("ff");
+  StreamResult result = simulateStream(source, *policy);
+  EXPECT_EQ(result.items, 3u);
+  EXPECT_EQ(result.binsOpened, 2u);
+  EXPECT_EQ(result.maxOpenBins, 1u);
+  EXPECT_EQ(result.totalUsage, 4.0 + 1.0);
+  EXPECT_EQ(result.peakOpenItems, 2u);
+}
+
+TEST(SimulateStream, OutOfOrderSourceThrows) {
+  RawSource source({{0.5, 5.0, 8.0}, {0.5, 3.0, 9.0}});
+  PolicyPtr policy = makePolicy("ff");
+  EXPECT_THROW(simulateStream(source, *policy), std::invalid_argument);
+}
+
+TEST(SimulateStream, InvalidItemsThrow) {
+  PolicyPtr policy = makePolicy("ff");
+  {
+    RawSource source({{0.0, 0.0, 4.0}});  // size 0
+    EXPECT_THROW(simulateStream(source, *policy), std::invalid_argument);
+  }
+  {
+    RawSource source({{1.5, 0.0, 4.0}});  // size > capacity
+    EXPECT_THROW(simulateStream(source, *policy), std::invalid_argument);
+  }
+  {
+    RawSource source({{0.5, 4.0, 4.0}});  // empty interval
+    EXPECT_THROW(simulateStream(source, *policy), std::invalid_argument);
+  }
+  {
+    RawSource source(
+        {{0.5, 0.0, std::numeric_limits<double>::infinity()}});
+    EXPECT_THROW(simulateStream(source, *policy), std::invalid_argument);
+  }
+}
+
+TEST(SimulateStream, AnnounceMayOnlyPerturbDeparture) {
+  WorkloadSpec spec;
+  spec.numItems = 50;
+  Instance inst = generateWorkload(spec, 7);
+
+  // Legal: shifting only the departure.
+  {
+    InstanceArrivalSource source(inst);
+    PolicyPtr policy = makePolicy("bf");
+    StreamOptions options;
+    options.announce = [](const Item& r) {
+      return Item(r.id, r.size, r.arrival(), r.departure() + 0.25);
+    };
+    StreamResult streamed = simulateStream(source, *policy, options);
+
+    // The same perturbation through the batch simulator agrees exactly.
+    PolicyPtr batchPolicy = makePolicy("bf");
+    SimOptions batchOptions;
+    batchOptions.announce = options.announce;
+    SimResult batch =
+        simulateOnline(Instance(inst.sortedByArrival()), *batchPolicy,
+                       batchOptions);
+    EXPECT_EQ(streamed.totalUsage, batch.totalUsage);
+    EXPECT_EQ(streamed.binsOpened, batch.binsOpened);
+  }
+
+  // Illegal: touching the size.
+  {
+    InstanceArrivalSource source(inst);
+    PolicyPtr policy = makePolicy("bf");
+    StreamOptions options;
+    options.announce = [](const Item& r) {
+      return Item(r.id, r.size * 0.5, r.arrival(), r.departure());
+    };
+    EXPECT_THROW(simulateStream(source, *policy, options), std::logic_error);
+  }
+}
+
+TEST(SimulateStream, InstanceArrivalSourceReset) {
+  WorkloadSpec spec;
+  spec.numItems = 80;
+  Instance inst = generateWorkload(spec, 21);
+  InstanceArrivalSource source(inst);
+  PolicyPtr policy = makePolicy("ff");
+  StreamResult first = simulateStream(source, *policy);
+  ASSERT_EQ(first.items, inst.size());
+
+  // Exhausted without reset: nothing left.
+  StreamResult empty = simulateStream(source, *policy);
+  EXPECT_EQ(empty.items, 0u);
+
+  source.reset();
+  StreamResult second = simulateStream(source, *policy);
+  EXPECT_EQ(second.items, first.items);
+  EXPECT_EQ(second.totalUsage, first.totalUsage);
+  EXPECT_EQ(second.binsOpened, first.binsOpened);
+}
+
+TEST(SimulateStream, OnPlacementSeesEveryItem) {
+  WorkloadSpec spec;
+  spec.numItems = 100;
+  Instance inst = generateWorkload(spec, 5);
+  InstanceArrivalSource source(inst);
+  PolicyPtr policy = makePolicy("ff");
+  StreamOptions options;
+  std::vector<BinId> bins;
+  options.onPlacement = [&](ItemId id, BinId bin, bool /*newBin*/,
+                            int /*category*/) {
+    EXPECT_EQ(id, static_cast<ItemId>(bins.size()));
+    bins.push_back(bin);
+  };
+  StreamResult result = simulateStream(source, *policy, options);
+  ASSERT_EQ(bins.size(), result.items);
+
+  SimResult batch =
+      simulateOnline(Instance(inst.sortedByArrival()), *policy);
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    EXPECT_EQ(bins[i], batch.packing.binOf(static_cast<ItemId>(i)))
+        << "item " << i;
+  }
+}
+
+TEST(SimulateStream, IncrementalLowerBoundTracksBatchBound) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    WorkloadSpec spec;
+    spec.numItems = 300;
+    spec.mu = 16.0;
+    Instance inst = generateWorkload(spec, seed);
+    InstanceArrivalSource source(inst);
+    PolicyPtr policy = makePolicy("ff");
+    StreamResult result = simulateStream(source, *policy);
+    double batchLb3 = lowerBounds(inst).ceilIntegral;
+    // Same epsilon-rounded integral, different accumulation order: agree
+    // to floating-point tolerance, not bitwise (DESIGN.md §11.4).
+    EXPECT_NEAR(result.lb3, batchLb3, 1e-9 * std::max(1.0, batchLb3))
+        << "seed " << seed;
+  }
+}
+
+TEST(SimulateStream, BoundedMemoryOnLongStream) {
+  // 50k items at the default arrival rate: the number of simultaneously
+  // live jobs stays near rate * mean-duration (a few dozen), so peak open
+  // items must sit orders of magnitude below the item count.
+  WorkloadSpec spec;
+  spec.numItems = 50000;
+  spec.mu = 16.0;
+  Instance inst = generateWorkload(spec, 17);
+  InstanceArrivalSource source(inst);
+  PolicyPtr policy = makePolicy("ff");
+  StreamResult result = simulateStream(source, *policy);
+  ASSERT_EQ(result.items, 50000u);
+  EXPECT_LT(result.peakOpenItems * 20, result.items)
+      << "peak open items " << result.peakOpenItems
+      << " is not << total items";
+  EXPECT_GT(result.peakOpenItems, 0u);
+  EXPECT_GT(result.peakResidentBytes, 0u);
+}
+
+TEST(SimulateStream, ChromeTraceArtifact) {
+  WorkloadSpec spec;
+  spec.numItems = 30;
+  Instance inst = generateWorkload(spec, 2);
+  InstanceArrivalSource source(inst);
+  PolicyPtr policy = makePolicy("ff");
+  telemetry::ChromeTrace trace;
+  StreamOptions options;
+  options.chromeTrace = &trace;
+  simulateStream(source, *policy, options);
+  // One complete event + one counter sample per arrival, plus departures'
+  // counter samples and the metadata rows.
+  EXPECT_GT(trace.eventCount(), 2 * inst.size());
+  std::ostringstream out;
+  trace.write(out);
+  EXPECT_EQ(out.str().front(), '[');
+  EXPECT_NE(out.str().find("open_bins"), std::string::npos);
+  EXPECT_NE(out.str().find("cdbp simulation: FirstFit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -101,6 +101,30 @@ TEST(Flags, GetBoolRejectsGarbage) {
   EXPECT_THROW(f.getBool("a", false), std::invalid_argument);
 }
 
+TEST(Flags, GetIntRejectsJunk) {
+  // strtol silently returned 0 for junk; the checked parser throws.
+  Flags f = parse({"--items=16abc"});
+  EXPECT_THROW(f.getInt("items", 0), std::invalid_argument);
+  Flags g = parse({"--items=abc"});
+  EXPECT_THROW(g.getInt("items", 0), std::invalid_argument);
+  Flags h = parse({"--items=1.5"});
+  EXPECT_THROW(h.getInt("items", 0), std::invalid_argument);
+}
+
+TEST(Flags, GetDoubleRejectsJunk) {
+  Flags f = parse({"--mu=2.5x"});
+  EXPECT_THROW(f.getDouble("mu", 0), std::invalid_argument);
+  Flags g = parse({"--mu=abc"});
+  EXPECT_THROW(g.getDouble("mu", 0), std::invalid_argument);
+}
+
+TEST(Flags, NumericSignsAndExponents) {
+  Flags f = parse({"--items=-5", "--plus=+7", "--mu=2.5e-1"});
+  EXPECT_EQ(f.getInt("items", 0), -5);
+  EXPECT_EQ(f.getInt("plus", 0), 7);
+  EXPECT_DOUBLE_EQ(f.getDouble("mu", 0), 0.25);
+}
+
 TEST(Flags, StrictAcceptsListedFlags) {
   Flags f = parseStrict({"--items=5", "--csv", "--mu", "2.5"},
                         {"items", "csv", "mu"});

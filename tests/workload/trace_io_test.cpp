@@ -1,0 +1,373 @@
+#include "workload/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "workload/generators.hpp"
+
+namespace cdbp {
+namespace {
+
+Instance sampleWorkload(std::size_t n = 200, std::uint64_t seed = 11) {
+  WorkloadSpec spec;
+  spec.numItems = n;
+  spec.mu = 16.0;
+  return generateWorkload(spec, seed);
+}
+
+// --- Round-trip property: generator -> writeTrace -> readTrace gives back
+// the exact same doubles, for both flavors. Shortest-round-trip output is
+// the mechanism; this pins the end-to-end guarantee.
+
+void expectRoundTripBitwise(TraceFormat format) {
+  Instance original = sampleWorkload();
+  std::stringstream buffer;
+  writeTrace(original, buffer, format, "round-trip test");
+  Instance restored = readTraceInstance(buffer, format, "buffer");
+
+  std::vector<Item> expected = original.sortedByArrival();
+  ASSERT_EQ(restored.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const Item& want = expected[i];
+    const Item& got = restored[static_cast<ItemId>(i)];
+    // Bitwise, not approximate: EXPECT_EQ on doubles.
+    EXPECT_EQ(got.size, want.size) << "item " << i;
+    EXPECT_EQ(got.arrival(), want.arrival()) << "item " << i;
+    EXPECT_EQ(got.departure(), want.departure()) << "item " << i;
+  }
+
+  // Idempotence: writing the restored instance reproduces the byte stream
+  // (restored is already arrival-sorted and densely numbered).
+  std::stringstream again;
+  writeTrace(restored, again, format, "round-trip test");
+  EXPECT_EQ(again.str(), buffer.str());
+}
+
+TEST(TraceIo, RoundTripBitwiseCsv) {
+  expectRoundTripBitwise(TraceFormat::kCsv);
+}
+
+TEST(TraceIo, RoundTripBitwiseJsonl) {
+  expectRoundTripBitwise(TraceFormat::kJsonl);
+}
+
+TEST(TraceIo, FileRoundTripByExtension) {
+  namespace fs = std::filesystem;
+  Instance original = sampleWorkload(60, 3);
+  for (const char* ext : {".csv", ".jsonl"}) {
+    fs::path path = fs::temp_directory_path() /
+                    (std::string("cdbp_trace_io_test") + ext);
+    saveTrace(original, path.string(), "file round trip");
+    Instance restored = loadTraceInstance(path.string());
+    std::vector<Item> expected = original.sortedByArrival();
+    ASSERT_EQ(restored.size(), expected.size()) << ext;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(restored[static_cast<ItemId>(i)].size, expected[i].size);
+    }
+    fs::remove(path);
+  }
+}
+
+TEST(TraceIo, FormatForPath) {
+  EXPECT_EQ(traceFormatForPath("a/b/jobs.csv"), TraceFormat::kCsv);
+  EXPECT_EQ(traceFormatForPath("jobs.jsonl"), TraceFormat::kJsonl);
+  EXPECT_THROW(traceFormatForPath("jobs.txt"), TraceError);
+  EXPECT_THROW(traceFormatForPath("jobs"), TraceError);
+  EXPECT_EQ(traceFormatName(TraceFormat::kCsv), "csv");
+  EXPECT_EQ(traceFormatName(TraceFormat::kJsonl), "jsonl");
+}
+
+// --- Malformed input: every case must raise TraceError whose message
+// carries the source label and the 1-based line number — never a crash,
+// never a silently skipped record.
+
+void expectFailure(const std::string& content, TraceFormat format,
+                   const std::string& wantInMessage) {
+  std::istringstream in(content);
+  TraceReader reader(in, format, "bad.trace");
+  TraceRecord record;
+  try {
+    while (reader.next(record)) {
+    }
+    FAIL() << "expected TraceError containing '" << wantInMessage << "'";
+  } catch (const TraceError& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("bad.trace"), std::string::npos) << message;
+    EXPECT_NE(message.find(wantInMessage), std::string::npos) << message;
+  }
+}
+
+void expectHeaderFailure(const std::string& content, TraceFormat format,
+                         const std::string& wantInMessage) {
+  std::istringstream in(content);
+  try {
+    TraceReader reader(in, format, "bad.trace");
+    FAIL() << "expected TraceError containing '" << wantInMessage << "'";
+  } catch (const TraceError& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("bad.trace"), std::string::npos) << message;
+    EXPECT_NE(message.find("line 1"), std::string::npos) << message;
+    EXPECT_NE(message.find(wantInMessage), std::string::npos) << message;
+  }
+}
+
+const char kCsvHeader[] = "# cdbp-trace v1\narrival,departure,size\n";
+
+TEST(TraceIo, CsvTruncatedLine) {
+  expectFailure(std::string(kCsvHeader) + "0,4,0.5\n1,3\n", TraceFormat::kCsv,
+                "line 4");
+  expectFailure(std::string(kCsvHeader) + "1,3\n", TraceFormat::kCsv,
+                "expected 3 cells, got 2");
+}
+
+TEST(TraceIo, CsvNanSize) {
+  expectFailure(std::string(kCsvHeader) + "0,4,nan\n", TraceFormat::kCsv,
+                "size must be in (0, 1]");
+  expectFailure(std::string(kCsvHeader) + "0,4,nan\n", TraceFormat::kCsv,
+                "line 3");
+}
+
+TEST(TraceIo, CsvNonFiniteTime) {
+  expectFailure(std::string(kCsvHeader) + "0,inf,0.5\n", TraceFormat::kCsv,
+                "times must be finite");
+}
+
+TEST(TraceIo, CsvDepartureBeforeArrival) {
+  expectFailure(std::string(kCsvHeader) + "5,4,0.5\n", TraceFormat::kCsv,
+                "departure");
+  expectFailure(std::string(kCsvHeader) + "5,5,0.5\n", TraceFormat::kCsv,
+                "strictly after arrival");
+}
+
+TEST(TraceIo, CsvSizeOutOfRange) {
+  expectFailure(std::string(kCsvHeader) + "0,4,1.5\n", TraceFormat::kCsv,
+                "size must be in (0, 1]");
+  expectFailure(std::string(kCsvHeader) + "0,4,0\n", TraceFormat::kCsv,
+                "size must be in (0, 1]");
+  expectFailure(std::string(kCsvHeader) + "0,4,-0.5\n", TraceFormat::kCsv,
+                "size must be in (0, 1]");
+}
+
+TEST(TraceIo, CsvJunkCell) {
+  expectFailure(std::string(kCsvHeader) + "0,4,0.5x\n", TraceFormat::kCsv,
+                "is not a number");
+  expectFailure(std::string(kCsvHeader) + "0,4abc,0.5\n", TraceFormat::kCsv,
+                "cell 2");
+}
+
+TEST(TraceIo, CsvUnsortedArrivals) {
+  expectFailure(std::string(kCsvHeader) + "5,8,0.5\n3,9,0.5\n",
+                TraceFormat::kCsv, "arrivals must be nondecreasing");
+  expectFailure(std::string(kCsvHeader) + "5,8,0.5\n3,9,0.5\n",
+                TraceFormat::kCsv, "line 4");
+}
+
+TEST(TraceIo, CsvBadMagicAndVersion) {
+  expectHeaderFailure("hello\n", TraceFormat::kCsv, "magic");
+  expectHeaderFailure("", TraceFormat::kCsv, "empty input");
+  expectHeaderFailure("# cdbp-trace v2\narrival,departure,size\n",
+                      TraceFormat::kCsv, "unsupported trace version 2");
+  expectHeaderFailure("# cdbp-trace vX\n", TraceFormat::kCsv,
+                      "malformed version");
+}
+
+TEST(TraceIo, CsvBadColumnHeader) {
+  std::istringstream in("# cdbp-trace v1\nsize,arrival,departure\n");
+  try {
+    TraceReader reader(in, TraceFormat::kCsv, "bad.trace");
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  }
+}
+
+TEST(TraceIo, CsvSkipsBlankAndCommentLines) {
+  std::istringstream in(std::string(kCsvHeader) +
+                        "# provenance comment\n\n0,4,0.5\n\n# more\n1,3,0.25\n");
+  Instance inst = readTraceInstance(in, TraceFormat::kCsv);
+  ASSERT_EQ(inst.size(), 2u);
+  EXPECT_EQ(inst[0].size, 0.5);
+  EXPECT_EQ(inst[1].size, 0.25);
+}
+
+const char kJsonlHeader[] = "{\"format\":\"cdbp-trace\",\"version\":1}\n";
+
+TEST(TraceIo, JsonlHeaderVariants) {
+  // dims defaults to 1; unknown keys are ignored; whitespace tolerated.
+  std::istringstream in(
+      "{ \"format\": \"cdbp-trace\", \"version\": 1, \"dims\": 1, "
+      "\"note\": \"made by make_trace\", \"extra\": 7 }\n[0,4,0.5]\n");
+  Instance inst = readTraceInstance(in, TraceFormat::kJsonl);
+  ASSERT_EQ(inst.size(), 1u);
+  EXPECT_EQ(inst[0].size, 0.5);
+}
+
+TEST(TraceIo, JsonlBadHeader) {
+  expectHeaderFailure("hello\n", TraceFormat::kJsonl, "malformed header");
+  expectHeaderFailure("", TraceFormat::kJsonl, "empty input");
+  expectHeaderFailure("{\"version\":1}\n", TraceFormat::kJsonl,
+                      "missing \"format\"");
+  expectHeaderFailure("{\"format\":\"cdbp-trace\"}\n", TraceFormat::kJsonl,
+                      "missing \"version\"");
+  expectHeaderFailure("{\"format\":\"other\",\"version\":1}\n",
+                      TraceFormat::kJsonl, "must be the string");
+  expectHeaderFailure("{\"format\":\"cdbp-trace\",\"version\":2}\n",
+                      TraceFormat::kJsonl, "unsupported trace version 2");
+  expectHeaderFailure("{\"format\":\"cdbp-trace\",\"version\":1,\"dims\":0}\n",
+                      TraceFormat::kJsonl, "positive integer");
+  expectHeaderFailure(
+      "{\"format\":\"cdbp-trace\",\"version\":1} trailing\n",
+      TraceFormat::kJsonl, "trailing characters");
+}
+
+TEST(TraceIo, JsonlMalformedRecords) {
+  expectFailure(std::string(kJsonlHeader) + "[0,4]\n", TraceFormat::kJsonl,
+                "expected 3 elements, got 2");
+  expectFailure(std::string(kJsonlHeader) + "[0,4]\n", TraceFormat::kJsonl,
+                "line 2");
+  expectFailure(std::string(kJsonlHeader) + "[0,4,0.5,0.1]\n",
+                TraceFormat::kJsonl, "expected 3 elements");
+  expectFailure(std::string(kJsonlHeader) + "0,4,0.5\n", TraceFormat::kJsonl,
+                "expected a JSON array record");
+  expectFailure(std::string(kJsonlHeader) + "[0,4,0.5] junk\n",
+                TraceFormat::kJsonl, "trailing characters");
+  expectFailure(std::string(kJsonlHeader) + "[0,4,abc]\n", TraceFormat::kJsonl,
+                "is not a number");
+  expectFailure(std::string(kJsonlHeader) + "[0,4,nan]\n", TraceFormat::kJsonl,
+                "size must be in (0, 1]");
+  expectFailure(std::string(kJsonlHeader) + "[5,8,0.5]\n[3,9,0.5]\n",
+                TraceFormat::kJsonl, "line 3");
+}
+
+// --- Multi-dimensional traces: the writer/reader carry them; the scalar
+// consumers reject them loudly.
+
+TEST(TraceIo, MultiDimRoundTripAndScalarRejection) {
+  std::stringstream buffer;
+  {
+    TraceWriter writer(buffer, TraceFormat::kJsonl, 2, "two dims");
+    TraceRecord record;
+    record.arrival = 0;
+    record.departure = 4;
+    record.sizes = {0.5, 0.25};
+    writer.write(record);
+    record.arrival = 1;
+    record.departure = 3;
+    record.sizes = {0.125, 0.75};
+    writer.write(record);
+    EXPECT_EQ(writer.recordsWritten(), 2u);
+  }
+  {
+    std::istringstream in(buffer.str());
+    TraceReader reader(in, TraceFormat::kJsonl);
+    EXPECT_EQ(reader.dims(), 2u);
+    TraceRecord record;
+    ASSERT_TRUE(reader.next(record));
+    ASSERT_EQ(record.sizes.size(), 2u);
+    EXPECT_EQ(record.sizes[1], 0.25);
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_FALSE(reader.next(record));
+    EXPECT_EQ(reader.recordsRead(), 2u);
+  }
+  {
+    std::istringstream in(buffer.str());
+    EXPECT_THROW(readTraceInstance(in, TraceFormat::kJsonl), TraceError);
+  }
+  {
+    std::istringstream in(buffer.str());
+    EXPECT_THROW(TraceArrivalSource(in, TraceFormat::kJsonl), TraceError);
+  }
+}
+
+TEST(TraceIo, CsvMultiDimColumnHeader) {
+  std::stringstream buffer;
+  TraceWriter writer(buffer, TraceFormat::kCsv, 3);
+  std::string header = buffer.str();
+  EXPECT_NE(header.find("arrival,departure,size,size2,size3"),
+            std::string::npos)
+      << header;
+  std::istringstream in(buffer.str());
+  TraceReader reader(in, TraceFormat::kCsv);
+  EXPECT_EQ(reader.dims(), 3u);
+}
+
+// --- Writer-side validation: fail at the producer, with the same model
+// rules the reader enforces.
+
+TEST(TraceIo, WriterRejectsInvalidRecords) {
+  std::stringstream buffer;
+  TraceWriter writer(buffer, TraceFormat::kCsv);
+  EXPECT_THROW(writer.write(4, 4, 0.5), TraceError);   // empty interval
+  EXPECT_THROW(writer.write(0, 4, 1.5), TraceError);   // size > capacity
+  EXPECT_THROW(writer.write(0, 4, 0.0), TraceError);   // size 0
+  writer.write(5, 8, 0.5);
+  EXPECT_THROW(writer.write(3, 9, 0.5), TraceError);   // arrival order
+  TraceRecord wrongDims;
+  wrongDims.arrival = 6;
+  wrongDims.departure = 7;
+  wrongDims.sizes = {0.5, 0.5};
+  EXPECT_THROW(writer.write(wrongDims), TraceError);   // dims mismatch
+  EXPECT_EQ(writer.recordsWritten(), 1u);
+}
+
+TEST(TraceIo, WriterRejectsMultiLineNote) {
+  std::stringstream buffer;
+  EXPECT_THROW(TraceWriter(buffer, TraceFormat::kCsv, 1, "two\nlines"),
+               TraceError);
+}
+
+// --- scanTrace: one-pass statistics.
+
+TEST(TraceIo, ScanTraceStats) {
+  std::istringstream in(std::string(kCsvHeader) +
+                        "0,4,0.5\n1,3,0.25\n2,10,1\n");
+  TraceStats stats = scanTrace(in, TraceFormat::kCsv);
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_EQ(stats.dims, 1u);
+  EXPECT_EQ(stats.minArrival, 0.0);
+  EXPECT_EQ(stats.maxArrival, 2.0);
+  EXPECT_EQ(stats.maxDeparture, 10.0);
+  EXPECT_EQ(stats.minDuration, 2.0);
+  EXPECT_EQ(stats.maxDuration, 8.0);
+  EXPECT_DOUBLE_EQ(stats.mu, 4.0);
+  EXPECT_EQ(stats.maxSize, 1.0);
+  EXPECT_DOUBLE_EQ(stats.demand, 0.5 * 4 + 0.25 * 2 + 1.0 * 8);
+}
+
+TEST(TraceIo, ScanTraceMatchesInstanceStats) {
+  Instance inst = sampleWorkload(120, 9);
+  std::stringstream buffer;
+  writeTrace(inst, buffer, TraceFormat::kJsonl);
+  TraceStats stats = scanTrace(buffer, TraceFormat::kJsonl);
+  EXPECT_EQ(stats.count, inst.size());
+  // Same doubles, same min/max reductions: exact agreement.
+  EXPECT_EQ(stats.minDuration, inst.minDuration());
+  EXPECT_EQ(stats.maxDuration, inst.maxDuration());
+  EXPECT_EQ(stats.mu, inst.durationRatio());
+  EXPECT_DOUBLE_EQ(stats.demand, inst.demand());
+}
+
+TEST(TraceIo, EmptyTraceIsValid) {
+  std::istringstream in(kCsvHeader);
+  Instance inst = readTraceInstance(in, TraceFormat::kCsv);
+  EXPECT_TRUE(inst.empty());
+  std::istringstream in2(kJsonlHeader);
+  TraceStats stats = scanTrace(in2, TraceFormat::kJsonl);
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.mu, 1.0);
+}
+
+TEST(TraceIo, MissingFileErrors) {
+  EXPECT_THROW(loadTraceInstance("/nonexistent/x.csv"), TraceError);
+  EXPECT_THROW(scanTrace("/nonexistent/x.jsonl"), TraceError);
+  EXPECT_THROW(TraceArrivalSource("/nonexistent/x.csv"), TraceError);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -42,6 +42,15 @@ mechanically over ``src/``, ``tests/``, ``bench/`` and ``examples/``:
                      accounting. Policies whose selection rule genuinely
                      keys on policy-private state must carry a justified
                      suppression.
+  raw-number-parse   No ``std::sto*``/``ato*``/``strto*`` under ``src/``
+                     outside ``util/parse.hpp``. Those parsers accept
+                     partial prefixes ("16abc" -> 16) and, for stoull,
+                     wrap negatives modulo 2^64 — both have produced
+                     silently-wrong experiment configs. All text-to-number
+                     conversion routes through the checked
+                     ``tryParseDouble``/``tryParseUint``/``tryParseLong``
+                     helpers in ``util/parse.hpp``, which reject trailing
+                     junk.
 
 Suppressing a finding
 ---------------------
@@ -113,6 +122,18 @@ RAW_BIN_LOOP_RE = re.compile(r"for\s*\(.*:\s*[\w.\->]*openBins\s*\(")
 # linear reference scans.
 RAW_BIN_LOOP_EXEMPT_DIR = "src/sim/"
 
+# Partial-prefix/wraparound-prone parsers. `std::stoi` et al. are plain
+# identifiers; `atof`/`strtod` et al. are matched as calls so words like
+# "atoll" inside longer identifiers don't trip it.
+RAW_PARSE_RE = re.compile(
+    r"\bstd\s*::\s*sto(?:d|f|ld|i|l|ll|ul|ull)\b"
+    r"|\bato(?:f|i|l|ll)\s*\("
+    r"|\bstrto(?:d|f|ld|imax|umax|l|ll|ul|ull)\s*\("
+)
+
+# The checked helpers live here; they wrap std::from_chars directly.
+RAW_PARSE_EXEMPT = ("util/parse.hpp",)
+
 ALL_RULES = (
     "capacity-compare",
     "rng-discipline",
@@ -121,6 +142,7 @@ ALL_RULES = (
     "pragma-once",
     "wallclock-in-lib",
     "raw-bin-loop",
+    "raw-number-parse",
 )
 
 
@@ -307,6 +329,19 @@ class FileLint:
                     "justify why the selection rule cannot be expressed as "
                     "a substrate query")
 
+    def check_raw_number_parse(self) -> None:
+        if not self.relpath.startswith("src/"):
+            return
+        if self.relpath.endswith(RAW_PARSE_EXEMPT):
+            return
+        for idx, code in enumerate(self.code_lines, start=1):
+            if RAW_PARSE_RE.search(code):
+                self.report(
+                    idx, "raw-number-parse",
+                    "partial-prefix-tolerant number parser (std::sto*/ato*/"
+                    "strto*); use tryParseDouble/tryParseUint/tryParseLong "
+                    "from util/parse.hpp, which reject trailing junk")
+
     def check_pragma_once(self) -> None:
         if not self.relpath.endswith((".hpp", ".h")):
             return
@@ -322,6 +357,7 @@ class FileLint:
         self.check_endl_in_lib()
         self.check_wallclock_in_lib()
         self.check_raw_bin_loop()
+        self.check_raw_number_parse()
         self.check_pragma_once()
         return self.findings
 
@@ -364,6 +400,9 @@ FIXTURE_EXPECTATIONS = {
     "src/online/bad_bin_loop.cpp": {"raw-bin-loop"},
     "src/online/bin_loop_suppressed_ok.cpp": set(),
     "src/sim/bin_loop_substrate_ok.cpp": set(),
+    "src/io/bad_raw_parse.cpp": {"raw-number-parse"},
+    "src/io/raw_parse_suppressed_ok.cpp": set(),
+    "src/util/parse.hpp": set(),
 }
 
 

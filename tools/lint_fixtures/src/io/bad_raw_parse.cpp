@@ -1,0 +1,19 @@
+// Fixture: partial-prefix-tolerant parsers in library code must fire
+// raw-number-parse.
+
+#include <cstdlib>
+#include <string>
+
+namespace cdbp_fixture {
+
+double viaStod(const std::string& cell) { return std::stod(cell); }
+
+unsigned long long viaStoull(const std::string& cell) {
+  return std::stoull(cell);
+}
+
+double viaStrtod(const char* cell) { return strtod(cell, nullptr); }
+
+int viaAtoi(const char* cell) { return atoi(cell); }
+
+}  // namespace cdbp_fixture

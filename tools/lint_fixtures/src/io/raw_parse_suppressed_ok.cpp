@@ -1,0 +1,17 @@
+// Fixture: a justified suppression covers a deliberate raw parse, and
+// mentions of std::stod in comments or strings never fire.
+
+#include <cstdlib>
+#include <string>
+
+namespace cdbp_fixture {
+
+// Docs may say "std::stod accepts '16abc'" without calling it.
+inline const char* kDoc = "std::stod and strtod( are parser landmines";
+
+double lastResort(const std::string& cell) {
+  // cdbp-lint: allow(raw-number-parse): fuzz harness intentionally mirrors the lenient libc behavior
+  return std::stod(cell);
+}
+
+}  // namespace cdbp_fixture

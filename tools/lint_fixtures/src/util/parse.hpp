@@ -1,0 +1,16 @@
+#pragma once
+// Fixture: util/parse.hpp is the sanctioned home of text-to-number
+// conversion — raw parser spellings inside it are exempt.
+
+#include <cstdlib>
+#include <string>
+
+namespace cdbp_fixture {
+
+inline bool tryParseDouble(const std::string& text, double& out) {
+  char* end = nullptr;
+  out = strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace cdbp_fixture
