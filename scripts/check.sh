@@ -2,13 +2,18 @@
 # scripts/check.sh — the full local analysis gauntlet, mirroring CI.
 #
 #   1. cdbp_lint (project invariant linter) + its self-test
-#   2. Release build + full ctest suite
-#   3. ASan/UBSan build + ctest (debug contracts active)
-#   4. TSan build + the thread-pool / parallel-harness tests
-#   5. clang-tidy over src/ (skipped with a notice when not installed)
+#   2. cdbp_analyze frontend self-test (semantic layers need libclang and
+#      run under --analyze)
+#   3. Release build + full ctest suite
+#   4. ASan/UBSan build + ctest (debug contracts active)
+#   5. TSan build + the thread-pool / parallel-harness tests
+#   6. clang-tidy over src/ (skipped with a notice when not installed)
 #
-# Usage: scripts/check.sh [--quick] [--perf]
-#   --quick runs only lint + the Release suite (steps 1-2).
+# Usage: scripts/check.sh [--quick] [--perf] [--analyze]
+#   --quick runs only lint + the Release suite (steps 1-3).
+#   --analyze additionally runs the semantic analyzer (tools/cdbp_analyze)
+#          over src/ plus its fixture self-test. Requires libclang; fails
+#          with the analyzer's install hint when it is missing.
 #   --perf additionally runs the reduced throughput, multidim and
 #          streaming benches (the CI perf-smoke job), leaves
 #          BENCH_throughput.json, BENCH_multidim.json and
@@ -24,11 +29,13 @@ cd "$(dirname "$0")/.."
 
 QUICK=0
 PERF=0
+ANALYZE=0
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
     --perf) PERF=1 ;;
-    *) echo "unknown option: $arg (accepted: --quick, --perf)" >&2; exit 2 ;;
+    --analyze) ANALYZE=1 ;;
+    *) echo "unknown option: $arg (accepted: --quick, --perf, --analyze)" >&2; exit 2 ;;
   esac
 done
 
@@ -38,10 +45,25 @@ step "cdbp_lint"
 python3 tools/cdbp_lint.py
 python3 tools/cdbp_lint.py --self-test
 
+step "cdbp_analyze (frontend self-test)"
+python3 tools/cdbp_analyze --self-test-frontend
+
 step "Release build + tests"
 cmake --preset release
 cmake --build --preset release -j
 ctest --preset release -j
+
+if [[ "$ANALYZE" == "1" ]]; then
+  # Semantic layer: libclang-backed AST checks over src/, driven by the
+  # release preset's compile_commands.json. Exits 2 with an install hint
+  # when libclang is missing (we deliberately do NOT pass
+  # --skip-missing-libclang here: asking for --analyze means asking for
+  # the real thing).
+  step "cdbp_analyze (fixture self-test)"
+  python3 tools/cdbp_analyze --self-test
+  step "cdbp_analyze (semantic checks over src/)"
+  python3 tools/cdbp_analyze --compdb build-release/compile_commands.json
+fi
 
 if [[ "$PERF" == "1" ]]; then
   step "perf smoke (reduced throughput bench -> BENCH_throughput.json)"
@@ -102,8 +124,9 @@ ctest --preset tsan -j
 
 step "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
-  # compile_commands.json from the release preset drives the tidy run.
-  cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  # compile_commands.json from the release preset drives the tidy run
+  # (every preset exports one).
+  cmake --preset release >/dev/null
   mapfile -t sources < <(find src -name '*.cpp' | sort)
   if command -v run-clang-tidy >/dev/null 2>&1; then
     run-clang-tidy -quiet -p build-release "${sources[@]}"

@@ -89,6 +89,7 @@ FlexOnlineResult simulateFlexibleOnline(const FlexibleInstance& instance,
                       bool forced) {
     if (target == kNewBin) {
       target = bins.openBin(0, now);
+      // cdbp-analyze: allow(engine-bypass): simulator-side validation re-check of the policy's answer, not a policy query
     } else if (!bins.wouldFit(target, job.size)) {
       // Validation re-check: wouldFit is the uncounted twin of fits(), so
       // sim.fit_checks measures policy-issued queries only.

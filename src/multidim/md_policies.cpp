@@ -129,6 +129,7 @@ MdSimResult mdSimulateOnline(const MdInstance& instance, MdOnlinePolicy& policy,
     BinId target = policy.place(view, r, &category);
     if (target == kNewBin) {
       target = bins.openBin(category, r.arrival());
+      // cdbp-analyze: allow(engine-bypass): simulator-side validation re-check of the policy's answer, not a policy query
     } else if (!bins.wouldFit(target, r.demand)) {
       // Validation re-check: wouldFit is the uncounted twin of fits(), so
       // sim.fit_checks measures policy-issued queries only.

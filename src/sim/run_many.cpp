@@ -24,6 +24,10 @@ std::vector<RunResult> runMany(const RunManySpec& spec) {
     std::shared_ptr<const Instance> instance;
     double lb3 = 0;
   };
+  // Pool tasks write these at disjoint indices (one owner per slot), so
+  // neither vector needs a mutex — the lock-free counterpart of the
+  // annotated discipline inside ThreadPool, checked by tsan instead of
+  // clang's thread-safety analysis.
   std::vector<BuiltInstance> built(numInstances * numSeeds);
   std::vector<RunResult> results(numCells);
   if (numCells == 0) return results;

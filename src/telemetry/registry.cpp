@@ -8,9 +8,11 @@ namespace cdbp::telemetry {
 
 namespace {
 
+// Callers hold the registry mutex; the map reference arrives pre-guarded
+// (taking the lock in here would hide the caller's lock requirement from
+// the thread-safety analysis).
 template <typename Map>
-auto& findOrCreate(std::mutex& mu, Map& map, std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu);
+auto& findOrCreate(Map& map, std::string_view name) {
   auto it = map.find(name);
   if (it == map.end()) {
     it = map.emplace(std::string(name),
@@ -45,19 +47,22 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  return findOrCreate(mu_, counters_, name);
+  MutexLock lock(mu_);
+  return findOrCreate(counters_, name);
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  return findOrCreate(mu_, gauges_, name);
+  MutexLock lock(mu_);
+  return findOrCreate(gauges_, name);
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  return findOrCreate(mu_, histograms_, name);
+  MutexLock lock(mu_);
+  return findOrCreate(histograms_, name);
 }
 
 RegistrySnapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   RegistrySnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -82,7 +87,7 @@ RegistrySnapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

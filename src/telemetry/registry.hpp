@@ -24,10 +24,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 #ifndef CDBP_TELEMETRY
 #define CDBP_TELEMETRY 1
@@ -250,22 +252,27 @@ class Registry {
   static Registry& global();
 
   /// Finds or creates a metric. The returned reference is stable forever.
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  Counter& counter(std::string_view name) CDBP_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) CDBP_EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name) CDBP_EXCLUDES(mu_);
 
-  RegistrySnapshot snapshot() const;
+  RegistrySnapshot snapshot() const CDBP_EXCLUDES(mu_);
 
   /// Zeroes every registered metric (names stay registered). Intended for
   /// test and bench isolation, not for concurrent production use.
-  void reset();
+  void reset() CDBP_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  // node-based maps: element addresses survive insertion.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_;
+  // node-based maps: element addresses survive insertion. The mutex guards
+  // the map structure only; the metric objects behind the unique_ptrs are
+  // lock-free and updated outside mu_ (relaxed atomics).
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      CDBP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      CDBP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      CDBP_GUARDED_BY(mu_);
 };
 
 /// Measures the wall-clock span of a scope and records it, in nanoseconds,

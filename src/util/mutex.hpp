@@ -1,0 +1,51 @@
+// Annotated mutex wrapper for clang's thread-safety analysis.
+//
+// libstdc++'s std::mutex carries no capability annotations, so guarding
+// members with it teaches the analysis nothing. cdbp::Mutex is a
+// zero-overhead std::mutex wrapper that declares itself a capability;
+// cdbp::MutexLock is the scoped acquisition. Condition variables pair
+// with them via std::condition_variable_any, which accepts any
+// BasicLockable — waiting code passes the Mutex itself, keeping the
+// "held across the wait" contract visible to the analysis:
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.wait(mu_);   // wait's unlock/relock is internal
+//
+// Predicates must be explicit loops, not wait(lock, lambda): the lambda
+// body is analyzed as a separate function that cannot see the caller's
+// lock set, so guarded reads inside it would (rightly) fail the build.
+#pragma once
+
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace cdbp {
+
+class CDBP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CDBP_ACQUIRE() { mu_.lock(); }
+  void unlock() CDBP_RELEASE() { mu_.unlock(); }
+  bool try_lock() CDBP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+class CDBP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CDBP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CDBP_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace cdbp

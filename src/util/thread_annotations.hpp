@@ -1,0 +1,67 @@
+// Clang thread-safety analysis annotations (-Wthread-safety), compiled
+// out everywhere else. Annotating the locking discipline makes it a
+// compiler-checked contract: clang proves at build time that every
+// access to a CDBP_GUARDED_BY member happens with its mutex held, that
+// CDBP_REQUIRES callees are only reached under the right lock, and that
+// scoped locks cannot leak. GCC and MSVC see empty macros.
+//
+// The annotations only attach to types that declare themselves a
+// capability, so they pair with cdbp::Mutex / cdbp::MutexLock from
+// util/mutex.hpp rather than raw std::mutex (libstdc++'s mutex is not
+// annotated and would make every annotation vacuous).
+//
+// CI builds with clang and -Werror=thread-safety, so a violated
+// annotation is a build break, not a warning.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CDBP_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef CDBP_THREAD_ANNOTATION_
+#define CDBP_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a type as a lockable capability (e.g. a mutex wrapper).
+#define CDBP_CAPABILITY(name) CDBP_THREAD_ANNOTATION_(capability(name))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define CDBP_SCOPED_CAPABILITY CDBP_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member may only be read or written while `mu` is held.
+#define CDBP_GUARDED_BY(mu) CDBP_THREAD_ANNOTATION_(guarded_by(mu))
+
+/// Pointer member: the *pointee* may only be accessed while `mu` is held.
+#define CDBP_PT_GUARDED_BY(mu) CDBP_THREAD_ANNOTATION_(pt_guarded_by(mu))
+
+/// Function requires `mu` to be held on entry (and does not release it).
+#define CDBP_REQUIRES(...) \
+  CDBP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability; held on return.
+#define CDBP_ACQUIRE(...) \
+  CDBP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability; not held on return.
+#define CDBP_RELEASE(...) \
+  CDBP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; holds it iff the return value
+/// equals `result`.
+#define CDBP_TRY_ACQUIRE(result, ...) \
+  CDBP_THREAD_ANNOTATION_(try_acquire_capability(result, __VA_ARGS__))
+
+/// Caller must NOT hold `mu` — catches self-deadlock on non-recursive
+/// mutexes at compile time.
+#define CDBP_EXCLUDES(...) \
+  CDBP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to a capability (for accessors).
+#define CDBP_RETURN_CAPABILITY(mu) \
+  CDBP_THREAD_ANNOTATION_(lock_returned(mu))
+
+/// Escape hatch: disables the analysis for one function. Every use needs
+/// a comment explaining why the discipline holds anyway.
+#define CDBP_NO_THREAD_SAFETY_ANALYSIS \
+  CDBP_THREAD_ANNOTATION_(no_thread_safety_analysis)

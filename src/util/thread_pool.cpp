@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   taskReady_.notify_all();
@@ -26,7 +26,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push(std::move(task));
     ++inFlight_;
   }
@@ -34,21 +34,21 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait() {
-  std::unique_lock lock(mutex_);
-  allDone_.wait(lock, [this] { return inFlight_ == 0; });
-  if (firstError_) {
-    std::exception_ptr error = std::exchange(firstError_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(mutex_);
+    while (inFlight_ != 0) allDone_.wait(mutex_);
+    error = std::exchange(firstError_, nullptr);
   }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      taskReady_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) taskReady_.wait(mutex_);
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop();
@@ -62,7 +62,7 @@ void ThreadPool::workerLoop() {
     // The decrement must happen on every path — a throwing task that left
     // inFlight_ elevated would wedge wait() forever.
     {
-      std::unique_lock lock(mutex_);
+      MutexLock lock(mutex_);
       if (error && !firstError_) firstError_ = error;
       if (--inFlight_ == 0) allDone_.notify_all();
     }

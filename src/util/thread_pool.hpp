@@ -24,10 +24,12 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cdbp {
 
@@ -45,26 +47,28 @@ class ThreadPool {
 
   /// Enqueues a task for execution. See the class comment for how task
   /// exceptions are reported.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) CDBP_EXCLUDES(mutex_);
 
   /// Blocks until every previously submitted task has finished (see the
   /// class comment for the precise ordering contract), then rethrows the
   /// first captured task exception, if any.
-  void wait();
+  void wait() CDBP_EXCLUDES(mutex_);
 
   std::size_t threadCount() const { return workers_.size(); }
 
  private:
-  void workerLoop();
+  void workerLoop() CDBP_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable taskReady_;
-  std::condition_variable allDone_;
-  std::size_t inFlight_ = 0;
-  bool stopping_ = false;
-  std::exception_ptr firstError_;  // guarded by mutex_
+  Mutex mutex_;
+  // condition_variable_any (not condition_variable) so the waiters can
+  // pass the annotated Mutex itself — see util/mutex.hpp.
+  std::condition_variable_any taskReady_;
+  std::condition_variable_any allDone_;
+  std::queue<std::function<void()>> queue_ CDBP_GUARDED_BY(mutex_);
+  std::size_t inFlight_ CDBP_GUARDED_BY(mutex_) = 0;
+  bool stopping_ CDBP_GUARDED_BY(mutex_) = false;
+  std::exception_ptr firstError_ CDBP_GUARDED_BY(mutex_);
 };
 
 /// Runs body(i) for i in [0, count) across the pool and waits. The body

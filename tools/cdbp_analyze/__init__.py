@@ -1,0 +1,54 @@
+"""cdbp_analyze — semantic (AST-based) static analysis for the cdbp codebase.
+
+This is the second analysis layer next to ``tools/cdbp_lint.py``. The lint
+layer is textual: fast, dependency-free, and deliberately line-oriented. It
+cannot see through type aliases, macro argument expansion, or overload
+resolution. This layer parses the real C++ through libclang (the Python
+``clang.cindex`` bindings), driven by the project's ``compile_commands.json``,
+and enforces the conventions the paper's competitive-ratio arguments
+(Theorems 1/2/4/5) and the bit-reproducibility bar actually rest on:
+
+  capacity-compare            Relational/equality operators whose operand's
+                              *canonical* type is Size/Time/double compared
+                              against a capacity expression (``kBinCapacity``
+                              under any alias, or the literal ``1.0``). The
+                              textual linter only sees the spelling; this
+                              check sees through ``using MySize = Size``.
+  side-effecting-check        Assignments, ``++``/``--``, or non-const member
+                              calls inside ``CDBP_CHECK``/``CDBP_DCHECK``
+                              arguments. A DCHECK argument is never evaluated
+                              in Release builds, so a side effect there makes
+                              Release and Debug behave differently.
+  nondeterministic-iteration  Range-``for`` over ``std::unordered_map`` /
+                              ``std::unordered_set`` (and multi variants).
+                              Hash iteration order is implementation-defined;
+                              anything it feeds — packing results, CSV/JSON
+                              output, run_many aggregation — loses
+                              bit-reproducibility. Order-insensitive uses
+                              carry a justified suppression.
+  narrowing-conversion        Implicit ``double``→integer or wide→narrow
+                              integer conversions in ``src/core/`` and
+                              ``src/sim/`` arithmetic (initializers,
+                              assignments, call arguments, returns). Explicit
+                              ``static_cast`` is the sanctioned spelling.
+  engine-bypass               Direct ``BinManager`` probing (``fits`` /
+                              ``wouldFit`` / ``openBins``) outside the
+                              placement substrate (``src/sim/``). The
+                              AST-grounded version of the textual
+                              ``raw-bin-loop`` rule: it resolves the callee's
+                              class, so renamed locals or references cannot
+                              hide a bypass.
+
+Suppression syntax mirrors cdbp_lint (the justification is mandatory and is
+the reviewable artifact)::
+
+    for (const auto& [k, v] : seen_) {  // cdbp-analyze: allow(nondeterministic-iteration): reduction is commutative
+
+Run ``python3 tools/cdbp_analyze --help`` (or ``python3 -m cdbp_analyze``
+from ``tools/``) for the CLI. When libclang is unavailable the tool says so
+loudly and exits 2 — it never silently passes.
+"""
+
+__version__ = "1.0.0"
+
+from .checks import ALL_CHECKS, Finding  # noqa: F401

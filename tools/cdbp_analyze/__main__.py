@@ -1,0 +1,171 @@
+"""CLI for cdbp_analyze. See the package docstring for the check catalog.
+
+Usage::
+
+    python3 tools/cdbp_analyze                    # analyze src/ via compdb
+    python3 tools/cdbp_analyze --compdb build-release/compile_commands.json
+    python3 tools/cdbp_analyze --checks capacity-compare,engine-bypass
+    python3 tools/cdbp_analyze --self-test            # needs libclang
+    python3 tools/cdbp_analyze --self-test-frontend   # stdlib only
+    python3 tools/cdbp_analyze --list-checks
+
+Exit codes: 0 clean · 1 findings · 2 environment/usage error (including
+missing libclang) · 3 parse errors in strict mode · 77 missing libclang
+under --skip-missing-libclang (ctest's skip code).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+if __package__ in (None, ""):  # executed as `python3 tools/cdbp_analyze`
+    sys.path.insert(
+        0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    __package__ = "cdbp_analyze"  # noqa: A001 — PEP 366 re-anchor
+
+from .checks import ALL_CHECKS, Analyzer  # noqa: E402
+from .loader import ParseError, load_libclang, parse_translation_unit  # noqa: E402
+from .selftest import (run_frontend_selftest,  # noqa: E402
+                       run_semantic_selftest)
+from .textscan import load_compile_commands  # noqa: E402
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_CONFIG = 2
+EXIT_PARSE = 3
+EXIT_SKIP = 77
+
+_DEFAULT_COMPDB = ("build-release/compile_commands.json",
+                   "build/compile_commands.json",
+                   "compile_commands.json")
+
+
+def _repo_root() -> str:
+    return os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _find_compdb(root: str, override: str | None) -> str | None:
+    if override:
+        return override if os.path.isfile(override) else None
+    for candidate in _DEFAULT_COMPDB:
+        path = os.path.join(root, candidate)
+        if os.path.isfile(path):
+            return path
+    return None
+
+
+def _require_libclang(skip_missing: bool) -> tuple[object | None, int]:
+    status = load_libclang()
+    if status.ok:
+        return status.cindex, EXIT_CLEAN
+    print(f"cdbp_analyze: libclang unavailable: {status.detail}",
+          file=sys.stderr)
+    if skip_missing:
+        print("cdbp_analyze: --skip-missing-libclang given; reporting SKIP "
+              "(exit 77) instead of failure", file=sys.stderr)
+        return None, EXIT_SKIP
+    return None, EXIT_CONFIG
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cdbp_analyze",
+        description="semantic (libclang AST) static analysis for cdbp")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: two levels above "
+                             "this package)")
+    parser.add_argument("--compdb", default=None,
+                        help="compile_commands.json path (default: search "
+                             "build-release/, build/, then the root)")
+    parser.add_argument("--checks", default=None,
+                        help="comma-separated subset of checks to run")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="print the check names and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the semantic checks against the "
+                             "fixture corpus (requires libclang)")
+    parser.add_argument("--self-test-frontend", action="store_true",
+                        help="verify the libclang-free components "
+                             "(markers, macro ranges, compile-db handling)")
+    parser.add_argument("--skip-missing-libclang", action="store_true",
+                        help="exit 77 (ctest SKIP) instead of 2 when "
+                             "libclang is unavailable")
+    parser.add_argument("--lenient-parse", action="store_true",
+                        help="analyze translation units even when they "
+                             "carry error-severity diagnostics")
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for check in ALL_CHECKS:
+            print(check)
+        return EXIT_CLEAN
+
+    if args.self_test_frontend:
+        return EXIT_FINDINGS if run_frontend_selftest() else EXIT_CLEAN
+
+    checks = ALL_CHECKS
+    if args.checks:
+        requested = tuple(c.strip() for c in args.checks.split(",") if
+                          c.strip())
+        unknown = [c for c in requested if c not in ALL_CHECKS]
+        if unknown:
+            print(f"cdbp_analyze: unknown check(s): {', '.join(unknown)} "
+                  f"(run --list-checks)", file=sys.stderr)
+            return EXIT_CONFIG
+        checks = requested
+
+    cindex, status = _require_libclang(args.skip_missing_libclang)
+    if cindex is None:
+        return status
+
+    if args.self_test:
+        return EXIT_FINDINGS if run_semantic_selftest(cindex) else EXIT_CLEAN
+
+    root = os.path.abspath(args.root or _repo_root())
+    compdb = _find_compdb(root, args.compdb)
+    if compdb is None:
+        print("cdbp_analyze: no compile_commands.json found (configure a "
+              "preset first — every preset exports one — or pass --compdb)",
+              file=sys.stderr)
+        return EXIT_CONFIG
+
+    src_prefix = os.path.join(root, "src") + os.sep
+    commands = [c for c in load_compile_commands(compdb)
+                if c.file.startswith(src_prefix)]
+    if not commands:
+        print(f"cdbp_analyze: {compdb} has no entries under {src_prefix}",
+              file=sys.stderr)
+        return EXIT_CONFIG
+
+    analyzer = Analyzer(cindex, root, checks=checks)
+    parse_failures: list[str] = []
+    for command in commands:
+        try:
+            tu = parse_translation_unit(cindex, command.file, command.args,
+                                        strict=not args.lenient_parse)
+        except ParseError as err:
+            parse_failures.append(str(err))
+            continue
+        analyzer.analyze(tu)
+
+    findings = analyzer.findings()
+    for finding in findings:
+        print(finding.render())
+    if parse_failures:
+        for failure in parse_failures:
+            print(f"cdbp_analyze: {failure}", file=sys.stderr)
+        return EXIT_PARSE
+    if findings:
+        print(f"cdbp_analyze: {len(findings)} finding(s) across "
+              f"{len(commands)} translation units", file=sys.stderr)
+        return EXIT_FINDINGS
+    print(f"cdbp_analyze: clean — {len(commands)} translation units, "
+          f"{len(checks)} checks")
+    return EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,441 @@
+"""The five semantic checks, implemented over libclang cursors.
+
+The Analyzer walks each translation unit once and dispatches every cursor
+to the enabled checks. Findings are attributed to the file the cursor is
+*spelled* in (so a violation in a header fires no matter which TU included
+it) and deduplicated across translation units.
+
+Path conventions (relative to the analysis root):
+
+  * only files under ``src/`` are analyzed;
+  * ``capacity-compare`` exempts ``src/core/epsilon.hpp`` and
+    ``src/core/types.hpp`` — they *define* the checked discipline;
+  * ``narrowing-conversion`` fires only under ``src/core/`` and
+    ``src/sim/`` (the arithmetic that decides packings);
+  * ``engine-bypass`` exempts ``src/sim/`` — the substrate itself is the
+    sanctioned home of direct BinManager access.
+
+The fixture corpus mirrors this layout under ``fixtures/<case>/src/...`` so
+the self-test exercises exactly the path rules production runs use.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+
+from .textscan import (CheckMacroRange, MarkerScan, find_check_macro_ranges,
+                       scan_markers)
+
+ALL_CHECKS = (
+    "capacity-compare",
+    "side-effecting-check",
+    "nondeterministic-iteration",
+    "narrowing-conversion",
+    "engine-bypass",
+)
+
+#: Pseudo-check under which malformed/unknown suppressions are reported.
+SUPPRESSION_CHECK = "suppression"
+
+_RELATIONAL_OPS = frozenset({"<", "<=", ">", ">=", "==", "!="})
+_COMPOUND_ASSIGN_OPS = frozenset(
+    {"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="})
+_UNORDERED_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)<")
+_BIN_MANAGER_CLASSES = ("BasicBinManager", "BinManager")
+_BIN_MANAGER_PROBES = frozenset({"fits", "wouldFit", "openBins"})
+
+_CAPACITY_EXEMPT = ("src/core/epsilon.hpp", "src/core/types.hpp")
+_NARROWING_DIRS = ("src/core/", "src/sim/")
+_ENGINE_EXEMPT_DIR = "src/sim/"
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int
+    col: int
+    check: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.check}] " \
+               f"{self.message}"
+
+
+@dataclass
+class _FileInfo:
+    relpath: str
+    markers: MarkerScan
+    check_ranges: list[CheckMacroRange]
+    marker_findings_emitted: bool = field(default=False)
+
+
+class Analyzer:
+    """Accumulates findings across translation units."""
+
+    def __init__(self, cindex, root: str,
+                 checks: tuple[str, ...] = ALL_CHECKS,
+                 scope_prefix: str = "src"):
+        self.cindex = cindex
+        self.root = os.path.abspath(root)
+        self.checks = frozenset(checks)
+        self.scope_prefix = scope_prefix + "/"
+        self._files: dict[str, _FileInfo | None] = {}
+        self._findings: set[Finding] = set()
+        ck = cindex.CursorKind
+        self._expr_dispatch = {
+            ck.BINARY_OPERATOR: self._visit_binary_operator,
+            ck.COMPOUND_ASSIGNMENT_OPERATOR: self._visit_compound_assign,
+            ck.UNARY_OPERATOR: self._visit_unary_operator,
+            ck.CXX_FOR_RANGE_STMT: self._visit_for_range,
+            ck.CALL_EXPR: self._visit_call,
+            ck.VAR_DECL: self._visit_var_decl,
+            ck.RETURN_STMT: self._visit_return,
+        }
+
+    # --- public API ---
+
+    def analyze(self, tu) -> None:
+        for cursor in tu.cursor.get_children():
+            self._walk(cursor, result_type=None)
+
+    def findings(self) -> list[Finding]:
+        return sorted(self._findings,
+                      key=lambda f: (f.path, f.line, f.col, f.check))
+
+    # --- file bookkeeping ---
+
+    def _file_info(self, file) -> _FileInfo | None:
+        """Returns per-file text info, or None when out of scope."""
+        if file is None:
+            return None
+        name = os.path.abspath(file.name)
+        cached = self._files.get(name, "miss")
+        if cached != "miss":
+            return cached
+        relpath = os.path.relpath(name, self.root).replace(os.sep, "/")
+        if not relpath.startswith(self.scope_prefix):
+            self._files[name] = None
+            return None
+        try:
+            with open(name, encoding="utf-8", errors="replace") as fh:
+                text = fh.read()
+        except OSError:
+            self._files[name] = None
+            return None
+        known = frozenset(ALL_CHECKS) | {SUPPRESSION_CHECK}
+        info = _FileInfo(relpath=relpath,
+                         markers=scan_markers(text, known),
+                         check_ranges=find_check_macro_ranges(text))
+        self._files[name] = info
+        self._emit_marker_errors(info)
+        return info
+
+    def _emit_marker_errors(self, info: _FileInfo) -> None:
+        if info.marker_findings_emitted:
+            return
+        info.marker_findings_emitted = True
+        for line, message in info.markers.errors:
+            self._findings.add(
+                Finding(info.relpath, line, 1, SUPPRESSION_CHECK, message))
+
+    def _report(self, info: _FileInfo, location, check: str,
+                message: str) -> None:
+        if check in info.markers.suppressions.get(location.line, set()):
+            return
+        self._findings.add(
+            Finding(info.relpath, location.line, location.column, check,
+                    message))
+
+    # --- the walk ---
+
+    def _walk(self, cursor, result_type) -> None:
+        info = self._file_info(cursor.location.file)
+        if info is None:
+            return
+        if cursor.kind == self.cindex.CursorKind.FUNCTION_DECL or \
+                cursor.kind in (self.cindex.CursorKind.CXX_METHOD,
+                                self.cindex.CursorKind.CONSTRUCTOR,
+                                self.cindex.CursorKind.DESTRUCTOR,
+                                self.cindex.CursorKind.FUNCTION_TEMPLATE,
+                                self.cindex.CursorKind.LAMBDA_EXPR):
+            result_type = cursor.result_type
+        handler = self._expr_dispatch.get(cursor.kind)
+        if handler is not None:
+            handler(cursor, info, result_type)
+        self._check_side_effects(cursor, info)
+        for child in cursor.get_children():
+            self._walk(child, result_type)
+
+    # --- capacity-compare ---
+
+    def _visit_binary_operator(self, cursor, info: _FileInfo,
+                               result_type) -> None:
+        op = self._binary_op_spelling(cursor)
+        children = list(cursor.get_children())
+        if len(children) != 2 or op is None:
+            return
+        if op == "=" and "narrowing-conversion" in self.checks:
+            self._check_narrowing(info, cursor.location, children[0].type,
+                                  children[1])
+        if op not in _RELATIONAL_OPS:
+            return
+        if "capacity-compare" not in self.checks:
+            return
+        if info.relpath.endswith(_CAPACITY_EXEMPT):
+            return
+        lhs, rhs = children
+        if not (self._is_double(lhs.type) or self._is_double(rhs.type)):
+            return
+        capacity_side = next(
+            (side for side in (lhs, rhs) if self._mentions_capacity(side)),
+            None)
+        if capacity_side is None:
+            return
+        self._report(
+            info, cursor.location, "capacity-compare",
+            f"raw `{op}` between a Size/Time/double operand and a capacity "
+            "expression; route the decision through the epsilon helpers "
+            "(leq/lt/approxEq/fitsCapacity/freeCapacity in "
+            "core/epsilon.hpp) so every module tolerates the same "
+            "floating-point slack")
+
+    def _is_double(self, ctype) -> bool:
+        return ctype.get_canonical().kind in (self.cindex.TypeKind.DOUBLE,
+                                              self.cindex.TypeKind.FLOAT,
+                                              self.cindex.TypeKind.LONGDOUBLE)
+
+    def _mentions_capacity(self, cursor) -> bool:
+        """True when the expression references kBinCapacity (under any
+        alias/qualification) or spells the literal 1.0."""
+        ck = self.cindex.CursorKind
+        stack = [cursor]
+        while stack:
+            node = stack.pop()
+            if node.kind == ck.DECL_REF_EXPR:
+                ref = node.referenced
+                if ref is not None and ref.spelling == "kBinCapacity":
+                    return True
+            if node.kind == ck.FLOATING_LITERAL:
+                token = next(iter(node.get_tokens()), None)
+                if token is not None:
+                    try:
+                        if float(token.spelling.rstrip("fFlL")) == 1.0:
+                            return True
+                    except ValueError:
+                        pass
+            stack.extend(node.get_children())
+        return False
+
+    # --- side-effecting-check ---
+
+    def _check_side_effects(self, cursor, info: _FileInfo) -> None:
+        if "side-effecting-check" not in self.checks:
+            return
+        if not info.check_ranges:
+            return
+        loc = cursor.location
+        rng = next((r for r in info.check_ranges
+                    if r.contains(loc.line, loc.column)), None)
+        if rng is None:
+            return
+        ck = self.cindex.CursorKind
+        label: str | None = None
+        if cursor.kind == ck.BINARY_OPERATOR:
+            if self._binary_op_spelling(cursor) == "=":
+                label = "assignment"
+        elif cursor.kind == ck.COMPOUND_ASSIGNMENT_OPERATOR:
+            label = "compound assignment"
+        elif cursor.kind == ck.UNARY_OPERATOR:
+            op = self._unary_op_spelling(cursor)
+            if op in ("++", "--"):
+                label = f"`{op}`"
+        elif cursor.kind == ck.CALL_EXPR:
+            ref = cursor.referenced
+            if ref is not None and ref.kind == ck.CXX_METHOD and \
+                    not ref.is_const_method() and not ref.is_static_method():
+                name = ref.spelling
+                if name == "operator=":
+                    label = "assignment"
+                elif not self._has_const_overload(ref):
+                    label = f"non-const call `{name}()`"
+        if label is None:
+            return
+        self._report(
+            info, loc, "side-effecting-check",
+            f"{label} inside {rng.macro} arguments; the condition is "
+            "compiled out in Release (NDEBUG), so this side effect makes "
+            "Debug and Release diverge — hoist it out of the check")
+
+    def _has_const_overload(self, method) -> bool:
+        """True when the method's class also declares a const overload of
+        the same name (begin/end/rbegin/find on a non-const object pick the
+        non-const overload; that choice is overload resolution, not a
+        mutation)."""
+        parent = method.semantic_parent
+        if parent is None:
+            return False
+        ck = self.cindex.CursorKind
+        for sibling in parent.get_children():
+            if sibling.kind == ck.CXX_METHOD and \
+                    sibling.spelling == method.spelling and \
+                    sibling.is_const_method():
+                return True
+        return False
+
+    # --- nondeterministic-iteration ---
+
+    def _visit_for_range(self, cursor, info: _FileInfo, result_type) -> None:
+        if "nondeterministic-iteration" not in self.checks:
+            return
+        for child in cursor.get_children():
+            spelling = child.type.get_canonical().spelling
+            if _UNORDERED_RE.search(spelling):
+                short = _UNORDERED_RE.search(spelling).group(0)[:-1]
+                self._report(
+                    info, cursor.location, "nondeterministic-iteration",
+                    f"range-for over std::{short}: hash iteration order is "
+                    "implementation-defined, which breaks bit-reproducible "
+                    "results the moment it feeds packing output, CSV/JSON "
+                    "writers, or run_many aggregation; iterate a sorted "
+                    "view (or switch to std::map), or justify an "
+                    "order-insensitive reduction with a suppression")
+                return
+
+    # --- narrowing-conversion ---
+
+    def _visit_var_decl(self, cursor, info: _FileInfo, result_type) -> None:
+        if "narrowing-conversion" not in self.checks:
+            return
+        init = None
+        for child in cursor.get_children():
+            if child.kind.is_expression():
+                init = child
+        if init is not None:
+            self._check_narrowing(info, cursor.location, cursor.type, init)
+
+    def _visit_compound_assign(self, cursor, info: _FileInfo,
+                               result_type) -> None:
+        if "narrowing-conversion" not in self.checks:
+            return
+        children = list(cursor.get_children())
+        if len(children) == 2:
+            self._check_narrowing(info, cursor.location, children[0].type,
+                                  children[1])
+
+    def _visit_return(self, cursor, info: _FileInfo, result_type) -> None:
+        if "narrowing-conversion" not in self.checks or result_type is None:
+            return
+        expr = next((c for c in cursor.get_children()
+                     if c.kind.is_expression()), None)
+        if expr is not None:
+            self._check_narrowing(info, cursor.location, result_type, expr)
+
+    def _visit_call(self, cursor, info: _FileInfo, result_type) -> None:
+        self._check_engine_bypass(cursor, info)
+        if "narrowing-conversion" not in self.checks:
+            return
+        ref = cursor.referenced
+        if ref is None or ref.kind not in (
+                self.cindex.CursorKind.FUNCTION_DECL,
+                self.cindex.CursorKind.CXX_METHOD):
+            return
+        try:
+            params = list(ref.type.argument_types())
+        except Exception:
+            return
+        for param_type, arg in zip(params, cursor.get_arguments()):
+            self._check_narrowing(info, arg.location, param_type, arg)
+
+    def _check_narrowing(self, info: _FileInfo, location, dst_type,
+                         src_expr) -> None:
+        if not info.relpath.startswith(_NARROWING_DIRS):
+            return
+        tk = self.cindex.TypeKind
+        ints = (tk.CHAR_U, tk.UCHAR, tk.USHORT, tk.UINT, tk.ULONG,
+                tk.ULONGLONG, tk.CHAR_S, tk.SCHAR, tk.SHORT, tk.INT,
+                tk.LONG, tk.LONGLONG)
+        floats = (tk.FLOAT, tk.DOUBLE, tk.LONGDOUBLE)
+        dst = dst_type.get_canonical()
+        src_cursor = self._unwrap_expr(src_expr)
+        ck = self.cindex.CursorKind
+        if src_cursor.kind in (ck.INTEGER_LITERAL, ck.FLOATING_LITERAL,
+                               ck.CHARACTER_LITERAL,
+                               ck.CXX_BOOL_LITERAL_EXPR):
+            return  # constants are compile-time checked territory
+        src = src_expr.type.get_canonical()
+        if dst.kind in ints and src.kind in floats:
+            self._report(
+                info, location, "narrowing-conversion",
+                f"implicit {src.spelling} -> {dst.spelling} conversion "
+                "truncates; make the rounding rule explicit with "
+                "static_cast (after floor/ceil/round as intended)")
+        elif dst.kind in ints and src.kind in ints and \
+                0 < dst.get_size() < src.get_size():
+            self._report(
+                info, location, "narrowing-conversion",
+                f"implicit {src.spelling} -> {dst.spelling} narrows "
+                f"({src.get_size()*8} -> {dst.get_size()*8} bits); IDs and "
+                "counts that fit must say so with static_cast")
+
+    def _unwrap_expr(self, cursor):
+        ck = self.cindex.CursorKind
+        while cursor.kind in (ck.UNEXPOSED_EXPR, ck.PAREN_EXPR):
+            children = list(cursor.get_children())
+            if len(children) != 1:
+                break
+            cursor = children[0]
+        return cursor
+
+    # --- engine-bypass ---
+
+    def _check_engine_bypass(self, cursor, info: _FileInfo) -> None:
+        if "engine-bypass" not in self.checks:
+            return
+        if info.relpath.startswith(_ENGINE_EXEMPT_DIR):
+            return
+        ref = cursor.referenced
+        if ref is None or ref.kind != self.cindex.CursorKind.CXX_METHOD:
+            return
+        if ref.spelling not in _BIN_MANAGER_PROBES:
+            return
+        parent = ref.semantic_parent
+        if parent is None or parent.spelling not in _BIN_MANAGER_CLASSES:
+            return
+        self._report(
+            info, cursor.location, "engine-bypass",
+            f"direct BinManager::{ref.spelling}() outside the placement "
+            "substrate; go through the PlacementView queries "
+            "(fits/firstFit/bestFit/worstFit/minScoreFitIn) so the indexed "
+            "engine serves the probe and sim.fit_checks accounting stays "
+            "honest")
+
+    # --- operator spelling helpers ---
+
+    def _binary_op_spelling(self, cursor) -> str | None:
+        children = list(cursor.get_children())
+        if len(children) != 2:
+            return None
+        try:
+            left_end = children[0].extent.end.offset
+            right_start = children[1].extent.start.offset
+        except Exception:
+            return None
+        punct = self.cindex.TokenKind.PUNCTUATION
+        for token in cursor.get_tokens():
+            off = token.extent.start.offset
+            if left_end <= off < right_start and token.kind == punct:
+                return token.spelling
+        return None
+
+    def _unary_op_spelling(self, cursor) -> str | None:
+        tokens = list(cursor.get_tokens())
+        if not tokens:
+            return None
+        if tokens[0].spelling in ("++", "--"):
+            return tokens[0].spelling
+        if tokens[-1].spelling in ("++", "--"):
+            return tokens[-1].spelling
+        return None

@@ -1,0 +1,35 @@
+// Positive fixture: side effects inside CDBP_CHECK/CDBP_DCHECK arguments.
+// A DCHECK argument is never evaluated in Release builds, so each of
+// these makes Debug and Release behave differently.
+#include "util/check.hpp"
+
+namespace cdbp {
+
+struct AuditTrail {
+  int entries = 0;
+  int append(int value) {
+    entries += value;
+    return entries;
+  }
+  int count() const { return entries; }
+};
+
+int advance(AuditTrail& trail, int next) {
+  int calls = 0;
+  CDBP_DCHECK(++calls < 3, "must not retry");  // cdbp-analyze: expect(side-effecting-check)
+  int state = 0;
+  CDBP_CHECK((state = next) >= 0, "state advanced");  // cdbp-analyze: expect(side-effecting-check)
+  CDBP_DCHECK(trail.append(next) > 0, "recorded");  // cdbp-analyze: expect(side-effecting-check)
+  int countdown = next;
+  CDBP_DCHECK(next == 0 || countdown-- > 0, "countdown");  // cdbp-analyze: expect(side-effecting-check)
+  return state + calls + countdown;
+}
+
+int messageSideEffect(AuditTrail& trail, int next) {
+  // The message arguments only evaluate on the failure path (and never in
+  // Release) — a mutation there is just as divergent as in the condition.
+  CDBP_CHECK(next >= 0, "trail=", trail.append(next));  // cdbp-analyze: expect(side-effecting-check)
+  return trail.count();
+}
+
+}  // namespace cdbp

@@ -1,0 +1,36 @@
+// Negative fixture: pure conditions and const queries inside check
+// macros, side effects adjacent to (but outside) the macros, and one
+// justified suppression. None of these may fire.
+#include "support/std_stubs.hpp"
+#include "util/check.hpp"
+
+namespace cdbp {
+
+struct Ledger {
+  int balance = 0;
+  int peek() const { return balance; }
+  void deposit(int amount) { balance += amount; }
+};
+
+int settle(Ledger& ledger, const std::vector<int>& entries, int amount) {
+  ledger.deposit(amount);  // side effect *outside* the macro: fine
+  CDBP_CHECK(amount >= 0, "negative deposit ", amount);
+  CDBP_DCHECK(ledger.peek() >= amount, "const query is fine");
+  CDBP_DCHECK(entries.empty() || entries.size() > 0, "const calls");
+  int probes = 0;
+  CDBP_DCHECK(probes++ == 0, "fixture");  // cdbp-analyze: allow(side-effecting-check): fixture — counter is debug-only diagnostics by design
+  return ledger.peek() + probes;
+}
+
+struct Pool {
+  std::vector<int> slots;
+
+  bool audit() {
+    // `slots` is non-const here, so overload resolution picks the
+    // non-const begin()/end() — logically const, must not fire.
+    CDBP_DCHECK(slots.begin() != slots.end(), "pool must not be empty");
+    return slots.begin() != slots.end();
+  }
+};
+
+}  // namespace cdbp

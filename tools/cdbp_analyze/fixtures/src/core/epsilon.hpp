@@ -1,0 +1,22 @@
+// Fixture mirror of the real core/epsilon.hpp: the sanctioned tolerance
+// helpers. Exempt from capacity-compare by path, like the real file.
+#pragma once
+
+#include "core/types.hpp"
+
+namespace cdbp {
+
+inline constexpr double kEpsilon = 1e-9;
+
+inline bool leq(double a, double b) { return a <= b + kEpsilon; }
+inline bool lt(double a, double b) { return a < b - kEpsilon; }
+inline bool approxEq(double a, double b) {
+  double diff = a - b;
+  return diff <= kEpsilon && diff >= -kEpsilon;
+}
+inline bool fitsCapacity(Size level, Size demand) {
+  return leq(level + demand, kBinCapacity);
+}
+inline Size freeCapacity(Size level) { return kBinCapacity - level; }
+
+}  // namespace cdbp

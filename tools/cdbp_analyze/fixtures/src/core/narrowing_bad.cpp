@@ -1,0 +1,39 @@
+// Positive fixture: implicit narrowing in core arithmetic — the
+// conversions that silently truncate sizes, times, and 64-bit counts.
+#include "core/types.hpp"
+#include "support/std_stubs.hpp"
+
+namespace cdbp {
+
+unsigned int shrinkCount(unsigned long binsOpened) {
+  unsigned int small = binsOpened;  // cdbp-analyze: expect(narrowing-conversion)
+  return small;
+}
+
+int truncateOnInit(Time departure) {
+  int slot = departure;  // cdbp-analyze: expect(narrowing-conversion)
+  return slot;
+}
+
+int truncateOnAssign(Time departure) {
+  int slot = 0;
+  slot = departure + 1.5;  // cdbp-analyze: expect(narrowing-conversion)
+  return slot;
+}
+
+long truncateOnReturn(double usage) {
+  return usage;  // cdbp-analyze: expect(narrowing-conversion)
+}
+
+void consumeEpoch(int epoch);
+
+void truncateOnCall(Time now) {
+  consumeEpoch(now);  // cdbp-analyze: expect(narrowing-conversion)
+}
+
+int shrinkSize(const std::vector<int>& items) {
+  int count = items.size();  // cdbp-analyze: expect(narrowing-conversion)
+  return count;
+}
+
+}  // namespace cdbp

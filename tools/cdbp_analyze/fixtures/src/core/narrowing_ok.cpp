@@ -1,0 +1,34 @@
+// Negative fixture: explicit casts, literals, widening, and same-width
+// conversions are all sanctioned; one justified suppression.
+#include "core/types.hpp"
+#include "support/std_stubs.hpp"
+
+namespace cdbp {
+
+unsigned int explicitShrink(unsigned long binsOpened) {
+  return static_cast<unsigned int>(binsOpened);
+}
+
+int explicitFloor(Time departure) {
+  return static_cast<int>(departure);
+}
+
+int fromLiteral() {
+  int slots = 7;  // literal initializers are compile-time territory
+  return slots;
+}
+
+double widen(int ticks) {
+  return ticks;  // int -> double widens; nothing truncates
+}
+
+long sameWidth(long value) {
+  unsigned long bits = static_cast<unsigned long>(value);
+  return static_cast<long>(bits);
+}
+
+int suppressedFloor(Time t) {
+  return t;  // cdbp-analyze: allow(narrowing-conversion): fixture — truncation toward zero is the intended floor here
+}
+
+}  // namespace cdbp

@@ -1,0 +1,19 @@
+// Positive fixture for the marker grammar itself: malformed suppression
+// comments are findings (check name "suppression") and can never be
+// suppressed away.
+#include "core/types.hpp"
+
+namespace cdbp {
+
+inline constexpr int kMarkerFixtureAnchor = 1;
+
+// cdbp-analyze: expect(suppression)
+// cdbp-analyze: allow(made-up-check): the named check does not exist
+
+// cdbp-analyze: expect(suppression)
+// cdbp-analyze: allow(capacity-compare)
+
+// cdbp-analyze: expect(suppression)
+// cdbp-analyze: allow(suppression): trying to silence the meta-check
+
+}  // namespace cdbp

@@ -1,0 +1,16 @@
+// Fixture mirror of the real core/types.hpp. Lives at the same relative
+// path so the capacity-compare exemption rule is exercised exactly as in
+// production: this file may spell kBinCapacity and 1.0 freely.
+#pragma once
+
+namespace cdbp {
+
+using Time = double;
+using Size = double;
+using ItemId = unsigned int;
+using BinId = int;
+
+inline constexpr BinId kNewBin = -1;
+inline constexpr Size kBinCapacity = 1.0;
+
+}  // namespace cdbp

@@ -1,0 +1,34 @@
+// Positive fixture: range-for over hash containers. Iteration order is
+// implementation-defined, so anything these loops feed (output rows,
+// aggregation order, result vectors) loses bit-reproducibility.
+#include "support/std_stubs.hpp"
+
+namespace cdbp {
+
+double totalByCell(const std::unordered_map<int, double>& cells) {
+  double total = 0;
+  for (const auto& cell : cells) {  // cdbp-analyze: expect(nondeterministic-iteration)
+    total = total * 10.0 + cell.second;  // order-sensitive reduction
+  }
+  return total;
+}
+
+int firstSeen(const std::unordered_set<int>& seen) {
+  for (int id : seen) {  // cdbp-analyze: expect(nondeterministic-iteration)
+    return id;  // "first" depends on hashing — nondeterministic
+  }
+  return -1;
+}
+
+// A type alias must not hide the container from the canonical-type check.
+using CellIndex = std::unordered_map<int, int>;
+
+int aliasedContainer(const CellIndex& index) {
+  int sum = 0;
+  for (const auto& entry : index) {  // cdbp-analyze: expect(nondeterministic-iteration)
+    sum += entry.second;
+  }
+  return sum;
+}
+
+}  // namespace cdbp

@@ -1,0 +1,36 @@
+// Negative fixture: ordered containers iterate deterministically; lookups
+// into hash containers (no iteration) are fine; an order-insensitive
+// reduction carries a justified suppression.
+#include "support/std_stubs.hpp"
+
+namespace cdbp {
+
+double totalOrdered(const std::map<int, double>& cells) {
+  double total = 0;
+  for (const auto& cell : cells) {
+    total = total * 10.0 + cell.second;
+  }
+  return total;
+}
+
+int sumVector(const std::vector<int>& values) {
+  int sum = 0;
+  for (int value : values) {
+    sum += value;
+  }
+  return sum;
+}
+
+double lookupOnly(std::unordered_map<int, double>& cache, int key) {
+  return cache[key];  // point lookup — no iteration order involved
+}
+
+int countEntries(const std::unordered_map<int, int>& index) {
+  int count = 0;
+  for (const auto& entry : index) {  // cdbp-analyze: allow(nondeterministic-iteration): fixture — counting is a commutative reduction, order cannot leak
+    count += entry.second > 0 ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace cdbp

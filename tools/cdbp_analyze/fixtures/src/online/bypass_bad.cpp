@@ -1,0 +1,21 @@
+// Positive fixture: policy code poking at BinManager's probe surface
+// directly. Policies must go through PlacementView so that probe counts
+// and telemetry stay truthful.
+#include "sim/bin_manager.hpp"
+
+namespace cdbp {
+
+BinId scanDirectly(const BinManager& bins, Size demand) {
+  for (BinId id : bins.openBins()) {  // cdbp-analyze: expect(engine-bypass)
+    if (bins.fits(id, demand)) {  // cdbp-analyze: expect(engine-bypass)
+      return id;
+    }
+  }
+  return -1;
+}
+
+bool peekWithoutCounting(const BinManager& bins, BinId id, Size demand) {
+  return bins.wouldFit(id, demand);  // cdbp-analyze: expect(engine-bypass)
+}
+
+}  // namespace cdbp

@@ -1,0 +1,24 @@
+// Negative fixture: the same probe names through PlacementView — the
+// sanctioned query layer — plus a justified direct probe.
+#include "sim/bin_manager.hpp"
+
+namespace cdbp {
+
+BinId scanThroughView(const PlacementView& view, Size demand) {
+  for (BinId id : view.openBins()) {
+    if (view.fits(id, demand)) {
+      return id;
+    }
+  }
+  return view.firstFit(demand);
+}
+
+unsigned long countOnly(const BinManager& bins) {
+  return bins.binsOpened();  // not a probe method — free to call anywhere
+}
+
+bool auditProbe(const BinManager& bins, BinId id, Size demand) {
+  return bins.wouldFit(id, demand);  // cdbp-analyze: allow(engine-bypass): fixture — differential validator re-checks the engine's own answer
+}
+
+}  // namespace cdbp

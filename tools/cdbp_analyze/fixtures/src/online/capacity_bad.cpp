@@ -1,0 +1,29 @@
+// Positive fixture: capacity comparisons the textual linter cannot pin
+// down — the operand types only resolve to Size/Time/double through
+// aliases, and the capacity side is reached through qualification.
+#include "core/epsilon.hpp"
+#include "core/types.hpp"
+
+namespace cdbp {
+
+// Aliases that hide Size/Time from any spelling-based scan.
+using LoadFactor = Size;
+using Deadline = Time;
+
+bool aliasedOperand(LoadFactor level, Size demand) {
+  return level + demand <= kBinCapacity;  // cdbp-analyze: expect(capacity-compare)
+}
+
+bool qualifiedCapacity(Size level) {
+  return level < ::cdbp::kBinCapacity;  // cdbp-analyze: expect(capacity-compare)
+}
+
+bool literalCapacity(Deadline remaining) {
+  return 1.0 > remaining;  // cdbp-analyze: expect(capacity-compare)
+}
+
+bool exactEquality(Size level) {
+  return level == kBinCapacity;  // cdbp-analyze: expect(capacity-compare)
+}
+
+}  // namespace cdbp

@@ -1,0 +1,29 @@
+// Negative fixture: capacity decisions routed through the epsilon
+// helpers, comparisons that do not involve capacity, and a justified
+// suppression. None of these may fire.
+#include "core/epsilon.hpp"
+#include "core/types.hpp"
+
+namespace cdbp {
+
+bool viaHelpers(Size level, Size demand) {
+  return fitsCapacity(level, demand) && leq(level, kBinCapacity);
+}
+
+bool unrelatedDouble(double utilization) {
+  return utilization < 0.5;  // no capacity expression involved
+}
+
+bool integerCompare(int open, int limit) {
+  return open < limit;  // integral operands — not a Size/Time decision
+}
+
+double capacityArithmetic(Size level) {
+  return kBinCapacity - level;  // arithmetic, not a comparison
+}
+
+bool saturationProbe(Size level) {
+  return level >= kBinCapacity;  // cdbp-analyze: allow(capacity-compare): fixture — exact saturation probe, not a feasibility decision
+}
+
+}  // namespace cdbp

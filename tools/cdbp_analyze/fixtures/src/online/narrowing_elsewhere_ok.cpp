@@ -1,0 +1,18 @@
+// Negative fixture: the same narrowing shapes as narrowing_bad.cpp, but
+// outside src/core/ and src/sim/ — the check is scoped to the arithmetic
+// that decides packings, so nothing here may fire.
+#include "core/types.hpp"
+
+namespace cdbp {
+
+int policyLocalTruncation(Time departure) {
+  int slot = departure;  // out of narrowing-conversion scope by path
+  return slot;
+}
+
+unsigned int policyLocalShrink(unsigned long count) {
+  unsigned int small = count;
+  return small;
+}
+
+}  // namespace cdbp

@@ -1,0 +1,27 @@
+// Fixture mirror of the placement substrate types. Under src/sim/ — the
+// engine-bypass exemption path — exactly like the real headers.
+#pragma once
+
+#include "core/types.hpp"
+#include "support/std_stubs.hpp"
+
+namespace cdbp {
+
+class BinManager {
+ public:
+  bool fits(BinId id, Size demand) const;
+  bool wouldFit(BinId id, Size demand) const;
+  const std::vector<BinId>& openBins() const;
+  const std::vector<BinId>& openBins(int category) const;
+  unsigned long binsOpened() const;
+};
+
+class PlacementView {
+ public:
+  bool fits(BinId id, Size demand) const;
+  const std::vector<BinId>& openBins() const;
+  BinId firstFit(Size demand) const;
+  BinId bestFit(Size demand) const;
+};
+
+}  // namespace cdbp

@@ -1,0 +1,21 @@
+// Negative fixture: src/sim/ is the substrate itself — the engine and
+// its validators own these probes, so the engine-bypass check is exempt
+// here by path.
+#include "sim/bin_manager.hpp"
+
+namespace cdbp {
+
+BinId substrateScan(const BinManager& bins, Size demand) {
+  for (BinId id : bins.openBins()) {
+    if (bins.fits(id, demand)) {
+      return id;
+    }
+  }
+  return -1;
+}
+
+bool substratePeek(const BinManager& bins, BinId id, Size demand) {
+  return bins.wouldFit(id, demand);
+}
+
+}  // namespace cdbp

@@ -1,0 +1,55 @@
+// Minimal std:: container stand-ins so fixtures parse hermetically —
+// the self-test must not depend on a host C++ standard library
+// (fixtures are parsed with -nostdinc++). Declarations only; nothing
+// here is ever executed.
+#pragma once
+
+namespace std {
+
+template <typename K, typename V>
+struct pair {
+  K first;
+  V second;
+};
+
+template <typename K, typename V>
+class unordered_map {
+ public:
+  using value_type = pair<const K, V>;
+  value_type* begin();
+  value_type* end();
+  const value_type* begin() const;
+  const value_type* end() const;
+  V& operator[](const K& key);
+};
+
+template <typename K>
+class unordered_set {
+ public:
+  const K* begin() const;
+  const K* end() const;
+};
+
+template <typename K, typename V>
+class map {
+ public:
+  using value_type = pair<const K, V>;
+  value_type* begin();
+  value_type* end();
+  const value_type* begin() const;
+  const value_type* end() const;
+};
+
+template <typename T>
+class vector {
+ public:
+  T* begin();
+  T* end();
+  const T* begin() const;
+  const T* end() const;
+  unsigned long size() const;
+  bool empty() const;
+  void push_back(const T& value);
+};
+
+}  // namespace std

@@ -1,0 +1,23 @@
+// Fixture mirror of the real util/check.hpp contract macros: the argument
+// expressions are spelled at the call site, so the side-effecting-check
+// range scan and AST inspection behave exactly as against the real macros.
+#pragma once
+
+namespace cdbp::detail {
+
+[[noreturn]] void checkFailed(const char* file, int line, const char* expr);
+
+template <typename... Args>
+int sinkMessage(const Args&... args);
+
+}  // namespace cdbp::detail
+
+#define CDBP_CHECK(cond, ...)                                      \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      (void)::cdbp::detail::sinkMessage(__VA_ARGS__);              \
+      ::cdbp::detail::checkFailed(__FILE__, __LINE__, #cond);      \
+    }                                                              \
+  } while (false)
+
+#define CDBP_DCHECK(cond, ...) CDBP_CHECK((cond), __VA_ARGS__)

@@ -1,0 +1,120 @@
+"""libclang discovery and translation-unit parsing for cdbp_analyze.
+
+The analyzer degrades loudly, never silently: when the Python bindings or
+the shared library are missing, ``load_libclang`` returns a diagnostic that
+names exactly what was tried and how to install it, and the CLI exits with
+a distinct status (2, or 77 under ``--skip-missing-libclang`` so ctest can
+record a SKIP instead of a failure).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from dataclasses import dataclass
+
+#: Candidate libclang shared objects, newest first. ``CDBP_LIBCLANG``
+#: overrides the search entirely.
+_LIBCLANG_GLOBS = (
+    "/usr/lib/llvm-*/lib/libclang.so*",
+    "/usr/lib/x86_64-linux-gnu/libclang-*.so*",
+    "/usr/lib/x86_64-linux-gnu/libclang.so*",
+    "/usr/local/lib/libclang.so*",
+    "/opt/homebrew/opt/llvm/lib/libclang.dylib",
+)
+
+MISSING_HINT = """\
+cdbp_analyze needs libclang (the Python clang.cindex bindings plus the
+libclang shared library). Neither regex nor this message can substitute for
+the AST. To install on Debian/Ubuntu:
+
+    sudo apt-get install -y python3-clang libclang-dev
+
+or, in a virtualenv (bundles the shared library):
+
+    pip install libclang
+
+If libclang.so lives somewhere unusual, point CDBP_LIBCLANG at it:
+
+    CDBP_LIBCLANG=/path/to/libclang.so python3 tools/cdbp_analyze ..."""
+
+
+@dataclass
+class LibclangStatus:
+    ok: bool
+    detail: str  # what loaded, or every path/import that failed
+    cindex: object | None = None
+
+
+def load_libclang() -> LibclangStatus:
+    """Imports clang.cindex and binds it to a concrete libclang.so."""
+    tried: list[str] = []
+    try:
+        from clang import cindex  # type: ignore[import-not-found]
+    except ImportError as err:
+        return LibclangStatus(
+            ok=False,
+            detail=f"python bindings missing (import clang.cindex: {err})\n"
+                   f"{MISSING_HINT}")
+
+    override = os.environ.get("CDBP_LIBCLANG")
+    candidates: list[str] = []
+    if override:
+        candidates.append(override)
+    else:
+        for pattern in _LIBCLANG_GLOBS:
+            candidates.extend(sorted(glob.glob(pattern), reverse=True))
+        candidates.append("")  # let cindex try its built-in default last
+
+    last_error = "no libclang.so candidates found"
+    for candidate in candidates:
+        try:
+            if candidate:
+                cindex.Config.set_library_file(candidate)
+            index = cindex.Index.create()
+            del index
+            return LibclangStatus(
+                ok=True,
+                detail=candidate or "clang.cindex default search",
+                cindex=cindex)
+        except Exception as err:  # cindex raises LibclangError and OSError
+            tried.append(candidate or "<cindex default>")
+            last_error = str(err)
+            # Config is process-global and latches after the first
+            # Index.create(); resetting loaded state lets the next
+            # candidate be tried on bindings that support it.
+            cindex.Config.loaded = False
+    return LibclangStatus(
+        ok=False,
+        detail="could not bind a libclang shared library\n"
+               f"  tried: {', '.join(tried)}\n  last error: {last_error}\n"
+               f"{MISSING_HINT}")
+
+
+class ParseError(RuntimeError):
+    """A translation unit failed to parse cleanly enough to trust."""
+
+
+def parse_translation_unit(cindex, path: str, args: list[str],
+                           strict: bool = True):
+    """Parses one TU; raises ParseError on error-severity diagnostics.
+
+    Error-level diagnostics mean types may have decayed to int and the
+    semantic checks would silently under-report — strict mode refuses to
+    pretend such a file was analyzed.
+    """
+    index = cindex.Index.create()
+    options = cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD
+    try:
+        tu = index.parse(path, args=args, options=options)
+    except cindex.TranslationUnitLoadError as err:
+        raise ParseError(f"{path}: libclang failed to parse: {err}") from err
+    errors = [d for d in tu.diagnostics
+              if d.severity >= cindex.Diagnostic.Error]
+    if errors and strict:
+        rendered = "\n".join(f"  {d}" for d in errors[:10])
+        raise ParseError(
+            f"{path}: {len(errors)} parse error(s); findings would be "
+            f"unreliable (pass --lenient-parse to continue anyway):\n"
+            f"{rendered}")
+    return tu

@@ -1,0 +1,204 @@
+"""Self-tests for cdbp_analyze.
+
+Two layers, matching the tool's own architecture:
+
+  * ``run_frontend_selftest`` — exercises every libclang-free component
+    (marker parsing, check-macro range extraction, compile-command
+    filtering, fixture-corpus invariants). Runs anywhere python3 runs, so
+    it is registered unconditionally in ctest.
+  * ``run_semantic_selftest`` — parses the fixture corpus with libclang and
+    asserts the exact (file, line, check) set of findings against the
+    inline ``// cdbp-analyze: expect(check)`` markers, in both directions:
+    every expectation must fire and nothing unexpected may fire. Requires
+    libclang; the ctest entry skips (exit 77) when it is missing.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import tempfile
+
+from .checks import ALL_CHECKS, SUPPRESSION_CHECK, Analyzer
+from .loader import ParseError, parse_translation_unit
+from .textscan import (filter_compile_args, find_check_macro_ranges,
+                       load_compile_commands, scan_markers, strip_code_line)
+
+FIXTURES_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "fixtures")
+
+_KNOWN = frozenset(ALL_CHECKS) | {SUPPRESSION_CHECK}
+
+
+def collect_expectations(root: str) -> set[tuple[str, int, str]]:
+    """(relpath, line, check) triples from expect markers in the corpus.
+
+    A marker sharing a line with code pins that line; a marker alone on a
+    comment line pins the next line (same convention as suppressions).
+    """
+    expected: set[tuple[str, int, str]] = set()
+    for path in _fixture_files(root):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for marker in scan_markers(text, _KNOWN).expectations:
+            expected.add((rel, marker.covers[-1], marker.check))
+    return expected
+
+
+def _fixture_files(root: str) -> list[str]:
+    pattern = os.path.join(root, "src", "**", "*")
+    return sorted(p for p in glob.glob(pattern, recursive=True)
+                  if p.endswith((".cpp", ".hpp")))
+
+
+def run_semantic_selftest(cindex, fixtures_dir: str = FIXTURES_DIR) -> int:
+    expected = collect_expectations(fixtures_dir)
+    analyzer = Analyzer(cindex, fixtures_dir)
+    args = ["-xc++", "-std=c++20", "-nostdinc++",
+            "-I", os.path.join(fixtures_dir, "src")]
+    units = [p for p in _fixture_files(fixtures_dir) if p.endswith(".cpp")]
+    if not units:
+        print(f"self-test FAIL: no fixture TUs under {fixtures_dir}")
+        return 1
+    for unit in units:
+        try:
+            analyzer.analyze(parse_translation_unit(cindex, unit, args))
+        except ParseError as err:
+            print(f"self-test FAIL: fixture does not parse: {err}")
+            return 1
+    actual = {(f.path, f.line, f.check) for f in analyzer.findings()}
+
+    failures = 0
+    for rel, line, check in sorted(expected - actual):
+        failures += 1
+        print(f"self-test FAIL: expected [{check}] at {rel}:{line} did not "
+              "fire")
+    for rel, line, check in sorted(actual - expected):
+        failures += 1
+        print(f"self-test FAIL: unexpected [{check}] at {rel}:{line}")
+    covered = {check for _, _, check in expected}
+    for check in ALL_CHECKS:
+        if check not in covered:
+            failures += 1
+            print(f"self-test FAIL: no positive fixture covers [{check}]")
+    if failures:
+        return 1
+    print(f"self-test OK: {len(units)} fixture TUs, {len(expected)} expected "
+          f"findings across {len(covered)} checks")
+    return 0
+
+
+# --- frontend (libclang-free) self-test ---
+
+def _expect(condition: bool, label: str, failures: list[str]) -> None:
+    if not condition:
+        failures.append(label)
+
+
+def run_frontend_selftest(fixtures_dir: str = FIXTURES_DIR) -> int:
+    failures: list[str] = []
+
+    # strip_code_line: comments and literals blank out, columns survive.
+    line = 'x = "a < b"; // y < z'
+    s, block = strip_code_line(line, False)
+    _expect(s.rstrip() == 'x = "     ";', "strip: string+comment", failures)
+    _expect(len(s) == len(line), "strip: column preservation", failures)
+    s, block = strip_code_line("before /* open", False)
+    _expect(block and s.startswith("before"), "strip: block open", failures)
+    s, block = strip_code_line("still in */ after", True)
+    _expect(not block and "after" in s and "still" not in s,
+            "strip: block close", failures)
+
+    # scan_markers: allow/expect grammar, coverage, and the error cases.
+    scan = scan_markers(
+        "int a;  // cdbp-analyze: allow(engine-bypass): fixture reason\n"
+        "// cdbp-analyze: allow(capacity-compare): covers next line\n"
+        "int b;\n"
+        "int c;  // cdbp-analyze: allow(capacity-compare)\n"
+        "int d;  // cdbp-analyze: allow(not-a-check): nope\n"
+        "int e;  // cdbp-analyze: allow(suppression): nice try\n"
+        "int f;  // cdbp-analyze: expect(narrowing-conversion)\n"
+        "// cdbp-analyze: expect(engine-bypass)\n"
+        "int g;\n", _KNOWN)
+    _expect(scan.suppressions.get(1) == {"engine-bypass"},
+            "markers: same-line allow", failures)
+    _expect("capacity-compare" in scan.suppressions.get(3, set()),
+            "markers: own-line allow covers next line", failures)
+    _expect(len(scan.errors) == 3 and scan.errors[0][0] == 4,
+            "markers: three marker errors", failures)
+    _expect({m.covers[-1] for m in scan.expectations} == {7, 9},
+            "markers: expect line pinning", failures)
+
+    # find_check_macro_ranges: multi-line args, literals, identifier edges.
+    text = (
+        "void f() {\n"
+        "  CDBP_DCHECK(a < b,\n"
+        '              "a=", a);\n'
+        '  log("CDBP_CHECK(not real)");\n'
+        "  MY_CDBP_CHECKER(x);\n"
+        "  CDBP_CHECK(ok(), \"m\"); CDBP_CHECK(two(), \"n\");\n"
+        "}\n")
+    ranges = find_check_macro_ranges(text)
+    _expect(len(ranges) == 3, "ranges: count", failures)
+    if len(ranges) == 3:
+        _expect(ranges[0].macro == "CDBP_DCHECK" and ranges[0].line == 2,
+                "ranges: first macro", failures)
+        _expect(ranges[0].contains(3, 20) and not ranges[0].contains(4, 10),
+                "ranges: multi-line containment", failures)
+        _expect(ranges[1].line == 6 and ranges[2].line == 6,
+                "ranges: two per line", failures)
+
+    # filter_compile_args: compiler, -c/-o and the input drop out.
+    args = filter_compile_args(
+        ["g++", "-I/x", "-DNDEBUG", "-O2", "-c", "-o", "a.o", "foo.cpp",
+         "-MF", "dep.d"], "foo.cpp")
+    _expect(args[:3] == ["-I/x", "-DNDEBUG", "-O2"]
+            and args[-1] == "-Wno-everything"
+            and "a.o" not in args and "foo.cpp" not in args
+            and "dep.d" not in args, "compile args: filtering", failures)
+
+    # load_compile_commands: both "command" and "arguments" forms.
+    with tempfile.TemporaryDirectory() as tmp:
+        db = os.path.join(tmp, "compile_commands.json")
+        with open(db, "w", encoding="utf-8") as fh:
+            fh.write('[{"directory": "%s", "file": "a.cpp", '
+                     '"command": "g++ -I. -c a.cpp -o a.o"},\n'
+                     ' {"directory": "%s", "file": "b.cpp", '
+                     '"arguments": ["g++", "-DX=1", "-c", "b.cpp"]}]'
+                     % (tmp, tmp))
+        commands = load_compile_commands(db)
+        _expect(len(commands) == 2
+                and commands[0].file == os.path.join(tmp, "a.cpp")
+                and commands[1].args[0] == "-DX=1",
+                "compile db: loading", failures)
+
+    # Fixture-corpus invariants (checked without parsing C++): every check
+    # has at least one positive expectation and at least one negative
+    # fixture file, and every fixture parses its markers cleanly except the
+    # dedicated bad-suppression fixture.
+    expected = collect_expectations(fixtures_dir)
+    covered = {check for _, _, check in expected}
+    for check in ALL_CHECKS:
+        _expect(check in covered, f"corpus: positive fixture for {check}",
+                failures)
+    positive_files = {rel for rel, _, _ in expected}
+    all_files = {os.path.relpath(p, fixtures_dir).replace(os.sep, "/")
+                 for p in _fixture_files(fixtures_dir)}
+    _expect(len(all_files - positive_files) >= len(ALL_CHECKS),
+            "corpus: at least one negative fixture per check", failures)
+    for path in _fixture_files(fixtures_dir):
+        rel = os.path.relpath(path, fixtures_dir).replace(os.sep, "/")
+        with open(path, encoding="utf-8") as fh:
+            scan = scan_markers(fh.read(), _KNOWN)
+        if "suppression_bad" not in rel:
+            _expect(not scan.errors, f"corpus: clean markers in {rel}",
+                    failures)
+
+    if failures:
+        for f in failures:
+            print(f"frontend self-test FAIL: {f}")
+        return 1
+    print(f"frontend self-test OK: {len(expected)} corpus expectations, "
+          "marker/range/compile-db units green")
+    return 0

@@ -1,0 +1,312 @@
+"""Text-level plumbing for cdbp_analyze: the parts that read source as text.
+
+Everything here is stdlib-only and libclang-free, so it is unit-tested by
+``--self-test-frontend`` even on machines without libclang:
+
+  * comment/string stripping (the same lexer-lite contract as cdbp_lint);
+  * ``cdbp-analyze: allow(check): why`` suppression collection;
+  * ``cdbp-analyze: expect(check)`` fixture expectation collection;
+  * CDBP_CHECK / CDBP_DCHECK argument-range extraction (balanced-paren
+    matching over stripped text — the *semantic* inspection of what sits
+    inside those ranges is checks.py's job);
+  * compile_commands.json loading and argument filtering.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shlex
+from dataclasses import dataclass, field
+
+
+def strip_code_line(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Blanks comments and string/char literal contents from one line.
+
+    Columns are preserved (literal contents become spaces) so that positions
+    reported by libclang can be compared against the stripped text. Returns
+    the stripped line and whether a /* block comment is still open.
+    """
+    out: list[str] = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                out.append(" " * (n - i))
+                return "".join(out), True
+            out.append(" " * (end + 2 - i))
+            i = end + 2
+            in_block_comment = False
+            continue
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            out.append(" " * (n - i))
+            break
+        if c == "/" and nxt == "*":
+            in_block_comment = True
+            out.append("  ")
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    out.append(quote)
+                    i += 1
+                    break
+                out.append(" ")
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+def strip_text(text: str) -> list[str]:
+    """strip_code_line applied to every line of a file."""
+    stripped: list[str] = []
+    in_block = False
+    for line in text.splitlines():
+        s, in_block = strip_code_line(line, in_block)
+        stripped.append(s)
+    return stripped
+
+
+@dataclass
+class Marker:
+    """One ``cdbp-analyze: allow(...)`` or ``expect(...)`` comment."""
+
+    line: int  # 1-based line the marker text sits on
+    check: str
+    justification: str | None  # None for expect markers
+    covers: list[int] = field(default_factory=list)  # lines it applies to
+
+
+@dataclass
+class MarkerScan:
+    """Suppressions/expectations found in one file, plus marker errors."""
+
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    expectations: list[Marker] = field(default_factory=list)
+    # (line, message) pairs for malformed markers; the analyzer reports
+    # these as findings of check 'suppression' — a bad suppression must
+    # never silently suppress nothing (or worse, everything).
+    errors: list[tuple[int, str]] = field(default_factory=list)
+
+
+_MARKER_TOKEN = "cdbp-analyze:"
+
+
+def scan_markers(text: str, known_checks: frozenset[str]) -> MarkerScan:
+    """Collects suppression and expectation markers from raw file text.
+
+    Mirrors cdbp_lint's contract: a marker applies to its own line, and —
+    when the marker comment is the only thing on the line — to the next
+    line as well. ``allow`` without a justification is an error.
+    """
+    scan = MarkerScan()
+    for idx, raw in enumerate(text.splitlines(), start=1):
+        pos = raw.find(_MARKER_TOKEN)
+        if pos < 0:
+            continue
+        body = raw[pos + len(_MARKER_TOKEN):].strip()
+        own_line = raw.strip().startswith("//")
+        covered = [idx, idx + 1] if own_line else [idx]
+        kind, _, rest = body.partition("(")
+        kind = kind.strip()
+        check, _, tail = rest.partition(")")
+        check = check.strip()
+        if kind not in ("allow", "expect") or not rest:
+            scan.errors.append(
+                (idx, f"malformed cdbp-analyze marker (expected "
+                      f"'allow(check): why' or 'expect(check)'): {body!r}"))
+            continue
+        if check not in known_checks:
+            scan.errors.append(
+                (idx, f"unknown check '{check}' in cdbp-analyze {kind}()"))
+            continue
+        if kind == "allow" and check == "suppression":
+            scan.errors.append(
+                (idx, "marker errors cannot be suppressed — fix the marker"))
+            continue
+        if kind == "allow":
+            tail = tail.strip()
+            justification = tail[1:].strip() if tail.startswith(":") else ""
+            if not justification:
+                scan.errors.append(
+                    (idx, f"suppression of '{check}' lacks a justification "
+                          "(write `// cdbp-analyze: allow(check): why`)"))
+                continue
+            for line in covered:
+                scan.suppressions.setdefault(line, set()).add(check)
+        else:
+            scan.expectations.append(
+                Marker(line=idx, check=check, justification=None,
+                       covers=covered))
+    return scan
+
+
+@dataclass
+class CheckMacroRange:
+    """The argument extent of one CDBP_CHECK/CDBP_DCHECK invocation."""
+
+    macro: str
+    line: int        # 1-based line of the macro name
+    start: tuple[int, int]  # (line, col) just after the opening '('
+    end: tuple[int, int]    # (line, col) of the closing ')'
+
+    def contains(self, line: int, col: int) -> bool:
+        return self.start <= (line, col) < self.end
+
+
+CHECK_MACROS = ("CDBP_DCHECK", "CDBP_CHECK")
+
+
+def find_check_macro_ranges(text: str) -> list[CheckMacroRange]:
+    """Finds every CDBP_CHECK/CDBP_DCHECK argument range in a file.
+
+    Works on comment/string-stripped text with balanced-paren matching, so
+    multi-line invocations and parens inside string literals are handled.
+    Columns are 1-based to match libclang's SourceLocation convention.
+    """
+    stripped = strip_text(text)
+    ranges: list[CheckMacroRange] = []
+    for row, line in enumerate(stripped):
+        col = 0
+        while True:
+            best = -1
+            name = ""
+            for macro in CHECK_MACROS:
+                at = line.find(macro, col)
+                if at >= 0 and (best < 0 or at < best):
+                    # Reject identifiers that merely contain the macro name
+                    # (e.g. CDBP_DCHECK inside MY_CDBP_CHECKER).
+                    before_ok = at == 0 or not (line[at - 1].isalnum()
+                                                or line[at - 1] == "_")
+                    after = at + len(macro)
+                    after_ok = after >= len(line) or not (
+                        line[after].isalnum() or line[after] == "_")
+                    if before_ok and after_ok:
+                        best, name = at, macro
+            if best < 0:
+                break
+            col = best + len(name)
+            open_pos = _next_non_space(stripped, row, col)
+            if open_pos is None:
+                break
+            r, c = open_pos
+            if stripped[r][c] != "(":
+                continue
+            end = _match_paren(stripped, r, c)
+            if end is None:
+                break  # unbalanced (EOF inside macro) — nothing to scan
+            ranges.append(
+                CheckMacroRange(macro=name, line=row + 1,
+                                start=(r + 1, c + 2), end=(end[0] + 1,
+                                                           end[1] + 1)))
+            if end[0] == row:
+                col = end[1] + 1
+            else:
+                break  # continue scanning from the macro's own line only
+    return ranges
+
+
+def _next_non_space(lines: list[str], row: int, col: int) -> tuple[int, int] | None:
+    while row < len(lines):
+        while col < len(lines[row]):
+            if not lines[row][col].isspace():
+                return (row, col)
+            col += 1
+        row += 1
+        col = 0
+    return None
+
+
+def _match_paren(lines: list[str], row: int, col: int) -> tuple[int, int] | None:
+    """Given '(' at (row, col), returns the (row, col) of its matching ')'."""
+    depth = 0
+    r, c = row, col
+    while r < len(lines):
+        line = lines[r]
+        while c < len(line):
+            ch = line[c]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    return (r, c)
+            c += 1
+        r += 1
+        c = 0
+    return None
+
+
+# --- compile_commands.json ---
+
+# Flags that clang's parser either rejects or that change nothing for
+# analysis. '-o' and its argument, the input file, and the compiler argv[0]
+# are stripped structurally, not listed here.
+_DROP_FLAGS = frozenset({
+    "-c", "-MMD", "-MD", "-MP", "-pipe", "-fno-keep-inline-dllexport",
+    "-mno-direct-extern-access", "-fconcepts",
+})
+_DROP_WITH_ARG = frozenset({"-o", "-MF", "-MT", "-MQ", "--output"})
+
+
+@dataclass
+class CompileCommand:
+    file: str       # absolute path of the translation unit
+    args: list[str]  # parser arguments (no compiler, no -c/-o, no input)
+
+
+def filter_compile_args(argv: list[str], source: str) -> list[str]:
+    """Reduces a compile_commands argv to libclang parse arguments."""
+    out: list[str] = []
+    skip = False
+    for arg in argv[1:]:  # argv[0] is the compiler
+        if skip:
+            skip = False
+            continue
+        if arg in _DROP_WITH_ARG:
+            skip = True
+            continue
+        if arg in _DROP_FLAGS:
+            continue
+        if os.path.basename(arg) == os.path.basename(source) and not \
+                arg.startswith("-"):
+            continue
+        out.append(arg)
+    # Diagnostics from -W flags are the build's business, not the
+    # analyzer's; silence them so parse-error detection is signal only.
+    out.append("-Wno-everything")
+    return out
+
+
+def load_compile_commands(path: str) -> list[CompileCommand]:
+    with open(path, encoding="utf-8") as fh:
+        entries = json.load(fh)
+    commands: list[CompileCommand] = []
+    for entry in entries:
+        directory = entry.get("directory", ".")
+        source = entry.get("file", "")
+        if "arguments" in entry:
+            argv = list(entry["arguments"])
+        else:
+            argv = shlex.split(entry.get("command", ""))
+        if not argv or not source:
+            continue
+        absolute = os.path.normpath(os.path.join(directory, source))
+        commands.append(
+            CompileCommand(file=absolute,
+                           args=filter_compile_args(argv, source)))
+    return commands
