@@ -1,0 +1,88 @@
+// cdbp_served: the placement-as-a-service daemon (DESIGN.md §13).
+//
+// Runs the serve::Server event loop in the foreground, listening on a
+// Unix socket and/or loopback TCP, until SIGTERM/SIGINT requests a
+// graceful drain: in-flight requests are answered, replies flushed,
+// connections closed, and the process exits 0 after printing a final
+// telemetry exposition (the same text the SCRAPE frame serves live).
+//
+//   ./cdbp_served                              # unix socket ./cdbp.sock
+//   ./cdbp_served --unix /tmp/cdbp.sock
+//   ./cdbp_served --tcp --port 7077            # 127.0.0.1:7077
+//   ./cdbp_served --tcp --port 0               # ephemeral, port printed
+//
+// Clients open one session per connection with a HELLO frame carrying a
+// makePolicy spec — see stream_replay --connect for a ready-made load
+// generator and serve/client.hpp for the client library.
+//
+// Flags: --unix <path>, --tcp, --port <n>, --write-limit <bytes>,
+//        --drain-timeout-ms <n>.
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "serve/server.hpp"
+#include "telemetry/expose.hpp"
+#include "telemetry/registry.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+cdbp::serve::Server* g_server = nullptr;
+
+// Async-signal-safe: requestDrain is an atomic store plus an eventfd
+// write.
+void onSignal(int) {
+  if (g_server != nullptr) g_server->requestDrain();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cdbp;
+  Flags flags = Flags::strictOrDie(
+      argc, argv, {"unix", "tcp", "port", "write-limit", "drain-timeout-ms"});
+
+  serve::ServerOptions options;
+  options.unixPath = flags.getString("unix", "");
+  options.tcp = flags.getBool("tcp", false);
+  options.tcpPort = static_cast<std::uint16_t>(flags.getInt("port", 0));
+  options.writeBufferLimit = static_cast<std::size_t>(
+      flags.getInt("write-limit",
+                   static_cast<long>(options.writeBufferLimit)));
+  options.drainTimeoutNanos = static_cast<std::uint64_t>(
+      flags.getInt("drain-timeout-ms", 5000)) * 1'000'000ull;
+  if (options.unixPath.empty() && !options.tcp) {
+    options.unixPath = "cdbp.sock";  // out-of-the-box default
+  }
+
+  serve::Server server(options);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "cdbp_served: " << e.what() << '\n';
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+
+  if (!options.unixPath.empty()) {
+    std::cout << "listening on unix:" << options.unixPath << '\n';
+  }
+  if (options.tcp) {
+    std::cout << "listening on tcp:127.0.0.1:" << server.tcpPort() << '\n';
+  }
+  std::cout << "serving (SIGTERM drains and exits)\n" << std::flush;
+
+  server.join();
+
+  serve::ServerStats stats = server.stats();
+  std::cout << "drained: " << stats.placements << " placements across "
+            << stats.sessionsOpened << " sessions, "
+            << stats.framesReceived << " frames in / " << stats.framesSent
+            << " out, " << stats.errorsSent << " typed errors\n";
+  std::cout << "--- final telemetry ---\n";
+  telemetry::exposeText(telemetry::Registry::global(), std::cout);
+  return 0;
+}

@@ -11,9 +11,19 @@
 //   ./stream_replay --trace big.jsonl --policy cdt
 //   ./stream_replay --trace big.jsonl --engine linear --chrome-trace t.json
 //
+// With --connect the same replay becomes a load generator for the
+// cdbp_served daemon (DESIGN.md §13): every item travels as a PLACE frame
+// over the socket, the final DRAIN_OK carries the StreamResult — still
+// bit-identical to the local run — and the end-to-end placement latency
+// is summarized as percentiles:
+//
+//   ./cdbp_served --unix cdbp.sock &
+//   ./stream_replay --connect unix:cdbp.sock --policy cdt --tenant demo
+//
 // Flags: --trace <path> (.csv or .jsonl), --policy <spec> (any makePolicy
 //        spec; default ff), --engine indexed|linear, --no-lb (skip the
-//        incremental lower bound), --chrome-trace <path>.
+//        incremental lower bound), --chrome-trace <path>,
+//        --connect unix:<path>|tcp:<host>:<port>, --tenant <name>.
 //
 // Clairvoyant specs (cdt, cd, ...) need the workload's minimum duration
 // and duration ratio mu; a one-pass scanTrace pre-pass supplies them, so
@@ -23,16 +33,82 @@
 #include <string>
 
 #include "online/policy_factory.hpp"
+#include "serve/client.hpp"
 #include "sim/streaming.hpp"
 #include "telemetry/chrome_trace.hpp"
+#include "telemetry/clock.hpp"
 #include "util/flags.hpp"
+#include "util/stats.hpp"
 #include "workload/generators.hpp"
 #include "workload/trace_io.hpp"
+
+namespace {
+
+// Replays the trace against a running daemon, one PLACE round trip per
+// item, and reports the served StreamResult plus latency percentiles.
+int replayOverSocket(const std::string& connectSpec,
+                     const std::string& tenant, const std::string& tracePath,
+                     const std::string& policySpec,
+                     const cdbp::PolicyContext& context,
+                     std::uint8_t engineCode) {
+  using namespace cdbp;
+  using namespace cdbp::serve;
+
+  ServeAddress address;
+  std::string addressError;
+  if (!parseServeAddress(connectSpec, address, addressError)) {
+    std::cerr << "bad --connect '" << connectSpec << "': " << addressError
+              << '\n';
+    return 2;
+  }
+  ServeClient client = ServeClient::connect(address);
+
+  HelloFrame hello;
+  hello.engine = engineCode;
+  hello.minDuration = context.minDuration;
+  hello.mu = context.mu;
+  hello.seed = context.seed;
+  hello.tenant = tenant;
+  hello.policySpec = policySpec;
+  HelloOkFrame ok = client.hello(hello);
+  std::cout << "connected to " << connectSpec << " as tenant #" << ok.tenantId
+            << " (" << tenant << "), policy " << ok.policyName << '\n';
+
+  TraceArrivalSource source(tracePath);
+  SummaryStats latencyUs;
+  StreamItem item;
+  while (source.next(item)) {
+    std::uint64_t start = telemetry::monotonicNanos();
+    client.place(item.size, item.arrival, item.departure);
+    std::uint64_t elapsed = telemetry::monotonicNanos() - start;
+    latencyUs.add(static_cast<double>(elapsed) / 1e3);
+  }
+  DrainOkFrame result = client.drain();
+
+  std::cout << "served: " << result.items << " placements, usage "
+            << result.totalUsage;
+  if (result.lb3 > 0) {
+    std::cout << " (vs LB3 " << result.lb3 << " -> ratio "
+              << result.totalUsage / result.lb3 << ")";
+  }
+  std::cout << '\n';
+  std::cout << "servers: " << result.binsOpened << " opened, peak "
+            << result.maxOpenBins << ", categories " << result.categoriesUsed
+            << '\n';
+  std::cout << "latency (us): p50 " << latencyUs.percentile(50.0) << ", p90 "
+            << latencyUs.percentile(90.0) << ", p99 "
+            << latencyUs.percentile(99.0) << ", max " << latencyUs.max()
+            << " over " << latencyUs.count() << " round trips\n";
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace cdbp;
   Flags flags = Flags::strictOrDie(
-      argc, argv, {"trace", "policy", "engine", "no-lb", "chrome-trace"});
+      argc, argv, {"trace", "policy", "engine", "no-lb", "chrome-trace",
+                   "connect", "tenant"});
 
   std::string tracePath = flags.getString("trace", "");
   try {
@@ -71,6 +147,15 @@ int main(int argc, char** argv) {
       std::cerr << "bad --engine '" << engine << "' (indexed|linear)\n";
       return 2;
     }
+    std::string connectSpec = flags.getString("connect", "");
+    if (!connectSpec.empty()) {
+      return replayOverSocket(
+          connectSpec, flags.getString("tenant", "stream-replay"), tracePath,
+          policySpec, context,
+          options.engine == PlacementEngine::kLinearScan ? std::uint8_t{1}
+                                                         : std::uint8_t{0});
+    }
+
     options.computeLowerBound = !flags.getBool("no-lb", false);
     telemetry::ChromeTrace chromeTrace;
     std::string chromeTracePath = flags.getString("chrome-trace", "");

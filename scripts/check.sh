@@ -14,10 +14,11 @@
 #   --analyze additionally runs the semantic analyzer (tools/cdbp_analyze)
 #          over src/ plus its fixture self-test. Requires libclang; fails
 #          with the analyzer's install hint when it is missing.
-#   --perf additionally runs the reduced throughput, multidim and
-#          streaming benches (the CI perf-smoke job), leaves
-#          BENCH_throughput.json, BENCH_multidim.json and
-#          BENCH_streaming.json behind, and runs tools/perf_guard.py
+#   --perf additionally runs the reduced throughput, multidim,
+#          streaming and serve benches (the CI perf-smoke job), leaves
+#          BENCH_throughput.json, BENCH_multidim.json,
+#          BENCH_streaming.json and BENCH_serve.json behind, and runs
+#          tools/perf_guard.py
 #          against the committed baselines: no benchmark may lose >20%
 #          items/sec relative to the fleet, and the indexed engine must
 #          stay >=3x the linear scan on the scalar many-open-bins series
@@ -101,6 +102,14 @@ if [[ "$PERF" == "1" ]]; then
   step "streaming perf guard (>20% regression vs committed baseline fails)"
   python3 tools/perf_guard.py bench/baselines/BENCH_streaming.json \
     BENCH_streaming.json
+
+  step "perf smoke (reduced serve bench -> BENCH_serve.json)"
+  ./build-release/bench/bench_serve --reps 3 --max-items 20000 \
+    --json=BENCH_serve.json
+
+  step "serve perf guard (>20% regression vs committed baseline fails)"
+  python3 tools/perf_guard.py bench/baselines/BENCH_serve.json \
+    BENCH_serve.json
 fi
 
 if [[ "$QUICK" == "1" ]]; then

@@ -1,0 +1,308 @@
+#include "serve/client.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+#include "util/parse.hpp"
+
+namespace cdbp::serve {
+
+namespace {
+
+[[noreturn]] void throwErrno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+bool parseServeAddress(const std::string& spec, ServeAddress& out,
+                       std::string& error) {
+  out = ServeAddress{};
+  if (spec.empty()) {
+    error = "empty address";
+    return false;
+  }
+  if (spec.rfind("unix:", 0) == 0) {
+    out.path = spec.substr(5);
+    if (out.path.empty()) {
+      error = "unix: address needs a socket path";
+      return false;
+    }
+    return true;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    std::string rest = spec.substr(4);
+    std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      error = "tcp: address must be tcp:<host>:<port>";
+      return false;
+    }
+    out.tcp = true;
+    out.host = rest.substr(0, colon);
+    std::uint64_t port = 0;
+    if (!tryParseUint(rest.substr(colon + 1), port) || port == 0 ||
+        port > 65535) {
+      error = "bad tcp port in '" + spec + "'";
+      return false;
+    }
+    out.port = static_cast<std::uint16_t>(port);
+    return true;
+  }
+  // Bare path shorthand.
+  out.path = spec;
+  return true;
+}
+
+ServeClient::ServeClient(int fd, ClientOptions options)
+    : fd_(fd), options_(options) {}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      options_(other.options_),
+      rbuf_(std::move(other.rbuf_)),
+      rpos_(other.rpos_),
+      outQueue_(std::move(other.outQueue_)),
+      owedReplies_(other.owedReplies_) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    options_ = other.options_;
+    rbuf_ = std::move(other.rbuf_);
+    rpos_ = other.rpos_;
+    outQueue_ = std::move(other.outQueue_);
+    owedReplies_ = other.owedReplies_;
+  }
+  return *this;
+}
+
+ServeClient ServeClient::connect(const ServeAddress& address,
+                                 ClientOptions options) {
+  if (address.tcp) return connectTcp(address.host, address.port, options);
+  return connectUnix(address.path, options);
+}
+
+ServeClient ServeClient::connectUnix(const std::string& path,
+                                     ClientOptions options) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    errno = ENAMETOOLONG;
+    throwErrno("unix socket path");
+  }
+  int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throwErrno("socket(AF_UNIX)");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throwErrno("connect(unix)");
+  }
+  return ServeClient(fd, options);
+}
+
+ServeClient ServeClient::connectTcp(const std::string& host,
+                                    std::uint16_t port,
+                                    ClientOptions options) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  std::string service = std::to_string(port);
+  int rc = getaddrinfo(host.c_str(), service.c_str(), &hints, &result);
+  if (rc != 0 || result == nullptr) {
+    throw std::runtime_error(std::string("getaddrinfo('") + host +
+                             "'): " + gai_strerror(rc));
+  }
+  int fd = socket(result->ai_family, result->ai_socktype | SOCK_CLOEXEC,
+                  result->ai_protocol);
+  if (fd < 0) {
+    freeaddrinfo(result);
+    throwErrno("socket(AF_INET)");
+  }
+  if (::connect(fd, result->ai_addr, result->ai_addrlen) < 0) {
+    int saved = errno;
+    freeaddrinfo(result);
+    ::close(fd);
+    errno = saved;
+    throwErrno("connect(tcp)");
+  }
+  freeaddrinfo(result);
+  return ServeClient(fd, options);
+}
+
+void ServeClient::sendAll(const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throwErrno("send");
+  }
+}
+
+void ServeClient::sendRaw(const std::vector<std::uint8_t>& bytes) {
+  sendAll(bytes.data(), bytes.size());
+}
+
+OwnedFrame ServeClient::readFrame() {
+  while (true) {
+    FrameView frame;
+    std::size_t consumed = 0;
+    ExtractStatus status =
+        extractFrame(rbuf_.data() + rpos_, rbuf_.size() - rpos_,
+                     options_.maxFramePayload, frame, consumed);
+    if (status == ExtractStatus::kFrame) {
+      OwnedFrame owned;
+      owned.type = frame.type;
+      owned.payload.assign(frame.payload, frame.payload + frame.payloadSize);
+      rpos_ += consumed;
+      if (rpos_ == rbuf_.size()) {
+        rbuf_.clear();
+        rpos_ = 0;
+      }
+      return owned;
+    }
+    if (status == ExtractStatus::kOversized) {
+      throw std::runtime_error("reply frame exceeds the client payload cap");
+    }
+    std::uint8_t chunk[64 * 1024];
+    ssize_t got = recv(fd_, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      rbuf_.insert(rbuf_.end(), chunk, chunk + got);
+      continue;
+    }
+    if (got == 0) {
+      throw std::runtime_error("server closed the connection mid-reply");
+    }
+    if (errno == EINTR) continue;
+    throwErrno("recv");
+  }
+}
+
+OwnedFrame ServeClient::expectFrame(FrameType expected) {
+  OwnedFrame frame = readFrame();
+  if (frame.type == FrameType::kError) {
+    ErrorFrame error;
+    if (!decodeError(frame.view(), error)) {
+      throw std::runtime_error("undecodable error reply");
+    }
+    throw ServeError(error.code, error.message);
+  }
+  if (frame.type != expected) {
+    throw std::runtime_error(
+        "unexpected reply type " +
+        std::to_string(static_cast<unsigned>(frame.type)));
+  }
+  return frame;
+}
+
+HelloOkFrame ServeClient::hello(const HelloFrame& helloIn) {
+  std::vector<std::uint8_t> bytes;
+  appendHello(bytes, helloIn);
+  sendAll(bytes.data(), bytes.size());
+  HelloOkFrame ok;
+  if (!decodeHelloOk(expectFrame(FrameType::kHelloOk).view(), ok)) {
+    throw std::runtime_error("undecodable HELLO_OK reply");
+  }
+  return ok;
+}
+
+PlacedFrame ServeClient::place(double size, double arrival,
+                               double departure) {
+  std::vector<std::uint8_t> bytes;
+  appendPlace(bytes, PlaceFrame{size, arrival, departure});
+  sendAll(bytes.data(), bytes.size());
+  PlacedFrame placed;
+  if (!decodePlaced(expectFrame(FrameType::kPlaced).view(), placed)) {
+    throw std::runtime_error("undecodable PLACED reply");
+  }
+  return placed;
+}
+
+DepartOkFrame ServeClient::departUntil(double time) {
+  std::vector<std::uint8_t> bytes;
+  appendDepart(bytes, DepartFrame{time});
+  sendAll(bytes.data(), bytes.size());
+  DepartOkFrame ok;
+  if (!decodeDepartOk(expectFrame(FrameType::kDepartOk).view(), ok)) {
+    throw std::runtime_error("undecodable DEPART_OK reply");
+  }
+  return ok;
+}
+
+StatsOkFrame ServeClient::stats() {
+  std::vector<std::uint8_t> bytes;
+  appendStats(bytes);
+  sendAll(bytes.data(), bytes.size());
+  StatsOkFrame ok;
+  if (!decodeStatsOk(expectFrame(FrameType::kStatsOk).view(), ok)) {
+    throw std::runtime_error("undecodable STATS_OK reply");
+  }
+  return ok;
+}
+
+DrainOkFrame ServeClient::drain() {
+  std::vector<std::uint8_t> bytes;
+  appendDrain(bytes);
+  sendAll(bytes.data(), bytes.size());
+  DrainOkFrame ok;
+  if (!decodeDrainOk(expectFrame(FrameType::kDrainOk).view(), ok)) {
+    throw std::runtime_error("undecodable DRAIN_OK reply");
+  }
+  return ok;
+}
+
+std::string ServeClient::scrape() {
+  std::vector<std::uint8_t> bytes;
+  appendScrape(bytes);
+  sendAll(bytes.data(), bytes.size());
+  ScrapeOkFrame ok;
+  if (!decodeScrapeOk(expectFrame(FrameType::kScrapeOk).view(), ok)) {
+    throw std::runtime_error("undecodable SCRAPE_OK reply");
+  }
+  return ok.text;
+}
+
+void ServeClient::queuePlace(double size, double arrival, double departure) {
+  appendPlace(outQueue_, PlaceFrame{size, arrival, departure});
+  ++owedReplies_;
+}
+
+void ServeClient::flushQueued() {
+  if (outQueue_.empty()) return;
+  sendAll(outQueue_.data(), outQueue_.size());
+  outQueue_.clear();
+}
+
+PlacedFrame ServeClient::readPlaced() {
+  if (owedReplies_ == 0) {
+    throw std::logic_error("readPlaced() with no queued PLACE outstanding");
+  }
+  PlacedFrame placed;
+  if (!decodePlaced(expectFrame(FrameType::kPlaced).view(), placed)) {
+    throw std::runtime_error("undecodable PLACED reply");
+  }
+  --owedReplies_;
+  return placed;
+}
+
+}  // namespace cdbp::serve

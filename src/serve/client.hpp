@@ -1,0 +1,141 @@
+// Blocking client for the cdbp-serve v1 protocol (DESIGN.md §13).
+//
+// One ServeClient wraps one connected stream socket and speaks
+// request/reply: every call encodes a frame, sends it, and blocks for the
+// matching reply. A kError reply surfaces as a thrown ServeError carrying
+// the typed code, so callers distinguish "the server rejected this
+// request" (recoverable — the connection keeps serving) from transport
+// failure (std::runtime_error — the connection is gone).
+//
+// For load generation the queue/flush/readPlaced trio pipelines PLACE
+// frames: queue N requests, flush once, then read N replies. This is what
+// stream_replay --connect and bench_serve use to keep the socket full
+// without one round trip per item.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace cdbp::serve {
+
+/// A typed error reply from the server. The connection remains usable
+/// (the server answers malformed or rejected requests without closing).
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(errorCodeName(code)) + ": " + message),
+        code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Endpoint spec parsed from a --connect string:
+///   "unix:<path>"          Unix-domain socket
+///   "tcp:<host>:<port>"    TCP (host is an IPv4 literal or name)
+///   "<path>"               shorthand for unix:<path>
+struct ServeAddress {
+  bool tcp = false;
+  std::string path;
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses an address spec; on failure returns false and fills `error`.
+bool parseServeAddress(const std::string& spec, ServeAddress& out,
+                       std::string& error);
+
+struct ClientOptions {
+  /// Reply payload cap. Larger than the server's request cap because a
+  /// SCRAPE reply carries the whole telemetry exposition.
+  std::size_t maxFramePayload = 4 * 1024 * 1024;
+};
+
+/// One reply frame with owned payload bytes.
+struct OwnedFrame {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> payload;
+
+  FrameView view() const {
+    return FrameView{type, payload.data(), payload.size()};
+  }
+};
+
+class ServeClient {
+ public:
+  /// Adopts a connected stream socket (e.g. one end of a socketpair).
+  explicit ServeClient(int fd, ClientOptions options = {});
+  ~ServeClient();
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects per the parsed address. Throws std::system_error on
+  /// connect failure.
+  static ServeClient connect(const ServeAddress& address,
+                             ClientOptions options = {});
+  static ServeClient connectUnix(const std::string& path,
+                                 ClientOptions options = {});
+  static ServeClient connectTcp(const std::string& host, std::uint16_t port,
+                                ClientOptions options = {});
+
+  /// Opens the session: sends HELLO, returns the HELLO_OK. Throws
+  /// ServeError on a typed rejection (bad spec, version skew, ...).
+  HelloOkFrame hello(const HelloFrame& hello);
+
+  /// One placement round trip.
+  PlacedFrame place(double size, double arrival, double departure);
+
+  /// Advances the session clock, draining departures due at or before
+  /// `time`.
+  DepartOkFrame departUntil(double time);
+
+  StatsOkFrame stats();
+
+  /// Finishes the session and returns the final StreamResult mirror.
+  DrainOkFrame drain();
+
+  /// Fetches the server's telemetry exposition text.
+  std::string scrape();
+
+  // Pipelined PLACE: queue locally, flush in one write, read replies in
+  // order. queued() reports how many replies are still owed.
+  void queuePlace(double size, double arrival, double departure);
+  void flushQueued();
+  PlacedFrame readPlaced();
+  std::size_t queued() const { return owedReplies_; }
+
+  /// Sends raw pre-encoded bytes — robustness tests use this to deliver
+  /// malformed, truncated, or oversized frames.
+  void sendRaw(const std::vector<std::uint8_t>& bytes);
+
+  /// Blocks for the next reply frame of any type. Throws
+  /// std::runtime_error when the server closes the connection first.
+  OwnedFrame readFrame();
+
+  /// Blocks for the next reply and throws ServeError if it is kError;
+  /// otherwise requires the expected type.
+  OwnedFrame expectFrame(FrameType expected);
+
+  int fd() const { return fd_; }
+
+ private:
+  void sendAll(const std::uint8_t* data, std::size_t size);
+
+  int fd_ = -1;
+  ClientOptions options_;
+  std::vector<std::uint8_t> rbuf_;
+  std::size_t rpos_ = 0;
+  std::vector<std::uint8_t> outQueue_;
+  std::size_t owedReplies_ = 0;
+};
+
+}  // namespace cdbp::serve

@@ -1,0 +1,205 @@
+// Placement-as-a-service: the long-running daemon fronting the
+// bounded-memory streaming engine (DESIGN.md §13).
+//
+// One epoll event loop, run on a dedicated thread, owns every connection:
+// it accepts on an optional Unix socket and/or a loopback TCP socket
+// (plus fds adopted via adoptConnection — socketpair tests and benches),
+// parses cdbp-serve v1 frames (serve/protocol.hpp), and drives one
+// per-tenant session per connection. A session is an independent
+// StreamEngine + OnlinePolicy instantiated from the HELLO frame's
+// makePolicy spec string, so placements served over a socket are
+// bit-identical to simulateStream on the same item sequence — the serve
+// differential suite pins this for every policy spec and both engines.
+//
+// Backpressure (§13.4): each connection carries bounded read and write
+// buffers. When a client stops reading, its write buffer fills to
+// writeBufferLimit, at which point the loop (a) stops reading more
+// requests from that fd and (b) stops processing frames already buffered
+// — so per-connection server memory is bounded by
+// writeBufferLimit + one maximal reply + the read-buffer cap, no matter
+// how fast the client writes. Processing resumes when the buffer drains
+// below half the limit. A connection that exceeds the hard cap
+// (writeBufferLimit + maxFramePayload headroom, reachable only with a
+// pathologically large single reply) is shed with a kBackpressure error.
+//
+// Graceful drain (§13.5): requestDrain() — async-signal-safe, wired to
+// SIGTERM by the cdbp_served binary — makes the loop stop accepting,
+// stop reading, finish every fully-received in-flight request, flush all
+// replies (bounded by drainTimeoutNanos), close, and exit. stats()
+// afterwards shows drained == true; the daemon then emits a final
+// telemetry snapshot and exits 0.
+//
+// Threading: the loop thread owns all connection I/O state. The
+// connection table and tenant map are guarded by the annotated
+// cdbp::Mutex (checked under the clang-tsa preset); cross-thread
+// observers (stats(), tenants(), the drain/stop flags) touch only that
+// guarded state and atomics, never buffer internals.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace cdbp::serve {
+
+struct ServerOptions {
+  /// Listen on this Unix-domain socket path when non-empty (an existing
+  /// socket file at the path is unlinked first).
+  std::string unixPath;
+
+  /// Listen on 127.0.0.1 when true; port 0 binds an ephemeral port
+  /// (readable from Server::tcpPort() after start()).
+  bool tcp = false;
+  std::uint16_t tcpPort = 0;
+
+  /// Frame payload cap; length prefixes above it shed the connection
+  /// with kErrOversizedFrame.
+  std::size_t maxFramePayload = kDefaultMaxFramePayload;
+
+  /// Write-buffer throttle threshold per connection (bytes). See the
+  /// backpressure contract above.
+  std::size_t writeBufferLimit = 256 * 1024;
+
+  /// Wall-clock budget for flushing replies during a graceful drain;
+  /// connections that cannot flush in time are closed anyway.
+  std::uint64_t drainTimeoutNanos = 5'000'000'000;
+};
+
+/// Cross-thread snapshot of the server's counters.
+struct ServerStats {
+  std::uint64_t connectionsAccepted = 0;
+  std::uint64_t connectionsAdopted = 0;
+  std::uint64_t connectionsClosed = 0;
+  std::size_t openConnections = 0;
+  std::uint64_t framesReceived = 0;
+  std::uint64_t framesSent = 0;
+  std::uint64_t errorsSent = 0;
+  std::uint64_t placements = 0;
+  std::uint64_t sessionsOpened = 0;
+  std::uint64_t sessionsFinished = 0;
+  std::uint64_t throttleEvents = 0;   ///< read-pause transitions
+  std::uint64_t shedConnections = 0;  ///< closed for exceeding the hard cap
+  std::uint64_t bytesReceived = 0;
+  std::uint64_t bytesSent = 0;
+  /// High-water mark of any single connection's write buffer — the
+  /// backpressure test's bounded-memory assertion reads this.
+  std::size_t peakWriteBuffered = 0;
+  bool draining = false;
+  bool drained = false;
+};
+
+/// One row of the tenant map: the per-session registry entry updated by
+/// the loop and readable from any thread.
+struct TenantSnapshot {
+  std::uint64_t id = 0;
+  std::string name;
+  std::string policyName;
+  std::uint64_t items = 0;
+  std::uint64_t openBins = 0;
+  bool finished = false;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+
+  /// Stops the loop (hard) and joins if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the configured listeners and spawns the event-loop thread.
+  /// Throws std::system_error when a socket call fails.
+  void start();
+
+  /// Hands an already-connected stream socket (e.g. one end of a
+  /// socketpair) to the loop, which takes ownership of the fd.
+  void adoptConnection(int fd);
+
+  /// Graceful shutdown; async-signal-safe (atomic flag + eventfd write).
+  /// The loop finishes in-flight requests, flushes, closes and exits.
+  void requestDrain() noexcept;
+
+  /// Hard stop: closes everything without flushing. Used by tests and
+  /// the destructor; production shutdown is requestDrain().
+  void stop() noexcept;
+
+  /// Waits for the event-loop thread to exit.
+  void join();
+
+  bool running() const;
+
+  /// Bound TCP port (after start(); 0 when TCP is disabled).
+  std::uint16_t tcpPort() const;
+
+  ServerStats stats() const CDBP_EXCLUDES(mu_);
+
+  /// Copy of the tenant map, sorted by tenant id.
+  std::vector<TenantSnapshot> tenants() const CDBP_EXCLUDES(mu_);
+
+ private:
+  struct Connection;
+
+  void loop();
+  void closeListeners();
+  bool setupListeners();
+  void acceptPending(int listenFd);
+  void registerConnection(int fd, bool accepted);
+  void handleReadable(Connection& conn);
+  void handleWritable(Connection& conn);
+  /// Alternates frame processing, flushing, and backpressure resume until
+  /// the connection quiesces (no complete frames processable, or paused
+  /// with the kernel unable to take more replies).
+  void pumpConnection(Connection& conn);
+  void processBufferedFrames(Connection& conn);
+  void handleFrame(Connection& conn, const FrameView& frame);
+  void handleHello(Connection& conn, const FrameView& frame);
+  void handlePlace(Connection& conn, const FrameView& frame);
+  void handleDepart(Connection& conn, const FrameView& frame);
+  void handleStats(Connection& conn);
+  void handleDrainRequest(Connection& conn);
+  void handleScrape(Connection& conn);
+  void sendError(Connection& conn, ErrorCode code, const std::string& message);
+  void sendBytes(Connection& conn, const std::vector<std::uint8_t>& bytes);
+  void flushWrites(Connection& conn);
+  void updateInterest(Connection& conn);
+  void closeConnection(int fd);
+  void drainAndExit();
+  void wake() noexcept;
+
+  ServerOptions options_;
+
+  int epollFd_ = -1;
+  int wakeFd_ = -1;
+  int unixListenFd_ = -1;
+  int tcpListenFd_ = -1;
+  std::atomic<std::uint16_t> boundTcpPort_{0};
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopRequested_{false};
+  std::atomic<bool> drainRequested_{false};
+
+  std::thread thread_;
+
+  mutable Mutex mu_;
+  // Loop-owned values; the map is guarded so stats()/tenants() can read
+  // membership from other threads. Buffer internals inside a Connection
+  // are only ever touched by the loop thread.
+  std::map<int, std::unique_ptr<Connection>> connections_
+      CDBP_GUARDED_BY(mu_);
+  std::map<std::uint64_t, TenantSnapshot> tenants_ CDBP_GUARDED_BY(mu_);
+  std::vector<int> adoptQueue_ CDBP_GUARDED_BY(mu_);
+  ServerStats stats_ CDBP_GUARDED_BY(mu_);
+  std::uint64_t nextTenantId_ CDBP_GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace cdbp::serve

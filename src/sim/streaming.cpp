@@ -88,10 +88,14 @@ bool InstanceArrivalSource::next(StreamItem& out) {
   return true;
 }
 
-StreamResult simulateStream(ArrivalSource& source, OnlinePolicy& policy,
-                            const StreamOptions& options) {
-  policy.reset();
-  BinManager bins(options.engine == PlacementEngine::kIndexed);
+// The incremental state simulateStream used to keep in locals, verbatim:
+// the refactor moved the loop body into place()/drainUntil()/finish()
+// without reordering a single BinManager or accumulator update, which is
+// what keeps StreamEngine bit-identical to the pre-refactor simulator.
+struct StreamEngine::Impl {
+  OnlinePolicy& policy;
+  StreamOptions options;
+  BinManager bins;
   std::set<int> categories;
   std::vector<PendingDeparture> pending;  // min-heap via push_heap/pop_heap
   // Per-bin usage, indexed by BinId and filled when the bin closes. Kept
@@ -101,14 +105,24 @@ StreamResult simulateStream(ArrivalSource& source, OnlinePolicy& policy,
   std::vector<Time> usageByBin;
   IncrementalLb3 lb3;
   StreamResult result;
+  std::size_t residentPeak = 0;
+  Time lastArrival = 0;
+  bool sawEvent = false;  // watermark is meaningful only after an event
+  ItemId nextId = 0;
+  bool done = false;
 
-  if (options.chromeTrace) {
-    options.chromeTrace->setProcessName(kTracePid,
-                                        "cdbp simulation: " + policy.name());
+  Impl(OnlinePolicy& p, const StreamOptions& o)
+      : policy(p),
+        options(o),
+        bins(o.engine == PlacementEngine::kIndexed) {
+    policy.reset();
+    if (options.chromeTrace) {
+      options.chromeTrace->setProcessName(kTracePid,
+                                          "cdbp simulation: " + policy.name());
+    }
   }
 
-  std::size_t residentPeak = 0;
-  auto noteResident = [&] {
+  void noteResident() {
     std::size_t bytes = pending.capacity() * sizeof(PendingDeparture) +
                         usageByBin.capacity() * sizeof(Time) +
                         bins.binsOpened() * sizeof(BinManager::BinInfo) +
@@ -117,9 +131,9 @@ StreamResult simulateStream(ArrivalSource& source, OnlinePolicy& policy,
       residentPeak = bytes;
       CDBP_TELEM_GAUGE_SET("stream.resident_bytes", bytes);
     }
-  };
+  }
 
-  auto popDeparture = [&] {
+  void popDeparture() {
     std::pop_heap(pending.begin(), pending.end(), laterDeparture);
     PendingDeparture dep = pending.back();
     pending.pop_back();
@@ -136,12 +150,17 @@ StreamResult simulateStream(ArrivalSource& source, OnlinePolicy& policy,
                                       kTracePid,
                                       static_cast<double>(bins.openCount()));
     }
-  };
+  }
 
-  Time lastArrival = 0;
-  ItemId nextId = 0;
-  StreamItem incoming;
-  while (source.next(incoming)) {
+  void requireLive(const char* what) const {
+    if (done) {
+      throw std::logic_error(std::string("StreamEngine: ") + what +
+                             " after finish()");
+    }
+  }
+
+  Placement place(const StreamItem& incoming) {
+    requireLive("place()");
     if (nextId == std::numeric_limits<ItemId>::max()) {
       throw std::invalid_argument("simulateStream: item id space exhausted");
     }
@@ -163,7 +182,7 @@ StreamResult simulateStream(ArrivalSource& source, OnlinePolicy& policy,
                                   std::to_string(nextId) +
                                   " has size outside (0, 1]");
     }
-    if (result.items > 0 && incoming.arrival < lastArrival) {
+    if (sawEvent && incoming.arrival < lastArrival) {
       throw std::invalid_argument(
           "simulateStream: ArrivalSource must yield nondecreasing arrivals "
           "(item " + std::to_string(nextId) + " arrives at " +
@@ -173,6 +192,7 @@ StreamResult simulateStream(ArrivalSource& source, OnlinePolicy& policy,
 
     const Item r(nextId++, incoming.size, incoming.arrival, incoming.departure);
     lastArrival = r.arrival();
+    sawEvent = true;
     ++result.items;
 
     // Exact-time draining: every departure at or before this arrival is
@@ -255,31 +275,112 @@ StreamResult simulateStream(ArrivalSource& source, OnlinePolicy& policy,
                                       static_cast<double>(bins.openCount()));
     }
     noteResident();
+    return Placement{r.id, target, decision.bin == kNewBin,
+                     bins.info(target).category};
   }
 
-  // End of stream: drain every pending departure so all bins close and the
-  // usage ledger completes. (The batch simulator may skip its trailing
-  // departures; here they are what produces totalUsage.)
-  while (!pending.empty()) popDeparture();
-
-  if (options.chromeTrace) {
-    for (std::size_t b = 0; b < bins.binsOpened(); ++b) {
-      const BinManager::BinInfo& info = bins.info(static_cast<BinId>(b));
-      std::ostringstream name;
-      name << "bin " << info.id << " (cat " << info.category << ")";
-      options.chromeTrace->setThreadName(kTracePid, static_cast<int>(info.id),
-                                         name.str());
+  std::size_t drainUntil(Time time) {
+    requireLive("drainUntil()");
+    if (!std::isfinite(time)) {
+      throw std::invalid_argument("StreamEngine: drainUntil time is not finite");
     }
+    if (sawEvent && time < lastArrival) {
+      throw std::invalid_argument(
+          "StreamEngine: drainUntil(" + std::to_string(time) +
+          ") regresses behind the time watermark " +
+          std::to_string(lastArrival));
+    }
+    // Advancing the watermark keeps equivalence with the pure-streaming
+    // order: a later arrival below `time` would have been placed BEFORE
+    // the departures in (arrival, time] in the batch timeline, so once
+    // those departures are drained such an arrival must be rejected —
+    // place() does, because lastArrival is now `time`.
+    lastArrival = time;
+    sawEvent = true;
+    std::size_t drained = 0;
+    while (!pending.empty() && pending.front().time <= time) {
+      popDeparture();
+      ++drained;
+    }
+    return drained;
   }
 
-  Time totalUsage = 0;
-  for (Time usage : usageByBin) totalUsage += usage;
-  result.totalUsage = totalUsage;
-  result.binsOpened = bins.binsOpened();
-  result.categoriesUsed = categories.size();
-  if (options.computeLowerBound) result.lb3 = lb3.total();
-  result.peakResidentBytes = residentPeak;
-  return result;
+  StreamResult finish() {
+    requireLive("finish()");
+    // End of stream: drain every pending departure so all bins close and
+    // the usage ledger completes. (The batch simulator may skip its
+    // trailing departures; here they are what produces totalUsage.)
+    while (!pending.empty()) popDeparture();
+
+    if (options.chromeTrace) {
+      for (std::size_t b = 0; b < bins.binsOpened(); ++b) {
+        const BinManager::BinInfo& info = bins.info(static_cast<BinId>(b));
+        std::ostringstream name;
+        name << "bin " << info.id << " (cat " << info.category << ")";
+        options.chromeTrace->setThreadName(kTracePid,
+                                           static_cast<int>(info.id),
+                                           name.str());
+      }
+    }
+
+    Time totalUsage = 0;
+    for (Time usage : usageByBin) totalUsage += usage;
+    result.totalUsage = totalUsage;
+    result.binsOpened = bins.binsOpened();
+    result.categoriesUsed = categories.size();
+    if (options.computeLowerBound) result.lb3 = lb3.total();
+    result.peakResidentBytes = residentPeak;
+    done = true;
+    return result;
+  }
+};
+
+StreamEngine::StreamEngine(OnlinePolicy& policy, const StreamOptions& options)
+    : impl_(std::make_unique<Impl>(policy, options)) {}
+
+StreamEngine::~StreamEngine() = default;
+
+StreamEngine::Placement StreamEngine::place(const StreamItem& item) {
+  return impl_->place(item);
+}
+
+std::size_t StreamEngine::drainUntil(Time time) {
+  return impl_->drainUntil(time);
+}
+
+StreamResult StreamEngine::finish() { return impl_->finish(); }
+
+bool StreamEngine::finished() const { return impl_->done; }
+
+Time StreamEngine::timeWatermark() const {
+  return impl_->sawEvent ? impl_->lastArrival
+                         : -std::numeric_limits<Time>::infinity();
+}
+
+std::size_t StreamEngine::itemsPlaced() const { return impl_->result.items; }
+
+std::size_t StreamEngine::binsOpened() const { return impl_->bins.binsOpened(); }
+
+std::size_t StreamEngine::openBins() const { return impl_->bins.openCount(); }
+
+std::size_t StreamEngine::pendingDepartures() const {
+  return impl_->pending.size();
+}
+
+std::size_t StreamEngine::peakOpenItems() const {
+  return impl_->result.peakOpenItems;
+}
+
+std::size_t StreamEngine::peakResidentBytes() const {
+  return impl_->residentPeak;
+}
+
+StreamResult simulateStream(ArrivalSource& source, OnlinePolicy& policy,
+                            const StreamOptions& options) {
+  StreamEngine engine(policy, options);
+  StreamItem incoming;
+  while (source.next(incoming)) engine.place(incoming);
+  return engine.finish();
 }
 
 }  // namespace cdbp

@@ -23,6 +23,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/instance.hpp"
@@ -118,6 +119,77 @@ struct StreamResult {
   /// usage ledger + bin metadata). An estimate from container capacities,
   /// not an allocator measurement.
   std::size_t peakResidentBytes = 0;
+};
+
+/// The incremental heart of the streaming simulator, exposed so callers
+/// that do not own a pull loop — the placement daemon's per-tenant
+/// sessions (serve/server.hpp) — can feed items one at a time. Every
+/// code path that streams goes through this class: simulateStream is a
+/// thin loop over place(), so an engine fed the same items in the same
+/// order is bit-identical to simulateStream (and hence to the batch
+/// simulator) by construction, not by parallel maintenance.
+///
+/// Lifecycle: construct (resets the policy), then any sequence of
+/// place() / drainUntil() with nondecreasing times, then finish() once.
+/// After finish() the engine is spent; further calls throw
+/// std::logic_error.
+///
+/// Not thread-safe: one engine belongs to one thread (the daemon gives
+/// each tenant session its own engine and serializes on the event loop).
+class StreamEngine {
+ public:
+  /// One committed placement, as StreamOptions::onPlacement reports it.
+  struct Placement {
+    ItemId item = 0;
+    BinId bin = 0;
+    bool openedNewBin = false;
+    int category = 0;
+  };
+
+  /// `policy` must outlive the engine; it is reset() here.
+  explicit StreamEngine(OnlinePolicy& policy, const StreamOptions& options = {});
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Validates `item` (finite times, departure > arrival, size in (0, 1],
+  /// arrival >= timeWatermark()), drains departures due at or before the
+  /// arrival, places through the policy, and commits. Throws
+  /// std::invalid_argument on model-invalid or time-regressing items and
+  /// std::logic_error on invalid policy decisions.
+  Placement place(const StreamItem& item);
+
+  /// Advances the simulation clock to `time`, processing every pending
+  /// departure due at or before it — the explicit-time form of the drain
+  /// place() performs implicitly. Subsequent items must arrive at or
+  /// after `time`. Returns the number of departures processed; throws
+  /// std::invalid_argument when `time` is non-finite or regresses behind
+  /// timeWatermark().
+  std::size_t drainUntil(Time time);
+
+  /// Drains all remaining departures, closes every bin and returns the
+  /// final StreamResult (bit-identical to simulateStream on the same item
+  /// sequence). The engine is finished afterwards.
+  StreamResult finish();
+
+  bool finished() const;
+
+  /// Latest time the engine has committed to (last arrival or explicit
+  /// drainUntil), or -infinity before the first event.
+  Time timeWatermark() const;
+
+  // Live observers, valid before finish() — the daemon's STATS frame.
+  std::size_t itemsPlaced() const;
+  std::size_t binsOpened() const;
+  std::size_t openBins() const;
+  std::size_t pendingDepartures() const;
+  std::size_t peakOpenItems() const;
+  std::size_t peakResidentBytes() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Streams `source` through `policy` (reset() first). Throws

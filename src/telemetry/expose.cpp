@@ -1,0 +1,72 @@
+#include "telemetry/expose.hpp"
+
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+namespace cdbp::telemetry {
+
+std::string expositionName(std::string_view name) {
+  std::string out = "cdbp_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void exposeText(const RegistrySnapshot& snapshot, std::ostream& out) {
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string n = expositionName(name);
+    out << "# TYPE " << n << " counter\n";
+    out << n << ' ' << value << '\n';
+  }
+  for (const auto& [name, gauge] : snapshot.gauges) {
+    std::string n = expositionName(name);
+    out << "# TYPE " << n << " gauge\n";
+    out << n << ' ' << gauge.value << '\n';
+    out << n << "_max " << gauge.max << '\n';
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    std::string n = expositionName(name);
+    out << "# TYPE " << n << " histogram\n";
+    // Buckets arrive sparse (non-empty only) and sorted by index; the
+    // exposition emits every bucket up to the highest non-empty one so
+    // `le` bounds are contiguous, with cumulative counts as Prometheus
+    // defines them.
+    std::size_t top = hist.buckets.empty() ? 0 : hist.buckets.back().first;
+    std::uint64_t cumulative = 0;
+    std::size_t sparse = 0;
+    for (std::size_t b = 0; b <= top; ++b) {
+      if (sparse < hist.buckets.size() && hist.buckets[sparse].first == b) {
+        cumulative += hist.buckets[sparse].second;
+        ++sparse;
+      }
+      // Bucket b covers [2^(b-1), 2^b - 1] (bucket 0 is exactly {0}), so
+      // its inclusive upper bound is 2^b - 1 — saturating at the top
+      // bucket, whose bound 2^64 - 1 cannot be formed by a 64-bit shift.
+      std::uint64_t upper = b == 0 ? 0
+                            : b >= 64
+                                ? ~std::uint64_t{0}
+                                : (std::uint64_t{1} << b) - 1;
+      out << n << "_bucket{le=\"" << upper << "\"} " << cumulative << '\n';
+    }
+    out << n << "_bucket{le=\"+Inf\"} " << hist.count << '\n';
+    out << n << "_sum " << hist.sum << '\n';
+    out << n << "_count " << hist.count << '\n';
+  }
+}
+
+void exposeText(Registry& registry, std::ostream& out) {
+  exposeText(registry.snapshot(), out);
+}
+
+std::string exposeTextString(Registry& registry) {
+  std::ostringstream out;
+  exposeText(registry, out);
+  return out.str();
+}
+
+}  // namespace cdbp::telemetry

@@ -1,0 +1,43 @@
+// Text exposition of the metrics registry — the Prometheus-style
+// `name value` format the placement daemon's SCRAPE endpoint serves
+// (serve/server.hpp) and any standalone tool can emit.
+//
+// Formatting rules:
+//   * Metric names are mapped to exposition names by replacing every
+//     character outside [a-zA-Z0-9_] with '_' and prefixing "cdbp_"
+//     ("sim.fit_checks" -> "cdbp_sim_fit_checks").
+//   * Counters emit one line:        cdbp_<name> <value>
+//   * Gauges emit two lines:         cdbp_<name> <value>
+//                                    cdbp_<name>_max <high-water mark>
+//   * Histograms emit cumulative log2 buckets in Prometheus histogram
+//     shape: `cdbp_<name>_bucket{le="<upper>"} <cumulative count>` for
+//     every bucket up to the highest non-empty one (upper bound of bucket
+//     b is 2^b - 1; bucket 0 is exactly {0}), a `le="+Inf"` line, then
+//     `cdbp_<name>_sum` and `cdbp_<name>_count`.
+//   * Every metric is preceded by a `# TYPE` comment line.
+//
+// The exposition is computed from a RegistrySnapshot, so one scrape pays
+// one registry lock, not one per metric.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "telemetry/registry.hpp"
+
+namespace cdbp::telemetry {
+
+/// "sim.fit_checks" -> "cdbp_sim_fit_checks".
+std::string expositionName(std::string_view name);
+
+/// Writes the text exposition of `snapshot` to `out`.
+void exposeText(const RegistrySnapshot& snapshot, std::ostream& out);
+
+/// Snapshot-and-expose convenience for the daemon's scrape endpoint.
+void exposeText(Registry& registry, std::ostream& out);
+
+/// exposeText into a string (the SCRAPE frame payload).
+std::string exposeTextString(Registry& registry);
+
+}  // namespace cdbp::telemetry

@@ -1,0 +1,542 @@
+// End-to-end and robustness tests for the serve daemon (DESIGN.md §13).
+//
+// Most tests adopt one end of a socketpair into the server's event loop —
+// no filesystem or port allocation — and drive the other end with
+// ServeClient. Listener coverage (Unix path + loopback TCP) gets its own
+// tests at the bottom.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "online/policy_factory.hpp"
+#include "serve/client.hpp"
+#include "sim/streaming.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace cdbp::serve {
+namespace {
+
+constexpr double kMinDuration = 1.0;
+constexpr double kMu = 8.0;
+
+HelloFrame makeHello(const std::string& tenant, const std::string& spec) {
+  HelloFrame hello;
+  hello.version = kProtocolVersion;
+  hello.engine = 0;
+  hello.minDuration = kMinDuration;
+  hello.mu = kMu;
+  hello.seed = 42;
+  hello.tenant = tenant;
+  hello.policySpec = spec;
+  return hello;
+}
+
+/// Server + one adopted socketpair connection, torn down in order.
+struct Harness {
+  explicit Harness(ServerOptions options = {}) : server(options) {
+    server.start();
+    int fds[2];
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    clientFd = fds[0];
+    server.adoptConnection(fds[1]);
+  }
+
+  /// Adds another adopted connection, returning the client-side fd.
+  int adoptAnother() {
+    int fds[2];
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    server.adoptConnection(fds[1]);
+    return fds[0];
+  }
+
+  Server server;
+  int clientFd = -1;
+};
+
+void waitFor(const std::function<bool()>& done) {
+  for (int i = 0; i < 2000; ++i) {
+    if (done()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "condition not reached within the polling budget";
+}
+
+TEST(ServeServer, EndToEndSessionMatchesLocalEngine) {
+  Harness h;
+  ServeClient client(h.clientFd);
+
+  HelloOkFrame ok = client.hello(makeHello("tenant-a", "cdt-ff"));
+  EXPECT_EQ(ok.version, kProtocolVersion);
+  EXPECT_GT(ok.tenantId, 0u);
+
+  // The same item sequence through a local StreamEngine: the served
+  // placements must match decision for decision.
+  PolicyContext context;
+  context.minDuration = kMinDuration;
+  context.mu = kMu;
+  context.seed = 42;
+  PolicyPtr local = makePolicy("cdt-ff", context);
+  StreamEngine engine(*local);
+  EXPECT_EQ(ok.policyName, local->name());
+
+  std::vector<StreamItem> items;
+  for (int i = 0; i < 200; ++i) {
+    double arrival = 0.25 * i;
+    double size = 0.1 + 0.13 * static_cast<double>(i % 7);
+    double departure = arrival + kMinDuration + (i % 11);
+    items.push_back(StreamItem{size, arrival, departure});
+  }
+  for (const StreamItem& item : items) {
+    PlacedFrame served = client.place(item.size, item.arrival, item.departure);
+    StreamEngine::Placement expected = engine.place(item);
+    ASSERT_EQ(served.item, expected.item);
+    ASSERT_EQ(served.bin, expected.bin);
+    ASSERT_EQ(served.openedNewBin != 0, expected.openedNewBin);
+    ASSERT_EQ(served.category, expected.category);
+  }
+
+  StatsOkFrame stats = client.stats();
+  EXPECT_EQ(stats.items, engine.itemsPlaced());
+  EXPECT_EQ(stats.binsOpened, engine.binsOpened());
+  EXPECT_EQ(stats.openBins, engine.openBins());
+  EXPECT_EQ(stats.pendingDepartures, engine.pendingDepartures());
+
+  DepartOkFrame departed = client.departUntil(60.0);
+  std::size_t localDrained = engine.drainUntil(60.0);
+  EXPECT_EQ(departed.drained, localDrained);
+  EXPECT_EQ(departed.openBins, engine.openBins());
+
+  DrainOkFrame drained = client.drain();
+  StreamResult result = engine.finish();
+  EXPECT_EQ(drained.items, result.items);
+  EXPECT_EQ(drained.totalUsage, result.totalUsage);
+  EXPECT_EQ(drained.binsOpened, result.binsOpened);
+  EXPECT_EQ(drained.maxOpenBins, result.maxOpenBins);
+  EXPECT_EQ(drained.categoriesUsed, result.categoriesUsed);
+  EXPECT_EQ(drained.lb3, result.lb3);
+  EXPECT_EQ(drained.peakOpenItems, result.peakOpenItems);
+
+  ServerStats serverStats = h.server.stats();
+  EXPECT_EQ(serverStats.placements, items.size());
+  EXPECT_EQ(serverStats.sessionsOpened, 1u);
+  EXPECT_EQ(serverStats.sessionsFinished, 1u);
+  EXPECT_EQ(serverStats.shedConnections, 0u);
+
+  std::vector<TenantSnapshot> tenants = h.server.tenants();
+  ASSERT_EQ(tenants.size(), 1u);
+  EXPECT_EQ(tenants[0].name, "tenant-a");
+  EXPECT_TRUE(tenants[0].finished);
+}
+
+TEST(ServeServer, TypedErrorsKeepTheConnectionServing) {
+  Harness h;
+  ServeClient client(h.clientFd);
+
+  // PLACE before HELLO.
+  {
+    std::vector<std::uint8_t> bytes;
+    appendPlace(bytes, PlaceFrame{0.5, 0.0, 2.0});
+    client.sendRaw(bytes);
+    OwnedFrame reply = client.readFrame();
+    ASSERT_EQ(reply.type, FrameType::kError);
+    ErrorFrame error;
+    ASSERT_TRUE(decodeError(reply.view(), error));
+    EXPECT_EQ(error.code, ErrorCode::kUnknownTenant);
+  }
+
+  // Unknown frame type.
+  {
+    std::vector<std::uint8_t> bytes = {0x01, 0x00, 0x00, 0x00, 0x7E};
+    client.sendRaw(bytes);
+    OwnedFrame reply = client.readFrame();
+    ErrorFrame error;
+    ASSERT_TRUE(decodeError(reply.view(), error));
+    EXPECT_EQ(error.code, ErrorCode::kUnknownFrameType);
+  }
+
+  // Zero-length frame.
+  {
+    std::vector<std::uint8_t> bytes = {0x00, 0x00, 0x00, 0x00};
+    client.sendRaw(bytes);
+    OwnedFrame reply = client.readFrame();
+    ErrorFrame error;
+    ASSERT_TRUE(decodeError(reply.view(), error));
+    EXPECT_EQ(error.code, ErrorCode::kMalformedFrame);
+  }
+
+  // Truncated HELLO body under a self-consistent length prefix.
+  {
+    std::vector<std::uint8_t> bytes = {0x03, 0x00, 0x00, 0x00,
+                                       0x01,  // kHello
+                                       0x01, 0x00};
+    client.sendRaw(bytes);
+    OwnedFrame reply = client.readFrame();
+    ErrorFrame error;
+    ASSERT_TRUE(decodeError(reply.view(), error));
+    EXPECT_EQ(error.code, ErrorCode::kMalformedFrame);
+  }
+
+  // Version skew.
+  {
+    HelloFrame hello = makeHello("tenant", "ff");
+    hello.version = 99;
+    EXPECT_THROW(
+        {
+          try {
+            client.hello(hello);
+          } catch (const ServeError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::kProtocolVersion);
+            throw;
+          }
+        },
+        ServeError);
+  }
+
+  // Bad policy spec.
+  {
+    EXPECT_THROW(
+        {
+          try {
+            client.hello(makeHello("tenant", "no-such-policy(rho=banana)"));
+          } catch (const ServeError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::kBadPolicySpec);
+            throw;
+          }
+        },
+        ServeError);
+  }
+
+  // After all of that the connection still opens a working session.
+  HelloOkFrame ok = client.hello(makeHello("tenant", "ff"));
+  EXPECT_GT(ok.tenantId, 0u);
+
+  // Duplicate HELLO.
+  EXPECT_THROW(
+      {
+        try {
+          client.hello(makeHello("tenant-again", "bf"));
+        } catch (const ServeError& e) {
+          EXPECT_EQ(e.code(), ErrorCode::kDuplicateHello);
+          throw;
+        }
+      },
+      ServeError);
+
+  // Bad item: non-positive size is rejected by the engine, session intact.
+  EXPECT_THROW(
+      {
+        try {
+          client.place(-1.0, 0.0, 2.0);
+        } catch (const ServeError& e) {
+          EXPECT_EQ(e.code(), ErrorCode::kBadItem);
+          throw;
+        }
+      },
+      ServeError);
+
+  // Accepted placement, then an out-of-order DEPART behind the watermark.
+  PlacedFrame placed = client.place(0.5, 5.0, 8.0);
+  EXPECT_EQ(placed.bin, 0);
+  EXPECT_THROW(
+      {
+        try {
+          client.departUntil(1.0);
+        } catch (const ServeError& e) {
+          EXPECT_EQ(e.code(), ErrorCode::kOutOfOrder);
+          throw;
+        }
+      },
+      ServeError);
+
+  // Out-of-order PLACE behind the watermark.
+  EXPECT_THROW(
+      {
+        try {
+          client.place(0.5, 1.0, 9.0);
+        } catch (const ServeError& e) {
+          EXPECT_EQ(e.code(), ErrorCode::kOutOfOrder);
+          throw;
+        }
+      },
+      ServeError);
+
+  // The session still works and finishes cleanly.
+  DrainOkFrame drained = client.drain();
+  EXPECT_EQ(drained.items, 1u);
+
+  // Requests after DRAIN are typed rejections, not disconnects.
+  EXPECT_THROW(
+      {
+        try {
+          client.place(0.5, 9.0, 12.0);
+        } catch (const ServeError& e) {
+          EXPECT_EQ(e.code(), ErrorCode::kSessionFinished);
+          throw;
+        }
+      },
+      ServeError);
+
+  ServerStats stats = h.server.stats();
+  EXPECT_GE(stats.errorsSent, 10u);
+  EXPECT_EQ(stats.openConnections, 1u);  // never dropped
+}
+
+TEST(ServeServer, OversizedFramePrefixShedsTheConnection) {
+  Harness h;
+  ServeClient client(h.clientFd);
+  // Length prefix far above the cap: the server cannot resync past an
+  // untrusted length, so it answers kOversizedFrame and closes.
+  std::vector<std::uint8_t> bytes = {0xFF, 0xFF, 0xFF, 0x7F, 0x02};
+  client.sendRaw(bytes);
+  OwnedFrame reply = client.readFrame();
+  ErrorFrame error;
+  ASSERT_TRUE(decodeError(reply.view(), error));
+  EXPECT_EQ(error.code, ErrorCode::kOversizedFrame);
+  EXPECT_THROW(client.readFrame(), std::runtime_error);  // EOF follows
+  waitFor([&] { return h.server.stats().openConnections == 0; });
+}
+
+TEST(ServeServer, BackpressureBoundsServerMemory) {
+  ServerOptions options;
+  options.writeBufferLimit = 4096;
+  Harness h(options);
+  ServeClient client(h.clientFd);
+  client.hello(makeHello("flood", "ff"));
+
+  // Stop reading replies and flood PLACE frames until the transport
+  // clogs. The server must throttle: replies buffer up to the limit, then
+  // frame processing stops, then reading stops — memory stays bounded no
+  // matter how much the client sends.
+  ASSERT_EQ(fcntl(h.clientFd, F_SETFL,
+                  fcntl(h.clientFd, F_GETFL, 0) | O_NONBLOCK),
+            0);
+  std::vector<std::uint8_t> frame;
+  appendPlace(frame, PlaceFrame{0.001, 100.0, 200.0});
+  std::size_t queuedFrames = 0;
+  std::size_t partial = 0;  // bytes of a frame already on the wire
+  while (queuedFrames < 200000) {
+    ssize_t n = send(h.clientFd, frame.data() + partial,
+                     frame.size() - partial, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ASSERT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK);
+      break;  // both kernel buffers and the server's bound are full
+    }
+    partial += static_cast<std::size_t>(n);
+    if (partial == frame.size()) {
+      partial = 0;
+      ++queuedFrames;
+    }
+  }
+  ASSERT_GT(queuedFrames, 0u);
+
+  // The flood throttled the connection at least once, and the write
+  // buffer never grew past the limit plus one reply frame.
+  waitFor([&] { return h.server.stats().throttleEvents >= 1; });
+  const std::size_t replyBound = 64;  // PLACED/error replies are tiny
+  EXPECT_LE(h.server.stats().peakWriteBuffered,
+            options.writeBufferLimit + replyBound);
+  EXPECT_EQ(h.server.stats().shedConnections, 0u);
+
+  // Resume reading: every queued request gets its reply and the session
+  // finishes normally.
+  int flags = fcntl(h.clientFd, F_GETFL, 0);
+  ASSERT_EQ(fcntl(h.clientFd, F_SETFL, flags & ~O_NONBLOCK), 0);
+  for (std::size_t i = 0; i < queuedFrames; ++i) {
+    OwnedFrame reply = client.expectFrame(FrameType::kPlaced);
+    PlacedFrame placed;
+    ASSERT_TRUE(decodePlaced(reply.view(), placed));
+  }
+  if (partial > 0) {
+    // A frame was cut mid-write when the transport clogged. The server
+    // has drained by now, so finish it (blocking) to restore framing.
+    std::vector<std::uint8_t> rest(frame.begin() +
+                                       static_cast<std::ptrdiff_t>(partial),
+                                   frame.end());
+    client.sendRaw(rest);
+    ++queuedFrames;
+    OwnedFrame reply = client.expectFrame(FrameType::kPlaced);
+    PlacedFrame placed;
+    ASSERT_TRUE(decodePlaced(reply.view(), placed));
+  }
+  DrainOkFrame drained = client.drain();
+  EXPECT_EQ(drained.items, queuedFrames);
+  EXPECT_LE(h.server.stats().peakWriteBuffered,
+            options.writeBufferLimit + replyBound);
+}
+
+TEST(ServeServer, GracefulDrainAnswersInFlightRequestsAndExits) {
+  Harness h;
+  ServeClient client(h.clientFd);
+  client.hello(makeHello("draining", "bf"));
+
+  // Pipeline a burst, then request the drain before reading anything:
+  // every fully-received request must still be answered.
+  constexpr std::size_t kBurst = 500;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    double arrival = 0.01 * static_cast<double>(i);
+    client.queuePlace(0.2, arrival, arrival + 5.0);
+  }
+  client.flushQueued();
+  // Make sure the burst reached the loop before the drain flag does.
+  waitFor([&] { return h.server.stats().placements >= 1; });
+  h.server.requestDrain();
+
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    OwnedFrame reply = client.expectFrame(FrameType::kPlaced);
+    PlacedFrame placed;
+    ASSERT_TRUE(decodePlaced(reply.view(), placed));
+    EXPECT_EQ(placed.item, i);
+  }
+  // After the replies flush the server closes and the loop exits.
+  EXPECT_THROW(client.readFrame(), std::runtime_error);
+  h.server.join();
+  ServerStats stats = h.server.stats();
+  EXPECT_TRUE(stats.draining);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_EQ(stats.placements, kBurst);
+  EXPECT_FALSE(h.server.running());
+}
+
+TEST(ServeServer, ScrapeReturnsLiveTelemetryDuringLoad) {
+  Harness h;
+  ServeClient client(h.clientFd);
+  client.hello(makeHello("scraped", "cd-ff"));
+  for (int i = 0; i < 50; ++i) {
+    client.place(0.3, static_cast<double>(i), static_cast<double>(i) + 3.0);
+  }
+  std::string text = client.scrape();
+  if (telemetry::kEnabled) {
+    // Live counters from this very session are visible in the scrape.
+    EXPECT_NE(text.find("cdbp_serve_placements"), std::string::npos);
+    EXPECT_NE(text.find("cdbp_serve_frames_rx"), std::string::npos);
+  } else {
+    // Telemetry compiled out: the scrape endpoint still answers.
+    EXPECT_TRUE(text.empty());
+  }
+  client.drain();
+}
+
+TEST(ServeServer, TenantsAreIsolated) {
+  Harness h;
+  ServeClient a(h.clientFd);
+  ServeClient b(h.adoptAnother());
+
+  a.hello(makeHello("tenant-a", "ff"));
+  b.hello(makeHello("tenant-b", "ff"));
+
+  // Interleaved sessions with identical items: isolation means each
+  // tenant's bins fill independently (same decisions in both sessions),
+  // not shared.
+  for (int i = 0; i < 20; ++i) {
+    double arrival = static_cast<double>(i);
+    PlacedFrame fromA = a.place(0.4, arrival, arrival + 50.0);
+    PlacedFrame fromB = b.place(0.4, arrival, arrival + 50.0);
+    ASSERT_EQ(fromA.bin, fromB.bin) << "sessions diverged at item " << i;
+  }
+  DrainOkFrame drainedA = a.drain();
+  DrainOkFrame drainedB = b.drain();
+  EXPECT_EQ(drainedA.binsOpened, drainedB.binsOpened);
+  EXPECT_EQ(drainedA.totalUsage, drainedB.totalUsage);
+
+  std::vector<TenantSnapshot> tenants = h.server.tenants();
+  ASSERT_EQ(tenants.size(), 2u);
+  EXPECT_EQ(tenants[0].name, "tenant-a");
+  EXPECT_EQ(tenants[1].name, "tenant-b");
+  EXPECT_EQ(tenants[0].items, 20u);
+  EXPECT_EQ(tenants[1].items, 20u);
+}
+
+TEST(ServeServer, HalfCloseFlushesPendingRepliesBeforeClosing) {
+  Harness h;
+  ServeClient client(h.clientFd);
+  client.hello(makeHello("half-close", "ff"));
+  for (int i = 0; i < 10; ++i) {
+    client.queuePlace(0.1, static_cast<double>(i), static_cast<double>(i) + 2.0);
+  }
+  client.flushQueued();
+  // Shut down the write side only: the server must answer what it already
+  // received, then close.
+  ASSERT_EQ(shutdown(client.fd(), SHUT_WR), 0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    OwnedFrame reply = client.expectFrame(FrameType::kPlaced);
+    PlacedFrame placed;
+    ASSERT_TRUE(decodePlaced(reply.view(), placed));
+  }
+  EXPECT_THROW(client.readFrame(), std::runtime_error);
+  waitFor([&] { return h.server.stats().openConnections == 0; });
+}
+
+TEST(ServeServer, UnixListenerAcceptsAndServes) {
+  std::string path = testing::TempDir() + "cdbp_serve_" +
+                     std::to_string(::getpid()) + ".sock";
+  ServerOptions options;
+  options.unixPath = path;
+  Server server(options);
+  server.start();
+
+  ServeClient client = ServeClient::connectUnix(path);
+  HelloOkFrame ok = client.hello(makeHello("via-unix", "min-ext"));
+  EXPECT_GT(ok.tenantId, 0u);
+  PlacedFrame placed = client.place(0.5, 0.0, 4.0);
+  EXPECT_EQ(placed.bin, 0);
+  DrainOkFrame drained = client.drain();
+  EXPECT_EQ(drained.items, 1u);
+  server.stop();
+  server.join();
+  ::unlink(path.c_str());
+}
+
+TEST(ServeServer, TcpListenerBindsEphemeralPortAndServes) {
+  ServerOptions options;
+  options.tcp = true;
+  options.tcpPort = 0;
+  Server server(options);
+  server.start();
+  ASSERT_GT(server.tcpPort(), 0);
+
+  ServeClient client = ServeClient::connectTcp("127.0.0.1", server.tcpPort());
+  client.hello(makeHello("via-tcp", "ff"));
+  PlacedFrame placed = client.place(0.25, 0.0, 2.0);
+  EXPECT_EQ(placed.bin, 0);
+  EXPECT_EQ(server.stats().connectionsAccepted, 1u);
+  client.drain();
+  server.stop();
+  server.join();
+}
+
+TEST(ServeServer, ParseServeAddressForms) {
+  ServeAddress addr;
+  std::string error;
+  ASSERT_TRUE(parseServeAddress("unix:/tmp/x.sock", addr, error));
+  EXPECT_FALSE(addr.tcp);
+  EXPECT_EQ(addr.path, "/tmp/x.sock");
+
+  ASSERT_TRUE(parseServeAddress("tcp:127.0.0.1:9000", addr, error));
+  EXPECT_TRUE(addr.tcp);
+  EXPECT_EQ(addr.host, "127.0.0.1");
+  EXPECT_EQ(addr.port, 9000);
+
+  ASSERT_TRUE(parseServeAddress("/tmp/bare.sock", addr, error));
+  EXPECT_FALSE(addr.tcp);
+  EXPECT_EQ(addr.path, "/tmp/bare.sock");
+
+  EXPECT_FALSE(parseServeAddress("", addr, error));
+  EXPECT_FALSE(parseServeAddress("tcp:nohost", addr, error));
+  EXPECT_FALSE(parseServeAddress("tcp:host:notaport", addr, error));
+  EXPECT_FALSE(parseServeAddress("tcp:host:70000", addr, error));
+  EXPECT_FALSE(parseServeAddress("unix:", addr, error));
+}
+
+}  // namespace
+}  // namespace cdbp::serve

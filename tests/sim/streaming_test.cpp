@@ -224,5 +224,79 @@ TEST(SimulateStream, ChromeTraceArtifact) {
   EXPECT_NE(out.str().find("cdbp simulation: FirstFit"), std::string::npos);
 }
 
+TEST(StreamEngine, IncrementalPlacementsMatchSimulateStream) {
+  WorkloadSpec spec;
+  spec.numItems = 300;
+  spec.mu = 8.0;
+  Instance inst(generateWorkload(spec, 9).sortedByArrival());
+
+  PolicyPtr reference = makePolicy("cdt-ff", PolicyContext::forInstance(inst));
+  InstanceArrivalSource source(inst);
+  std::vector<BinId> expectedBins;
+  StreamOptions options;
+  options.onPlacement = [&](ItemId, BinId bin, bool, int) {
+    expectedBins.push_back(bin);
+  };
+  StreamResult expected = simulateStream(source, *reference, options);
+
+  PolicyPtr policy = makePolicy("cdt-ff", PolicyContext::forInstance(inst));
+  StreamEngine engine(*policy);
+  EXPECT_FALSE(engine.finished());
+  EXPECT_EQ(engine.timeWatermark(), -std::numeric_limits<Time>::infinity());
+  InstanceArrivalSource replay(inst);
+  StreamItem item;
+  std::size_t i = 0;
+  while (replay.next(item)) {
+    StreamEngine::Placement placed = engine.place(item);
+    ASSERT_LT(i, expectedBins.size());
+    EXPECT_EQ(placed.bin, expectedBins[i]) << "item " << i;
+    EXPECT_EQ(placed.item, static_cast<ItemId>(i));
+    ++i;
+  }
+  EXPECT_EQ(engine.itemsPlaced(), inst.size());
+  StreamResult result = engine.finish();
+  EXPECT_TRUE(engine.finished());
+  EXPECT_EQ(result.totalUsage, expected.totalUsage);
+  EXPECT_EQ(result.binsOpened, expected.binsOpened);
+  EXPECT_EQ(result.maxOpenBins, expected.maxOpenBins);
+  EXPECT_EQ(result.categoriesUsed, expected.categoriesUsed);
+  EXPECT_EQ(result.peakOpenItems, expected.peakOpenItems);
+}
+
+TEST(StreamEngine, DrainUntilProcessesDueDepartures) {
+  PolicyPtr policy = makePolicy("ff");
+  StreamEngine engine(*policy);
+  engine.place({0.5, 0.0, 2.0});
+  engine.place({0.5, 0.0, 3.0});
+  EXPECT_EQ(engine.pendingDepartures(), 2u);
+  EXPECT_EQ(engine.openBins(), 1u);
+
+  EXPECT_EQ(engine.drainUntil(1.0), 0u);  // nothing due yet
+  EXPECT_EQ(engine.drainUntil(2.0), 1u);  // departures at t <= 2 drain
+  EXPECT_EQ(engine.pendingDepartures(), 1u);
+  EXPECT_EQ(engine.timeWatermark(), 2.0);
+
+  // The watermark moved: an arrival behind it must be rejected (it would
+  // break equivalence with the pure-streaming event order).
+  EXPECT_THROW(engine.place({0.25, 1.5, 5.0}), std::invalid_argument);
+  // Regressing the clock itself is equally invalid.
+  EXPECT_THROW(engine.drainUntil(1.0), std::invalid_argument);
+
+  StreamResult result = engine.finish();
+  EXPECT_EQ(result.items, 2u);
+  EXPECT_EQ(result.binsOpened, 1u);
+  EXPECT_EQ(result.totalUsage, 3.0);
+}
+
+TEST(StreamEngine, FinishIsTerminal) {
+  PolicyPtr policy = makePolicy("ff");
+  StreamEngine engine(*policy);
+  engine.place({0.5, 0.0, 1.0});
+  engine.finish();
+  EXPECT_THROW(engine.place({0.5, 2.0, 3.0}), std::logic_error);
+  EXPECT_THROW(engine.drainUntil(4.0), std::logic_error);
+  EXPECT_THROW(engine.finish(), std::logic_error);
+}
+
 }  // namespace
 }  // namespace cdbp

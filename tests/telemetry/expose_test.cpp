@@ -1,0 +1,90 @@
+#include "telemetry/expose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace cdbp::telemetry {
+namespace {
+
+// Tests build snapshots by hand rather than mutating the global registry:
+// the exposition is a pure function of the snapshot, and hand-built input
+// keeps the expected text independent of what other tests recorded.
+
+TEST(ExposeText, NameMapping) {
+  EXPECT_EQ(expositionName("sim.fit_checks"), "cdbp_sim_fit_checks");
+  EXPECT_EQ(expositionName("serve.place_ns"), "cdbp_serve_place_ns");
+  EXPECT_EQ(expositionName("weird-name with spaces"),
+            "cdbp_weird_name_with_spaces");
+  EXPECT_EQ(expositionName(""), "cdbp_");
+}
+
+TEST(ExposeText, CountersAndGauges) {
+  RegistrySnapshot snapshot;
+  snapshot.counters.push_back({"sim.fit_checks", 42});
+  GaugeSnapshot gauge;
+  gauge.value = -3;
+  gauge.max = 17;
+  snapshot.gauges.push_back({"stream.open_items", gauge});
+
+  std::ostringstream out;
+  exposeText(snapshot, out);
+  EXPECT_EQ(out.str(),
+            "# TYPE cdbp_sim_fit_checks counter\n"
+            "cdbp_sim_fit_checks 42\n"
+            "# TYPE cdbp_stream_open_items gauge\n"
+            "cdbp_stream_open_items -3\n"
+            "cdbp_stream_open_items_max 17\n");
+}
+
+TEST(ExposeText, HistogramCumulativeBuckets) {
+  RegistrySnapshot snapshot;
+  HistogramSnapshot hist;
+  hist.count = 6;
+  hist.sum = 29;
+  hist.min = 0;
+  hist.max = 9;
+  // Samples {0, 1, 3, 3, 9, 13}: bucket 0 (={0}) holds one, bucket 1
+  // ([1,1]) one, bucket 2 ([2,3]) two, bucket 4 ([8,15]) two; bucket 3
+  // is empty and must still appear with an unchanged cumulative count.
+  hist.buckets = {{0, 1}, {1, 1}, {2, 2}, {4, 2}};
+  snapshot.histograms.push_back({"sim.scan", hist});
+
+  std::ostringstream out;
+  exposeText(snapshot, out);
+  EXPECT_EQ(out.str(),
+            "# TYPE cdbp_sim_scan histogram\n"
+            "cdbp_sim_scan_bucket{le=\"0\"} 1\n"
+            "cdbp_sim_scan_bucket{le=\"1\"} 2\n"
+            "cdbp_sim_scan_bucket{le=\"3\"} 4\n"
+            "cdbp_sim_scan_bucket{le=\"7\"} 4\n"
+            "cdbp_sim_scan_bucket{le=\"15\"} 6\n"
+            "cdbp_sim_scan_bucket{le=\"+Inf\"} 6\n"
+            "cdbp_sim_scan_sum 29\n"
+            "cdbp_sim_scan_count 6\n");
+}
+
+TEST(ExposeText, EmptySnapshotEmitsNothing) {
+  std::ostringstream out;
+  exposeText(RegistrySnapshot{}, out);
+  EXPECT_EQ(out.str(), "");
+}
+
+#if CDBP_TELEMETRY
+TEST(ExposeText, LiveRegistryRoundTrip) {
+  Registry& registry = Registry::global();
+  registry.counter("expose_test.events").add(5);
+  registry.gauge("expose_test.level").set(2);
+  registry.histogram("expose_test.ns").record(100);
+
+  std::string text = exposeTextString(registry);
+  EXPECT_NE(text.find("cdbp_expose_test_events 5\n"), std::string::npos);
+  EXPECT_NE(text.find("cdbp_expose_test_level 2\n"), std::string::npos);
+  EXPECT_NE(text.find("cdbp_expose_test_ns_count 1\n"), std::string::npos);
+  EXPECT_NE(text.find("cdbp_expose_test_ns_sum 100\n"), std::string::npos);
+}
+#endif
+
+}  // namespace
+}  // namespace cdbp::telemetry
