@@ -4,9 +4,13 @@
 // loop, session dispatch — per placement.
 //
 // Series (n = items):
-//   Local/<policy>/n      StreamEngine in-process (the floor)
-//   RoundTrip/<policy>/n  one PLACE request/reply per item (latency mode)
-//   Pipelined/<policy>/n  PLACE bursts of 256, replies read per burst
+//   Local/<policy>/n        StreamEngine in-process (the floor)
+//   RoundTrip/<policy>/n    one PLACE request/reply per item (latency mode)
+//   Pipelined/<policy>/n    BATCH bursts of 256, replies read per burst
+//   Sharded/<policy>/n/t<k> 4 concurrent client threads, each pipelining
+//                           the full item set against a k-loop server;
+//                           the t<threads>/t1 ratio is the scaling number
+//                           perf_guard.py --scaling enforces
 //
 // The trailing latency table reports round-trip percentiles from the
 // RoundTrip series — the numbers stream_replay --connect prints, measured
@@ -20,16 +24,19 @@
 //   --mu X          duration ratio of the generated workloads (default 16)
 //   --seed S        workload seed (default 1)
 //   --engine E      placement engine: indexed (default) | linear
+//   --threads K     loop threads for the sharded series (default 4)
 //   --csv           render the summary table as CSV
 //   --json[=PATH]   write BENCH_serve.json (schema: DESIGN.md §8.3)
 #include <sys/socket.h>
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "online/policy_factory.hpp"
@@ -48,31 +55,53 @@ namespace {
 
 volatile double g_sink = 0;
 
+constexpr std::size_t kBurst = 256;
+
+/// Concurrent client threads driving each Sharded series.
+constexpr std::size_t kShardedClients = 4;
+
 struct Spec {
   std::string name;
   std::size_t items;
   std::function<void()> body;
 };
 
-serve::ServeClient openSession(serve::Server& server,
-                               const std::string& policySpec,
-                               const PolicyContext& context,
-                               PlacementEngine engine) {
+serve::Client openSession(serve::Server& server, const std::string& policySpec,
+                          const PolicyContext& context, PlacementEngine engine,
+                          const std::string& tenant) {
   int fds[2];
   if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
     throw std::runtime_error("bench_serve: socketpair failed");
   }
   server.adoptConnection(fds[1]);
-  serve::ServeClient client(fds[0]);
+  serve::Client client(fds[0]);
   serve::HelloFrame hello;
   hello.engine = engine == PlacementEngine::kLinearScan ? 1 : 0;
   hello.minDuration = context.minDuration;
   hello.mu = context.mu;
   hello.seed = context.seed;
-  hello.tenant = "bench";
+  hello.tenant = tenant;
   hello.policySpec = policySpec;
   client.hello(hello);
   return client;
+}
+
+/// One pipelined pass over the full item set: queue in bursts, flush,
+/// read the burst's replies, drain at the end.
+void runPipelined(serve::Client& client,
+                  const std::vector<StreamItem>& items) {
+  std::size_t i = 0;
+  while (i < items.size()) {
+    std::size_t end = std::min(i + kBurst, items.size());
+    for (std::size_t j = i; j < end; ++j) {
+      const StreamItem& item = items[j];
+      client.queuePlace(item.size, item.arrival, item.departure);
+    }
+    client.flushQueued();
+    while (client.queued() > 0) client.readPlaced();
+    i = end;
+  }
+  g_sink = client.drain().totalUsage;
 }
 
 }  // namespace
@@ -82,7 +111,7 @@ int main(int argc, char** argv) {
   using namespace cdbp;
   Flags flags = Flags::strictOrDie(
       argc, argv, {"reps", "warmup", "filter", "max-items", "mu", "seed",
-                   "engine", "csv", "json"});
+                   "engine", "threads", "csv", "json"});
   std::size_t reps = static_cast<std::size_t>(flags.getInt("reps", 5));
   std::size_t warmup = static_cast<std::size_t>(flags.getInt("warmup", 1));
   std::string filter = flags.getString("filter", "");
@@ -90,6 +119,7 @@ int main(int argc, char** argv) {
   double mu = flags.getDouble("mu", 16.0);
   std::uint64_t seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
   std::string engineName = flags.getString("engine", "indexed");
+  unsigned threads = static_cast<unsigned>(flags.getInt("threads", 4));
   PlacementEngine engine;
   if (engineName == "indexed") {
     engine = PlacementEngine::kIndexed;
@@ -100,9 +130,26 @@ int main(int argc, char** argv) {
               << engineName << "'\n";
     return 1;
   }
+  if (threads == 0) {
+    std::cerr << "bench_serve: --threads must be >= 1\n";
+    return 1;
+  }
 
-  serve::Server server{serve::ServerOptions{}};
+  // Single-loop server for the per-series floor (Local/RoundTrip/
+  // Pipelined measure the protocol path, not parallelism), plus one
+  // k-loop server per sharded series point.
+  serve::Server server{
+      serve::ServerOptionsBuilder().loopThreads(1).build()};
   server.start();
+  std::vector<unsigned> shardPoints = {1};
+  if (threads > 1) shardPoints.push_back(threads);
+  std::map<unsigned, std::unique_ptr<serve::Server>> shardServers;
+  for (unsigned k : shardPoints) {
+    auto s = std::make_unique<serve::Server>(
+        serve::ServerOptionsBuilder().loopThreads(k).build());
+    s->start();
+    shardServers.emplace(k, std::move(s));
+  }
 
   // Round-trip latency samples per RoundTrip benchmark (microseconds),
   // accumulated across every timed rep.
@@ -143,8 +190,8 @@ int main(int argc, char** argv) {
       specs.push_back(
           {rtName, n, [items, spec, context, engine, rtName, &server,
                        &latencies] {
-             serve::ServeClient client =
-                 openSession(server, spec, context, engine);
+             serve::Client client =
+                 openSession(server, spec, context, engine, "bench");
              SummaryStats& stats = latencies[rtName];
              for (const StreamItem& item : *items) {
                std::uint64_t t0 = telemetry::monotonicNanos();
@@ -158,22 +205,41 @@ int main(int argc, char** argv) {
 
       specs.push_back(
           {"Pipelined/" + tag, n, [items, spec, context, engine, &server] {
-             serve::ServeClient client =
-                 openSession(server, spec, context, engine);
-             constexpr std::size_t kBurst = 256;
-             std::size_t i = 0;
-             while (i < items->size()) {
-               std::size_t end = std::min(i + kBurst, items->size());
-               for (std::size_t j = i; j < end; ++j) {
-                 const StreamItem& item = (*items)[j];
-                 client.queuePlace(item.size, item.arrival, item.departure);
-               }
-               client.flushQueued();
-               while (client.queued() > 0) client.readPlaced();
-               i = end;
-             }
-             g_sink = client.drain().totalUsage;
+             serve::Client client =
+                 openSession(server, spec, context, engine, "bench");
+             runPipelined(client, *items);
            }});
+
+      // Sharded: kShardedClients threads each pipeline the full item set
+      // through their own session against a k-loop server. Total work is
+      // kShardedClients * n placements; sessions spread round-robin over
+      // the loops, so t<threads> vs t1 measures loop-thread scaling on
+      // identical byte streams.
+      for (unsigned k : shardPoints) {
+        serve::Server* sharded = shardServers.at(k).get();
+        specs.push_back(
+            {"Sharded/" + tag + "/t" + std::to_string(k),
+             kShardedClients * n, [items, spec, context, engine, sharded] {
+               std::vector<std::thread> workers;
+               std::vector<std::exception_ptr> failures(kShardedClients);
+               for (std::size_t c = 0; c < kShardedClients; ++c) {
+                 workers.emplace_back([&, c] {
+                   try {
+                     serve::Client client = openSession(
+                         *sharded, spec, context, engine,
+                         "bench-c" + std::to_string(c));
+                     runPipelined(client, *items);
+                   } catch (...) {
+                     failures[c] = std::current_exception();
+                   }
+                 });
+               }
+               for (std::thread& worker : workers) worker.join();
+               for (const std::exception_ptr& failure : failures) {
+                 if (failure) std::rethrow_exception(failure);
+               }
+             }});
+      }
     }
   }
 
@@ -185,6 +251,7 @@ int main(int argc, char** argv) {
   report.setParam("max_items", maxItems);
   report.setParam("filter", filter);
   report.setParam("engine", engineName);
+  report.setParam("threads", static_cast<long>(threads));
 
   Table table({"benchmark", "items", "mean ms", "stddev ms", "items/s"});
   std::size_t ran = 0;
@@ -215,8 +282,9 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "=== serve (" << reps << " reps, warmup " << warmup << ", mu "
-            << mu << ", engine " << engineName << ", telemetry "
-            << (telemetry::kEnabled ? "on" : "off") << ") ===\n";
+            << mu << ", engine " << engineName << ", threads " << threads
+            << ", telemetry " << (telemetry::kEnabled ? "on" : "off")
+            << ") ===\n";
   if (flags.has("csv")) {
     table.printCsv(std::cout);
   } else {
@@ -245,6 +313,10 @@ int main(int argc, char** argv) {
 
   server.stop();
   server.join();
+  for (auto& [k, sharded] : shardServers) {
+    sharded->stop();
+    sharded->join();
+  }
 
   if (ran == 0) {
     std::cerr << "bench_serve: no benchmark matched --filter/--max-items\n";

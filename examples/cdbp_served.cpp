@@ -1,22 +1,24 @@
 // cdbp_served: the placement-as-a-service daemon (DESIGN.md §13).
 //
-// Runs the serve::Server event loop in the foreground, listening on a
-// Unix socket and/or loopback TCP, until SIGTERM/SIGINT requests a
-// graceful drain: in-flight requests are answered, replies flushed,
-// connections closed, and the process exits 0 after printing a final
+// Runs the sharded serve::Server — N epoll loop threads, connections
+// pinned round-robin — in the foreground until SIGTERM/SIGINT requests
+// a graceful drain: every shard answers its in-flight requests, flushes
+// replies, closes, and the process exits 0 after printing a final
 // telemetry exposition (the same text the SCRAPE frame serves live).
 //
-//   ./cdbp_served                              # unix socket ./cdbp.sock
-//   ./cdbp_served --unix /tmp/cdbp.sock
-//   ./cdbp_served --tcp --port 7077            # 127.0.0.1:7077
-//   ./cdbp_served --tcp --port 0               # ephemeral, port printed
+//   ./cdbp_served                               # unix socket ./cdbp.sock
+//   ./cdbp_served --listen unix:/tmp/cdbp.sock
+//   ./cdbp_served --listen tcp:127.0.0.1:7077 --threads 4
+//   ./cdbp_served --tcp --port 0                # ephemeral, port printed
 //
 // Clients open one session per connection with a HELLO frame carrying a
 // makePolicy spec — see stream_replay --connect for a ready-made load
 // generator and serve/client.hpp for the client library.
 //
-// Flags: --unix <path>, --tcp, --port <n>, --write-limit <bytes>,
-//        --drain-timeout-ms <n>.
+// Flags: --listen <spec> (unix:<path> | tcp:<host>:<port>),
+//        --threads <n> (0 = one loop per hardware thread),
+//        --write-limit <bytes>, --drain-timeout-ms <n>,
+//        and the legacy spellings --unix <path>, --tcp, --port <n>.
 #include <csignal>
 #include <iostream>
 #include <string>
@@ -30,8 +32,8 @@ namespace {
 
 cdbp::serve::Server* g_server = nullptr;
 
-// Async-signal-safe: requestDrain is an atomic store plus an eventfd
-// write.
+// Async-signal-safe: requestDrain is a per-shard atomic store plus an
+// eventfd write over an immutable loop vector.
 void onSignal(int) {
   if (g_server != nullptr) g_server->requestDrain();
 }
@@ -41,22 +43,44 @@ void onSignal(int) {
 int main(int argc, char** argv) {
   using namespace cdbp;
   Flags flags = Flags::strictOrDie(
-      argc, argv, {"unix", "tcp", "port", "write-limit", "drain-timeout-ms"});
+      argc, argv,
+      {"listen", "unix", "tcp", "port", "threads", "write-limit",
+       "drain-timeout-ms"});
 
-  serve::ServerOptions options;
-  options.unixPath = flags.getString("unix", "");
-  options.tcp = flags.getBool("tcp", false);
-  options.tcpPort = static_cast<std::uint16_t>(flags.getInt("port", 0));
-  options.writeBufferLimit = static_cast<std::size_t>(
-      flags.getInt("write-limit",
-                   static_cast<long>(options.writeBufferLimit)));
-  options.drainTimeoutNanos = static_cast<std::uint64_t>(
-      flags.getInt("drain-timeout-ms", 5000)) * 1'000'000ull;
-  if (options.unixPath.empty() && !options.tcp) {
-    options.unixPath = "cdbp.sock";  // out-of-the-box default
+  serve::ServerOptionsBuilder builder;
+  std::string listenSpec = flags.getString("listen", "");
+  std::string unixPath = flags.getString("unix", "");
+  bool tcp = flags.getBool("tcp", false);
+  long port = flags.getInt("port", 0);
+  bool haveListener = false;
+  try {
+    if (!listenSpec.empty()) {
+      builder.listenOn(listenSpec);
+      haveListener = true;
+    }
+    if (!unixPath.empty()) {
+      builder.listenOn("unix:" + unixPath);
+      haveListener = true;
+    }
+    if (tcp) {
+      builder.listenOn("tcp:127.0.0.1:" + std::to_string(port));
+      haveListener = true;
+    }
+    if (!haveListener) {
+      builder.listenOn("unix:cdbp.sock");  // out-of-the-box default
+    }
+    builder.loopThreads(static_cast<unsigned>(flags.getInt("threads", 0)))
+        .writeBufferLimit(static_cast<std::size_t>(
+            flags.getInt("write-limit", 256 * 1024)))
+        .drainTimeout(static_cast<std::uint64_t>(
+                          flags.getInt("drain-timeout-ms", 5000)) *
+                      1'000'000ull);
+  } catch (const std::exception& e) {
+    std::cerr << "cdbp_served: " << e.what() << '\n';
+    return 1;
   }
 
-  serve::Server server(options);
+  serve::Server server(builder.build());
   try {
     server.start();
   } catch (const std::exception& e) {
@@ -67,21 +91,26 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, onSignal);
   std::signal(SIGINT, onSignal);
 
-  if (!options.unixPath.empty()) {
-    std::cout << "listening on unix:" << options.unixPath << '\n';
+  for (const serve::Address& address : server.options().listen) {
+    if (address.kind == serve::Address::Kind::kTcp && address.port == 0) {
+      std::cout << "listening on tcp:" << address.host << ':'
+                << server.tcpPort() << '\n';
+    } else {
+      std::cout << "listening on " << serve::formatAddress(address) << '\n';
+    }
   }
-  if (options.tcp) {
-    std::cout << "listening on tcp:127.0.0.1:" << server.tcpPort() << '\n';
-  }
-  std::cout << "serving (SIGTERM drains and exits)\n" << std::flush;
+  std::cout << "serving on " << server.options().loopThreads
+            << " loop threads (SIGTERM drains and exits)\n"
+            << std::flush;
 
   server.join();
 
   serve::ServerStats stats = server.stats();
-  std::cout << "drained: " << stats.placements << " placements across "
-            << stats.sessionsOpened << " sessions, "
-            << stats.framesReceived << " frames in / " << stats.framesSent
-            << " out, " << stats.errorsSent << " typed errors\n";
+  std::cout << "drained: " << stats.placements << " placements ("
+            << stats.batches << " batches) across " << stats.sessionsOpened
+            << " sessions, " << stats.framesReceived << " frames in / "
+            << stats.framesSent << " out, " << stats.errorsSent
+            << " typed errors\n";
   std::cout << "--- final telemetry ---\n";
   telemetry::exposeText(telemetry::Registry::global(), std::cout);
   return 0;

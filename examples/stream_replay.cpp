@@ -54,14 +54,14 @@ int replayOverSocket(const std::string& connectSpec,
   using namespace cdbp;
   using namespace cdbp::serve;
 
-  ServeAddress address;
+  Address address;
   std::string addressError;
-  if (!parseServeAddress(connectSpec, address, addressError)) {
+  if (!parseAddress(connectSpec, address, addressError)) {
     std::cerr << "bad --connect '" << connectSpec << "': " << addressError
               << '\n';
     return 2;
   }
-  ServeClient client = ServeClient::connect(address);
+  Client client = Client::connect(address);
 
   HelloFrame hello;
   hello.engine = engineCode;

@@ -105,11 +105,19 @@ if [[ "$PERF" == "1" ]]; then
 
   step "perf smoke (reduced serve bench -> BENCH_serve.json)"
   ./build-release/bench/bench_serve --reps 3 --max-items 20000 \
-    --json=BENCH_serve.json
+    --threads 4 --json=BENCH_serve.json
 
   step "serve perf guard (>20% regression vs committed baseline fails)"
   python3 tools/perf_guard.py bench/baselines/BENCH_serve.json \
     BENCH_serve.json
+
+  if [[ "$(nproc)" -ge 4 ]]; then
+    step "serve scaling guard (4-loop daemon >=2.5x the 1-loop daemon)"
+    python3 tools/perf_guard.py bench/baselines/BENCH_serve.json \
+      BENCH_serve.json --scaling-num /t4 --scaling-den /t1 --min-ratio 2.5
+  else
+    echo "serve scaling guard skipped: $(nproc) cores < 4"
+  fi
 fi
 
 if [[ "$QUICK" == "1" ]]; then
@@ -126,9 +134,10 @@ step "TSan build + concurrency tests"
 cmake --preset tsan
 cmake --build --preset tsan -j
 # The whole suite is TSan-clean, but the concurrency contract lives in the
-# thread pool, the parallel simulation harness and the telemetry registry —
-# run those at minimum, then the rest (cheap enough to keep on).
-ctest --preset tsan -j -R 'ThreadPool|ParallelFor|TelemetryConcurrency' --no-tests=error
+# thread pool, the parallel simulation harness, the telemetry registry and
+# the sharded serve daemon — run those at minimum, then the rest (cheap
+# enough to keep on).
+ctest --preset tsan -j -R 'ThreadPool|ParallelFor|TelemetryConcurrency|Serve' --no-tests=error
 ctest --preset tsan -j
 
 step "clang-tidy"

@@ -1,0 +1,188 @@
+#include "serve/address.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#include "util/parse.hpp"
+
+namespace cdbp::serve {
+
+namespace {
+
+[[noreturn]] void throwErrno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+// Fills a sockaddr_un for `path`, throwing ENAMETOOLONG past the kernel
+// limit — both listen and connect need the identical check.
+sockaddr_un unixSockaddr(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    errno = ENAMETOOLONG;
+    throwErrno("unix socket path");
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+bool parseAddress(const std::string& spec, Address& out, std::string& error) {
+  out = Address{};
+  if (spec.empty()) {
+    error = "empty address";
+    return false;
+  }
+  if (spec.rfind("unix:", 0) == 0) {
+    out.kind = Address::Kind::kUnix;
+    out.path = spec.substr(5);
+    if (out.path.empty()) {
+      error = "unix: address needs a socket path";
+      return false;
+    }
+    return true;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    std::string rest = spec.substr(4);
+    std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+      error = "tcp: address must be tcp:<host>:<port>";
+      return false;
+    }
+    out.kind = Address::Kind::kTcp;
+    out.host = rest.substr(0, colon);
+    std::uint64_t port = 0;
+    if (!tryParseUint(rest.substr(colon + 1), port) || port > 65535) {
+      error = "bad tcp port in '" + spec + "'";
+      return false;
+    }
+    out.port = static_cast<std::uint16_t>(port);
+    return true;
+  }
+  // Bare path shorthand.
+  out.kind = Address::Kind::kUnix;
+  out.path = spec;
+  return true;
+}
+
+std::string formatAddress(const Address& address) {
+  if (address.kind == Address::Kind::kUnix) return "unix:" + address.path;
+  return "tcp:" + address.host + ":" + std::to_string(address.port);
+}
+
+int listenStream(const Address& address, int backlog,
+                 std::uint16_t* boundPort) {
+  if (address.kind == Address::Kind::kUnix) {
+    sockaddr_un addr = unixSockaddr(address.path);
+    int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) throwErrno("socket(AF_UNIX)");
+    ::unlink(address.path.c_str());
+    if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throwErrno("bind(unix)");
+    }
+    if (listen(fd, backlog) < 0) {
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throwErrno("listen(unix)");
+    }
+    return fd;
+  }
+
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* result = nullptr;
+  std::string service = std::to_string(address.port);
+  int rc = getaddrinfo(address.host.c_str(), service.c_str(), &hints, &result);
+  if (rc != 0 || result == nullptr) {
+    throw std::runtime_error("getaddrinfo('" + address.host +
+                             "'): " + gai_strerror(rc));
+  }
+  int fd = socket(result->ai_family,
+                  result->ai_socktype | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                  result->ai_protocol);
+  if (fd < 0) {
+    freeaddrinfo(result);
+    throwErrno("socket(AF_INET)");
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, result->ai_addr, result->ai_addrlen) < 0 ||
+      listen(fd, backlog) < 0) {
+    int saved = errno;
+    freeaddrinfo(result);
+    ::close(fd);
+    errno = saved;
+    throwErrno("bind/listen(tcp)");
+  }
+  freeaddrinfo(result);
+  if (boundPort != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      *boundPort = ntohs(bound.sin_port);
+    }
+  }
+  return fd;
+}
+
+int connectStream(const Address& address) {
+  if (address.kind == Address::Kind::kUnix) {
+    sockaddr_un addr = unixSockaddr(address.path);
+    int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throwErrno("socket(AF_UNIX)");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throwErrno("connect(unix)");
+    }
+    return fd;
+  }
+
+  if (address.port == 0) {
+    throw std::runtime_error("cannot connect to tcp port 0 ('" +
+                             formatAddress(address) + "')");
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  std::string service = std::to_string(address.port);
+  int rc = getaddrinfo(address.host.c_str(), service.c_str(), &hints, &result);
+  if (rc != 0 || result == nullptr) {
+    throw std::runtime_error("getaddrinfo('" + address.host +
+                             "'): " + gai_strerror(rc));
+  }
+  int fd = socket(result->ai_family, result->ai_socktype | SOCK_CLOEXEC,
+                  result->ai_protocol);
+  if (fd < 0) {
+    freeaddrinfo(result);
+    throwErrno("socket(AF_INET)");
+  }
+  if (::connect(fd, result->ai_addr, result->ai_addrlen) < 0) {
+    int saved = errno;
+    freeaddrinfo(result);
+    ::close(fd);
+    errno = saved;
+    throwErrno("connect(tcp)");
+  }
+  freeaddrinfo(result);
+  return fd;
+}
+
+}  // namespace cdbp::serve

@@ -1,0 +1,54 @@
+// Shared endpoint addressing for the serve daemon and its clients
+// (DESIGN.md §13.7). One spec grammar, parsed once, used by every
+// socket-speaking binary — serve::Server listeners, serve::Client
+// connects, examples/cdbp_served --listen and stream_replay --connect:
+//
+//   "unix:<path>"          Unix-domain stream socket
+//   "tcp:<host>:<port>"    TCP (host is an IPv4 literal or a name)
+//   "<path>"               shorthand for unix:<path>
+//
+// parse/format round-trip; listenStream/connectStream are the only two
+// places in the repo that turn an Address into a socket, so the unlink-
+// before-bind, SO_REUSEADDR and CLOEXEC conventions live here exactly
+// once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cdbp::serve {
+
+struct Address {
+  enum class Kind { kUnix, kTcp };
+
+  Kind kind = Kind::kUnix;
+  std::string path;        ///< kUnix: filesystem socket path
+  std::string host;        ///< kTcp: IPv4 literal or resolvable name
+  std::uint16_t port = 0;  ///< kTcp: 0 binds an ephemeral port (listen only)
+};
+
+/// Parses a spec into `out`; on failure returns false and fills `error`
+/// with a message naming the offending part. A connect-side port of 0 is
+/// rejected by connectStream, not here — "tcp:host:0" is a valid listen
+/// address.
+bool parseAddress(const std::string& spec, Address& out, std::string& error);
+
+/// Canonical spec string ("unix:/tmp/x.sock", "tcp:127.0.0.1:7077").
+/// formatAddress(parse(s)) is stable under re-parsing.
+std::string formatAddress(const Address& address);
+
+/// Opens a listening stream socket for the address: non-blocking,
+/// close-on-exec, backlog as given. Unix paths are unlinked first (the
+/// daemon owns its socket file); TCP sets SO_REUSEADDR and reports the
+/// kernel-chosen port through `boundPort` when the address asked for port
+/// 0. Throws std::system_error on any socket call failure and
+/// std::runtime_error when a TCP host does not resolve.
+int listenStream(const Address& address, int backlog,
+                 std::uint16_t* boundPort = nullptr);
+
+/// Opens a blocking, connected stream socket to the address. Throws
+/// std::system_error on failure (std::runtime_error for resolution
+/// errors and a zero TCP port).
+int connectStream(const Address& address);
+
+}  // namespace cdbp::serve

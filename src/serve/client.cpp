@@ -1,17 +1,11 @@
 #include "serve/client.hpp"
 
-#include <netdb.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <system_error>
 #include <utility>
-
-#include "util/parse.hpp"
 
 namespace cdbp::serve {
 
@@ -23,130 +17,64 @@ namespace {
 
 }  // namespace
 
-bool parseServeAddress(const std::string& spec, ServeAddress& out,
-                       std::string& error) {
-  out = ServeAddress{};
-  if (spec.empty()) {
-    error = "empty address";
-    return false;
-  }
-  if (spec.rfind("unix:", 0) == 0) {
-    out.path = spec.substr(5);
-    if (out.path.empty()) {
-      error = "unix: address needs a socket path";
-      return false;
-    }
-    return true;
-  }
-  if (spec.rfind("tcp:", 0) == 0) {
-    std::string rest = spec.substr(4);
-    std::size_t colon = rest.rfind(':');
-    if (colon == std::string::npos || colon == 0 ||
-        colon + 1 == rest.size()) {
-      error = "tcp: address must be tcp:<host>:<port>";
-      return false;
-    }
-    out.tcp = true;
-    out.host = rest.substr(0, colon);
-    std::uint64_t port = 0;
-    if (!tryParseUint(rest.substr(colon + 1), port) || port == 0 ||
-        port > 65535) {
-      error = "bad tcp port in '" + spec + "'";
-      return false;
-    }
-    out.port = static_cast<std::uint16_t>(port);
-    return true;
-  }
-  // Bare path shorthand.
-  out.path = spec;
-  return true;
-}
+Client::Client(int fd, ClientOptions options) : fd_(fd), options_(options) {}
 
-ServeClient::ServeClient(int fd, ClientOptions options)
-    : fd_(fd), options_(options) {}
-
-ServeClient::~ServeClient() {
+Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-ServeClient::ServeClient(ServeClient&& other) noexcept
+Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       options_(other.options_),
+      negotiatedVersion_(other.negotiatedVersion_),
       rbuf_(std::move(other.rbuf_)),
       rpos_(other.rpos_),
       outQueue_(std::move(other.outQueue_)),
+      pendingOps_(std::move(other.pendingOps_)),
+      inflightBatchOps_(std::move(other.inflightBatchOps_)),
+      placedBacklog_(std::move(other.placedBacklog_)),
+      pendingFailure_(std::move(other.pendingFailure_)),
       owedReplies_(other.owedReplies_) {}
 
-ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
     options_ = other.options_;
+    negotiatedVersion_ = other.negotiatedVersion_;
     rbuf_ = std::move(other.rbuf_);
     rpos_ = other.rpos_;
     outQueue_ = std::move(other.outQueue_);
+    pendingOps_ = std::move(other.pendingOps_);
+    inflightBatchOps_ = std::move(other.inflightBatchOps_);
+    placedBacklog_ = std::move(other.placedBacklog_);
+    pendingFailure_ = std::move(other.pendingFailure_);
     owedReplies_ = other.owedReplies_;
   }
   return *this;
 }
 
-ServeClient ServeClient::connect(const ServeAddress& address,
-                                 ClientOptions options) {
-  if (address.tcp) return connectTcp(address.host, address.port, options);
-  return connectUnix(address.path, options);
+Client Client::connect(const Address& address, ClientOptions options) {
+  return Client(connectStream(address), options);
 }
 
-ServeClient ServeClient::connectUnix(const std::string& path,
-                                     ClientOptions options) {
-  sockaddr_un addr{};
-  if (path.size() >= sizeof(addr.sun_path)) {
-    errno = ENAMETOOLONG;
-    throwErrno("unix socket path");
-  }
-  int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) throwErrno("socket(AF_UNIX)");
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    int saved = errno;
-    ::close(fd);
-    errno = saved;
-    throwErrno("connect(unix)");
-  }
-  return ServeClient(fd, options);
+Client Client::connectUnix(const std::string& path, ClientOptions options) {
+  Address address;
+  address.kind = Address::Kind::kUnix;
+  address.path = path;
+  return connect(address, options);
 }
 
-ServeClient ServeClient::connectTcp(const std::string& host,
-                                    std::uint16_t port,
-                                    ClientOptions options) {
-  addrinfo hints{};
-  hints.ai_family = AF_INET;
-  hints.ai_socktype = SOCK_STREAM;
-  addrinfo* result = nullptr;
-  std::string service = std::to_string(port);
-  int rc = getaddrinfo(host.c_str(), service.c_str(), &hints, &result);
-  if (rc != 0 || result == nullptr) {
-    throw std::runtime_error(std::string("getaddrinfo('") + host +
-                             "'): " + gai_strerror(rc));
-  }
-  int fd = socket(result->ai_family, result->ai_socktype | SOCK_CLOEXEC,
-                  result->ai_protocol);
-  if (fd < 0) {
-    freeaddrinfo(result);
-    throwErrno("socket(AF_INET)");
-  }
-  if (::connect(fd, result->ai_addr, result->ai_addrlen) < 0) {
-    int saved = errno;
-    freeaddrinfo(result);
-    ::close(fd);
-    errno = saved;
-    throwErrno("connect(tcp)");
-  }
-  freeaddrinfo(result);
-  return ServeClient(fd, options);
+Client Client::connectTcp(const std::string& host, std::uint16_t port,
+                          ClientOptions options) {
+  Address address;
+  address.kind = Address::Kind::kTcp;
+  address.host = host;
+  address.port = port;
+  return connect(address, options);
 }
 
-void ServeClient::sendAll(const std::uint8_t* data, std::size_t size) {
+void Client::sendAll(const std::uint8_t* data, std::size_t size) {
   std::size_t sent = 0;
   while (sent < size) {
     ssize_t n = send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
@@ -159,11 +87,11 @@ void ServeClient::sendAll(const std::uint8_t* data, std::size_t size) {
   }
 }
 
-void ServeClient::sendRaw(const std::vector<std::uint8_t>& bytes) {
+void Client::sendRaw(const std::vector<std::uint8_t>& bytes) {
   sendAll(bytes.data(), bytes.size());
 }
 
-OwnedFrame ServeClient::readFrame() {
+OwnedFrame Client::readFrame() {
   while (true) {
     FrameView frame;
     std::size_t consumed = 0;
@@ -198,7 +126,7 @@ OwnedFrame ServeClient::readFrame() {
   }
 }
 
-OwnedFrame ServeClient::expectFrame(FrameType expected) {
+OwnedFrame Client::expectFrame(FrameType expected) {
   OwnedFrame frame = readFrame();
   if (frame.type == FrameType::kError) {
     ErrorFrame error;
@@ -215,7 +143,7 @@ OwnedFrame ServeClient::expectFrame(FrameType expected) {
   return frame;
 }
 
-HelloOkFrame ServeClient::hello(const HelloFrame& helloIn) {
+HelloOkFrame Client::hello(const HelloFrame& helloIn) {
   std::vector<std::uint8_t> bytes;
   appendHello(bytes, helloIn);
   sendAll(bytes.data(), bytes.size());
@@ -223,11 +151,11 @@ HelloOkFrame ServeClient::hello(const HelloFrame& helloIn) {
   if (!decodeHelloOk(expectFrame(FrameType::kHelloOk).view(), ok)) {
     throw std::runtime_error("undecodable HELLO_OK reply");
   }
+  negotiatedVersion_ = ok.version;
   return ok;
 }
 
-PlacedFrame ServeClient::place(double size, double arrival,
-                               double departure) {
+PlacedFrame Client::place(double size, double arrival, double departure) {
   std::vector<std::uint8_t> bytes;
   appendPlace(bytes, PlaceFrame{size, arrival, departure});
   sendAll(bytes.data(), bytes.size());
@@ -238,7 +166,7 @@ PlacedFrame ServeClient::place(double size, double arrival,
   return placed;
 }
 
-DepartOkFrame ServeClient::departUntil(double time) {
+DepartOkFrame Client::departUntil(double time) {
   std::vector<std::uint8_t> bytes;
   appendDepart(bytes, DepartFrame{time});
   sendAll(bytes.data(), bytes.size());
@@ -249,7 +177,7 @@ DepartOkFrame ServeClient::departUntil(double time) {
   return ok;
 }
 
-StatsOkFrame ServeClient::stats() {
+StatsOkFrame Client::stats() {
   std::vector<std::uint8_t> bytes;
   appendStats(bytes);
   sendAll(bytes.data(), bytes.size());
@@ -260,7 +188,7 @@ StatsOkFrame ServeClient::stats() {
   return ok;
 }
 
-DrainOkFrame ServeClient::drain() {
+DrainOkFrame Client::drain() {
   std::vector<std::uint8_t> bytes;
   appendDrain(bytes);
   sendAll(bytes.data(), bytes.size());
@@ -271,7 +199,7 @@ DrainOkFrame ServeClient::drain() {
   return ok;
 }
 
-std::string ServeClient::scrape() {
+std::string Client::scrape() {
   std::vector<std::uint8_t> bytes;
   appendScrape(bytes);
   sendAll(bytes.data(), bytes.size());
@@ -282,25 +210,124 @@ std::string ServeClient::scrape() {
   return ok.text;
 }
 
-void ServeClient::queuePlace(double size, double arrival, double departure) {
-  appendPlace(outQueue_, PlaceFrame{size, arrival, departure});
+// --- batch builder ---------------------------------------------------------
+
+Client::Batch& Client::Batch::place(double size, double arrival,
+                                    double departure) {
+  BatchOp op;
+  op.kind = kBatchOpPlace;
+  op.place = PlaceFrame{size, arrival, departure};
+  frame_.ops.push_back(op);
+  return *this;
+}
+
+Client::Batch& Client::Batch::depart(double time) {
+  BatchOp op;
+  op.kind = kBatchOpDepart;
+  op.depart = DepartFrame{time};
+  frame_.ops.push_back(op);
+  return *this;
+}
+
+BatchOkFrame Client::Batch::send() { return client_->sendBatch(frame_); }
+
+BatchOkFrame Client::sendBatch(const BatchFrame& frame) {
+  if (negotiatedVersion_ < 2) {
+    throw std::logic_error(
+        "BATCH requires a v2 session (negotiated v" +
+        std::to_string(negotiatedVersion_) + "); call hello() first");
+  }
+  if (frame.ops.size() > kMaxBatchOps) {
+    throw std::logic_error("BATCH of " + std::to_string(frame.ops.size()) +
+                           " ops exceeds kMaxBatchOps");
+  }
+  std::vector<std::uint8_t> bytes;
+  appendBatch(bytes, frame);
+  sendAll(bytes.data(), bytes.size());
+  BatchOkFrame ok;
+  if (!decodeBatchOk(expectFrame(FrameType::kBatchOk).view(), ok)) {
+    throw std::runtime_error("undecodable BATCH_OK reply");
+  }
+  return ok;
+}
+
+// --- pipelined wrapper -----------------------------------------------------
+
+void Client::queuePlace(double size, double arrival, double departure) {
+  if (negotiatedVersion_ >= 2) {
+    BatchOp op;
+    op.kind = kBatchOpPlace;
+    op.place = PlaceFrame{size, arrival, departure};
+    pendingOps_.push_back(op);
+  } else {
+    appendPlace(outQueue_, PlaceFrame{size, arrival, departure});
+  }
   ++owedReplies_;
 }
 
-void ServeClient::flushQueued() {
+void Client::flushQueued() {
+  if (!pendingOps_.empty()) {
+    // Pack the staged ops into BATCH frames, kMaxBatchOps at a time, and
+    // remember each frame's op count for reply accounting.
+    std::size_t at = 0;
+    while (at < pendingOps_.size()) {
+      std::size_t take = pendingOps_.size() - at;
+      if (take > kMaxBatchOps) take = kMaxBatchOps;
+      BatchFrame frame;
+      frame.ops.assign(pendingOps_.begin() + static_cast<std::ptrdiff_t>(at),
+                       pendingOps_.begin() +
+                           static_cast<std::ptrdiff_t>(at + take));
+      appendBatch(outQueue_, frame);
+      inflightBatchOps_.push_back(take);
+      at += take;
+    }
+    pendingOps_.clear();
+  }
   if (outQueue_.empty()) return;
   sendAll(outQueue_.data(), outQueue_.size());
   outQueue_.clear();
 }
 
-PlacedFrame ServeClient::readPlaced() {
-  if (owedReplies_ == 0) {
-    throw std::logic_error("readPlaced() with no queued PLACE outstanding");
+PlacedFrame Client::readPlaced() {
+  while (placedBacklog_.empty()) {
+    if (pendingFailure_.has_value()) {
+      ErrorFrame failure = std::move(*pendingFailure_);
+      pendingFailure_.reset();
+      throw ServeError(failure.code, failure.message);
+    }
+    if (owedReplies_ == 0) {
+      throw std::logic_error("readPlaced() with no queued PLACE outstanding");
+    }
+    if (inflightBatchOps_.empty()) {
+      // v1 path: one PLACED per queued PLACE.
+      PlacedFrame placed;
+      if (!decodePlaced(expectFrame(FrameType::kPlaced).view(), placed)) {
+        throw std::runtime_error("undecodable PLACED reply");
+      }
+      --owedReplies_;
+      return placed;
+    }
+    std::size_t ops = inflightBatchOps_.front();
+    inflightBatchOps_.pop_front();
+    BatchOkFrame ok;
+    if (!decodeBatchOk(expectFrame(FrameType::kBatchOk).view(), ok)) {
+      throw std::runtime_error("undecodable BATCH_OK reply");
+    }
+    for (const BatchResultEntry& entry : ok.results) {
+      if (entry.kind == kBatchOpPlace) placedBacklog_.push_back(entry.placed);
+    }
+    if (ok.failed != 0) {
+      // Ops past the failure never ran; stop owing replies for them. The
+      // failure itself surfaces once the completed prefix is consumed.
+      owedReplies_ -= ops - ok.results.size();
+      ErrorFrame failure;
+      failure.code = ok.errorCode;
+      failure.message = ok.errorMessage;
+      pendingFailure_ = std::move(failure);
+    }
   }
-  PlacedFrame placed;
-  if (!decodePlaced(expectFrame(FrameType::kPlaced).view(), placed)) {
-    throw std::runtime_error("undecodable PLACED reply");
-  }
+  PlacedFrame placed = placedBacklog_.front();
+  placedBacklog_.pop_front();
   --owedReplies_;
   return placed;
 }

@@ -1,23 +1,37 @@
-// Blocking client for the cdbp-serve v1 protocol (DESIGN.md §13).
+// Blocking client for the cdbp-serve protocol (DESIGN.md §13).
 //
-// One ServeClient wraps one connected stream socket and speaks
-// request/reply: every call encodes a frame, sends it, and blocks for the
-// matching reply. A kError reply surfaces as a thrown ServeError carrying
-// the typed code, so callers distinguish "the server rejected this
-// request" (recoverable — the connection keeps serving) from transport
-// failure (std::runtime_error — the connection is gone).
+// One Client wraps one connected stream socket and speaks request/reply:
+// every call encodes a frame, sends it, and blocks for the matching
+// reply. A kError reply surfaces as a thrown ServeError carrying the
+// typed code, so callers distinguish "the server rejected this request"
+// (recoverable — the connection keeps serving) from transport failure
+// (std::runtime_error — the connection is gone).
 //
-// For load generation the queue/flush/readPlaced trio pipelines PLACE
-// frames: queue N requests, flush once, then read N replies. This is what
-// stream_replay --connect and bench_serve use to keep the socket full
-// without one round trip per item.
+// Versioning: hello() offers kProtocolVersion and records what the
+// server negotiated. Against a v1 server the client degrades
+// transparently — every v1 call keeps working and the batch paths below
+// fall back to one PLACE frame per item.
+//
+// Batching (v2): batch() builds one BATCH frame of PLACE/DEPART sub-ops
+// and send() returns the combined BATCH_OK — including partial results
+// when an op mid-batch failed. The older pipelined trio
+// (queuePlace/flushQueued/readPlaced) is kept as a thin wrapper: on a
+// v2 session it packs queued placements into BATCH frames (kMaxBatchOps
+// per frame) and unpacks the combined replies, on a v1 session it sends
+// raw PLACE frames — same call sites, same observable placements either
+// way (the equivalence test pins this). This is what stream_replay
+// --connect and bench_serve use to keep the socket full without one
+// round trip per item.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "serve/address.hpp"
 #include "serve/protocol.hpp"
 
 namespace cdbp::serve {
@@ -36,21 +50,6 @@ class ServeError : public std::runtime_error {
   ErrorCode code_;
 };
 
-/// Endpoint spec parsed from a --connect string:
-///   "unix:<path>"          Unix-domain socket
-///   "tcp:<host>:<port>"    TCP (host is an IPv4 literal or name)
-///   "<path>"               shorthand for unix:<path>
-struct ServeAddress {
-  bool tcp = false;
-  std::string path;
-  std::string host;
-  std::uint16_t port = 0;
-};
-
-/// Parses an address spec; on failure returns false and fills `error`.
-bool parseServeAddress(const std::string& spec, ServeAddress& out,
-                       std::string& error);
-
 struct ClientOptions {
   /// Reply payload cap. Larger than the server's request cap because a
   /// SCRAPE reply carries the whole telemetry exposition.
@@ -67,29 +66,61 @@ struct OwnedFrame {
   }
 };
 
-class ServeClient {
+class Client {
  public:
+  /// Builder for one BATCH frame. Obtained from Client::batch(); ops
+  /// accumulate in order and send() performs the round trip:
+  ///
+  ///   BatchOkFrame ok = client.batch()
+  ///                         .place(0.5, 0.0, 4.0)
+  ///                         .place(0.25, 1.0, 3.0)
+  ///                         .depart(2.0)
+  ///                         .send();
+  ///
+  /// send() returns the BATCH_OK as-is — a mid-batch failure is data
+  /// (results for the completed prefix + the failing op's index and
+  /// code), not an exception; only a top-level ERROR reply throws
+  /// ServeError. Building more than kMaxBatchOps ops or sending on a
+  /// session that did not negotiate v2 throws std::logic_error.
+  class Batch {
+   public:
+    Batch& place(double size, double arrival, double departure);
+    Batch& depart(double time);
+    std::size_t size() const { return frame_.ops.size(); }
+    BatchOkFrame send();
+
+   private:
+    friend class Client;
+    explicit Batch(Client& client) : client_(&client) {}
+
+    Client* client_;
+    BatchFrame frame_;
+  };
+
   /// Adopts a connected stream socket (e.g. one end of a socketpair).
-  explicit ServeClient(int fd, ClientOptions options = {});
-  ~ServeClient();
+  explicit Client(int fd, ClientOptions options = {});
+  ~Client();
 
-  ServeClient(ServeClient&& other) noexcept;
-  ServeClient& operator=(ServeClient&& other) noexcept;
-  ServeClient(const ServeClient&) = delete;
-  ServeClient& operator=(const ServeClient&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
 
-  /// Connects per the parsed address. Throws std::system_error on
-  /// connect failure.
-  static ServeClient connect(const ServeAddress& address,
-                             ClientOptions options = {});
-  static ServeClient connectUnix(const std::string& path,
-                                 ClientOptions options = {});
-  static ServeClient connectTcp(const std::string& host, std::uint16_t port,
-                                ClientOptions options = {});
+  /// Connects to the address (serve/address.hpp owns the socket
+  /// conventions). Throws std::system_error on connect failure.
+  static Client connect(const Address& address, ClientOptions options = {});
+  static Client connectUnix(const std::string& path,
+                            ClientOptions options = {});
+  static Client connectTcp(const std::string& host, std::uint16_t port,
+                           ClientOptions options = {});
 
-  /// Opens the session: sends HELLO, returns the HELLO_OK. Throws
-  /// ServeError on a typed rejection (bad spec, version skew, ...).
+  /// Opens the session: sends HELLO, returns the HELLO_OK and records
+  /// the negotiated version. Throws ServeError on a typed rejection
+  /// (bad spec, version below the server's floor, ...).
   HelloOkFrame hello(const HelloFrame& hello);
+
+  /// Protocol version negotiated by hello(); 0 before a session opens.
+  std::uint16_t negotiatedVersion() const { return negotiatedVersion_; }
 
   /// One placement round trip.
   PlacedFrame place(double size, double arrival, double departure);
@@ -97,6 +128,9 @@ class ServeClient {
   /// Advances the session clock, draining departures due at or before
   /// `time`.
   DepartOkFrame departUntil(double time);
+
+  /// Starts an empty batch builder (see Batch).
+  Batch batch() { return Batch(*this); }
 
   StatsOkFrame stats();
 
@@ -107,7 +141,9 @@ class ServeClient {
   std::string scrape();
 
   // Pipelined PLACE: queue locally, flush in one write, read replies in
-  // order. queued() reports how many replies are still owed.
+  // order. On a v2 session this is a wrapper over BATCH frames; on v1
+  // (or before hello()) it sends raw PLACE frames. queued() reports how
+  // many placement replies are still owed.
   void queuePlace(double size, double arrival, double departure);
   void flushQueued();
   PlacedFrame readPlaced();
@@ -128,14 +164,28 @@ class ServeClient {
   int fd() const { return fd_; }
 
  private:
+  BatchOkFrame sendBatch(const BatchFrame& frame);
   void sendAll(const std::uint8_t* data, std::size_t size);
 
   int fd_ = -1;
   ClientOptions options_;
+  std::uint16_t negotiatedVersion_ = 0;
   std::vector<std::uint8_t> rbuf_;
   std::size_t rpos_ = 0;
+
+  // Pipelined-path state. v1 sessions encode PLACE frames straight into
+  // outQueue_; v2 sessions stage ops in pendingOps_ until flushQueued()
+  // packs them into BATCH frames (inflightBatchOps_ remembers each
+  // in-flight frame's op count so readPlaced can account for replies).
   std::vector<std::uint8_t> outQueue_;
+  std::vector<BatchOp> pendingOps_;
+  std::deque<std::size_t> inflightBatchOps_;
+  std::deque<PlacedFrame> placedBacklog_;
+  std::optional<ErrorFrame> pendingFailure_;
   std::size_t owedReplies_ = 0;
 };
+
+/// Back-compat alias from the pre-sharding API.
+using ServeClient = Client;
 
 }  // namespace cdbp::serve

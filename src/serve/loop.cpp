@@ -1,0 +1,320 @@
+#include "serve/loop.hpp"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "telemetry/clock.hpp"
+
+namespace cdbp::serve {
+
+namespace {
+
+void setNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void throwErrno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+Loop::Loop(const ServerOptions& options, TenantTable& tenants)
+    : options_(options), tenants_(tenants) {
+  epollFd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epollFd_ < 0) throwErrno("epoll_create1");
+  wakeFd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wakeFd_ < 0) {
+    ::close(epollFd_);
+    epollFd_ = -1;
+    throwErrno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakeFd_;
+  if (epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev) < 0) {
+    ::close(wakeFd_);
+    ::close(epollFd_);
+    wakeFd_ = epollFd_ = -1;
+    throwErrno("epoll_ctl(wakefd)");
+  }
+}
+
+Loop::~Loop() {
+  requestStop();
+  if (thread_.joinable()) thread_.join();
+  // Closed here — after the join, never inside run() — so a signal
+  // handler's requestDrain() can still write the eventfd while the loop
+  // is exiting without racing a close/reuse of the descriptor.
+  closeListeners();
+  for (int* fd : {&epollFd_, &wakeFd_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+void Loop::addListener(int fd, AcceptHandler onAccept) {
+  if (thread_.joinable()) {
+    throw std::logic_error("serve::Loop::addListener after start()");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throwErrno("epoll_ctl(listener)");
+  }
+  listeners_.push_back(Listener{fd, std::move(onAccept)});
+}
+
+void Loop::start() {
+  if (thread_.joinable()) {
+    throw std::logic_error("serve::Loop::start() called twice");
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
+}
+
+void Loop::adopt(int fd, bool accepted) {
+  {
+    MutexLock lock(mu_);
+    adoptQueue_.emplace_back(fd, accepted);
+  }
+  wake();
+}
+
+void Loop::requestDrain() noexcept {
+  drainRequested_.store(true, std::memory_order_release);
+  wake();
+}
+
+void Loop::requestStop() noexcept {
+  stopRequested_.store(true, std::memory_order_release);
+  wake();
+}
+
+void Loop::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Loop::wake() noexcept {
+  if (wakeFd_ >= 0) {
+    std::uint64_t one = 1;
+    // A full eventfd counter still wakes the loop; the result is
+    // intentionally ignored (async-signal-safe path).
+    [[maybe_unused]] ssize_t rc = ::write(wakeFd_, &one, sizeof(one));
+  }
+}
+
+void Loop::adoptPending() {
+  std::vector<std::pair<int, bool>> adopted;
+  {
+    MutexLock lock(mu_);
+    adopted.swap(adoptQueue_);
+  }
+  for (auto [fd, accepted] : adopted) registerSession(fd, accepted);
+}
+
+void Loop::run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+
+  while (true) {
+    if (stopRequested_.load(std::memory_order_acquire)) break;
+    if (drainRequested_.load(std::memory_order_acquire)) {
+      drainAndExit();
+      break;
+    }
+
+    adoptPending();
+
+    int n = epoll_wait(epollFd_, events, kMaxEvents, /*timeout ms=*/200);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      std::uint32_t mask = events[i].events;
+      if (fd == wakeFd_) {
+        std::uint64_t drainCount;
+        while (::read(wakeFd_, &drainCount, sizeof(drainCount)) > 0) {
+        }
+        continue;
+      }
+      bool isListener = false;
+      for (std::size_t l = 0; l < listeners_.size(); ++l) {
+        if (listeners_[l].fd == fd) {
+          acceptPending(l);
+          isListener = true;
+          break;
+        }
+      }
+      if (isListener) continue;
+      auto it = sessions_.find(fd);
+      if (it == sessions_.end()) continue;  // reaped this iteration
+      Session& session = *it->second;
+      if ((mask & (EPOLLERR | EPOLLHUP)) != 0 &&
+          (mask & (EPOLLIN | EPOLLOUT)) == 0) {
+        destroySession(fd);
+        continue;
+      }
+      if ((mask & EPOLLOUT) != 0) {
+        session.onWritable();
+        if (session.dead() || session.shouldClose()) {
+          destroySession(fd);
+          continue;
+        }
+      }
+      if ((mask & EPOLLIN) != 0) session.onReadable();
+      settleSession(session);
+    }
+  }
+
+  // Loop exit: close every remaining session.
+  while (!sessions_.empty()) destroySession(sessions_.begin()->first);
+  running_.store(false, std::memory_order_release);
+}
+
+void Loop::closeListeners() {
+  for (Listener& listener : listeners_) {
+    if (listener.fd >= 0) {
+      if (epollFd_ >= 0) epoll_ctl(epollFd_, EPOLL_CTL_DEL, listener.fd, nullptr);
+      ::close(listener.fd);
+      listener.fd = -1;
+    }
+  }
+}
+
+void Loop::acceptPending(std::size_t listenerIndex) {
+  Listener& listener = listeners_[listenerIndex];
+  while (true) {
+    int fd =
+        accept4(listener.fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: nothing to accept
+    listener.onAccept(fd);
+  }
+}
+
+void Loop::registerSession(int fd, bool accepted) {
+  setNonBlocking(fd);
+  auto session = std::make_unique<Session>(fd, options_, tenants_, counters_);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    ::close(fd);
+    return;
+  }
+  session->setAppliedInterest(EPOLLIN);
+  if (accepted) {
+    counters_.connectionsAccepted.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.connectionsAdopted.fetch_add(1, std::memory_order_relaxed);
+  }
+  sessions_[fd] = std::move(session);
+  counters_.openConnections.store(sessions_.size(),
+                                  std::memory_order_relaxed);
+}
+
+void Loop::settleSession(Session& session) {
+  const int fd = session.fd();
+  if (session.dead() || session.shouldClose()) {
+    destroySession(fd);
+    return;
+  }
+  std::uint32_t want = session.desiredInterest();
+  if (want != session.appliedInterest()) {
+    session.setAppliedInterest(want);
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.fd = fd;
+    epoll_ctl(epollFd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+}
+
+void Loop::destroySession(int fd) {
+  auto it = sessions_.find(fd);
+  if (it == sessions_.end()) return;
+  it->second->noteClosed();
+  sessions_.erase(it);
+  counters_.connectionsClosed.fetch_add(1, std::memory_order_relaxed);
+  counters_.openConnections.store(sessions_.size(),
+                                  std::memory_order_relaxed);
+  epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+}
+
+void Loop::drainAndExit() {
+  counters_.draining.store(true, std::memory_order_relaxed);
+  closeListeners();
+  // Late handoffs may still be queued (the router picked this shard just
+  // before the drain flag flipped); register them so their buffered
+  // requests get answered too.
+  adoptPending();
+
+  // Answer every fully-received request, then flush.
+  for (auto& [fd, session] : sessions_) session->beginDrain();
+
+  // Flush loop, bounded by the drain timeout: wait for writability on
+  // connections that still hold replies.
+  std::uint64_t deadline =
+      telemetry::monotonicNanos() + options_.drainTimeoutNanos;
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (telemetry::monotonicNanos() < deadline) {
+    bool pendingAny = false;
+    std::vector<int> open;
+    open.reserve(sessions_.size());
+    for (const auto& [fd, session] : sessions_) open.push_back(fd);
+    for (int fd : open) {
+      auto it = sessions_.find(fd);
+      if (it == sessions_.end()) continue;
+      Session& session = *it->second;
+      if (session.dead() || session.pendingWrite() == 0) {
+        destroySession(fd);
+      } else {
+        pendingAny = true;
+        session.setAppliedInterest(EPOLLOUT);
+        epoll_event ev{};
+        ev.events = EPOLLOUT;
+        ev.data.fd = fd;
+        epoll_ctl(epollFd_, EPOLL_CTL_MOD, fd, &ev);
+      }
+    }
+    if (!pendingAny) break;
+    int n = epoll_wait(epollFd_, events, kMaxEvents, 50);
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wakeFd_) {
+        std::uint64_t drainCount;
+        while (::read(wakeFd_, &drainCount, sizeof(drainCount)) > 0) {
+        }
+        continue;
+      }
+      auto it = sessions_.find(fd);
+      if (it != sessions_.end()) it->second->flush();
+    }
+    if (stopRequested_.load(std::memory_order_acquire)) break;
+  }
+
+  // Whatever could not flush in time is closed regardless.
+  while (!sessions_.empty()) destroySession(sessions_.begin()->first);
+  counters_.drained.store(true, std::memory_order_relaxed);
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace cdbp::serve

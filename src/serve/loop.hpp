@@ -1,0 +1,130 @@
+// Loop: one epoll event-loop thread — a shard of the serve daemon
+// (DESIGN.md §13.3). The Server spawns N of these; each owns a disjoint
+// set of Sessions for its whole lifetime, so session state needs no
+// locking at all: the sessions map is touched only from the loop thread.
+//
+// Cross-thread inputs arrive through exactly two channels:
+//   - adopt(fd): enqueue a connection handoff (mutex-guarded queue) and
+//     wake the loop via its eventfd. This is both how tests/benches
+//     inject socketpair fds and how the Server's round-robin router
+//     pins accepted connections to a shard.
+//   - requestDrain()/requestStop(): an atomic flag plus an eventfd
+//     write. requestDrain() is async-signal-safe — no locks, no
+//     allocation — because cdbp_served calls it from a SIGTERM handler.
+//
+// fd lifetime: the epoll fd and wake eventfd are created in the
+// constructor and closed in the destructor, after the thread has been
+// joined — never inside run(). A signal handler may call requestDrain()
+// concurrently with shutdown; closing the eventfd only once the object
+// dies means that write can never land on a recycled descriptor.
+//
+// Listeners (loop 0 only, in practice): addListener() hands the Loop a
+// listening fd plus an accept callback; the loop accepts in a tight
+// accept4 loop and passes each new fd to the callback, which routes it
+// to some shard's adopt(). Listener fds are owned (and closed) by the
+// Loop that polls them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/session.hpp"
+#include "serve/types.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace cdbp::serve {
+
+class Loop {
+ public:
+  /// Callback invoked on the loop thread for each accepted fd. The
+  /// callee takes ownership (typically Server's shard router, which
+  /// forwards to some Loop's adopt()).
+  using AcceptHandler = std::function<void(int fd)>;
+
+  /// Creates the epoll instance and wake eventfd (throws
+  /// std::system_error on failure). `options` must already be validated
+  /// and outlive the loop.
+  Loop(const ServerOptions& options, TenantTable& tenants);
+
+  /// Joins the thread if still running (after requestStop()) and closes
+  /// every fd the loop still owns.
+  ~Loop();
+
+  Loop(const Loop&) = delete;
+  Loop& operator=(const Loop&) = delete;
+
+  /// Registers a listening fd + accept callback. Must be called before
+  /// start(); the Loop takes ownership of the fd.
+  void addListener(int fd, AcceptHandler onAccept);
+
+  /// Spawns the loop thread.
+  void start();
+
+  /// Hands an fd to this loop (thread-safe; callable from any thread and
+  /// from other loops' accept callbacks). `accepted` selects which
+  /// counter the registration bumps.
+  void adopt(int fd, bool accepted);
+
+  /// Graceful shutdown; async-signal-safe (atomic store + eventfd
+  /// write). The loop answers in-flight requests, flushes (bounded by
+  /// options.drainTimeoutNanos), closes and exits.
+  void requestDrain() noexcept;
+
+  /// Hard stop: the loop closes everything without flushing.
+  void requestStop() noexcept;
+
+  /// Waits for the loop thread to exit.
+  void join();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// This shard's counters (atomics; readable from any thread).
+  ShardCounters& counters() { return counters_; }
+  const ShardCounters& counters() const { return counters_; }
+
+ private:
+  void run();
+  void adoptPending() CDBP_EXCLUDES(mu_);
+  void registerSession(int fd, bool accepted);
+  void acceptPending(std::size_t listenerIndex);
+  /// Applies desiredInterest() if it changed, then reaps the session if
+  /// it died or finished. Every dispatch funnels through here.
+  void settleSession(Session& session);
+  void destroySession(int fd);
+  void closeListeners();
+  void drainAndExit();
+  void wake() noexcept;
+
+  const ServerOptions& options_;
+  TenantTable& tenants_;
+  ShardCounters counters_;
+
+  int epollFd_ = -1;
+  int wakeFd_ = -1;
+
+  struct Listener {
+    int fd = -1;
+    AcceptHandler onAccept;
+  };
+  std::vector<Listener> listeners_;  // set before start(); loop-read after
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopRequested_{false};
+  std::atomic<bool> drainRequested_{false};
+
+  std::thread thread_;
+
+  // Loop-thread-exclusive: every touch happens on the loop thread.
+  std::map<int, std::unique_ptr<Session>> sessions_;
+
+  mutable Mutex mu_;
+  std::vector<std::pair<int, bool>> adoptQueue_ CDBP_GUARDED_BY(mu_);
+};
+
+}  // namespace cdbp::serve

@@ -19,6 +19,7 @@ const char* errorCodeName(ErrorCode code) {
     case ErrorCode::kSessionFinished: return "session-finished";
     case ErrorCode::kBackpressure: return "backpressure";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kUnsupportedVersion: return "unsupported-version";
   }
   return "unknown";
 }
@@ -221,6 +222,46 @@ void appendDepartOk(std::vector<std::uint8_t>& out, const DepartOkFrame& f) {
   });
 }
 
+void appendBatch(std::vector<std::uint8_t>& out, const BatchFrame& f) {
+  frame(out, FrameType::kBatch, [&] {
+    putU32(out, static_cast<std::uint32_t>(f.ops.size()));
+    for (const BatchOp& op : f.ops) {
+      putU8(out, op.kind);
+      if (op.kind == kBatchOpPlace) {
+        putF64(out, op.place.size);
+        putF64(out, op.place.arrival);
+        putF64(out, op.place.departure);
+      } else {
+        putF64(out, op.depart.time);
+      }
+    }
+  });
+}
+
+void appendBatchOk(std::vector<std::uint8_t>& out, const BatchOkFrame& f) {
+  frame(out, FrameType::kBatchOk, [&] {
+    putU32(out, static_cast<std::uint32_t>(f.results.size()));
+    for (const BatchResultEntry& r : f.results) {
+      putU8(out, r.kind);
+      if (r.kind == kBatchOpPlace) {
+        putU32(out, r.placed.item);
+        putI32(out, r.placed.bin);
+        putU8(out, r.placed.openedNewBin);
+        putI32(out, r.placed.category);
+      } else {
+        putU64(out, r.depart.drained);
+        putU64(out, r.depart.openBins);
+      }
+    }
+    putU8(out, f.failed);
+    if (f.failed != 0) {
+      putU32(out, f.failedIndex);
+      putU16(out, static_cast<std::uint16_t>(f.errorCode));
+      putStr16(out, f.errorMessage);
+    }
+  });
+}
+
 void appendStats(std::vector<std::uint8_t>& out) {
   frame(out, FrameType::kStats, [] {});
 }
@@ -352,6 +393,68 @@ bool decodeDepartOk(const FrameView& frame, DepartOkFrame& out) {
   DepartOkFrame v;
   if (!c.u64(v.drained) || !c.u64(v.openBins) || !c.done()) return false;
   out = v;
+  return true;
+}
+
+bool decodeBatch(const FrameView& frame, BatchFrame& out) {
+  Cursor c(frame.payload, frame.payloadSize);
+  std::uint32_t count;
+  if (!c.u32(count)) return false;
+  if (count > kMaxBatchOps) return false;
+  BatchFrame v;
+  v.ops.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BatchOp op;
+    if (!c.u8(op.kind)) return false;
+    if (op.kind == kBatchOpPlace) {
+      if (!c.f64(op.place.size) || !c.f64(op.place.arrival) ||
+          !c.f64(op.place.departure)) {
+        return false;
+      }
+    } else if (op.kind == kBatchOpDepart) {
+      if (!c.f64(op.depart.time)) return false;
+    } else {
+      return false;
+    }
+    v.ops.push_back(op);
+  }
+  if (!c.done()) return false;
+  out = std::move(v);
+  return true;
+}
+
+bool decodeBatchOk(const FrameView& frame, BatchOkFrame& out) {
+  Cursor c(frame.payload, frame.payloadSize);
+  std::uint32_t count;
+  if (!c.u32(count)) return false;
+  if (count > kMaxBatchOps) return false;
+  BatchOkFrame v;
+  v.results.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BatchResultEntry r;
+    if (!c.u8(r.kind)) return false;
+    if (r.kind == kBatchOpPlace) {
+      if (!c.u32(r.placed.item) || !c.i32(r.placed.bin) ||
+          !c.u8(r.placed.openedNewBin) || !c.i32(r.placed.category)) {
+        return false;
+      }
+    } else if (r.kind == kBatchOpDepart) {
+      if (!c.u64(r.depart.drained) || !c.u64(r.depart.openBins)) return false;
+    } else {
+      return false;
+    }
+    v.results.push_back(r);
+  }
+  if (!c.u8(v.failed)) return false;
+  if (v.failed != 0) {
+    std::uint16_t code;
+    if (!c.u32(v.failedIndex) || !c.u16(code) || !c.str16(v.errorMessage)) {
+      return false;
+    }
+    v.errorCode = static_cast<ErrorCode>(code);
+  }
+  if (!c.done()) return false;
+  out = std::move(v);
   return true;
 }
 

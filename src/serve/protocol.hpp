@@ -1,4 +1,4 @@
-// cdbp-serve wire protocol v1: the length-prefixed binary frames the
+// cdbp-serve wire protocol: the length-prefixed binary frames the
 // placement daemon (serve/server.hpp) and its clients (serve/client.hpp)
 // exchange. DESIGN.md §13.2 carries the layout table.
 //
@@ -13,6 +13,18 @@
 // simulateStream differential suite pins. Strings are u16 length +
 // UTF-8-agnostic raw bytes; the SCRAPE text uses a u32 length.
 //
+// Versioning: this build speaks v2. HELLO carries the highest version the
+// client understands; the server answers HELLO_OK with the negotiated
+// version min(client, server) — so a v1 client gets a v1 session (the v1
+// frame set is a strict subset of v2) and a v3 client degrades to v2. A
+// v2-only frame (BATCH) on a v1-negotiated session costs a typed
+// ERROR(unsupported-version) reply, never a disconnect.
+//
+// v2 adds BATCH/BATCH_OK: many PLACE/DEPART sub-ops for one tenant in one
+// frame, executed in order, answered with one combined reply. Sub-ops
+// after a failing one do not run; the reply carries the results of the
+// completed prefix plus the failing op's index and typed error.
+//
 // Parsing discipline mirrors util/parse.hpp: every decoder consumes
 // explicitly bounded bytes, rejects truncated and over-long bodies with
 // `false` (never an exception, never a partial read into `out`), and the
@@ -24,6 +36,7 @@
 //   client: HELLO  -> server: HELLO_OK | ERROR
 //   client: PLACE  -> server: PLACED   | ERROR     (repeatable)
 //   client: DEPART -> server: DEPART_OK| ERROR     (advance virtual time)
+//   client: BATCH  -> server: BATCH_OK | ERROR     (v2; repeatable)
 //   client: STATS  -> server: STATS_OK | ERROR
 //   client: DRAIN  -> server: DRAIN_OK | ERROR     (finishes the session)
 //   client: SCRAPE -> server: SCRAPE_OK            (no session required)
@@ -39,15 +52,29 @@
 
 namespace cdbp::serve {
 
-/// Protocol version this build speaks; HELLO carries the client's and the
-/// server rejects mismatches with kErrProtocolVersion.
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Highest protocol version this build speaks. HELLO negotiates
+/// min(client, kProtocolVersion); versions below kMinProtocolVersion are
+/// rejected with kErrProtocolVersion.
+inline constexpr std::uint16_t kProtocolVersion = 2;
+inline constexpr std::uint16_t kMinProtocolVersion = 1;
+
+/// The version a session speaks after HELLO: min(requested, ours), or 0
+/// when `requested` is below the supported floor (reject).
+constexpr std::uint16_t negotiateVersion(std::uint16_t requested) {
+  if (requested < kMinProtocolVersion) return 0;
+  return requested < kProtocolVersion ? requested : kProtocolVersion;
+}
 
 /// Default cap on a frame payload (type byte + body). A length prefix
 /// above the server's configured cap is unrecoverable (the stream cannot
 /// be resynced without trusting the bogus length), so the server answers
 /// kErrOversizedFrame and closes after flushing.
 inline constexpr std::size_t kDefaultMaxFramePayload = 64 * 1024;
+
+/// Cap on sub-ops per BATCH frame. 2048 ops × 25 bytes ≈ 50 KiB, inside
+/// the default payload cap with headroom; decoders reject larger counts
+/// as malformed and Client::Batch refuses to build them.
+inline constexpr std::size_t kMaxBatchOps = 2048;
 
 enum class FrameType : std::uint8_t {
   // client -> server
@@ -57,6 +84,7 @@ enum class FrameType : std::uint8_t {
   kStats = 0x04,
   kDrain = 0x05,
   kScrape = 0x06,
+  kBatch = 0x07,  // v2
   // server -> client
   kHelloOk = 0x81,
   kPlaced = 0x82,
@@ -64,14 +92,15 @@ enum class FrameType : std::uint8_t {
   kStatsOk = 0x84,
   kDrainOk = 0x85,
   kScrapeOk = 0x86,
+  kBatchOk = 0x87,  // v2
   kError = 0xFF,
 };
 
 enum class ErrorCode : std::uint16_t {
   kMalformedFrame = 1,   ///< payload did not decode as its frame type
   kOversizedFrame = 2,   ///< length prefix above the server's cap (fatal)
-  kUnknownFrameType = 3, ///< type byte outside the v1 request set
-  kProtocolVersion = 4,  ///< HELLO version != kProtocolVersion
+  kUnknownFrameType = 3, ///< type byte outside the known request set
+  kProtocolVersion = 4,  ///< HELLO version below kMinProtocolVersion
   kUnknownTenant = 5,    ///< session request before a successful HELLO
   kDuplicateHello = 6,   ///< second HELLO on a connection
   kBadPolicySpec = 7,    ///< makePolicy rejected the HELLO spec
@@ -80,6 +109,7 @@ enum class ErrorCode : std::uint16_t {
   kSessionFinished = 10, ///< request after DRAIN completed the session
   kBackpressure = 11,    ///< connection shed: client stopped reading
   kInternal = 12,        ///< policy/engine contract violation (fatal)
+  kUnsupportedVersion = 13, ///< frame requires a newer negotiated version
 };
 
 /// Human-readable mnemonic ("bad-policy-spec") for logs and tests.
@@ -89,7 +119,7 @@ const char* errorCodeName(ErrorCode code);
 // Frame bodies. Field order in these structs is wire order.
 
 struct HelloFrame {
-  std::uint16_t version = kProtocolVersion;
+  std::uint16_t version = kProtocolVersion;  ///< highest version the client speaks
   std::uint8_t engine = 0;  ///< 0 = indexed, 1 = linear scan
   double minDuration = 0;   ///< PolicyContext::minDuration
   double mu = 1;            ///< PolicyContext::mu
@@ -99,7 +129,7 @@ struct HelloFrame {
 };
 
 struct HelloOkFrame {
-  std::uint16_t version = kProtocolVersion;
+  std::uint16_t version = kProtocolVersion;  ///< negotiated session version
   std::uint64_t tenantId = 0;
   std::string policyName;  ///< OnlinePolicy::name() of the instantiated policy
 };
@@ -124,6 +154,42 @@ struct DepartFrame {
 struct DepartOkFrame {
   std::uint64_t drained = 0;   ///< departures processed by this DEPART
   std::uint64_t openBins = 0;  ///< open bins after the drain
+};
+
+// --- v2 batch frames -------------------------------------------------------
+
+/// Sub-op kinds inside a BATCH frame.
+inline constexpr std::uint8_t kBatchOpPlace = 0;
+inline constexpr std::uint8_t kBatchOpDepart = 1;
+
+/// One BATCH sub-op: `kind` selects which body field is live.
+struct BatchOp {
+  std::uint8_t kind = kBatchOpPlace;
+  PlaceFrame place;    ///< valid when kind == kBatchOpPlace
+  DepartFrame depart;  ///< valid when kind == kBatchOpDepart
+};
+
+struct BatchFrame {
+  std::vector<BatchOp> ops;  ///< executed in order; at most kMaxBatchOps
+};
+
+/// One sub-op result inside BATCH_OK, mirroring the standalone replies.
+struct BatchResultEntry {
+  std::uint8_t kind = kBatchOpPlace;
+  PlacedFrame placed;    ///< valid when kind == kBatchOpPlace
+  DepartOkFrame depart;  ///< valid when kind == kBatchOpDepart
+};
+
+/// Combined reply: results for the completed prefix of the batch. When
+/// `failed` is set, the op at `failedIndex` was rejected with
+/// `errorCode`/`errorMessage` and no later op ran — results.size() ==
+/// failedIndex. The session stays usable unless the code is kInternal.
+struct BatchOkFrame {
+  std::vector<BatchResultEntry> results;
+  std::uint8_t failed = 0;
+  std::uint32_t failedIndex = 0;
+  ErrorCode errorCode = ErrorCode::kInternal;
+  std::string errorMessage;
 };
 
 struct StatsOkFrame {
@@ -166,6 +232,8 @@ void appendPlace(std::vector<std::uint8_t>& out, const PlaceFrame& frame);
 void appendPlaced(std::vector<std::uint8_t>& out, const PlacedFrame& frame);
 void appendDepart(std::vector<std::uint8_t>& out, const DepartFrame& frame);
 void appendDepartOk(std::vector<std::uint8_t>& out, const DepartOkFrame& frame);
+void appendBatch(std::vector<std::uint8_t>& out, const BatchFrame& frame);
+void appendBatchOk(std::vector<std::uint8_t>& out, const BatchOkFrame& frame);
 void appendStats(std::vector<std::uint8_t>& out);
 void appendStatsOk(std::vector<std::uint8_t>& out, const StatsOkFrame& frame);
 void appendDrain(std::vector<std::uint8_t>& out);
@@ -208,6 +276,8 @@ bool decodePlace(const FrameView& frame, PlaceFrame& out);
 bool decodePlaced(const FrameView& frame, PlacedFrame& out);
 bool decodeDepart(const FrameView& frame, DepartFrame& out);
 bool decodeDepartOk(const FrameView& frame, DepartOkFrame& out);
+bool decodeBatch(const FrameView& frame, BatchFrame& out);
+bool decodeBatchOk(const FrameView& frame, BatchOkFrame& out);
 bool decodeStatsOk(const FrameView& frame, StatsOkFrame& out);
 bool decodeDrainOk(const FrameView& frame, DrainOkFrame& out);
 bool decodeScrapeOk(const FrameView& frame, ScrapeOkFrame& out);

@@ -1,909 +1,100 @@
 #include "serve/server.hpp"
 
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <sys/epoll.h>
-#include <sys/eventfd.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 #include <stdexcept>
-#include <system_error>
 #include <utility>
-
-#include "online/policy_factory.hpp"
-#include "sim/streaming.hpp"
-#include "telemetry/clock.hpp"
-#include "telemetry/expose.hpp"
-#include "telemetry/telemetry.hpp"
 
 namespace cdbp::serve {
 
-namespace {
-
-constexpr std::size_t kReadChunk = 64 * 1024;
-
-// Headroom above writeBufferLimit before a connection is shed. Processing
-// stops at the limit and no single reply exceeds maxFramePayload + the
-// frame overhead, so in practice the hard cap is unreachable unless a
-// reply itself is pathological.
-constexpr std::size_t kShedHeadroom = 1024;
-
-void setNonBlocking(int fd) {
-  int flags = fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-}
-
-[[noreturn]] void throwErrno(const char* what) {
-  throw std::system_error(errno, std::generic_category(), what);
-}
-
-}  // namespace
-
-// Loop-owned per-connection state. Only the event-loop thread touches a
-// Connection after registration; cross-thread visibility goes through the
-// guarded tables and counters in Server.
-struct Server::Connection {
-  int fd = -1;
-  std::uint32_t interest = 0;  // epoll events currently registered
-
-  std::vector<std::uint8_t> rbuf;
-  std::size_t rpos = 0;  // parse offset into rbuf
-
-  std::vector<std::uint8_t> wbuf;
-  std::size_t wpos = 0;  // flush offset into wbuf
-
-  bool readPaused = false;  // backpressure: EPOLLIN dropped
-  bool closing = false;     // close once wbuf flushes
-  bool peerClosed = false;  // read side saw EOF
-
-  // The per-tenant session. One per connection, created by HELLO.
-  struct Session {
-    std::uint64_t tenantId = 0;
-    std::string tenant;
-    PolicyPtr policy;
-    std::unique_ptr<StreamEngine> engine;
-    bool finished = false;
-  };
-  std::unique_ptr<Session> session;
-
-  std::size_t pendingWrite() const { return wbuf.size() - wpos; }
-  std::size_t pendingRead() const { return rbuf.size() - rpos; }
-};
-
-Server::Server(ServerOptions options) : options_(std::move(options)) {}
+Server::Server(ServerOptions options) : options_(options.validated()) {}
 
 Server::~Server() {
   stop();
-  if (thread_.joinable()) thread_.join();
-  // Listener/epoll fds are owned by the loop and closed on exit; if
-  // start() threw partway, clean up what it opened.
-  for (int* fd : {&epollFd_, &wakeFd_, &unixListenFd_, &tcpListenFd_}) {
-    if (*fd >= 0) {
-      ::close(*fd);
-      *fd = -1;
-    }
-  }
+  join();
+  // Loops close their own fds (epoll, eventfd, listeners, sessions) in
+  // their destructors, after the joins above.
 }
 
 void Server::start() {
-  if (running_.load(std::memory_order_acquire) || thread_.joinable()) {
+  if (started_) {
     throw std::logic_error("serve::Server::start() called twice");
   }
-  epollFd_ = epoll_create1(EPOLL_CLOEXEC);
-  if (epollFd_ < 0) throwErrno("epoll_create1");
-  wakeFd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (wakeFd_ < 0) throwErrno("eventfd");
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = wakeFd_;
-  if (epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev) < 0) {
-    throwErrno("epoll_ctl(wakefd)");
+  loops_.reserve(options_.loopThreads);
+  for (unsigned i = 0; i < options_.loopThreads; ++i) {
+    loops_.push_back(std::make_unique<Loop>(options_, tenants_));
   }
-  if (!setupListeners()) {
-    // setupListeners throws on failure; defensive.
-    throw std::runtime_error("serve::Server: listener setup failed");
+  // All listeners poll on loop 0; accepted fds are routed round-robin
+  // across every shard (including loop 0 itself).
+  for (const Address& address : options_.listen) {
+    std::uint16_t boundPort = 0;
+    int fd = listenStream(address, /*backlog=*/128, &boundPort);
+    if (address.kind == Address::Kind::kTcp &&
+        boundTcpPort_.load(std::memory_order_relaxed) == 0) {
+      boundTcpPort_.store(boundPort, std::memory_order_release);
+    }
+    loops_[0]->addListener(fd, [this](int newFd) {
+      nextLoop().adopt(newFd, /*accepted=*/true);
+    });
   }
-  running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { loop(); });
+  started_ = true;
+  for (auto& loop : loops_) loop->start();
 }
 
-bool Server::setupListeners() {
-  if (!options_.unixPath.empty()) {
-    sockaddr_un addr{};
-    if (options_.unixPath.size() >= sizeof(addr.sun_path)) {
-      errno = ENAMETOOLONG;
-      throwErrno("unix socket path");
-    }
-    unixListenFd_ =
-        socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-    if (unixListenFd_ < 0) throwErrno("socket(AF_UNIX)");
-    ::unlink(options_.unixPath.c_str());
-    addr.sun_family = AF_UNIX;
-    std::memcpy(addr.sun_path, options_.unixPath.c_str(),
-                options_.unixPath.size() + 1);
-    if (bind(unixListenFd_, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) < 0) {
-      throwErrno("bind(unix)");
-    }
-    if (listen(unixListenFd_, 128) < 0) throwErrno("listen(unix)");
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = unixListenFd_;
-    if (epoll_ctl(epollFd_, EPOLL_CTL_ADD, unixListenFd_, &ev) < 0) {
-      throwErrno("epoll_ctl(unix listener)");
-    }
-  }
-  if (options_.tcp) {
-    tcpListenFd_ =
-        socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-    if (tcpListenFd_ < 0) throwErrno("socket(AF_INET)");
-    int one = 1;
-    setsockopt(tcpListenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(options_.tcpPort);
-    if (bind(tcpListenFd_, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) < 0) {
-      throwErrno("bind(tcp)");
-    }
-    if (listen(tcpListenFd_, 128) < 0) throwErrno("listen(tcp)");
-    sockaddr_in bound{};
-    socklen_t len = sizeof(bound);
-    if (getsockname(tcpListenFd_, reinterpret_cast<sockaddr*>(&bound),
-                    &len) == 0) {
-      boundTcpPort_.store(ntohs(bound.sin_port), std::memory_order_release);
-    }
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = tcpListenFd_;
-    if (epoll_ctl(epollFd_, EPOLL_CTL_ADD, tcpListenFd_, &ev) < 0) {
-      throwErrno("epoll_ctl(tcp listener)");
-    }
-  }
-  return true;
+Loop& Server::nextLoop() {
+  std::size_t shard = nextShard_.fetch_add(1, std::memory_order_relaxed) %
+                      loops_.size();
+  return *loops_[shard];
 }
 
 void Server::adoptConnection(int fd) {
-  {
-    MutexLock lock(mu_);
-    adoptQueue_.push_back(fd);
+  if (!started_) {
+    throw std::logic_error("serve::Server::adoptConnection before start()");
   }
-  wake();
+  nextLoop().adopt(fd, /*accepted=*/false);
 }
 
 void Server::requestDrain() noexcept {
-  drainRequested_.store(true, std::memory_order_release);
-  wake();
+  for (auto& loop : loops_) loop->requestDrain();
 }
 
 void Server::stop() noexcept {
-  stopRequested_.store(true, std::memory_order_release);
-  wake();
+  for (auto& loop : loops_) loop->requestStop();
 }
 
 void Server::join() {
-  if (thread_.joinable()) thread_.join();
+  for (auto& loop : loops_) loop->join();
 }
 
-bool Server::running() const { return running_.load(std::memory_order_acquire); }
+bool Server::running() const {
+  for (const auto& loop : loops_) {
+    if (loop->running()) return true;
+  }
+  return false;
+}
 
 std::uint16_t Server::tcpPort() const {
   return boundTcpPort_.load(std::memory_order_acquire);
 }
 
 ServerStats Server::stats() const {
-  MutexLock lock(mu_);
-  return stats_;
-}
-
-std::vector<TenantSnapshot> Server::tenants() const {
-  MutexLock lock(mu_);
-  std::vector<TenantSnapshot> out;
-  out.reserve(tenants_.size());
-  for (const auto& [id, row] : tenants_) out.push_back(row);
+  ServerStats out;
+  out.drained = !loops_.empty();  // AND identity; stays false pre-start
+  for (const auto& loop : loops_) loop->counters().addTo(out);
   return out;
 }
 
-void Server::wake() noexcept {
-  if (wakeFd_ >= 0) {
-    std::uint64_t one = 1;
-    // A full eventfd counter still wakes the loop; the result is
-    // intentionally ignored (async-signal-safe path).
-    [[maybe_unused]] ssize_t rc = ::write(wakeFd_, &one, sizeof(one));
-  }
+std::vector<TenantSnapshot> Server::tenants() const {
+  return tenants_.snapshot();
 }
 
-void Server::loop() {
-  constexpr int kMaxEvents = 64;
-  epoll_event events[kMaxEvents];
-
-  while (true) {
-    if (stopRequested_.load(std::memory_order_acquire)) break;
-    if (drainRequested_.load(std::memory_order_acquire)) {
-      drainAndExit();
-      break;
-    }
-
-    // Adopted fds queue from other threads.
-    std::vector<int> adopted;
-    {
-      MutexLock lock(mu_);
-      adopted.swap(adoptQueue_);
-    }
-    for (int fd : adopted) registerConnection(fd, /*accepted=*/false);
-
-    int n = epoll_wait(epollFd_, events, kMaxEvents, /*timeout ms=*/200);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    for (int i = 0; i < n; ++i) {
-      int fd = events[i].data.fd;
-      std::uint32_t mask = events[i].events;
-      if (fd == wakeFd_) {
-        std::uint64_t drainCount;
-        while (::read(wakeFd_, &drainCount, sizeof(drainCount)) > 0) {
-        }
-        continue;
-      }
-      if (fd == unixListenFd_ || fd == tcpListenFd_) {
-        acceptPending(fd);
-        continue;
-      }
-      Connection* conn = nullptr;
-      {
-        MutexLock lock(mu_);
-        auto it = connections_.find(fd);
-        if (it != connections_.end()) conn = it->second.get();
-      }
-      if (conn == nullptr) continue;  // already closed this iteration
-      if ((mask & (EPOLLERR | EPOLLHUP)) != 0 &&
-          (mask & (EPOLLIN | EPOLLOUT)) == 0) {
-        closeConnection(fd);
-        continue;
-      }
-      if ((mask & EPOLLOUT) != 0) handleWritable(*conn);
-      // handleWritable may have shed/closed the connection.
-      {
-        MutexLock lock(mu_);
-        if (connections_.find(fd) == connections_.end()) continue;
-      }
-      if ((mask & EPOLLIN) != 0) handleReadable(*conn);
-    }
+std::vector<std::uint64_t> Server::shardConnectionCounts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(loops_.size());
+  for (const auto& loop : loops_) {
+    const ShardCounters& c = loop->counters();
+    out.push_back(c.connectionsAccepted.load(std::memory_order_relaxed) +
+                  c.connectionsAdopted.load(std::memory_order_relaxed));
   }
-
-  // Loop exit: close every remaining fd.
-  std::vector<int> fds;
-  {
-    MutexLock lock(mu_);
-    for (const auto& [fd, conn] : connections_) fds.push_back(fd);
-  }
-  for (int fd : fds) closeConnection(fd);
-  closeListeners();
-  if (epollFd_ >= 0) {
-    ::close(epollFd_);
-    epollFd_ = -1;
-  }
-  if (wakeFd_ >= 0) {
-    ::close(wakeFd_);
-    wakeFd_ = -1;
-  }
-  running_.store(false, std::memory_order_release);
-}
-
-void Server::closeListeners() {
-  for (int* fd : {&unixListenFd_, &tcpListenFd_}) {
-    if (*fd >= 0) {
-      epoll_ctl(epollFd_, EPOLL_CTL_DEL, *fd, nullptr);
-      ::close(*fd);
-      *fd = -1;
-    }
-  }
-}
-
-void Server::acceptPending(int listenFd) {
-  while (true) {
-    int fd = accept4(listenFd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN or transient error: nothing to accept
-    registerConnection(fd, /*accepted=*/true);
-  }
-}
-
-void Server::registerConnection(int fd, bool accepted) {
-  setNonBlocking(fd);
-  auto conn = std::make_unique<Connection>();
-  conn->fd = fd;
-  conn->interest = EPOLLIN;
-  epoll_event ev{};
-  ev.events = conn->interest;
-  ev.data.fd = fd;
-  if (epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
-    ::close(fd);
-    return;
-  }
-  MutexLock lock(mu_);
-  if (accepted) {
-    ++stats_.connectionsAccepted;
-  } else {
-    ++stats_.connectionsAdopted;
-  }
-  connections_[fd] = std::move(conn);
-  stats_.openConnections = connections_.size();
-  CDBP_TELEM_GAUGE_SET("serve.connections", connections_.size());
-}
-
-void Server::updateInterest(Connection& conn) {
-  std::uint32_t want = 0;
-  if (!conn.readPaused && !conn.peerClosed && !conn.closing) want |= EPOLLIN;
-  if (conn.pendingWrite() > 0) want |= EPOLLOUT;
-  if (want == conn.interest) return;
-  conn.interest = want;
-  epoll_event ev{};
-  ev.events = want;
-  ev.data.fd = conn.fd;
-  epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev);
-}
-
-void Server::handleReadable(Connection& conn) {
-  std::uint8_t chunk[kReadChunk];
-  while (!conn.readPaused && !conn.closing) {
-    ssize_t got = recv(conn.fd, chunk, sizeof(chunk), 0);
-    if (got > 0) {
-      conn.rbuf.insert(conn.rbuf.end(), chunk, chunk + got);
-      {
-        MutexLock lock(mu_);
-        stats_.bytesReceived += static_cast<std::uint64_t>(got);
-      }
-      processBufferedFrames(conn);
-      // A partial frame cannot exceed the payload cap plus framing: the
-      // extractor flags oversized prefixes as soon as they are visible.
-      if (got < static_cast<ssize_t>(sizeof(chunk))) break;
-      continue;
-    }
-    if (got == 0) {
-      conn.peerClosed = true;
-      processBufferedFrames(conn);
-      break;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
-    closeConnection(conn.fd);
-    return;
-  }
-  pumpConnection(conn);
-}
-
-void Server::handleWritable(Connection& conn) {
-  pumpConnection(conn);
-}
-
-void Server::pumpConnection(Connection& conn) {
-  const int fd = conn.fd;
-  while (true) {
-    flushWrites(conn);
-    {
-      MutexLock lock(mu_);
-      if (connections_.find(fd) == connections_.end()) return;
-    }
-    // Below the resume threshold with requests still buffered: pick them
-    // back up. The loop re-pauses (and re-flushes) as replies accumulate,
-    // so the write buffer never exceeds the limit by more than one reply.
-    if (conn.readPaused && !conn.closing &&
-        conn.pendingWrite() <= options_.writeBufferLimit / 2) {
-      conn.readPaused = false;
-      std::size_t before = conn.pendingRead();
-      processBufferedFrames(conn);
-      if (conn.readPaused || conn.pendingRead() != before) continue;
-    }
-    break;
-  }
-  if ((conn.closing || conn.peerClosed) && conn.pendingWrite() == 0) {
-    closeConnection(fd);
-    return;
-  }
-  updateInterest(conn);
-}
-
-void Server::processBufferedFrames(Connection& conn) {
-  bool draining = drainRequested_.load(std::memory_order_acquire);
-  while (!conn.closing) {
-    // Backpressure: once the write buffer crosses the limit, leave the
-    // remaining (already received) requests unprocessed in rbuf. They
-    // resume when the client reads. A graceful drain overrides the limit
-    // so every fully-received request is answered before exit.
-    if (!draining && conn.pendingWrite() > options_.writeBufferLimit) {
-      if (!conn.readPaused) {
-        conn.readPaused = true;
-        MutexLock lock(mu_);
-        ++stats_.throttleEvents;
-        CDBP_TELEM_COUNT("serve.throttles", 1);
-      }
-      break;
-    }
-    if (conn.pendingWrite() >
-        options_.writeBufferLimit + options_.maxFramePayload + kShedHeadroom) {
-      // Unreachable with well-formed replies; shed defensively.
-      conn.closing = true;
-      MutexLock lock(mu_);
-      ++stats_.shedConnections;
-      break;
-    }
-    FrameView frame;
-    std::size_t consumed = 0;
-    ExtractStatus status =
-        extractFrame(conn.rbuf.data() + conn.rpos, conn.pendingRead(),
-                     options_.maxFramePayload, frame, consumed);
-    if (status == ExtractStatus::kNeedMore) break;
-    if (status == ExtractStatus::kOversized) {
-      {
-        MutexLock lock(mu_);
-        ++stats_.framesReceived;
-      }
-      sendError(conn, ErrorCode::kOversizedFrame,
-                "frame length prefix exceeds the payload cap");
-      conn.closing = true;  // cannot resync past an untrusted length
-      break;
-    }
-    conn.rpos += consumed;
-    {
-      MutexLock lock(mu_);
-      ++stats_.framesReceived;
-    }
-    CDBP_TELEM_COUNT("serve.frames_rx", 1);
-    handleFrame(conn, frame);
-  }
-  // Compact the consumed prefix so rbuf stays proportional to what is
-  // actually pending.
-  if (conn.rpos > 0) {
-    if (conn.rpos == conn.rbuf.size()) {
-      conn.rbuf.clear();
-    } else {
-      conn.rbuf.erase(conn.rbuf.begin(),
-                      conn.rbuf.begin() +
-                          static_cast<std::ptrdiff_t>(conn.rpos));
-    }
-    conn.rpos = 0;
-  }
-}
-
-void Server::handleFrame(Connection& conn, const FrameView& frame) {
-  switch (frame.type) {
-    case FrameType::kHello:
-      handleHello(conn, frame);
-      return;
-    case FrameType::kPlace:
-      handlePlace(conn, frame);
-      return;
-    case FrameType::kDepart:
-      handleDepart(conn, frame);
-      return;
-    case FrameType::kStats:
-      if (!decodeEmpty(frame)) {
-        sendError(conn, ErrorCode::kMalformedFrame, "STATS carries no body");
-        return;
-      }
-      handleStats(conn);
-      return;
-    case FrameType::kDrain:
-      if (!decodeEmpty(frame)) {
-        sendError(conn, ErrorCode::kMalformedFrame, "DRAIN carries no body");
-        return;
-      }
-      handleDrainRequest(conn);
-      return;
-    case FrameType::kScrape:
-      if (!decodeEmpty(frame)) {
-        sendError(conn, ErrorCode::kMalformedFrame, "SCRAPE carries no body");
-        return;
-      }
-      handleScrape(conn);
-      return;
-    case FrameType::kError:
-      // The extractor's tag for a zero-length frame (no type byte).
-      sendError(conn, ErrorCode::kMalformedFrame, "empty frame");
-      return;
-    default:
-      sendError(conn, ErrorCode::kUnknownFrameType,
-                "unknown frame type " +
-                    std::to_string(static_cast<unsigned>(frame.type)));
-      return;
-  }
-}
-
-void Server::handleHello(Connection& conn, const FrameView& frame) {
-  HelloFrame hello;
-  if (!decodeHello(frame, hello)) {
-    sendError(conn, ErrorCode::kMalformedFrame, "undecodable HELLO body");
-    return;
-  }
-  if (hello.version != kProtocolVersion) {
-    sendError(conn, ErrorCode::kProtocolVersion,
-              "server speaks cdbp-serve v" +
-                  std::to_string(kProtocolVersion) + ", client sent v" +
-                  std::to_string(hello.version));
-    return;
-  }
-  if (conn.session != nullptr) {
-    sendError(conn, ErrorCode::kDuplicateHello,
-              "connection already carries a session for tenant '" +
-                  conn.session->tenant + "'");
-    return;
-  }
-  PolicyContext context;
-  context.minDuration = hello.minDuration;
-  context.mu = hello.mu;
-  context.seed = hello.seed;
-  PolicyPtr policy;
-  try {
-    policy = makePolicy(hello.policySpec, context);
-  } catch (const std::exception& e) {
-    sendError(conn, ErrorCode::kBadPolicySpec, e.what());
-    return;
-  }
-
-  auto session = std::make_unique<Connection::Session>();
-  session->tenant = hello.tenant;
-  session->policy = std::move(policy);
-  StreamOptions streamOptions;
-  streamOptions.engine = hello.engine == 1 ? PlacementEngine::kLinearScan
-                                           : PlacementEngine::kIndexed;
-  session->engine =
-      std::make_unique<StreamEngine>(*session->policy, streamOptions);
-
-  HelloOkFrame ok;
-  ok.version = kProtocolVersion;
-  ok.policyName = session->policy->name();
-  {
-    MutexLock lock(mu_);
-    session->tenantId = nextTenantId_++;
-    ok.tenantId = session->tenantId;
-    TenantSnapshot row;
-    row.id = session->tenantId;
-    row.name = session->tenant;
-    row.policyName = ok.policyName;
-    tenants_[row.id] = std::move(row);
-    ++stats_.sessionsOpened;
-    CDBP_TELEM_GAUGE_SET("serve.tenants", tenants_.size());
-  }
-  conn.session = std::move(session);
-  std::vector<std::uint8_t> reply;
-  appendHelloOk(reply, ok);
-  sendBytes(conn, reply);
-}
-
-void Server::handlePlace(Connection& conn, const FrameView& frame) {
-  if (conn.session == nullptr) {
-    sendError(conn, ErrorCode::kUnknownTenant, "PLACE before HELLO");
-    return;
-  }
-  if (conn.session->finished) {
-    sendError(conn, ErrorCode::kSessionFinished, "PLACE after DRAIN");
-    return;
-  }
-  PlaceFrame place;
-  if (!decodePlace(frame, place)) {
-    sendError(conn, ErrorCode::kMalformedFrame, "undecodable PLACE body");
-    return;
-  }
-  StreamEngine& engine = *conn.session->engine;
-  if (place.arrival < engine.timeWatermark()) {
-    sendError(conn, ErrorCode::kOutOfOrder,
-              "PLACE arrival " + std::to_string(place.arrival) +
-                  " behind the session watermark " +
-                  std::to_string(engine.timeWatermark()));
-    return;
-  }
-  StreamEngine::Placement placed;
-  try {
-    CDBP_TELEM_SCOPED_TIMER(timer, "serve.place_ns");
-    placed = engine.place(StreamItem{place.size, place.arrival,
-                                     place.departure});
-  } catch (const std::invalid_argument& e) {
-    sendError(conn, ErrorCode::kBadItem, e.what());
-    return;
-  } catch (const std::logic_error& e) {
-    // A policy/engine contract violation is a server-side bug; the
-    // session is no longer trustworthy.
-    conn.session->finished = true;
-    sendError(conn, ErrorCode::kInternal, e.what());
-    return;
-  }
-  CDBP_TELEM_COUNT("serve.placements", 1);
-  {
-    MutexLock lock(mu_);
-    ++stats_.placements;
-    auto it = tenants_.find(conn.session->tenantId);
-    if (it != tenants_.end()) {
-      it->second.items = engine.itemsPlaced();
-      it->second.openBins = engine.openBins();
-    }
-  }
-  PlacedFrame reply;
-  reply.item = placed.item;
-  reply.bin = placed.bin;
-  reply.openedNewBin = placed.openedNewBin ? 1 : 0;
-  reply.category = placed.category;
-  std::vector<std::uint8_t> bytes;
-  appendPlaced(bytes, reply);
-  sendBytes(conn, bytes);
-}
-
-void Server::handleDepart(Connection& conn, const FrameView& frame) {
-  if (conn.session == nullptr) {
-    sendError(conn, ErrorCode::kUnknownTenant, "DEPART before HELLO");
-    return;
-  }
-  if (conn.session->finished) {
-    sendError(conn, ErrorCode::kSessionFinished, "DEPART after DRAIN");
-    return;
-  }
-  DepartFrame depart;
-  if (!decodeDepart(frame, depart)) {
-    sendError(conn, ErrorCode::kMalformedFrame, "undecodable DEPART body");
-    return;
-  }
-  StreamEngine& engine = *conn.session->engine;
-  if (depart.time < engine.timeWatermark()) {
-    sendError(conn, ErrorCode::kOutOfOrder,
-              "DEPART time " + std::to_string(depart.time) +
-                  " behind the session watermark " +
-                  std::to_string(engine.timeWatermark()));
-    return;
-  }
-  DepartOkFrame ok;
-  try {
-    ok.drained = engine.drainUntil(depart.time);
-  } catch (const std::invalid_argument& e) {
-    sendError(conn, ErrorCode::kBadItem, e.what());  // non-finite time
-    return;
-  }
-  ok.openBins = engine.openBins();
-  {
-    MutexLock lock(mu_);
-    auto it = tenants_.find(conn.session->tenantId);
-    if (it != tenants_.end()) it->second.openBins = engine.openBins();
-  }
-  std::vector<std::uint8_t> bytes;
-  appendDepartOk(bytes, ok);
-  sendBytes(conn, bytes);
-}
-
-void Server::handleStats(Connection& conn) {
-  if (conn.session == nullptr) {
-    sendError(conn, ErrorCode::kUnknownTenant, "STATS before HELLO");
-    return;
-  }
-  if (conn.session->finished) {
-    sendError(conn, ErrorCode::kSessionFinished, "STATS after DRAIN");
-    return;
-  }
-  const StreamEngine& engine = *conn.session->engine;
-  StatsOkFrame ok;
-  ok.items = engine.itemsPlaced();
-  ok.binsOpened = engine.binsOpened();
-  ok.openBins = engine.openBins();
-  ok.pendingDepartures = engine.pendingDepartures();
-  ok.peakOpenItems = engine.peakOpenItems();
-  ok.peakResidentBytes = engine.peakResidentBytes();
-  std::vector<std::uint8_t> bytes;
-  appendStatsOk(bytes, ok);
-  sendBytes(conn, bytes);
-}
-
-void Server::handleDrainRequest(Connection& conn) {
-  if (conn.session == nullptr) {
-    sendError(conn, ErrorCode::kUnknownTenant, "DRAIN before HELLO");
-    return;
-  }
-  if (conn.session->finished) {
-    sendError(conn, ErrorCode::kSessionFinished, "session already drained");
-    return;
-  }
-  StreamResult result = conn.session->engine->finish();
-  conn.session->finished = true;
-  DrainOkFrame ok;
-  ok.items = result.items;
-  ok.totalUsage = result.totalUsage;
-  ok.binsOpened = result.binsOpened;
-  ok.maxOpenBins = result.maxOpenBins;
-  ok.categoriesUsed = result.categoriesUsed;
-  ok.lb3 = result.lb3;
-  ok.peakOpenItems = result.peakOpenItems;
-  ok.peakResidentBytes = result.peakResidentBytes;
-  {
-    MutexLock lock(mu_);
-    ++stats_.sessionsFinished;
-    auto it = tenants_.find(conn.session->tenantId);
-    if (it != tenants_.end()) {
-      it->second.items = result.items;
-      it->second.openBins = 0;
-      it->second.finished = true;
-    }
-  }
-  // The engine and policy are spent; release their bin state eagerly so
-  // long-lived connections do not pin finished sessions in memory.
-  conn.session->engine.reset();
-  conn.session->policy.reset();
-  std::vector<std::uint8_t> bytes;
-  appendDrainOk(bytes, ok);
-  sendBytes(conn, bytes);
-}
-
-void Server::handleScrape(Connection& conn) {
-  CDBP_TELEM_COUNT("serve.scrapes", 1);
-  ScrapeOkFrame ok;
-  ok.text = telemetry::exposeTextString(telemetry::Registry::global());
-  std::vector<std::uint8_t> bytes;
-  appendScrapeOk(bytes, ok);
-  sendBytes(conn, bytes);
-}
-
-void Server::sendError(Connection& conn, ErrorCode code,
-                       const std::string& message) {
-  ErrorFrame error;
-  error.code = code;
-  error.message = message;
-  std::vector<std::uint8_t> bytes;
-  appendError(bytes, error);
-  sendBytes(conn, bytes);
-  {
-    MutexLock lock(mu_);
-    ++stats_.errorsSent;
-  }
-  CDBP_TELEM_COUNT("serve.errors", 1);
-}
-
-void Server::sendBytes(Connection& conn, const std::vector<std::uint8_t>& bytes) {
-  conn.wbuf.insert(conn.wbuf.end(), bytes.begin(), bytes.end());
-  CDBP_TELEM_COUNT("serve.frames_tx", 1);
-  MutexLock lock(mu_);
-  ++stats_.framesSent;
-  if (conn.pendingWrite() > stats_.peakWriteBuffered) {
-    stats_.peakWriteBuffered = conn.pendingWrite();
-    CDBP_TELEM_GAUGE_SET("serve.write_buffered_bytes", conn.pendingWrite());
-  }
-}
-
-void Server::flushWrites(Connection& conn) {
-  while (conn.pendingWrite() > 0) {
-    ssize_t sent = send(conn.fd, conn.wbuf.data() + conn.wpos,
-                        conn.pendingWrite(), MSG_NOSIGNAL);
-    if (sent > 0) {
-      conn.wpos += static_cast<std::size_t>(sent);
-      MutexLock lock(mu_);
-      stats_.bytesSent += static_cast<std::uint64_t>(sent);
-      continue;
-    }
-    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    if (sent < 0 && errno == EINTR) continue;
-    closeConnection(conn.fd);
-    return;
-  }
-  if (conn.wpos == conn.wbuf.size()) {
-    conn.wbuf.clear();
-    conn.wpos = 0;
-  } else if (conn.wpos > 64 * 1024) {
-    conn.wbuf.erase(conn.wbuf.begin(),
-                    conn.wbuf.begin() + static_cast<std::ptrdiff_t>(conn.wpos));
-    conn.wpos = 0;
-  }
-}
-
-void Server::closeConnection(int fd) {
-  std::unique_ptr<Connection> conn;
-  {
-    MutexLock lock(mu_);
-    auto it = connections_.find(fd);
-    if (it == connections_.end()) return;
-    conn = std::move(it->second);
-    connections_.erase(it);
-    ++stats_.connectionsClosed;
-    stats_.openConnections = connections_.size();
-    if (conn->session != nullptr) {
-      auto t = tenants_.find(conn->session->tenantId);
-      if (t != tenants_.end()) t->second.finished = true;
-    }
-    CDBP_TELEM_GAUGE_SET("serve.connections", connections_.size());
-  }
-  epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
-  ::close(fd);
-}
-
-void Server::drainAndExit() {
-  {
-    MutexLock lock(mu_);
-    stats_.draining = true;
-  }
-  closeListeners();
-
-  // Answer every fully-received request, then flush.
-  std::vector<int> fds;
-  {
-    MutexLock lock(mu_);
-    for (const auto& [fd, conn] : connections_) fds.push_back(fd);
-  }
-  for (int fd : fds) {
-    Connection* conn = nullptr;
-    {
-      MutexLock lock(mu_);
-      auto it = connections_.find(fd);
-      if (it != connections_.end()) conn = it->second.get();
-    }
-    if (conn == nullptr) continue;
-    conn->readPaused = true;  // no new requests during the drain
-    processBufferedFrames(*conn);
-    flushWrites(*conn);
-  }
-
-  // Flush loop, bounded by the drain timeout: wait for writability on
-  // connections that still hold replies.
-  std::uint64_t deadline =
-      telemetry::monotonicNanos() + options_.drainTimeoutNanos;
-  constexpr int kMaxEvents = 64;
-  epoll_event events[kMaxEvents];
-  while (telemetry::monotonicNanos() < deadline) {
-    bool pendingAny = false;
-    std::vector<int> open;
-    {
-      MutexLock lock(mu_);
-      for (const auto& [fd, conn] : connections_) open.push_back(fd);
-    }
-    for (int fd : open) {
-      Connection* conn = nullptr;
-      {
-        MutexLock lock(mu_);
-        auto it = connections_.find(fd);
-        if (it != connections_.end()) conn = it->second.get();
-      }
-      if (conn == nullptr) continue;
-      if (conn->pendingWrite() == 0) {
-        closeConnection(fd);
-      } else {
-        pendingAny = true;
-        conn->interest = EPOLLOUT;
-        epoll_event ev{};
-        ev.events = EPOLLOUT;
-        ev.data.fd = fd;
-        epoll_ctl(epollFd_, EPOLL_CTL_MOD, fd, &ev);
-      }
-    }
-    if (!pendingAny) break;
-    int n = epoll_wait(epollFd_, events, kMaxEvents, 50);
-    for (int i = 0; i < n; ++i) {
-      int fd = events[i].data.fd;
-      if (fd == wakeFd_) {
-        std::uint64_t drainCount;
-        while (::read(wakeFd_, &drainCount, sizeof(drainCount)) > 0) {
-        }
-        continue;
-      }
-      Connection* conn = nullptr;
-      {
-        MutexLock lock(mu_);
-        auto it = connections_.find(fd);
-        if (it != connections_.end()) conn = it->second.get();
-      }
-      if (conn != nullptr) flushWrites(*conn);
-    }
-    if (stopRequested_.load(std::memory_order_acquire)) break;
-  }
-
-  // Whatever could not flush in time is closed regardless.
-  std::vector<int> leftover;
-  {
-    MutexLock lock(mu_);
-    for (const auto& [fd, conn] : connections_) leftover.push_back(fd);
-  }
-  for (int fd : leftover) closeConnection(fd);
-  {
-    MutexLock lock(mu_);
-    stats_.drained = true;
-  }
+  return out;
 }
 
 }  // namespace cdbp::serve

@@ -1,205 +1,109 @@
-// Placement-as-a-service: the long-running daemon fronting the
-// bounded-memory streaming engine (DESIGN.md §13).
+// Placement-as-a-service: the sharded daemon fronting the bounded-memory
+// streaming engine (DESIGN.md §13).
 //
-// One epoll event loop, run on a dedicated thread, owns every connection:
-// it accepts on an optional Unix socket and/or a loopback TCP socket
-// (plus fds adopted via adoptConnection — socketpair tests and benches),
-// parses cdbp-serve v1 frames (serve/protocol.hpp), and drives one
-// per-tenant session per connection. A session is an independent
-// StreamEngine + OnlinePolicy instantiated from the HELLO frame's
-// makePolicy spec string, so placements served over a socket are
-// bit-identical to simulateStream on the same item sequence — the serve
-// differential suite pins this for every policy spec and both engines.
+// Layering: Server (this file) owns the listeners, the shard router and
+// the lifecycle; each shard is a serve::Loop (loop.hpp) — one epoll
+// thread owning a disjoint set of serve::Session connection state
+// machines (session.hpp). ServerOptions::loopThreads picks the shard
+// count (0 = one per hardware thread); connections are accepted on loop
+// 0 and handed off round-robin via each loop's eventfd wake path, then
+// stay pinned to their shard for life. Sessions are independent — only
+// the TenantTable and the telemetry registry are shared, both
+// thread-safe — so a 4-shard server produces placements bit-identical
+// to local StreamEngine runs; the serve differential suite pins this
+// for every policy spec and both engines.
 //
-// Backpressure (§13.4): each connection carries bounded read and write
-// buffers. When a client stops reading, its write buffer fills to
-// writeBufferLimit, at which point the loop (a) stops reading more
-// requests from that fd and (b) stops processing frames already buffered
-// — so per-connection server memory is bounded by
-// writeBufferLimit + one maximal reply + the read-buffer cap, no matter
-// how fast the client writes. Processing resumes when the buffer drains
-// below half the limit. A connection that exceeds the hard cap
-// (writeBufferLimit + maxFramePayload headroom, reachable only with a
-// pathologically large single reply) is shed with a kBackpressure error.
+// The wire protocol is cdbp-serve v2 (serve/protocol.hpp): v1 clients
+// negotiate down in HELLO and keep working; v2 clients can pack many
+// PLACE/DEPART sub-ops into one BATCH frame. Per-tenant counters
+// (serve.tenant.<id>.placements/.bytes/.usage) ride the global registry
+// and surface through SCRAPE.
 //
-// Graceful drain (§13.5): requestDrain() — async-signal-safe, wired to
-// SIGTERM by the cdbp_served binary — makes the loop stop accepting,
-// stop reading, finish every fully-received in-flight request, flush all
-// replies (bounded by drainTimeoutNanos), close, and exit. stats()
-// afterwards shows drained == true; the daemon then emits a final
-// telemetry snapshot and exits 0.
-//
-// Threading: the loop thread owns all connection I/O state. The
-// connection table and tenant map are guarded by the annotated
-// cdbp::Mutex (checked under the clang-tsa preset); cross-thread
-// observers (stats(), tenants(), the drain/stop flags) touch only that
-// guarded state and atomics, never buffer internals.
+// Backpressure stays per-connection (session.hpp); graceful drain —
+// requestDrain(), async-signal-safe, wired to SIGTERM by cdbp_served —
+// fans out to every shard: each loop stops accepting, answers its
+// in-flight requests, flushes (bounded by drainTimeoutNanos), closes
+// and exits. stats() afterwards shows drained == true.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <string>
-#include <thread>
 #include <vector>
 
-#include "serve/protocol.hpp"
-#include "util/mutex.hpp"
-#include "util/thread_annotations.hpp"
+#include "serve/loop.hpp"
+#include "serve/types.hpp"
 
 namespace cdbp::serve {
 
-struct ServerOptions {
-  /// Listen on this Unix-domain socket path when non-empty (an existing
-  /// socket file at the path is unlinked first).
-  std::string unixPath;
-
-  /// Listen on 127.0.0.1 when true; port 0 binds an ephemeral port
-  /// (readable from Server::tcpPort() after start()).
-  bool tcp = false;
-  std::uint16_t tcpPort = 0;
-
-  /// Frame payload cap; length prefixes above it shed the connection
-  /// with kErrOversizedFrame.
-  std::size_t maxFramePayload = kDefaultMaxFramePayload;
-
-  /// Write-buffer throttle threshold per connection (bytes). See the
-  /// backpressure contract above.
-  std::size_t writeBufferLimit = 256 * 1024;
-
-  /// Wall-clock budget for flushing replies during a graceful drain;
-  /// connections that cannot flush in time are closed anyway.
-  std::uint64_t drainTimeoutNanos = 5'000'000'000;
-};
-
-/// Cross-thread snapshot of the server's counters.
-struct ServerStats {
-  std::uint64_t connectionsAccepted = 0;
-  std::uint64_t connectionsAdopted = 0;
-  std::uint64_t connectionsClosed = 0;
-  std::size_t openConnections = 0;
-  std::uint64_t framesReceived = 0;
-  std::uint64_t framesSent = 0;
-  std::uint64_t errorsSent = 0;
-  std::uint64_t placements = 0;
-  std::uint64_t sessionsOpened = 0;
-  std::uint64_t sessionsFinished = 0;
-  std::uint64_t throttleEvents = 0;   ///< read-pause transitions
-  std::uint64_t shedConnections = 0;  ///< closed for exceeding the hard cap
-  std::uint64_t bytesReceived = 0;
-  std::uint64_t bytesSent = 0;
-  /// High-water mark of any single connection's write buffer — the
-  /// backpressure test's bounded-memory assertion reads this.
-  std::size_t peakWriteBuffered = 0;
-  bool draining = false;
-  bool drained = false;
-};
-
-/// One row of the tenant map: the per-session registry entry updated by
-/// the loop and readable from any thread.
-struct TenantSnapshot {
-  std::uint64_t id = 0;
-  std::string name;
-  std::string policyName;
-  std::uint64_t items = 0;
-  std::uint64_t openBins = 0;
-  bool finished = false;
-};
-
 class Server {
  public:
+  /// Validates the options up front (throws std::invalid_argument), so a
+  /// constructed Server always carries a resolved shard count.
   explicit Server(ServerOptions options);
 
-  /// Stops the loop (hard) and joins if still running.
+  /// Stops every loop (hard) and joins.
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds the configured listeners and spawns the event-loop thread.
-  /// Throws std::system_error when a socket call fails.
+  /// Binds the configured listeners, creates the loop threads and starts
+  /// them. Throws std::system_error when a socket call fails.
   void start();
 
   /// Hands an already-connected stream socket (e.g. one end of a
-  /// socketpair) to the loop, which takes ownership of the fd.
+  /// socketpair) to the next shard round-robin; the owning loop takes
+  /// the fd.
   void adoptConnection(int fd);
 
-  /// Graceful shutdown; async-signal-safe (atomic flag + eventfd write).
-  /// The loop finishes in-flight requests, flushes, closes and exits.
+  /// Graceful shutdown across all shards; async-signal-safe (per-loop
+  /// atomic store + eventfd write, over an immutable loop vector).
   void requestDrain() noexcept;
 
-  /// Hard stop: closes everything without flushing. Used by tests and
-  /// the destructor; production shutdown is requestDrain().
+  /// Hard stop: every loop closes everything without flushing. Used by
+  /// tests and the destructor; production shutdown is requestDrain().
   void stop() noexcept;
 
-  /// Waits for the event-loop thread to exit.
+  /// Waits for every loop thread to exit.
   void join();
 
+  /// True while any loop thread is still running.
   bool running() const;
 
-  /// Bound TCP port (after start(); 0 when TCP is disabled).
+  /// Bound port of the first TCP listener (after start(); 0 when no TCP
+  /// address was configured).
   std::uint16_t tcpPort() const;
 
-  ServerStats stats() const CDBP_EXCLUDES(mu_);
+  /// Counters aggregated across all shards: sums for the monotonic
+  /// counters, max for peakWriteBuffered (the bound is per-connection),
+  /// draining if any shard drains, drained only when all have.
+  ServerStats stats() const;
 
-  /// Copy of the tenant map, sorted by tenant id.
-  std::vector<TenantSnapshot> tenants() const CDBP_EXCLUDES(mu_);
+  /// Copy of the shared tenant map, sorted by tenant id.
+  std::vector<TenantSnapshot> tenants() const;
+
+  /// Connections ever registered per shard (accepted + adopted), in
+  /// shard order — the round-robin distribution tests read this.
+  std::vector<std::uint64_t> shardConnectionCounts() const;
+
+  /// Resolved options (loopThreads filled in); handy for tests.
+  const ServerOptions& options() const { return options_; }
 
  private:
-  struct Connection;
+  /// Round-robin shard pick for accepted/adopted connections.
+  Loop& nextLoop();
 
-  void loop();
-  void closeListeners();
-  bool setupListeners();
-  void acceptPending(int listenFd);
-  void registerConnection(int fd, bool accepted);
-  void handleReadable(Connection& conn);
-  void handleWritable(Connection& conn);
-  /// Alternates frame processing, flushing, and backpressure resume until
-  /// the connection quiesces (no complete frames processable, or paused
-  /// with the kernel unable to take more replies).
-  void pumpConnection(Connection& conn);
-  void processBufferedFrames(Connection& conn);
-  void handleFrame(Connection& conn, const FrameView& frame);
-  void handleHello(Connection& conn, const FrameView& frame);
-  void handlePlace(Connection& conn, const FrameView& frame);
-  void handleDepart(Connection& conn, const FrameView& frame);
-  void handleStats(Connection& conn);
-  void handleDrainRequest(Connection& conn);
-  void handleScrape(Connection& conn);
-  void sendError(Connection& conn, ErrorCode code, const std::string& message);
-  void sendBytes(Connection& conn, const std::vector<std::uint8_t>& bytes);
-  void flushWrites(Connection& conn);
-  void updateInterest(Connection& conn);
-  void closeConnection(int fd);
-  void drainAndExit();
-  void wake() noexcept;
+  ServerOptions options_;  // validated; immutable after construction
+  TenantTable tenants_;
 
-  ServerOptions options_;
+  // Immutable after start() — requestDrain() iterates it from signal
+  // context, so it must never reallocate once the loops are live.
+  std::vector<std::unique_ptr<Loop>> loops_;
 
-  int epollFd_ = -1;
-  int wakeFd_ = -1;
-  int unixListenFd_ = -1;
-  int tcpListenFd_ = -1;
+  std::atomic<std::size_t> nextShard_{0};
   std::atomic<std::uint16_t> boundTcpPort_{0};
-
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stopRequested_{false};
-  std::atomic<bool> drainRequested_{false};
-
-  std::thread thread_;
-
-  mutable Mutex mu_;
-  // Loop-owned values; the map is guarded so stats()/tenants() can read
-  // membership from other threads. Buffer internals inside a Connection
-  // are only ever touched by the loop thread.
-  std::map<int, std::unique_ptr<Connection>> connections_
-      CDBP_GUARDED_BY(mu_);
-  std::map<std::uint64_t, TenantSnapshot> tenants_ CDBP_GUARDED_BY(mu_);
-  std::vector<int> adoptQueue_ CDBP_GUARDED_BY(mu_);
-  ServerStats stats_ CDBP_GUARDED_BY(mu_);
-  std::uint64_t nextTenantId_ CDBP_GUARDED_BY(mu_) = 1;
+  bool started_ = false;
 };
 
 }  // namespace cdbp::serve

@@ -1,0 +1,200 @@
+// Shared value types for the sharded serve daemon (DESIGN.md §13):
+// validated ServerOptions (+ fluent builder), the cross-thread
+// ServerStats snapshot, per-shard lock-free counters, and the tenant
+// table shared by every loop thread.
+//
+// Layering (no cycles): types.hpp is the root — session.hpp builds the
+// per-connection state machine on it, loop.hpp owns sessions, server.hpp
+// owns loops. Everything here is either immutable after validation
+// (ServerOptions), all-atomic (ShardCounters), or mutex-guarded with
+// clang-tsa annotations (TenantTable).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/address.hpp"
+#include "serve/protocol.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace cdbp::serve {
+
+struct ServerOptions {
+  /// Endpoints to listen on; may be empty (adoptConnection-only servers,
+  /// e.g. socketpair tests and benches).
+  std::vector<Address> listen;
+
+  /// Number of epoll loop threads (shards). 0 means "one per hardware
+  /// thread"; resolved by validated(). Each accepted or adopted
+  /// connection is pinned to exactly one loop for its lifetime, so the
+  /// per-session StreamEngine stays single-threaded.
+  unsigned loopThreads = 0;
+
+  /// Frame payload cap; length prefixes above it shed the connection
+  /// with kErrOversizedFrame.
+  std::size_t maxFramePayload = kDefaultMaxFramePayload;
+
+  /// Write-buffer throttle threshold per connection (bytes). See the
+  /// backpressure contract in session.hpp.
+  std::size_t writeBufferLimit = 256 * 1024;
+
+  /// Wall-clock budget for flushing replies during a graceful drain;
+  /// connections that cannot flush in time are closed anyway.
+  std::uint64_t drainTimeoutNanos = 5'000'000'000;
+
+  /// Returns a copy with loopThreads resolved (0 -> hardware
+  /// concurrency, floor 1) and every field range-checked. Throws
+  /// std::invalid_argument naming the offending field. Server's
+  /// constructor calls this, so an un-validated options struct can never
+  /// reach a running loop.
+  ServerOptions validated() const;
+};
+
+/// Fluent construction for ServerOptions; build() validates:
+///
+///   auto options = ServerOptionsBuilder()
+///                      .listenOn("unix:/tmp/cdbp.sock")
+///                      .loopThreads(4)
+///                      .writeBufferLimit(256 * 1024)
+///                      .build();
+class ServerOptionsBuilder {
+ public:
+  /// Parses an address spec (see serve/address.hpp for the grammar) and
+  /// appends it. Throws std::invalid_argument on a malformed spec.
+  ServerOptionsBuilder& listenOn(const std::string& spec);
+  ServerOptionsBuilder& listenOn(Address address);
+  ServerOptionsBuilder& loopThreads(unsigned n);
+  ServerOptionsBuilder& maxFramePayload(std::size_t bytes);
+  ServerOptionsBuilder& writeBufferLimit(std::size_t bytes);
+  ServerOptionsBuilder& drainTimeout(std::uint64_t nanos);
+
+  /// Validates and returns the options (throws std::invalid_argument).
+  ServerOptions build() const;
+
+ private:
+  ServerOptions options_;
+};
+
+/// Cross-thread snapshot of the server's counters, aggregated over all
+/// shards by Server::stats().
+struct ServerStats {
+  std::uint64_t connectionsAccepted = 0;
+  std::uint64_t connectionsAdopted = 0;
+  std::uint64_t connectionsClosed = 0;
+  std::size_t openConnections = 0;
+  std::uint64_t framesReceived = 0;
+  std::uint64_t framesSent = 0;
+  std::uint64_t errorsSent = 0;
+  std::uint64_t placements = 0;
+  std::uint64_t batches = 0;  ///< BATCH frames executed (v2)
+  std::uint64_t sessionsOpened = 0;
+  std::uint64_t sessionsFinished = 0;
+  std::uint64_t throttleEvents = 0;   ///< read-pause transitions
+  std::uint64_t shedConnections = 0;  ///< closed for exceeding the hard cap
+  std::uint64_t bytesReceived = 0;
+  std::uint64_t bytesSent = 0;
+  /// High-water mark of any single connection's write buffer — the
+  /// backpressure tests' bounded-memory assertion reads this. Aggregated
+  /// with max, not sum: the bound is per-connection.
+  std::size_t peakWriteBuffered = 0;
+  bool draining = false;  ///< any shard draining
+  bool drained = false;   ///< every shard fully drained
+};
+
+/// Per-shard counters: all relaxed atomics, so sessions bump them on the
+/// hot path without a lock and stats() reads them from any thread. One
+/// instance per Loop; Server::stats() sums across shards.
+class ShardCounters {
+ public:
+  std::atomic<std::uint64_t> connectionsAccepted{0};
+  std::atomic<std::uint64_t> connectionsAdopted{0};
+  std::atomic<std::uint64_t> connectionsClosed{0};
+  std::atomic<std::size_t> openConnections{0};
+  std::atomic<std::uint64_t> framesReceived{0};
+  std::atomic<std::uint64_t> framesSent{0};
+  std::atomic<std::uint64_t> errorsSent{0};
+  std::atomic<std::uint64_t> placements{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> sessionsOpened{0};
+  std::atomic<std::uint64_t> sessionsFinished{0};
+  std::atomic<std::uint64_t> throttleEvents{0};
+  std::atomic<std::uint64_t> shedConnections{0};
+  std::atomic<std::uint64_t> bytesReceived{0};
+  std::atomic<std::uint64_t> bytesSent{0};
+  std::atomic<bool> draining{false};
+  std::atomic<bool> drained{false};
+
+  /// CAS-max update of the shard's write-buffer high-water mark.
+  void noteWriteBuffered(std::size_t bytes) noexcept {
+    std::size_t seen = peakWriteBuffered_.load(std::memory_order_relaxed);
+    while (bytes > seen && !peakWriteBuffered_.compare_exchange_weak(
+                               seen, bytes, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::size_t peakWriteBuffered() const noexcept {
+    return peakWriteBuffered_.load(std::memory_order_relaxed);
+  }
+
+  /// Adds this shard's counters into a cross-shard aggregate: sums for
+  /// the monotonic counters, max for peakWriteBuffered, OR for draining,
+  /// AND for drained.
+  void addTo(ServerStats& out) const;
+
+ private:
+  std::atomic<std::size_t> peakWriteBuffered_{0};
+};
+
+/// One row of the tenant map: the per-session registry entry updated by
+/// the owning loop and readable from any thread.
+struct TenantSnapshot {
+  std::uint64_t id = 0;
+  std::string name;
+  std::string policyName;
+  std::uint64_t items = 0;
+  std::uint64_t openBins = 0;
+  bool finished = false;
+};
+
+/// The tenant registry shared by every loop thread. Sessions on
+/// different shards open/update/finish tenants concurrently, so the map
+/// is guarded by an annotated Mutex (checked under the clang-tsa
+/// preset). Sessions throttle noteProgress() to every 64th placement
+/// plus the natural sync points (batch end, DEPART, STATS, DRAIN) to
+/// keep cross-shard contention off the hot path.
+class TenantTable {
+ public:
+  /// Registers a tenant; returns its id (dense, from 1). Updates the
+  /// serve.tenants gauge.
+  std::uint64_t open(const std::string& name, const std::string& policyName)
+      CDBP_EXCLUDES(mu_);
+
+  /// Refreshes the live items/openBins columns for a tenant.
+  void noteProgress(std::uint64_t id, std::uint64_t items,
+                    std::uint64_t openBins) CDBP_EXCLUDES(mu_);
+
+  /// Marks a tenant's session finished (DRAIN completed), recording its
+  /// final items/openBins.
+  void markFinished(std::uint64_t id, std::uint64_t items,
+                    std::uint64_t openBins) CDBP_EXCLUDES(mu_);
+
+  /// Flag-only variant for connection teardown: sets finished without
+  /// touching the items/openBins columns (which already hold the last
+  /// reported — or DRAIN-final — values).
+  void markFinished(std::uint64_t id) CDBP_EXCLUDES(mu_);
+
+  /// Copy of the tenant map, sorted by tenant id.
+  std::vector<TenantSnapshot> snapshot() const CDBP_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::uint64_t, TenantSnapshot> tenants_ CDBP_GUARDED_BY(mu_);
+  std::uint64_t nextId_ CDBP_GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace cdbp::serve

@@ -1,0 +1,147 @@
+// serve/address.hpp: the one spec grammar and socket factory shared by
+// the daemon, the client library and the example binaries.
+#include "serve/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+
+namespace cdbp::serve {
+namespace {
+
+TEST(ServeAddress, ParseForms) {
+  Address addr;
+  std::string error;
+  ASSERT_TRUE(parseAddress("unix:/tmp/x.sock", addr, error));
+  EXPECT_EQ(addr.kind, Address::Kind::kUnix);
+  EXPECT_EQ(addr.path, "/tmp/x.sock");
+
+  ASSERT_TRUE(parseAddress("tcp:127.0.0.1:9000", addr, error));
+  EXPECT_EQ(addr.kind, Address::Kind::kTcp);
+  EXPECT_EQ(addr.host, "127.0.0.1");
+  EXPECT_EQ(addr.port, 9000);
+
+  // Bare paths are unix shorthand.
+  ASSERT_TRUE(parseAddress("/tmp/bare.sock", addr, error));
+  EXPECT_EQ(addr.kind, Address::Kind::kUnix);
+  EXPECT_EQ(addr.path, "/tmp/bare.sock");
+
+  // Port 0 parses: it is a valid listen address (ephemeral bind).
+  ASSERT_TRUE(parseAddress("tcp:127.0.0.1:0", addr, error));
+  EXPECT_EQ(addr.port, 0);
+
+  EXPECT_FALSE(parseAddress("", addr, error));
+  EXPECT_FALSE(parseAddress("tcp:nohost", addr, error));
+  EXPECT_FALSE(parseAddress("tcp:host:notaport", addr, error));
+  EXPECT_FALSE(parseAddress("tcp:host:70000", addr, error));
+  EXPECT_FALSE(parseAddress("tcp::7077", addr, error));
+  EXPECT_FALSE(parseAddress("unix:", addr, error));
+}
+
+TEST(ServeAddress, FormatIsStableUnderReparse) {
+  for (const char* spec : {"unix:/tmp/x.sock", "tcp:127.0.0.1:9000",
+                           "tcp:localhost:1", "tcp:10.0.0.1:65535"}) {
+    Address addr;
+    std::string error;
+    ASSERT_TRUE(parseAddress(spec, addr, error)) << spec;
+    std::string formatted = formatAddress(addr);
+    EXPECT_EQ(formatted, spec);
+    Address again;
+    ASSERT_TRUE(parseAddress(formatted, again, error));
+    EXPECT_EQ(formatAddress(again), formatted);
+  }
+  // The unix shorthand canonicalizes to the explicit form.
+  Address bare;
+  std::string error;
+  ASSERT_TRUE(parseAddress("/tmp/bare.sock", bare, error));
+  EXPECT_EQ(formatAddress(bare), "unix:/tmp/bare.sock");
+}
+
+// Accepts one pending connection from a non-blocking listener, polling
+// briefly (the connect below has already completed, but the kernel may
+// need a moment to surface it).
+int acceptOne(int listenFd) {
+  for (int i = 0; i < 2000; ++i) {
+    int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) break;
+    ::usleep(1000);
+  }
+  return -1;
+}
+
+void exchangeByte(int client, int accepted) {
+  const char out = 'x';
+  ASSERT_EQ(::send(client, &out, 1, MSG_NOSIGNAL), 1);
+  char in = 0;
+  for (int i = 0; i < 2000; ++i) {
+    ssize_t n = ::recv(accepted, &in, 1, 0);
+    if (n == 1) break;
+    ASSERT_TRUE(n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK));
+    ::usleep(1000);
+  }
+  EXPECT_EQ(in, 'x');
+}
+
+TEST(ServeAddress, UnixListenConnectRoundTrip) {
+  Address addr;
+  addr.kind = Address::Kind::kUnix;
+  addr.path = testing::TempDir() + "cdbp_addr_" + std::to_string(::getpid()) +
+              ".sock";
+
+  int listenFd = listenStream(addr, /*backlog=*/4);
+  ASSERT_GE(listenFd, 0);
+  int client = connectStream(addr);
+  ASSERT_GE(client, 0);
+  int accepted = acceptOne(listenFd);
+  ASSERT_GE(accepted, 0);
+  exchangeByte(client, accepted);
+
+  ::close(accepted);
+  ::close(client);
+  // Re-listening on the same path works: listenStream unlinks first.
+  int again = listenStream(addr, /*backlog=*/4);
+  ASSERT_GE(again, 0);
+  ::close(again);
+  ::close(listenFd);
+  ::unlink(addr.path.c_str());
+}
+
+TEST(ServeAddress, TcpEphemeralListenConnectRoundTrip) {
+  Address addr;
+  addr.kind = Address::Kind::kTcp;
+  addr.host = "127.0.0.1";
+  addr.port = 0;
+
+  std::uint16_t boundPort = 0;
+  int listenFd = listenStream(addr, /*backlog=*/4, &boundPort);
+  ASSERT_GE(listenFd, 0);
+  ASSERT_GT(boundPort, 0);
+
+  Address connectAddr = addr;
+  connectAddr.port = boundPort;
+  int client = connectStream(connectAddr);
+  ASSERT_GE(client, 0);
+  int accepted = acceptOne(listenFd);
+  ASSERT_GE(accepted, 0);
+  exchangeByte(client, accepted);
+
+  ::close(accepted);
+  ::close(client);
+  ::close(listenFd);
+}
+
+TEST(ServeAddress, ConnectRejectsTcpPortZero) {
+  Address addr;
+  addr.kind = Address::Kind::kTcp;
+  addr.host = "127.0.0.1";
+  addr.port = 0;
+  EXPECT_THROW(connectStream(addr), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cdbp::serve

@@ -240,7 +240,156 @@ TEST(ServeProtocol, BackToBackFramesExtractInOrder) {
 TEST(ServeProtocol, ErrorCodeNames) {
   EXPECT_STREQ(errorCodeName(ErrorCode::kBadPolicySpec), "bad-policy-spec");
   EXPECT_STREQ(errorCodeName(ErrorCode::kOutOfOrder), "out-of-order");
+  EXPECT_STREQ(errorCodeName(ErrorCode::kUnsupportedVersion),
+               "unsupported-version");
   EXPECT_STREQ(errorCodeName(static_cast<ErrorCode>(999)), "unknown");
+}
+
+TEST(ServeProtocol, NegotiateVersion) {
+  EXPECT_EQ(negotiateVersion(0), 0);  // below the floor: reject
+  EXPECT_EQ(negotiateVersion(1), 1);  // v1 client: speak v1
+  EXPECT_EQ(negotiateVersion(2), 2);
+  EXPECT_EQ(negotiateVersion(3), 2);   // future client: cap at ours
+  EXPECT_EQ(negotiateVersion(999), 2);
+}
+
+TEST(ServeProtocol, BatchRoundTrip) {
+  BatchFrame in;
+  BatchOp place;
+  place.kind = kBatchOpPlace;
+  place.place = PlaceFrame{0.5, 1.0, 9.0};
+  BatchOp depart;
+  depart.kind = kBatchOpDepart;
+  depart.depart = DepartFrame{4.5};
+  in.ops = {place, depart, place};
+
+  std::vector<std::uint8_t> bytes;
+  appendBatch(bytes, in);
+  FrameView frame = extractOne(bytes);
+  ASSERT_EQ(frame.type, FrameType::kBatch);
+
+  BatchFrame out;
+  ASSERT_TRUE(decodeBatch(frame, out));
+  ASSERT_EQ(out.ops.size(), 3u);
+  EXPECT_EQ(out.ops[0].kind, kBatchOpPlace);
+  EXPECT_EQ(out.ops[0].place.size, 0.5);
+  EXPECT_EQ(out.ops[0].place.departure, 9.0);
+  EXPECT_EQ(out.ops[1].kind, kBatchOpDepart);
+  EXPECT_EQ(out.ops[1].depart.time, 4.5);
+  EXPECT_EQ(out.ops[2].place.arrival, 1.0);
+}
+
+TEST(ServeProtocol, BatchOkRoundTripSuccessAndFailure) {
+  {
+    BatchOkFrame in;
+    BatchResultEntry placed;
+    placed.kind = kBatchOpPlace;
+    placed.placed = PlacedFrame{7, 2, 1, 3};
+    BatchResultEntry departed;
+    departed.kind = kBatchOpDepart;
+    departed.depart = DepartOkFrame{12, 4};
+    in.results = {placed, departed};
+
+    std::vector<std::uint8_t> bytes;
+    appendBatchOk(bytes, in);
+    BatchOkFrame out;
+    ASSERT_TRUE(decodeBatchOk(extractOne(bytes), out));
+    ASSERT_EQ(out.results.size(), 2u);
+    EXPECT_EQ(out.results[0].placed.item, 7u);
+    EXPECT_EQ(out.results[0].placed.bin, 2);
+    EXPECT_EQ(out.results[1].depart.drained, 12u);
+    EXPECT_EQ(out.failed, 0);
+  }
+  {
+    // Partial failure: one completed result, op 1 rejected.
+    BatchOkFrame in;
+    BatchResultEntry placed;
+    placed.placed = PlacedFrame{0, 0, 1, 0};
+    in.results = {placed};
+    in.failed = 1;
+    in.failedIndex = 1;
+    in.errorCode = ErrorCode::kOutOfOrder;
+    in.errorMessage = "arrival behind the session watermark";
+
+    std::vector<std::uint8_t> bytes;
+    appendBatchOk(bytes, in);
+    BatchOkFrame out;
+    ASSERT_TRUE(decodeBatchOk(extractOne(bytes), out));
+    ASSERT_EQ(out.results.size(), 1u);
+    EXPECT_EQ(out.failed, 1);
+    EXPECT_EQ(out.failedIndex, 1u);
+    EXPECT_EQ(out.errorCode, ErrorCode::kOutOfOrder);
+    EXPECT_EQ(out.errorMessage, in.errorMessage);
+  }
+}
+
+TEST(ServeProtocol, BatchDecoderRejectsBadKind) {
+  BatchFrame in;
+  BatchOp op;
+  op.kind = kBatchOpPlace;
+  in.ops = {op};
+  std::vector<std::uint8_t> bytes;
+  appendBatch(bytes, in);
+  // Wire layout: u32 length | u8 type | u32 count | u8 kind | ... —
+  // corrupt the kind byte to an unknown discriminant.
+  bytes[9] = 0x7F;
+  BatchFrame out;
+  EXPECT_FALSE(decodeBatch(extractOne(bytes), out));
+}
+
+TEST(ServeProtocol, BatchDecoderRejectsOverCount) {
+  // A count above kMaxBatchOps is rejected before any op is read — the
+  // body here deliberately contains zero ops.
+  BatchFrame empty;
+  std::vector<std::uint8_t> bytes;
+  appendBatch(bytes, empty);
+  std::uint32_t count = static_cast<std::uint32_t>(kMaxBatchOps) + 1;
+  for (int i = 0; i < 4; ++i) {
+    bytes[5 + i] = static_cast<std::uint8_t>(count >> (8 * i));
+  }
+  BatchFrame out;
+  EXPECT_FALSE(decodeBatch(extractOne(bytes), out));
+}
+
+TEST(ServeProtocol, TruncatedBatchBodiesRejected) {
+  BatchFrame in;
+  BatchOp place;
+  place.place = PlaceFrame{0.5, 1.0, 2.0};
+  BatchOp depart;
+  depart.kind = kBatchOpDepart;
+  depart.depart = DepartFrame{1.5};
+  in.ops = {place, depart};
+  std::vector<std::uint8_t> bytes;
+  appendBatch(bytes, in);
+  FrameView whole = extractOne(bytes);
+  for (std::size_t n = 0; n < whole.payloadSize; ++n) {
+    FrameView cut{whole.type, whole.payload, n};
+    BatchFrame out;
+    EXPECT_FALSE(decodeBatch(cut, out)) << "body length " << n;
+  }
+  BatchFrame out;
+  EXPECT_TRUE(decodeBatch(whole, out));
+}
+
+TEST(ServeProtocol, TruncatedBatchOkBodiesRejected) {
+  BatchOkFrame in;
+  BatchResultEntry placed;
+  placed.placed = PlacedFrame{3, 1, 0, 2};
+  in.results = {placed};
+  in.failed = 1;
+  in.failedIndex = 1;
+  in.errorCode = ErrorCode::kBadItem;
+  in.errorMessage = "size must be positive";
+  std::vector<std::uint8_t> bytes;
+  appendBatchOk(bytes, in);
+  FrameView whole = extractOne(bytes);
+  for (std::size_t n = 0; n < whole.payloadSize; ++n) {
+    FrameView cut{whole.type, whole.payload, n};
+    BatchOkFrame out;
+    EXPECT_FALSE(decodeBatchOk(cut, out)) << "body length " << n;
+  }
+  BatchOkFrame out;
+  EXPECT_TRUE(decodeBatchOk(whole, out));
 }
 
 }  // namespace

@@ -5,12 +5,17 @@
 // telemetry delta. The daemon routes each session through the shared
 // StreamEngine, so this suite pins that the protocol layer adds no
 // divergence (encoding is bit-exact, ordering is preserved, sessions are
-// isolated).
+// isolated) — and, since the sharded redesign, that the shard count is
+// invisible to results: the 4-loop server below must match the 1-loop
+// server and the local engine decision for decision, whether sessions
+// are driven by pipelined PLACE/BATCH bursts or by the explicit Batch
+// builder.
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "online/policy_factory.hpp"
@@ -69,13 +74,18 @@ struct ServedRun {
   std::uint64_t fitChecks = 0;
 };
 
-ServedRun runServed(Server& server, const std::vector<StreamItem>& items,
-                    const std::string& spec, const PolicyContext& context,
-                    PlacementEngine engine) {
+/// How a served session pushes its items down the wire.
+enum class Driver {
+  kPipelined,  ///< queuePlace/flushQueued/readPlaced (BATCH frames on v2)
+  kBatch,      ///< explicit Batch builder, one BATCH per burst
+};
+
+Client openSession(Server& server, const std::string& spec,
+                   const PolicyContext& context, PlacementEngine engine) {
   int fds[2];
   EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
   server.adoptConnection(fds[1]);
-  ServeClient client(fds[0]);
+  Client client(fds[0]);
 
   HelloFrame hello;
   hello.version = kProtocolVersion;
@@ -86,21 +96,43 @@ ServedRun runServed(Server& server, const std::vector<StreamItem>& items,
   hello.tenant = spec;
   hello.policySpec = spec;
   client.hello(hello);
+  return client;
+}
+
+ServedRun runServed(Server& server, const std::vector<StreamItem>& items,
+                    const std::string& spec, const PolicyContext& context,
+                    PlacementEngine engine, Driver driver) {
+  Client client = openSession(server, spec, context, engine);
 
   ServedRun run;
   std::uint64_t before = fitChecks();
-  // Pipelined in bursts: exercises frame coalescing on the wire (many
-  // frames per read) rather than lockstep request/reply only.
+  // Bursts exercise frame coalescing on the wire (many frames or many
+  // sub-ops per read) rather than lockstep request/reply only.
   constexpr std::size_t kBurst = 64;
   std::size_t i = 0;
   while (i < items.size()) {
     std::size_t end = std::min(i + kBurst, items.size());
-    for (std::size_t j = i; j < end; ++j) {
-      client.queuePlace(items[j].size, items[j].arrival, items[j].departure);
-    }
-    client.flushQueued();
-    for (std::size_t j = i; j < end; ++j) {
-      run.placements.push_back(client.readPlaced());
+    if (driver == Driver::kPipelined) {
+      for (std::size_t j = i; j < end; ++j) {
+        client.queuePlace(items[j].size, items[j].arrival,
+                          items[j].departure);
+      }
+      client.flushQueued();
+      for (std::size_t j = i; j < end; ++j) {
+        run.placements.push_back(client.readPlaced());
+      }
+    } else {
+      Client::Batch batch = client.batch();
+      for (std::size_t j = i; j < end; ++j) {
+        batch.place(items[j].size, items[j].arrival, items[j].departure);
+      }
+      BatchOkFrame ok = batch.send();
+      EXPECT_EQ(ok.failed, 0);
+      EXPECT_EQ(ok.results.size(), end - i);
+      for (const BatchResultEntry& entry : ok.results) {
+        EXPECT_EQ(entry.kind, kBatchOpPlace);
+        run.placements.push_back(entry.placed);
+      }
     }
     i = end;
   }
@@ -125,10 +157,39 @@ std::vector<StreamItem> makeWorkload(std::uint64_t seed) {
   return items;
 }
 
-TEST(ServeDifferential, EverySpecAndEngineBitIdenticalToSimulateStream) {
-  Server server(ServerOptions{});
-  server.start();
+void expectBitIdentical(const ServedRun& served, const LocalRun& local) {
+  ASSERT_EQ(served.placements.size(), local.placements.size());
+  for (std::size_t i = 0; i < local.placements.size(); ++i) {
+    ASSERT_EQ(served.placements[i].item, local.placements[i].item)
+        << "item " << i;
+    ASSERT_EQ(served.placements[i].bin, local.placements[i].bin)
+        << "item " << i;
+    ASSERT_EQ(served.placements[i].openedNewBin,
+              local.placements[i].openedNewBin)
+        << "item " << i;
+    ASSERT_EQ(served.placements[i].category, local.placements[i].category)
+        << "item " << i;
+  }
+  // Exact doubles: the protocol carries f64 bit patterns, so the
+  // aggregates agree to the last bit, not to a tolerance.
+  EXPECT_EQ(served.result.items, local.result.items);
+  EXPECT_EQ(served.result.totalUsage, local.result.totalUsage);
+  EXPECT_EQ(served.result.binsOpened, local.result.binsOpened);
+  EXPECT_EQ(served.result.maxOpenBins, local.result.maxOpenBins);
+  EXPECT_EQ(served.result.categoriesUsed, local.result.categoriesUsed);
+  EXPECT_EQ(served.result.lb3, local.result.lb3);
+  EXPECT_EQ(served.result.peakOpenItems, local.result.peakOpenItems);
+  if (telemetry::kEnabled) {
+    // Same decisions -> same number of fit checks, counted through the
+    // shared registry from the server's loop thread. (Valid because the
+    // sweeps below run one session at a time.)
+    EXPECT_EQ(served.fitChecks, local.fitChecks);
+  }
+}
 
+/// Every spec × engine through one server, one session at a time.
+void sweepAgainstLocal(Server& server, Driver driver) {
+  server.start();
   std::vector<StreamItem> items = makeWorkload(20260807);
   PolicyContext context;
   context.minDuration = 1.0;
@@ -141,38 +202,77 @@ TEST(ServeDifferential, EverySpecAndEngineBitIdenticalToSimulateStream) {
         engine == PlacementEngine::kIndexed ? "indexed" : "linear";
     for (const std::string& spec : allSpecs()) {
       SCOPED_TRACE(std::string(engineName) + " / " + spec);
-
-      ServedRun served = runServed(server, items, spec, context, engine);
+      ServedRun served =
+          runServed(server, items, spec, context, engine, driver);
       LocalRun local = runLocal(items, spec, context, engine);
-
-      ASSERT_EQ(served.placements.size(), local.placements.size());
-      for (std::size_t i = 0; i < local.placements.size(); ++i) {
-        ASSERT_EQ(served.placements[i].item, local.placements[i].item)
-            << "item " << i;
-        ASSERT_EQ(served.placements[i].bin, local.placements[i].bin)
-            << "item " << i;
-        ASSERT_EQ(served.placements[i].openedNewBin,
-                  local.placements[i].openedNewBin)
-            << "item " << i;
-        ASSERT_EQ(served.placements[i].category, local.placements[i].category)
-            << "item " << i;
-      }
-      // Exact doubles: the protocol carries f64 bit patterns, so the
-      // aggregates agree to the last bit, not to a tolerance.
-      EXPECT_EQ(served.result.items, local.result.items);
-      EXPECT_EQ(served.result.totalUsage, local.result.totalUsage);
-      EXPECT_EQ(served.result.binsOpened, local.result.binsOpened);
-      EXPECT_EQ(served.result.maxOpenBins, local.result.maxOpenBins);
-      EXPECT_EQ(served.result.categoriesUsed, local.result.categoriesUsed);
-      EXPECT_EQ(served.result.lb3, local.result.lb3);
-      EXPECT_EQ(served.result.peakOpenItems, local.result.peakOpenItems);
-      if (telemetry::kEnabled) {
-        // Same decisions -> same number of fit checks, counted through
-        // the shared registry from the server's loop thread.
-        EXPECT_EQ(served.fitChecks, local.fitChecks);
-      }
+      expectBitIdentical(served, local);
     }
   }
+  server.stop();
+  server.join();
+}
+
+TEST(ServeDifferential, EverySpecAndEngineBitIdenticalToSimulateStream) {
+  Server server(ServerOptionsBuilder().loopThreads(1).build());
+  sweepAgainstLocal(server, Driver::kPipelined);
+}
+
+TEST(ServeDifferential, FourShardServerBitIdenticalToSimulateStream) {
+  // The shard count must be invisible to results: sessions are pinned to
+  // one loop and share nothing but the tenant table and telemetry, so a
+  // 4-loop daemon reproduces the local engine bit for bit too.
+  Server server(ServerOptionsBuilder().loopThreads(4).build());
+  sweepAgainstLocal(server, Driver::kPipelined);
+}
+
+TEST(ServeDifferential, BatchDrivenSessionsBitIdenticalAcrossShards) {
+  // Same pin through the v2 Batch builder instead of the pipelined
+  // wrapper: sub-op results inside BATCH_OK are the same PLACED mirrors.
+  Server server(ServerOptionsBuilder().loopThreads(4).build());
+  sweepAgainstLocal(server, Driver::kBatch);
+}
+
+TEST(ServeDifferential, ConcurrentTenantsFitCheckTotalsAddUp) {
+  if (!telemetry::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  // Four concurrent sessions on four shards, same spec and items each:
+  // the shared sim.fit_checks counter must grow by exactly 4x the local
+  // single-run delta — shards add telemetry, never lose or double it.
+  Server server(ServerOptionsBuilder().loopThreads(4).build());
+  server.start();
+  std::vector<StreamItem> items = makeWorkload(20260807);
+  PolicyContext context;
+  context.minDuration = 1.0;
+  context.mu = 16.0;
+  context.seed = 7;
+  LocalRun local =
+      runLocal(items, "cdt-ff", context, PlacementEngine::kIndexed);
+
+  std::uint64_t before = fitChecks();
+  std::vector<Client> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back(
+        openSession(server, "cdt-ff", context, PlacementEngine::kIndexed));
+  }
+  std::vector<std::thread> threads;
+  for (Client& client : clients) {
+    threads.emplace_back([&client, &items] {
+      constexpr std::size_t kBurst = 64;
+      std::size_t i = 0;
+      while (i < items.size()) {
+        std::size_t end = std::min(i + kBurst, items.size());
+        for (std::size_t j = i; j < end; ++j) {
+          client.queuePlace(items[j].size, items[j].arrival,
+                            items[j].departure);
+        }
+        client.flushQueued();
+        while (client.queued() > 0) client.readPlaced();
+        i = end;
+      }
+      client.drain();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(fitChecks() - before, 4 * local.fitChecks);
   server.stop();
   server.join();
 }

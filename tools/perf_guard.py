@@ -26,6 +26,21 @@ Speedup assertion:
   both reports are produced back to back on the same machine, so raw
   ratios are meaningful.
 
+Scaling assertion:
+
+    perf_guard.py BASELINE CURRENT --scaling-num /t4 --scaling-den /t1 \
+        --min-ratio 2.5 [--scaling-slack 25]
+
+  Pairs every benchmark in CURRENT whose name contains --scaling-num
+  with its --scaling-den sibling (same name, substring swapped) and
+  computes the within-report throughput ratio num/den — e.g. the 4-loop
+  serve daemon over the 1-loop daemon on identical byte streams. Fails
+  when any pair's ratio is below --min-ratio, or below the same pair's
+  BASELINE ratio minus --scaling-slack percent. Both checks compare
+  dimensionless ratios measured inside one report, so they are robust
+  to absolute machine speed; the baseline-relative check additionally
+  catches sharding regressions that stay above the absolute floor.
+
 Only the Python standard library is used.
 """
 
@@ -62,6 +77,55 @@ def geometric_mean(values: list[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def scaling_ratios(throughputs: dict[str, float], num: str,
+                   den: str) -> dict[str, float]:
+    """Returns {numerator name: ips[num series] / ips[den sibling]}."""
+    ratios: dict[str, float] = {}
+    for name, ips in throughputs.items():
+        if num not in name:
+            continue
+        partner = name.replace(num, den)
+        if partner == name or partner not in throughputs:
+            continue
+        ratios[name] = ips / throughputs[partner]
+    return ratios
+
+
+def check_scaling(args: argparse.Namespace, baseline: dict[str, float],
+                  current: dict[str, float]) -> int:
+    pairs = scaling_ratios(current, args.scaling_num, args.scaling_den)
+    pairs = {n: r for n, r in pairs.items() if args.filter in n}
+    if not pairs:
+        sys.exit("perf_guard: no benchmark pairs match "
+                 f"--scaling-num '{args.scaling_num}' / "
+                 f"--scaling-den '{args.scaling_den}'")
+    base_pairs = scaling_ratios(baseline, args.scaling_num, args.scaling_den)
+    slack = 1.0 - args.scaling_slack / 100.0
+    print(f"perf_guard: scaling check ('{args.scaling_num}' over "
+          f"'{args.scaling_den}', floor {args.min_ratio:g}x, baseline slack "
+          f"{args.scaling_slack:g}%), {len(pairs)} pair(s):")
+    failures = []
+    for name in sorted(pairs):
+        ratio = pairs[name]
+        floor = args.min_ratio
+        base = base_pairs.get(name)
+        note = ""
+        if base is not None:
+            floor = max(floor, base * slack)
+            note = f", baseline {base:.2f}x"
+        verdict = "ok" if ratio >= floor else "FAIL"
+        print(f"  {verdict:4} {name}: {ratio:.2f}x scaling "
+              f"(floor {floor:.2f}x{note})")
+        if verdict == "FAIL":
+            failures.append(name)
+    if failures:
+        print(f"perf_guard: FAILED — {len(failures)} pair(s) below the "
+              f"scaling floor: {', '.join(failures)}")
+        return 1
+    print("perf_guard: scaling check passed")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="reference BENCH_throughput.json")
@@ -80,10 +144,29 @@ def main() -> int:
     parser.add_argument(
         "--filter", default="", metavar="SUBSTR",
         help="restrict the comparison to benchmarks containing SUBSTR")
+    parser.add_argument(
+        "--scaling-num", default=None, metavar="SUBSTR",
+        help="scaling mode: numerator series marker (e.g. '/t4')")
+    parser.add_argument(
+        "--scaling-den", default=None, metavar="SUBSTR",
+        help="scaling mode: denominator series marker (e.g. '/t1')")
+    parser.add_argument(
+        "--min-ratio", type=float, default=2.5, metavar="FACTOR",
+        help="scaling mode: absolute floor for num/den throughput "
+             "(default 2.5)")
+    parser.add_argument(
+        "--scaling-slack", type=float, default=25.0, metavar="PCT",
+        help="scaling mode: allow the ratio to drop PCT%% below the "
+             "baseline's ratio before failing (default 25)")
     args = parser.parse_args()
+    if (args.scaling_num is None) != (args.scaling_den is None):
+        parser.error("--scaling-num and --scaling-den go together")
 
     baseline = load_throughputs(args.baseline)
     current = load_throughputs(args.current)
+
+    if args.scaling_num is not None:
+        return check_scaling(args, baseline, current)
 
     names = sorted(
         name for name in baseline
