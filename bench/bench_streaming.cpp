@@ -9,6 +9,12 @@
 //   TraceWrite/<fmt>/n     saveTrace of the generated instance
 //   TraceScan/<fmt>/n      scanTrace one-pass statistics
 //   StreamFile/<fmt>/n     TraceArrivalSource -> simulateStream (parse + sim)
+//   FlatTrace/cdt-ff/n/t1  single-threaded indexed stream (scaling denominator)
+//   FlatTrace/cdt-ff/n/tK  epoch-sharded stream with K workers (--threads)
+//
+// The FlatTrace pair is the committed scaling guard: CI re-measures both
+// series back to back and perf_guard.py --scaling-num /tK --scaling-den /t1
+// pins the sharded engine's speedup over the indexed single-thread stream.
 //
 // The trailing memory table reports each streaming run's peak open items
 // and estimated resident bytes — the bounded-memory claim, measured.
@@ -20,7 +26,8 @@
 //   --max-items N   skip benchmarks with more than N items (CI perf-smoke)
 //   --mu X          duration ratio of the generated workloads (default 16)
 //   --seed S        workload seed (default 1)
-//   --engine E      placement engine: indexed (default) | linear
+//   --engine E      placement engine: indexed (default) | linear | sharded
+//   --threads N     worker threads for the sharded series (default 4)
 //   --csv           render the summary table as CSV
 //   --json[=PATH]   write BENCH_streaming.json (schema: DESIGN.md §8.3)
 #include <cstdint>
@@ -60,7 +67,7 @@ int main(int argc, char** argv) {
   using namespace cdbp;
   Flags flags = Flags::strictOrDie(
       argc, argv, {"reps", "warmup", "filter", "max-items", "mu", "seed",
-                   "engine", "csv", "json"});
+                   "engine", "threads", "csv", "json"});
   std::size_t reps = static_cast<std::size_t>(flags.getInt("reps", 5));
   std::size_t warmup = static_cast<std::size_t>(flags.getInt("warmup", 1));
   std::string filter = flags.getString("filter", "");
@@ -68,14 +75,21 @@ int main(int argc, char** argv) {
   double mu = flags.getDouble("mu", 16.0);
   std::uint64_t seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
   std::string engineName = flags.getString("engine", "indexed");
+  std::size_t threads = static_cast<std::size_t>(flags.getInt("threads", 4));
   PlacementEngine engine;
   if (engineName == "indexed") {
     engine = PlacementEngine::kIndexed;
   } else if (engineName == "linear") {
     engine = PlacementEngine::kLinearScan;
+  } else if (engineName == "sharded") {
+    engine = PlacementEngine::kSharded;
   } else {
-    std::cerr << "bench_streaming: --engine must be 'indexed' or 'linear', "
-                 "got '" << engineName << "'\n";
+    std::cerr << "bench_streaming: --engine must be 'indexed', 'linear' or "
+                 "'sharded', got '" << engineName << "'\n";
+    return 1;
+  }
+  if (threads == 0) {
+    std::cerr << "bench_streaming: --threads must be at least 1\n";
     return 1;
   }
 
@@ -102,6 +116,7 @@ int main(int argc, char** argv) {
           std::shared_ptr<OnlinePolicy>(makePolicy(policySpec, context));
       SimOptions batchOptions;
       batchOptions.engine = engine;
+      batchOptions.shardedThreads = threads;
       specs.push_back({"Batch/" + tag, n, [inst, batchPolicy, batchOptions] {
                          SimResult r =
                              simulateOnline(*inst, *batchPolicy, batchOptions);
@@ -113,6 +128,7 @@ int main(int argc, char** argv) {
       auto source = std::make_shared<InstanceArrivalSource>(*inst);
       StreamOptions streamOptions;
       streamOptions.engine = engine;
+      streamOptions.shardedThreads = threads;
       streamOptions.computeLowerBound = false;  // apples-to-apples with batch
       std::string streamName = "Stream/" + tag;
       specs.push_back(
@@ -131,6 +147,7 @@ int main(int argc, char** argv) {
       auto source = std::make_shared<InstanceArrivalSource>(*inst);
       StreamOptions lbOptions;
       lbOptions.engine = engine;
+      lbOptions.shardedThreads = threads;
       lbOptions.computeLowerBound = true;
       std::string lbName = "StreamLb3/ff/" + std::to_string(n);
       specs.push_back({lbName, n,
@@ -165,6 +182,7 @@ int main(int argc, char** argv) {
           std::shared_ptr<OnlinePolicy>(makePolicy("ff", context));
       StreamOptions fileOptions;
       fileOptions.engine = engine;
+      fileOptions.shardedThreads = threads;
       fileOptions.computeLowerBound = false;
       std::string fileName =
           "StreamFile/" + std::string(fmt) + "/" + std::to_string(n);
@@ -178,6 +196,46 @@ int main(int argc, char** argv) {
              streamResults[fileName] = r;
            }});
     }
+
+    // The committed scaling pair: same flat in-memory trace, cdt-ff (the
+    // headline partitionable policy), single-threaded indexed stream as
+    // the denominator and the epoch-sharded engine as the numerator.
+    // Always engine-independent so the guard measures the same thing no
+    // matter which --engine the rest of the run uses.
+    {
+      std::string flatTag = "FlatTrace/cdt-ff/" + std::to_string(n);
+      auto flatPolicy =
+          std::shared_ptr<OnlinePolicy>(makePolicy("cdt-ff", context));
+      auto flatSource = std::make_shared<InstanceArrivalSource>(*inst);
+      StreamOptions denOptions;
+      denOptions.engine = PlacementEngine::kIndexed;
+      denOptions.computeLowerBound = false;
+      specs.push_back({flatTag + "/t1", n,
+                       [flatSource, flatPolicy, denOptions] {
+                         flatSource->reset();
+                         StreamResult r = simulateStream(*flatSource,
+                                                         *flatPolicy,
+                                                         denOptions);
+                         g_sink = r.totalUsage;
+                       }});
+      if (threads >= 2) {
+        auto shardPolicy =
+            std::shared_ptr<OnlinePolicy>(makePolicy("cdt-ff", context));
+        auto shardSource = std::make_shared<InstanceArrivalSource>(*inst);
+        StreamOptions numOptions;
+        numOptions.engine = PlacementEngine::kSharded;
+        numOptions.shardedThreads = threads;
+        numOptions.computeLowerBound = false;
+        specs.push_back({flatTag + "/t" + std::to_string(threads), n,
+                         [shardSource, shardPolicy, numOptions] {
+                           shardSource->reset();
+                           StreamResult r = simulateStream(*shardSource,
+                                                           *shardPolicy,
+                                                           numOptions);
+                           g_sink = r.totalUsage;
+                         }});
+      }
+    }
   }
 
   telemetry::BenchReport report("streaming");
@@ -188,6 +246,7 @@ int main(int argc, char** argv) {
   report.setParam("max_items", maxItems);
   report.setParam("filter", filter);
   report.setParam("engine", engineName);
+  report.setParam("threads", static_cast<long>(threads));
 
   Table table({"benchmark", "items", "mean ms", "stddev ms", "items/s"});
   std::size_t ran = 0;

@@ -14,7 +14,8 @@
 //   --max-items N   skip benchmarks with more than N items (CI perf-smoke)
 //   --mu X          duration ratio of the generated workloads (default 16)
 //   --seed S        workload seed (default 1)
-//   --engine E      placement engine: indexed (default) | linear
+//   --engine E      placement engine: indexed (default) | linear | sharded
+//   --threads N     worker threads when --engine sharded (default 4)
 //   --csv           render the summary table as CSV
 //   --json[=PATH]   write BENCH_throughput.json (schema: DESIGN.md §8.3)
 #include <cstdint>
@@ -58,7 +59,7 @@ struct Spec {
 void addOnline(std::vector<Spec>& specs, const std::string& name,
                const std::string& policySpec, std::vector<std::size_t> sizes,
                const WorkloadSpec& base, std::uint64_t seed,
-               PlacementEngine engine) {
+               PlacementEngine engine, std::size_t threads) {
   for (std::size_t n : sizes) {
     WorkloadSpec w = base;
     w.numItems = n;
@@ -67,6 +68,7 @@ void addOnline(std::vector<Spec>& specs, const std::string& name,
         makePolicy(policySpec, PolicyContext::forInstance(*inst, seed)));
     SimOptions options;
     options.engine = engine;
+    options.shardedThreads = threads;
     specs.push_back({name + "/" + std::to_string(n), n, [inst, policy, options] {
                        SimResult r = simulateOnline(*inst, *policy, options);
                        g_sink = r.totalUsage;
@@ -81,7 +83,7 @@ int main(int argc, char** argv) {
   using namespace cdbp;
   Flags flags = Flags::strictOrDie(
       argc, argv, {"reps", "warmup", "filter", "max-items", "mu", "seed",
-                   "engine", "csv", "json"});
+                   "engine", "threads", "csv", "json"});
   std::size_t reps = static_cast<std::size_t>(flags.getInt("reps", 7));
   std::size_t warmup = static_cast<std::size_t>(flags.getInt("warmup", 1));
   std::string filter = flags.getString("filter", "");
@@ -89,14 +91,17 @@ int main(int argc, char** argv) {
   double mu = flags.getDouble("mu", 16.0);
   std::uint64_t seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
   std::string engineName = flags.getString("engine", "indexed");
+  std::size_t threads = static_cast<std::size_t>(flags.getInt("threads", 4));
   PlacementEngine engine;
   if (engineName == "indexed") {
     engine = PlacementEngine::kIndexed;
   } else if (engineName == "linear") {
     engine = PlacementEngine::kLinearScan;
+  } else if (engineName == "sharded") {
+    engine = PlacementEngine::kSharded;
   } else {
-    std::cerr << "bench_throughput: --engine must be 'indexed' or 'linear', "
-                 "got '" << engineName << "'\n";
+    std::cerr << "bench_throughput: --engine must be 'indexed', 'linear' or "
+                 "'sharded', got '" << engineName << "'\n";
     return 1;
   }
 
@@ -111,16 +116,17 @@ int main(int argc, char** argv) {
 
   std::vector<Spec> specs;
   addOnline(specs, "FirstFitOnline", "ff", {1000, 4000, 16000}, base, seed,
-            engine);
+            engine, threads);
   addOnline(specs, "FirstFitManyOpen", "ff", {4000, 32000}, manyOpen, seed,
-            engine);
-  addOnline(specs, "BestFitOnline", "bf", {1000, 4000}, base, seed, engine);
+            engine, threads);
+  addOnline(specs, "BestFitOnline", "bf", {1000, 4000}, base, seed, engine,
+            threads);
   addOnline(specs, "BestFitManyOpen", "bf", {4000, 32000}, manyOpen, seed,
-            engine);
+            engine, threads);
   addOnline(specs, "CdtFFOnline", "cdt-ff", {1000, 4000, 16000}, base, seed,
-            engine);
+            engine, threads);
   addOnline(specs, "CdFFOnline", "cd-ff", {1000, 4000, 16000}, base, seed,
-            engine);
+            engine, threads);
   for (std::size_t n : {std::size_t{500}, std::size_t{2000}}) {
     auto inst = std::make_shared<Instance>(makeInstance(n, mu, seed));
     specs.push_back({"Ddff/" + std::to_string(n), n, [inst] {
@@ -161,6 +167,7 @@ int main(int argc, char** argv) {
   report.setParam("max_items", maxItems);
   report.setParam("filter", filter);
   report.setParam("engine", engineName);
+  report.setParam("threads", static_cast<long>(threads));
 
   Table table({"benchmark", "items", "mean ms", "stddev ms", "items/s"});
   std::size_t ran = 0;

@@ -115,8 +115,15 @@ if [[ "$PERF" == "1" ]]; then
     step "serve scaling guard (4-loop daemon >=2.5x the 1-loop daemon)"
     python3 tools/perf_guard.py bench/baselines/BENCH_serve.json \
       BENCH_serve.json --scaling-num /t4 --scaling-den /t1 --min-ratio 2.5
+
+    step "sharded scaling guard (epoch-sharded engine >=3x the indexed stream)"
+    ./build-release/bench/bench_streaming --reps 2 --filter FlatTrace \
+      --threads 4 --json=BENCH_streaming_sharded.json
+    python3 tools/perf_guard.py bench/baselines/BENCH_streaming.json \
+      BENCH_streaming_sharded.json --scaling-num /t4 --scaling-den /t1 \
+      --min-ratio 3 --filter FlatTrace/cdt-ff/1000000
   else
-    echo "serve scaling guard skipped: $(nproc) cores < 4"
+    echo "serve + sharded scaling guards skipped: $(nproc) cores < 4"
   fi
 fi
 
@@ -134,10 +141,10 @@ step "TSan build + concurrency tests"
 cmake --preset tsan
 cmake --build --preset tsan -j
 # The whole suite is TSan-clean, but the concurrency contract lives in the
-# thread pool, the parallel simulation harness, the telemetry registry and
-# the sharded serve daemon — run those at minimum, then the rest (cheap
-# enough to keep on).
-ctest --preset tsan -j -R 'ThreadPool|ParallelFor|TelemetryConcurrency|Serve' --no-tests=error
+# thread pool, the parallel simulation harness, the telemetry registry,
+# the sharded serve daemon and the epoch-sharded simulation engine — run
+# those at minimum, then the rest (cheap enough to keep on).
+ctest --preset tsan -j -R 'ThreadPool|ParallelFor|TelemetryConcurrency|Serve|Sharded' --no-tests=error
 ctest --preset tsan -j
 
 step "clang-tidy"

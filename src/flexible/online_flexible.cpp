@@ -60,6 +60,11 @@ std::optional<std::string> FlexOnlineResult::validate(
 FlexOnlineResult simulateFlexibleOnline(const FlexibleInstance& instance,
                                         FlexOnlinePolicy& policy,
                                         const FlexSimOptions& options) {
+  if (options.engine == PlacementEngine::kSharded) {
+    throw std::invalid_argument(
+        "simulateFlexibleOnline: the sharded engine is scalar-only; "
+        "use kIndexed or kLinearScan");
+  }
   policy.reset();
   BinManager bins(options.engine == PlacementEngine::kIndexed);
   std::vector<Time> starts(instance.size(),

@@ -98,6 +98,11 @@ BinId MdClassifyPolicy::place(const MdPlacementView& view, const MdItem& item,
 
 MdSimResult mdSimulateOnline(const MdInstance& instance, MdOnlinePolicy& policy,
                              const MdSimOptions& options) {
+  if (options.engine == PlacementEngine::kSharded) {
+    throw std::invalid_argument(
+        "mdSimulateOnline: the sharded engine is scalar-only; "
+        "use kIndexed or kLinearScan");
+  }
   policy.reset();
   BasicBinManager<VectorResource> bins(
       options.engine == PlacementEngine::kIndexed,

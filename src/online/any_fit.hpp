@@ -18,6 +18,8 @@ class FirstFitPolicy : public OnlinePolicy {
   std::string name() const override { return "FirstFit"; }
   bool clairvoyant() const override { return false; }
   PlacementDecision place(const PlacementView& view, const Item& item) override;
+  // No shardKey: the global first-fit scan reads every category's bins.
+  PolicyPtr clone() const override { return std::make_unique<FirstFitPolicy>(); }
 };
 
 /// Best Fit: the fitting bin with the highest level (smallest residual
@@ -28,6 +30,7 @@ class BestFitPolicy : public OnlinePolicy {
   std::string name() const override { return "BestFit"; }
   bool clairvoyant() const override { return false; }
   PlacementDecision place(const PlacementView& view, const Item& item) override;
+  PolicyPtr clone() const override { return std::make_unique<BestFitPolicy>(); }
 };
 
 /// Worst Fit: the fitting bin with the lowest level; ties to the
@@ -37,6 +40,7 @@ class WorstFitPolicy : public OnlinePolicy {
   std::string name() const override { return "WorstFit"; }
   bool clairvoyant() const override { return false; }
   PlacementDecision place(const PlacementView& view, const Item& item) override;
+  PolicyPtr clone() const override { return std::make_unique<WorstFitPolicy>(); }
 };
 
 /// Next Fit: keeps a single current bin; items that do not fit it open a
@@ -48,6 +52,8 @@ class NextFitPolicy : public OnlinePolicy {
   bool clairvoyant() const override { return false; }
   PlacementDecision place(const PlacementView& view, const Item& item) override;
   void reset() override { current_.reset(); }
+  // No shardKey: current_ tracks global bin ids via view.binsOpened().
+  PolicyPtr clone() const override { return std::make_unique<NextFitPolicy>(); }
 
  private:
   std::optional<BinId> current_;
@@ -63,6 +69,9 @@ class RandomFitPolicy : public OnlinePolicy {
   bool clairvoyant() const override { return false; }
   PlacementDecision place(const PlacementView& view, const Item& item) override;
   void reset() override { rng_ = Rng(seed_); }
+  PolicyPtr clone() const override {
+    return std::make_unique<RandomFitPolicy>(seed_);
+  }
 
  private:
   std::uint64_t seed_;

@@ -27,6 +27,16 @@ class ClassifyByDepartureFF : public OnlinePolicy {
   bool clairvoyant() const override { return true; }
   PlacementDecision place(const PlacementView& view, const Item& item) override;
 
+  /// The departure window is the category, and the category is a pure
+  /// function of the item — the precondition the sharded engine's
+  /// partitioned mode rests on.
+  std::optional<long long> shardKey(const Item& item) const override {
+    return windowOf(item.departure());
+  }
+  PolicyPtr clone() const override {
+    return std::make_unique<ClassifyByDepartureFF>(rho_);
+  }
+
   /// Window index of a departure time; exposed for tests. Windows follow
   /// the paper's convention of half-open-from-below buckets
   /// (k*rho, (k+1)*rho].

@@ -27,6 +27,15 @@ class ClassifyByDurationFF : public OnlinePolicy {
   bool clairvoyant() const override { return true; }
   PlacementDecision place(const PlacementView& view, const Item& item) override;
 
+  /// The geometric duration class is the category, a pure function of the
+  /// item — partitionable under the sharded engine.
+  std::optional<long long> shardKey(const Item& item) const override {
+    return categoryOf(item.duration());
+  }
+  PolicyPtr clone() const override {
+    return std::make_unique<ClassifyByDurationFF>(base_, alpha_);
+  }
+
   /// Category index of a duration (0-based: category i holds durations in
   /// [base*alpha^i, base*alpha^(i+1))). Exposed for tests.
   int categoryOf(Time duration) const;

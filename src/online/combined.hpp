@@ -35,6 +35,25 @@ class CombinedClassifyFF : public OnlinePolicy {
   PlacementDecision place(const PlacementView& view, const Item& item) override;
   void reset() override { denseCategory_.clear(); }
 
+  /// The (duration class, departure window) pair mixed into one key. A
+  /// mixing collision is harmless: it only co-locates two classes in the
+  /// same shard, whose clone still keeps their bin pools apart through its
+  /// own dense numbering — it never merges pools. The dense category *ids*
+  /// are shard-local first-seen order, so they differ from a single-pool
+  /// run; the bins behind them are identical.
+  std::optional<long long> shardKey(const Item& item) const override {
+    auto [durClass, window] = classOf(item);
+    auto mixed = static_cast<unsigned long long>(window) +
+                 0x9E3779B97F4A7C15ULL *
+                     (static_cast<unsigned long long>(
+                          static_cast<unsigned>(durClass)) +
+                      1);
+    return static_cast<long long>(mixed);
+  }
+  PolicyPtr clone() const override {
+    return std::make_unique<CombinedClassifyFF>(base_, alpha_, rhoFactor_);
+  }
+
   /// (duration class, departure window) of an item; exposed for tests.
   std::pair<int, long long> classOf(const Item& item) const;
 

@@ -45,6 +45,10 @@ class MinExtensionPolicy : public OnlinePolicy {
   bool clairvoyant() const override { return true; }
   PlacementDecision place(const PlacementView& view, const Item& item) override;
   void reset() override { tracker_.clear(); }
+  // No shardKey: scans every open bin regardless of category.
+  PolicyPtr clone() const override {
+    return std::make_unique<MinExtensionPolicy>();
+  }
 
  private:
   DepartureTracker tracker_;
@@ -56,6 +60,9 @@ class DepartureAlignedBestFit : public OnlinePolicy {
   bool clairvoyant() const override { return true; }
   PlacementDecision place(const PlacementView& view, const Item& item) override;
   void reset() override { tracker_.clear(); }
+  PolicyPtr clone() const override {
+    return std::make_unique<DepartureAlignedBestFit>();
+  }
 
  private:
   DepartureTracker tracker_;

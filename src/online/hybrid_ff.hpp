@@ -20,6 +20,15 @@ class HybridFirstFitPolicy : public OnlinePolicy {
   bool clairvoyant() const override { return false; }
   PlacementDecision place(const PlacementView& view, const Item& item) override;
 
+  /// The size class is the category, a pure function of the item —
+  /// partitionable under the sharded engine.
+  std::optional<long long> shardKey(const Item& item) const override {
+    return sizeClass(item.size);
+  }
+  PolicyPtr clone() const override {
+    return std::make_unique<HybridFirstFitPolicy>(maxClasses_);
+  }
+
   /// The size class assigned to `size`; exposed for tests.
   int sizeClass(Size size) const;
 

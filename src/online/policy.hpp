@@ -2,6 +2,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/item.hpp"
@@ -50,6 +51,34 @@ class OnlinePolicy {
 
   /// Clears internal state so the policy can be reused on a new instance.
   virtual void reset() {}
+
+  /// Category-partition key for the sharded engine (sim/sharded.hpp).
+  ///
+  /// A policy whose bins partition by a pure function of the item — the
+  /// classification strategies, where two items with different keys can
+  /// never share a bin and a placement decision depends only on the open
+  /// bins of the item's own key — returns that key here; the sharded
+  /// engine then runs each key group on its own worker with its own bin
+  /// pool, bit-identical to the single-pool run. The default (nullopt)
+  /// declares the policy non-partitionable (its decisions may read global
+  /// state: cross-category scans, binsOpened() arithmetic) and the sharded
+  /// engine falls back to a single shard.
+  ///
+  /// Contract: the result must be the same for every call on the same item
+  /// and must be engaged either for all items or for none. When engaged,
+  /// place() must depend only on `item` plus the open-bin state of bins
+  /// whose items share `item`'s key (it must not read openBins(),
+  /// binsOpened(), openCount() or another key's category lists).
+  virtual std::optional<long long> shardKey(const Item& item) const {
+    (void)item;
+    return std::nullopt;
+  }
+
+  /// A fresh policy instance with identical configuration and pristine
+  /// state, for the sharded engine's per-shard workers. The default
+  /// (nullptr) declares the policy non-cloneable; a partitioned sharded
+  /// run requires it, the single-shard fallback does not.
+  virtual std::unique_ptr<OnlinePolicy> clone() const { return nullptr; }
 };
 
 using PolicyPtr = std::unique_ptr<OnlinePolicy>;

@@ -41,6 +41,11 @@ enum class PlacementEngine {
   /// The original linear open-list scans, retained as the reference the
   /// differential tests pin kIndexed against. Skips all index maintenance.
   kLinearScan,
+  /// The epoch-pipelined multi-worker engine (sim/sharded.hpp): the bin
+  /// pool partitions by the policy's category key and each partition runs
+  /// on its own worker over an indexed BinManager. Scalar simulateOnline /
+  /// simulateStream only; the multidim and flexible simulators reject it.
+  kSharded,
 };
 
 template <typename R>

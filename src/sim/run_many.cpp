@@ -75,6 +75,7 @@ std::vector<RunResult> runMany(const RunManySpec& spec) {
 
     SimOptions options;
     options.engine = spec.engine;
+    options.shardedThreads = spec.shardedThreads;
     if (spec.captureTrace) {
       result.trace = std::make_shared<DecisionTrace>();
       options.trace = result.trace.get();

@@ -67,6 +67,10 @@ struct RunManySpec {
   unsigned threads = 0;
   /// Placement engine for every cell.
   PlacementEngine engine = PlacementEngine::kIndexed;
+  /// Worker threads per cell when engine == kSharded (SimOptions::
+  /// shardedThreads). Keep threads * shardedThreads near the core count:
+  /// the grid fan-out and the per-cell shard fan-out multiply.
+  std::size_t shardedThreads = 1;
   /// Compute the Proposition 3 lower bound (and ratio) per instance.
   bool computeLowerBound = true;
   /// Attach a per-cell DecisionTrace to each result.

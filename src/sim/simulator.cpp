@@ -9,6 +9,7 @@
 
 #include "core/epsilon.hpp"
 #include "sim/placement_view.hpp"
+#include "sim/sharded.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace cdbp {
@@ -58,6 +59,34 @@ telemetry::Counter& fitCheckCounter() {
 
 SimResult simulateOnline(const Instance& instance, OnlinePolicy& policy,
                          const SimOptions& options) {
+  if (options.engine == PlacementEngine::kSharded) {
+    if (options.trace != nullptr || options.chromeTrace != nullptr) {
+      throw std::invalid_argument(
+          "simulateOnline: the sharded engine does not produce decision or "
+          "chrome traces; use kIndexed for trace runs");
+    }
+    ShardedOptions shardedOptions;
+    shardedOptions.threads = options.shardedThreads;
+    shardedOptions.announce = options.announce;
+    shardedOptions.capturePlacements = true;
+    ShardedSimulator sim(policy, shardedOptions);
+    // sortedByArrival() orders by (arrival, id) — the batch timeline's
+    // arrival order — with the instance's own (dense) item ids, so the
+    // reconstructed binOf indexes straight into the Packing.
+    for (const Item& r : instance.sortedByArrival()) sim.feed(r);
+    ShardedResult sharded = sim.finish();
+    if (sharded.binOf.size() < instance.size()) {
+      sharded.binOf.resize(instance.size(), kUnassigned);
+    }
+    SimResult result;
+    result.packing = Packing(instance, std::move(sharded.binOf));
+    result.totalUsage = sharded.totalUsage;
+    result.binsOpened = sharded.binsOpened;
+    result.maxOpenBins = sharded.maxOpenBins;
+    result.categoriesUsed = sharded.categoriesUsed;
+    return result;
+  }
+
   policy.reset();
   BinManager bins(options.engine == PlacementEngine::kIndexed);
   std::vector<BinId> binOf(instance.size(), kUnassigned);

@@ -47,6 +47,12 @@ struct SimOptions {
   /// Simulated-time-unit -> trace-microsecond scale (trace timestamps are
   /// microseconds; the default renders 1 time unit as 1 second).
   double traceTimeScale = 1e6;
+
+  /// Worker threads for engine == kSharded (0 picks the hardware
+  /// concurrency); ignored by the other engines. The sharded engine
+  /// rejects `trace` and `chromeTrace`: per-decision artifacts are a
+  /// single-timeline notion, use kIndexed for those runs.
+  std::size_t shardedThreads = 0;
 };
 
 struct SimResult {

@@ -1,0 +1,67 @@
+// Building blocks shared by the streaming engine (streaming.cpp) and the
+// sharded engine (sharded.cpp). Both replay the batch timeline order —
+// departures in (time, id) order before each arrival — and both maintain
+// the incremental Proposition 3 bound the same way; sharing the exact code
+// is what makes their lb3 doubles and drain orders bitwise identical
+// rather than merely equivalent.
+//
+// This header is an implementation detail of the two engines, not public
+// API: nothing outside src/sim should include it.
+#pragma once
+
+#include <cmath>
+
+#include "core/epsilon.hpp"
+#include "core/types.hpp"
+
+namespace cdbp::stream_internal {
+
+/// One pending departure per arrived-but-not-departed item. Popped in
+/// (time, id) order — the batch timeline's sort key, under which departures
+/// precede arrivals at the same instant and simultaneous departures drain
+/// in item-id order — so bin levels evolve through the identical sequence
+/// of floating-point updates as in simulateOnline.
+struct PendingDeparture {
+  Time time;
+  ItemId item;
+  BinId bin;
+  Size size;
+};
+
+/// std::push_heap/pop_heap maintain a max-heap w.r.t. the comparator;
+/// "later departure wins" turns that into a min-heap on (time, id).
+inline bool laterDeparture(const PendingDeparture& a,
+                           const PendingDeparture& b) {
+  if (a.time != b.time) return a.time > b.time;
+  return a.item > b.item;
+}
+
+/// Incremental mirror of StepFunction::ceilIntegral(kSizeEps) over the
+/// running total-size profile S(t): each event first settles the segment
+/// since the previous event — skipping near-empty segments and snapping
+/// near-integer levels, exactly as the batch bound does — then applies the
+/// item's size delta. O(1) state; the price is that the running level is a
+/// long alternating FP sum, so the result matches the batch bound to
+/// accumulation order, not bitwise.
+class IncrementalLb3 {
+ public:
+  void onEvent(Time t, double delta) {
+    if (level_ > kSizeEps && t > last_) {
+      double nearest = std::round(level_);
+      double value =
+          (std::fabs(level_ - nearest) <= kSizeEps) ? nearest : level_;
+      total_ += std::ceil(value) * (t - last_);
+    }
+    last_ = t;
+    level_ += delta;
+  }
+
+  double total() const { return total_; }
+
+ private:
+  double level_ = 0;
+  double total_ = 0;
+  Time last_ = 0;
+};
+
+}  // namespace cdbp::stream_internal

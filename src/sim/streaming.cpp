@@ -9,32 +9,23 @@
 
 #include "core/epsilon.hpp"
 #include "sim/placement_view.hpp"
+#include "sim/sharded.hpp"
+#include "sim/stream_internals.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace cdbp {
 
 namespace {
 
+// Shared with the sharded engine (stream_internals.hpp): the (time, id)
+// departure heap ordering and the incremental Proposition 3 accumulator
+// must be the *same code* in both engines for their doubles to stay
+// bitwise identical.
+using stream_internal::IncrementalLb3;
+using stream_internal::laterDeparture;
+using stream_internal::PendingDeparture;
+
 constexpr int kTracePid = 1;
-
-// One pending departure per arrived-but-not-departed item. Popped in
-// (time, id) order — the batch timeline's sort key, under which departures
-// precede arrivals at the same instant and simultaneous departures drain
-// in item-id order — so bin levels evolve through the identical sequence
-// of floating-point updates as in simulateOnline.
-struct PendingDeparture {
-  Time time;
-  ItemId item;
-  BinId bin;
-  Size size;
-};
-
-// std::push_heap/pop_heap maintain a max-heap w.r.t. the comparator;
-// "later departure wins" turns that into a min-heap on (time, id).
-bool laterDeparture(const PendingDeparture& a, const PendingDeparture& b) {
-  if (a.time != b.time) return a.time > b.time;
-  return a.item > b.item;
-}
 
 #if CDBP_TELEMETRY
 // Same counter the batch simulator attributes per-placement scan cost
@@ -45,34 +36,6 @@ telemetry::Counter& fitCheckCounter() {
   return c;
 }
 #endif
-
-// Incremental mirror of StepFunction::ceilIntegral(kSizeEps) over the
-// running total-size profile S(t): each event first settles the segment
-// since the previous event — skipping near-empty segments and snapping
-// near-integer levels, exactly as the batch bound does — then applies the
-// item's size delta. O(1) state; the price is that the running level is a
-// long alternating FP sum, so the result matches the batch bound to
-// accumulation order, not bitwise.
-class IncrementalLb3 {
- public:
-  void onEvent(Time t, double delta) {
-    if (level_ > kSizeEps && t > last_) {
-      double nearest = std::round(level_);
-      double value =
-          (std::fabs(level_ - nearest) <= kSizeEps) ? nearest : level_;
-      total_ += std::ceil(value) * (t - last_);
-    }
-    last_ = t;
-    level_ += delta;
-  }
-
-  double total() const { return total_; }
-
- private:
-  double level_ = 0;
-  double total_ = 0;
-  Time last_ = 0;
-};
 
 }  // namespace
 
@@ -115,6 +78,11 @@ struct StreamEngine::Impl {
       : policy(p),
         options(o),
         bins(o.engine == PlacementEngine::kIndexed) {
+    if (o.engine == PlacementEngine::kSharded) {
+      throw std::invalid_argument(
+          "StreamEngine: the sharded engine is not a push-engine backend; "
+          "route through simulateStream or ShardedSimulator");
+    }
     policy.reset();
     if (options.chromeTrace) {
       options.chromeTrace->setProcessName(kTracePid,
@@ -377,6 +345,35 @@ std::size_t StreamEngine::peakResidentBytes() const {
 
 StreamResult simulateStream(ArrivalSource& source, OnlinePolicy& policy,
                             const StreamOptions& options) {
+  if (options.engine == PlacementEngine::kSharded) {
+    if (options.chromeTrace != nullptr) {
+      throw std::invalid_argument(
+          "simulateStream: the sharded engine does not produce chrome "
+          "traces; use kIndexed for trace runs");
+    }
+    if (options.onPlacement) {
+      throw std::invalid_argument(
+          "simulateStream: the sharded engine does not support onPlacement "
+          "(shard-local category ids); capture placements through "
+          "simulateSharded's ShardedOptions::capturePlacements");
+    }
+    ShardedOptions shardedOptions;
+    shardedOptions.threads = options.shardedThreads;
+    shardedOptions.computeLowerBound = options.computeLowerBound;
+    shardedOptions.announce = options.announce;
+    ShardedResult sharded = simulateSharded(source, policy, shardedOptions);
+    StreamResult result;
+    result.items = sharded.items;
+    result.totalUsage = sharded.totalUsage;
+    result.binsOpened = sharded.binsOpened;
+    result.maxOpenBins = sharded.maxOpenBins;
+    result.categoriesUsed = sharded.categoriesUsed;
+    result.lb3 = sharded.lb3;
+    result.peakOpenItems = sharded.peakOpenItems;
+    result.peakResidentBytes = 0;
+    return result;
+  }
+
   StreamEngine engine(policy, options);
   StreamItem incoming;
   while (source.next(incoming)) engine.place(incoming);

@@ -96,6 +96,13 @@ struct StreamOptions {
   /// the CDBP_TELEMETRY toggle).
   telemetry::ChromeTrace* chromeTrace = nullptr;
   double traceTimeScale = 1e6;
+
+  /// Worker threads for engine == kSharded (0 picks the hardware
+  /// concurrency); ignored by the other engines. The sharded engine
+  /// rejects `chromeTrace` (single-timeline artifact) and `onPlacement`
+  /// (per-placement callbacks would expose shard-local category ids;
+  /// capture placements through simulateSharded's ShardedOptions instead).
+  std::size_t shardedThreads = 0;
 };
 
 struct StreamResult {
@@ -117,7 +124,9 @@ struct StreamResult {
   std::size_t peakOpenItems = 0;
   /// Estimated peak bytes of simulator-owned state (departure heap +
   /// usage ledger + bin metadata). An estimate from container capacities,
-  /// not an allocator measurement.
+  /// not an allocator measurement. The sharded engine reports 0 here (its
+  /// state is spread across workers), and reports peakOpenItems only when
+  /// computeLowerBound is on (the feed thread's lb3 heap tracks it).
   std::size_t peakResidentBytes = 0;
 };
 

@@ -1,0 +1,498 @@
+// Property/fuzz battery for the serve wire-format decoders
+// (serve/protocol.*). Every mutated input must yield a clean reject — a
+// `false` return from a body decoder, kNeedMore/kOversized from
+// extractFrame, or a successful decode of whatever the bytes happen to
+// spell — never a crash, an over-read (the asan-ubsan CI job watches), an
+// infinite parse loop, or a partial write into the caller's `out` struct.
+//
+// The harness is deterministic: a fixed-seed SplitMix64 drives every
+// mutation, so a failure reproduces bit-for-bit from the test log's
+// (corpus index, round) coordinates. Mutation families:
+//
+//   * truncation at every byte boundary,
+//   * length-prefix corruption (the u32 framing field),
+//   * type-byte flips across all 256 values,
+//   * targeted two-byte 0xFFFF stomps at every offset (hits each inner
+//     u16/u32 string-length and op-count field wherever it sits),
+//   * random multi-byte mutations,
+//   * v1/v2 cross-version bytes: every corpus payload fed to every
+//     decoder, and BATCH bodies spliced behind v1 frame types,
+//   * pure random garbage and concatenated-frame streams.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace cdbp::serve {
+namespace {
+
+// Deterministic generator (no std::random_device anywhere): SplitMix64.
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+};
+
+using Bytes = std::vector<std::uint8_t>;
+
+// --- corpus ---------------------------------------------------------------
+
+Bytes encodedHello(std::uint16_t version, const std::string& tenant,
+                   const std::string& spec) {
+  HelloFrame f;
+  f.version = version;
+  f.engine = 1;
+  f.minDuration = 0.25;
+  f.mu = 8.0;
+  f.seed = 99;
+  f.tenant = tenant;
+  f.policySpec = spec;
+  Bytes out;
+  appendHello(out, f);
+  return out;
+}
+
+std::vector<Bytes> buildCorpus() {
+  std::vector<Bytes> corpus;
+  auto add = [&corpus](Bytes b) { corpus.push_back(std::move(b)); };
+
+  add(encodedHello(1, "tenant-a", "cdt-ff"));       // v1 session opener
+  add(encodedHello(kProtocolVersion, "", ""));      // empty strings
+  add(encodedHello(kProtocolVersion, std::string(300, 'x'),
+                   "combined-ff(alpha=2)"));        // long strings
+
+  {
+    HelloOkFrame f;
+    f.version = kProtocolVersion;
+    f.tenantId = 7;
+    f.policyName = "ClassifyByDepartureFF(rho=1)";
+    Bytes out;
+    appendHelloOk(out, f);
+    add(out);
+  }
+  {
+    PlaceFrame f{0.5, 1.0, 2.5};
+    Bytes out;
+    appendPlace(out, f);
+    add(out);
+  }
+  {
+    PlacedFrame f;
+    f.item = 3;
+    f.bin = -1;
+    f.openedNewBin = 1;
+    f.category = 12;
+    Bytes out;
+    appendPlaced(out, f);
+    add(out);
+  }
+  {
+    DepartFrame f{4.75};
+    Bytes out;
+    appendDepart(out, f);
+    add(out);
+  }
+  {
+    DepartOkFrame f{5, 2};
+    Bytes out;
+    appendDepartOk(out, f);
+    add(out);
+  }
+  {
+    BatchFrame f;  // empty batch
+    Bytes out;
+    appendBatch(out, f);
+    add(out);
+  }
+  {
+    BatchFrame f;  // mixed-kind batch (v2-only body)
+    for (int i = 0; i < 17; ++i) {
+      BatchOp op;
+      if (i % 3 == 2) {
+        op.kind = kBatchOpDepart;
+        op.depart.time = i * 0.5;
+      } else {
+        op.kind = kBatchOpPlace;
+        op.place = {0.25, i * 0.5, i * 0.5 + 2.0};
+      }
+      f.ops.push_back(op);
+    }
+    Bytes out;
+    appendBatch(out, f);
+    add(out);
+  }
+  {
+    BatchOkFrame f;
+    for (int i = 0; i < 5; ++i) {
+      BatchResultEntry r;
+      r.kind = i % 2 == 0 ? kBatchOpPlace : kBatchOpDepart;
+      r.placed.item = static_cast<std::uint32_t>(i);
+      r.depart.drained = static_cast<std::uint64_t>(i);
+      f.results.push_back(r);
+    }
+    f.failed = 1;
+    f.failedIndex = 5;
+    f.errorCode = ErrorCode::kBadItem;
+    f.errorMessage = "size outside (0, 1]";
+    Bytes out;
+    appendBatchOk(out, f);
+    add(out);
+  }
+  {
+    Bytes out;
+    appendStats(out);
+    add(out);
+  }
+  {
+    StatsOkFrame f{10, 4, 2, 3, 6, 4096};
+    Bytes out;
+    appendStatsOk(out, f);
+    add(out);
+  }
+  {
+    Bytes out;
+    appendDrain(out);
+    add(out);
+  }
+  {
+    DrainOkFrame f;
+    f.items = 10;
+    f.totalUsage = 12.5;
+    f.lb3 = 9.25;
+    Bytes out;
+    appendDrainOk(out, f);
+    add(out);
+  }
+  {
+    Bytes out;
+    appendScrape(out);
+    add(out);
+  }
+  {
+    ScrapeOkFrame f;
+    f.text = "# TYPE sim_fit_checks counter\nsim_fit_checks 42\n";
+    Bytes out;
+    appendScrapeOk(out, f);
+    add(out);
+  }
+  {
+    ErrorFrame f;
+    f.code = ErrorCode::kOutOfOrder;
+    f.message = "arrival behind watermark";
+    Bytes out;
+    appendError(out, f);
+    add(out);
+  }
+  return corpus;
+}
+
+// --- the decode-everything oracle ----------------------------------------
+
+// Runs every body decoder over the view. The only demanded outcome is a
+// boolean — truncated and corrupt bodies must come back `false` without
+// reading past payloadSize (asan watches) or touching `out` (checked for
+// a sample of types below).
+void decodeAll(const FrameView& frame) {
+  {
+    HelloFrame out;
+    decodeHello(frame, out);
+  }
+  {
+    HelloOkFrame out;
+    decodeHelloOk(frame, out);
+  }
+  {
+    PlaceFrame out;
+    decodePlace(frame, out);
+  }
+  {
+    PlacedFrame out;
+    decodePlaced(frame, out);
+  }
+  {
+    DepartFrame out;
+    decodeDepart(frame, out);
+  }
+  {
+    DepartOkFrame out;
+    decodeDepartOk(frame, out);
+  }
+  {
+    BatchFrame out;
+    decodeBatch(frame, out);
+  }
+  {
+    BatchOkFrame out;
+    decodeBatchOk(frame, out);
+  }
+  {
+    StatsOkFrame out;
+    decodeStatsOk(frame, out);
+  }
+  {
+    DrainOkFrame out;
+    decodeDrainOk(frame, out);
+  }
+  {
+    ScrapeOkFrame out;
+    decodeScrapeOk(frame, out);
+  }
+  {
+    ErrorFrame out;
+    decodeError(frame, out);
+  }
+  decodeEmpty(frame);
+}
+
+// Streams a (possibly garbage) byte buffer through extractFrame the way
+// Session::processBufferedFrames does, decoding every extracted frame with
+// every decoder. Asserts the parse makes progress (no infinite loop) and
+// never claims more bytes than the buffer holds.
+void fuzzStream(const Bytes& bytes) {
+  std::size_t pos = 0;
+  for (;;) {
+    FrameView view;
+    std::size_t consumed = 0;
+    ExtractStatus status = extractFrame(bytes.data() + pos, bytes.size() - pos,
+                                        kDefaultMaxFramePayload, view,
+                                        consumed);
+    if (status != ExtractStatus::kFrame) break;  // clean reject / need more
+    ASSERT_GT(consumed, 0u) << "parser must make progress";
+    ASSERT_LE(consumed, bytes.size() - pos) << "parser claimed bytes it "
+                                               "was never given";
+    ASSERT_LE(view.payloadSize + 5, consumed + 1)
+        << "payload view larger than the consumed frame";
+    decodeAll(view);
+    pos += consumed;
+  }
+}
+
+// --- mutation families ----------------------------------------------------
+
+TEST(ProtocolFuzz, TruncationAtEveryByte) {
+  for (const Bytes& frame : buildCorpus()) {
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      Bytes mutated(frame.begin(), frame.begin() + cut);
+      fuzzStream(mutated);
+    }
+  }
+}
+
+TEST(ProtocolFuzz, LengthPrefixCorruption) {
+  for (const Bytes& frame : buildCorpus()) {
+    ASSERT_GE(frame.size(), 5u);
+    const std::uint32_t actual = static_cast<std::uint32_t>(frame.size() - 4);
+    const std::uint32_t interesting[] = {
+        0,          1,          2,           actual - 1,
+        actual + 1, actual * 2, 0xFFFFu,     0x10000u,
+        static_cast<std::uint32_t>(kDefaultMaxFramePayload),
+        static_cast<std::uint32_t>(kDefaultMaxFramePayload) + 1,
+        0xFFFFFFFFu};
+    for (std::uint32_t bogus : interesting) {
+      Bytes mutated = frame;
+      for (int b = 0; b < 4; ++b) {
+        mutated[static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>((bogus >> (8 * b)) & 0xFF);
+      }
+      fuzzStream(mutated);
+    }
+  }
+}
+
+TEST(ProtocolFuzz, TypeByteFlips) {
+  for (const Bytes& frame : buildCorpus()) {
+    for (int type = 0; type < 256; ++type) {
+      Bytes mutated = frame;
+      mutated[4] = static_cast<std::uint8_t>(type);
+      fuzzStream(mutated);
+    }
+  }
+}
+
+TEST(ProtocolFuzz, InnerLengthFieldStomps) {
+  // A 0xFFFF two-byte stomp at every offset hits each embedded string
+  // length, op count and version field in turn — the classic
+  // "length says more than the buffer holds" over-read bait.
+  for (const Bytes& frame : buildCorpus()) {
+    for (std::size_t at = 4; at + 1 < frame.size(); ++at) {
+      Bytes mutated = frame;
+      mutated[at] = 0xFF;
+      mutated[at + 1] = 0xFF;
+      fuzzStream(mutated);
+    }
+  }
+}
+
+TEST(ProtocolFuzz, RandomMutations) {
+  std::vector<Bytes> corpus = buildCorpus();
+  for (std::size_t ci = 0; ci < corpus.size(); ++ci) {
+    Rng rng(0xC0FFEE00u + ci);
+    for (int round = 0; round < 256; ++round) {
+      Bytes mutated = corpus[ci];
+      std::size_t flips = 1 + rng.below(4);
+      for (std::size_t f = 0; f < flips; ++f) {
+        mutated[rng.below(mutated.size())] =
+            static_cast<std::uint8_t>(rng.next());
+      }
+      SCOPED_TRACE("corpus " + std::to_string(ci) + " round " +
+                   std::to_string(round));
+      fuzzStream(mutated);
+    }
+  }
+}
+
+TEST(ProtocolFuzz, CrossVersionBytes) {
+  // Every corpus payload through every decoder — v1 bodies against v2
+  // decoders and vice versa (a BATCH body handed to decodePlace, a HELLO
+  // body handed to decodeBatchOk, ...).
+  std::vector<Bytes> corpus = buildCorpus();
+  for (const Bytes& a : corpus) {
+    FrameView view;
+    view.type = static_cast<FrameType>(a[4]);
+    view.payload = a.data() + 5;
+    view.payloadSize = a.size() - 5;
+    decodeAll(view);
+  }
+  // BATCH bodies spliced behind v1 frame types and vice versa, then
+  // streamed: the type byte promises one layout, the body delivers
+  // another.
+  Rng rng(0xBADC0DE);
+  for (const Bytes& a : corpus) {
+    for (const Bytes& b : corpus) {
+      Bytes spliced;
+      // a's framing (length + type) over b's body, length re-fixed.
+      std::uint32_t payload = static_cast<std::uint32_t>(b.size() - 4);
+      for (int i = 0; i < 4; ++i) {
+        spliced.push_back(
+            static_cast<std::uint8_t>((payload >> (8 * i)) & 0xFF));
+      }
+      spliced.push_back(a[4]);
+      spliced.insert(spliced.end(), b.begin() + 5, b.end());
+      fuzzStream(spliced);
+      if (rng.below(2) == 0) {
+        // Concatenated stream: resync across a valid second frame.
+        Bytes stream = spliced;
+        stream.insert(stream.end(), a.begin(), a.end());
+        fuzzStream(stream);
+      }
+    }
+  }
+}
+
+TEST(ProtocolFuzz, PureRandomGarbage) {
+  Rng rng(0xFEEDFACE);
+  for (int round = 0; round < 512; ++round) {
+    Bytes garbage(rng.below(200));
+    for (std::uint8_t& byte : garbage) {
+      byte = static_cast<std::uint8_t>(rng.next());
+    }
+    SCOPED_TRACE("round " + std::to_string(round));
+    fuzzStream(garbage);
+  }
+}
+
+// --- decoder contracts beyond "does not crash" ----------------------------
+
+TEST(ProtocolFuzz, RejectLeavesOutUntouched) {
+  // The header promises: on `false`, nothing was written into `out`.
+  // Truncate a PLACE and a BATCH at every boundary and check the sentinel
+  // survives every reject.
+  PlaceFrame placeSentinel{-1.0, -2.0, -3.0};
+  BatchFrame batchSentinel;
+  {
+    BatchOp op;
+    op.kind = kBatchOpDepart;
+    op.depart.time = -9.0;
+    batchSentinel.ops.push_back(op);
+  }
+
+  Bytes place;
+  appendPlace(place, PlaceFrame{0.5, 1.0, 2.0});
+  for (std::size_t cut = 0; cut + 5 < place.size(); ++cut) {
+    FrameView view;
+    view.type = FrameType::kPlace;
+    view.payload = place.data() + 5;
+    view.payloadSize = cut;
+    PlaceFrame out = placeSentinel;
+    ASSERT_FALSE(decodePlace(view, out)) << "cut " << cut;
+    EXPECT_EQ(out.size, placeSentinel.size);
+    EXPECT_EQ(out.arrival, placeSentinel.arrival);
+    EXPECT_EQ(out.departure, placeSentinel.departure);
+  }
+
+  BatchFrame full;
+  for (int i = 0; i < 3; ++i) {
+    BatchOp op;
+    op.kind = kBatchOpPlace;
+    op.place = {0.25, i * 1.0, i * 1.0 + 2.0};
+    full.ops.push_back(op);
+  }
+  Bytes batch;
+  appendBatch(batch, full);
+  for (std::size_t cut = 0; cut + 5 < batch.size(); ++cut) {
+    FrameView view;
+    view.type = FrameType::kBatch;
+    view.payload = batch.data() + 5;
+    view.payloadSize = cut;
+    BatchFrame out = batchSentinel;
+    ASSERT_FALSE(decodeBatch(view, out)) << "cut " << cut;
+    ASSERT_EQ(out.ops.size(), 1u);
+    EXPECT_EQ(out.ops[0].kind, kBatchOpDepart);
+    EXPECT_EQ(out.ops[0].depart.time, -9.0);
+  }
+}
+
+TEST(ProtocolFuzz, BatchOpCountAboveCapRejects) {
+  BatchFrame f;
+  BatchOp op;
+  op.kind = kBatchOpDepart;
+  op.depart.time = 1.0;
+  f.ops.push_back(op);
+  Bytes bytes;
+  appendBatch(bytes, f);
+  // The op count is the first u32 of the body (offset 5). A count above
+  // kMaxBatchOps must reject even though the bytes that follow would
+  // "run out" long before — the cap check fires before any allocation.
+  std::uint32_t huge = static_cast<std::uint32_t>(kMaxBatchOps) + 1;
+  for (int i = 0; i < 4; ++i) {
+    bytes[5 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((huge >> (8 * i)) & 0xFF);
+  }
+  FrameView view;
+  view.type = FrameType::kBatch;
+  view.payload = bytes.data() + 5;
+  view.payloadSize = bytes.size() - 5;
+  BatchFrame out;
+  EXPECT_FALSE(decodeBatch(view, out));
+  EXPECT_TRUE(out.ops.empty());
+}
+
+TEST(ProtocolFuzz, OversizedPrefixIsUnrecoverable) {
+  // A length prefix above the cap must come back kOversized — never
+  // kFrame (the stream cannot be trusted past a bogus length).
+  Bytes bytes;
+  appendStats(bytes);
+  std::uint32_t above = static_cast<std::uint32_t>(kDefaultMaxFramePayload) + 1;
+  for (int i = 0; i < 4; ++i) {
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((above >> (8 * i)) & 0xFF);
+  }
+  FrameView view;
+  std::size_t consumed = 0;
+  EXPECT_EQ(extractFrame(bytes.data(), bytes.size(), kDefaultMaxFramePayload,
+                         view, consumed),
+            ExtractStatus::kOversized);
+}
+
+}  // namespace
+}  // namespace cdbp::serve

@@ -1,0 +1,259 @@
+// Seed-exhaustive epsilon-boundary battery for fittingLevelUpperBound and
+// the BinSearch queries under category partitioning.
+//
+// The sharded engine (sim/sharded.hpp) gives each category its own
+// BinManager + tournament tree, so its Best/First/Worst Fit answers come
+// from a shard-local index built in the same relative opening order as the
+// single pool's per-category lists. This battery pins, for bin levels and
+// demand sizes engineered onto the kSizeEps accept/reject boundary
+// (including exact-double ties and sub-epsilon perturbations):
+//
+//   * fittingLevelUpperBound's conservative-bound contract: every level
+//     that fitsCapacity() accepts lies at or below the bound,
+//   * the indexed single-pool answers == the linear scans == a brute
+//     reference derived straight from fitsCapacity + the documented
+//     tie-break (strict comparison keeps the earliest-opened bin),
+//   * shard-local managers (one per category) give the same answers as
+//     the single pool's category-restricted queries, mapped through the
+//     local->global opening-order correspondence — the exact structure
+//     the sharded engine relies on for bit-identical placements.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "core/epsilon.hpp"
+#include "sim/bin_manager.hpp"
+#include "sim/placement_view.hpp"
+
+namespace cdbp {
+namespace {
+
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+  double unit() { return static_cast<double>(next() >> 11) * 0x1p-53; }
+};
+
+// Sub-epsilon offsets straddling the tolerance: every interesting band
+// around the boundary, from many-epsilon clear of it down to single ulps.
+const std::vector<double>& boundaryDeltas() {
+  static const std::vector<double> deltas = [] {
+    std::vector<double> d = {-10 * kSizeEps, -2 * kSizeEps,  -kSizeEps,
+                             -kSizeEps / 2,  -kSizeEps / 64, 0.0,
+                             kSizeEps / 64,  kSizeEps / 2,   kSizeEps - 1e-12,
+                             kSizeEps,       kSizeEps + 1e-12, 2 * kSizeEps,
+                             10 * kSizeEps};
+    // ulp-scale: the rounding band fittingLevelUpperBound's 1e-12 pad is
+    // there to absorb.
+    double atEps = kSizeEps;
+    d.push_back(std::nextafter(atEps, 0.0) - atEps + kSizeEps);  // eps - 1ulp
+    d.push_back(std::nextafter(atEps, 1.0) - atEps + kSizeEps);  // eps + 1ulp
+    return d;
+  }();
+  return deltas;
+}
+
+// One generated bin: category plus an exact level placed as one item.
+struct BinSpec {
+  int category = 0;
+  Size level = 0;
+};
+
+// Brute-force references straight from the fitsCapacity spec.
+BinId refFirstFit(const std::vector<BinId>& order, const BinManager& bins,
+                  Size demand) {
+  for (BinId id : order) {
+    if (bins.wouldFit(id, demand)) return id;
+  }
+  return kNewBin;
+}
+
+BinId refBestFit(const std::vector<BinId>& order, const BinManager& bins,
+                 Size demand) {
+  BinId best = kNewBin;
+  Size bestLevel = -1;
+  for (BinId id : order) {
+    if (!bins.wouldFit(id, demand)) continue;
+    if (bins.info(id).level > bestLevel) {  // strict: earliest-opened wins ties
+      bestLevel = bins.info(id).level;
+      best = id;
+    }
+  }
+  return best;
+}
+
+BinId refWorstFit(const std::vector<BinId>& order, const BinManager& bins,
+                  Size demand) {
+  BinId best = kNewBin;
+  Size bestLevel = std::numeric_limits<Size>::infinity();
+  for (BinId id : order) {
+    if (!bins.wouldFit(id, demand)) continue;
+    if (bins.info(id).level < bestLevel) {
+      bestLevel = bins.info(id).level;
+      best = id;
+    }
+  }
+  return best;
+}
+
+TEST(EpsilonBoundary, FittingLevelUpperBoundIsConservative) {
+  // Exhaustive over the delta grid at several base sizes: every level the
+  // capacity predicate accepts must sit at or below the bound the indexed
+  // Best Fit seeks down from — otherwise the index would skip a bin the
+  // linear scan takes.
+  for (double size : {0.125, 0.25, 0.3, 0.5, 0.7, 0.999, 1.0}) {
+    for (double delta : boundaryDeltas()) {
+      double level = kBinCapacity - size + delta;  // cdbp-lint: allow(capacity-compare): engineering a level onto the epsilon boundary, not a feasibility decision
+      if (level <= 0 || level > kBinCapacity) continue;  // cdbp-lint: allow(capacity-compare): exact range clamp on generated probe, not a feasibility decision
+      if (!fitsCapacity(level, size)) continue;
+      EXPECT_LE(level, fittingLevelUpperBound(size))
+          << "size=" << size << " delta=" << delta;
+    }
+    // And a few ulps around the bound itself.
+    double bound = fittingLevelUpperBound(size);
+    double probe = bound;
+    for (int i = 0; i < 4; ++i) probe = std::nextafter(probe, 2.0);
+    EXPECT_FALSE(fitsCapacity(probe, size))
+        << "levels above the bound (plus rounding headroom) must reject";
+  }
+}
+
+TEST(EpsilonBoundary, ShardLocalQueriesMatchSinglePoolSeedExhaustive) {
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+
+    const int categories = 1 + static_cast<int>(rng.below(4));
+    const double baseSize = 0.1 + 0.8 * rng.unit();
+
+    // Generate 6..18 bins in random category interleavings. Levels sit on
+    // the boundary for `baseSize`, with deliberate exact-double ties: a
+    // quarter of the bins copy the previous bin's level verbatim.
+    std::vector<BinSpec> specs;
+    const std::size_t count = 6 + rng.below(13);
+    for (std::size_t i = 0; i < count; ++i) {
+      BinSpec spec;
+      spec.category = static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(categories)));
+      if (!specs.empty() && rng.below(4) == 0) {
+        spec.level = specs.back().level;  // exact tie (same double)
+      } else {
+        double delta =
+            boundaryDeltas()[rng.below(boundaryDeltas().size())];
+        double level = kBinCapacity - baseSize + delta;  // cdbp-lint: allow(capacity-compare): engineering a level onto the epsilon boundary, not a feasibility decision
+        if (level <= 0 || level > kBinCapacity) level = 0.5 * rng.unit() + 0.1;  // cdbp-lint: allow(capacity-compare): exact range clamp on generated probe, not a feasibility decision
+        spec.level = level;
+      }
+      specs.push_back(spec);
+    }
+
+    // Single pool (indexed + linear) with interleaved categories, and one
+    // shard-local indexed manager per category, opened in the same
+    // relative order — exactly how the sharded engine builds its state.
+    BinManager pool(/*indexed=*/true);
+    BinManager linearPool(/*indexed=*/false);
+    std::map<int, BinManager> shards;
+    std::map<int, std::vector<BinId>> globalByCategory;
+    for (const BinSpec& spec : specs) {
+      BinId id = pool.openBin(spec.category, 0);
+      pool.addItem(id, spec.level);
+      BinId linearId = linearPool.openBin(spec.category, 0);
+      linearPool.addItem(linearId, spec.level);
+      ASSERT_EQ(id, linearId);
+      auto [it, inserted] =
+          shards.try_emplace(spec.category, /*indexed=*/true);
+      BinId local = it->second.openBin(spec.category, 0);
+      it->second.addItem(local, spec.level);
+      globalByCategory[spec.category].push_back(id);
+    }
+
+    PlacementView pooled(pool, 0);
+    PlacementView linear(linearPool, 0);
+
+    for (double delta : boundaryDeltas()) {
+      double demand = baseSize + delta;
+      if (demand <= 0 || lt(kBinCapacity, demand)) continue;
+      for (int cat = 0; cat < categories; ++cat) {
+        SCOPED_TRACE("cat " + std::to_string(cat) + " demand delta " +
+                     std::to_string(delta));
+        const std::vector<BinId>& order = pool.openBins(cat);
+
+        BinId expectFirst = refFirstFit(order, pool, demand);
+        BinId expectBest = refBestFit(order, pool, demand);
+        BinId expectWorst = refWorstFit(order, pool, demand);
+
+        // Indexed single pool == linear single pool == spec reference.
+        ASSERT_EQ(pooled.firstFitIn(cat, demand), expectFirst);
+        ASSERT_EQ(pooled.bestFitIn(cat, demand), expectBest);
+        ASSERT_EQ(pooled.worstFitIn(cat, demand), expectWorst);
+        ASSERT_EQ(linear.firstFitIn(cat, demand), expectFirst);
+        ASSERT_EQ(linear.bestFitIn(cat, demand), expectBest);
+        ASSERT_EQ(linear.worstFitIn(cat, demand), expectWorst);
+
+        // Shard-local == single pool, through the opening-order map.
+        auto shardIt = shards.find(cat);
+        if (shardIt == shards.end()) continue;
+        PlacementView local(shardIt->second, 0);
+        const std::vector<BinId>& toGlobal = globalByCategory[cat];
+        auto mapped = [&toGlobal](BinId localId) {
+          return localId == kNewBin
+                     ? kNewBin
+                     : toGlobal[static_cast<std::size_t>(localId)];
+        };
+        ASSERT_EQ(mapped(local.firstFitIn(cat, demand)), expectFirst);
+        ASSERT_EQ(mapped(local.bestFitIn(cat, demand)), expectBest);
+        ASSERT_EQ(mapped(local.worstFitIn(cat, demand)), expectWorst);
+      }
+    }
+  }
+}
+
+TEST(EpsilonBoundary, ExactTieKeepsEarliestOpenedAcrossPartitions) {
+  // Three bins in one category at the identical double level, interleaved
+  // with decoys in another: Best Fit's strict comparison must return the
+  // earliest-opened one, in the pool and in the shard-local replica.
+  const Size level = 0.625;
+  BinManager pool(/*indexed=*/true);
+  BinManager shard(/*indexed=*/true);
+  std::vector<BinId> toGlobal;
+
+  BinId decoy = pool.openBin(/*category=*/1, 0);
+  pool.addItem(decoy, 0.9);
+  for (int i = 0; i < 3; ++i) {
+    BinId id = pool.openBin(/*category=*/0, 0);
+    pool.addItem(id, level);
+    BinId local = shard.openBin(/*category=*/0, 0);
+    shard.addItem(local, level);
+    toGlobal.push_back(id);
+    BinId decoy2 = pool.openBin(/*category=*/1, 0);
+    pool.addItem(decoy2, 0.9);
+  }
+
+  PlacementView pooled(pool, 0);
+  PlacementView local(shard, 0);
+  const Size demand = freeCapacity(level);  // exact fit up to rounding
+  ASSERT_TRUE(fitsCapacity(level, demand));
+
+  EXPECT_EQ(pooled.bestFitIn(0, demand), toGlobal[0]);
+  EXPECT_EQ(pooled.firstFitIn(0, demand), toGlobal[0]);
+  EXPECT_EQ(pooled.worstFitIn(0, demand), toGlobal[0]);
+  EXPECT_EQ(local.bestFitIn(0, demand), 0);
+  EXPECT_EQ(local.firstFitIn(0, demand), 0);
+  EXPECT_EQ(local.worstFitIn(0, demand), 0);
+  EXPECT_EQ(toGlobal[static_cast<std::size_t>(local.bestFitIn(0, demand))],
+            pooled.bestFitIn(0, demand));
+}
+
+}  // namespace
+}  // namespace cdbp

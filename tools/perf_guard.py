@@ -100,6 +100,16 @@ def check_scaling(args: argparse.Namespace, baseline: dict[str, float],
                  f"--scaling-num '{args.scaling_num}' / "
                  f"--scaling-den '{args.scaling_den}'")
     base_pairs = scaling_ratios(baseline, args.scaling_num, args.scaling_den)
+    # Every pair the baseline guards must also exist in the candidate
+    # report. Without this check a candidate that silently drops a guarded
+    # series (bench filter typo, series renamed, bench crashed mid-run)
+    # sails through on the pairs that remain.
+    missing = sorted(n for n in base_pairs
+                     if args.filter in n and n not in pairs)
+    if missing:
+        sys.exit("perf_guard: FAILED — baseline-guarded scaling series "
+                 f"missing from {args.current}: {', '.join(missing)} "
+                 "(each guarded series must be re-measured, not dropped)")
     slack = 1.0 - args.scaling_slack / 100.0
     print(f"perf_guard: scaling check ('{args.scaling_num}' over "
           f"'{args.scaling_den}', floor {args.min_ratio:g}x, baseline slack "
@@ -126,10 +136,85 @@ def check_scaling(args: argparse.Namespace, baseline: dict[str, float],
     return 0
 
 
+def _report(path: str, series: dict[str, float]) -> str:
+    """Writes a minimal cdbp-bench-report fixture; returns the path."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"schema": "cdbp-bench-report",
+                   "timings": [{"name": n, "items_per_second": ips}
+                               for n, ips in series.items()]}, f)
+    return path
+
+
+def self_test() -> int:
+    """Exercises the scaling guard against known-good/-bad fixtures.
+
+    Pins the hard-failure contract for baseline-guarded series that are
+    absent from the candidate report — the case that used to pass
+    silently.
+    """
+    import subprocess
+    import tempfile
+
+    def run(base: dict[str, float], cur: dict[str, float],
+            extra: list[str]) -> tuple[int, str]:
+        with tempfile.TemporaryDirectory() as tmp:
+            b = _report(f"{tmp}/base.json", base)
+            c = _report(f"{tmp}/cur.json", cur)
+            proc = subprocess.run(
+                [sys.executable, __file__, b, c, *extra],
+                capture_output=True, text=True)
+            return proc.returncode, proc.stdout + proc.stderr
+
+    scaling = ["--scaling-num", "/t4", "--scaling-den", "/t1",
+               "--min-ratio", "3"]
+    healthy = {"Flat/cdt-ff/1000000/t1": 1.0e6, "Flat/cdt-ff/1000000/t4": 3.5e6}
+    checks = [
+        ("healthy scaling passes",
+         run(healthy, healthy, scaling), 0, "scaling check passed"),
+        ("below absolute floor fails",
+         run(healthy,
+             {"Flat/cdt-ff/1000000/t1": 1.0e6,
+              "Flat/cdt-ff/1000000/t4": 2.0e6}, scaling),
+         1, "below the scaling floor"),
+        ("regressing past baseline slack fails",
+         run({"Flat/cdt-ff/1000000/t1": 1.0e6,
+              "Flat/cdt-ff/1000000/t4": 6.0e6},
+             {"Flat/cdt-ff/1000000/t1": 1.0e6,
+              "Flat/cdt-ff/1000000/t4": 3.2e6},
+             scaling + ["--scaling-slack", "25"]),
+         1, "below the scaling floor"),
+        ("guarded series missing from candidate fails",
+         run(healthy, {"Flat/cdt-ff/1000000/t1": 1.0e6,
+                       "Other/bench/t1": 5.0e5, "Other/bench/t4": 2.0e6},
+             scaling), 1, "missing from"),
+        ("missing series outside --filter is not guarded",
+         run(healthy, {"Other/bench/t1": 5.0e5, "Other/bench/t4": 2.0e6},
+             scaling + ["--filter", "Other"]), 0, "scaling check passed"),
+    ]
+    failures = 0
+    for label, (code, output), want_code, want_text in checks:
+        ok = code == want_code and want_text in output
+        print(f"  {'ok' if ok else 'FAIL':4} {label}")
+        if not ok:
+            failures += 1
+            print(f"       exit={code} (want {want_code}), looked for "
+                  f"{want_text!r} in:\n{output}")
+    if failures:
+        print(f"perf_guard --self-test: {failures} check(s) FAILED")
+        return 1
+    print("perf_guard --self-test: all checks passed")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="reference BENCH_throughput.json")
-    parser.add_argument("current", help="freshly produced BENCH_throughput.json")
+    parser.add_argument("baseline", nargs="?",
+                        help="reference BENCH_throughput.json")
+    parser.add_argument("current", nargs="?",
+                        help="freshly produced BENCH_throughput.json")
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="run the built-in fixture checks instead of comparing reports")
     parser.add_argument(
         "--max-regression", type=float, default=20.0, metavar="PCT",
         help="fail when a benchmark loses more than PCT%% items/sec "
@@ -159,6 +244,11 @@ def main() -> int:
         help="scaling mode: allow the ratio to drop PCT%% below the "
              "baseline's ratio before failing (default 25)")
     args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current reports are required "
+                     "(or pass --self-test)")
     if (args.scaling_num is None) != (args.scaling_den is None):
         parser.error("--scaling-num and --scaling-den go together")
 
